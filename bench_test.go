@@ -1,0 +1,324 @@
+// Benchmarks regenerating the paper's evaluation, one group per figure
+// (see DESIGN.md §3 for the experiment index):
+//
+//   - BenchmarkFig4/...     — the identification scaling sweep (RQ 1–2);
+//     simulated cluster seconds are reported as the custom metric
+//     "sim-s/op" alongside real host time.
+//   - BenchmarkFig5Train/... — per-learner, per-ALM-scheme training times
+//     (RQ 3, RQ 5; Figure 5(b)).
+//   - BenchmarkFig6/...      — RF and MPN training with and without
+//     feature selection (RQ 6–7; Figure 6).
+//   - BenchmarkAblation/...  — design-choice ablations DESIGN.md calls
+//     out: the co-located zero-shuffle join, Equation 1's dynamic bin size
+//     vs the 2016 paper's fixed 25, and the regression axis.
+//   - BenchmarkCore/...      — microbenchmarks of the hot kernels.
+//
+// Absolute numbers depend on the host; the paper-facing quantities are the
+// simulated seconds and the relative ordering within a group.
+package drapid_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"drapid/internal/core"
+	"drapid/internal/dbscan"
+	"drapid/internal/experiments"
+	"drapid/internal/features"
+	"drapid/internal/ml"
+	"drapid/internal/ml/alm"
+	"drapid/internal/ml/featsel"
+	"drapid/internal/ml/learners"
+	"drapid/internal/ml/smote"
+	"drapid/internal/rdd"
+	"drapid/internal/spe"
+	"drapid/internal/synth"
+)
+
+// ---- shared fixtures (built once; benchmarks must not pay setup) ----
+
+var (
+	benchOnce  sync.Once
+	gbtBench   *experiments.Benchmark
+	palfaBench *experiments.Benchmark
+)
+
+func loadBenchmarks(b *testing.B) (*experiments.Benchmark, *experiments.Benchmark) {
+	b.Helper()
+	benchOnce.Do(func() {
+		var err error
+		gbtBench, err = experiments.BuildBenchmark(experiments.DefaultGBTBench(0.35, 1))
+		if err != nil {
+			panic(err)
+		}
+		palfaBench, err = experiments.BuildBenchmark(experiments.DefaultPALFABench(0.35, 101))
+		if err != nil {
+			panic(err)
+		}
+	})
+	return gbtBench, palfaBench
+}
+
+var (
+	clusterOnce  sync.Once
+	clusterSmall []spe.SPE // the paper's median cluster (19 SPEs)
+	clusterBig   []spe.SPE // the paper's largest clusters (>3,500 SPEs)
+)
+
+func loadClusters(b *testing.B) {
+	b.Helper()
+	clusterOnce.Do(func() {
+		g := synth.NewGenerator(synth.PALFA(), 3)
+		mk := func(peak, width float64) []spe.SPE {
+			// One emission guaranteed: the period fits inside the
+			// observation, and a single pulse forms one cluster.
+			obs, _ := g.Observe(spe.Key{Dataset: "PALFA"}, synth.Sources{
+				Pulsars: []synth.Pulsar{{PeriodSec: 260, DM: 150, WidthMs: width, PeakSNR: peak, Sporadic: 1}},
+			})
+			ev := core.SortedEvents(obs.Events)
+			if len(ev) == 0 {
+				panic("bench fixture generated no events")
+			}
+			return ev
+		}
+		clusterSmall = mk(7, 1)
+		if len(clusterSmall) > 19 {
+			clusterSmall = clusterSmall[:19]
+		}
+		clusterBig = mk(40, 5)
+	})
+}
+
+// ---- Figure 4 ----
+
+func benchFig4DRAPID(b *testing.B, executors int) {
+	cfg := experiments.DefaultFig4Config(3)
+	cfg.NumObservations = 24
+	cfg.ExecutorCounts = []int{executors}
+	cfg.ThreadCounts = nil // skip the MT side here
+	cfg.ThreadCounts = []int{1}
+	b.ResetTimer()
+	var sim float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunFig4(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sim = res.DRAPID[0].Seconds
+	}
+	b.ReportMetric(sim, "sim-s/op")
+}
+
+func BenchmarkFig4(b *testing.B) {
+	for _, n := range []int{1, 5, 10, 15, 20} {
+		b.Run(fmt.Sprintf("DRAPID/executors=%d", n), func(b *testing.B) { benchFig4DRAPID(b, n) })
+	}
+	for _, n := range []int{1, 5, 10, 15, 20} {
+		b.Run(fmt.Sprintf("RAPIDMT/threads=%d", n), func(b *testing.B) {
+			cfg := experiments.DefaultFig4Config(3)
+			cfg.NumObservations = 24
+			cfg.ExecutorCounts = []int{1}
+			cfg.ThreadCounts = []int{n}
+			b.ResetTimer()
+			var sim float64
+			for i := 0; i < b.N; i++ {
+				res, err := experiments.RunFig4(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				sim = res.RAPIDMT[0].Seconds
+			}
+			b.ReportMetric(sim, "sim-s/op")
+		})
+	}
+}
+
+// ---- Figure 5: training times per learner and scheme ----
+
+func BenchmarkFig5Train(b *testing.B) {
+	gbt, _ := loadBenchmarks(b)
+	for _, scheme := range []alm.Scheme{alm.Scheme2, alm.Scheme4, alm.Scheme7, alm.Scheme8} {
+		data := gbt.Dataset(scheme)
+		for _, name := range learners.Names() {
+			b.Run(fmt.Sprintf("%s/scheme=%s", name, scheme), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					c, err := learners.New(name, learners.Options{Seed: 1, ForestTrees: 30, MLPEpochs: 20})
+					if err != nil {
+						b.Fatal(err)
+					}
+					if err := c.Fit(data); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// ---- Figure 6: feature selection vs training time ----
+
+func BenchmarkFig6(b *testing.B) {
+	_, palfa := loadBenchmarks(b)
+	data := palfa.Dataset(alm.Scheme8)
+	variants := map[string]*ml.Dataset{"None": data}
+	for _, m := range featsel.Methods() {
+		variants[m.String()] = data.SelectFeatures(featsel.TopK(m, data, 10))
+	}
+	for _, learner := range []string{"RF", "MPN"} {
+		for _, fs := range []string{"None", "IG", "GR", "SU", "Cor", "1R"} {
+			d := variants[fs]
+			b.Run(fmt.Sprintf("%s/fs=%s", learner, fs), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					c, err := learners.New(learner, learners.Options{Seed: 1, ForestTrees: 30, MLPEpochs: 20})
+					if err != nil {
+						b.Fatal(err)
+					}
+					if err := c.Fit(d); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// ---- Ablations ----
+
+// BenchmarkAblation/join compares the paper's co-located join (both sides
+// hash-partitioned identically → zero shuffle) against joining with
+// differently-partitioned inputs, in simulated seconds.
+func BenchmarkAblation(b *testing.B) {
+	b.Run("join/prepartitioned", func(b *testing.B) { benchJoin(b, true) })
+	b.Run("join/shuffled", func(b *testing.B) { benchJoin(b, false) })
+
+	// Equation 1's dynamic bin size vs the 2016 paper's fixed 25: a fixed
+	// bin cannot find peaks in small clusters ("a static bin size of 25
+	// will put all SPEs in small clusters into one bin").
+	b.Run("binsize/dynamic", func(b *testing.B) { benchBinSize(b, core.DefaultParams()) })
+	b.Run("binsize/fixed25", func(b *testing.B) {
+		p := core.DefaultParams()
+		p.Weight = 25.0 / 4.4 // w·sqrt(19) ≈ 25: emulate the fixed DPG-era bin on small clusters
+		benchBinSize(b, p)
+	})
+
+	// Regression axis: XDM (paper) vs XIndex.
+	for _, axis := range []core.XAxis{core.XDM, core.XIndex} {
+		name := "axis/xdm"
+		if axis == core.XIndex {
+			name = "axis/xindex"
+		}
+		b.Run(name, func(b *testing.B) {
+			loadClusters(b)
+			p := core.DefaultParams()
+			p.Axis = axis
+			found := 0
+			for i := 0; i < b.N; i++ {
+				found = len(core.Search(clusterBig, p))
+			}
+			b.ReportMetric(float64(found), "pulses")
+		})
+	}
+}
+
+func benchJoin(b *testing.B, prePartition bool) {
+	execs := make([]*rdd.Executor, 4)
+	for i := range execs {
+		execs[i] = &rdd.Executor{ID: i, Node: i, Cores: 2, MemMB: 2048}
+	}
+	var sim float64
+	for i := 0; i < b.N; i++ {
+		// Joins over Parallelize need no filesystem.
+		ctx := rdd.NewContext(nil, execs, rdd.DefaultCostModel())
+		part := rdd.NewHashPartitioner(16)
+		left := pairs(ctx, 20000, 997)
+		right := pairs(ctx, 20000, 1013)
+		if prePartition {
+			left = rdd.PartitionBy(left, part)
+			right = rdd.PartitionBy(right, part)
+			rdd.Count(left)
+			rdd.Count(right)
+			mark := ctx.SimElapsed()
+			rdd.Count(rdd.LeftOuterJoin(left, right, part))
+			sim = ctx.SimElapsed() - mark
+		} else {
+			mark := ctx.SimElapsed()
+			rdd.Count(rdd.LeftOuterJoin(left, right, part))
+			sim = ctx.SimElapsed() - mark
+		}
+	}
+	b.ReportMetric(sim, "sim-s/op")
+}
+
+func pairs(ctx *rdd.Context, n, mod int) *rdd.RDD[rdd.Pair[string, int]] {
+	data := make([]rdd.Pair[string, int], n)
+	for i := range data {
+		data[i] = rdd.Pair[string, int]{Key: fmt.Sprintf("k%d", i%mod), Value: i}
+	}
+	return rdd.Parallelize(ctx, data, 8)
+}
+
+func benchBinSize(b *testing.B, p core.Params) {
+	loadClusters(b)
+	found := 0
+	for i := 0; i < b.N; i++ {
+		found = len(core.Search(clusterSmall, p))
+	}
+	b.ReportMetric(float64(found), "pulses")
+}
+
+// ---- Microbenchmarks of the hot kernels ----
+
+func BenchmarkCore(b *testing.B) {
+	loadClusters(b)
+	fc := features.Config{Grid: synth.PALFA().Grid, BandMHz: 300, FreqGHz: 1.4}
+
+	b.Run("search/median19", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			core.Search(clusterSmall, core.DefaultParams())
+		}
+	})
+	b.Run(fmt.Sprintf("search/big%d", len(clusterBig)), func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			core.Search(clusterBig, core.DefaultParams())
+		}
+	})
+	b.Run("extract22features", func(b *testing.B) {
+		pulses := core.Search(clusterBig, core.DefaultParams())
+		if len(pulses) == 0 {
+			b.Skip("no pulse in fixture")
+		}
+		cl := spe.Summarize(0, spe.Key{}, clusterBig)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			features.Extract(clusterBig, pulses[0], cl, fc)
+		}
+	})
+	b.Run("dbscan", func(b *testing.B) {
+		g := synth.NewGenerator(synth.PALFA(), 9)
+		obs, _ := g.Observe(spe.Key{Dataset: "PALFA"}, synth.Sources{
+			Pulsars:  []synth.Pulsar{{PeriodSec: 2, DM: 120, WidthMs: 4, PeakSNR: 15, Sporadic: 1}},
+			NumNoise: 2000,
+		})
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			dbscan.Cluster(obs.Events, synth.PALFA().Grid, obs.Key, dbscan.DefaultParams())
+		}
+	})
+	b.Run("smote", func(b *testing.B) {
+		gbt, _ := loadBenchmarks(b)
+		data := gbt.Dataset(alm.Scheme2)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			smote.Apply(data, smote.Options{Seed: 1})
+		}
+	})
+	b.Run("infogain22", func(b *testing.B) {
+		gbt, _ := loadBenchmarks(b)
+		data := gbt.Dataset(alm.Scheme8)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			featsel.Score(featsel.InfoGain, data)
+		}
+	})
+}

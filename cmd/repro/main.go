@@ -1,0 +1,142 @@
+// Command repro regenerates the paper's evaluation: Figure 4 (identification
+// scaling), Figure 5 (ALM classification and training times), Figure 6
+// (feature selection), the RQ 4 census, and the headline paper-vs-measured
+// table. Results are written as markdown under -out and echoed to stdout.
+//
+// Usage:
+//
+//	repro -all                 # everything at the default scale
+//	repro -fig4                # identification sweep only
+//	repro -fig5 -fig6 -scale 2 # classification figures at 2x benchmark scale
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"drapid/internal/experiments"
+	"drapid/internal/ml/learners"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("repro: ")
+	var (
+		all      = flag.Bool("all", false, "run every experiment")
+		fig4     = flag.Bool("fig4", false, "run the Figure 4 identification sweep")
+		fig5     = flag.Bool("fig5", false, "run the Figure 5 classification grid")
+		fig6     = flag.Bool("fig6", false, "run the Figure 6 feature-selection grid")
+		tables   = flag.Bool("tables", false, "render Tables 1-5 from the implementation")
+		tuning   = flag.Bool("tuning", false, "run the §5.1.2 w/M parameter-tuning sweep")
+		headline = flag.Bool("headline", false, "compute the headline table (implies the figures it needs)")
+		scale    = flag.Float64("scale", 1.0, "benchmark scale factor (1.0 = 1/10th of the paper's sizes)")
+		seed     = flag.Int64("seed", 1, "root random seed")
+		trees    = flag.Int("trees", 60, "RandomForest ensemble size")
+		epochs   = flag.Int("epochs", 40, "MPN training epochs")
+		smote    = flag.Bool("smote", false, "add SMOTE-balanced replicas of classification trials")
+		outDir   = flag.String("out", "results", "output directory for markdown reports")
+	)
+	flag.Parse()
+	if *all || *headline {
+		*fig4, *fig5, *fig6 = true, true, true
+	}
+	if *all {
+		*tables, *tuning = true, true
+	}
+	if !*fig4 && !*fig5 && !*fig6 && !*tables && !*tuning {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := os.MkdirAll(*outDir, 0o755); err != nil {
+		log.Fatal(err)
+	}
+
+	if *tables {
+		emit(*outDir, "tables.md", "## Tables 1-5 (rendered from the implementation)\n\n"+experiments.TablesMarkdown())
+	}
+	if *tuning {
+		log.Printf("running the w/M tuning sweep...")
+		emit(*outDir, "tuning.md", "## §5.1.2 parameter tuning\n\n"+experiments.TuningMarkdown(experiments.RunTuning(*seed)))
+	}
+
+	var (
+		f4  *experiments.Fig4Result
+		f5  *experiments.Fig5Result
+		f6  *experiments.Fig6Result
+		rq4 *experiments.RQ4Result
+		err error
+	)
+
+	if *fig4 {
+		log.Printf("running Figure 4 sweep (simulated cluster)...")
+		f4, err = experiments.RunFig4(experiments.DefaultFig4Config(*seed))
+		if err != nil {
+			log.Fatal(err)
+		}
+		emit(*outDir, "fig4.md", "## Figure 4: D-RAPID vs multithreaded RAPID\n\n"+experiments.Fig4Markdown(f4))
+	}
+
+	var gbt, palfa *experiments.Benchmark
+	if *fig5 || *fig6 {
+		log.Printf("building GBT350Drift-like benchmark (scale %.2f)...", *scale)
+		gbt, err = experiments.BuildBenchmark(experiments.DefaultGBTBench(*scale, *seed))
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("  %d positives / %d negatives", gbt.NumPositive(), gbt.NumNegative())
+		log.Printf("building PALFA-like benchmark (scale %.2f)...", *scale)
+		palfa, err = experiments.BuildBenchmark(experiments.DefaultPALFABench(*scale, *seed+100))
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("  %d positives / %d negatives", palfa.NumPositive(), palfa.NumNegative())
+	}
+
+	cfg := experiments.DefaultClassifyConfig(*seed)
+	cfg.Options = learners.Options{Seed: *seed, ForestTrees: *trees, MLPEpochs: *epochs}
+	cfg.SMOTE = *smote
+
+	if *fig5 {
+		log.Printf("running Figure 5 grid (%d learners x %d schemes x 2 datasets x %d folds)...",
+			len(cfg.Learners), len(cfg.Schemes), cfg.Folds)
+		f5, err = experiments.RunFig5(gbt, palfa, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		emit(*outDir, "fig5.md", "## Figure 5: ALM classification performance and training times\n\n"+experiments.Fig5Markdown(f5))
+		r := experiments.RQ4(f5.Census, 0.75)
+		rq4 = &r
+		emit(*outDir, "rq4.md", fmt.Sprintf(
+			"## RQ 4: hardest positive instances\n\nhard instances (missed by >= 75%% of classifiers): %d\nALM correct rate: %.3f\nbinary correct rate: %.3f\nALM advantage: %.2fx\n",
+			r.HardInstances, r.ALMCorrectRate, r.BinaryCorrectRate, r.Advantage))
+	}
+
+	if *fig6 {
+		log.Printf("running Figure 6 grid (RF+MPN x 6 FS settings x schemes x datasets)...")
+		f6, err = experiments.RunFig6(gbt, palfa, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		emit(*outDir, "fig6.md", "## Figure 6: feature selection and training times\n\n"+experiments.Fig6Markdown(f6))
+	}
+
+	if f4 != nil || f5 != nil || f6 != nil {
+		h := experiments.ComputeHeadline(f4, f5, f6)
+		emit(*outDir, "headline.md", experiments.HeadlineMarkdown(h, rq4))
+	}
+}
+
+// emit writes a report file and echoes it.
+func emit(dir, name, content string) {
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(strings.TrimRight(content, "\n"))
+	fmt.Println()
+	log.Printf("wrote %s", path)
+}

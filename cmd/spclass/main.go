@@ -1,0 +1,125 @@
+// Command spclass runs single-pulse classification experiments on a
+// synthetic labeled benchmark: pick an ALM scheme (Table 3), a learner
+// (Table 5), and optionally a feature-selection method (Table 4), and get
+// cross-validated Recall / Precision / F-Measure plus training times.
+//
+// Usage:
+//
+//	spclass -survey gbt350 -scheme 8 -learner RF -fs IG
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"drapid/internal/experiments"
+	"drapid/internal/ml"
+	"drapid/internal/ml/alm"
+	"drapid/internal/ml/eval"
+	"drapid/internal/ml/featsel"
+	"drapid/internal/ml/learners"
+	"drapid/internal/ml/smote"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("spclass: ")
+	var (
+		survey   = flag.String("survey", "palfa", "survey preset: palfa or gbt350")
+		schemeF  = flag.String("scheme", "2", "ALM scheme: 2, 4*, 4, 7 or 8")
+		learner  = flag.String("learner", "RF", "learner: MPN, SMO, JRip, J48, PART or RF")
+		fsName   = flag.String("fs", "None", "feature selection: None, IG, GR, SU, Cor or 1R")
+		useSMOTE = flag.Bool("smote", false, "apply SMOTE to training folds")
+		folds    = flag.Int("folds", 5, "cross-validation folds")
+		scale    = flag.Float64("scale", 1.0, "benchmark scale factor")
+		seed     = flag.Int64("seed", 1, "random seed")
+		trees    = flag.Int("trees", 60, "RandomForest ensemble size")
+		epochs   = flag.Int("epochs", 40, "MPN epochs")
+	)
+	flag.Parse()
+
+	var scheme alm.Scheme
+	found := false
+	for _, s := range alm.Schemes() {
+		if s.String() == *schemeF {
+			scheme, found = s, true
+		}
+	}
+	if !found {
+		log.Fatalf("unknown scheme %q (Table 3 lists 2, 4*, 4, 7, 8)", *schemeF)
+	}
+
+	var cfg experiments.BenchConfig
+	switch *survey {
+	case "palfa":
+		cfg = experiments.DefaultPALFABench(*scale, *seed)
+	case "gbt350":
+		cfg = experiments.DefaultGBTBench(*scale, *seed)
+	default:
+		log.Fatalf("unknown survey %q", *survey)
+	}
+	log.Printf("building %s benchmark (scale %.2f)...", *survey, *scale)
+	bench, err := experiments.BuildBenchmark(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("%d positives / %d negatives", bench.NumPositive(), bench.NumNegative())
+
+	data := bench.Dataset(scheme)
+	if *fsName != "None" {
+		var method featsel.Method
+		ok := false
+		for _, m := range featsel.Methods() {
+			if m.String() == *fsName {
+				method, ok = m, true
+			}
+		}
+		if !ok {
+			log.Fatalf("unknown feature selector %q (Table 4 lists IG, GR, SU, Cor, 1R)", *fsName)
+		}
+		cols := featsel.TopK(method, data, 10)
+		names := make([]string, len(cols))
+		for i, c := range cols {
+			names[i] = data.Names[c]
+		}
+		log.Printf("top-10 features by %s: %v", *fsName, names)
+		data = data.SelectFeatures(cols)
+	}
+
+	opt := eval.Options{Folds: *folds, Seed: *seed}
+	if *useSMOTE {
+		opt.TrainTransform = func(train *ml.Dataset) *ml.Dataset {
+			return smote.Apply(train, smote.Options{Seed: *seed})
+		}
+	}
+	results, err := eval.CrossValidate(func() ml.Classifier {
+		c, err := learners.New(*learner, learners.Options{Seed: *seed, ForestTrees: *trees, MLPEpochs: *epochs})
+		if err != nil {
+			log.Fatal(err)
+		}
+		return c
+	}, data, opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	s := eval.Summarize(results)
+	fmt.Printf("learner=%s scheme=%s fs=%s smote=%v folds=%d\n", *learner, scheme, *fsName, *useSMOTE, *folds)
+	fmt.Printf("\nconfusion matrix (all folds merged):\n%s\n", s.Conf)
+	fmt.Printf("collapsed (pulsar-vs-not): recall=%.4f precision=%.4f f1=%.4f\n",
+		s.Conf.BinaryRecall(alm.NonPulsar), s.Conf.BinaryPrecision(alm.NonPulsar), s.Conf.BinaryF1(alm.NonPulsar))
+	fmt.Printf("mean training time: %.3fs (per fold: %v)\n", s.MeanTrainSeconds, formatTimes(s.TrainSeconds))
+	if s.Conf.BinaryRecall(alm.NonPulsar) == 0 {
+		os.Exit(1)
+	}
+}
+
+func formatTimes(ts []float64) []string {
+	out := make([]string, len(ts))
+	for i, t := range ts {
+		out[i] = fmt.Sprintf("%.3fs", t)
+	}
+	return out
+}

@@ -1,0 +1,98 @@
+// Command spgen generates synthetic single-pulse survey data: SPE data
+// files and stage-2 cluster files in the pipeline's CSV interchange format,
+// ready for cmd/drapid. It stands in for the proprietary GBT350Drift and
+// PALFA archives (see DESIGN.md §1).
+//
+// Usage:
+//
+//	spgen -survey palfa -obs 20 -out data/
+package main
+
+import (
+	"flag"
+	"log"
+	"math/rand"
+	"os"
+	"path/filepath"
+
+	"drapid/internal/dbscan"
+	"drapid/internal/pipeline"
+	"drapid/internal/spe"
+	"drapid/internal/synth"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("spgen: ")
+	var (
+		survey  = flag.String("survey", "palfa", "survey preset: palfa or gbt350")
+		numObs  = flag.Int("obs", 10, "number of observations to generate")
+		tobs    = flag.Float64("tobs", 30, "observation length in seconds")
+		pulsars = flag.Int("pulsars", 1, "pulsars per observation")
+		rrats   = flag.Float64("rrats", 0.2, "probability an observation also hosts an RRAT")
+		noise   = flag.Int("noise", 500, "noise events per observation")
+		rfi     = flag.Int("rfi", 4, "RFI signals per observation")
+		seed    = flag.Int64("seed", 1, "random seed")
+		outDir  = flag.String("out", "data", "output directory")
+	)
+	flag.Parse()
+
+	var sv synth.Survey
+	switch *survey {
+	case "palfa":
+		sv = synth.PALFA()
+	case "gbt350":
+		sv = synth.GBT350Drift()
+	default:
+		log.Fatalf("unknown survey %q (palfa or gbt350)", *survey)
+	}
+	sv.TobsSec = *tobs
+
+	gen := synth.NewGenerator(sv, *seed)
+	rng := rand.New(rand.NewSource(*seed + 1))
+	var obs []spe.Observation
+	for i := 0; i < *numObs; i++ {
+		mix := synth.Sources{
+			NumImpulseRFI: *rfi / 2,
+			NumFlatRFI:    *rfi - *rfi/2,
+			NumNoise:      *noise,
+		}
+		for p := 0; p < *pulsars; p++ {
+			mix.Pulsars = append(mix.Pulsars, synth.RandomPulsar(rng, synth.AnyBand, synth.AnyBrightness, false))
+		}
+		if rng.Float64() < *rrats {
+			mix.Pulsars = append(mix.Pulsars, synth.RandomPulsar(rng, synth.AnyBand, synth.AnyBrightness, true))
+		}
+		o, _ := gen.Observe(gen.NextKey(), mix)
+		obs = append(obs, o)
+	}
+
+	prep := pipeline.Prepare(obs, sv.Grid, dbscan.DefaultParams())
+	if err := os.MkdirAll(*outDir, 0o755); err != nil {
+		log.Fatal(err)
+	}
+	dataPath := filepath.Join(*outDir, sv.Name+"_spe.csv")
+	clusterPath := filepath.Join(*outDir, sv.Name+"_clusters.csv")
+	if err := writeLines(dataPath, prep.DataLines); err != nil {
+		log.Fatal(err)
+	}
+	if err := writeLines(clusterPath, prep.ClusterLines); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("%d observations, %d SPEs, %d clusters", *numObs, prep.NumSPEs, prep.NumClusters())
+	log.Printf("wrote %s and %s", dataPath, clusterPath)
+}
+
+func writeLines(path string, lines []string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	for _, l := range lines {
+		if _, err := f.WriteString(l + "\n"); err != nil {
+			return err
+		}
+	}
+	return nil
+}

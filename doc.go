@@ -1,0 +1,10 @@
+// Package drapid is a from-scratch Go reproduction of "Scalable Solutions
+// for Automated Single Pulse Identification and Classification in Radio
+// Astronomy" (Devine, Goseva-Popstojanova & Pang, ICPP 2018).
+//
+// The implementation lives under internal/ (see DESIGN.md for the system
+// inventory); runnable entry points are under cmd/ and examples/. The
+// root package exists to carry module documentation and the benchmark
+// suite (bench_test.go) that regenerates every figure and table of the
+// paper's evaluation.
+package drapid

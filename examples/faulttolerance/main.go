@@ -1,0 +1,67 @@
+// Fault-tolerance demo: the resilient-distributed-dataset property the
+// paper's infrastructure relies on ("a collection of objects partitioned
+// across a set of data nodes that can be rebuilt if a partition is lost",
+// §5.1). A cached dataset loses partitions to a simulated executor failure
+// and the next action recomputes exactly the lost pieces from lineage.
+//
+//	go run ./examples/faulttolerance
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"drapid/internal/hdfs"
+	"drapid/internal/rdd"
+	"drapid/internal/yarn"
+)
+
+func main() {
+	log.SetFlags(0)
+	fs := hdfs.New(hdfs.Config{BlockSize: 4 << 10, Replication: 2}, 4)
+	rm := yarn.NewResourceManager([]yarn.NodeSpec{
+		{ID: 0, VCores: 4, MemMB: 4096}, {ID: 1, VCores: 4, MemMB: 4096},
+		{ID: 2, VCores: 4, MemMB: 4096}, {ID: 3, VCores: 4, MemMB: 4096},
+	})
+	grants, err := rm.Allocate(yarn.ContainerRequest{VCores: 2, MemMB: 1024}, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx := rdd.NewContext(fs, rdd.FromContainers(grants), rdd.DefaultCostModel())
+
+	// A small lineage: parallelize → map → cache.
+	nums := make([]int, 10000)
+	for i := range nums {
+		nums[i] = i
+	}
+	squares := rdd.Map(rdd.Parallelize(ctx, nums, 8), func(x int) int { return x * x }).Cache()
+
+	sum := func() int64 {
+		var s int64
+		for _, v := range rdd.Collect(squares) {
+			s += int64(v)
+		}
+		return s
+	}
+	before := sum()
+	fmt.Printf("sum of squares over %d partitions: %d\n", squares.NumPartitions(), before)
+
+	// An executor dies and takes two cached partitions with it.
+	for _, p := range []int{2, 5} {
+		if err := rdd.KillPartition(squares, p); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Println("killed cached partitions 2 and 5 (simulated executor loss)")
+	fmt.Printf("lost? p2=%v p5=%v p0=%v\n",
+		rdd.IsLost(squares, 2), rdd.IsLost(squares, 5), rdd.IsLost(squares, 0))
+
+	after := sum()
+	m := ctx.Metrics()
+	fmt.Printf("sum after lineage recovery:                %d\n", after)
+	fmt.Printf("recomputed partitions: %d (only the lost ones)\n", m.Recomputes)
+	if before != after {
+		log.Fatalf("recovery produced a different answer: %d != %d", before, after)
+	}
+	fmt.Println("lineage recovery preserved the result exactly")
+}

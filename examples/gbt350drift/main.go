@@ -1,0 +1,69 @@
+// GBT350Drift classification walkthrough: build a labeled benchmark from a
+// synthetic 350 MHz drift-scan survey, label it with the paper's best
+// configuration (ALM scheme 8), select the top-10 features with InfoGain,
+// and cross-validate a RandomForest — the paper's recommended classifier.
+//
+//	go run ./examples/gbt350drift
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"drapid/internal/experiments"
+	"drapid/internal/ml"
+	"drapid/internal/ml/alm"
+	"drapid/internal/ml/eval"
+	"drapid/internal/ml/featsel"
+	"drapid/internal/ml/learners"
+)
+
+func main() {
+	log.SetFlags(0)
+	fmt.Println("building GBT350Drift-like labeled benchmark...")
+	bench, err := experiments.BuildBenchmark(experiments.DefaultGBTBench(0.5, 7))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%d pulsar/RRAT single pulses + %d negatives\n\n",
+		bench.NumPositive(), bench.NumNegative())
+
+	scheme := alm.Scheme8
+	data := bench.Dataset(scheme)
+	fmt.Printf("ALM scheme %s classes: %v\n", scheme, data.Classes)
+	fmt.Printf("class counts: %v\n\n", data.ClassCounts())
+
+	// Feature selection: rank all 22 features by information gain and keep
+	// the top ten (§6.2's protocol).
+	scores := featsel.Score(featsel.InfoGain, data)
+	ranked := featsel.Rank(scores)
+	fmt.Println("InfoGain feature ranking (top 10):")
+	for i := 0; i < 10; i++ {
+		fmt.Printf("  %2d. %-16s %.4f\n", i+1, data.Names[ranked[i]], scores[ranked[i]])
+	}
+	top := featsel.TopK(featsel.InfoGain, data, 10)
+	reduced := data.SelectFeatures(top)
+
+	fmt.Println("\ncross-validating RandomForest (5 folds)...")
+	results, err := eval.CrossValidate(func() ml.Classifier {
+		c, err := learners.New("RF", learners.Options{Seed: 7, ForestTrees: 60, ForestParallel: true})
+		if err != nil {
+			log.Fatal(err)
+		}
+		return c
+	}, reduced, eval.Options{Folds: 5, Seed: 7})
+	if err != nil {
+		log.Fatal(err)
+	}
+	s := eval.Summarize(results)
+	fmt.Printf("\nconfusion matrix:\n%s\n", s.Conf)
+	fmt.Printf("per-class recall:")
+	for c := range s.Conf.Classes {
+		fmt.Printf(" %s=%.2f", s.Conf.Classes[c], s.Conf.Recall(c))
+	}
+	fmt.Printf("\n\ncollapsed pulsar-vs-not: recall=%.3f precision=%.3f f1=%.3f\n",
+		s.Conf.BinaryRecall(alm.NonPulsar), s.Conf.BinaryPrecision(alm.NonPulsar),
+		s.Conf.BinaryF1(alm.NonPulsar))
+	fmt.Printf("mean training time per fold: %.3fs\n", s.MeanTrainSeconds)
+	fmt.Println("\n(the paper's RF + ALM + IG configuration reports Recall 0.96 / F 0.95)")
+}

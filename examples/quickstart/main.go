@@ -1,0 +1,78 @@
+// Quickstart: generate one synthetic observation containing a pulsar,
+// cluster its single pulse events, run the D-RAPID search on each cluster,
+// and print the identified single pulses with a few of their features.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	"drapid/internal/core"
+	"drapid/internal/dbscan"
+	"drapid/internal/features"
+	"drapid/internal/plot"
+	"drapid/internal/spe"
+	"drapid/internal/synth"
+)
+
+func main() {
+	// A PALFA-like observation of a known pulsar (cf. the paper's Figure 1,
+	// the single-pulse plot of B1853+01 at DM ≈ 96).
+	sv := synth.PALFA()
+	sv.TobsSec = 30
+	gen := synth.NewGenerator(sv, 42)
+	mix := synth.Sources{
+		Pulsars: []synth.Pulsar{
+			{PeriodSec: 0.267, DM: 96.7, WidthMs: 4, PeakSNR: 14, Sporadic: 1},
+		},
+		NumImpulseRFI: 1,
+		NumFlatRFI:    2,
+		NumNoise:      400,
+	}
+	obs, truth := gen.Observe(gen.NextKey(), mix)
+	fmt.Printf("observation %s: %d single pulse events, %d injected signals\n",
+		obs.Key, len(obs.Events), len(truth))
+
+	// A Figure 1-style candidate plot of the events near the pulsar's DM.
+	var near []spe.SPE
+	for _, e := range obs.Events {
+		if e.DM > 80 && e.DM < 115 && e.Time < 3 {
+			near = append(near, e)
+		}
+	}
+	fmt.Println("\nSNR vs DM around the pulsar (first 3 s):")
+	fmt.Print(plot.SNRvsDM(near, plot.Options{Width: 64, Height: 12}))
+
+	// Stage 2: customized DBSCAN in the DM-vs-time plane.
+	res := dbscan.Cluster(obs.Events, sv.Grid, obs.Key, dbscan.DefaultParams())
+	fmt.Printf("stage 2: %d clusters of associated SPEs\n\n", len(res.Clusters))
+
+	// Stage 3: the D-RAPID search (Algorithm 1) over each cluster.
+	fc := features.Config{Grid: sv.Grid, BandMHz: sv.BandMHz, FreqGHz: sv.FreqGHz}
+	params := core.DefaultParams()
+	total := 0
+	fmt.Println("single pulses identified (top 10 by SNR):")
+	fmt.Println("  cluster  rank  SNRmax  SNRPeakDM  AvgSNR  nSPE  fitResidual")
+	printed := 0
+	for ci, cl := range res.Clusters {
+		members := make([]spe.SPE, len(res.Members[ci]))
+		for mi, ei := range res.Members[ci] {
+			members[mi] = obs.Events[ei]
+		}
+		vecs := features.ExtractAll(members, cl, params, fc)
+		total += len(vecs)
+		for _, v := range vecs {
+			if printed >= 10 || v[features.SNRMax] < 8 {
+				continue
+			}
+			printed++
+			fmt.Printf("  %7d  %4.0f  %6.1f  %9.2f  %6.2f  %4.0f  %11.3f\n",
+				cl.ID, v[features.PulseRank], v[features.SNRMax],
+				v[features.SNRPeakDM], v[features.AvgSNR], v[features.NumSPEs],
+				v[features.FitResidual])
+		}
+	}
+	fmt.Printf("\ntotal single pulses identified: %d (the paper found 188 in the\n", total)
+	fmt.Println("B1853+01 observation at this granularity, vs 1 DPG at the old one)")
+}

@@ -1,0 +1,78 @@
+package core
+
+import (
+	"testing"
+
+	"drapid/internal/spe"
+)
+
+// risingThenTruncated builds a pulse whose descent is cut off by the end of
+// the data: climb to a peak, begin descending, then stop.
+func risingThenTruncated() []spe.SPE {
+	var events []spe.SPE
+	for i := 0; i < 30; i++ { // climb 5 → 20
+		events = append(events, spe.SPE{DM: float64(i) * 0.1, SNR: 5 + float64(i)*0.5})
+	}
+	for i := 0; i < 6; i++ { // short descent, then truncation
+		events = append(events, spe.SPE{DM: 3.0 + float64(i)*0.1, SNR: 20 - float64(i)*1.2})
+	}
+	return events
+}
+
+func TestFlushTailRecoversTruncatedPulse(t *testing.T) {
+	events := risingThenTruncated()
+
+	strict := DefaultParams()
+	strict.FlushTail = false
+	with := DefaultParams()
+	with.FlushTail = true
+
+	nStrict := len(Search(events, strict))
+	nFlush := len(Search(events, with))
+	if nFlush < nStrict {
+		t.Fatalf("flushing lost pulses: %d < %d", nFlush, nStrict)
+	}
+	if nFlush == 0 {
+		t.Fatal("truncated pulse not recovered with FlushTail")
+	}
+}
+
+func TestZeroParamsTakeDefaults(t *testing.T) {
+	events := risingThenTruncated()
+	// Zero Weight/SlopeM must fall back to the paper-tuned values rather
+	// than dividing by zero or treating everything as trending.
+	pulses := Search(events, Params{FlushTail: true, Axis: XDM})
+	if len(pulses) == 0 {
+		t.Error("zero-valued params found nothing; defaults not applied")
+	}
+}
+
+func TestSearchIdempotent(t *testing.T) {
+	events := risingThenTruncated()
+	a := Search(events, DefaultParams())
+	b := Search(events, DefaultParams())
+	if len(a) != len(b) {
+		t.Fatalf("non-deterministic: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("pulse %d differs across runs", i)
+		}
+	}
+}
+
+func TestDuplicateDMValues(t *testing.T) {
+	// Multiple events at the same trial DM (several pulses in one cluster
+	// box) must not break the sort or the regression.
+	var events []spe.SPE
+	for i := 0; i < 40; i++ {
+		dm := float64(i/2) * 0.1
+		events = append(events, spe.SPE{DM: dm, SNR: 5 + float64(i%2)*10, Time: float64(i)})
+	}
+	pulses := Search(events, DefaultParams())
+	for _, p := range pulses {
+		if p.Len() < 2 {
+			t.Errorf("degenerate pulse %+v", p)
+		}
+	}
+}

@@ -1,0 +1,56 @@
+package core
+
+import "drapid/internal/spe"
+
+// Slope returns the least-squares slope b of the regression Y = a + bX
+// fitted to events[lo..hi] (both inclusive). Y is the event SNR; X is
+// either the ordinal index (XIndex) or the trial DM (XDM).
+//
+// A bin with fewer than two points, or with zero X variance (all events at
+// one trial DM under XDM), has no defined trend and reports slope 0, which
+// the state machine treats as flat.
+func Slope(events []spe.SPE, lo, hi int, axis XAxis) float64 {
+	n := hi - lo + 1
+	if n < 2 {
+		return 0
+	}
+	var sx, sy, sxx, sxy float64
+	for i := lo; i <= hi; i++ {
+		var x float64
+		if axis == XDM {
+			x = events[i].DM
+		} else {
+			x = float64(i - lo)
+		}
+		y := events[i].SNR
+		sx += x
+		sy += y
+		sxx += x * x
+		sxy += x * y
+	}
+	fn := float64(n)
+	den := fn*sxx - sx*sx
+	if den == 0 {
+		return 0
+	}
+	return (fn*sxy - sx*sy) / den
+}
+
+// MeanSlope returns the average of Slope over consecutive whole bins of the
+// given size — used by feature extraction for the rising/falling side slope
+// features.
+func MeanSlope(events []spe.SPE, lo, hi, binsize int, axis XAxis) float64 {
+	if binsize < 1 || hi <= lo {
+		return 0
+	}
+	var sum float64
+	var count int
+	for s := lo; s+binsize <= hi; s += binsize {
+		sum += Slope(events, s, s+binsize, axis)
+		count++
+	}
+	if count == 0 {
+		return Slope(events, lo, hi, axis)
+	}
+	return sum / float64(count)
+}

@@ -1,0 +1,218 @@
+package core
+
+import "drapid/internal/spe"
+
+// Search runs Algorithm 1 over one cluster of events and returns the single
+// pulses it identifies, with PulseRank populated. Events must be sorted by
+// trial DM; if they are not, Search sorts a copy and the returned pulse
+// indices refer to that DM-sorted order (retrievable via SortedEvents).
+func Search(events []spe.SPE, p Params) []Pulse {
+	events = SortedEvents(events)
+	s := newSearcher(events, p)
+	s.search(0, 0) // bPrev is "initialized to 0" (flat) per Algorithm 1
+	s.finish()
+	RankPulses(s.out, events)
+	return s.out
+}
+
+// SearchIterative is the loop form of Search. Algorithm 1 is stated
+// recursively and Search follows it; this variant exists to property-test
+// that recursion and iteration are equivalent and to bound stack growth on
+// adversarial inputs.
+func SearchIterative(events []spe.SPE, p Params) []Pulse {
+	events = SortedEvents(events)
+	s := newSearcher(events, p)
+	bPrev := 0.0
+	for start := 0; ; {
+		next := start + s.bin
+		if next > s.n-1 {
+			break
+		}
+		b := Slope(s.events, start, next, s.p.Axis)
+		s.step(bPrev, b, start, next)
+		start, bPrev = next, b
+	}
+	s.finish()
+	RankPulses(s.out, events)
+	return s.out
+}
+
+// SortedEvents returns events sorted by DM, reusing the input slice when it
+// is already sorted.
+func SortedEvents(events []spe.SPE) []spe.SPE {
+	sorted := true
+	for i := 1; i < len(events); i++ {
+		if events[i].DM < events[i-1].DM {
+			sorted = false
+			break
+		}
+	}
+	if sorted {
+		return events
+	}
+	cp := append([]spe.SPE(nil), events...)
+	spe.SortByDM(cp)
+	return cp
+}
+
+// searcher carries the state machine of Algorithm 1.
+//
+// The potential single pulse SP is a (start, hasPeak) pair. The printed
+// pseudocode has two transcription artifacts that a literal reading would
+// turn into dead or self-defeating code; both are resolved here the way the
+// surrounding prose demands and flagged inline:
+//
+//  1. in the previous-bin-flat branch, the dangling "else SP ← NULL" is
+//     scoped to the current-bin-flat test (a plateau that never completed a
+//     peak is abandoned), not to the whole branch — otherwise it would
+//     destroy the pulse immediately after the preceding lines mark its peak;
+//  2. in the previous-bin-increasing branch, the condition "−M < b(n−1) < M"
+//     is unreachable (that branch requires b(n−1) > M) and is read as the
+//     obvious typo "−M < b(n) < M".
+type searcher struct {
+	events []spe.SPE
+	p      Params
+	n      int
+	bin    int
+	out    []Pulse
+
+	active  bool
+	spStart int
+	hasPeak bool
+}
+
+func newSearcher(events []spe.SPE, p Params) *searcher {
+	if p.Weight <= 0 {
+		p.Weight = DefaultWeight
+	}
+	if p.SlopeM <= 0 {
+		p.SlopeM = DefaultSlopeM
+	}
+	return &searcher{
+		events: events,
+		p:      p,
+		n:      len(events),
+		bin:    BinSize(len(events), p.Weight),
+	}
+}
+
+// search is the recursive driver: "search(next, bn)" in Algorithm 1.
+func (s *searcher) search(start int, bPrev float64) {
+	next := start + s.bin
+	if next > s.n-1 { // "if next > total number of SPEs then return"
+		return
+	}
+	b := Slope(s.events, start, next, s.p.Axis)
+	s.step(bPrev, b, start, next)
+	s.search(next, b)
+}
+
+// step applies one bin transition. start..next (inclusive) is the current
+// bin; bPrev is the previous bin's regression slope, b the current one.
+func (s *searcher) step(bPrev, b float64, start, next int) {
+	M := s.p.SlopeM
+	flat := func(x float64) bool { return -M < x && x < M }
+	switch {
+	case bPrev < -M: // previous bin decreasing
+		if flat(b) && (!s.active || !s.hasPeak) {
+			// Bottomed out with nothing complete: restart here.
+			s.begin(start)
+		}
+		if b > M && s.active && s.hasPeak {
+			// Descent finished and the data turns up again: the pulse
+			// between the two slopes is complete ("add this SP").
+			s.emit(start, next)
+			s.begin(start)
+		}
+	case flat(bPrev): // previous bin flat
+		if b < -M {
+			if s.active && !s.hasPeak {
+				s.hasPeak = true // plateau top turning down: "peak found"
+			} else if !s.active {
+				s.begin(start)
+			}
+		}
+		if flat(b) {
+			if s.active && s.hasPeak {
+				s.emit(start, next) // "write this SP"
+				s.begin(start)
+			} else {
+				s.active = false // see artifact note (1) on searcher
+			}
+		}
+		if b > M && !s.active {
+			s.begin(start)
+		} else if b > M && s.active && s.hasPeak {
+			s.emit(start, next)
+			s.begin(start)
+		}
+	case bPrev > M: // previous bin increasing
+		if b < -M {
+			if !s.active {
+				// Reachable when the climb began before any SP existed
+				// (e.g. immediately after an emitted pulse was reset).
+				s.begin(start)
+			}
+			s.hasPeak = true // "peak found for this SP"
+		} else if flat(b) && !s.active { // artifact note (2) on searcher
+			s.begin(start)
+		} else if b > M && !s.active {
+			s.begin(start)
+		}
+	}
+}
+
+// begin starts a new potential single pulse at the given bin start
+// ("SP ← NULL and begin a new SP").
+func (s *searcher) begin(start int) {
+	s.active = true
+	s.spStart = start
+	s.hasPeak = false
+}
+
+// emit records the active pulse as covering [spStart, next] inclusive.
+func (s *searcher) emit(start, next int) {
+	lo, hi := s.spStart, next+1
+	if hi > s.n {
+		hi = s.n
+	}
+	if hi-lo < 2 {
+		return
+	}
+	p := Pulse{Start: lo, End: hi, Peak: argmaxSNR(s.events, lo, hi)}
+	s.out = append(s.out, p)
+	s.active = false
+}
+
+// finish applies the FlushTail deviation: a pulse that found its peak but
+// ran out of data mid-descent is emitted covering the remaining events.
+func (s *searcher) finish() {
+	if s.p.FlushTail && s.active && s.hasPeak {
+		s.emit(s.spStart, s.n-1)
+	}
+	s.active = false
+}
+
+func argmaxSNR(events []spe.SPE, lo, hi int) int {
+	best := lo
+	for i := lo + 1; i < hi; i++ {
+		if events[i].SNR > events[best].SNR {
+			best = i
+		}
+	}
+	return best
+}
+
+// NumBins reports how many whole bins Algorithm 1 will visit for a cluster
+// of n events under weight w — useful for cost models and tests.
+func NumBins(n int, w float64) int {
+	if n < 2 {
+		return 0
+	}
+	bin := BinSize(n, w)
+	count := 0
+	for start := 0; start+bin <= n-1; start += bin {
+		count++
+	}
+	return count
+}

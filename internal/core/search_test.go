@@ -1,0 +1,260 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"drapid/internal/spe"
+)
+
+// triangle builds a clean rise-peak-fall pulse of n points peaking at snr.
+func triangle(n int, peakSNR float64, dm0 float64) []spe.SPE {
+	events := make([]spe.SPE, n)
+	half := n / 2
+	for i := range events {
+		var snr float64
+		if i <= half {
+			snr = 5 + (peakSNR-5)*float64(i)/float64(half)
+		} else {
+			snr = 5 + (peakSNR-5)*float64(n-1-i)/float64(n-1-half)
+		}
+		events[i] = spe.SPE{DM: dm0 + float64(i)*0.1, SNR: snr, Time: 10}
+	}
+	return events
+}
+
+func TestBinSizeEquation1(t *testing.T) {
+	cases := []struct {
+		n    int
+		w    float64
+		want int
+	}{
+		{0, 0.75, 1}, {5, 0.75, 1}, {11, 0.75, 1}, // n < 12 → 1
+		{12, 0.75, 2},   // floor(0.75*sqrt(12)) = floor(2.59)
+		{100, 0.75, 7},  // floor(7.5)
+		{100, 1.75, 17}, // floor(17.5)
+		{3500, 0.75, 44},
+		{12, 0.1, 1}, // floor(0.34) clamps to 1
+	}
+	for _, tc := range cases {
+		if got := BinSize(tc.n, tc.w); got != tc.want {
+			t.Errorf("BinSize(%d, %g) = %d, want %d", tc.n, tc.w, got, tc.want)
+		}
+	}
+}
+
+func TestSlopeKnownLine(t *testing.T) {
+	events := make([]spe.SPE, 10)
+	for i := range events {
+		events[i] = spe.SPE{DM: float64(i), SNR: 2*float64(i) + 1}
+	}
+	if got := Slope(events, 0, 9, XIndex); math.Abs(got-2) > 1e-12 {
+		t.Errorf("XIndex slope = %g, want 2", got)
+	}
+	if got := Slope(events, 0, 9, XDM); math.Abs(got-2) > 1e-12 {
+		t.Errorf("XDM slope = %g, want 2", got)
+	}
+	if got := Slope(events, 3, 3, XIndex); got != 0 {
+		t.Errorf("single-point slope = %g, want 0", got)
+	}
+}
+
+func TestSlopeDegenerateX(t *testing.T) {
+	events := []spe.SPE{{DM: 5, SNR: 1}, {DM: 5, SNR: 9}}
+	if got := Slope(events, 0, 1, XDM); got != 0 {
+		t.Errorf("zero-variance XDM slope = %g, want 0", got)
+	}
+}
+
+func TestSearchFindsSinglePulse(t *testing.T) {
+	events := triangle(60, 25, 100)
+	pulses := Search(events, DefaultParams())
+	if len(pulses) == 0 {
+		t.Fatal("no pulses found in a clean triangle")
+	}
+	best := pulses[0]
+	for _, p := range pulses {
+		if events[p.Peak].SNR > events[best.Peak].SNR {
+			best = p
+		}
+	}
+	if events[best.Peak].SNR < 20 {
+		t.Errorf("peak SNR %g, want near 25", events[best.Peak].SNR)
+	}
+	if best.Rank != 1 {
+		t.Errorf("brightest pulse rank = %d, want 1", best.Rank)
+	}
+}
+
+func TestSearchFindsTwoPulses(t *testing.T) {
+	// Two distinct peaks separated by a flat valley at threshold level.
+	var events []spe.SPE
+	events = append(events, triangle(40, 20, 100)...)
+	for i := 0; i < 12; i++ { // flat valley
+		events = append(events, spe.SPE{DM: 104 + float64(i)*0.1, SNR: 5.0, Time: 10})
+	}
+	second := triangle(40, 15, 105.5)
+	events = append(events, second...)
+	pulses := Search(events, DefaultParams())
+	if len(pulses) < 2 {
+		t.Fatalf("found %d pulses, want >= 2", len(pulses))
+	}
+}
+
+func TestSearchTinyCluster(t *testing.T) {
+	for n := 0; n <= 3; n++ {
+		events := triangle(maxInt(n, 1), 10, 50)[:n]
+		if got := Search(events, DefaultParams()); n < 3 && len(got) > 0 {
+			// With fewer than 3 points there is no climb-peak-descend.
+			t.Errorf("n=%d: found %d pulses", n, len(got))
+		}
+	}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func TestFlatClusterHasNoPulse(t *testing.T) {
+	events := make([]spe.SPE, 50)
+	for i := range events {
+		events[i] = spe.SPE{DM: float64(i) * 0.1, SNR: 6.0, Time: 1}
+	}
+	if pulses := Search(events, DefaultParams()); len(pulses) != 0 {
+		t.Errorf("flat cluster produced %d pulses", len(pulses))
+	}
+}
+
+func TestSearchSortsUnsortedInput(t *testing.T) {
+	events := triangle(30, 18, 10)
+	rng := rand.New(rand.NewSource(1))
+	rng.Shuffle(len(events), func(i, j int) { events[i], events[j] = events[j], events[i] })
+	pulses := Search(events, DefaultParams())
+	if len(pulses) == 0 {
+		t.Fatal("no pulses found after shuffle")
+	}
+}
+
+// Property: the recursive form (as printed in the paper) and the iterative
+// form visit identical bins and must agree exactly.
+func TestRecursiveIterativeEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	f := func(seed int64, size uint8) bool {
+		n := int(size)
+		r := rand.New(rand.NewSource(seed))
+		events := make([]spe.SPE, n)
+		for i := range events {
+			events[i] = spe.SPE{DM: float64(i) * 0.3, SNR: 5 + r.Float64()*20, Time: r.Float64() * 100}
+		}
+		a := Search(events, DefaultParams())
+		b := SearchIterative(events, DefaultParams())
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300, Rand: rng}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: pulses are well-formed — in-bounds, at least 2 events, peak
+// inside the pulse, and the peak really is the member argmax.
+func TestPulseInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	f := func(seed int64, size uint8) bool {
+		n := int(size)
+		r := rand.New(rand.NewSource(seed))
+		events := make([]spe.SPE, n)
+		for i := range events {
+			events[i] = spe.SPE{DM: float64(i) * 0.2, SNR: 5 + r.Float64()*15}
+		}
+		for _, p := range Search(events, DefaultParams()) {
+			if p.Start < 0 || p.End > n || p.Len() < 2 {
+				return false
+			}
+			if p.Peak < p.Start || p.Peak >= p.End {
+				return false
+			}
+			for i := p.Start; i < p.End; i++ {
+				if events[i].SNR > events[p.Peak].SNR {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300, Rand: rng}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRankPulsesOrdering(t *testing.T) {
+	events := []spe.SPE{
+		{SNR: 5}, {SNR: 10}, {SNR: 5}, // pulse A peak 10
+		{SNR: 5}, {SNR: 30}, {SNR: 5}, // pulse B peak 30
+		{SNR: 5}, {SNR: 20}, {SNR: 5}, // pulse C peak 20
+	}
+	pulses := []Pulse{
+		{Start: 0, End: 3, Peak: 1},
+		{Start: 3, End: 6, Peak: 4},
+		{Start: 6, End: 9, Peak: 7},
+	}
+	RankPulses(pulses, events)
+	if pulses[1].Rank != 1 || pulses[2].Rank != 2 || pulses[0].Rank != 3 {
+		t.Errorf("ranks: %d %d %d", pulses[0].Rank, pulses[1].Rank, pulses[2].Rank)
+	}
+}
+
+func TestComputeStats(t *testing.T) {
+	events := []spe.SPE{
+		{DM: 1, SNR: 6, Time: 3},
+		{DM: 2, SNR: 12, Time: 1},
+		{DM: 3, SNR: 9, Time: 2},
+	}
+	st := Pulse{Start: 0, End: 3, Peak: 1}.ComputeStats(events)
+	if st.SNRMax != 12 || st.PeakDM != 2 || st.SNRFirst != 6 {
+		t.Errorf("stats: %+v", st)
+	}
+	if st.StartTime != 1 || st.StopTime != 3 {
+		t.Errorf("times: %+v", st)
+	}
+	if math.Abs(st.AvgSNR-9) > 1e-12 {
+		t.Errorf("AvgSNR = %g", st.AvgSNR)
+	}
+}
+
+func TestNumBins(t *testing.T) {
+	// n=100, w=0.75 → bin 7; starts at 0,7,...,91 with 91+7 <= 99 → 14 bins.
+	if got := NumBins(100, 0.75); got != 14 {
+		t.Errorf("NumBins(100, 0.75) = %d, want 14", got)
+	}
+	if got := NumBins(1, 0.75); got != 0 {
+		t.Errorf("NumBins(1) = %d, want 0", got)
+	}
+}
+
+func TestParamTuningGridMatchesPaperWinner(t *testing.T) {
+	// The paper tuned w ∈ [0.75, 1.75], M ∈ [0.05, 0.5] and chose (0.75,
+	// 0.5). Check that the winning combination identifies a difficult
+	// (faint, noisy) pulse that coarse settings miss less reliably.
+	rng := rand.New(rand.NewSource(5))
+	events := triangle(120, 8.5, 200) // faint pulse barely above threshold
+	for i := range events {
+		events[i].SNR += rng.NormFloat64() * 0.2
+	}
+	p := DefaultParams()
+	if len(Search(events, p)) == 0 {
+		t.Error("paper-tuned parameters failed to identify a faint pulse")
+	}
+}

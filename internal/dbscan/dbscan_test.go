@@ -1,0 +1,165 @@
+package dbscan
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"drapid/internal/dmgrid"
+	"drapid/internal/spe"
+)
+
+func grid(t *testing.T) *dmgrid.Grid {
+	t.Helper()
+	g, err := dmgrid.New([]dmgrid.Stage{{Lo: 0, Hi: 1000, Step: 0.1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// blob makes n events tightly packed around (dm, t0).
+func blob(n int, dm, t0 float64) []spe.SPE {
+	out := make([]spe.SPE, n)
+	for i := range out {
+		out[i] = spe.SPE{DM: dm + float64(i%5)*0.1, SNR: 6 + float64(i%3), Time: t0 + float64(i/5)*0.01}
+	}
+	return out
+}
+
+func TestTwoSeparatedBlobs(t *testing.T) {
+	events := append(blob(20, 50, 10), blob(20, 300, 60)...)
+	res := Cluster(events, grid(t), spe.Key{}, DefaultParams())
+	if len(res.Clusters) != 2 {
+		t.Fatalf("got %d clusters, want 2", len(res.Clusters))
+	}
+	for _, c := range res.Clusters {
+		if c.N != 20 {
+			t.Errorf("cluster size %d, want 20", c.N)
+		}
+	}
+}
+
+func TestNoiseStaysUnlabeled(t *testing.T) {
+	// Far-flung singleton events cannot form cores with MinPts=3.
+	events := []spe.SPE{
+		{DM: 10, Time: 1}, {DM: 200, Time: 50}, {DM: 500, Time: 100},
+	}
+	res := Cluster(events, grid(t), spe.Key{}, DefaultParams())
+	if len(res.Clusters) != 0 {
+		t.Fatalf("got %d clusters from isolated noise", len(res.Clusters))
+	}
+	for i, l := range res.Labels {
+		if l != Noise {
+			t.Errorf("event %d labeled %d, want Noise", i, l)
+		}
+	}
+}
+
+func TestMergePassJoinsFragments(t *testing.T) {
+	// Two fragments of one pulse: adjacent in DM, tiny time gap — the
+	// processing artifact the paper's customized DBSCAN repairs.
+	frag1 := blob(15, 100, 10)
+	frag2 := blob(15, 100.9, 10.02) // ~9 trials and 20 ms away
+	events := append(frag1, frag2...)
+
+	p := DefaultParams()
+	p.MergeDMTrials = 0 // disabled: expect 2 clusters
+	res := Cluster(events, grid(t), spe.Key{}, p)
+	base := len(res.Clusters)
+
+	p = DefaultParams() // enabled: expect fewer
+	res2 := Cluster(events, grid(t), spe.Key{}, p)
+	if base < 2 {
+		t.Skipf("fragments not separated at base settings (%d clusters)", base)
+	}
+	if len(res2.Clusters) >= base {
+		t.Errorf("merge pass did not reduce clusters: %d -> %d", base, len(res2.Clusters))
+	}
+}
+
+func TestEmptyInput(t *testing.T) {
+	res := Cluster(nil, grid(t), spe.Key{}, DefaultParams())
+	if len(res.Clusters) != 0 || len(res.Labels) != 0 {
+		t.Error("expected empty result")
+	}
+}
+
+func TestClusterRanksAssigned(t *testing.T) {
+	bright := blob(20, 50, 10)
+	for i := range bright {
+		bright[i].SNR = 30
+	}
+	faint := blob(20, 300, 60)
+	res := Cluster(append(bright, faint...), grid(t), spe.Key{}, DefaultParams())
+	if len(res.Clusters) != 2 {
+		t.Fatalf("got %d clusters", len(res.Clusters))
+	}
+	for _, c := range res.Clusters {
+		if c.SNRMax == 30 && c.Rank != 1 {
+			t.Errorf("bright cluster rank %d, want 1", c.Rank)
+		}
+		if c.SNRMax != 30 && c.Rank != 2 {
+			t.Errorf("faint cluster rank %d, want 2", c.Rank)
+		}
+	}
+}
+
+// Property: labels are consistent — every label is Noise or a valid cluster
+// id; Members agrees with Labels; cluster summaries bound their members.
+func TestLabelInvariants(t *testing.T) {
+	g := grid(t)
+	rng := rand.New(rand.NewSource(9))
+	f := func(seed int64, size uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := int(size)
+		events := make([]spe.SPE, n)
+		for i := range events {
+			events[i] = spe.SPE{DM: r.Float64() * 900, SNR: 5 + r.Float64()*10, Time: r.Float64() * 100}
+		}
+		res := Cluster(events, g, spe.Key{}, DefaultParams())
+		counts := make([]int, len(res.Clusters))
+		for i, l := range res.Labels {
+			if l == Noise {
+				continue
+			}
+			if l < 0 || l >= len(res.Clusters) {
+				return false
+			}
+			counts[l]++
+			c := res.Clusters[l]
+			if events[i].DM < c.DMMin || events[i].DM > c.DMMax {
+				return false
+			}
+			if events[i].Time < c.TMin || events[i].Time > c.TMax {
+				return false
+			}
+		}
+		for id, c := range res.Clusters {
+			if c.N != counts[id] || len(res.Members[id]) != counts[id] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100, Rand: rng}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVaryingDMSpacingDoesNotSplit(t *testing.T) {
+	// A pulse straddling a spacing change in the default plan: trial steps,
+	// not raw DM, define distance, so the cluster must hold together.
+	g := dmgrid.Default()
+	var events []spe.SPE
+	for _, dm := range g.Neighborhood(100, 3) { // spacing changes at 100
+		events = append(events, spe.SPE{DM: dm, SNR: 8, Time: 5})
+	}
+	if len(events) < 10 {
+		t.Fatalf("fixture too small: %d", len(events))
+	}
+	res := Cluster(events, g, spe.Key{}, DefaultParams())
+	if len(res.Clusters) != 1 {
+		t.Errorf("cluster split across spacing boundary: %d clusters", len(res.Clusters))
+	}
+}

@@ -1,0 +1,87 @@
+// Package des is a small discrete-event simulator. The distributed
+// substrates (YARN scheduling, the RDD engine's stage execution, the
+// multithreaded baseline) execute real work on the host but account
+// *simulated* time through this package, which is how a laptop-scale run
+// reproduces the elapsed-time behaviour of the paper's 16-node Beowulf
+// cluster (see DESIGN.md §1, substitution table).
+//
+// Simulated time is a float64 in seconds from simulation start.
+package des
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Simulator owns a simulated clock and an event queue. The zero value is
+// ready to use.
+type Simulator struct {
+	now float64
+	pq  eventQueue
+	seq int
+}
+
+// Now returns the current simulated time in seconds.
+func (s *Simulator) Now() float64 { return s.now }
+
+// Schedule enqueues fn to run at absolute simulated time at. Events in the
+// past run at the current time. Events at equal times run in scheduling
+// order (FIFO), keeping runs deterministic.
+func (s *Simulator) Schedule(at float64, fn func()) {
+	if at < s.now {
+		at = s.now
+	}
+	s.seq++
+	heap.Push(&s.pq, &event{at: at, seq: s.seq, fn: fn})
+}
+
+// After enqueues fn to run delay seconds from now.
+func (s *Simulator) After(delay float64, fn func()) {
+	if delay < 0 {
+		delay = 0
+	}
+	s.Schedule(s.now+delay, fn)
+}
+
+// Run drains the event queue, advancing the clock to each event's time.
+func (s *Simulator) Run() {
+	for s.pq.Len() > 0 {
+		ev := heap.Pop(&s.pq).(*event)
+		s.now = ev.at
+		ev.fn()
+	}
+}
+
+// Advance moves the clock forward without events (for sequential phases).
+func (s *Simulator) Advance(delta float64) {
+	if delta < 0 {
+		panic(fmt.Sprintf("des: negative advance %g", delta))
+	}
+	s.now += delta
+}
+
+type event struct {
+	at  float64
+	seq int
+	fn  func()
+}
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x interface{}) { *q = append(*q, x.(*event)) }
+func (q *eventQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return ev
+}

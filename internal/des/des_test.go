@@ -1,0 +1,156 @@
+package des
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEventsRunInTimeOrder(t *testing.T) {
+	var s Simulator
+	var order []int
+	s.Schedule(3, func() { order = append(order, 3) })
+	s.Schedule(1, func() { order = append(order, 1) })
+	s.Schedule(2, func() { order = append(order, 2) })
+	s.Run()
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Errorf("order = %v", order)
+	}
+	if s.Now() != 3 {
+		t.Errorf("Now() = %g, want 3", s.Now())
+	}
+}
+
+func TestEqualTimesFIFO(t *testing.T) {
+	var s Simulator
+	var order []int
+	for i := 0; i < 5; i++ {
+		i := i
+		s.Schedule(1, func() { order = append(order, i) })
+	}
+	s.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("FIFO violated: %v", order)
+		}
+	}
+}
+
+func TestScheduleInPastClamps(t *testing.T) {
+	var s Simulator
+	s.Advance(10)
+	ran := false
+	s.Schedule(5, func() {
+		ran = true
+		if s.Now() != 10 {
+			t.Errorf("past event ran at %g, want 10", s.Now())
+		}
+	})
+	s.Run()
+	if !ran {
+		t.Error("past event never ran")
+	}
+}
+
+func TestEventsCanScheduleEvents(t *testing.T) {
+	var s Simulator
+	hits := 0
+	s.Schedule(1, func() {
+		hits++
+		s.After(2, func() { hits++ })
+	})
+	s.Run()
+	if hits != 2 || s.Now() != 3 {
+		t.Errorf("hits=%d now=%g", hits, s.Now())
+	}
+}
+
+func TestSlotPoolMakespan(t *testing.T) {
+	// 5 tasks of 1s on 2 slots → makespan 3s.
+	p := NewSlotPool(2, 0, nil)
+	for i := 0; i < 5; i++ {
+		p.Assign(1)
+	}
+	if got := p.MaxEnd(); got != 3 {
+		t.Errorf("makespan = %g, want 3", got)
+	}
+}
+
+func TestSlotPoolSingleSlotSerializes(t *testing.T) {
+	p := NewSlotPool(1, 2, nil)
+	_, s1, e1 := p.Assign(1)
+	_, s2, _ := p.Assign(1)
+	if s1 != 2 || e1 != 3 || s2 != 3 {
+		t.Errorf("s1=%g e1=%g s2=%g", s1, e1, s2)
+	}
+}
+
+func TestAssignTaggedPrefersMatchingSlot(t *testing.T) {
+	p := NewSlotPool(4, 0, func(i int) int { return i % 2 })
+	tag, _, _ := p.AssignTagged(1, func(tag int) bool { return tag == 1 })
+	if tag != 1 {
+		t.Errorf("tag = %d, want 1", tag)
+	}
+	// Exhaust tag-1 slots, then the fallback must yield tag 0.
+	p.AssignTagged(1, func(tag int) bool { return tag == 1 })
+	tag, start, _ := p.AssignTagged(0.1, func(tag int) bool { return tag == 3 })
+	if tag != 0 || start != 0 {
+		t.Errorf("fallback tag=%d start=%g", tag, start)
+	}
+}
+
+func TestPeekCommit(t *testing.T) {
+	p := NewSlotPool(2, 0, func(i int) int { return i })
+	h, tag, at, ok := p.Peek(func(tag int) bool { return tag == 1 })
+	if !ok || tag != 1 || at != 0 {
+		t.Fatalf("peek: ok=%v tag=%d at=%g", ok, tag, at)
+	}
+	start, end := p.Commit(h, 5)
+	if start != 0 || end != 5 {
+		t.Errorf("commit: %g..%g", start, end)
+	}
+	// The committed slot should now be the later one.
+	_, tag2, at2, _ := p.Peek(nil)
+	if tag2 != 0 || at2 != 0 {
+		t.Errorf("after commit, earliest = tag %d at %g", tag2, at2)
+	}
+}
+
+func TestBarrier(t *testing.T) {
+	p := NewSlotPool(3, 0, nil)
+	p.Assign(1)
+	p.Barrier(10)
+	_, start, _ := p.Assign(1)
+	if start != 10 {
+		t.Errorf("post-barrier start = %g, want 10", start)
+	}
+}
+
+// Property: list scheduling never beats the two trivial lower bounds
+// (critical task, total work / slots) and never exceeds the serial sum.
+func TestMakespanBounds(t *testing.T) {
+	f := func(durRaw []uint8, slotsRaw uint8) bool {
+		slots := int(slotsRaw)%8 + 1
+		if len(durRaw) == 0 {
+			return true
+		}
+		p := NewSlotPool(slots, 0, nil)
+		var sum, maxDur float64
+		for _, d := range durRaw {
+			dur := float64(d)/16 + 0.01
+			sum += dur
+			if dur > maxDur {
+				maxDur = dur
+			}
+			p.Assign(dur)
+		}
+		mk := p.MaxEnd()
+		lower := sum / float64(slots)
+		if maxDur > lower {
+			lower = maxDur
+		}
+		return mk >= lower-1e-9 && mk <= sum+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,141 @@
+package des
+
+import "container/heap"
+
+// SlotPool models a set of identical execution slots (executor cores,
+// worker threads) for list scheduling: tasks are assigned, in submission
+// order, to the slot that frees earliest. This is the deterministic
+// scheduling discipline both the RDD stage scheduler and the multithreaded
+// baseline use.
+type SlotPool struct {
+	free slotHeap
+}
+
+// NewSlotPool creates n slots, all free at time start. The tag identifies
+// the owner of slot i (e.g. an executor id) and may be nil.
+func NewSlotPool(n int, start float64, tag func(i int) int) *SlotPool {
+	p := &SlotPool{free: make(slotHeap, 0, n)}
+	for i := 0; i < n; i++ {
+		t := 0
+		if tag != nil {
+			t = tag(i)
+		}
+		p.free = append(p.free, slot{at: start, seq: i, tag: t})
+	}
+	heap.Init(&p.free)
+	return p
+}
+
+// Assign places a task of the given duration on the earliest-free slot and
+// returns the slot's tag, the task start time, and the task end time.
+func (p *SlotPool) Assign(duration float64) (tag int, start, end float64) {
+	s := p.free[0]
+	start = s.at
+	end = start + duration
+	p.free[0].at = end
+	heap.Fix(&p.free, 0)
+	return s.tag, start, end
+}
+
+// AssignTagged places a task on the earliest-free slot among those whose
+// tag satisfies want, falling back to the overall earliest slot if none
+// does (locality-preferred scheduling). It returns like Assign.
+func (p *SlotPool) AssignTagged(duration float64, want func(tag int) bool) (tag int, start, end float64) {
+	best := -1
+	for i := range p.free {
+		if !want(p.free[i].tag) {
+			continue
+		}
+		if best == -1 || p.free[i].at < p.free[best].at || (p.free[i].at == p.free[best].at && p.free[i].seq < p.free[best].seq) {
+			best = i
+		}
+	}
+	if best == -1 {
+		return p.Assign(duration)
+	}
+	s := p.free[best]
+	start = s.at
+	end = start + duration
+	p.free[best].at = end
+	heap.Fix(&p.free, best)
+	return s.tag, start, end
+}
+
+// Peek returns a handle to the earliest-free slot among those whose tag
+// satisfies want (nil = any), without committing work to it. The returned
+// handle is only valid until the next Commit/Assign call. ok is false when
+// no slot matches.
+func (p *SlotPool) Peek(want func(tag int) bool) (handle, tag int, at float64, ok bool) {
+	best := -1
+	for i := range p.free {
+		if want != nil && !want(p.free[i].tag) {
+			continue
+		}
+		if best == -1 || p.free[i].at < p.free[best].at ||
+			(p.free[i].at == p.free[best].at && p.free[i].seq < p.free[best].seq) {
+			best = i
+		}
+	}
+	if best == -1 {
+		return 0, 0, 0, false
+	}
+	return best, p.free[best].tag, p.free[best].at, true
+}
+
+// Commit assigns a task of the given duration to the slot identified by a
+// prior Peek and returns the task's start and end times.
+func (p *SlotPool) Commit(handle int, duration float64) (start, end float64) {
+	start = p.free[handle].at
+	end = start + duration
+	p.free[handle].at = end
+	heap.Fix(&p.free, handle)
+	return start, end
+}
+
+// Barrier raises every slot's free time to at least t — the synchronisation
+// point between consecutive stages of a job.
+func (p *SlotPool) Barrier(t float64) {
+	for i := range p.free {
+		if p.free[i].at < t {
+			p.free[i].at = t
+		}
+	}
+	heap.Init(&p.free)
+}
+
+// MaxEnd returns the latest free-time across slots — the completion time of
+// everything assigned so far.
+func (p *SlotPool) MaxEnd() float64 {
+	var m float64
+	for _, s := range p.free {
+		if s.at > m {
+			m = s.at
+		}
+	}
+	return m
+}
+
+type slot struct {
+	at  float64
+	seq int
+	tag int
+}
+
+type slotHeap []slot
+
+func (h slotHeap) Len() int { return len(h) }
+func (h slotHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h slotHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *slotHeap) Push(x interface{}) { *h = append(*h, x.(slot)) }
+func (h *slotHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	s := old[n-1]
+	*h = old[:n-1]
+	return s
+}

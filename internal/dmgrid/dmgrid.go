@@ -1,0 +1,127 @@
+// Package dmgrid models the trial dispersion-measure grid a single-pulse
+// search dedisperses at. Real searches (PRESTO's DDplan) use a piecewise
+// plan whose DM step grows with DM, because intra-channel smearing makes
+// fine steps pointless at high DM. The paper's DMSpacing feature — "the
+// interval between two consecutive DM values", rising from 0.01 at low DM
+// to 2.00 at very high DM — is read directly off this grid.
+package dmgrid
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Stage is one segment of a dedispersion plan: trial DMs from Lo (inclusive)
+// to Hi (exclusive) spaced Step apart.
+type Stage struct {
+	Lo, Hi float64
+	Step   float64
+}
+
+// Grid is a piecewise dedispersion plan. The zero value is unusable; build
+// grids with New or Default.
+type Grid struct {
+	stages []Stage
+	trials []float64 // ascending, precomputed
+}
+
+// Default returns the survey-style plan used throughout this repository.
+// Spacings span the paper's quoted range: 0.01 pc cm^-3 at the low end up to
+// 2.00 pc cm^-3 beyond DM 3000.
+func Default() *Grid {
+	g, err := New([]Stage{
+		{0, 30, 0.01},
+		{30, 100, 0.03},
+		{100, 300, 0.10},
+		{300, 600, 0.30},
+		{600, 1000, 0.50},
+		{1000, 3000, 1.00},
+		{3000, 10000, 2.00},
+	})
+	if err != nil {
+		panic(err) // the literal plan above is valid by construction
+	}
+	return g
+}
+
+// New validates and compiles a plan. Stages must be contiguous, ascending,
+// and have positive steps.
+func New(stages []Stage) (*Grid, error) {
+	if len(stages) == 0 {
+		return nil, fmt.Errorf("dmgrid: empty plan")
+	}
+	for i, s := range stages {
+		if s.Step <= 0 {
+			return nil, fmt.Errorf("dmgrid: stage %d has non-positive step %g", i, s.Step)
+		}
+		if s.Hi <= s.Lo {
+			return nil, fmt.Errorf("dmgrid: stage %d has empty range [%g,%g)", i, s.Lo, s.Hi)
+		}
+		if i > 0 && stages[i-1].Hi != s.Lo {
+			return nil, fmt.Errorf("dmgrid: stage %d not contiguous with previous", i)
+		}
+	}
+	g := &Grid{stages: append([]Stage(nil), stages...)}
+	for _, s := range g.stages {
+		n := int(math.Round((s.Hi - s.Lo) / s.Step))
+		for i := 0; i < n; i++ {
+			g.trials = append(g.trials, s.Lo+float64(i)*s.Step)
+		}
+	}
+	return g, nil
+}
+
+// NumTrials is the number of trial DMs in the plan.
+func (g *Grid) NumTrials() int { return len(g.trials) }
+
+// Trial returns the i-th trial DM (ascending order).
+func (g *Grid) Trial(i int) float64 { return g.trials[i] }
+
+// Trials returns the full ascending trial list. The slice is shared; callers
+// must not mutate it.
+func (g *Grid) Trials() []float64 { return g.trials }
+
+// Min and Max bound the plan.
+func (g *Grid) Min() float64 { return g.stages[0].Lo }
+
+// Max returns the exclusive upper bound of the plan.
+func (g *Grid) Max() float64 { return g.stages[len(g.stages)-1].Hi }
+
+// SpacingAt returns the DM step in force at the given DM — the DMSpacing
+// feature of Table 1. DMs outside the plan clamp to the nearest stage.
+func (g *Grid) SpacingAt(dm float64) float64 {
+	for _, s := range g.stages {
+		if dm < s.Hi {
+			return s.Step
+		}
+	}
+	return g.stages[len(g.stages)-1].Step
+}
+
+// IndexOf returns the index of the trial DM nearest to dm.
+func (g *Grid) IndexOf(dm float64) int {
+	i := sort.SearchFloat64s(g.trials, dm)
+	if i == 0 {
+		return 0
+	}
+	if i == len(g.trials) {
+		return len(g.trials) - 1
+	}
+	if dm-g.trials[i-1] <= g.trials[i]-dm {
+		return i - 1
+	}
+	return i
+}
+
+// Snap returns the trial DM nearest to dm.
+func (g *Grid) Snap(dm float64) float64 { return g.trials[g.IndexOf(dm)] }
+
+// Neighborhood returns the trial DMs within ±width of dm, in ascending order.
+// Synthetic pulse generation uses it to decide which trials an event appears
+// at.
+func (g *Grid) Neighborhood(dm, width float64) []float64 {
+	lo := sort.SearchFloat64s(g.trials, dm-width)
+	hi := sort.SearchFloat64s(g.trials, dm+width)
+	return g.trials[lo:hi]
+}

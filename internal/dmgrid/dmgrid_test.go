@@ -1,0 +1,120 @@
+package dmgrid
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDefaultSpansPaperRange(t *testing.T) {
+	g := Default()
+	if got := g.SpacingAt(5); got != 0.01 {
+		t.Errorf("SpacingAt(5) = %g, want 0.01", got)
+	}
+	if got := g.SpacingAt(5000); got != 2.0 {
+		t.Errorf("SpacingAt(5000) = %g, want 2.0", got)
+	}
+	if g.Min() != 0 || g.Max() != 10000 {
+		t.Errorf("bounds = [%g, %g)", g.Min(), g.Max())
+	}
+}
+
+func TestTrialsAscending(t *testing.T) {
+	g := Default()
+	trials := g.Trials()
+	if len(trials) == 0 {
+		t.Fatal("no trials")
+	}
+	for i := 1; i < len(trials); i++ {
+		if trials[i] <= trials[i-1] {
+			t.Fatalf("trials not ascending at %d: %g then %g", i, trials[i-1], trials[i])
+		}
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	cases := []struct {
+		name   string
+		stages []Stage
+	}{
+		{"empty", nil},
+		{"zero step", []Stage{{0, 10, 0}}},
+		{"inverted", []Stage{{10, 5, 1}}},
+		{"gap", []Stage{{0, 10, 1}, {20, 30, 1}}},
+	}
+	for _, tc := range cases {
+		if _, err := New(tc.stages); err == nil {
+			t.Errorf("%s: expected error", tc.name)
+		}
+	}
+}
+
+func TestIndexOfNearest(t *testing.T) {
+	g, err := New([]Stage{{0, 10, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		dm   float64
+		want int
+	}{{0, 0}, {0.4, 0}, {0.6, 1}, {9.4, 9}, {100, 9}, {-5, 0}} {
+		if got := g.IndexOf(tc.dm); got != tc.want {
+			t.Errorf("IndexOf(%g) = %d, want %d", tc.dm, got, tc.want)
+		}
+	}
+}
+
+// Property: Snap returns the true nearest trial (checked exhaustively
+// against the trial list).
+func TestSnapNearestProperty(t *testing.T) {
+	g := Default()
+	trials := g.Trials()
+	rng := rand.New(rand.NewSource(3))
+	f := func(raw float64) bool {
+		dm := math.Abs(math.Mod(raw, 9999))
+		snapped := g.Snap(dm)
+		best := math.Inf(1)
+		for _, tr := range trials {
+			if d := math.Abs(tr - dm); d < best {
+				best = d
+			}
+		}
+		return math.Abs(snapped-dm) <= best+1e-9
+	}
+	cfg := &quick.Config{MaxCount: 100, Rand: rng}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNeighborhood(t *testing.T) {
+	g, err := New([]Stage{{0, 100, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := g.Neighborhood(50, 3)
+	if len(n) == 0 {
+		t.Fatal("empty neighborhood")
+	}
+	for _, dm := range n {
+		if math.Abs(dm-50) > 3 {
+			t.Errorf("trial %g outside ±3 of 50", dm)
+		}
+	}
+	if len(n) < 5 {
+		t.Errorf("neighborhood too small: %v", n)
+	}
+}
+
+func TestSpacingMonotone(t *testing.T) {
+	g := Default()
+	prev := 0.0
+	for dm := 0.0; dm < 9000; dm += 10 {
+		s := g.SpacingAt(dm)
+		if s < prev {
+			t.Fatalf("spacing decreased at DM %g: %g < %g", dm, s, prev)
+		}
+		prev = s
+	}
+}

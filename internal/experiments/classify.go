@@ -1,0 +1,215 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"drapid/internal/ml"
+	"drapid/internal/ml/alm"
+	"drapid/internal/ml/eval"
+	"drapid/internal/ml/featsel"
+	"drapid/internal/ml/learners"
+	"drapid/internal/ml/smote"
+)
+
+// Trial is one classifier evaluation: a (dataset, scheme, learner,
+// feature-selection, imbalance-treatment) cell of the paper's 3,600-trial
+// grid, with per-fold outcomes.
+type Trial struct {
+	Dataset string
+	Scheme  alm.Scheme
+	Learner string
+	// FS is "None" or a featsel.Method abbreviation.
+	FS string
+	// SMOTE records whether training folds were oversampled.
+	SMOTE bool
+
+	// BinaryRecall and BinaryF1 are the collapsed pulsar-vs-not scores per
+	// fold (how ALM schemes are compared against binary classifiers).
+	BinaryRecall []float64
+	BinaryF1     []float64
+	// TrainSeconds are per-fold training times (Figure 5(b)/6 metric).
+	TrainSeconds []float64
+}
+
+// ClassifyConfig drives a block of classification trials.
+type ClassifyConfig struct {
+	Schemes  []alm.Scheme
+	Learners []string
+	// FSMethods lists feature selectors to apply; nil or ["None"] means no
+	// selection. "None" may be mixed with method abbreviations.
+	FSMethods []string
+	// TopK features kept after selection (the paper keeps 10).
+	TopK int
+	// SMOTE adds an oversampled replica of every trial when true.
+	SMOTE bool
+	// Folds for cross-validation (paper: 5).
+	Folds int
+	Seed  int64
+	// Learner construction options (tree counts, epochs).
+	Options learners.Options
+	// Census, when non-nil, receives per-instance correctness for RQ 4.
+	Census *Census
+}
+
+// DefaultClassifyConfig mirrors §6.2's protocol at laptop scale.
+func DefaultClassifyConfig(seed int64) ClassifyConfig {
+	return ClassifyConfig{
+		Schemes:   alm.Schemes(),
+		Learners:  learners.Names(),
+		FSMethods: []string{"None"},
+		TopK:      10,
+		Folds:     5,
+		Seed:      seed,
+		Options:   learners.Options{Seed: seed, ForestTrees: 60, MLPEpochs: 40},
+	}
+}
+
+// Census accumulates RQ 4's mis-classification record: for every positive
+// instance, which trials classified it correctly (collapsed to binary).
+type Census struct {
+	// Correct[instance][trial] = true when the trial's classifier got the
+	// instance right; instances are indexed by CV-set row.
+	Correct map[int]map[string]bool
+	// IsALM records whether a trial key belongs to a multiclass scheme.
+	IsALM map[string]bool
+}
+
+// NewCensus allocates an empty census.
+func NewCensus() *Census {
+	return &Census{Correct: map[int]map[string]bool{}, IsALM: map[string]bool{}}
+}
+
+// RunClassification executes the trial grid over one benchmark. The
+// benchmark is split 1/6 for feature selection and 5/6 for cross-validation
+// (the paper's six-fold protocol); the split is stratified on the binary
+// labels so instance identities align across schemes.
+func RunClassification(b *Benchmark, datasetName string, cfg ClassifyConfig) ([]Trial, error) {
+	if cfg.TopK <= 0 {
+		cfg.TopK = 10
+	}
+	if cfg.Folds <= 0 {
+		cfg.Folds = 5
+	}
+	if len(cfg.FSMethods) == 0 {
+		cfg.FSMethods = []string{"None"}
+	}
+	fsRows, cvRows := fsSplit(b, cfg.Seed)
+
+	var trials []Trial
+	smoteModes := []bool{false}
+	if cfg.SMOTE {
+		smoteModes = []bool{false, true}
+	}
+	for _, scheme := range cfg.Schemes {
+		full := b.Dataset(scheme)
+		fsSet := full.Subset(fsRows)
+		cvSet := full.Subset(cvRows)
+		for _, fsName := range cfg.FSMethods {
+			data := cvSet
+			if fsName != "None" {
+				method, err := parseFS(fsName)
+				if err != nil {
+					return nil, err
+				}
+				cols := featsel.TopK(method, fsSet, cfg.TopK)
+				data = cvSet.SelectFeatures(cols)
+			}
+			for _, learner := range cfg.Learners {
+				for _, useSMOTE := range smoteModes {
+					trial, err := runOne(data, datasetName, scheme, learner, fsName, useSMOTE, cfg)
+					if err != nil {
+						return nil, err
+					}
+					trials = append(trials, trial)
+				}
+			}
+		}
+	}
+	return trials, nil
+}
+
+// fsSplit reserves a stratified (on binary truth) sixth of the benchmark
+// for feature selection.
+func fsSplit(b *Benchmark, seed int64) (fsRows, cvRows []int) {
+	rng := rand.New(rand.NewSource(seed))
+	var pos, neg []int
+	for i, c := range b.Truth {
+		if alm.Scheme2.Label(b.Vectors[i], c) != alm.NonPulsar {
+			pos = append(pos, i)
+		} else {
+			neg = append(neg, i)
+		}
+	}
+	for _, group := range [][]int{pos, neg} {
+		group := append([]int(nil), group...)
+		rng.Shuffle(len(group), func(i, j int) { group[i], group[j] = group[j], group[i] })
+		cut := len(group) / 6
+		fsRows = append(fsRows, group[:cut]...)
+		cvRows = append(cvRows, group[cut:]...)
+	}
+	return fsRows, cvRows
+}
+
+func parseFS(name string) (featsel.Method, error) {
+	for _, m := range featsel.Methods() {
+		if m.String() == name {
+			return m, nil
+		}
+	}
+	return 0, fmt.Errorf("experiments: unknown feature selector %q", name)
+}
+
+// runOne cross-validates one grid cell.
+func runOne(data *ml.Dataset, datasetName string, scheme alm.Scheme, learner, fsName string, useSMOTE bool, cfg ClassifyConfig) (Trial, error) {
+	trial := Trial{Dataset: datasetName, Scheme: scheme, Learner: learner, FS: fsName, SMOTE: useSMOTE}
+	opt := eval.Options{Folds: cfg.Folds, Seed: cfg.Seed}
+	if useSMOTE {
+		opt.TrainTransform = func(train *ml.Dataset) *ml.Dataset {
+			return smote.Apply(train, smote.Options{Seed: cfg.Seed})
+		}
+	}
+	key := fmt.Sprintf("%s/%v/%s/%s/smote=%v", datasetName, scheme, learner, fsName, useSMOTE)
+	if cfg.Census != nil && fsName == "None" && !useSMOTE {
+		census := cfg.Census
+		census.IsALM[key] = scheme != alm.Scheme2
+		opt.PredictionHook = func(fold, row, actual, predicted int) {
+			if actual == alm.NonPulsar {
+				return
+			}
+			m := census.Correct[row]
+			if m == nil {
+				m = map[string]bool{}
+				census.Correct[row] = m
+			}
+			m[key] = predicted != alm.NonPulsar
+		}
+	}
+	results, err := eval.CrossValidate(func() ml.Classifier {
+		c, err := learners.New(learner, cfg.Options)
+		if err != nil {
+			panic(err) // learner names validated by callers/tests
+		}
+		return c
+	}, data, opt)
+	if err != nil {
+		return Trial{}, fmt.Errorf("%s: %w", key, err)
+	}
+	for _, r := range results {
+		trial.BinaryRecall = append(trial.BinaryRecall, r.Conf.BinaryRecall(alm.NonPulsar))
+		trial.BinaryF1 = append(trial.BinaryF1, r.Conf.BinaryF1(alm.NonPulsar))
+		trial.TrainSeconds = append(trial.TrainSeconds, r.TrainSeconds)
+	}
+	return trial, nil
+}
+
+// Select filters trials by predicate.
+func Select(trials []Trial, keep func(*Trial) bool) []Trial {
+	var out []Trial
+	for i := range trials {
+		if keep(&trials[i]) {
+			out = append(out, trials[i])
+		}
+	}
+	return out
+}

@@ -1,0 +1,176 @@
+package experiments
+
+import (
+	"testing"
+
+	"drapid/internal/ml/alm"
+	"drapid/internal/ml/learners"
+	"drapid/internal/synth"
+)
+
+func smallBench(t *testing.T, cfg BenchConfig) *Benchmark {
+	t.Helper()
+	b, err := BuildBenchmark(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestBuildBenchmarkPopulatesAllClasses(t *testing.T) {
+	b := smallBench(t, BenchConfig{
+		Survey: synth.PALFA(), TargetPositives: 120, TargetNegatives: 400,
+		RRATFraction: 0.3, Seed: 1,
+	})
+	if b.NumPositive() < 60 {
+		t.Fatalf("positives = %d, want >= 60", b.NumPositive())
+	}
+	if b.NumNegative() < 200 {
+		t.Fatalf("negatives = %d, want >= 200", b.NumNegative())
+	}
+	d := b.Dataset(alm.Scheme8)
+	counts := d.ClassCounts()
+	t.Logf("scheme 8 class counts: %v (classes %v)", counts, d.Classes)
+	empty := 0
+	for c := 1; c < len(counts); c++ {
+		if counts[c] == 0 {
+			empty++
+		}
+	}
+	if empty > 2 {
+		t.Errorf("%d of 7 positive classes empty: %v", empty, counts)
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBenchmarkDatasetSchemes(t *testing.T) {
+	b := smallBench(t, BenchConfig{
+		Survey: synth.GBT350Drift(), TargetPositives: 60, TargetNegatives: 200,
+		RRATFraction: 0.2, Seed: 2,
+	})
+	for _, s := range alm.Schemes() {
+		d := b.Dataset(s)
+		if d.NumClasses() != s.NumClasses() {
+			t.Errorf("scheme %v: %d classes", s, d.NumClasses())
+		}
+		if d.Len() != len(b.Vectors) {
+			t.Errorf("scheme %v: %d rows, want %d", s, d.Len(), len(b.Vectors))
+		}
+	}
+}
+
+func TestFig4Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fig4 shape test is slow")
+	}
+	cfg := DefaultFig4Config(3)
+	cfg.NumObservations = 48
+	cfg.ExecutorCounts = []int{1, 5, 10, 20}
+	cfg.ThreadCounts = []int{1, 5, 10, 20}
+	res, err := RunFig4(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", Fig4Markdown(res))
+	t.Logf("data bytes: %d, clusters: %d, execMemMB: %d", res.DataBytes, res.NumClusters, res.ExecutorMemMB)
+
+	d := map[int]float64{}
+	for _, p := range res.DRAPID {
+		d[p.N] = p.Seconds
+	}
+	m := map[int]float64{}
+	for _, p := range res.RAPIDMT {
+		m[p.N] = p.Seconds
+	}
+	// RQ 1: D-RAPID scales; the knee is at 5 executors.
+	if !(d[5] < d[1]) {
+		t.Errorf("no speedup 1→5 executors: %g vs %g", d[1], d[5])
+	}
+	if !(d[20] < d[5]) {
+		t.Errorf("no speedup 5→20 executors: %g vs %g", d[5], d[20])
+	}
+	knee := (d[1] - d[5]) / 4
+	tail := (d[5] - d[20]) / 15
+	if !(tail < knee) {
+		t.Errorf("no knee at 5: per-executor gain before %g, after %g", knee, tail)
+	}
+	// RQ 2: D-RAPID beats the multithreaded baseline at N >= 5, but not
+	// with a single starved executor.
+	for _, n := range []int{5, 10, 20} {
+		if !(d[n] < m[n]) {
+			t.Errorf("D-RAPID(%d)=%g not faster than MT(%d)=%g", n, d[n], n, m[n])
+		}
+	}
+	if d[1] < m[1] {
+		t.Errorf("single starved executor (%g) should not beat MT-1 (%g)", d[1], m[1])
+	}
+	// Both implementations must produce identical record counts.
+	for _, p := range res.DRAPID {
+		if p.Records != res.RAPIDMT[0].Records {
+			t.Errorf("record mismatch: %d vs %d", p.Records, res.RAPIDMT[0].Records)
+		}
+	}
+}
+
+func TestClassificationTrialGridSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("classification grid is slow")
+	}
+	b := smallBench(t, BenchConfig{
+		Survey: synth.PALFA(), TargetPositives: 80, TargetNegatives: 300,
+		RRATFraction: 0.25, Seed: 4,
+	})
+	cfg := ClassifyConfig{
+		Schemes:  []alm.Scheme{alm.Scheme2, alm.Scheme8},
+		Learners: []string{"RF", "J48"},
+		Folds:    3,
+		Seed:     4,
+		Options:  learners.Options{Seed: 4, ForestTrees: 15, MLPEpochs: 10},
+	}
+	trials, err := RunClassification(b, "PALFA", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trials) != 4 {
+		t.Fatalf("trials = %d, want 4", len(trials))
+	}
+	for _, tr := range trials {
+		if len(tr.TrainSeconds) != 3 || len(tr.BinaryRecall) != 3 {
+			t.Errorf("%+v missing folds", tr)
+		}
+		if rec := Mean(tr.BinaryRecall); rec < 0.5 {
+			t.Errorf("%s/%v recall %.3f is implausibly low", tr.Learner, tr.Scheme, rec)
+		}
+	}
+}
+
+func TestBoxStats(t *testing.T) {
+	b := Box([]float64{4, 1, 3, 2, 5})
+	if b.Min != 1 || b.Max != 5 || b.Median != 3 || b.N != 5 {
+		t.Errorf("box = %+v", b)
+	}
+	if b.Q1 != 2 || b.Q3 != 4 {
+		t.Errorf("quartiles = %g, %g", b.Q1, b.Q3)
+	}
+	if z := Box(nil); z.N != 0 {
+		t.Error("empty box")
+	}
+}
+
+func TestRQ4Census(t *testing.T) {
+	c := NewCensus()
+	c.IsALM["alm"] = true
+	c.IsALM["bin"] = false
+	// Instance 1: everyone right (not hard). Instance 2: only ALM right.
+	c.Correct[1] = map[string]bool{"alm": true, "bin": true}
+	c.Correct[2] = map[string]bool{"alm": true, "bin": false}
+	res := RQ4(c, 0.5)
+	if res.HardInstances != 1 {
+		t.Fatalf("hard = %d, want 1", res.HardInstances)
+	}
+	if res.ALMCorrectRate != 1 || res.BinaryCorrectRate != 0 {
+		t.Errorf("rates: alm=%g bin=%g", res.ALMCorrectRate, res.BinaryCorrectRate)
+	}
+}

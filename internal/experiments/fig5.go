@@ -1,0 +1,154 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"drapid/internal/ml/alm"
+)
+
+// Fig5Result holds the classification grid of Figure 5: per (dataset,
+// scheme, learner), collapsed Recall/F-Measure and training-time boxplots,
+// plus the RQ 4 census.
+type Fig5Result struct {
+	Trials []Trial
+	Census *Census
+}
+
+// RunFig5 executes the no-feature-selection grid (the 600-trial subset the
+// paper reports in §6.2.1) over both benchmarks.
+func RunFig5(gbt, palfa *Benchmark, cfg ClassifyConfig) (*Fig5Result, error) {
+	census := NewCensus()
+	cfg.FSMethods = []string{"None"}
+	cfg.Census = census
+	out := &Fig5Result{Census: census}
+	for _, b := range []struct {
+		bench *Benchmark
+		name  string
+	}{{gbt, "GBT350Drift"}, {palfa, "PALFA"}} {
+		trials, err := RunClassification(b.bench, b.name, cfg)
+		if err != nil {
+			return nil, err
+		}
+		out.Trials = append(out.Trials, trials...)
+	}
+	return out, nil
+}
+
+// Cell summarises one boxplot cell of the figure.
+type Cell struct {
+	Dataset string
+	Scheme  alm.Scheme
+	Learner string
+	Recall  BoxStats
+	F1      BoxStats
+	Train   BoxStats
+}
+
+// Cells aggregates trials (no-SMOTE, no-FS rows) into figure cells.
+func (r *Fig5Result) Cells() []Cell {
+	var out []Cell
+	for i := range r.Trials {
+		t := &r.Trials[i]
+		if t.SMOTE || t.FS != "None" {
+			continue
+		}
+		out = append(out, Cell{
+			Dataset: t.Dataset,
+			Scheme:  t.Scheme,
+			Learner: t.Learner,
+			Recall:  Box(t.BinaryRecall),
+			F1:      Box(t.BinaryF1),
+			Train:   Box(t.TrainSeconds),
+		})
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Dataset != out[b].Dataset {
+			return out[a].Dataset < out[b].Dataset
+		}
+		if out[a].Scheme != out[b].Scheme {
+			return out[a].Scheme < out[b].Scheme
+		}
+		return out[a].Learner < out[b].Learner
+	})
+	return out
+}
+
+// Fig5Markdown renders both panels as tables: (a) Recall/F-Measure, (b)
+// training times.
+func Fig5Markdown(r *Fig5Result) string {
+	var rowsA, rowsB [][]string
+	for _, c := range r.Cells() {
+		rowsA = append(rowsA, []string{
+			c.Dataset, c.Scheme.String(), c.Learner,
+			fmt.Sprintf("%.3f", c.Recall.Median),
+			fmt.Sprintf("%.3f", c.F1.Median),
+			fmt.Sprintf("%.3f–%.3f", c.Recall.Min, c.Recall.Max),
+		})
+		rowsB = append(rowsB, []string{
+			c.Dataset, c.Scheme.String(), c.Learner,
+			FormatBox(c.Train),
+		})
+	}
+	return "### Figure 5(a): Recall / F-Measure (collapsed to pulsar-vs-not)\n\n" +
+		MarkdownTable([]string{"dataset", "scheme", "learner", "recall (median)", "f1 (median)", "recall range"}, rowsA) +
+		"\n### Figure 5(b): training times (seconds, q1/median/q3)\n\n" +
+		MarkdownTable([]string{"dataset", "scheme", "learner", "train time"}, rowsB)
+}
+
+// RQ4Result is the mis-classification census analysis: how much likelier
+// ALM classifiers are to catch the instances most classifiers miss.
+type RQ4Result struct {
+	// HardInstances is the number of positive instances missed by at
+	// least 75% of classifiers.
+	HardInstances int
+	// ALMCorrectRate and BinaryCorrectRate are correct-classification
+	// rates on those instances.
+	ALMCorrectRate    float64
+	BinaryCorrectRate float64
+	// Advantage is ALMCorrectRate / BinaryCorrectRate (paper: 2–3×).
+	Advantage float64
+}
+
+// RQ4 analyses the census for the most mis-classified positive instances.
+func RQ4(c *Census, missThreshold float64) RQ4Result {
+	var res RQ4Result
+	var almCorrect, almTotal, binCorrect, binTotal int
+	for _, verdicts := range c.Correct {
+		misses := 0
+		for _, ok := range verdicts {
+			if !ok {
+				misses++
+			}
+		}
+		if len(verdicts) == 0 || float64(misses)/float64(len(verdicts)) < missThreshold {
+			continue
+		}
+		res.HardInstances++
+		for key, ok := range verdicts {
+			if c.IsALM[key] {
+				almTotal++
+				if ok {
+					almCorrect++
+				}
+			} else {
+				binTotal++
+				if ok {
+					binCorrect++
+				}
+			}
+		}
+	}
+	if almTotal > 0 {
+		res.ALMCorrectRate = float64(almCorrect) / float64(almTotal)
+	}
+	if binTotal > 0 {
+		res.BinaryCorrectRate = float64(binCorrect) / float64(binTotal)
+	}
+	if res.BinaryCorrectRate > 0 {
+		res.Advantage = res.ALMCorrectRate / res.BinaryCorrectRate
+	} else if res.ALMCorrectRate > 0 {
+		res.Advantage = float64(res.HardInstances) // unbounded: binary got none
+	}
+	return res
+}

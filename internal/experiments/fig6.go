@@ -1,0 +1,95 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"drapid/internal/ml/alm"
+)
+
+// Fig6Result holds the feature-selection grid of Figure 6: RF and MPN
+// training times across the six FS settings (None + Table 4's five), per
+// ALM scheme and dataset.
+type Fig6Result struct {
+	Trials []Trial
+}
+
+// RunFig6 executes the feature-selection grid over both benchmarks for the
+// two learners the paper plots (RF and MPN).
+func RunFig6(gbt, palfa *Benchmark, cfg ClassifyConfig) (*Fig6Result, error) {
+	cfg.Learners = []string{"RF", "MPN"}
+	cfg.FSMethods = []string{"None", "IG", "GR", "SU", "Cor", "1R"}
+	out := &Fig6Result{}
+	for _, b := range []struct {
+		bench *Benchmark
+		name  string
+	}{{gbt, "GBT350Drift"}, {palfa, "PALFA"}} {
+		trials, err := RunClassification(b.bench, b.name, cfg)
+		if err != nil {
+			return nil, err
+		}
+		out.Trials = append(out.Trials, trials...)
+	}
+	return out, nil
+}
+
+// FSCell is one (dataset, scheme, learner, FS) boxplot cell.
+type FSCell struct {
+	Dataset string
+	Scheme  alm.Scheme
+	Learner string
+	FS      string
+	Train   BoxStats
+	Recall  BoxStats
+	F1      BoxStats
+}
+
+// Cells aggregates the grid.
+func (r *Fig6Result) Cells() []FSCell {
+	var out []FSCell
+	for i := range r.Trials {
+		t := &r.Trials[i]
+		if t.SMOTE {
+			continue
+		}
+		out = append(out, FSCell{
+			Dataset: t.Dataset, Scheme: t.Scheme, Learner: t.Learner, FS: t.FS,
+			Train: Box(t.TrainSeconds), Recall: Box(t.BinaryRecall), F1: Box(t.BinaryF1),
+		})
+	}
+	order := map[string]int{"None": 0, "IG": 1, "GR": 2, "SU": 3, "Cor": 4, "1R": 5}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Learner != out[b].Learner {
+			return out[a].Learner < out[b].Learner
+		}
+		if out[a].Dataset != out[b].Dataset {
+			return out[a].Dataset < out[b].Dataset
+		}
+		if out[a].Scheme != out[b].Scheme {
+			return out[a].Scheme < out[b].Scheme
+		}
+		return order[out[a].FS] < order[out[b].FS]
+	})
+	return out
+}
+
+// Fig6Markdown renders panels (a) RF and (b) MPN.
+func Fig6Markdown(r *Fig6Result) string {
+	render := func(learner string) string {
+		var rows [][]string
+		for _, c := range r.Cells() {
+			if c.Learner != learner {
+				continue
+			}
+			rows = append(rows, []string{
+				c.Dataset, c.Scheme.String(), c.FS,
+				FormatBox(c.Train),
+				fmt.Sprintf("%.3f", c.Recall.Median),
+				fmt.Sprintf("%.3f", c.F1.Median),
+			})
+		}
+		return MarkdownTable([]string{"dataset", "scheme", "FS", "train time (q1/med/q3 s)", "recall", "f1"}, rows)
+	}
+	return "### Figure 6(a): RF training times by feature selection\n\n" + render("RF") +
+		"\n### Figure 6(b): MPN training times by feature selection\n\n" + render("MPN")
+}

@@ -1,0 +1,162 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"drapid/internal/ml/alm"
+)
+
+// Headline aggregates the paper's abstract-level claims from the figure
+// runs so EXPERIMENTS.md can report paper-vs-measured side by side.
+type Headline struct {
+	// MaxIdentificationSpeedup is D-RAPID's best elapsed-time advantage
+	// over multithreaded RAPID at matching parallelism (paper: up to 5×,
+	// i.e. D-RAPID in 22–37% of the MT time for ≥5 executors).
+	MaxIdentificationSpeedup float64
+	// DRAPIDRatioRange is [min,max] of t_D/t_MT across N ≥ 5.
+	DRAPIDRatioLo, DRAPIDRatioHi float64
+	// ALMTrainReduction is the fractional RF training-time saving of the
+	// best ALM scheme versus binary (paper: 47%, scheme 8 up to 56%).
+	ALMTrainReduction float64
+	// ALMRecallDelta and ALMF1Delta are binary-minus-ALM score gaps
+	// (paper: within 2%).
+	ALMRecallDelta float64
+	ALMF1Delta     float64
+	// IGTrainReduction is the additional saving from InfoGain on ALM RF
+	// (paper: ~7%, total 54%).
+	IGTrainReduction float64
+	// TotalTrainReduction combines ALM and IG versus binary RF without FS.
+	TotalTrainReduction float64
+	// BestRecall and BestF1 are the RF + ALM + IG scores (paper: 0.96 /
+	// 0.95).
+	BestRecall float64
+	BestF1     float64
+}
+
+// ComputeHeadline derives the aggregate numbers from the three figure
+// runs. fig6 may be nil (IG numbers zero out).
+func ComputeHeadline(fig4 *Fig4Result, fig5 *Fig5Result, fig6 *Fig6Result) Headline {
+	var h Headline
+	if fig4 != nil {
+		h.DRAPIDRatioLo, h.DRAPIDRatioHi = 1, 0
+		for n, s := range fig4.Speedup() {
+			if s > h.MaxIdentificationSpeedup {
+				h.MaxIdentificationSpeedup = s
+			}
+			if n >= 5 {
+				ratio := 1 / s
+				if ratio < h.DRAPIDRatioLo {
+					h.DRAPIDRatioLo = ratio
+				}
+				if ratio > h.DRAPIDRatioHi {
+					h.DRAPIDRatioHi = ratio
+				}
+			}
+		}
+	}
+	if fig5 != nil {
+		binTrain := meanOver(fig5.Trials, func(t *Trial) bool {
+			return t.Learner == "RF" && t.Scheme == alm.Scheme2 && !t.SMOTE
+		}, trainOf)
+		almTrain := bestALMTrain(fig5.Trials, "RF")
+		if binTrain > 0 {
+			h.ALMTrainReduction = 1 - almTrain/binTrain
+		}
+		h.ALMRecallDelta = meanOver(fig5.Trials, func(t *Trial) bool {
+			return t.Learner == "RF" && t.Scheme == alm.Scheme2 && !t.SMOTE
+		}, recallOf) - bestALMScore(fig5.Trials, "RF", recallOf)
+		h.ALMF1Delta = meanOver(fig5.Trials, func(t *Trial) bool {
+			return t.Learner == "RF" && t.Scheme == alm.Scheme2 && !t.SMOTE
+		}, f1Of) - bestALMScore(fig5.Trials, "RF", f1Of)
+	}
+	if fig6 != nil {
+		noneTrain := meanOver(fig6.Trials, func(t *Trial) bool {
+			return t.Learner == "RF" && t.FS == "None" && t.Scheme != alm.Scheme2 && !t.SMOTE
+		}, trainOf)
+		igTrain := meanOver(fig6.Trials, func(t *Trial) bool {
+			return t.Learner == "RF" && t.FS == "IG" && t.Scheme != alm.Scheme2 && !t.SMOTE
+		}, trainOf)
+		if noneTrain > 0 && igTrain > 0 {
+			h.IGTrainReduction = 1 - igTrain/noneTrain
+		}
+		binNone := meanOver(fig6.Trials, func(t *Trial) bool {
+			return t.Learner == "RF" && t.FS == "None" && t.Scheme == alm.Scheme2 && !t.SMOTE
+		}, trainOf)
+		if binNone > 0 && igTrain > 0 {
+			h.TotalTrainReduction = 1 - igTrain/binNone
+		}
+		h.BestRecall = meanOver(fig6.Trials, func(t *Trial) bool {
+			return t.Learner == "RF" && t.FS == "IG" && t.Scheme != alm.Scheme2 && !t.SMOTE
+		}, recallOf)
+		h.BestF1 = meanOver(fig6.Trials, func(t *Trial) bool {
+			return t.Learner == "RF" && t.FS == "IG" && t.Scheme != alm.Scheme2 && !t.SMOTE
+		}, f1Of)
+	}
+	return h
+}
+
+func trainOf(t *Trial) float64  { return Mean(t.TrainSeconds) }
+func recallOf(t *Trial) float64 { return Mean(t.BinaryRecall) }
+func f1Of(t *Trial) float64     { return Mean(t.BinaryF1) }
+
+func meanOver(trials []Trial, keep func(*Trial) bool, metric func(*Trial) float64) float64 {
+	var vals []float64
+	for i := range trials {
+		if keep(&trials[i]) {
+			vals = append(vals, metric(&trials[i]))
+		}
+	}
+	return Mean(vals)
+}
+
+// bestALMTrain returns the fastest mean training time among ALM schemes
+// for a learner (the paper quotes scheme 8 as the fastest for RF).
+func bestALMTrain(trials []Trial, learner string) float64 {
+	best := 0.0
+	found := false
+	for _, s := range []alm.Scheme{alm.Scheme4, alm.Scheme7, alm.Scheme8} {
+		v := meanOver(trials, func(t *Trial) bool {
+			return t.Learner == learner && t.Scheme == s && !t.SMOTE
+		}, trainOf)
+		if v > 0 && (!found || v < best) {
+			best = v
+			found = true
+		}
+	}
+	return best
+}
+
+func bestALMScore(trials []Trial, learner string, metric func(*Trial) float64) float64 {
+	best := 0.0
+	for _, s := range []alm.Scheme{alm.Scheme4, alm.Scheme7, alm.Scheme8} {
+		v := meanOver(trials, func(t *Trial) bool {
+			return t.Learner == learner && t.Scheme == s && !t.SMOTE
+		}, metric)
+		if v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+// HeadlineMarkdown renders the paper-vs-measured comparison table.
+func HeadlineMarkdown(h Headline, rq4 *RQ4Result) string {
+	rows := [][]string{
+		{"D-RAPID max speedup vs multithreaded", "up to 5×", fmt.Sprintf("%.1f×", h.MaxIdentificationSpeedup)},
+		{"D-RAPID time as share of MT (N ≥ 5)", "22–37%", fmt.Sprintf("%.0f%%–%.0f%%", h.DRAPIDRatioLo*100, h.DRAPIDRatioHi*100)},
+		{"ALM RF training-time reduction", "47% (scheme 8: 56%)", fmt.Sprintf("%.0f%%", h.ALMTrainReduction*100)},
+		{"ALM RF Recall/F gap vs binary", "< 2%", fmt.Sprintf("%.1f%% / %.1f%%", h.ALMRecallDelta*100, h.ALMF1Delta*100)},
+		{"InfoGain extra RF saving", "≈ 7%", fmt.Sprintf("%.0f%%", h.IGTrainReduction*100)},
+		{"Total (ALM + IG) vs binary RF", "54%", fmt.Sprintf("%.0f%%", h.TotalTrainReduction*100)},
+		{"RF + ALM + IG Recall / F-Measure", "0.96 / 0.95", fmt.Sprintf("%.2f / %.2f", h.BestRecall, h.BestF1)},
+	}
+	if rq4 != nil {
+		rows = append(rows, []string{"ALM advantage on hard instances (RQ 4)", "2–3×",
+			fmt.Sprintf("%.1f× (%d hard instances)", rq4.Advantage, rq4.HardInstances)})
+	}
+	var b strings.Builder
+	b.WriteString("### Headline: paper vs measured\n\n")
+	b.WriteString(MarkdownTable([]string{"claim", "paper", "measured"}, rows))
+	return b.String()
+}

@@ -1,0 +1,154 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"drapid/internal/ml/alm"
+)
+
+func TestQuantileInterpolation(t *testing.T) {
+	b := Box([]float64{1, 2, 3, 4})
+	if b.Q1 != 1.75 || b.Q3 != 3.25 || b.Median != 2.5 {
+		t.Errorf("box of 1..4: %+v", b)
+	}
+	one := Box([]float64{5})
+	if one.Min != 5 || one.Max != 5 || one.Median != 5 {
+		t.Errorf("singleton box: %+v", one)
+	}
+}
+
+// Property: five-number summaries are ordered and bounded by the data.
+func TestBoxOrderingProperty(t *testing.T) {
+	f := func(raw []int16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, v := range raw {
+			xs[i] = float64(v)
+		}
+		b := Box(xs)
+		return b.Min <= b.Q1 && b.Q1 <= b.Median && b.Median <= b.Q3 && b.Q3 <= b.Max
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMarkdownTableShape(t *testing.T) {
+	out := MarkdownTable([]string{"a", "b"}, [][]string{{"1", "2"}, {"3", "4"}})
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("table has %d lines", len(lines))
+	}
+	if !strings.HasPrefix(lines[1], "| ---") {
+		t.Errorf("separator row: %q", lines[1])
+	}
+}
+
+func TestMeanAndFormat(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Error("mean of nothing")
+	}
+	if Mean([]float64{1, 2, 3}) != 2 {
+		t.Error("mean wrong")
+	}
+	for _, tc := range []struct {
+		in   float64
+		want string
+	}{{123.4, "123"}, {1.234, "1.23"}, {0.0012345, "0.0012"}} {
+		if got := FormatSeconds(tc.in); got != tc.want {
+			t.Errorf("FormatSeconds(%g) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}
+
+func fakeTrials() []Trial {
+	mk := func(ds string, s alm.Scheme, learner string, fs string, train, rec float64) Trial {
+		return Trial{
+			Dataset: ds, Scheme: s, Learner: learner, FS: fs,
+			TrainSeconds: []float64{train, train * 1.1},
+			BinaryRecall: []float64{rec, rec},
+			BinaryF1:     []float64{rec - 0.01, rec - 0.01},
+		}
+	}
+	return []Trial{
+		mk("GBT", alm.Scheme2, "RF", "None", 1.00, 0.95),
+		mk("GBT", alm.Scheme8, "RF", "None", 0.50, 0.94),
+		mk("GBT", alm.Scheme4, "RF", "None", 0.70, 0.93),
+		mk("GBT", alm.Scheme7, "RF", "None", 0.60, 0.93),
+	}
+}
+
+func TestHeadlineFromKnownTrials(t *testing.T) {
+	f5 := &Fig5Result{Trials: fakeTrials()}
+	h := ComputeHeadline(nil, f5, nil)
+	// Binary RF mean train = 1.05; best ALM (scheme 8) = 0.525 → 50%.
+	if h.ALMTrainReduction < 0.45 || h.ALMTrainReduction > 0.55 {
+		t.Errorf("ALMTrainReduction = %g, want ≈ 0.5", h.ALMTrainReduction)
+	}
+	// Recall gap: binary 0.95 vs best ALM 0.94 → 0.01.
+	if h.ALMRecallDelta < 0.0 || h.ALMRecallDelta > 0.02 {
+		t.Errorf("ALMRecallDelta = %g", h.ALMRecallDelta)
+	}
+}
+
+func TestHeadlineFig6Fields(t *testing.T) {
+	trials := []Trial{
+		{Dataset: "GBT", Scheme: alm.Scheme8, Learner: "RF", FS: "None", TrainSeconds: []float64{1.0}, BinaryRecall: []float64{0.9}, BinaryF1: []float64{0.9}},
+		{Dataset: "GBT", Scheme: alm.Scheme8, Learner: "RF", FS: "IG", TrainSeconds: []float64{0.8}, BinaryRecall: []float64{0.96}, BinaryF1: []float64{0.95}},
+		{Dataset: "GBT", Scheme: alm.Scheme2, Learner: "RF", FS: "None", TrainSeconds: []float64{2.0}, BinaryRecall: []float64{0.9}, BinaryF1: []float64{0.9}},
+	}
+	h := ComputeHeadline(nil, nil, &Fig6Result{Trials: trials})
+	if h.IGTrainReduction < 0.19 || h.IGTrainReduction > 0.21 {
+		t.Errorf("IGTrainReduction = %g, want 0.2", h.IGTrainReduction)
+	}
+	if h.TotalTrainReduction < 0.59 || h.TotalTrainReduction > 0.61 {
+		t.Errorf("TotalTrainReduction = %g, want 0.6", h.TotalTrainReduction)
+	}
+	if h.BestRecall != 0.96 || h.BestF1 != 0.95 {
+		t.Errorf("best scores %g/%g", h.BestRecall, h.BestF1)
+	}
+	if !strings.Contains(HeadlineMarkdown(h, nil), "0.96 / 0.95") {
+		t.Error("markdown missing best scores")
+	}
+}
+
+func TestSelectFilters(t *testing.T) {
+	trials := fakeTrials()
+	rf8 := Select(trials, func(tr *Trial) bool { return tr.Scheme == alm.Scheme8 })
+	if len(rf8) != 1 || rf8[0].Scheme != alm.Scheme8 {
+		t.Errorf("select: %+v", rf8)
+	}
+}
+
+func TestFig5CellsSortedAndRendered(t *testing.T) {
+	r := &Fig5Result{Trials: fakeTrials()}
+	cells := r.Cells()
+	if len(cells) != 4 {
+		t.Fatalf("cells = %d", len(cells))
+	}
+	for i := 1; i < len(cells); i++ {
+		if cells[i].Scheme < cells[i-1].Scheme {
+			t.Error("cells not sorted by scheme")
+		}
+	}
+	md := Fig5Markdown(r)
+	if !strings.Contains(md, "Figure 5(a)") || !strings.Contains(md, "Figure 5(b)") {
+		t.Error("markdown panels missing")
+	}
+}
+
+func TestFig6CellsOrderFSSettings(t *testing.T) {
+	r := &Fig6Result{Trials: []Trial{
+		{Dataset: "GBT", Scheme: alm.Scheme8, Learner: "RF", FS: "1R", TrainSeconds: []float64{1}},
+		{Dataset: "GBT", Scheme: alm.Scheme8, Learner: "RF", FS: "None", TrainSeconds: []float64{1}},
+		{Dataset: "GBT", Scheme: alm.Scheme8, Learner: "RF", FS: "IG", TrainSeconds: []float64{1}},
+	}}
+	cells := r.Cells()
+	if cells[0].FS != "None" || cells[1].FS != "IG" || cells[2].FS != "1R" {
+		t.Errorf("FS order: %s %s %s", cells[0].FS, cells[1].FS, cells[2].FS)
+	}
+}

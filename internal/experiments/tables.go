@@ -1,0 +1,74 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"drapid/internal/features"
+	"drapid/internal/ml/alm"
+	"drapid/internal/ml/featsel"
+	"drapid/internal/ml/learners"
+)
+
+// TablesMarkdown renders the paper's five descriptive tables from the
+// implementation itself, so the report can never drift from the code.
+func TablesMarkdown() string {
+	var b strings.Builder
+
+	b.WriteString("### Table 1: additional features extracted per cluster\n\n")
+	t1 := map[string]string{
+		"StartTime":   "The arrival time of the first SPE in the cluster.",
+		"StopTime":    "The arrival time of the last SPE in the cluster.",
+		"ClusterRank": "An SNR-based ranking of the cluster compared to others in the same observation.",
+		"PulseRank":   "The rank of a peak compared to other peaks in the cluster, ordered by SNRMax.",
+		"DMSpacing":   "The interval between two consecutive DM values.",
+		"SNRRatio":    "The ratio of the SNR of the first point in the peak to the maximum SNR.",
+	}
+	var rows [][]string
+	for _, n := range []string{"StartTime", "StopTime", "ClusterRank", "PulseRank", "DMSpacing", "SNRRatio"} {
+		idx := -1
+		for i, name := range features.Names {
+			if name == n {
+				idx = i
+			}
+		}
+		rows = append(rows, []string{n, fmt.Sprintf("feature #%d", idx), t1[n]})
+	}
+	b.WriteString(MarkdownTable([]string{"feature", "index", "description"}, rows))
+
+	b.WriteString("\n### Table 2: ALM thresholds\n\n")
+	b.WriteString(MarkdownTable([]string{"feature", "threshold", "label"}, [][]string{
+		{"SNRPeakDM", fmt.Sprintf("[0, %g)", alm.NearMidDM), "near"},
+		{"SNRPeakDM", fmt.Sprintf("[%g, %g)", alm.NearMidDM, alm.MidFarDM), "mid"},
+		{"SNRPeakDM", fmt.Sprintf("[%g, ∞)", alm.MidFarDM), "far"},
+		{"AvgSNR", fmt.Sprintf("[0, %g]", alm.WeakStrongSNR), "weak"},
+		{"AvgSNR", fmt.Sprintf("(%g, ∞)", alm.WeakStrongSNR), "strong"},
+	}))
+
+	b.WriteString("\n### Table 3: multiclass labeling schemes\n\n")
+	rows = rows[:0]
+	for _, s := range alm.Schemes() {
+		rows = append(rows, []string{s.String(), strings.Join(s.Classes(), ", ")})
+	}
+	b.WriteString(MarkdownTable([]string{"scheme", "classes"}, rows))
+
+	b.WriteString("\n### Table 4: feature selection algorithms\n\n")
+	t4 := map[string]string{
+		"IG": "Entropy Measure", "GR": "Entropy Measure", "SU": "Entropy Measure",
+		"Cor": "Linear Correlation", "1R": "Machine Learning",
+	}
+	rows = rows[:0]
+	for _, m := range featsel.Methods() {
+		rows = append(rows, []string{m.String(), t4[m.String()]})
+	}
+	b.WriteString(MarkdownTable([]string{"FS algorithm", "type"}, rows))
+
+	b.WriteString("\n### Table 5: machine learning algorithms\n\n")
+	rows = rows[:0]
+	for _, n := range learners.Names() {
+		rows = append(rows, []string{n, learners.Types[n]})
+	}
+	b.WriteString(MarkdownTable([]string{"learner", "type"}, rows))
+
+	return b.String()
+}

@@ -1,0 +1,51 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTuningSweepShape(t *testing.T) {
+	results := RunTuning(5)
+	if len(results) != 25 {
+		t.Fatalf("sweep cells = %d, want 5x5", len(results))
+	}
+	best := BestTuning(results)
+	if best.Found == 0 {
+		t.Fatal("no parameter combination identified any difficult pulse")
+	}
+	// The paper's tuned M = 0.5 must be competitive: at the winning
+	// weight, the largest threshold should find at least as many pulses
+	// as reported by the winner minus fragmentation noise.
+	for _, r := range results {
+		if r.Weight == best.Weight && r.SlopeM == 0.5 && r.Found == 0 {
+			t.Errorf("M=0.5 found nothing at the winning weight")
+		}
+	}
+}
+
+func TestTuningMarkdown(t *testing.T) {
+	md := TuningMarkdown(RunTuning(5))
+	if !strings.Contains(md, "winner: w=") {
+		t.Error("winner line missing")
+	}
+	if !strings.Contains(md, "0.75") {
+		t.Error("sweep grid missing the paper's weights")
+	}
+}
+
+func TestTablesMarkdownComplete(t *testing.T) {
+	md := TablesMarkdown()
+	for _, want := range []string{
+		"Table 1", "Table 2", "Table 3", "Table 4", "Table 5",
+		"SNRRatio", "SNRPeakDM", "Non-pulsar", "RRAT", "InfoGain",
+	} {
+		if !strings.Contains(md, want) && !strings.Contains(md, strings.ToUpper(want)) {
+			// Table 4 uses abbreviations; accept IG for InfoGain.
+			if want == "InfoGain" && strings.Contains(md, "IG") {
+				continue
+			}
+			t.Errorf("tables markdown missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,192 @@
+package features
+
+import (
+	"math"
+	"testing"
+
+	"drapid/internal/core"
+	"drapid/internal/dmgrid"
+	"drapid/internal/spe"
+	"drapid/internal/synth"
+)
+
+func cfg() Config {
+	return Config{Grid: dmgrid.Default(), BandMHz: 300, FreqGHz: 1.4}
+}
+
+// pulseFixture builds a clean dedispersion-shaped pulse and runs the search
+// over it, returning the cluster events (DM-sorted) and the found pulse.
+func pulseFixture(t *testing.T) ([]spe.SPE, core.Pulse, *spe.Cluster) {
+	t.Helper()
+	g := synth.NewGenerator(synth.PALFA(), 5)
+	p := synth.Pulsar{PeriodSec: 10, DM: 120, WidthMs: 5, PeakSNR: 25, Sporadic: 1}
+	obs, _ := g.Observe(spe.Key{Dataset: "PALFA"}, synth.Sources{Pulsars: []synth.Pulsar{p}})
+	if len(obs.Events) < 10 {
+		t.Fatal("fixture generated too few events")
+	}
+	events := core.SortedEvents(obs.Events)
+	pulses := core.Search(events, core.DefaultParams())
+	if len(pulses) == 0 {
+		t.Fatal("no pulse found in fixture")
+	}
+	best := pulses[0]
+	for _, pl := range pulses {
+		if events[pl.Peak].SNR > events[best.Peak].SNR {
+			best = pl
+		}
+	}
+	cl := spe.Summarize(0, obs.Key, events)
+	cl.Rank = 1
+	return events, best, cl
+}
+
+func TestCountIs22(t *testing.T) {
+	if Count != 22 {
+		t.Fatalf("feature count = %d, want 22 (16 base + Table 1's 6)", Count)
+	}
+	if len(Names) != Count {
+		t.Fatalf("Names has %d entries", len(Names))
+	}
+	seen := map[string]bool{}
+	for _, n := range Names {
+		if n == "" || seen[n] {
+			t.Errorf("bad or duplicate name %q", n)
+		}
+		seen[n] = true
+	}
+}
+
+func TestTable1FeaturesPresent(t *testing.T) {
+	for _, want := range []string{"StartTime", "StopTime", "ClusterRank", "PulseRank", "DMSpacing", "SNRRatio"} {
+		found := false
+		for _, n := range Names {
+			if n == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("Table 1 feature %s missing", want)
+		}
+	}
+}
+
+func TestExtractKnownPulse(t *testing.T) {
+	events, pulse, cl := pulseFixture(t)
+	v := Extract(events, pulse, cl, cfg())
+
+	if v[NumSPEs] != float64(pulse.Len()) {
+		t.Errorf("NumSPEs = %g, want %d", v[NumSPEs], pulse.Len())
+	}
+	if math.Abs(v[SNRPeakDM]-120) > 5 {
+		t.Errorf("SNRPeakDM = %g, want ≈120", v[SNRPeakDM])
+	}
+	if v[SNRMax] < 10 || v[SNRMax] > 90 { // per-pulse lognormal jitter scatters the 25-SNR source
+		t.Errorf("SNRMax = %g", v[SNRMax])
+	}
+	if v[AvgSNR] <= 5 || v[AvgSNR] >= v[SNRMax] {
+		t.Errorf("AvgSNR = %g outside (threshold, max)", v[AvgSNR])
+	}
+	if v[DMRange] <= 0 {
+		t.Errorf("DMRange = %g", v[DMRange])
+	}
+	if v[PeakScore] <= 1 {
+		t.Errorf("PeakScore = %g, want > 1 for a peaked pulse", v[PeakScore])
+	}
+	if v[ClusterRank] != 1 {
+		t.Errorf("ClusterRank = %g", v[ClusterRank])
+	}
+	if v[PulseRank] < 1 {
+		t.Errorf("PulseRank = %g", v[PulseRank])
+	}
+	if v[SNRRatio] <= 0 || v[SNRRatio] > 1 {
+		t.Errorf("SNRRatio = %g outside (0,1]", v[SNRRatio])
+	}
+	if v[StopTime] < v[StartTime] {
+		t.Errorf("StopTime %g before StartTime %g", v[StopTime], v[StartTime])
+	}
+	// DMSpacing at DM 120 sits in the 0.1 stage of the default plan.
+	if v[DMSpacing] != 0.1 {
+		t.Errorf("DMSpacing = %g, want 0.1", v[DMSpacing])
+	}
+}
+
+func TestFitResidualSeparatesPulsarsFromRFI(t *testing.T) {
+	events, pulse, cl := pulseFixture(t)
+	pulsar := Extract(events, pulse, cl, cfg())
+
+	// Flat RFI: constant SNR across DM — the theoretical curve fits badly.
+	flat := make([]spe.SPE, 40)
+	for i := range flat {
+		flat[i] = spe.SPE{DM: 100 + float64(i)*0.1, SNR: 8 + 0.3*float64(i%2), Time: 5}
+	}
+	flatPulse := core.Pulse{Start: 0, End: len(flat), Peak: 1}
+	rfi := Extract(flat, flatPulse, nil, cfg())
+	if pulsar[FitResidual] >= rfi[FitResidual] {
+		t.Errorf("FitResidual should separate: pulsar %g vs flat RFI %g",
+			pulsar[FitResidual], rfi[FitResidual])
+	}
+}
+
+func TestExtractDegenerateInputs(t *testing.T) {
+	var empty Vector
+	if got := Extract(nil, core.Pulse{}, nil, cfg()); got != empty {
+		t.Errorf("empty extraction should be zero: %v", got)
+	}
+	// Two events: minimal valid pulse.
+	events := []spe.SPE{{DM: 1, SNR: 6, Time: 1}, {DM: 2, SNR: 8, Time: 1}}
+	v := Extract(events, core.Pulse{Start: 0, End: 2, Peak: 1}, nil, cfg())
+	if v[NumSPEs] != 2 || v[SNRMax] != 8 {
+		t.Errorf("minimal pulse: %v", v)
+	}
+	for i, x := range v {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			t.Errorf("feature %s is %g", Names[i], x)
+		}
+	}
+}
+
+func TestExtractAllRunsSearch(t *testing.T) {
+	events, _, cl := pulseFixture(t)
+	vecs := ExtractAll(events, cl, core.DefaultParams(), cfg())
+	if len(vecs) == 0 {
+		t.Fatal("ExtractAll found nothing")
+	}
+	for _, v := range vecs {
+		if v[NumSPEs] < 2 {
+			t.Errorf("vector with %g SPEs", v[NumSPEs])
+		}
+	}
+}
+
+func TestSlopesSignsAroundPeak(t *testing.T) {
+	// Clean triangle: rising side positive, falling side negative.
+	n := 41
+	events := make([]spe.SPE, n)
+	for i := range events {
+		snr := 20.0 - math.Abs(float64(i-n/2))*0.5
+		events[i] = spe.SPE{DM: float64(i) * 0.1, SNR: snr, Time: 1}
+	}
+	v := Extract(events, core.Pulse{Start: 0, End: n, Peak: n / 2}, nil, cfg())
+	if v[SlopeUp] <= 0 {
+		t.Errorf("SlopeUp = %g, want > 0", v[SlopeUp])
+	}
+	if v[SlopeDown] >= 0 {
+		t.Errorf("SlopeDown = %g, want < 0", v[SlopeDown])
+	}
+	if v[FracAboveHalfMax] <= 0 || v[FracAboveHalfMax] > 1 {
+		t.Errorf("FracAboveHalfMax = %g", v[FracAboveHalfMax])
+	}
+}
+
+func TestMomentsOfSymmetricData(t *testing.T) {
+	// Symmetric SNR distribution → skewness ≈ 0.
+	n := 101
+	events := make([]spe.SPE, n)
+	for i := range events {
+		events[i] = spe.SPE{DM: float64(i), SNR: 10 - math.Abs(float64(i-n/2))*0.1, Time: 1}
+	}
+	v := Extract(events, core.Pulse{Start: 0, End: n, Peak: n / 2}, nil, cfg())
+	if math.Abs(v[SNRSkewness]) > 0.5 {
+		t.Errorf("skewness of symmetric pulse = %g", v[SNRSkewness])
+	}
+}

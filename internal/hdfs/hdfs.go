@@ -1,0 +1,194 @@
+// Package hdfs simulates the Hadoop Distributed File System layer the
+// paper's pipeline stores its SPE data, cluster files and ML output on.
+// Files are split into blocks, blocks are replicated across data nodes, and
+// readers can ask where a block's replicas live — the locality information
+// the RDD engine's scheduler uses to place tasks next to their data
+// ("a single file may be split into many chunks and replications and stored
+// on several different data nodes", §5.1.1).
+//
+// One simplification versus real HDFS is documented here: blocks are
+// line-aligned (a text record never straddles two blocks), which removes
+// the partial-record reconciliation logic real input formats need without
+// affecting anything the paper measures.
+package hdfs
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Config sizes the filesystem.
+type Config struct {
+	// BlockSize is the maximum block payload in bytes (HDFS default 128 MB).
+	BlockSize int64
+	// Replication is the replica count per block (HDFS default 3).
+	Replication int
+}
+
+// DefaultConfig mirrors stock HDFS.
+func DefaultConfig() Config { return Config{BlockSize: 128 << 20, Replication: 3} }
+
+// Block is one replicated chunk of a file.
+type Block struct {
+	// ID is unique within the filesystem.
+	ID int
+	// Lines is the block payload.
+	Lines []string
+	// Bytes is the payload size (sum of line lengths plus newlines).
+	Bytes int64
+	// Replicas lists the data nodes holding a copy, primary first.
+	Replicas []int
+}
+
+// File is an immutable sequence of blocks.
+type File struct {
+	Name   string
+	Blocks []*Block
+	Bytes  int64
+}
+
+// NumLines counts the file's records.
+func (f *File) NumLines() int {
+	n := 0
+	for _, b := range f.Blocks {
+		n += len(b.Lines)
+	}
+	return n
+}
+
+// FS is the simulated filesystem: a name node's metadata plus per-node
+// block placement. It is safe for concurrent use.
+type FS struct {
+	mu       sync.RWMutex
+	cfg      Config
+	numNodes int
+	files    map[string]*File
+	nextID   int
+	nextNode int
+	used     []int64 // bytes stored per node
+}
+
+// New creates a filesystem backed by numNodes data nodes.
+func New(cfg Config, numNodes int) *FS {
+	if cfg.BlockSize <= 0 {
+		cfg.BlockSize = DefaultConfig().BlockSize
+	}
+	if cfg.Replication <= 0 {
+		cfg.Replication = 1
+	}
+	if cfg.Replication > numNodes {
+		cfg.Replication = numNodes
+	}
+	return &FS{cfg: cfg, numNodes: numNodes, files: make(map[string]*File), used: make([]int64, numNodes)}
+}
+
+// NumNodes returns the data-node count.
+func (fs *FS) NumNodes() int { return fs.numNodes }
+
+// WriteLines stores a text file, packing whole lines into blocks of at most
+// BlockSize bytes and placing replicas round-robin across distinct nodes.
+// Overwriting an existing name is an error; Delete first.
+func (fs *FS) WriteLines(name string, lines []string) (*File, error) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if _, ok := fs.files[name]; ok {
+		return nil, fmt.Errorf("hdfs: %q already exists", name)
+	}
+	f := &File{Name: name}
+	var cur *Block
+	flush := func() {
+		if cur == nil || len(cur.Lines) == 0 {
+			return
+		}
+		cur.Replicas = fs.place(cur.Bytes)
+		f.Blocks = append(f.Blocks, cur)
+		f.Bytes += cur.Bytes
+		cur = nil
+	}
+	for _, line := range lines {
+		sz := int64(len(line)) + 1
+		if cur != nil && cur.Bytes+sz > fs.cfg.BlockSize {
+			flush()
+		}
+		if cur == nil {
+			fs.nextID++
+			cur = &Block{ID: fs.nextID}
+		}
+		cur.Lines = append(cur.Lines, line)
+		cur.Bytes += sz
+	}
+	flush()
+	fs.files[name] = f
+	return f, nil
+}
+
+// place chooses Replication distinct nodes for a block, rotating the
+// primary round-robin (the classic HDFS pipeline placement, minus racks).
+func (fs *FS) place(bytes int64) []int {
+	reps := make([]int, 0, fs.cfg.Replication)
+	for i := 0; i < fs.cfg.Replication; i++ {
+		node := (fs.nextNode + i) % fs.numNodes
+		reps = append(reps, node)
+		fs.used[node] += bytes
+	}
+	fs.nextNode = (fs.nextNode + 1) % fs.numNodes
+	return reps
+}
+
+// Open returns the file's metadata and payload.
+func (fs *FS) Open(name string) (*File, error) {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	f, ok := fs.files[name]
+	if !ok {
+		return nil, fmt.Errorf("hdfs: %q not found", name)
+	}
+	return f, nil
+}
+
+// Delete removes a file, releasing its replicas' space.
+func (fs *FS) Delete(name string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	f, ok := fs.files[name]
+	if !ok {
+		return fmt.Errorf("hdfs: %q not found", name)
+	}
+	for _, b := range f.Blocks {
+		for _, node := range b.Replicas {
+			fs.used[node] -= b.Bytes
+		}
+	}
+	delete(fs.files, name)
+	return nil
+}
+
+// List returns the stored file names in sorted order.
+func (fs *FS) List() []string {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	names := make([]string, 0, len(fs.files))
+	for n := range fs.files {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// UsedBytes returns the bytes stored on a node across all replicas.
+func (fs *FS) UsedBytes(node int) int64 {
+	fs.mu.RLock()
+	defer fs.mu.RUnlock()
+	return fs.used[node]
+}
+
+// HasReplica reports whether any replica of the block lives on node.
+func HasReplica(b *Block, node int) bool {
+	for _, r := range b.Replicas {
+		if r == node {
+			return true
+		}
+	}
+	return false
+}

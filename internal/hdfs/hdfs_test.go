@@ -1,0 +1,151 @@
+package hdfs
+
+import (
+	"fmt"
+	"testing"
+)
+
+func lines(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("record-%06d,some,payload,data", i)
+	}
+	return out
+}
+
+func TestWriteSplitsIntoBlocks(t *testing.T) {
+	fs := New(Config{BlockSize: 256, Replication: 2}, 4)
+	f, err := fs.WriteLines("data.csv", lines(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Blocks) < 2 {
+		t.Fatalf("expected multiple blocks, got %d", len(f.Blocks))
+	}
+	if f.NumLines() != 100 {
+		t.Errorf("NumLines = %d, want 100", f.NumLines())
+	}
+	for _, b := range f.Blocks {
+		if b.Bytes > 256 && len(b.Lines) > 1 {
+			t.Errorf("block %d overflows: %d bytes", b.ID, b.Bytes)
+		}
+		if len(b.Replicas) != 2 {
+			t.Errorf("block %d has %d replicas, want 2", b.ID, len(b.Replicas))
+		}
+		seen := map[int]bool{}
+		for _, r := range b.Replicas {
+			if r < 0 || r >= 4 {
+				t.Errorf("replica on bad node %d", r)
+			}
+			if seen[r] {
+				t.Errorf("duplicate replica node %d", r)
+			}
+			seen[r] = true
+		}
+	}
+}
+
+func TestLineOrderPreserved(t *testing.T) {
+	fs := New(Config{BlockSize: 128, Replication: 1}, 2)
+	in := lines(50)
+	f, err := fs.WriteLines("f", in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	for _, b := range f.Blocks {
+		got = append(got, b.Lines...)
+	}
+	if len(got) != len(in) {
+		t.Fatalf("line count %d != %d", len(got), len(in))
+	}
+	for i := range in {
+		if got[i] != in[i] {
+			t.Fatalf("line %d reordered", i)
+		}
+	}
+}
+
+func TestOverwriteRejected(t *testing.T) {
+	fs := New(DefaultConfig(), 3)
+	if _, err := fs.WriteLines("x", lines(1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.WriteLines("x", lines(1)); err == nil {
+		t.Error("expected overwrite error")
+	}
+}
+
+func TestDeleteFreesSpace(t *testing.T) {
+	fs := New(Config{BlockSize: 1024, Replication: 3}, 3)
+	if _, err := fs.WriteLines("x", lines(100)); err != nil {
+		t.Fatal(err)
+	}
+	var used int64
+	for n := 0; n < 3; n++ {
+		used += fs.UsedBytes(n)
+	}
+	if used == 0 {
+		t.Fatal("no space accounted")
+	}
+	if err := fs.Delete("x"); err != nil {
+		t.Fatal(err)
+	}
+	for n := 0; n < 3; n++ {
+		if fs.UsedBytes(n) != 0 {
+			t.Errorf("node %d still holds %d bytes", n, fs.UsedBytes(n))
+		}
+	}
+	if _, err := fs.Open("x"); err == nil {
+		t.Error("deleted file still opens")
+	}
+	if err := fs.Delete("x"); err == nil {
+		t.Error("double delete succeeded")
+	}
+}
+
+func TestReplicationClampedToNodes(t *testing.T) {
+	fs := New(Config{BlockSize: 1024, Replication: 5}, 2)
+	f, err := fs.WriteLines("x", lines(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Blocks[0].Replicas) != 2 {
+		t.Errorf("replicas = %d, want 2", len(f.Blocks[0].Replicas))
+	}
+}
+
+func TestListSorted(t *testing.T) {
+	fs := New(DefaultConfig(), 2)
+	for _, n := range []string{"b", "a", "c"} {
+		if _, err := fs.WriteLines(n, lines(1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := fs.List()
+	if len(got) != 3 || got[0] != "a" || got[2] != "c" {
+		t.Errorf("List = %v", got)
+	}
+}
+
+func TestHasReplica(t *testing.T) {
+	b := &Block{Replicas: []int{1, 3}}
+	if !HasReplica(b, 3) || HasReplica(b, 2) {
+		t.Error("HasReplica wrong")
+	}
+}
+
+func TestPlacementSpreads(t *testing.T) {
+	fs := New(Config{BlockSize: 64, Replication: 1}, 4)
+	f, err := fs.WriteLines("x", lines(40))
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[int]int{}
+	for _, b := range f.Blocks {
+		counts[b.Replicas[0]]++
+	}
+	if len(counts) < 4 {
+		t.Errorf("blocks concentrated on %d nodes: %v", len(counts), counts)
+	}
+}

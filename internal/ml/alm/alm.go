@@ -1,0 +1,157 @@
+// Package alm implements the paper's Automatically Labeled Multiclass
+// classification (§5.2.2): positive instances are assigned subclasses not
+// by visual inspection but by discretizing two extracted features —
+// SNRPeakDM (a theoretical distance proxy) and AvgSNR (brightness) — with
+// the thresholds of Table 2, combined into the five labeling schemes of
+// Table 3.
+package alm
+
+import (
+	"fmt"
+
+	"drapid/internal/features"
+	"drapid/internal/synth"
+)
+
+// Table 2 thresholds.
+const (
+	// NearMidDM separates near from mid: SNRPeakDM ∈ [0,100) is near.
+	NearMidDM = 100.0
+	// MidFarDM separates mid from far: [100,175) is mid, [175,∞) far.
+	MidFarDM = 175.0
+	// WeakStrongSNR separates weak from strong: AvgSNR ∈ [0,8] is weak.
+	WeakStrongSNR = 8.0
+)
+
+// Scheme is one of the five class labeling schemes of Table 3, named by
+// class count.
+type Scheme int
+
+const (
+	// Scheme2 is binary: Non-pulsar, Pulsar.
+	Scheme2 Scheme = iota
+	// Scheme4Star is the visually-based scheme of the authors' 2016 paper:
+	// Non-pulsar, Pulsar, Very Bright Pulsar, RRAT.
+	Scheme4Star
+	// Scheme4 is Non-pulsar, Near, Mid, Far.
+	Scheme4
+	// Scheme7 adds brightness: Non-pulsar plus {Near,Mid,Far}×{Weak,Strong}.
+	Scheme7
+	// Scheme8 is Scheme7 plus a separate RRAT class.
+	Scheme8
+)
+
+// Schemes lists all five in Table 3's order.
+func Schemes() []Scheme { return []Scheme{Scheme2, Scheme4Star, Scheme4, Scheme7, Scheme8} }
+
+// String implements fmt.Stringer with the paper's scheme names.
+func (s Scheme) String() string {
+	switch s {
+	case Scheme2:
+		return "2"
+	case Scheme4Star:
+		return "4*"
+	case Scheme4:
+		return "4"
+	case Scheme7:
+		return "7"
+	case Scheme8:
+		return "8"
+	default:
+		return fmt.Sprintf("Scheme(%d)", int(s))
+	}
+}
+
+// NonPulsar is the class index of the negative class in every scheme.
+const NonPulsar = 0
+
+// VeryBrightSNR is the visual-brightness threshold scheme 4* uses for its
+// "Very Bright Pulsar" class (a by-eye criterion in the 2016 paper,
+// reconstructed as a peak-SNR cut).
+const VeryBrightSNR = 20.0
+
+// Classes returns the scheme's class names; index 0 is always Non-pulsar.
+func (s Scheme) Classes() []string {
+	switch s {
+	case Scheme2:
+		return []string{"Non-pulsar", "Pulsar"}
+	case Scheme4Star:
+		return []string{"Non-pulsar", "Pulsar", "VeryBrightPulsar", "RRAT"}
+	case Scheme4:
+		return []string{"Non-pulsar", "Near", "Mid", "Far"}
+	case Scheme7:
+		return []string{"Non-pulsar", "Near-Weak", "Near-Strong", "Mid-Weak", "Mid-Strong", "Far-Weak", "Far-Strong"}
+	case Scheme8:
+		return []string{"Non-pulsar", "Near-Weak", "Near-Strong", "Mid-Weak", "Mid-Strong", "Far-Weak", "Far-Strong", "RRAT"}
+	default:
+		return nil
+	}
+}
+
+// NumClasses returns the class count (the scheme's name).
+func (s Scheme) NumClasses() int { return len(s.Classes()) }
+
+// Label assigns one instance its class under the scheme. truth is the
+// generator's ground-truth origin (standing in for the paper's catalog
+// cross-match): noise and RFI are Non-pulsar everywhere; pulsar and RRAT
+// instances are subdivided by the instance's own extracted features.
+func (s Scheme) Label(vec features.Vector, truth synth.Class) int {
+	positive := truth == synth.ClassPulsar || truth == synth.ClassRRAT
+	if !positive {
+		return NonPulsar
+	}
+	switch s {
+	case Scheme2:
+		return 1
+	case Scheme4Star:
+		if truth == synth.ClassRRAT {
+			return 3
+		}
+		if vec[features.SNRMax] >= VeryBrightSNR {
+			return 2
+		}
+		return 1
+	case Scheme4:
+		return 1 + dmBand(vec)
+	case Scheme7:
+		return 1 + 2*dmBand(vec) + strength(vec)
+	case Scheme8:
+		if truth == synth.ClassRRAT {
+			return 7
+		}
+		return 1 + 2*dmBand(vec) + strength(vec)
+	default:
+		return NonPulsar
+	}
+}
+
+// dmBand discretizes SNRPeakDM per Table 2: 0 near, 1 mid, 2 far.
+func dmBand(vec features.Vector) int {
+	dm := vec[features.SNRPeakDM]
+	switch {
+	case dm < NearMidDM:
+		return 0
+	case dm < MidFarDM:
+		return 1
+	default:
+		return 2
+	}
+}
+
+// strength discretizes AvgSNR per Table 2: 0 weak ([0,8]), 1 strong ((8,∞)).
+func strength(vec features.Vector) int {
+	if vec[features.AvgSNR] <= WeakStrongSNR {
+		return 0
+	}
+	return 1
+}
+
+// CollapseToBinary maps any scheme's class index to 0 (non-pulsar) or 1
+// (pulsar) — the reduction used when comparing ALM classifiers against
+// binary ones.
+func CollapseToBinary(class int) int {
+	if class == NonPulsar {
+		return 0
+	}
+	return 1
+}

@@ -1,0 +1,130 @@
+package alm
+
+import (
+	"testing"
+
+	"drapid/internal/features"
+	"drapid/internal/synth"
+)
+
+func vec(peakDM, avgSNR, snrMax float64) features.Vector {
+	var v features.Vector
+	v[features.SNRPeakDM] = peakDM
+	v[features.AvgSNR] = avgSNR
+	v[features.SNRMax] = snrMax
+	return v
+}
+
+func TestSchemesMatchTable3(t *testing.T) {
+	want := map[Scheme]int{Scheme2: 2, Scheme4Star: 4, Scheme4: 4, Scheme7: 7, Scheme8: 8}
+	for s, n := range want {
+		if got := s.NumClasses(); got != n {
+			t.Errorf("scheme %v has %d classes, want %d", s, got, n)
+		}
+		if s.Classes()[NonPulsar] != "Non-pulsar" {
+			t.Errorf("scheme %v class 0 = %q", s, s.Classes()[0])
+		}
+	}
+	if len(Schemes()) != 5 {
+		t.Errorf("Schemes() = %v", Schemes())
+	}
+}
+
+func TestNegativesAlwaysNonPulsar(t *testing.T) {
+	for _, s := range Schemes() {
+		for _, truth := range []synth.Class{synth.ClassNoise, synth.ClassRFI} {
+			if got := s.Label(vec(150, 20, 40), truth); got != NonPulsar {
+				t.Errorf("scheme %v labeled %v as %d", s, truth, got)
+			}
+		}
+	}
+}
+
+func TestTable2Thresholds(t *testing.T) {
+	cases := []struct {
+		peakDM, avgSNR float64
+		want7          string
+	}{
+		{50, 5, "Near-Weak"},
+		{50, 9, "Near-Strong"},
+		{99.99, 8, "Near-Weak"},   // AvgSNR [0,8] is weak (inclusive)
+		{100, 8.01, "Mid-Strong"}, // [100,175) is mid
+		{174.99, 3, "Mid-Weak"},
+		{175, 3, "Far-Weak"}, // [175,∞) is far
+		{500, 30, "Far-Strong"},
+	}
+	names := Scheme7.Classes()
+	for _, tc := range cases {
+		got := names[Scheme7.Label(vec(tc.peakDM, tc.avgSNR, tc.avgSNR*2), synth.ClassPulsar)]
+		if got != tc.want7 {
+			t.Errorf("peakDM=%g avgSNR=%g → %s, want %s", tc.peakDM, tc.avgSNR, got, tc.want7)
+		}
+	}
+}
+
+func TestScheme4IgnoresBrightness(t *testing.T) {
+	names := Scheme4.Classes()
+	weak := names[Scheme4.Label(vec(120, 5, 10), synth.ClassPulsar)]
+	strong := names[Scheme4.Label(vec(120, 50, 80), synth.ClassPulsar)]
+	if weak != "Mid" || strong != "Mid" {
+		t.Errorf("scheme 4 split by brightness: %s vs %s", weak, strong)
+	}
+}
+
+func TestScheme8RRATClass(t *testing.T) {
+	names := Scheme8.Classes()
+	if got := names[Scheme8.Label(vec(50, 20, 30), synth.ClassRRAT)]; got != "RRAT" {
+		t.Errorf("RRAT labeled %s", got)
+	}
+	// Scheme 7 has no RRAT class: an RRAT lands in its feature band.
+	if got := Scheme7.Classes()[Scheme7.Label(vec(50, 20, 30), synth.ClassRRAT)]; got != "Near-Strong" {
+		t.Errorf("scheme 7 RRAT labeled %s", got)
+	}
+}
+
+func TestScheme4StarVisual(t *testing.T) {
+	names := Scheme4Star.Classes()
+	if got := names[Scheme4Star.Label(vec(50, 10, 25), synth.ClassPulsar)]; got != "VeryBrightPulsar" {
+		t.Errorf("bright pulsar labeled %s", got)
+	}
+	if got := names[Scheme4Star.Label(vec(50, 6, 10), synth.ClassPulsar)]; got != "Pulsar" {
+		t.Errorf("ordinary pulsar labeled %s", got)
+	}
+	if got := names[Scheme4Star.Label(vec(50, 6, 10), synth.ClassRRAT)]; got != "RRAT" {
+		t.Errorf("RRAT labeled %s", got)
+	}
+}
+
+func TestScheme2Binary(t *testing.T) {
+	if Scheme2.Label(vec(500, 50, 80), synth.ClassPulsar) != 1 {
+		t.Error("pulsar not labeled 1")
+	}
+}
+
+func TestCollapseToBinary(t *testing.T) {
+	if CollapseToBinary(NonPulsar) != 0 {
+		t.Error("non-pulsar must collapse to 0")
+	}
+	for c := 1; c < 8; c++ {
+		if CollapseToBinary(c) != 1 {
+			t.Errorf("class %d must collapse to 1", c)
+		}
+	}
+}
+
+func TestLabelsInRange(t *testing.T) {
+	truths := []synth.Class{synth.ClassNoise, synth.ClassRFI, synth.ClassPulsar, synth.ClassRRAT}
+	for _, s := range Schemes() {
+		n := s.NumClasses()
+		for _, truth := range truths {
+			for _, dm := range []float64{0, 99, 100, 174, 175, 9000} {
+				for _, snr := range []float64{0, 7.9, 8, 8.1, 100} {
+					got := s.Label(vec(dm, snr, snr), truth)
+					if got < 0 || got >= n {
+						t.Fatalf("scheme %v label %d out of [0,%d)", s, got, n)
+					}
+				}
+			}
+		}
+	}
+}

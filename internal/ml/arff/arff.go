@@ -1,0 +1,158 @@
+// Package arff reads and writes Weka's ARFF format. The paper ran its
+// classification trials in Weka; exporting our synthetic benchmarks as
+// ARFF lets anyone replay them in the original toolchain (and lets Weka
+// users adopt this library's datasets directly).
+package arff
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"drapid/internal/ml"
+)
+
+// Write renders a dataset as an ARFF document: numeric attributes for
+// every feature and a nominal class attribute.
+func Write(w io.Writer, relation string, d *ml.Dataset) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "@relation %s\n\n", quoteIfNeeded(relation))
+	for _, name := range d.Names {
+		fmt.Fprintf(bw, "@attribute %s numeric\n", quoteIfNeeded(name))
+	}
+	fmt.Fprintf(bw, "@attribute class {%s}\n\n@data\n", strings.Join(quoteAll(d.Classes), ","))
+	for i, row := range d.X {
+		for _, v := range row {
+			fmt.Fprintf(bw, "%g,", v)
+		}
+		fmt.Fprintln(bw, quoteIfNeeded(d.Classes[d.Y[i]]))
+	}
+	return bw.Flush()
+}
+
+// Read parses an ARFF document with numeric attributes and a final nominal
+// class attribute — the shape Write produces. Comment lines and sparse
+// instances are not supported.
+func Read(r io.Reader) (*ml.Dataset, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	var names []string
+	var classes []string
+	inData := false
+	var d *ml.Dataset
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "%") {
+			continue
+		}
+		if !inData {
+			lower := strings.ToLower(line)
+			switch {
+			case strings.HasPrefix(lower, "@relation"):
+				// name unused
+			case strings.HasPrefix(lower, "@attribute"):
+				rest := strings.TrimSpace(line[len("@attribute"):])
+				name, typ := splitAttr(rest)
+				if strings.HasPrefix(typ, "{") {
+					if classes != nil {
+						return nil, fmt.Errorf("arff: line %d: multiple nominal attributes unsupported", lineNo)
+					}
+					classes = splitNominal(typ)
+				} else if strings.EqualFold(typ, "numeric") || strings.EqualFold(typ, "real") {
+					if classes != nil {
+						return nil, fmt.Errorf("arff: line %d: class attribute must come last", lineNo)
+					}
+					names = append(names, name)
+				} else {
+					return nil, fmt.Errorf("arff: line %d: unsupported attribute type %q", lineNo, typ)
+				}
+			case strings.HasPrefix(lower, "@data"):
+				if classes == nil {
+					return nil, fmt.Errorf("arff: no nominal class attribute before @data")
+				}
+				d = ml.NewDataset(names, classes)
+				inData = true
+			}
+			continue
+		}
+		fields := strings.Split(line, ",")
+		if len(fields) != len(names)+1 {
+			return nil, fmt.Errorf("arff: line %d: %d fields, want %d", lineNo, len(fields), len(names)+1)
+		}
+		row := make([]float64, len(names))
+		for j := 0; j < len(names); j++ {
+			v, err := strconv.ParseFloat(strings.TrimSpace(fields[j]), 64)
+			if err != nil {
+				return nil, fmt.Errorf("arff: line %d field %d: %w", lineNo, j, err)
+			}
+			row[j] = v
+		}
+		cls := unquote(strings.TrimSpace(fields[len(names)]))
+		y := -1
+		for c, name := range classes {
+			if name == cls {
+				y = c
+			}
+		}
+		if y < 0 {
+			return nil, fmt.Errorf("arff: line %d: unknown class %q", lineNo, cls)
+		}
+		d.Add(row, y)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if d == nil {
+		return nil, fmt.Errorf("arff: no @data section")
+	}
+	return d, nil
+}
+
+func splitAttr(rest string) (name, typ string) {
+	if strings.HasPrefix(rest, "'") {
+		if end := strings.Index(rest[1:], "'"); end >= 0 {
+			return rest[1 : end+1], strings.TrimSpace(rest[end+2:])
+		}
+	}
+	i := strings.IndexAny(rest, " \t")
+	if i < 0 {
+		return rest, ""
+	}
+	return rest[:i], strings.TrimSpace(rest[i+1:])
+}
+
+func splitNominal(typ string) []string {
+	inner := strings.TrimSuffix(strings.TrimPrefix(typ, "{"), "}")
+	parts := strings.Split(inner, ",")
+	out := make([]string, len(parts))
+	for i, p := range parts {
+		out[i] = unquote(strings.TrimSpace(p))
+	}
+	return out
+}
+
+func quoteAll(names []string) []string {
+	out := make([]string, len(names))
+	for i, n := range names {
+		out[i] = quoteIfNeeded(n)
+	}
+	return out
+}
+
+func quoteIfNeeded(s string) string {
+	if strings.ContainsAny(s, " ,{}'\"") {
+		return "'" + strings.ReplaceAll(s, "'", `\'`) + "'"
+	}
+	return s
+}
+
+func unquote(s string) string {
+	if len(s) >= 2 && s[0] == '\'' && s[len(s)-1] == '\'' {
+		return strings.ReplaceAll(s[1:len(s)-1], `\'`, "'")
+	}
+	return s
+}

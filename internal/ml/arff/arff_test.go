@@ -1,0 +1,94 @@
+package arff
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"drapid/internal/ml/mltest"
+)
+
+func TestRoundTrip(t *testing.T) {
+	d := mltest.Blobs(3, 20, 4, 5, 1)
+	var buf bytes.Buffer
+	if err := Write(&buf, "blobs", d); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != d.Len() || got.NumFeatures() != d.NumFeatures() || got.NumClasses() != d.NumClasses() {
+		t.Fatalf("shape mismatch: %dx%d/%d vs %dx%d/%d",
+			got.Len(), got.NumFeatures(), got.NumClasses(),
+			d.Len(), d.NumFeatures(), d.NumClasses())
+	}
+	for i := range d.X {
+		if got.Y[i] != d.Y[i] {
+			t.Fatalf("label %d mismatch", i)
+		}
+		for j := range d.X[i] {
+			diff := got.X[i][j] - d.X[i][j]
+			if diff > 1e-9 || diff < -1e-9 {
+				t.Fatalf("value (%d,%d) mismatch: %g vs %g", i, j, got.X[i][j], d.X[i][j])
+			}
+		}
+	}
+}
+
+func TestWriteFormat(t *testing.T) {
+	d := mltest.Blobs(2, 2, 2, 5, 2)
+	var buf bytes.Buffer
+	if err := Write(&buf, "single pulse benchmark", d); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "@relation 'single pulse benchmark'") {
+		t.Error("relation with spaces must be quoted")
+	}
+	if !strings.Contains(out, "@attribute class {") {
+		t.Error("class attribute missing")
+	}
+	if !strings.Contains(out, "@data") {
+		t.Error("@data missing")
+	}
+}
+
+func TestReadRejectsMalformed(t *testing.T) {
+	cases := map[string]string{
+		"no data":     "@relation r\n@attribute a numeric\n@attribute class {x,y}\n",
+		"no class":    "@relation r\n@attribute a numeric\n@data\n1\n",
+		"bad value":   "@relation r\n@attribute a numeric\n@attribute class {x}\n@data\nzzz,x\n",
+		"wrong arity": "@relation r\n@attribute a numeric\n@attribute class {x}\n@data\n1,2,x\n",
+		"bad class":   "@relation r\n@attribute a numeric\n@attribute class {x}\n@data\n1,q\n",
+		"bad type":    "@relation r\n@attribute a string\n@attribute class {x}\n@data\nfoo,x\n",
+		"class first": "@relation r\n@attribute class {x,y}\n@attribute a numeric\n@data\nx,1\n",
+	}
+	for name, doc := range cases {
+		if _, err := Read(strings.NewReader(doc)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestReadSkipsComments(t *testing.T) {
+	doc := "% comment\n@relation r\n@attribute a numeric\n@attribute class {x,y}\n@data\n% another\n1.5,y\n"
+	d, err := Read(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 1 || d.Y[0] != 1 || d.X[0][0] != 1.5 {
+		t.Fatalf("parsed: %+v", d)
+	}
+}
+
+func TestQuotedClassNames(t *testing.T) {
+	doc := "@relation r\n@attribute a numeric\n@attribute class {'Non-pulsar','Very Bright'}\n@data\n1,'Very Bright'\n"
+	d, err := Read(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Classes[1] != "Very Bright" || d.Y[0] != 1 {
+		t.Fatalf("classes: %v, y=%d", d.Classes, d.Y[0])
+	}
+}

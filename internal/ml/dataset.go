@@ -1,0 +1,241 @@
+// Package ml provides the supervised-learning core the paper's stage-4
+// classification runs on: a columnar dataset type with stratified folds,
+// the Classifier interface all six learners implement (Table 5), and
+// feature-standardisation helpers. Learner implementations live in the
+// subpackages tree, forest, rules, svm and mlp; evaluation, feature
+// selection, ALM labeling and SMOTE in eval, featsel, alm and smote.
+package ml
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Dataset is a fixed-width numeric dataset with a nominal class attribute.
+type Dataset struct {
+	// Names labels the feature columns.
+	Names []string
+	// Classes names the class values; Y holds indices into it.
+	Classes []string
+	// X is row-major: X[i][j] is feature j of instance i.
+	X [][]float64
+	// Y is the class index of each instance.
+	Y []int
+}
+
+// NewDataset creates an empty dataset with the given schema.
+func NewDataset(names, classes []string) *Dataset {
+	return &Dataset{Names: names, Classes: classes}
+}
+
+// Add appends one instance. The row is used directly (not copied).
+func (d *Dataset) Add(x []float64, y int) {
+	d.X = append(d.X, x)
+	d.Y = append(d.Y, y)
+}
+
+// Len returns the instance count.
+func (d *Dataset) Len() int { return len(d.X) }
+
+// NumFeatures returns the feature count.
+func (d *Dataset) NumFeatures() int { return len(d.Names) }
+
+// NumClasses returns the class count.
+func (d *Dataset) NumClasses() int { return len(d.Classes) }
+
+// ClassCounts tallies instances per class.
+func (d *Dataset) ClassCounts() []int {
+	counts := make([]int, d.NumClasses())
+	for _, y := range d.Y {
+		counts[y]++
+	}
+	return counts
+}
+
+// Subset returns a view over the given row indices (rows shared, not
+// copied).
+func (d *Dataset) Subset(rows []int) *Dataset {
+	out := NewDataset(d.Names, d.Classes)
+	out.X = make([][]float64, len(rows))
+	out.Y = make([]int, len(rows))
+	for i, r := range rows {
+		out.X[i] = d.X[r]
+		out.Y[i] = d.Y[r]
+	}
+	return out
+}
+
+// SelectFeatures returns a copy restricted to the given feature columns,
+// in the given order — the reduction applied after feature selection.
+func (d *Dataset) SelectFeatures(cols []int) *Dataset {
+	names := make([]string, len(cols))
+	for i, c := range cols {
+		names[i] = d.Names[c]
+	}
+	out := NewDataset(names, d.Classes)
+	out.X = make([][]float64, d.Len())
+	out.Y = append([]int(nil), d.Y...)
+	for i, row := range d.X {
+		nr := make([]float64, len(cols))
+		for j, c := range cols {
+			nr[j] = row[c]
+		}
+		out.X[i] = nr
+	}
+	return out
+}
+
+// Shuffled returns a view with rows permuted by the seed.
+func (d *Dataset) Shuffled(seed int64) *Dataset {
+	rows := make([]int, d.Len())
+	for i := range rows {
+		rows[i] = i
+	}
+	rng := rand.New(rand.NewSource(seed))
+	rng.Shuffle(len(rows), func(i, j int) { rows[i], rows[j] = rows[j], rows[i] })
+	return d.Subset(rows)
+}
+
+// StratifiedFolds partitions row indices into k folds preserving class
+// proportions (the paper's five- and six-fold protocols). Within each
+// class, rows are dealt round-robin after a seeded shuffle.
+func (d *Dataset) StratifiedFolds(k int, seed int64) [][]int {
+	if k < 2 {
+		k = 2
+	}
+	rng := rand.New(rand.NewSource(seed))
+	byClass := make([][]int, d.NumClasses())
+	for i, y := range d.Y {
+		byClass[y] = append(byClass[y], i)
+	}
+	folds := make([][]int, k)
+	for _, rows := range byClass {
+		rng.Shuffle(len(rows), func(i, j int) { rows[i], rows[j] = rows[j], rows[i] })
+		for i, r := range rows {
+			folds[i%k] = append(folds[i%k], r)
+		}
+	}
+	for _, f := range folds {
+		sort.Ints(f)
+	}
+	return folds
+}
+
+// TrainTestSplit returns the train and test views for fold t of the folds.
+func (d *Dataset) TrainTestSplit(folds [][]int, t int) (train, test *Dataset) {
+	var trainRows []int
+	for i, f := range folds {
+		if i == t {
+			continue
+		}
+		trainRows = append(trainRows, f...)
+	}
+	return d.Subset(trainRows), d.Subset(folds[t])
+}
+
+// Relabel returns a copy of the dataset with classes renamed/merged: maps
+// each old class index to a new one under the new class list.
+func (d *Dataset) Relabel(newClasses []string, mapping func(old int) int) *Dataset {
+	out := NewDataset(d.Names, newClasses)
+	out.X = d.X
+	out.Y = make([]int, d.Len())
+	for i, y := range d.Y {
+		out.Y[i] = mapping(y)
+	}
+	return out
+}
+
+// Validate checks structural invariants and returns a descriptive error on
+// the first violation.
+func (d *Dataset) Validate() error {
+	for i, row := range d.X {
+		if len(row) != d.NumFeatures() {
+			return fmt.Errorf("ml: row %d has %d features, schema has %d", i, len(row), d.NumFeatures())
+		}
+		for j, v := range row {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return fmt.Errorf("ml: row %d feature %s is %v", i, d.Names[j], v)
+			}
+		}
+		if d.Y[i] < 0 || d.Y[i] >= d.NumClasses() {
+			return fmt.Errorf("ml: row %d class %d out of range", i, d.Y[i])
+		}
+	}
+	if len(d.Y) != len(d.X) {
+		return fmt.Errorf("ml: %d rows but %d labels", len(d.X), len(d.Y))
+	}
+	return nil
+}
+
+// Classifier is a supervised learner. Fit trains on a dataset; Predict
+// returns the class index for one instance.
+type Classifier interface {
+	// Name identifies the learner (Table 5 name).
+	Name() string
+	// Fit trains the model, replacing any previous state.
+	Fit(d *Dataset) error
+	// Predict classifies one feature vector.
+	Predict(x []float64) int
+}
+
+// Standardizer holds per-feature mean and standard deviation for z-scoring
+// — fitted on training data and applied to test data (used by SMO and MPN).
+type Standardizer struct {
+	Mean, Std []float64
+}
+
+// FitStandardizer computes column statistics over the dataset.
+func FitStandardizer(d *Dataset) *Standardizer {
+	nf := d.NumFeatures()
+	s := &Standardizer{Mean: make([]float64, nf), Std: make([]float64, nf)}
+	n := float64(d.Len())
+	if n == 0 {
+		for j := range s.Std {
+			s.Std[j] = 1
+		}
+		return s
+	}
+	for _, row := range d.X {
+		for j, v := range row {
+			s.Mean[j] += v
+		}
+	}
+	for j := range s.Mean {
+		s.Mean[j] /= n
+	}
+	for _, row := range d.X {
+		for j, v := range row {
+			dv := v - s.Mean[j]
+			s.Std[j] += dv * dv
+		}
+	}
+	for j := range s.Std {
+		s.Std[j] = math.Sqrt(s.Std[j] / n)
+		if s.Std[j] == 0 {
+			s.Std[j] = 1
+		}
+	}
+	return s
+}
+
+// Apply z-scores one row into a new slice.
+func (s *Standardizer) Apply(x []float64) []float64 {
+	out := make([]float64, len(x))
+	for j, v := range x {
+		out[j] = (v - s.Mean[j]) / s.Std[j]
+	}
+	return out
+}
+
+// ApplyAll z-scores a whole dataset into a new one (labels shared).
+func (s *Standardizer) ApplyAll(d *Dataset) *Dataset {
+	out := NewDataset(d.Names, d.Classes)
+	out.Y = d.Y
+	out.X = make([][]float64, d.Len())
+	for i, row := range d.X {
+		out.X[i] = s.Apply(row)
+	}
+	return out
+}

@@ -1,0 +1,210 @@
+package ml
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func tiny() *Dataset {
+	d := NewDataset([]string{"a", "b"}, []string{"x", "y", "z"})
+	d.Add([]float64{1, 10}, 0)
+	d.Add([]float64{2, 20}, 1)
+	d.Add([]float64{3, 30}, 2)
+	d.Add([]float64{4, 40}, 0)
+	d.Add([]float64{5, 50}, 1)
+	d.Add([]float64{6, 60}, 0)
+	return d
+}
+
+func TestBasicAccessors(t *testing.T) {
+	d := tiny()
+	if d.Len() != 6 || d.NumFeatures() != 2 || d.NumClasses() != 3 {
+		t.Fatalf("shape: %d %d %d", d.Len(), d.NumFeatures(), d.NumClasses())
+	}
+	counts := d.ClassCounts()
+	if counts[0] != 3 || counts[1] != 2 || counts[2] != 1 {
+		t.Errorf("counts = %v", counts)
+	}
+	if err := d.Validate(); err != nil {
+		t.Errorf("valid dataset rejected: %v", err)
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	d := tiny()
+	d.X[2] = []float64{1}
+	if err := d.Validate(); err == nil {
+		t.Error("short row accepted")
+	}
+	d = tiny()
+	d.X[0][1] = math.NaN()
+	if err := d.Validate(); err == nil {
+		t.Error("NaN accepted")
+	}
+	d = tiny()
+	d.Y[0] = 7
+	if err := d.Validate(); err == nil {
+		t.Error("bad class accepted")
+	}
+}
+
+func TestSubsetSharesRows(t *testing.T) {
+	d := tiny()
+	s := d.Subset([]int{1, 3})
+	if s.Len() != 2 || s.Y[0] != 1 || s.Y[1] != 0 {
+		t.Fatalf("subset: %+v", s)
+	}
+	s.X[0][0] = 99
+	if d.X[1][0] != 99 {
+		t.Error("subset copied rows; expected a view")
+	}
+}
+
+func TestSelectFeaturesCopiesAndReorders(t *testing.T) {
+	d := tiny()
+	s := d.SelectFeatures([]int{1})
+	if s.NumFeatures() != 1 || s.Names[0] != "b" || s.X[0][0] != 10 {
+		t.Fatalf("select: %+v", s)
+	}
+	s.X[0][0] = -1
+	if d.X[0][1] == -1 {
+		t.Error("SelectFeatures must copy")
+	}
+}
+
+func TestStratifiedFoldsPreserveProportions(t *testing.T) {
+	d := NewDataset([]string{"f"}, []string{"maj", "min"})
+	for i := 0; i < 100; i++ {
+		d.Add([]float64{float64(i)}, 0)
+	}
+	for i := 0; i < 10; i++ {
+		d.Add([]float64{float64(i)}, 1)
+	}
+	folds := d.StratifiedFolds(5, 1)
+	total := 0
+	for fi, f := range folds {
+		minCount := 0
+		for _, r := range f {
+			if d.Y[r] == 1 {
+				minCount++
+			}
+		}
+		if minCount != 2 {
+			t.Errorf("fold %d has %d minority rows, want 2", fi, minCount)
+		}
+		total += len(f)
+	}
+	if total != 110 {
+		t.Errorf("folds cover %d rows, want 110", total)
+	}
+	// No row in two folds.
+	seen := map[int]bool{}
+	for _, f := range folds {
+		for _, r := range f {
+			if seen[r] {
+				t.Fatalf("row %d in two folds", r)
+			}
+			seen[r] = true
+		}
+	}
+}
+
+func TestTrainTestSplitDisjoint(t *testing.T) {
+	d := tiny()
+	folds := d.StratifiedFolds(3, 2)
+	train, test := d.TrainTestSplit(folds, 1)
+	if train.Len()+test.Len() != d.Len() {
+		t.Errorf("split sizes %d + %d != %d", train.Len(), test.Len(), d.Len())
+	}
+}
+
+func TestRelabelMergesClasses(t *testing.T) {
+	d := tiny()
+	bin := d.Relabel([]string{"neg", "pos"}, func(old int) int {
+		if old == 0 {
+			return 0
+		}
+		return 1
+	})
+	if bin.NumClasses() != 2 {
+		t.Fatal("relabel class count")
+	}
+	counts := bin.ClassCounts()
+	if counts[0] != 3 || counts[1] != 3 {
+		t.Errorf("relabel counts = %v", counts)
+	}
+	if d.Y[1] != 1 {
+		t.Error("original mutated")
+	}
+}
+
+func TestStandardizer(t *testing.T) {
+	d := tiny()
+	s := FitStandardizer(d)
+	z := s.ApplyAll(d)
+	for j := 0; j < d.NumFeatures(); j++ {
+		var mean float64
+		for _, row := range z.X {
+			mean += row[j]
+		}
+		mean /= float64(z.Len())
+		if math.Abs(mean) > 1e-9 {
+			t.Errorf("column %d mean %g after standardization", j, mean)
+		}
+	}
+}
+
+func TestStandardizerConstantColumn(t *testing.T) {
+	d := NewDataset([]string{"c"}, []string{"a", "b"})
+	d.Add([]float64{5}, 0)
+	d.Add([]float64{5}, 1)
+	s := FitStandardizer(d)
+	out := s.Apply([]float64{5})
+	if math.IsNaN(out[0]) || math.IsInf(out[0], 0) {
+		t.Errorf("constant column produced %g", out[0])
+	}
+}
+
+// Property: stratified folds always partition [0, n) exactly.
+func TestFoldsPartitionProperty(t *testing.T) {
+	f := func(nRaw, kRaw uint8, seed int64) bool {
+		n := int(nRaw)%200 + 10
+		k := int(kRaw)%6 + 2
+		d := NewDataset([]string{"f"}, []string{"a", "b", "c"})
+		for i := 0; i < n; i++ {
+			d.Add([]float64{float64(i)}, i%3)
+		}
+		folds := d.StratifiedFolds(k, seed)
+		seen := make([]bool, n)
+		count := 0
+		for _, f := range folds {
+			for _, r := range f {
+				if r < 0 || r >= n || seen[r] {
+					return false
+				}
+				seen[r] = true
+				count++
+			}
+		}
+		return count == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestShuffledPermutes(t *testing.T) {
+	d := tiny()
+	s := d.Shuffled(3)
+	if s.Len() != d.Len() {
+		t.Fatal("length changed")
+	}
+	counts := s.ClassCounts()
+	orig := d.ClassCounts()
+	for i := range counts {
+		if counts[i] != orig[i] {
+			t.Errorf("class %d count changed", i)
+		}
+	}
+}

@@ -1,0 +1,249 @@
+// Package eval implements the paper's §5.2.4 performance measures —
+// confusion matrices, Recall, Precision and F-Measure — plus the k-fold
+// cross-validation driver that also captures training times, the execution-
+// performance metric of RQ 5 and RQ 7.
+package eval
+
+import (
+	"fmt"
+	"time"
+
+	"drapid/internal/ml"
+)
+
+// Confusion is a summary table of classifications: M[actual][predicted].
+type Confusion struct {
+	Classes []string
+	M       [][]int
+}
+
+// NewConfusion creates an empty matrix over the class list.
+func NewConfusion(classes []string) *Confusion {
+	m := make([][]int, len(classes))
+	for i := range m {
+		m[i] = make([]int, len(classes))
+	}
+	return &Confusion{Classes: classes, M: m}
+}
+
+// Add records one classification.
+func (c *Confusion) Add(actual, predicted int) { c.M[actual][predicted]++ }
+
+// Merge accumulates another matrix over the same classes.
+func (c *Confusion) Merge(o *Confusion) {
+	for i := range c.M {
+		for j := range c.M[i] {
+			c.M[i][j] += o.M[i][j]
+		}
+	}
+}
+
+// Total returns the number of recorded classifications.
+func (c *Confusion) Total() int {
+	n := 0
+	for _, row := range c.M {
+		for _, v := range row {
+			n += v
+		}
+	}
+	return n
+}
+
+// Accuracy is the fraction classified correctly.
+func (c *Confusion) Accuracy() float64 {
+	n := c.Total()
+	if n == 0 {
+		return 0
+	}
+	correct := 0
+	for i := range c.M {
+		correct += c.M[i][i]
+	}
+	return float64(correct) / float64(n)
+}
+
+// Recall is TP/(TP+FN) for one class (Equation 2).
+func (c *Confusion) Recall(class int) float64 {
+	tp := c.M[class][class]
+	actual := 0
+	for _, v := range c.M[class] {
+		actual += v
+	}
+	if actual == 0 {
+		return 0
+	}
+	return float64(tp) / float64(actual)
+}
+
+// Precision is TP/(TP+FP) for one class (Equation 3).
+func (c *Confusion) Precision(class int) float64 {
+	tp := c.M[class][class]
+	predicted := 0
+	for i := range c.M {
+		predicted += c.M[i][class]
+	}
+	if predicted == 0 {
+		return 0
+	}
+	return float64(tp) / float64(predicted)
+}
+
+// F1 is the harmonic mean of Recall and Precision (Equation 4).
+func (c *Confusion) F1(class int) float64 {
+	r, p := c.Recall(class), c.Precision(class)
+	if r+p == 0 {
+		return 0
+	}
+	return 2 * p * r / (p + r)
+}
+
+// CollapseBinary reduces a multiclass matrix to pulsar-vs-not, treating
+// every class except neg as positive. This is how ALM classifiers are
+// compared against binary ones: a single pulse predicted into any pulsar
+// subclass counts as a detected pulsar.
+func (c *Confusion) CollapseBinary(neg int) (tp, tn, fp, fn int) {
+	for a := range c.M {
+		for p, v := range c.M[a] {
+			switch {
+			case a != neg && p != neg:
+				tp += v
+			case a == neg && p == neg:
+				tn += v
+			case a == neg && p != neg:
+				fp += v
+			default:
+				fn += v
+			}
+		}
+	}
+	return
+}
+
+// BinaryRecall, BinaryPrecision and BinaryF1 are the collapsed metrics.
+func (c *Confusion) BinaryRecall(neg int) float64 {
+	tp, _, _, fn := c.CollapseBinary(neg)
+	if tp+fn == 0 {
+		return 0
+	}
+	return float64(tp) / float64(tp+fn)
+}
+
+// BinaryPrecision is the collapsed positive predictive value.
+func (c *Confusion) BinaryPrecision(neg int) float64 {
+	tp, _, fp, _ := c.CollapseBinary(neg)
+	if tp+fp == 0 {
+		return 0
+	}
+	return float64(tp) / float64(tp+fp)
+}
+
+// BinaryF1 is the collapsed F-Measure.
+func (c *Confusion) BinaryF1(neg int) float64 {
+	r, p := c.BinaryRecall(neg), c.BinaryPrecision(neg)
+	if r+p == 0 {
+		return 0
+	}
+	return 2 * p * r / (p + r)
+}
+
+// String renders the matrix for reports.
+func (c *Confusion) String() string {
+	s := "actual\\pred"
+	for _, n := range c.Classes {
+		s += "\t" + n
+	}
+	s += "\n"
+	for i, row := range c.M {
+		s += c.Classes[i]
+		for _, v := range row {
+			s += fmt.Sprintf("\t%d", v)
+		}
+		s += "\n"
+	}
+	return s
+}
+
+// FoldResult is one cross-validation fold's outcome.
+type FoldResult struct {
+	Fold         int
+	Conf         *Confusion
+	TrainSeconds float64
+	TestSeconds  float64
+}
+
+// Options tunes cross-validation.
+type Options struct {
+	// Folds is k (the paper uses 5). Defaults to 5.
+	Folds int
+	// Seed drives the stratified fold assignment.
+	Seed int64
+	// TrainTransform, when set, rewrites each fold's training set before
+	// fitting — the hook SMOTE plugs into (never applied to test folds,
+	// matching §5.2.1).
+	TrainTransform func(*ml.Dataset) *ml.Dataset
+	// PredictionHook, when set, observes every test prediction; RQ 4's
+	// mis-classification census uses it to track which instances which
+	// classifiers miss.
+	PredictionHook func(fold, row, actual, predicted int)
+}
+
+// CrossValidate runs stratified k-fold cross-validation of the classifier
+// the factory builds, measuring real training time per fold.
+func CrossValidate(factory func() ml.Classifier, d *ml.Dataset, opt Options) ([]FoldResult, error) {
+	k := opt.Folds
+	if k <= 0 {
+		k = 5
+	}
+	folds := d.StratifiedFolds(k, opt.Seed)
+	results := make([]FoldResult, 0, k)
+	for t := 0; t < k; t++ {
+		train, test := d.TrainTestSplit(folds, t)
+		if opt.TrainTransform != nil {
+			train = opt.TrainTransform(train)
+		}
+		cls := factory()
+		start := time.Now()
+		if err := cls.Fit(train); err != nil {
+			return nil, fmt.Errorf("eval: fold %d: fitting %s: %w", t, cls.Name(), err)
+		}
+		trainSec := time.Since(start).Seconds()
+
+		conf := NewConfusion(d.Classes)
+		start = time.Now()
+		for i, row := range test.X {
+			pred := cls.Predict(row)
+			conf.Add(test.Y[i], pred)
+			if opt.PredictionHook != nil {
+				opt.PredictionHook(t, folds[t][i], test.Y[i], pred)
+			}
+		}
+		testSec := time.Since(start).Seconds()
+		results = append(results, FoldResult{Fold: t, Conf: conf, TrainSeconds: trainSec, TestSeconds: testSec})
+	}
+	return results, nil
+}
+
+// Summary aggregates fold results.
+type Summary struct {
+	// Conf is the merged confusion matrix over all folds.
+	Conf *Confusion
+	// TrainSeconds holds per-fold training times.
+	TrainSeconds []float64
+	// MeanTrainSeconds is their mean.
+	MeanTrainSeconds float64
+}
+
+// Summarize merges fold results into one report.
+func Summarize(results []FoldResult) Summary {
+	if len(results) == 0 {
+		return Summary{}
+	}
+	s := Summary{Conf: NewConfusion(results[0].Conf.Classes)}
+	for _, r := range results {
+		s.Conf.Merge(r.Conf)
+		s.TrainSeconds = append(s.TrainSeconds, r.TrainSeconds)
+		s.MeanTrainSeconds += r.TrainSeconds
+	}
+	s.MeanTrainSeconds /= float64(len(results))
+	return s
+}

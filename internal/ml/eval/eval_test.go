@@ -1,0 +1,156 @@
+package eval
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"drapid/internal/ml"
+	"drapid/internal/ml/mltest"
+)
+
+func TestConfusionMetricsKnownValues(t *testing.T) {
+	c := NewConfusion([]string{"neg", "pos"})
+	// 8 TP, 2 FN, 1 FP, 89 TN.
+	for i := 0; i < 8; i++ {
+		c.Add(1, 1)
+	}
+	for i := 0; i < 2; i++ {
+		c.Add(1, 0)
+	}
+	c.Add(0, 1)
+	for i := 0; i < 89; i++ {
+		c.Add(0, 0)
+	}
+	if got := c.Recall(1); math.Abs(got-0.8) > 1e-12 {
+		t.Errorf("recall = %g, want 0.8", got)
+	}
+	if got := c.Precision(1); math.Abs(got-8.0/9.0) > 1e-12 {
+		t.Errorf("precision = %g", got)
+	}
+	wantF := 2 * 0.8 * (8.0 / 9.0) / (0.8 + 8.0/9.0)
+	if got := c.F1(1); math.Abs(got-wantF) > 1e-12 {
+		t.Errorf("f1 = %g, want %g", got, wantF)
+	}
+	if got := c.Accuracy(); math.Abs(got-0.97) > 1e-12 {
+		t.Errorf("accuracy = %g", got)
+	}
+	if c.Total() != 100 {
+		t.Errorf("total = %d", c.Total())
+	}
+}
+
+func TestCollapseBinary(t *testing.T) {
+	c := NewConfusion([]string{"np", "near", "far"})
+	c.Add(1, 2) // pulsar predicted as other pulsar class: still TP collapsed
+	c.Add(1, 1)
+	c.Add(2, 0) // pulsar predicted non-pulsar: FN
+	c.Add(0, 1) // non-pulsar predicted pulsar: FP
+	c.Add(0, 0)
+	tp, tn, fp, fn := c.CollapseBinary(0)
+	if tp != 2 || tn != 1 || fp != 1 || fn != 1 {
+		t.Errorf("collapse = %d %d %d %d", tp, tn, fp, fn)
+	}
+	if got := c.BinaryRecall(0); math.Abs(got-2.0/3.0) > 1e-12 {
+		t.Errorf("binary recall = %g", got)
+	}
+}
+
+// Property: for any confusion matrix, the confusion identities hold:
+// per-class recalls weighted by class prevalence sum to accuracy.
+func TestRecallAccuracyIdentity(t *testing.T) {
+	f := func(cells []uint8) bool {
+		c := NewConfusion([]string{"a", "b", "c"})
+		for i, v := range cells {
+			c.M[i%3][(i/3)%3] += int(v)
+		}
+		n := c.Total()
+		if n == 0 {
+			return true
+		}
+		var weighted float64
+		for cls := 0; cls < 3; cls++ {
+			actual := 0
+			for _, v := range c.M[cls] {
+				actual += v
+			}
+			weighted += c.Recall(cls) * float64(actual) / float64(n)
+		}
+		return math.Abs(weighted-c.Accuracy()) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// majority is a trivial classifier for CV plumbing tests.
+type majority struct{ class int }
+
+func (m *majority) Name() string { return "majority" }
+func (m *majority) Fit(d *ml.Dataset) error {
+	counts := d.ClassCounts()
+	m.class = 0
+	for c, v := range counts {
+		if v > counts[m.class] {
+			m.class = c
+		}
+	}
+	return nil
+}
+func (m *majority) Predict([]float64) int { return m.class }
+
+func TestCrossValidatePlumbing(t *testing.T) {
+	d := mltest.Blobs(2, 50, 3, 5, 1)
+	results, err := CrossValidate(func() ml.Classifier { return &majority{} }, d, Options{Folds: 5, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 5 {
+		t.Fatalf("folds = %d", len(results))
+	}
+	s := Summarize(results)
+	if s.Conf.Total() != d.Len() {
+		t.Errorf("every instance must be tested exactly once: %d != %d", s.Conf.Total(), d.Len())
+	}
+	if math.Abs(s.Conf.Accuracy()-0.5) > 0.05 {
+		t.Errorf("majority on balanced blobs should sit near 0.5, got %g", s.Conf.Accuracy())
+	}
+	if len(s.TrainSeconds) != 5 || s.MeanTrainSeconds < 0 {
+		t.Errorf("training times missing: %+v", s.TrainSeconds)
+	}
+}
+
+func TestCrossValidateHooks(t *testing.T) {
+	d := mltest.Blobs(2, 20, 2, 5, 2)
+	transformed := 0
+	predictions := 0
+	_, err := CrossValidate(func() ml.Classifier { return &majority{} }, d, Options{
+		Folds: 4,
+		TrainTransform: func(train *ml.Dataset) *ml.Dataset {
+			transformed++
+			return train
+		},
+		PredictionHook: func(fold, row, actual, pred int) { predictions++ },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if transformed != 4 {
+		t.Errorf("transform ran %d times, want 4", transformed)
+	}
+	if predictions != d.Len() {
+		t.Errorf("hook saw %d predictions, want %d", predictions, d.Len())
+	}
+}
+
+func TestMergeAccumulates(t *testing.T) {
+	a := NewConfusion([]string{"x", "y"})
+	b := NewConfusion([]string{"x", "y"})
+	a.Add(0, 0)
+	b.Add(0, 0)
+	b.Add(1, 0)
+	a.Merge(b)
+	if a.M[0][0] != 2 || a.M[1][0] != 1 {
+		t.Errorf("merge: %+v", a.M)
+	}
+}

@@ -1,0 +1,287 @@
+// Package featsel implements the five filter feature-selection methods of
+// Table 4: three entropy measures (InfoGain, GainRatio,
+// SymmetricalUncertainty), a linear-correlation ranker, and OneR. Each
+// method scores every feature; the experiments keep the ten top-ranked
+// features, as §6.2 does.
+package featsel
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"drapid/internal/ml"
+)
+
+// Method names a ranker.
+type Method int
+
+const (
+	// InfoGain scores H(class) − H(class|feature).
+	InfoGain Method = iota
+	// GainRatio normalises InfoGain by the feature's split entropy.
+	GainRatio
+	// SymmetricalUncertainty is 2·IG / (H(feature) + H(class)).
+	SymmetricalUncertainty
+	// Correlation is the class-weighted absolute Pearson correlation
+	// between the feature and the per-class indicator variables.
+	Correlation
+	// OneR scores the training accuracy of a one-feature rule.
+	OneR
+)
+
+// Methods lists Table 4's rankers in order.
+func Methods() []Method {
+	return []Method{InfoGain, GainRatio, SymmetricalUncertainty, Correlation, OneR}
+}
+
+// String returns the paper's abbreviation.
+func (m Method) String() string {
+	switch m {
+	case InfoGain:
+		return "IG"
+	case GainRatio:
+		return "GR"
+	case SymmetricalUncertainty:
+		return "SU"
+	case Correlation:
+		return "Cor"
+	case OneR:
+		return "1R"
+	default:
+		return fmt.Sprintf("Method(%d)", int(m))
+	}
+}
+
+// DefaultBins is the equal-frequency bin count used to discretize numeric
+// features for the entropy measures and OneR.
+const DefaultBins = 10
+
+// Score computes the method's score for every feature.
+func Score(m Method, d *ml.Dataset) []float64 {
+	nf := d.NumFeatures()
+	scores := make([]float64, nf)
+	classH := entropy(classDistribution(d))
+	for j := 0; j < nf; j++ {
+		switch m {
+		case InfoGain:
+			ig, _, _ := infoGain(d, j, classH)
+			scores[j] = ig
+		case GainRatio:
+			ig, featH, _ := infoGain(d, j, classH)
+			if featH > 0 {
+				scores[j] = ig / featH
+			}
+		case SymmetricalUncertainty:
+			ig, featH, _ := infoGain(d, j, classH)
+			if featH+classH > 0 {
+				scores[j] = 2 * ig / (featH + classH)
+			}
+		case Correlation:
+			scores[j] = classCorrelation(d, j)
+		case OneR:
+			scores[j] = oneRAccuracy(d, j)
+		}
+	}
+	return scores
+}
+
+// Rank returns feature indices ordered by descending score; ties break by
+// index for determinism.
+func Rank(scores []float64) []int {
+	idx := make([]int, len(scores))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return scores[idx[a]] > scores[idx[b]] })
+	return idx
+}
+
+// TopK scores, ranks, and returns the best k feature indices (ascending
+// order, ready for Dataset.SelectFeatures).
+func TopK(m Method, d *ml.Dataset, k int) []int {
+	ranked := Rank(Score(m, d))
+	if k > len(ranked) {
+		k = len(ranked)
+	}
+	top := append([]int(nil), ranked[:k]...)
+	sort.Ints(top)
+	return top
+}
+
+// Discretize assigns each value of feature j an equal-frequency bin index
+// in [0, bins); duplicate cut points collapse, so the result may use fewer
+// bins. Returned alongside is the number of bins actually used.
+func Discretize(d *ml.Dataset, j, bins int) ([]int, int) {
+	n := d.Len()
+	if n == 0 {
+		return nil, 1
+	}
+	values := make([]float64, n)
+	for i, row := range d.X {
+		values[i] = row[j]
+	}
+	sorted := append([]float64(nil), values...)
+	sort.Float64s(sorted)
+
+	// Unique cut points at the equal-frequency boundaries. A cut at the
+	// minimum value would leave bin 0 empty, so those are skipped (a
+	// constant feature therefore occupies a single bin).
+	var cuts []float64
+	for b := 1; b < bins; b++ {
+		c := sorted[b*n/bins]
+		if c > sorted[0] && (len(cuts) == 0 || c > cuts[len(cuts)-1]) {
+			cuts = append(cuts, c)
+		}
+	}
+	// bin(v) = number of cuts at or below v, in [0, len(cuts)].
+	out := make([]int, n)
+	for i, v := range values {
+		b := sort.SearchFloat64s(cuts, v)
+		if b < len(cuts) && v >= cuts[b] {
+			b++
+		}
+		out[i] = b
+	}
+	return out, len(cuts) + 1
+}
+
+func classDistribution(d *ml.Dataset) []float64 {
+	counts := d.ClassCounts()
+	dist := make([]float64, len(counts))
+	n := float64(d.Len())
+	if n == 0 {
+		return dist
+	}
+	for i, c := range counts {
+		dist[i] = float64(c) / n
+	}
+	return dist
+}
+
+func entropy(dist []float64) float64 {
+	var h float64
+	for _, p := range dist {
+		if p > 0 {
+			h -= p * math.Log2(p)
+		}
+	}
+	return h
+}
+
+// infoGain returns (IG, H(feature), H(class|feature)) for the discretized
+// feature j.
+func infoGain(d *ml.Dataset, j int, classH float64) (ig, featH, condH float64) {
+	bins, used := Discretize(d, j, DefaultBins)
+	n := d.Len()
+	if n == 0 {
+		return 0, 0, 0
+	}
+	k := d.NumClasses()
+	joint := make([][]float64, used)
+	for b := range joint {
+		joint[b] = make([]float64, k)
+	}
+	binCount := make([]float64, used)
+	for i, b := range bins {
+		joint[b][d.Y[i]]++
+		binCount[b]++
+	}
+	fn := float64(n)
+	for b := 0; b < used; b++ {
+		pb := binCount[b] / fn
+		if pb == 0 {
+			continue
+		}
+		featH -= pb * math.Log2(pb)
+		dist := make([]float64, k)
+		for c := 0; c < k; c++ {
+			dist[c] = joint[b][c] / binCount[b]
+		}
+		condH += pb * entropy(dist)
+	}
+	return classH - condH, featH, condH
+}
+
+// classCorrelation is Weka's CorrelationAttributeEval for nominal classes:
+// the absolute Pearson correlation between the feature and each class's
+// 0/1 indicator, weighted by class prior.
+func classCorrelation(d *ml.Dataset, j int) float64 {
+	n := d.Len()
+	if n == 0 {
+		return 0
+	}
+	x := make([]float64, n)
+	for i, row := range d.X {
+		x[i] = row[j]
+	}
+	var score float64
+	counts := d.ClassCounts()
+	for c, count := range counts {
+		if count == 0 {
+			continue
+		}
+		ind := make([]float64, n)
+		for i, y := range d.Y {
+			if y == c {
+				ind[i] = 1
+			}
+		}
+		w := float64(count) / float64(n)
+		score += w * math.Abs(pearson(x, ind))
+	}
+	return score
+}
+
+func pearson(x, y []float64) float64 {
+	n := float64(len(x))
+	if n == 0 {
+		return 0
+	}
+	var sx, sy float64
+	for i := range x {
+		sx += x[i]
+		sy += y[i]
+	}
+	mx, my := sx/n, sy/n
+	var cov, vx, vy float64
+	for i := range x {
+		dx, dy := x[i]-mx, y[i]-my
+		cov += dx * dy
+		vx += dx * dx
+		vy += dy * dy
+	}
+	if vx == 0 || vy == 0 {
+		return 0
+	}
+	return cov / math.Sqrt(vx*vy)
+}
+
+// oneRAccuracy builds a one-feature rule (majority class per bin) and
+// scores its training accuracy, Holte's OneR as an attribute evaluator.
+func oneRAccuracy(d *ml.Dataset, j int) float64 {
+	n := d.Len()
+	if n == 0 {
+		return 0
+	}
+	bins, used := Discretize(d, j, DefaultBins)
+	k := d.NumClasses()
+	counts := make([][]int, used)
+	for b := range counts {
+		counts[b] = make([]int, k)
+	}
+	for i, b := range bins {
+		counts[b][d.Y[i]]++
+	}
+	correct := 0
+	for b := 0; b < used; b++ {
+		best := 0
+		for c := 1; c < k; c++ {
+			if counts[b][c] > counts[b][best] {
+				best = c
+			}
+		}
+		correct += counts[b][best]
+	}
+	return float64(correct) / float64(n)
+}

@@ -1,0 +1,151 @@
+package featsel
+
+import (
+	"math/rand"
+	"testing"
+
+	"drapid/internal/ml"
+)
+
+// informative builds a dataset where feature 0 determines the class,
+// feature 1 is weakly related, and feature 2 is pure noise.
+func informative(n int, seed int64) *ml.Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	d := ml.NewDataset([]string{"signal", "weak", "noise"}, []string{"a", "b"})
+	for i := 0; i < n; i++ {
+		y := rng.Intn(2)
+		x := []float64{
+			float64(y)*4 + rng.NormFloat64()*0.5,
+			float64(y)*1 + rng.NormFloat64()*2,
+			rng.NormFloat64(),
+		}
+		d.Add(x, y)
+	}
+	return d
+}
+
+func TestAllMethodsRankSignalFirst(t *testing.T) {
+	d := informative(500, 1)
+	for _, m := range Methods() {
+		ranked := Rank(Score(m, d))
+		if ranked[0] != 0 {
+			t.Errorf("%v ranked feature %d first, want signal (0); scores=%v",
+				m, ranked[0], Score(m, d))
+		}
+		if ranked[2] != 2 {
+			t.Errorf("%v ranked noise at %d, want last", m, indexOf(ranked, 2))
+		}
+	}
+}
+
+func indexOf(xs []int, v int) int {
+	for i, x := range xs {
+		if x == v {
+			return i
+		}
+	}
+	return -1
+}
+
+func TestMethodsMatchTable4(t *testing.T) {
+	want := []string{"IG", "GR", "SU", "Cor", "1R"}
+	for i, m := range Methods() {
+		if m.String() != want[i] {
+			t.Errorf("method %d = %s, want %s", i, m, want[i])
+		}
+	}
+}
+
+func TestTopKSelectsAndSorts(t *testing.T) {
+	d := informative(300, 2)
+	top := TopK(InfoGain, d, 2)
+	if len(top) != 2 {
+		t.Fatalf("TopK returned %d", len(top))
+	}
+	if top[0] > top[1] {
+		t.Error("TopK output not ascending")
+	}
+	if indexOf(top, 0) == -1 {
+		t.Error("TopK dropped the signal feature")
+	}
+	if got := TopK(InfoGain, d, 99); len(got) != 3 {
+		t.Errorf("TopK clamps to feature count; got %d", len(got))
+	}
+}
+
+func TestDiscretizeEqualFrequency(t *testing.T) {
+	d := ml.NewDataset([]string{"f"}, []string{"a"})
+	for i := 0; i < 100; i++ {
+		d.Add([]float64{float64(i)}, 0)
+	}
+	bins, used := Discretize(d, 0, 10)
+	if used != 10 {
+		t.Fatalf("used %d bins", used)
+	}
+	counts := make([]int, used)
+	for _, b := range bins {
+		counts[b]++
+	}
+	for b, c := range counts {
+		if c != 10 {
+			t.Errorf("bin %d holds %d values, want 10", b, c)
+		}
+	}
+}
+
+func TestDiscretizeConstantFeature(t *testing.T) {
+	d := ml.NewDataset([]string{"f"}, []string{"a"})
+	for i := 0; i < 50; i++ {
+		d.Add([]float64{7}, 0)
+	}
+	bins, used := Discretize(d, 0, 10)
+	if used != 1 {
+		t.Errorf("constant feature used %d bins", used)
+	}
+	for _, b := range bins {
+		if b != 0 {
+			t.Fatal("constant feature scattered across bins")
+		}
+	}
+}
+
+func TestScoresNonNegative(t *testing.T) {
+	d := informative(200, 3)
+	for _, m := range Methods() {
+		for j, s := range Score(m, d) {
+			if s < -1e-9 {
+				t.Errorf("%v feature %d score %g < 0", m, j, s)
+			}
+		}
+	}
+}
+
+func TestGainRatioNormalizes(t *testing.T) {
+	d := informative(500, 4)
+	ig := Score(InfoGain, d)
+	gr := Score(GainRatio, d)
+	su := Score(SymmetricalUncertainty, d)
+	for j := range ig {
+		if gr[j] < 0 || su[j] < 0 || su[j] > 1+1e-9 {
+			t.Errorf("feature %d: gr=%g su=%g out of range", j, gr[j], su[j])
+		}
+	}
+}
+
+func TestRankDeterministicOnTies(t *testing.T) {
+	scores := []float64{0.5, 0.5, 0.5}
+	r := Rank(scores)
+	if r[0] != 0 || r[1] != 1 || r[2] != 2 {
+		t.Errorf("tied ranks not index-ordered: %v", r)
+	}
+}
+
+func TestEmptyDataset(t *testing.T) {
+	d := ml.NewDataset([]string{"f"}, []string{"a", "b"})
+	for _, m := range Methods() {
+		scores := Score(m, d)
+		if len(scores) != 1 {
+			t.Errorf("%v on empty data: %v", m, scores)
+		}
+	}
+}

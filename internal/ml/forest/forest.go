@@ -1,0 +1,134 @@
+// Package forest implements the RandomForest ensemble (Breiman 2001, as in
+// Weka): bagged, unpruned random trees voting by majority, with a random
+// feature subset considered at every node. Trees build in parallel across
+// host cores — the learner the paper found best for single-pulse
+// classification and the main beneficiary of ALM's training-time savings.
+package forest
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"drapid/internal/ml"
+	"drapid/internal/ml/tree"
+)
+
+// RandomForest is an ensemble of random trees.
+type RandomForest struct {
+	// Trees is the ensemble size; default 100 (Weka's default).
+	Trees int
+	// MTry is the features sampled per node; 0 means Weka's
+	// log2(features)+1.
+	MTry int
+	// MinLeaf defaults to 1 (unpruned deep trees).
+	MinLeaf int
+	// Seed drives bootstrap and feature sampling.
+	Seed int64
+	// Parallel enables multi-goroutine tree building (default on via
+	// NewRandomForest; the bench harness switches it off to measure
+	// single-core training cost).
+	Parallel bool
+
+	ensemble []*tree.Node
+	classes  int
+}
+
+// NewRandomForest returns a forest with Weka-default settings.
+func NewRandomForest(trees int, seed int64) *RandomForest {
+	if trees <= 0 {
+		trees = 100
+	}
+	return &RandomForest{Trees: trees, Seed: seed, MinLeaf: 1, Parallel: true}
+}
+
+// Name implements ml.Classifier.
+func (f *RandomForest) Name() string { return "RandomForest" }
+
+// Fit implements ml.Classifier.
+func (f *RandomForest) Fit(d *ml.Dataset) error {
+	if d.Len() == 0 {
+		return fmt.Errorf("forest: empty training set")
+	}
+	mtry := f.MTry
+	if mtry <= 0 {
+		mtry = int(math.Log2(float64(d.NumFeatures()))) + 1
+	}
+	minLeaf := f.MinLeaf
+	if minLeaf <= 0 {
+		minLeaf = 1
+	}
+	f.classes = d.NumClasses()
+	f.ensemble = make([]*tree.Node, f.Trees)
+
+	build := func(t int) {
+		rng := rand.New(rand.NewSource(f.Seed + int64(t)*7919))
+		n := d.Len()
+		rows := make([]int, n)
+		for i := range rows {
+			rows[i] = rng.Intn(n) // bootstrap sample
+		}
+		f.ensemble[t] = tree.Build(d, rows, tree.BuildOptions{
+			MinLeaf: minLeaf, GainRatio: false, MTry: mtry, Rng: rng,
+		})
+	}
+
+	if !f.Parallel {
+		for t := 0; t < f.Trees; t++ {
+			build(t)
+		}
+		return nil
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > f.Trees {
+		workers = f.Trees
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for t := range next {
+				build(t)
+			}
+		}()
+	}
+	for t := 0; t < f.Trees; t++ {
+		next <- t
+	}
+	close(next)
+	wg.Wait()
+	return nil
+}
+
+// Predict implements ml.Classifier by majority vote.
+func (f *RandomForest) Predict(x []float64) int {
+	votes := make([]int, f.classes)
+	for _, t := range f.ensemble {
+		votes[t.Predict(x)]++
+	}
+	best := 0
+	for c := 1; c < len(votes); c++ {
+		if votes[c] > votes[best] {
+			best = c
+		}
+	}
+	return best
+}
+
+// Stats reports ensemble shape — the mechanism behind ALM's training-time
+// effect is visible here as shallower, smaller trees.
+func (f *RandomForest) Stats() (meanDepth, meanNodes float64) {
+	if len(f.ensemble) == 0 {
+		return 0, 0
+	}
+	for _, t := range f.ensemble {
+		meanDepth += float64(t.Depth())
+		meanNodes += float64(t.Size())
+	}
+	n := float64(len(f.ensemble))
+	return meanDepth / n, meanNodes / n
+}

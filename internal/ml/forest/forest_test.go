@@ -1,0 +1,80 @@
+package forest
+
+import (
+	"testing"
+
+	"drapid/internal/ml"
+	"drapid/internal/ml/mltest"
+)
+
+func TestForestSeparableBlobs(t *testing.T) {
+	d := mltest.Blobs(3, 150, 5, 5, 1)
+	folds := d.StratifiedFolds(4, 1)
+	train, test := d.TrainTestSplit(folds, 0)
+	acc, err := mltest.FitAccuracy(NewRandomForest(30, 1), train, test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc < 0.93 {
+		t.Errorf("forest accuracy %g, want >= 0.93", acc)
+	}
+}
+
+func TestForestSolvesXOR(t *testing.T) {
+	// Unlike a single greedy tree, bagged random trees recover XOR: noise
+	// breaks the zero-gain tie and deeper splits fix the structure.
+	d := mltest.XORish(800, 4, 2)
+	folds := d.StratifiedFolds(4, 2)
+	train, test := d.TrainTestSplit(folds, 0)
+	acc, err := mltest.FitAccuracy(NewRandomForest(50, 2), train, test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc < 0.85 {
+		t.Errorf("forest accuracy %g on XOR, want >= 0.85", acc)
+	}
+}
+
+func TestForestDeterministicGivenSeed(t *testing.T) {
+	d := mltest.Blobs(2, 100, 4, 4, 3)
+	a, b := NewRandomForest(10, 7), NewRandomForest(10, 7)
+	a.Parallel = true
+	b.Parallel = false // parallelism must not change the model
+	if err := a.Fit(d); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Fit(d); err != nil {
+		t.Fatal(err)
+	}
+	for i, x := range d.X {
+		if a.Predict(x) != b.Predict(x) {
+			t.Fatalf("prediction %d differs between parallel and serial fits", i)
+		}
+	}
+}
+
+func TestForestEmptyTrainingSet(t *testing.T) {
+	d := ml.NewDataset([]string{"f"}, []string{"a"})
+	if err := NewRandomForest(5, 1).Fit(d); err == nil {
+		t.Error("empty training set accepted")
+	}
+}
+
+func TestForestStats(t *testing.T) {
+	d := mltest.Blobs(2, 200, 4, 3, 5)
+	f := NewRandomForest(20, 5)
+	if err := f.Fit(d); err != nil {
+		t.Fatal(err)
+	}
+	depth, nodes := f.Stats()
+	if depth <= 0 || nodes <= 1 {
+		t.Errorf("stats: depth=%g nodes=%g", depth, nodes)
+	}
+}
+
+func TestForestDefaultSizes(t *testing.T) {
+	f := NewRandomForest(0, 1)
+	if f.Trees != 100 {
+		t.Errorf("default trees = %d, want 100 (Weka default)", f.Trees)
+	}
+}

@@ -1,0 +1,68 @@
+// Package learners is the Table 5 registry: it constructs any of the six
+// machine learning algorithms the paper evaluates by name, with the
+// defaults the experiments use.
+package learners
+
+import (
+	"fmt"
+
+	"drapid/internal/ml"
+	"drapid/internal/ml/forest"
+	"drapid/internal/ml/mlp"
+	"drapid/internal/ml/rules"
+	"drapid/internal/ml/svm"
+	"drapid/internal/ml/tree"
+)
+
+// Names lists Table 5's learners in the paper's order.
+func Names() []string { return []string{"MPN", "SMO", "JRip", "J48", "PART", "RF"} }
+
+// Types maps each learner to its Table 5 type description.
+var Types = map[string]string{
+	"MPN":  "Artificial Neural Network",
+	"SMO":  "Support Vector Machine",
+	"JRip": "Rule",
+	"J48":  "Tree",
+	"PART": "Rule + Tree",
+	"RF":   "Ensemble Tree",
+}
+
+// Options tunes construction for experiment-scale control.
+type Options struct {
+	// Seed drives all stochastic learners.
+	Seed int64
+	// ForestTrees overrides the RF ensemble size (default 100).
+	ForestTrees int
+	// ForestParallel enables RF's parallel tree building. The experiment
+	// harness disables it so training times reflect single-core cost, as
+	// Weka's did.
+	ForestParallel bool
+	// MLPEpochs overrides MPN's epoch count.
+	MLPEpochs int
+}
+
+// New constructs a learner by Table 5 name.
+func New(name string, opt Options) (ml.Classifier, error) {
+	switch name {
+	case "MPN":
+		m := mlp.NewMLP(opt.Seed)
+		if opt.MLPEpochs > 0 {
+			m.Epochs = opt.MLPEpochs
+		}
+		return m, nil
+	case "SMO":
+		return svm.NewSMO(opt.Seed), nil
+	case "JRip":
+		return rules.NewJRip(opt.Seed), nil
+	case "J48":
+		return tree.NewJ48(), nil
+	case "PART":
+		return rules.NewPART(), nil
+	case "RF", "RandomForest":
+		f := forest.NewRandomForest(opt.ForestTrees, opt.Seed)
+		f.Parallel = opt.ForestParallel
+		return f, nil
+	default:
+		return nil, fmt.Errorf("learners: unknown learner %q (Table 5 lists %v)", name, Names())
+	}
+}

@@ -1,0 +1,50 @@
+package learners
+
+import (
+	"testing"
+
+	"drapid/internal/ml/mltest"
+)
+
+func TestAllSixLearnersConstruct(t *testing.T) {
+	if len(Names()) != 6 {
+		t.Fatalf("Table 5 lists 6 learners, got %v", Names())
+	}
+	for _, name := range Names() {
+		c, err := New(name, Options{Seed: 1, ForestTrees: 10, MLPEpochs: 5})
+		if err != nil {
+			t.Fatalf("New(%s): %v", name, err)
+		}
+		if c.Name() == "" {
+			t.Errorf("%s has empty name", name)
+		}
+		if Types[name] == "" {
+			t.Errorf("%s missing Table 5 type", name)
+		}
+	}
+}
+
+func TestUnknownLearnerRejected(t *testing.T) {
+	if _, err := New("XGBoost", Options{}); err == nil {
+		t.Error("unknown learner accepted")
+	}
+}
+
+func TestAllLearnersFitBlobs(t *testing.T) {
+	d := mltest.Blobs(2, 120, 4, 6, 2)
+	folds := d.StratifiedFolds(3, 2)
+	train, test := d.TrainTestSplit(folds, 0)
+	for _, name := range Names() {
+		c, err := New(name, Options{Seed: 2, ForestTrees: 15, MLPEpochs: 30})
+		if err != nil {
+			t.Fatal(err)
+		}
+		acc, err := mltest.FitAccuracy(c, train, test)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if acc < 0.85 {
+			t.Errorf("%s accuracy %g on easy blobs, want >= 0.85", name, acc)
+		}
+	}
+}

@@ -1,0 +1,90 @@
+package mlp
+
+import (
+	"testing"
+
+	"drapid/internal/ml"
+	"drapid/internal/ml/mltest"
+)
+
+func TestMLPSeparableBlobs(t *testing.T) {
+	d := mltest.Blobs(3, 150, 4, 6, 1)
+	folds := d.StratifiedFolds(4, 1)
+	train, test := d.TrainTestSplit(folds, 0)
+	acc, err := mltest.FitAccuracy(NewMLP(1), train, test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc < 0.9 {
+		t.Errorf("MLP accuracy %g, want >= 0.9", acc)
+	}
+}
+
+func TestMLPSolvesXOR(t *testing.T) {
+	// The hidden layer is the whole point: XOR is the classic test a
+	// perceptron fails and an MLP passes.
+	d := mltest.XORish(800, 2, 2)
+	m := NewMLP(2)
+	m.Epochs = 200
+	if err := m.Fit(d); err != nil {
+		t.Fatal(err)
+	}
+	if acc := mltest.Accuracy(m, d); acc < 0.9 {
+		t.Errorf("MLP accuracy %g on XOR, want >= 0.9", acc)
+	}
+}
+
+func TestHiddenLayerHeuristic(t *testing.T) {
+	d := mltest.Blobs(4, 20, 10, 6, 3)
+	m := NewMLP(3)
+	m.Epochs = 1
+	if err := m.Fit(d); err != nil {
+		t.Fatal(err)
+	}
+	// Weka's "a": (features + classes) / 2 = (10 + 4) / 2 = 7.
+	if m.hid != 7 {
+		t.Errorf("hidden = %d, want 7", m.hid)
+	}
+}
+
+func TestNumWeightsShrinksWithFeatures(t *testing.T) {
+	// The Figure 6(b) mechanism: fewer input features → fewer weights →
+	// proportionally less work per epoch.
+	wide := mltest.Blobs(2, 30, 22, 5, 4)
+	narrow := wide.SelectFeatures([]int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9})
+	mw, mn := NewMLP(4), NewMLP(4)
+	mw.Epochs, mn.Epochs = 1, 1
+	if err := mw.Fit(wide); err != nil {
+		t.Fatal(err)
+	}
+	if err := mn.Fit(narrow); err != nil {
+		t.Fatal(err)
+	}
+	if mn.NumWeights() >= mw.NumWeights() {
+		t.Errorf("weights did not shrink: %d -> %d", mw.NumWeights(), mn.NumWeights())
+	}
+}
+
+func TestMLPDeterministic(t *testing.T) {
+	d := mltest.Blobs(2, 60, 3, 5, 5)
+	a, b := NewMLP(9), NewMLP(9)
+	a.Epochs, b.Epochs = 10, 10
+	if err := a.Fit(d); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Fit(d); err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range d.X {
+		if a.Predict(x) != b.Predict(x) {
+			t.Fatal("same seed, different predictions")
+		}
+	}
+}
+
+func TestMLPEmptyTrainingSet(t *testing.T) {
+	d := ml.NewDataset([]string{"f"}, []string{"a"})
+	if err := NewMLP(1).Fit(d); err == nil {
+		t.Error("empty training set accepted")
+	}
+}

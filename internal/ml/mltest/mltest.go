@@ -1,0 +1,119 @@
+// Package mltest provides deterministic synthetic datasets for testing the
+// learners: Gaussian blobs with controllable separation, a two-moons-style
+// nonlinear problem, and an imbalanced variant. Keeping them in a real
+// package (not _test files) lets every learner package share one oracle.
+package mltest
+
+import (
+	"math"
+	"math/rand"
+
+	"drapid/internal/ml"
+)
+
+// Blobs returns k well-separated Gaussian classes in dim dimensions with n
+// points per class. Separation controls the distance between centres in
+// units of the within-class standard deviation.
+func Blobs(k, n, dim int, separation float64, seed int64) *ml.Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	names := make([]string, dim)
+	classes := make([]string, k)
+	for j := range names {
+		names[j] = "f" + string(rune('0'+j%10))
+	}
+	for c := range classes {
+		classes[c] = "c" + string(rune('0'+c%10))
+	}
+	d := ml.NewDataset(names, classes)
+	for c := 0; c < k; c++ {
+		centre := make([]float64, dim)
+		for j := range centre {
+			// Centres on a simplex-ish layout: distinct per class.
+			centre[j] = separation * math.Cos(float64(c)+float64(j)*1.7)
+		}
+		for i := 0; i < n; i++ {
+			x := make([]float64, dim)
+			for j := range x {
+				x[j] = centre[j] + rng.NormFloat64()
+			}
+			d.Add(x, c)
+		}
+	}
+	return d.Shuffled(seed + 1)
+}
+
+// XORish returns a binary problem no linear separator solves: class is the
+// XOR of the signs of the first two features (plus noise dims).
+func XORish(n, dim int, seed int64) *ml.Dataset {
+	rng := rand.New(rand.NewSource(seed))
+	names := make([]string, dim)
+	for j := range names {
+		names[j] = "f" + string(rune('0'+j%10))
+	}
+	d := ml.NewDataset(names, []string{"neg", "pos"})
+	for i := 0; i < n; i++ {
+		x := make([]float64, dim)
+		for j := range x {
+			x[j] = rng.NormFloat64() * 0.3
+		}
+		a, b := rng.Float64() > 0.5, rng.Float64() > 0.5
+		if a {
+			x[0] += 2
+		} else {
+			x[0] -= 2
+		}
+		if b {
+			x[1] += 2
+		} else {
+			x[1] -= 2
+		}
+		y := 0
+		if a != b {
+			y = 1
+		}
+		d.Add(x, y)
+	}
+	return d
+}
+
+// Imbalanced returns a binary blob problem with the positive class down-
+// sampled to ratio of the negative class.
+func Imbalanced(nNeg int, ratio float64, dim int, seed int64) *ml.Dataset {
+	base := Blobs(2, nNeg, dim, 4, seed)
+	d := ml.NewDataset(base.Names, base.Classes)
+	wantPos := int(float64(nNeg) * ratio)
+	pos := 0
+	for i, y := range base.Y {
+		if y == 1 {
+			if pos >= wantPos {
+				continue
+			}
+			pos++
+		}
+		d.Add(base.X[i], y)
+	}
+	return d
+}
+
+// Accuracy evaluates a fitted classifier on a dataset.
+func Accuracy(c ml.Classifier, d *ml.Dataset) float64 {
+	if d.Len() == 0 {
+		return 0
+	}
+	correct := 0
+	for i, x := range d.X {
+		if c.Predict(x) == d.Y[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(d.Len())
+}
+
+// FitAccuracy fits on train and reports test accuracy, failing the test on
+// fit error is the caller's job (error returned).
+func FitAccuracy(c ml.Classifier, train, test *ml.Dataset) (float64, error) {
+	if err := c.Fit(train); err != nil {
+		return 0, err
+	}
+	return Accuracy(c, test), nil
+}

@@ -1,0 +1,182 @@
+package rules
+
+import (
+	"fmt"
+	"math/rand"
+
+	"drapid/internal/ml"
+)
+
+// JRip is RIPPER (Cohen 1995) as Weka ships it: classes are handled in
+// order of increasing prevalence; for each class, rules are grown on a 2/3
+// split (adding FOIL-gain-best conditions until pure) and pruned on the
+// remaining 1/3 (dropping trailing conditions while the pruning metric
+// (p−n)/(p+n) improves); rule addition stops when a new rule's pruning
+// accuracy falls below coin-flip. The global MDL-based optimisation pass of
+// full RIPPER is omitted — a documented simplification that does not change
+// the execution-performance behaviour the paper measures.
+type JRip struct {
+	// Seed drives the grow/prune split.
+	Seed int64
+	// MaxRulesPerClass bounds runaway rule lists; default 64.
+	MaxRulesPerClass int
+
+	list *RuleList
+}
+
+// NewJRip returns a learner with default settings.
+func NewJRip(seed int64) *JRip { return &JRip{Seed: seed, MaxRulesPerClass: 64} }
+
+// Name implements ml.Classifier.
+func (j *JRip) Name() string { return "JRip" }
+
+// Fit implements ml.Classifier.
+func (j *JRip) Fit(d *ml.Dataset) error {
+	if d.Len() == 0 {
+		return fmt.Errorf("jrip: empty training set")
+	}
+	maxRules := j.MaxRulesPerClass
+	if maxRules <= 0 {
+		maxRules = 64
+	}
+	rng := rand.New(rand.NewSource(j.Seed))
+
+	// Classes from rarest to most common; the most common becomes the
+	// default.
+	counts := d.ClassCounts()
+	order := make([]int, len(counts))
+	for i := range order {
+		order[i] = i
+	}
+	for i := 1; i < len(order); i++ { // stable insertion sort by count
+		for k := i; k > 0 && counts[order[k]] < counts[order[k-1]]; k-- {
+			order[k], order[k-1] = order[k-1], order[k]
+		}
+	}
+	defaultClass := order[len(order)-1]
+
+	rows := make([]int, d.Len())
+	for i := range rows {
+		rows[i] = i
+	}
+	list := &RuleList{Default: defaultClass}
+	for _, class := range order[:len(order)-1] {
+		remaining := rows
+		for r := 0; r < maxRules; r++ {
+			pos := 0
+			for _, i := range remaining {
+				if d.Y[i] == class {
+					pos++
+				}
+			}
+			if pos == 0 {
+				break
+			}
+			rule, ok := j.growPruneRule(d, remaining, class, rng)
+			if !ok {
+				break
+			}
+			list.Rules = append(list.Rules, rule)
+			_, remaining = covered(d, remaining, rule)
+		}
+		rows = filterClassHandled(d, rows, list)
+	}
+	j.list = list
+	return nil
+}
+
+// growPruneRule builds one rule for class over rows using a 2/3 grow, 1/3
+// prune split.
+func (j *JRip) growPruneRule(d *ml.Dataset, rows []int, class int, rng *rand.Rand) (Rule, bool) {
+	shuffled := append([]int(nil), rows...)
+	rng.Shuffle(len(shuffled), func(a, b int) { shuffled[a], shuffled[b] = shuffled[b], shuffled[a] })
+	cut := len(shuffled) * 2 / 3
+	if cut == 0 {
+		cut = len(shuffled)
+	}
+	grow, prune := shuffled[:cut], shuffled[cut:]
+	isPos := func(r int) bool { return d.Y[r] == class }
+
+	rule := Rule{Class: class}
+	cur := grow
+	for len(rule.Conds) < 16 {
+		neg := 0
+		for _, r := range cur {
+			if !isPos(r) {
+				neg++
+			}
+		}
+		if neg == 0 {
+			break // pure on the grow set
+		}
+		cond, ok := bestCondition(d, cur, isPos)
+		if !ok {
+			break
+		}
+		rule.Conds = append(rule.Conds, cond)
+		cur, _ = covered(d, cur, Rule{Conds: rule.Conds, Class: class})
+	}
+	if len(rule.Conds) == 0 {
+		return Rule{}, false
+	}
+
+	// Prune: drop trailing conditions while (p−n)/(p+n) on the prune set
+	// improves.
+	if len(prune) > 0 {
+		bestLen, bestVal := len(rule.Conds), pruneMetric(d, prune, rule, class)
+		for l := len(rule.Conds) - 1; l >= 1; l-- {
+			v := pruneMetric(d, prune, Rule{Conds: rule.Conds[:l], Class: class}, class)
+			if v >= bestVal {
+				bestVal, bestLen = v, l
+			}
+		}
+		rule.Conds = rule.Conds[:bestLen]
+		if bestVal <= 0 {
+			return Rule{}, false // worse than coin flip on unseen data
+		}
+	}
+	return rule, true
+}
+
+// pruneMetric is RIPPER's (p−n)/(p+n) on the prune split.
+func pruneMetric(d *ml.Dataset, rows []int, rule Rule, class int) float64 {
+	var p, n float64
+	for _, r := range rows {
+		if rule.Matches(d.X[r]) {
+			if d.Y[r] == class {
+				p++
+			} else {
+				n++
+			}
+		}
+	}
+	if p+n == 0 {
+		return 0
+	}
+	return (p - n) / (p + n)
+}
+
+// filterClassHandled drops rows already captured by the rule list so later
+// (larger) classes learn against the residue, per RIPPER's ordered scheme.
+func filterClassHandled(d *ml.Dataset, rows []int, list *RuleList) []int {
+	var out []int
+	for _, r := range rows {
+		matched := false
+		for _, rule := range list.Rules {
+			if rule.Matches(d.X[r]) {
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Predict implements ml.Classifier.
+func (j *JRip) Predict(x []float64) int { return j.list.Predict(x) }
+
+// Rules exposes the fitted decision list.
+func (j *JRip) Rules() *RuleList { return j.list }

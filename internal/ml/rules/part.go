@@ -1,0 +1,100 @@
+package rules
+
+import (
+	"fmt"
+
+	"drapid/internal/ml"
+	"drapid/internal/ml/tree"
+)
+
+// PART (Frank & Witten 1998) builds a decision list by repeatedly growing
+// a pruned C4.5 tree on the instances not yet covered, turning the leaf
+// that covers the most instances into a rule, and discarding the tree —
+// "partial trees" without the global optimisation of RIPPER or the full
+// tree of C4.5.
+type PART struct {
+	// MaxRules bounds the decision list; default 128.
+	MaxRules int
+	// TreeDepth bounds each partial tree; default 6 (partial trees are
+	// deliberately shallow).
+	TreeDepth int
+
+	list *RuleList
+}
+
+// NewPART returns a learner with default settings.
+func NewPART() *PART { return &PART{MaxRules: 128, TreeDepth: 6} }
+
+// Name implements ml.Classifier.
+func (p *PART) Name() string { return "PART" }
+
+// Fit implements ml.Classifier.
+func (p *PART) Fit(d *ml.Dataset) error {
+	if d.Len() == 0 {
+		return fmt.Errorf("part: empty training set")
+	}
+	maxRules := p.MaxRules
+	if maxRules <= 0 {
+		maxRules = 128
+	}
+	depth := p.TreeDepth
+	if depth <= 0 {
+		depth = 6
+	}
+
+	rows := make([]int, d.Len())
+	for i := range rows {
+		rows[i] = i
+	}
+	list := &RuleList{}
+	for len(rows) > 0 && len(list.Rules) < maxRules {
+		root := tree.Build(d, rows, tree.BuildOptions{MinLeaf: 2, GainRatio: true, MaxDepth: depth})
+		tree.Prune(root, 0.25)
+		if root.Leaf {
+			// Nothing left to split on: the majority class at the root
+			// becomes the default.
+			list.Default = root.Class
+			rows = nil
+			break
+		}
+		rule := largestLeafRule(root)
+		in, out := covered(d, rows, rule)
+		if len(in) == 0 {
+			// Defensive: a rule that covers nothing would loop forever.
+			list.Default = root.Class
+			break
+		}
+		list.Rules = append(list.Rules, rule)
+		list.Default = root.Class // refreshed each round; final value stands
+		rows = out
+	}
+	p.list = list
+	return nil
+}
+
+// largestLeafRule walks the tree and converts the path to the leaf with
+// the greatest coverage into a rule.
+func largestLeafRule(root *tree.Node) Rule {
+	var best *tree.Node
+	var bestPath []Condition
+	var walk func(n *tree.Node, path []Condition)
+	walk = func(n *tree.Node, path []Condition) {
+		if n.Leaf {
+			if best == nil || n.N > best.N {
+				best = n
+				bestPath = append([]Condition(nil), path...)
+			}
+			return
+		}
+		walk(n.Left, append(path, Condition{Feature: n.Feature, Threshold: n.Threshold, LE: true}))
+		walk(n.Right, append(path, Condition{Feature: n.Feature, Threshold: n.Threshold, LE: false}))
+	}
+	walk(root, nil)
+	return Rule{Conds: bestPath, Class: best.Class}
+}
+
+// Predict implements ml.Classifier.
+func (p *PART) Predict(x []float64) int { return p.list.Predict(x) }
+
+// Rules exposes the fitted decision list.
+func (p *PART) Rules() *RuleList { return p.list }

@@ -1,0 +1,143 @@
+// Package rules implements the rule-based learners of Table 5: JRip
+// (Cohen's RIPPER, as in Weka), PART (partial-tree rule extraction), and
+// OneR (Holte's one-feature rules, also used as a feature evaluator).
+package rules
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"drapid/internal/ml"
+)
+
+// Condition is one rule antecedent: x[Feature] <= Threshold or >.
+type Condition struct {
+	Feature   int
+	Threshold float64
+	LE        bool // true: <=, false: >
+}
+
+// Matches evaluates the condition on one instance.
+func (c Condition) Matches(x []float64) bool {
+	if c.LE {
+		return x[c.Feature] <= c.Threshold
+	}
+	return x[c.Feature] > c.Threshold
+}
+
+// Rule is a conjunction of conditions predicting a class.
+type Rule struct {
+	Conds []Condition
+	Class int
+}
+
+// Matches evaluates the full antecedent.
+func (r Rule) Matches(x []float64) bool {
+	for _, c := range r.Conds {
+		if !c.Matches(x) {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the rule for reports.
+func (r Rule) String() string {
+	if len(r.Conds) == 0 {
+		return fmt.Sprintf("true => %d", r.Class)
+	}
+	s := ""
+	for i, c := range r.Conds {
+		if i > 0 {
+			s += " and "
+		}
+		op := ">"
+		if c.LE {
+			op = "<="
+		}
+		s += fmt.Sprintf("f%d %s %.4g", c.Feature, op, c.Threshold)
+	}
+	return s + fmt.Sprintf(" => %d", r.Class)
+}
+
+// RuleList is an ordered decision list with a default class.
+type RuleList struct {
+	Rules   []Rule
+	Default int
+}
+
+// Predict returns the first matching rule's class, or the default.
+func (rl *RuleList) Predict(x []float64) int {
+	for _, r := range rl.Rules {
+		if r.Matches(x) {
+			return r.Class
+		}
+	}
+	return rl.Default
+}
+
+// bestCondition greedily picks the condition maximizing FOIL gain for the
+// positive rows among rows, considering every feature and a quantile set
+// of thresholds. Returns ok=false when no condition improves the rule.
+func bestCondition(d *ml.Dataset, rows []int, positive func(int) bool) (Condition, bool) {
+	var p0, n0 float64
+	for _, r := range rows {
+		if positive(r) {
+			p0++
+		} else {
+			n0++
+		}
+	}
+	if p0 == 0 || n0 == 0 {
+		return Condition{}, false
+	}
+	base := math.Log2(p0 / (p0 + n0))
+	bestGain := 0.0
+	var best Condition
+	nf := d.NumFeatures()
+	for f := 0; f < nf; f++ {
+		vals := make([]float64, len(rows))
+		for i, r := range rows {
+			vals[i] = d.X[r][f]
+		}
+		sort.Float64s(vals)
+		for _, q := range []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9} {
+			thr := vals[int(q*float64(len(vals)-1))]
+			for _, le := range []bool{true, false} {
+				cond := Condition{Feature: f, Threshold: thr, LE: le}
+				var p, n float64
+				for _, r := range rows {
+					if cond.Matches(d.X[r]) {
+						if positive(r) {
+							p++
+						} else {
+							n++
+						}
+					}
+				}
+				if p == 0 {
+					continue
+				}
+				gain := p * (math.Log2(p/(p+n)) - base)
+				if gain > bestGain+1e-12 {
+					bestGain = gain
+					best = cond
+				}
+			}
+		}
+	}
+	return best, bestGain > 0
+}
+
+// covered partitions rows by rule match.
+func covered(d *ml.Dataset, rows []int, rule Rule) (in, out []int) {
+	for _, r := range rows {
+		if rule.Matches(d.X[r]) {
+			in = append(in, r)
+		} else {
+			out = append(out, r)
+		}
+	}
+	return
+}

@@ -1,0 +1,144 @@
+package rules
+
+import (
+	"math/rand"
+	"testing"
+
+	"drapid/internal/ml"
+	"drapid/internal/ml/mltest"
+)
+
+func TestConditionAndRuleMatching(t *testing.T) {
+	c := Condition{Feature: 1, Threshold: 5, LE: true}
+	if !c.Matches([]float64{0, 5}) || c.Matches([]float64{0, 5.1}) {
+		t.Error("LE condition wrong")
+	}
+	g := Condition{Feature: 0, Threshold: 2, LE: false}
+	if g.Matches([]float64{2}) || !g.Matches([]float64{2.1}) {
+		t.Error("GT condition wrong")
+	}
+	r := Rule{Conds: []Condition{c, g}, Class: 1}
+	if !r.Matches([]float64{3, 4}) || r.Matches([]float64{1, 4}) {
+		t.Error("rule conjunction wrong")
+	}
+	if (Rule{Class: 2}).Matches([]float64{9}) != true {
+		t.Error("empty rule must match everything")
+	}
+}
+
+func TestRuleListDefault(t *testing.T) {
+	rl := &RuleList{Default: 3}
+	if rl.Predict([]float64{1}) != 3 {
+		t.Error("empty list must predict default")
+	}
+	rl.Rules = append(rl.Rules, Rule{Conds: []Condition{{Feature: 0, Threshold: 0, LE: false}}, Class: 1})
+	if rl.Predict([]float64{5}) != 1 || rl.Predict([]float64{-5}) != 3 {
+		t.Error("first-match semantics broken")
+	}
+}
+
+func TestJRipSeparableBlobs(t *testing.T) {
+	d := mltest.Blobs(2, 300, 4, 6, 1)
+	folds := d.StratifiedFolds(4, 1)
+	train, test := d.TrainTestSplit(folds, 0)
+	acc, err := mltest.FitAccuracy(NewJRip(1), train, test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc < 0.9 {
+		t.Errorf("JRip accuracy %g, want >= 0.9", acc)
+	}
+}
+
+func TestJRipOrdersRulesByClassRarity(t *testing.T) {
+	d := mltest.Imbalanced(300, 0.1, 3, 2)
+	j := NewJRip(2)
+	if err := j.Fit(d); err != nil {
+		t.Fatal(err)
+	}
+	rl := j.Rules()
+	if rl.Default != 0 {
+		t.Errorf("default class = %d, want majority (0)", rl.Default)
+	}
+	if len(rl.Rules) == 0 {
+		t.Fatal("no rules learned")
+	}
+	for _, r := range rl.Rules {
+		if r.Class == 0 {
+			t.Errorf("rule for the default class: %v", r)
+		}
+	}
+}
+
+func TestJRipEmptyTrainingSet(t *testing.T) {
+	d := ml.NewDataset([]string{"f"}, []string{"a"})
+	if err := NewJRip(1).Fit(d); err == nil {
+		t.Error("empty training set accepted")
+	}
+}
+
+func TestPARTSeparableBlobs(t *testing.T) {
+	d := mltest.Blobs(3, 200, 4, 6, 3)
+	folds := d.StratifiedFolds(4, 3)
+	train, test := d.TrainTestSplit(folds, 0)
+	acc, err := mltest.FitAccuracy(NewPART(), train, test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc < 0.9 {
+		t.Errorf("PART accuracy %g, want >= 0.9", acc)
+	}
+}
+
+func TestPARTProducesDecisionList(t *testing.T) {
+	d := mltest.Blobs(2, 150, 3, 5, 4)
+	p := NewPART()
+	if err := p.Fit(d); err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Rules().Rules) == 0 {
+		t.Error("no rules extracted")
+	}
+}
+
+func TestPARTEmptyTrainingSet(t *testing.T) {
+	d := ml.NewDataset([]string{"f"}, []string{"a"})
+	if err := NewPART().Fit(d); err == nil {
+		t.Error("empty training set accepted")
+	}
+}
+
+func TestBestConditionFindsSeparator(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	d := ml.NewDataset([]string{"a", "b"}, []string{"neg", "pos"})
+	rows := make([]int, 0, 200)
+	for i := 0; i < 200; i++ {
+		y := rng.Intn(2)
+		d.Add([]float64{float64(y)*10 + rng.NormFloat64(), rng.NormFloat64()}, y)
+		rows = append(rows, i)
+	}
+	cond, ok := bestCondition(d, rows, func(r int) bool { return d.Y[r] == 1 })
+	if !ok {
+		t.Fatal("no condition found on separable data")
+	}
+	if cond.Feature != 0 {
+		t.Errorf("condition on feature %d, want 0", cond.Feature)
+	}
+}
+
+func TestBestConditionPureInput(t *testing.T) {
+	d := ml.NewDataset([]string{"a"}, []string{"neg", "pos"})
+	rows := []int{0, 1}
+	d.Add([]float64{1}, 1)
+	d.Add([]float64{2}, 1)
+	if _, ok := bestCondition(d, rows, func(r int) bool { return true }); ok {
+		t.Error("condition found with no negatives")
+	}
+}
+
+func TestRuleString(t *testing.T) {
+	r := Rule{Conds: []Condition{{Feature: 2, Threshold: 1.5, LE: true}}, Class: 1}
+	if got := r.String(); got != "f2 <= 1.5 => 1" {
+		t.Errorf("String = %q", got)
+	}
+}

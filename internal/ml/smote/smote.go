@@ -1,0 +1,126 @@
+// Package smote implements the Synthetic Minority Oversampling TEchnique
+// (Chawla et al. 2002) the paper uses as its imbalance treatment (§5.2.1):
+// minority-class instances are oversampled by interpolating between each
+// instance and one of its k nearest same-class neighbours, avoiding the
+// overfitting of plain duplication. It is applied to training folds only.
+package smote
+
+import (
+	"math/rand"
+	"sort"
+
+	"drapid/internal/ml"
+)
+
+// Options tunes the oversampler.
+type Options struct {
+	// K is the neighbour count (Chawla's default 5).
+	K int
+	// TargetRatio is the desired minority:majority size ratio after
+	// oversampling, per minority class (1.0 = fully balanced). The paper
+	// balances its benchmarks; 1.0 is the default.
+	TargetRatio float64
+	// Seed drives neighbour and interpolation choices.
+	Seed int64
+}
+
+// Apply oversamples every class smaller than the largest class up to
+// TargetRatio of its size and returns a new dataset (original rows shared,
+// synthetic rows appended).
+func Apply(d *ml.Dataset, opt Options) *ml.Dataset {
+	if opt.K <= 0 {
+		opt.K = 5
+	}
+	if opt.TargetRatio <= 0 {
+		opt.TargetRatio = 1
+	}
+	rng := rand.New(rand.NewSource(opt.Seed))
+
+	counts := d.ClassCounts()
+	majority := 0
+	for _, c := range counts {
+		if c > majority {
+			majority = c
+		}
+	}
+	out := ml.NewDataset(d.Names, d.Classes)
+	out.X = append(out.X, d.X...)
+	out.Y = append(out.Y, d.Y...)
+
+	// Standardize distances so no single feature dominates the kNN.
+	std := ml.FitStandardizer(d)
+
+	for class, count := range counts {
+		target := int(float64(majority) * opt.TargetRatio)
+		if count == 0 || count >= target {
+			continue
+		}
+		rows := make([]int, 0, count)
+		for i, y := range d.Y {
+			if y == class {
+				rows = append(rows, i)
+			}
+		}
+		zs := make([][]float64, len(rows))
+		for i, r := range rows {
+			zs[i] = std.Apply(d.X[r])
+		}
+		need := target - count
+		for s := 0; s < need; s++ {
+			i := rng.Intn(len(rows))
+			nbrs := nearest(zs, i, opt.K)
+			j := nbrs[rng.Intn(len(nbrs))]
+			u := rng.Float64()
+			a, b := d.X[rows[i]], d.X[rows[j]]
+			synth := make([]float64, len(a))
+			for f := range synth {
+				synth[f] = a[f] + u*(b[f]-a[f])
+			}
+			out.Add(synth, class)
+		}
+	}
+	return out
+}
+
+// nearest returns the indices (into zs) of the k nearest neighbours of
+// zs[i], excluding itself; with fewer candidates it returns all of them,
+// and with none it returns {i} so interpolation degenerates to duplication.
+func nearest(zs [][]float64, i, k int) []int {
+	type cand struct {
+		j int
+		d float64
+	}
+	cands := make([]cand, 0, len(zs)-1)
+	for j := range zs {
+		if j == i {
+			continue
+		}
+		cands = append(cands, cand{j, sqDist(zs[i], zs[j])})
+	}
+	if len(cands) == 0 {
+		return []int{i}
+	}
+	sort.Slice(cands, func(a, b int) bool {
+		if cands[a].d != cands[b].d {
+			return cands[a].d < cands[b].d
+		}
+		return cands[a].j < cands[b].j
+	})
+	if k > len(cands) {
+		k = len(cands)
+	}
+	out := make([]int, k)
+	for n := 0; n < k; n++ {
+		out[n] = cands[n].j
+	}
+	return out
+}
+
+func sqDist(a, b []float64) float64 {
+	var s float64
+	for f := range a {
+		d := a[f] - b[f]
+		s += d * d
+	}
+	return s
+}

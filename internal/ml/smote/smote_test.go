@@ -1,0 +1,130 @@
+package smote
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"drapid/internal/ml"
+	"drapid/internal/ml/mltest"
+)
+
+func TestBalancesMinorityClass(t *testing.T) {
+	d := mltest.Imbalanced(200, 0.1, 4, 1)
+	before := d.ClassCounts()
+	if before[1] >= before[0] {
+		t.Fatalf("fixture not imbalanced: %v", before)
+	}
+	out := Apply(d, Options{Seed: 1})
+	after := out.ClassCounts()
+	if after[1] != after[0] {
+		t.Errorf("not balanced: %v", after)
+	}
+	if after[0] != before[0] {
+		t.Errorf("majority class changed: %d -> %d", before[0], after[0])
+	}
+}
+
+func TestTargetRatio(t *testing.T) {
+	d := mltest.Imbalanced(200, 0.1, 4, 2)
+	out := Apply(d, Options{TargetRatio: 0.5, Seed: 2})
+	counts := out.ClassCounts()
+	if counts[1] != 100 {
+		t.Errorf("minority = %d, want 100 (ratio 0.5 of 200)", counts[1])
+	}
+}
+
+func TestOriginalRowsPreserved(t *testing.T) {
+	d := mltest.Imbalanced(100, 0.2, 3, 3)
+	out := Apply(d, Options{Seed: 3})
+	for i := 0; i < d.Len(); i++ {
+		for j := range d.X[i] {
+			if out.X[i][j] != d.X[i][j] {
+				t.Fatalf("row %d mutated", i)
+			}
+		}
+		if out.Y[i] != d.Y[i] {
+			t.Fatalf("label %d mutated", i)
+		}
+	}
+}
+
+// Property: every synthetic sample lies within the minority class's
+// bounding box (SMOTE interpolates, never extrapolates).
+func TestSyntheticSamplesAreConvex(t *testing.T) {
+	f := func(seed int64) bool {
+		d := mltest.Imbalanced(80, 0.15, 3, seed)
+		lo := make([]float64, 3)
+		hi := make([]float64, 3)
+		for j := range lo {
+			lo[j], hi[j] = math.Inf(1), math.Inf(-1)
+		}
+		for i, y := range d.Y {
+			if y != 1 {
+				continue
+			}
+			for j, v := range d.X[i] {
+				lo[j] = math.Min(lo[j], v)
+				hi[j] = math.Max(hi[j], v)
+			}
+		}
+		out := Apply(d, Options{Seed: seed})
+		for i := d.Len(); i < out.Len(); i++ {
+			if out.Y[i] != 1 {
+				return false
+			}
+			for j, v := range out.X[i] {
+				if v < lo[j]-1e-9 || v > hi[j]+1e-9 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	d := mltest.Imbalanced(100, 0.1, 4, 5)
+	a := Apply(d, Options{Seed: 9})
+	b := Apply(d, Options{Seed: 9})
+	if a.Len() != b.Len() {
+		t.Fatal("sizes differ")
+	}
+	for i := range a.X {
+		for j := range a.X[i] {
+			if a.X[i][j] != b.X[i][j] {
+				t.Fatal("same seed, different output")
+			}
+		}
+	}
+}
+
+func TestSingleMinorityInstance(t *testing.T) {
+	d := ml.NewDataset([]string{"f"}, []string{"maj", "min"})
+	for i := 0; i < 20; i++ {
+		d.Add([]float64{float64(i)}, 0)
+	}
+	d.Add([]float64{100}, 1)
+	out := Apply(d, Options{Seed: 1})
+	counts := out.ClassCounts()
+	if counts[1] != 20 {
+		t.Errorf("minority = %d, want 20", counts[1])
+	}
+	// With one seed instance, interpolation degenerates to duplication.
+	for i := d.Len(); i < out.Len(); i++ {
+		if out.X[i][0] != 100 {
+			t.Errorf("synthetic sample %g, want 100", out.X[i][0])
+		}
+	}
+}
+
+func TestAlreadyBalancedUntouched(t *testing.T) {
+	d := mltest.Blobs(2, 50, 3, 4, 7)
+	out := Apply(d, Options{Seed: 7})
+	if out.Len() != d.Len() {
+		t.Errorf("balanced data grew: %d -> %d", d.Len(), out.Len())
+	}
+}

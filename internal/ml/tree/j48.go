@@ -1,0 +1,124 @@
+package tree
+
+import (
+	"fmt"
+	"math"
+
+	"drapid/internal/ml"
+)
+
+// J48 is the C4.5 decision-tree learner (Weka's J48): gain-ratio splits
+// with the MDL numeric-attribute correction, minimum leaf size 2, and
+// pessimistic (confidence-based) subtree-replacement pruning.
+type J48 struct {
+	// MinLeaf is the minimum instances per side of a split; default 2.
+	MinLeaf int
+	// CF is the pruning confidence; default 0.25 (Weka's default). Zero
+	// means default; negative disables pruning.
+	CF float64
+	// MaxDepth, when positive, bounds tree depth (used by PART's partial
+	// trees).
+	MaxDepth int
+
+	root *Node
+}
+
+// NewJ48 returns a learner with Weka-default settings.
+func NewJ48() *J48 { return &J48{MinLeaf: 2, CF: 0.25} }
+
+// Name implements ml.Classifier.
+func (j *J48) Name() string { return "J48" }
+
+// Fit implements ml.Classifier.
+func (j *J48) Fit(d *ml.Dataset) error {
+	if d.Len() == 0 {
+		return fmt.Errorf("j48: empty training set")
+	}
+	minLeaf := j.MinLeaf
+	if minLeaf <= 0 {
+		minLeaf = 2
+	}
+	j.root = Build(d, nil, BuildOptions{MinLeaf: minLeaf, GainRatio: true, MaxDepth: j.MaxDepth})
+	cf := j.CF
+	if cf == 0 {
+		cf = 0.25
+	}
+	if cf > 0 {
+		Prune(j.root, cf)
+	}
+	return nil
+}
+
+// Predict implements ml.Classifier.
+func (j *J48) Predict(x []float64) int { return j.root.Predict(x) }
+
+// Root exposes the fitted tree (PART extracts rules from it).
+func (j *J48) Root() *Node { return j.root }
+
+// Prune applies C4.5's pessimistic subtree replacement bottom-up: a
+// subtree collapses to a leaf when the leaf's upper-bound error estimate
+// does not exceed the subtree's.
+func Prune(n *Node, cf float64) float64 {
+	if n.Leaf {
+		return pessimisticErrors(n, cf)
+	}
+	subtree := Prune(n.Left, cf) + Prune(n.Right, cf)
+	asLeaf := pessimisticErrors(n, cf)
+	if asLeaf <= subtree+0.1 {
+		n.Leaf = true
+		n.Left, n.Right = nil, nil
+		return asLeaf
+	}
+	return subtree
+}
+
+// pessimisticErrors is the node's training errors plus C4.5's pessimistic
+// correction — the upper confidence bound on unseen-data errors.
+func pessimisticErrors(n *Node, cf float64) float64 {
+	if n.N == 0 {
+		return 0
+	}
+	e := n.N - n.Dist[n.Class]
+	return e + addErrs(n.N, e, cf)
+}
+
+// addErrs is Quinlan's AddErrs (as in Weka's Stats.addErrs): the extra
+// errors to charge a leaf with e observed errors out of N. Small error
+// counts use the exact binomial tail (a pure one-instance leaf is charged
+// 1−CF extra errors, which is what lets pruning collapse memorised noise);
+// larger counts use the normal approximation with continuity correction.
+func addErrs(n, e, cf float64) float64 {
+	if e < 1 {
+		base := n * (1 - math.Pow(cf, 1/n))
+		if e == 0 {
+			return base
+		}
+		return base + e*(addErrs(n, 1, cf)-base)
+	}
+	if e+0.5 >= n {
+		return math.Max(n-e, 0)
+	}
+	z := zScore(cf)
+	f := (e + 0.5) / n
+	r := (f + z*z/(2*n) + z*math.Sqrt(f/n-f*f/n+z*z/(4*n*n))) / (1 + z*z/n)
+	return r*n - e
+}
+
+// zScore is the standard normal quantile for the one-sided confidence cf —
+// z such that P(Z > z) = cf — computed by bisection on erfc (C4.5 uses
+// 0.6744898 for its default CF = 0.25).
+func zScore(cf float64) float64 {
+	if cf >= 0.5 {
+		return 0
+	}
+	lo, hi := 0.0, 8.0
+	for i := 0; i < 80; i++ {
+		mid := (lo + hi) / 2
+		if 0.5*math.Erfc(mid/math.Sqrt2) > cf {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2
+}

@@ -1,0 +1,313 @@
+// Package tree implements decision-tree learning over numeric features:
+// J48 (Quinlan's C4.5 — gain-ratio splits, pessimistic error pruning), the
+// unpruned random trees bagged by the forest package, and the shared
+// recursive builder both use. PART (in the rules package) also builds its
+// partial trees through this builder.
+package tree
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"drapid/internal/ml"
+)
+
+// Node is one tree node. Leaves carry a class; internal nodes route on
+// x[Feature] <= Threshold.
+type Node struct {
+	Feature   int
+	Threshold float64
+	Left      *Node // x[Feature] <= Threshold
+	Right     *Node // x[Feature] >  Threshold
+	Leaf      bool
+	Class     int
+	// Dist is the training class distribution at the node (counts).
+	Dist []float64
+	// N is the training instance count at the node.
+	N float64
+}
+
+// Predict routes one instance to a leaf class.
+func (n *Node) Predict(x []float64) int {
+	for !n.Leaf {
+		if x[n.Feature] <= n.Threshold {
+			n = n.Left
+		} else {
+			n = n.Right
+		}
+	}
+	return n.Class
+}
+
+// Size counts nodes; Depth is the longest root-leaf path; Leaves counts
+// leaf nodes. All are cheap diagnostics the benches report.
+func (n *Node) Size() int {
+	if n == nil {
+		return 0
+	}
+	if n.Leaf {
+		return 1
+	}
+	return 1 + n.Left.Size() + n.Right.Size()
+}
+
+// Depth returns the longest root-to-leaf path length in edges.
+func (n *Node) Depth() int {
+	if n == nil || n.Leaf {
+		return 0
+	}
+	l, r := n.Left.Depth(), n.Right.Depth()
+	if l > r {
+		return 1 + l
+	}
+	return 1 + r
+}
+
+// Leaves counts leaf nodes.
+func (n *Node) Leaves() int {
+	if n == nil {
+		return 0
+	}
+	if n.Leaf {
+		return 1
+	}
+	return n.Left.Leaves() + n.Right.Leaves()
+}
+
+// BuildOptions parameterises the recursive builder.
+type BuildOptions struct {
+	// MinLeaf is the minimum instances on each side of a split (C4.5's
+	// default 2).
+	MinLeaf int
+	// GainRatio selects C4.5 gain-ratio split scoring; false means plain
+	// information gain (random trees).
+	GainRatio bool
+	// MTry, when positive, samples that many candidate features per node
+	// (random forest); zero considers all features.
+	MTry int
+	// Rng drives feature sampling; required when MTry > 0.
+	Rng *rand.Rand
+	// MaxDepth, when positive, bounds tree depth.
+	MaxDepth int
+}
+
+// Build grows a tree over the rows of d selected by idx (nil = all rows).
+func Build(d *ml.Dataset, idx []int, opt BuildOptions) *Node {
+	if opt.MinLeaf < 1 {
+		opt.MinLeaf = 1
+	}
+	if idx == nil {
+		idx = make([]int, d.Len())
+		for i := range idx {
+			idx[i] = i
+		}
+	}
+	b := &builder{d: d, opt: opt, k: d.NumClasses()}
+	return b.grow(idx, 0)
+}
+
+type builder struct {
+	d   *ml.Dataset
+	opt BuildOptions
+	k   int
+}
+
+func (b *builder) grow(rows []int, depth int) *Node {
+	dist := make([]float64, b.k)
+	for _, r := range rows {
+		dist[b.d.Y[r]]++
+	}
+	n := &Node{Dist: dist, N: float64(len(rows))}
+	n.Class = argmax(dist)
+
+	if len(rows) < 2*b.opt.MinLeaf || pure(dist) ||
+		(b.opt.MaxDepth > 0 && depth >= b.opt.MaxDepth) {
+		n.Leaf = true
+		return n
+	}
+
+	feat, thr, ok := b.bestSplit(rows, dist)
+	if !ok {
+		n.Leaf = true
+		return n
+	}
+	var left, right []int
+	for _, r := range rows {
+		if b.d.X[r][feat] <= thr {
+			left = append(left, r)
+		} else {
+			right = append(right, r)
+		}
+	}
+	if len(left) < b.opt.MinLeaf || len(right) < b.opt.MinLeaf {
+		n.Leaf = true
+		return n
+	}
+	n.Feature, n.Threshold = feat, thr
+	n.Left = b.grow(left, depth+1)
+	n.Right = b.grow(right, depth+1)
+	return n
+}
+
+// bestSplit scans candidate features for the best binary threshold split.
+// With GainRatio it applies C4.5's two-stage criterion: among features
+// whose gain is at least the average positive gain, pick the best gain
+// ratio; plain gain otherwise.
+func (b *builder) bestSplit(rows []int, dist []float64) (feat int, thr float64, ok bool) {
+	nf := b.d.NumFeatures()
+	feats := make([]int, nf)
+	for i := range feats {
+		feats[i] = i
+	}
+	if b.opt.MTry > 0 && b.opt.MTry < nf {
+		b.opt.Rng.Shuffle(nf, func(i, j int) { feats[i], feats[j] = feats[j], feats[i] })
+		feats = feats[:b.opt.MTry]
+	}
+
+	baseH := entropyCounts(dist, float64(len(rows)))
+	type cand struct {
+		feat  int
+		thr   float64
+		gain  float64
+		ratio float64
+	}
+	var cands []cand
+	var gainSum float64
+	for _, f := range feats {
+		g, r, t, found := b.scanFeature(rows, f, baseH)
+		if !found {
+			continue
+		}
+		cands = append(cands, cand{feat: f, thr: t, gain: g, ratio: r})
+		gainSum += g
+	}
+	if len(cands) == 0 {
+		return 0, 0, false
+	}
+	if !b.opt.GainRatio {
+		best := cands[0]
+		for _, c := range cands[1:] {
+			if c.gain > best.gain {
+				best = c
+			}
+		}
+		if best.gain <= 1e-12 {
+			return 0, 0, false
+		}
+		return best.feat, best.thr, true
+	}
+	avg := gainSum / float64(len(cands))
+	best := cand{gain: -1, ratio: -1}
+	for _, c := range cands {
+		if c.gain+1e-12 < avg {
+			continue
+		}
+		if c.ratio > best.ratio {
+			best = c
+		}
+	}
+	if best.gain <= 1e-12 {
+		return 0, 0, false
+	}
+	return best.feat, best.thr, true
+}
+
+// scanFeature finds the best threshold for one feature by a sorted sweep,
+// returning (gain, gainRatio, threshold, found).
+func (b *builder) scanFeature(rows []int, f int, baseH float64) (gain, ratio, thr float64, ok bool) {
+	n := len(rows)
+	type vc struct {
+		v float64
+		y int
+	}
+	vals := make([]vc, n)
+	for i, r := range rows {
+		vals[i] = vc{b.d.X[r][f], b.d.Y[r]}
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i].v < vals[j].v })
+
+	left := make([]float64, b.k)
+	right := make([]float64, b.k)
+	for _, v := range vals {
+		right[v.y]++
+	}
+	fn := float64(n)
+	bestGain, bestThr, bestSplitH := -1.0, 0.0, 0.0
+	minLeaf := b.opt.MinLeaf
+	candidates := 0
+	for i := 0; i < n-1; i++ {
+		left[vals[i].y]++
+		right[vals[i].y]--
+		if vals[i].v == vals[i+1].v {
+			continue
+		}
+		candidates++
+		nl := float64(i + 1)
+		nr := fn - nl
+		if int(nl) < minLeaf || int(nr) < minLeaf {
+			continue
+		}
+		condH := (nl*entropyCounts(left, nl) + nr*entropyCounts(right, nr)) / fn
+		g := baseH - condH
+		if g > bestGain {
+			pl, pr := nl/fn, nr/fn
+			bestGain = g
+			bestThr = (vals[i].v + vals[i+1].v) / 2
+			bestSplitH = -pl*math.Log2(pl) - pr*math.Log2(pr)
+		}
+	}
+	if bestGain < 0 {
+		return 0, 0, 0, false
+	}
+	if b.opt.GainRatio && candidates > 1 {
+		// C4.5's MDL correction for numeric attributes: charge the choice
+		// among candidate thresholds against the gain.
+		bestGain -= math.Log2(float64(candidates)) / fn
+		if bestGain <= 0 {
+			return 0, 0, 0, false
+		}
+	}
+	r := bestGain
+	if bestSplitH > 0 {
+		r = bestGain / bestSplitH
+	}
+	return bestGain, r, bestThr, true
+}
+
+func entropyCounts(counts []float64, total float64) float64 {
+	if total == 0 {
+		return 0
+	}
+	var h float64
+	for _, c := range counts {
+		if c > 0 {
+			p := c / total
+			h -= p * math.Log2(p)
+		}
+	}
+	return h
+}
+
+func pure(dist []float64) bool {
+	seen := false
+	for _, c := range dist {
+		if c > 0 {
+			if seen {
+				return false
+			}
+			seen = true
+		}
+	}
+	return true
+}
+
+func argmax(xs []float64) int {
+	best := 0
+	for i := 1; i < len(xs); i++ {
+		if xs[i] > xs[best] {
+			best = i
+		}
+	}
+	return best
+}

@@ -1,0 +1,181 @@
+package tree
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"drapid/internal/ml"
+	"drapid/internal/ml/mltest"
+)
+
+func TestJ48SeparableBlobs(t *testing.T) {
+	d := mltest.Blobs(3, 200, 4, 6, 1)
+	folds := d.StratifiedFolds(4, 1)
+	train, test := d.TrainTestSplit(folds, 0)
+	acc, err := mltest.FitAccuracy(NewJ48(), train, test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc < 0.9 {
+		t.Errorf("J48 accuracy %g on separable blobs, want >= 0.9", acc)
+	}
+}
+
+func TestJ48SolvesNestedThresholds(t *testing.T) {
+	// y = (x0 > 0) AND (x1 > 0): solvable greedily (the first split has
+	// positive gain), unlike XOR.
+	rng := rand.New(rand.NewSource(2))
+	d := ml.NewDataset([]string{"a", "b", "noise"}, []string{"neg", "pos"})
+	for i := 0; i < 600; i++ {
+		x := []float64{rng.NormFloat64() * 2, rng.NormFloat64() * 2, rng.NormFloat64()}
+		y := 0
+		if x[0] > 0 && x[1] > 0 {
+			y = 1
+		}
+		d.Add(x, y)
+	}
+	folds := d.StratifiedFolds(3, 2)
+	train, test := d.TrainTestSplit(folds, 0)
+	acc, err := mltest.FitAccuracy(NewJ48(), train, test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc < 0.95 {
+		t.Errorf("J48 accuracy %g on nested thresholds, want >= 0.95", acc)
+	}
+}
+
+func TestGreedyTreesCannotSplitXOR(t *testing.T) {
+	// Known C4.5 limitation: XOR has ~zero gain on every single feature at
+	// the root, so the greedy builder (with its MDL correction) produces a
+	// stump. This pins the documented behaviour rather than an aspiration.
+	d := mltest.XORish(600, 4, 2)
+	j := NewJ48()
+	if err := j.Fit(d); err != nil {
+		t.Fatal(err)
+	}
+	if got := mltest.Accuracy(j, d); got > 0.75 {
+		t.Errorf("J48 unexpectedly solved XOR (%g); the greedy-gain premise changed", got)
+	}
+}
+
+func TestJ48EmptyTrainingSet(t *testing.T) {
+	d := ml.NewDataset([]string{"f"}, []string{"a"})
+	if err := NewJ48().Fit(d); err == nil {
+		t.Error("empty training set accepted")
+	}
+}
+
+func TestJ48SingleClass(t *testing.T) {
+	d := ml.NewDataset([]string{"f"}, []string{"a", "b"})
+	for i := 0; i < 10; i++ {
+		d.Add([]float64{float64(i)}, 0)
+	}
+	j := NewJ48()
+	if err := j.Fit(d); err != nil {
+		t.Fatal(err)
+	}
+	if !j.Root().Leaf || j.Predict([]float64{5}) != 0 {
+		t.Error("single-class data should produce a single leaf")
+	}
+}
+
+func TestPruningShrinksOverfitTree(t *testing.T) {
+	// Plain-gain deep trees (no MDL correction, MinLeaf 1) memorise label
+	// noise; pessimistic pruning should collapse much of that structure.
+	rng := rand.New(rand.NewSource(3))
+	d := ml.NewDataset([]string{"a", "b"}, []string{"x", "y"})
+	for i := 0; i < 400; i++ {
+		y := 0
+		x := []float64{rng.NormFloat64(), rng.NormFloat64()}
+		if x[0] > 0 {
+			y = 1
+		}
+		if rng.Float64() < 0.15 { // label noise
+			y = 1 - y
+		}
+		d.Add(x, y)
+	}
+	root := Build(d, nil, BuildOptions{MinLeaf: 1, GainRatio: false})
+	before := root.Size()
+	Prune(root, 0.25)
+	after := root.Size()
+	if before < 20 {
+		t.Fatalf("fixture did not overfit: only %d nodes", before)
+	}
+	if after >= before {
+		t.Errorf("pruning did not shrink: %d -> %d nodes", before, after)
+	}
+}
+
+func TestMaxDepthRespected(t *testing.T) {
+	d := mltest.XORish(300, 3, 4)
+	j := &J48{MinLeaf: 2, CF: -1, MaxDepth: 2}
+	if err := j.Fit(d); err != nil {
+		t.Fatal(err)
+	}
+	if got := j.Root().Depth(); got > 2 {
+		t.Errorf("depth %d > max 2", got)
+	}
+}
+
+func TestBuildRandomSubspace(t *testing.T) {
+	d := mltest.Blobs(2, 100, 8, 5, 5)
+	rng := rand.New(rand.NewSource(1))
+	n := Build(d, nil, BuildOptions{MinLeaf: 1, MTry: 2, Rng: rng})
+	if n == nil || n.Leaf {
+		t.Fatal("random-subspace tree failed to split separable data")
+	}
+}
+
+func TestNodeMetrics(t *testing.T) {
+	leaf := &Node{Leaf: true}
+	if leaf.Size() != 1 || leaf.Depth() != 0 || leaf.Leaves() != 1 {
+		t.Error("leaf metrics")
+	}
+	root := &Node{Left: &Node{Leaf: true}, Right: &Node{Left: &Node{Leaf: true}, Right: &Node{Leaf: true}}}
+	if root.Size() != 5 || root.Depth() != 2 || root.Leaves() != 3 {
+		t.Errorf("metrics: size=%d depth=%d leaves=%d", root.Size(), root.Depth(), root.Leaves())
+	}
+}
+
+func TestZScoreMatchesC45Constant(t *testing.T) {
+	// C4.5's CF=0.25 corresponds to z ≈ 0.6744898.
+	if z := zScore(0.25); z < 0.674 || z > 0.675 {
+		t.Errorf("zScore(0.25) = %g", z)
+	}
+	if z := zScore(0.5); z != 0 {
+		t.Errorf("zScore(0.5) = %g, want 0", z)
+	}
+}
+
+// Property: a fitted tree always predicts a class present in training data,
+// and training accuracy of an unpruned deep tree on distinct inputs is 1.
+func TestTreeConsistency(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := ml.NewDataset([]string{"a", "b"}, []string{"x", "y", "z"})
+		seenClasses := map[int]bool{}
+		for i := 0; i < 60; i++ {
+			y := rng.Intn(3)
+			seenClasses[y] = true
+			// Distinct feature values guarantee separability.
+			d.Add([]float64{float64(i), rng.Float64()}, y)
+		}
+		root := Build(d, nil, BuildOptions{MinLeaf: 1})
+		for i, x := range d.X {
+			p := root.Predict(x)
+			if !seenClasses[p] {
+				return false
+			}
+			if p != d.Y[i] {
+				return false // unpruned tree must memorise distinct inputs
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,184 @@
+package pipeline
+
+import (
+	"fmt"
+	"strings"
+
+	"drapid/internal/core"
+	"drapid/internal/features"
+	"drapid/internal/rdd"
+	"drapid/internal/spe"
+)
+
+// JobConfig parameterises one D-RAPID run.
+type JobConfig struct {
+	// DataFile and ClusterFile are the HDFS inputs.
+	DataFile    string
+	ClusterFile string
+	// OutDir is the HDFS directory the ML part files are saved under.
+	OutDir string
+	// PartitionsPerCore sizes the hash partitioner: the paper's custom
+	// partitioner "assigned 32 partitions for each core".
+	PartitionsPerCore int
+	// Params tunes the search; zero fields take the paper defaults.
+	Params core.Params
+	// Feat supplies the feature-extraction context.
+	Feat features.Config
+}
+
+// JobResult summarises a run.
+type JobResult struct {
+	// SimSeconds is the simulated elapsed time of the whole job.
+	SimSeconds float64
+	// Records is the number of ML records produced.
+	Records int
+	// Pulses is the number of single pulses identified (== Records).
+	Pulses int
+	// Metrics snapshots the engine counters.
+	Metrics rdd.Metrics
+}
+
+// RunDRAPID executes the three-stage D-RAPID data flow of Figure 3 on the
+// given context:
+//
+//	Stage 1/2: load both files, strip headers, map to key-value pairs.
+//	Stage 3:   hash-partition both KVPRDDs identically, aggregate by key
+//	           (map-side combine shrinks the duplicate-key pair count),
+//	           left-outer-join cluster→data, and search each key group.
+//
+// ML output is saved back to HDFS under cfg.OutDir.
+func RunDRAPID(ctx *rdd.Context, cfg JobConfig) (JobResult, error) {
+	if cfg.PartitionsPerCore <= 0 {
+		cfg.PartitionsPerCore = 32
+	}
+	if cfg.Params.Weight == 0 {
+		cfg.Params = core.DefaultParams()
+	}
+	start := ctx.SimElapsed()
+
+	dataKV, err := loadKeyed(ctx, cfg.DataFile)
+	if err != nil {
+		return JobResult{}, err
+	}
+	clusterKV, err := loadKeyed(ctx, cfg.ClusterFile)
+	if err != nil {
+		return JobResult{}, err
+	}
+
+	numParts := ctx.TotalCores() * cfg.PartitionsPerCore
+	part := rdd.NewHashPartitioner(numParts)
+
+	weighGroup := func(p rdd.Pair[string, []string]) int64 {
+		n := int64(len(p.Key))
+		for _, s := range p.Value {
+			n += int64(len(s)) + 16
+		}
+		return n
+	}
+	// The Aggregate phase: one pair per key afterwards, cached in executor
+	// memory so the join reads colocated, in-memory inputs. The data side
+	// is the 10-GB-scale working set whose fit (or spill) decides the
+	// single-executor behaviour of Figure 4.
+	dataAgg := groupPayloads(dataKV, part, weighGroup).Cache()
+	clusterAgg := groupPayloads(clusterKV, part, weighGroup).Cache()
+
+	joined := rdd.LeftOuterJoin(clusterAgg, dataAgg, part)
+
+	searchCost := ctx.Cost.SearchPerSPE
+	ml := rdd.MapPartitions(joined, func(p int, tc *rdd.TaskContext, in []rdd.Pair[string, rdd.Joined[[]string, []string]]) []string {
+		var out []string
+		for _, kv := range in {
+			clusterPayloads := kv.Value.Left
+			var dataPayloads []string
+			if kv.Value.HasRight {
+				dataPayloads = kv.Value.Right
+			}
+			recs, stats, err := ProcessKeyGroup(kv.Key, clusterPayloads, dataPayloads, cfg.Params, cfg.Feat)
+			if err != nil {
+				// Malformed records are dropped, as the Scala driver's
+				// parse guards do; they are invisible at this layer.
+				continue
+			}
+			tc.AddCPU(float64(stats.SPEsSearched) * searchCost)
+			for _, r := range recs {
+				out = append(out, r.Format())
+			}
+		}
+		return out
+	})
+	ml.SetWeigher(func(s string) int64 { return int64(len(s)) + 1 })
+	// Cache the result so the count action and the save action share one
+	// execution of the expensive join+search stage.
+	ml.Cache()
+
+	count := rdd.Count(ml)
+	if err := rdd.SaveTextFile(ml, cfg.OutDir); err != nil {
+		return JobResult{}, err
+	}
+
+	return JobResult{
+		SimSeconds: ctx.SimElapsed() - start,
+		Records:    int(count),
+		Pulses:     int(count),
+		Metrics:    ctx.Metrics(),
+	}, nil
+}
+
+// loadKeyed is stages 1–2 of Figure 3 for one file: read from HDFS, strip
+// the header, and map each record to a (descriptor-key, payload) pair.
+func loadKeyed(ctx *rdd.Context, name string) (*rdd.RDD[rdd.Pair[string, string]], error) {
+	lines, err := rdd.TextFile(ctx, name)
+	if err != nil {
+		return nil, err
+	}
+	body := rdd.Filter(lines, func(s string) bool { return !spe.IsHeader(s) })
+	kv := rdd.Map(body, func(s string) rdd.Pair[string, string] {
+		key, payload, err := spe.SplitKeyed(s)
+		if err != nil {
+			return rdd.Pair[string, string]{} // dropped by the empty-key filter below
+		}
+		return rdd.Pair[string, string]{Key: key, Value: payload}
+	})
+	kv = rdd.Filter(kv, func(p rdd.Pair[string, string]) bool { return p.Key != "" })
+	kv.SetWeigher(func(p rdd.Pair[string, string]) int64 {
+		return int64(len(p.Key) + len(p.Value) + 2)
+	})
+	return kv, nil
+}
+
+// groupPayloads aggregates all payload strings per key.
+func groupPayloads(kv *rdd.RDD[rdd.Pair[string, string]], part rdd.Partitioner[string], weigh func(rdd.Pair[string, []string]) int64) *rdd.RDD[rdd.Pair[string, []string]] {
+	return rdd.AggregateByKey(kv, part,
+		func() []string { return nil },
+		func(a []string, v string) []string { return append(a, v) },
+		func(a, b []string) []string { return append(a, b...) },
+		weigh)
+}
+
+// CollectML reads the ML part files a job saved under dir back out of HDFS
+// and parses them — stage 4's "extract and concatenate" step.
+func CollectML(ctx *rdd.Context, dir string) ([]MLRecord, error) {
+	var out []MLRecord
+	for _, name := range ctx.FS.List() {
+		if !strings.HasPrefix(name, dir+"/part-") {
+			continue
+		}
+		f, err := ctx.FS.Open(name)
+		if err != nil {
+			return nil, err
+		}
+		for _, b := range f.Blocks {
+			for _, line := range b.Lines {
+				if spe.IsHeader(line) {
+					continue
+				}
+				r, err := ParseMLRecord(line)
+				if err != nil {
+					return nil, fmt.Errorf("pipeline: %s: %w", name, err)
+				}
+				out = append(out, r)
+			}
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,60 @@
+package pipeline_test
+
+import (
+	"testing"
+
+	"drapid/internal/pipeline"
+)
+
+func TestRunDRAPIDMissingFiles(t *testing.T) {
+	ctx := newTestContext(t, 2)
+	if _, err := pipeline.RunDRAPID(ctx, pipeline.JobConfig{
+		DataFile: "nope.csv", ClusterFile: "also-nope.csv", OutDir: "ml",
+	}); err == nil {
+		t.Fatal("missing input files accepted")
+	}
+}
+
+func TestCollectMLEmptyDir(t *testing.T) {
+	ctx := newTestContext(t, 2)
+	recs, err := pipeline.CollectML(ctx, "never-written")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 0 {
+		t.Fatalf("got %d records from an empty directory", len(recs))
+	}
+}
+
+func TestMalformedRecordsAreDropped(t *testing.T) {
+	prep, sv := makeSurveyData(t, 8, 1)
+	// Corrupt a handful of data lines; the driver's parse guards must drop
+	// them without failing the job.
+	prep.DataLines[3] = "PALFA,not,enough,fields"
+	prep.DataLines[4] = "garbage line with no commas at all"
+	ctx := newTestContext(t, 2)
+	if err := prep.Upload(ctx.FS, "spe.csv", "clusters.csv"); err != nil {
+		t.Fatal(err)
+	}
+	res, err := pipeline.RunDRAPID(ctx, pipeline.JobConfig{
+		DataFile: "spe.csv", ClusterFile: "clusters.csv", OutDir: "ml",
+		Feat: featConfig(sv),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Records == 0 {
+		t.Error("corruption of two lines wiped out the whole job")
+	}
+}
+
+func TestUploadTwiceFails(t *testing.T) {
+	prep, _ := makeSurveyData(t, 9, 1)
+	ctx := newTestContext(t, 2)
+	if err := prep.Upload(ctx.FS, "a.csv", "b.csv"); err != nil {
+		t.Fatal(err)
+	}
+	if err := prep.Upload(ctx.FS, "a.csv", "b.csv"); err == nil {
+		t.Error("HDFS overwrite silently accepted")
+	}
+}

@@ -1,0 +1,227 @@
+package pipeline_test
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"drapid/internal/core"
+	"drapid/internal/dbscan"
+	"drapid/internal/features"
+	"drapid/internal/hdfs"
+	"drapid/internal/pipeline"
+	"drapid/internal/rapidmt"
+	"drapid/internal/rdd"
+	"drapid/internal/spe"
+	"drapid/internal/synth"
+	"drapid/internal/yarn"
+)
+
+// makeSurveyData generates a small multi-observation PALFA-like dataset and
+// runs stages 1–2.
+func makeSurveyData(t *testing.T, seed int64, numObs int) (*pipeline.Prepared, synth.Survey) {
+	t.Helper()
+	sv := synth.PALFA()
+	sv.TobsSec = 12 // short test observations: a handful of pulses per source
+	gen := synth.NewGenerator(sv, seed)
+	rng := rand.New(rand.NewSource(seed + 1))
+	var obs []spe.Observation
+	for i := 0; i < numObs; i++ {
+		mix := synth.Sources{
+			Pulsars: []synth.Pulsar{
+				synth.RandomPulsar(rng, synth.AnyBand, synth.AnyBrightness, false),
+			},
+			NumImpulseRFI: 2,
+			NumFlatRFI:    2,
+			NumNoise:      300,
+		}
+		o, _ := gen.Observe(gen.NextKey(), mix)
+		obs = append(obs, o)
+	}
+	return pipeline.Prepare(obs, sv.Grid, dbscan.DefaultParams()), sv
+}
+
+func newTestContext(t *testing.T, executors int) *rdd.Context {
+	t.Helper()
+	fs := hdfs.New(hdfs.Config{BlockSize: 64 << 10, Replication: 3}, 15)
+	rm := yarn.NewResourceManager(yarn.PaperCluster())
+	grants, err := rm.Allocate(yarn.PaperExecutor(), executors)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rdd.NewContext(fs, rdd.FromContainers(grants), rdd.DefaultCostModel())
+}
+
+func featConfig(sv synth.Survey) features.Config {
+	return features.Config{Grid: sv.Grid, BandMHz: sv.BandMHz, FreqGHz: sv.FreqGHz}
+}
+
+func TestPrepareProducesBothFiles(t *testing.T) {
+	prep, _ := makeSurveyData(t, 1, 2)
+	if len(prep.DataLines) < 10 || !spe.IsHeader(prep.DataLines[0]) {
+		t.Fatalf("bad data lines: %d", len(prep.DataLines))
+	}
+	if prep.NumClusters() == 0 {
+		t.Fatal("no clusters found")
+	}
+	if !spe.IsHeader(prep.ClusterLines[0]) {
+		t.Error("cluster file missing header")
+	}
+}
+
+func TestDRAPIDEndToEnd(t *testing.T) {
+	prep, sv := makeSurveyData(t, 2, 3)
+	ctx := newTestContext(t, 5)
+	if err := prep.Upload(ctx.FS, "spe.csv", "clusters.csv"); err != nil {
+		t.Fatal(err)
+	}
+	res, err := pipeline.RunDRAPID(ctx, pipeline.JobConfig{
+		DataFile:    "spe.csv",
+		ClusterFile: "clusters.csv",
+		OutDir:      "ml",
+		Feat:        featConfig(sv),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Records == 0 {
+		t.Fatal("no single pulses identified")
+	}
+	if res.SimSeconds <= 0 {
+		t.Error("no simulated time elapsed")
+	}
+	recs, err := pipeline.CollectML(ctx, "ml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != res.Records {
+		t.Errorf("collected %d records, job reported %d", len(recs), res.Records)
+	}
+	for _, r := range recs {
+		if r.Vec[features.SNRMax] < 5 {
+			t.Errorf("pulse with SNRMax %g below threshold", r.Vec[features.SNRMax])
+		}
+		if r.PulseRank < 1 {
+			t.Errorf("bad pulse rank %d", r.PulseRank)
+		}
+	}
+}
+
+// TestDistributedMatchesMultithreaded is the cross-implementation oracle:
+// the distributed job and the multithreaded baseline run the same search
+// over the same files and must produce identical ML records.
+func TestDistributedMatchesMultithreaded(t *testing.T) {
+	prep, sv := makeSurveyData(t, 3, 3)
+	ctx := newTestContext(t, 4)
+	if err := prep.Upload(ctx.FS, "spe.csv", "clusters.csv"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pipeline.RunDRAPID(ctx, pipeline.JobConfig{
+		DataFile: "spe.csv", ClusterFile: "clusters.csv", OutDir: "ml",
+		Feat: featConfig(sv),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	distRecs, err := pipeline.CollectML(ctx, "ml")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	mtRes, err := rapidmt.Run(prep.DataLines, prep.ClusterLines, 4,
+		rapidmt.PaperWorkstation(), rdd.DefaultCostModel(), core.DefaultParams(), featConfig(sv))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	format := func(rs []pipeline.MLRecord) []string {
+		out := make([]string, len(rs))
+		for i, r := range rs {
+			out[i] = r.Format()
+		}
+		sort.Strings(out)
+		return out
+	}
+	d, m := format(distRecs), format(mtRes.ML)
+	if len(d) != len(m) {
+		t.Fatalf("record counts differ: distributed %d vs multithreaded %d", len(d), len(m))
+	}
+	for i := range d {
+		if d[i] != m[i] {
+			t.Fatalf("record %d differs:\n dist: %s\n   mt: %s", i, d[i], m[i])
+		}
+	}
+}
+
+func TestMLRecordRoundTrip(t *testing.T) {
+	r := pipeline.MLRecord{Key: "PALFA:55700.0200:3.7000:-28.1000:1", ClusterID: 12, PulseRank: 2}
+	for i := range r.Vec {
+		r.Vec[i] = float64(i) * 1.5
+	}
+	got, err := pipeline.ParseMLRecord(r.Format())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Key != r.Key || got.ClusterID != 12 || got.PulseRank != 2 {
+		t.Errorf("metadata mismatch: %+v", got)
+	}
+	for i := range r.Vec {
+		if diff := got.Vec[i] - r.Vec[i]; diff > 1e-9 || diff < -1e-9 {
+			t.Errorf("feature %d: %g != %g", i, got.Vec[i], r.Vec[i])
+		}
+	}
+	if _, err := pipeline.ParseMLRecord("not,a,record"); err == nil {
+		t.Error("garbage accepted")
+	}
+}
+
+func TestProcessKeyGroupSearchesOnlyClusterBoxes(t *testing.T) {
+	key := "S:1.0000:2.0000:3.0000:0"
+	// One tight cluster plus far-away stray events.
+	var dataPayloads []string
+	for i := 0; i < 30; i++ {
+		e := spe.SPE{DM: 100 + float64(i)*0.1, SNR: 5 + float64(15-abs(i-15)), Time: 10}
+		dataPayloads = append(dataPayloads, payload(e))
+	}
+	dataPayloads = append(dataPayloads, payload(spe.SPE{DM: 900, SNR: 50, Time: 90}))
+	cl := &spe.Cluster{ID: 0, N: 30, DMMin: 100, DMMax: 103, TMin: 9, TMax: 11, SNRMax: 20, Rank: 1}
+	_, clPayload, err := spe.SplitKeyed(spe.FormatClusterLine(cl))
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, stats, err := pipeline.ProcessKeyGroup(key, []string{clPayload}, dataPayloads,
+		core.DefaultParams(), features.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.SPEsSearched != 30 {
+		t.Errorf("searched %d SPEs, want 30 (stray excluded)", stats.SPEsSearched)
+	}
+	for _, r := range recs {
+		if r.Vec[features.SNRMax] == 50 {
+			t.Error("stray event leaked into a pulse")
+		}
+	}
+}
+
+func payload(e spe.SPE) string {
+	line := spe.FormatDataLine(spe.Key{Dataset: "S", MJD: 1, RA: 2, Dec: 3}, e)
+	_, p, err := spe.SplitKeyed(line)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func TestEmptyKeyGroup(t *testing.T) {
+	recs, stats, err := pipeline.ProcessKeyGroup("k", nil, []string{"1,6,2,3,4"}, core.DefaultParams(), features.Config{})
+	if err != nil || recs != nil || stats.SPEsSearched != 0 {
+		t.Errorf("empty cluster group: recs=%v stats=%+v err=%v", recs, stats, err)
+	}
+}

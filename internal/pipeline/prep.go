@@ -1,0 +1,63 @@
+package pipeline
+
+import (
+	"drapid/internal/dbscan"
+	"drapid/internal/dmgrid"
+	"drapid/internal/hdfs"
+	"drapid/internal/spe"
+)
+
+// Prepared is the output of stages 1–2 for a set of observations: the SPE
+// data lines and cluster lines ready for HDFS upload, plus the in-memory
+// clusters for ground-truth matching.
+type Prepared struct {
+	DataLines    []string
+	ClusterLines []string
+	// Keys and Clusters hold the stage-2 output per observation, aligned.
+	Keys     []spe.Key
+	Clusters [][]*spe.Cluster
+	// NumSPEs is the total event count across observations.
+	NumSPEs int
+}
+
+// Prepare runs stage 1 (preprocessing into SPE records) and stage 2 (the
+// customized DBSCAN) over observations, producing the two CSV inputs the
+// distributed job joins. Headers are included, as the real files carry
+// them; the driver strips them (Figure 3, stage 1).
+func Prepare(obs []spe.Observation, grid *dmgrid.Grid, params dbscan.Params) *Prepared {
+	p := &Prepared{
+		DataLines:    []string{spe.DataHeader},
+		ClusterLines: []string{spe.ClusterHeader},
+	}
+	for _, o := range obs {
+		res := dbscan.Cluster(o.Events, grid, o.Key, params)
+		for _, e := range o.Events {
+			p.DataLines = append(p.DataLines, spe.FormatDataLine(o.Key, e))
+		}
+		for _, c := range res.Clusters {
+			p.ClusterLines = append(p.ClusterLines, spe.FormatClusterLine(c))
+		}
+		p.Keys = append(p.Keys, o.Key)
+		p.Clusters = append(p.Clusters, res.Clusters)
+		p.NumSPEs += len(o.Events)
+	}
+	return p
+}
+
+// NumClusters counts clusters across observations.
+func (p *Prepared) NumClusters() int {
+	n := 0
+	for _, cs := range p.Clusters {
+		n += len(cs)
+	}
+	return n
+}
+
+// Upload writes the prepared files into HDFS under the given names.
+func (p *Prepared) Upload(fs *hdfs.FS, dataName, clusterName string) error {
+	if _, err := fs.WriteLines(dataName, p.DataLines); err != nil {
+		return err
+	}
+	_, err := fs.WriteLines(clusterName, p.ClusterLines)
+	return err
+}

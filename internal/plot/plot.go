@@ -1,0 +1,117 @@
+// Package plot renders text-mode single-pulse candidate plots — the
+// SNR-vs-DM and DM-vs-time panels of the paper's Figure 1 — so the CLI
+// tools can show what the search is looking at without any graphics
+// dependency. Brighter events use denser glyphs.
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"drapid/internal/spe"
+)
+
+// glyphs orders marks from faint to bright.
+var glyphs = []byte{'.', ':', '+', '*', '#', '@'}
+
+// Options sizes a panel.
+type Options struct {
+	// Width and Height are the character-cell dimensions of the plotting
+	// area (axes excluded). Defaults: 72 × 18.
+	Width, Height int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Width <= 0 {
+		o.Width = 72
+	}
+	if o.Height <= 0 {
+		o.Height = 18
+	}
+	return o
+}
+
+// SNRvsDM renders the top panel of a candidate plot: every event placed by
+// trial DM (x) and SNR (y).
+func SNRvsDM(events []spe.SPE, opt Options) string {
+	return render(events, opt,
+		func(e spe.SPE) (float64, float64) { return e.DM, e.SNR },
+		"SNR", "DM (pc cm^-3)")
+}
+
+// DMvsTime renders the bottom panel: every event placed by arrival time
+// (x) and trial DM (y), with brightness encoded in the glyph.
+func DMvsTime(events []spe.SPE, opt Options) string {
+	return render(events, opt,
+		func(e spe.SPE) (float64, float64) { return e.Time, e.DM },
+		"DM", "time (s)")
+}
+
+// Candidate renders both panels, the full Figure 1-style plot.
+func Candidate(events []spe.SPE, opt Options) string {
+	return SNRvsDM(events, opt) + "\n" + DMvsTime(events, opt)
+}
+
+func render(events []spe.SPE, opt Options, xy func(spe.SPE) (x, y float64), yLabel, xLabel string) string {
+	opt = opt.withDefaults()
+	if len(events) == 0 {
+		return fmt.Sprintf("(no events)\n%s vs %s\n", yLabel, xLabel)
+	}
+	xLo, xHi := math.Inf(1), math.Inf(-1)
+	yLo, yHi := math.Inf(1), math.Inf(-1)
+	sLo, sHi := math.Inf(1), math.Inf(-1)
+	for _, e := range events {
+		x, y := xy(e)
+		xLo, xHi = math.Min(xLo, x), math.Max(xHi, x)
+		yLo, yHi = math.Min(yLo, y), math.Max(yHi, y)
+		sLo, sHi = math.Min(sLo, e.SNR), math.Max(sHi, e.SNR)
+	}
+	if xHi == xLo {
+		xHi = xLo + 1
+	}
+	if yHi == yLo {
+		yHi = yLo + 1
+	}
+	grid := make([][]byte, opt.Height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", opt.Width))
+	}
+	for _, e := range events {
+		x, y := xy(e)
+		c := int((x - xLo) / (xHi - xLo) * float64(opt.Width-1))
+		r := opt.Height - 1 - int((y-yLo)/(yHi-yLo)*float64(opt.Height-1))
+		g := glyphs[0]
+		if sHi > sLo {
+			g = glyphs[int((e.SNR-sLo)/(sHi-sLo)*float64(len(glyphs)-1))]
+		}
+		// Keep the densest glyph when events overlap.
+		if cur := grid[r][c]; glyphRank(g) > glyphRank(cur) {
+			grid[r][c] = g
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%8.2f ┤", yHi)
+	b.Write(grid[0])
+	b.WriteByte('\n')
+	for r := 1; r < opt.Height-1; r++ {
+		b.WriteString("         │")
+		b.Write(grid[r])
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "%8.2f ┤", yLo)
+	b.Write(grid[opt.Height-1])
+	b.WriteByte('\n')
+	b.WriteString("         └" + strings.Repeat("─", opt.Width) + "\n")
+	fmt.Fprintf(&b, "      %s: %.2f … %.2f   (%s on y; glyph density ∝ SNR)\n", xLabel, xLo, xHi, yLabel)
+	return b.String()
+}
+
+func glyphRank(g byte) int {
+	for i, c := range glyphs {
+		if c == g {
+			return i
+		}
+	}
+	return -1 // blank
+}

@@ -1,0 +1,83 @@
+package plot
+
+import (
+	"strings"
+	"testing"
+
+	"drapid/internal/spe"
+)
+
+func events() []spe.SPE {
+	var out []spe.SPE
+	for i := 0; i < 50; i++ {
+		out = append(out, spe.SPE{
+			DM:   100 + float64(i)*0.5,
+			SNR:  5 + float64(25-abs(i-25))/2,
+			Time: 10 + float64(i)*0.01,
+		})
+	}
+	return out
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func TestPanelsRender(t *testing.T) {
+	for name, panel := range map[string]string{
+		"snr-dm":  SNRvsDM(events(), Options{}),
+		"dm-time": DMvsTime(events(), Options{}),
+	} {
+		if !strings.Contains(panel, "┤") || !strings.Contains(panel, "└") {
+			t.Errorf("%s: axes missing:\n%s", name, panel)
+		}
+		marked := 0
+		for _, g := range ".:+*#@" {
+			marked += strings.Count(panel, string(g))
+		}
+		if marked < 20 {
+			t.Errorf("%s: only %d marks plotted", name, marked)
+		}
+	}
+}
+
+func TestBrightEventsUseDenserGlyphs(t *testing.T) {
+	out := SNRvsDM(events(), Options{})
+	if !strings.Contains(out, "@") {
+		t.Error("peak glyph missing")
+	}
+	if !strings.Contains(out, ".") {
+		t.Error("faint glyph missing")
+	}
+}
+
+func TestCandidateCombinesPanels(t *testing.T) {
+	out := Candidate(events(), Options{Width: 40, Height: 8})
+	if strings.Count(out, "└") != 2 {
+		t.Errorf("expected two panels:\n%s", out)
+	}
+}
+
+func TestDegenerateInputs(t *testing.T) {
+	if out := SNRvsDM(nil, Options{}); !strings.Contains(out, "no events") {
+		t.Errorf("empty input: %q", out)
+	}
+	// Single event: ranges collapse; must not divide by zero or panic.
+	one := []spe.SPE{{DM: 5, SNR: 9, Time: 1}}
+	out := Candidate(one, Options{Width: 10, Height: 4})
+	if !strings.Contains(out, "└") {
+		t.Errorf("single event failed to render:\n%s", out)
+	}
+}
+
+func TestDimensionsRespected(t *testing.T) {
+	out := SNRvsDM(events(), Options{Width: 30, Height: 6})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// height rows + axis row + caption row
+	if len(lines) != 8 {
+		t.Errorf("line count %d, want 8:\n%s", len(lines), out)
+	}
+}

@@ -1,0 +1,112 @@
+package rapidmt
+
+import (
+	"math/rand"
+	"testing"
+
+	"drapid/internal/core"
+	"drapid/internal/dbscan"
+	"drapid/internal/features"
+	"drapid/internal/pipeline"
+	"drapid/internal/rdd"
+	"drapid/internal/spe"
+	"drapid/internal/synth"
+)
+
+func fixture(t *testing.T) (*pipeline.Prepared, features.Config) {
+	t.Helper()
+	sv := synth.PALFA()
+	sv.TobsSec = 10
+	gen := synth.NewGenerator(sv, 9)
+	rng := rand.New(rand.NewSource(10))
+	var obs []spe.Observation
+	for i := 0; i < 6; i++ {
+		mix := synth.Sources{NumImpulseRFI: 1, NumFlatRFI: 2, NumNoise: 200}
+		if i%2 == 0 {
+			mix.Pulsars = []synth.Pulsar{synth.RandomPulsar(rng, synth.AnyBand, synth.AnyBrightness, false)}
+		}
+		o, _ := gen.Observe(gen.NextKey(), mix)
+		obs = append(obs, o)
+	}
+	prep := pipeline.Prepare(obs, sv.Grid, dbscan.DefaultParams())
+	return prep, features.Config{Grid: sv.Grid, BandMHz: sv.BandMHz, FreqGHz: sv.FreqGHz}
+}
+
+func run(t *testing.T, prep *pipeline.Prepared, fc features.Config, threads int) Result {
+	t.Helper()
+	res, err := Run(prep.DataLines, prep.ClusterLines, threads, PaperWorkstation(),
+		rdd.DefaultCostModel(), core.DefaultParams(), fc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestProducesRecords(t *testing.T) {
+	prep, fc := fixture(t)
+	res := run(t, prep, fc, 4)
+	if res.Records == 0 || len(res.ML) != res.Records {
+		t.Fatalf("records=%d ml=%d", res.Records, len(res.ML))
+	}
+	if res.SimSeconds <= 0 {
+		t.Error("no simulated time")
+	}
+}
+
+func TestOutputIndependentOfThreads(t *testing.T) {
+	prep, fc := fixture(t)
+	a := run(t, prep, fc, 1)
+	b := run(t, prep, fc, 16)
+	if a.Records != b.Records {
+		t.Fatalf("thread count changed results: %d vs %d", a.Records, b.Records)
+	}
+	for i := range a.ML {
+		if a.ML[i].Format() != b.ML[i].Format() {
+			t.Fatalf("record %d differs across thread counts", i)
+		}
+	}
+}
+
+func TestMoreThreadsHelpUntilCapacity(t *testing.T) {
+	prep, fc := fixture(t)
+	t1 := run(t, prep, fc, 1).SimSeconds
+	t2 := run(t, prep, fc, 2).SimSeconds
+	if !(t2 < t1) {
+		t.Errorf("2 threads (%g) not faster than 1 (%g)", t2, t1)
+	}
+	// Beyond the memory-bandwidth ceiling extra threads stop helping.
+	t10 := run(t, prep, fc, 10).SimSeconds
+	t20 := run(t, prep, fc, 20).SimSeconds
+	if t20 < t10*0.8 {
+		t.Errorf("threads beyond capacity still scaling: %g -> %g", t10, t20)
+	}
+}
+
+func TestCapacityModel(t *testing.T) {
+	m := PaperWorkstation()
+	if got := m.capacity(); got != m.MemBWCores {
+		t.Errorf("capacity = %g, want bandwidth ceiling %g", got, m.MemBWCores)
+	}
+	if got := m.effectiveParallelism(1); got != 1 {
+		t.Errorf("effectiveParallelism(1) = %g", got)
+	}
+	if got := m.contention(1); got != 1 {
+		t.Errorf("contention(1) = %g", got)
+	}
+	if got := m.contention(20); got <= 1 {
+		t.Errorf("contention(20) = %g, want > 1", got)
+	}
+	unbounded := Machine{Cores: 4, HTBoost: 1, CPUFactor: 1}
+	if got := unbounded.capacity(); got != 4 {
+		t.Errorf("capacity without ceiling = %g, want 4", got)
+	}
+}
+
+func TestHeaderAndGarbageLinesSkipped(t *testing.T) {
+	prep, fc := fixture(t)
+	prep.DataLines = append([]string{"# junk header", "not,a,record"}, prep.DataLines...)
+	res := run(t, prep, fc, 2)
+	if res.Records == 0 {
+		t.Error("garbage lines broke the run")
+	}
+}

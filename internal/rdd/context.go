@@ -1,0 +1,202 @@
+// Package rdd is a Spark-like distributed dataset engine: lazy, partitioned
+// datasets with narrow and wide (shuffle) transformations, hash
+// partitioning, locality-aware task scheduling over simulated executors,
+// caching with spill accounting, and lineage-based recovery of lost
+// partitions.
+//
+// Real work executes on the host (partitions are really computed, joins
+// really join); elapsed time is *simulated* through a calibrated cost model
+// and the des scheduler, which is what lets the Figure 4 experiment sweep
+// executor counts on one machine (see DESIGN.md §1).
+package rdd
+
+import (
+	"sync"
+
+	"drapid/internal/hdfs"
+	"drapid/internal/yarn"
+)
+
+// Executor is one allocated Spark executor: a container's cores and memory
+// pinned to a cluster node.
+type Executor struct {
+	ID    int
+	Node  int
+	Cores int
+	MemMB int
+
+	// storedBytes is the simulated volume of cached partition data resident
+	// on this executor.
+	storedBytes int64
+}
+
+// StorageFraction is the share of executor memory available for cached
+// partitions (Spark's default unified-memory storage share).
+const StorageFraction = 0.6
+
+// storageCapacity returns the executor's cache capacity in bytes.
+func (e *Executor) storageCapacity() int64 {
+	return int64(float64(e.MemMB) * StorageFraction * float64(1<<20))
+}
+
+// spillFraction is the portion of this executor's cached data that no
+// longer fits in memory and lives on local disk.
+func (e *Executor) spillFraction() float64 {
+	cap := e.storageCapacity()
+	if e.storedBytes <= cap || e.storedBytes == 0 {
+		return 0
+	}
+	return float64(e.storedBytes-cap) / float64(e.storedBytes)
+}
+
+// FromContainers adapts YARN grants into executors.
+func FromContainers(cs []yarn.Container) []*Executor {
+	execs := make([]*Executor, len(cs))
+	for i, c := range cs {
+		execs[i] = &Executor{ID: i, Node: c.Node, Cores: c.VCores, MemMB: c.MemMB}
+	}
+	return execs
+}
+
+// CostModel translates task work metrics into simulated seconds. The
+// defaults are calibrated to commodity 2011-era hardware like the paper's
+// testbed (1 GbE network, single consumer SATA disks).
+type CostModel struct {
+	// CPUPerRecord charges generic per-record transform work (parse,
+	// format, hash), in seconds of one core.
+	CPUPerRecord float64
+	// CPUPerByte charges serialization-volume work.
+	CPUPerByte float64
+	// SearchPerSPE charges D-RAPID's regression/state-machine work per
+	// searched event.
+	SearchPerSPE float64
+	// DiskMBps and NetMBps are the local-disk and network transfer rates.
+	DiskMBps float64
+	NetMBps  float64
+	// TaskOverheadSec is the scheduler's per-task launch cost.
+	TaskOverheadSec float64
+	// StageOverheadSec is the driver's per-stage cost (DAG bookkeeping,
+	// result handling).
+	StageOverheadSec float64
+}
+
+// DefaultCostModel returns the calibration used by all experiments.
+func DefaultCostModel() CostModel {
+	return CostModel{
+		CPUPerRecord:     1.2e-6,
+		CPUPerByte:       6e-9,
+		SearchPerSPE:     2e-5,
+		DiskMBps:         100,
+		NetMBps:          110,
+		TaskOverheadSec:  0.002,
+		StageOverheadSec: 0.02,
+	}
+}
+
+// StageSample records one stage's simulated execution for diagnostics.
+type StageSample struct {
+	Name    string
+	Tasks   int
+	Seconds float64
+}
+
+// Metrics accumulates simulated-execution counters for one context.
+type Metrics struct {
+	Stages          int
+	Tasks           int
+	RecordsRead     int64
+	RecordsWritten  int64
+	LocalReadBytes  int64
+	RemoteReadBytes int64
+	ShuffleBytes    int64
+	SpillBytes      int64
+	Recomputes      int
+	StageSamples    []StageSample
+}
+
+// Context owns the executors, filesystem, clock and metrics of one driver
+// program — the moral equivalent of a SparkContext.
+type Context struct {
+	FS   *hdfs.FS
+	Cost CostModel
+
+	execs []*Executor
+	clock float64
+
+	// DefaultParallelism is the partition count used when callers don't
+	// specify one (Spark: total executor cores).
+	DefaultParallelism int
+
+	mu      sync.Mutex
+	metrics Metrics
+	nextID  int
+}
+
+// NewContext builds a driver context over the given executors.
+func NewContext(fs *hdfs.FS, execs []*Executor, cost CostModel) *Context {
+	cores := 0
+	for _, e := range execs {
+		cores += e.Cores
+	}
+	if cores == 0 {
+		cores = 1
+	}
+	return &Context{FS: fs, Cost: cost, execs: execs, DefaultParallelism: cores}
+}
+
+// NumExecutors returns the executor count.
+func (c *Context) NumExecutors() int { return len(c.execs) }
+
+// TotalCores sums executor cores.
+func (c *Context) TotalCores() int {
+	n := 0
+	for _, e := range c.execs {
+		n += e.Cores
+	}
+	return n
+}
+
+// SimElapsed returns the simulated job time consumed so far, in seconds.
+func (c *Context) SimElapsed() float64 { return c.clock }
+
+// Metrics returns a snapshot of the accumulated counters.
+func (c *Context) Metrics() Metrics {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.metrics
+}
+
+// TaskContext carries one task's work metrics; transformation closures
+// report what they did and the stage scheduler prices it afterwards.
+type TaskContext struct {
+	Part int
+
+	cpuSec          float64
+	localReadBytes  int64
+	remoteReadBytes int64
+	hdfsReadBytes   int64 // priced by locality at scheduling time
+	shuffleOutBytes int64
+	recordsIn       int64
+	recordsOut      int64
+	cachedReadBytes int64 // reads from executor-cached partitions
+}
+
+// AddCPU charges sec seconds of single-core compute.
+func (tc *TaskContext) AddCPU(sec float64) { tc.cpuSec += sec }
+
+// ReadHDFS records an HDFS input volume whose local/remote split is decided
+// by where the scheduler places the task.
+func (tc *TaskContext) ReadHDFS(bytes int64) { tc.hdfsReadBytes += bytes }
+
+// ReadCached records a read of cached partition data.
+func (tc *TaskContext) ReadCached(bytes int64) { tc.cachedReadBytes += bytes }
+
+// ReadRemote records an unconditional network read (shuffle fetch).
+func (tc *TaskContext) ReadRemote(bytes int64) { tc.remoteReadBytes += bytes }
+
+// WriteShuffle records map-side shuffle output.
+func (tc *TaskContext) WriteShuffle(bytes int64) { tc.shuffleOutBytes += bytes }
+
+// CountIn and CountOut record record counts through the task.
+func (tc *TaskContext) CountIn(n int64)  { tc.recordsIn += n }
+func (tc *TaskContext) CountOut(n int64) { tc.recordsOut += n }

@@ -1,0 +1,29 @@
+package rdd
+
+import "fmt"
+
+// KillPartition simulates the loss of a materialized partition — an
+// executor dying with cached data, the failure mode RDD lineage exists to
+// survive ("a collection of objects partitioned across a set of data nodes
+// that can be rebuilt if a partition is lost"). The next read recomputes
+// the partition from its lineage; Metrics.Recomputes counts recoveries.
+func KillPartition[T any](r *RDD[T], p int) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.mat == nil {
+		return fmt.Errorf("rdd: %s is not materialized; nothing to kill", r.name)
+	}
+	if p < 0 || p >= len(r.mat) {
+		return fmt.Errorf("rdd: %s has no partition %d", r.name, p)
+	}
+	r.mat[p] = nil
+	r.lost[p] = true
+	return nil
+}
+
+// IsLost reports whether partition p is currently marked lost.
+func IsLost[T any](r *RDD[T], p int) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.mat != nil && p >= 0 && p < len(r.lost) && r.lost[p]
+}

@@ -1,0 +1,294 @@
+package rdd
+
+import (
+	"hash/fnv"
+	"sync"
+)
+
+// Pair is one key-value record of a pair dataset (the paper's KVPRDD).
+type Pair[K comparable, V any] struct {
+	Key   K
+	Value V
+}
+
+// Partitioner lays keys out over reduce partitions. Two partitioners with
+// equal IDs produce identical layouts, which lets the engine skip the
+// shuffle when joining datasets partitioned the same way — the co-location
+// optimisation D-RAPID relies on ("we partition each KVPRDD in the exact
+// same manner, so that the matching keys for each set are naturally
+// colocated", §5.1.1).
+type Partitioner[K comparable] interface {
+	NumPartitions() int
+	Partition(key K) int
+	ID() uint64
+}
+
+// HashPartitioner is the Spark HashPartitioner equivalent for string keys.
+type HashPartitioner struct {
+	n  int
+	id uint64
+}
+
+// NewHashPartitioner creates a string-key hash partitioner over n
+// partitions. All instances with equal n are interchangeable (same ID).
+func NewHashPartitioner(n int) *HashPartitioner {
+	if n < 1 {
+		n = 1
+	}
+	return &HashPartitioner{n: n, id: 0x48500000 + uint64(n)}
+}
+
+// NumPartitions implements Partitioner.
+func (h *HashPartitioner) NumPartitions() int { return h.n }
+
+// Partition implements Partitioner via FNV-1a.
+func (h *HashPartitioner) Partition(key string) int {
+	f := fnv.New64a()
+	f.Write([]byte(key))
+	return int(f.Sum64() % uint64(h.n))
+}
+
+// ID implements Partitioner.
+func (h *HashPartitioner) ID() uint64 { return h.id }
+
+// shuffle is the barrier between a map-side stage and its reduce-side
+// reads: it buckets every parent partition by the target partitioner and
+// keeps the buckets (the moral equivalent of shuffle files on executor
+// disks) for reduce tasks to fetch.
+type shuffle[K comparable, V any] struct {
+	parent *RDD[Pair[K, V]]
+	part   Partitioner[K]
+	once   sync.Once
+
+	// buckets[m][q] holds map task m's records for reduce partition q.
+	buckets [][][]Pair[K, V]
+	bytes   [][]int64
+}
+
+func (s *shuffle[K, V]) ensure() {
+	s.once.Do(func() {
+		for _, d := range s.parent.deps {
+			d.ensure()
+		}
+		if s.parent.cache {
+			s.parent.materialize()
+		}
+		n := s.part.NumPartitions()
+		ctx := s.parent.ctx
+		s.buckets = make([][][]Pair[K, V], s.parent.parts)
+		s.bytes = make([][]int64, s.parent.parts)
+		weigh := s.parent.weigh
+		_, _ = runStage(ctx, s.parent.name+"(shuffle-map)", s.parent.parts, s.parent.pref,
+			func(m int, tc *TaskContext) []struct{} {
+				in := s.parent.partition(m, tc)
+				tc.CountIn(int64(len(in)))
+				bk := make([][]Pair[K, V], n)
+				by := make([]int64, n)
+				var total int64
+				for _, kv := range in {
+					q := s.part.Partition(kv.Key)
+					bk[q] = append(bk[q], kv)
+					w := weigh(kv)
+					by[q] += w
+					total += w
+				}
+				tc.WriteShuffle(total)
+				s.buckets[m] = bk
+				s.bytes[m] = by
+				return nil
+			})
+	})
+}
+
+// fetch concatenates reduce partition q's buckets, charging the network
+// fetch (all but the executor's own share crosses the wire).
+func (s *shuffle[K, V]) fetch(q int, tc *TaskContext) []Pair[K, V] {
+	var out []Pair[K, V]
+	var bytes int64
+	for m := range s.buckets {
+		out = append(out, s.buckets[m][q]...)
+		bytes += s.bytes[m][q]
+	}
+	execs := len(s.parent.ctx.execs)
+	if execs > 1 {
+		tc.ReadRemote(bytes * int64(execs-1) / int64(execs))
+		tc.localReadBytes += bytes / int64(execs)
+	} else if execs == 1 {
+		tc.localReadBytes += bytes
+	}
+	return out
+}
+
+// PartitionBy redistributes a pair dataset with the given partitioner —
+// the "Partition" phase of Figure 3. The result remembers its layout, so a
+// later join against a dataset with the same partitioner needs no shuffle.
+// If the dataset is already laid out this way, it is returned unchanged.
+func PartitionBy[K comparable, V any](r *RDD[Pair[K, V]], part Partitioner[K]) *RDD[Pair[K, V]] {
+	if r.partID == part.ID() && r.parts == part.NumPartitions() {
+		return r
+	}
+	sh := &shuffle[K, V]{parent: r, part: part}
+	out := newRDDIn[Pair[K, V]](r.ctx, "partitionBy", part.NumPartitions(), []dep{sh})
+	out.weigh = r.weigh
+	out.partID = part.ID()
+	out.compute = func(q int, tc *TaskContext) []Pair[K, V] {
+		in := sh.fetch(q, tc)
+		tc.CountOut(int64(len(in)))
+		return in
+	}
+	return out
+}
+
+// AggregateByKey combines values per key — map-side combine first (the
+// "Aggregate" phase of Figure 3, which shrinks the pair count before the
+// expensive join), then a shuffle, then a reduce-side merge. The result is
+// laid out by part.
+func AggregateByKey[K comparable, V, A any](r *RDD[Pair[K, V]], part Partitioner[K],
+	zero func() A, seq func(A, V) A, comb func(A, A) A, weighA func(Pair[K, A]) int64) *RDD[Pair[K, A]] {
+
+	// Map-side combine: fold each input partition into per-key aggregates.
+	combined := MapPartitions(r, func(p int, tc *TaskContext, in []Pair[K, V]) []Pair[K, A] {
+		aggs := make(map[K]A)
+		order := make([]K, 0, 64)
+		for _, kv := range in {
+			a, ok := aggs[kv.Key]
+			if !ok {
+				a = zero()
+				order = append(order, kv.Key)
+			}
+			aggs[kv.Key] = seq(a, kv.Value)
+		}
+		out := make([]Pair[K, A], 0, len(order))
+		for _, k := range order {
+			out = append(out, Pair[K, A]{Key: k, Value: aggs[k]})
+		}
+		return out
+	})
+	if weighA != nil {
+		combined.SetWeigher(weighA)
+	}
+
+	shuffled := PartitionBy(combined, part)
+
+	// Reduce-side merge of the per-map aggregates.
+	out := newRDDIn[Pair[K, A]](r.ctx, "aggregateByKey", part.NumPartitions(), []dep{shuffled})
+	if weighA != nil {
+		out.weigh = weighA
+	}
+	out.partID = part.ID()
+	out.compute = func(q int, tc *TaskContext) []Pair[K, A] {
+		in := shuffled.partition(q, tc)
+		tc.CountIn(int64(len(in)))
+		aggs := make(map[K]A)
+		order := make([]K, 0, len(in))
+		for _, kv := range in {
+			a, ok := aggs[kv.Key]
+			if !ok {
+				order = append(order, kv.Key)
+				aggs[kv.Key] = kv.Value
+				continue
+			}
+			aggs[kv.Key] = comb(a, kv.Value)
+		}
+		res := make([]Pair[K, A], 0, len(order))
+		for _, k := range order {
+			res = append(res, Pair[K, A]{Key: k, Value: aggs[k]})
+		}
+		tc.CountOut(int64(len(res)))
+		return res
+	}
+	return out
+}
+
+// ReduceByKey folds all values of each key with f. It is AggregateByKey
+// specialised to a same-typed accumulator with no zero value.
+func ReduceByKey[K comparable, V any](r *RDD[Pair[K, V]], part Partitioner[K], f func(V, V) V) *RDD[Pair[K, V]] {
+	type acc struct {
+		v  V
+		ok bool
+	}
+	agg := AggregateByKey(r, part,
+		func() acc { return acc{} },
+		func(a acc, v V) acc {
+			if !a.ok {
+				return acc{v: v, ok: true}
+			}
+			return acc{v: f(a.v, v), ok: true}
+		},
+		func(a, b acc) acc {
+			if !a.ok {
+				return b
+			}
+			if !b.ok {
+				return a
+			}
+			return acc{v: f(a.v, b.v), ok: true}
+		},
+		nil)
+	out := Map(agg, func(p Pair[K, acc]) Pair[K, V] { return Pair[K, V]{Key: p.Key, Value: p.Value.v} })
+	out.partID = part.ID() // keys unchanged, so the layout survives the map
+	out.weigh = r.weigh
+	return out
+}
+
+// GroupByKey gathers all values per key with no map-side reduction in
+// volume (still one pair per key afterwards).
+func GroupByKey[K comparable, V any](r *RDD[Pair[K, V]], part Partitioner[K]) *RDD[Pair[K, []V]] {
+	return AggregateByKey(r, part,
+		func() []V { return nil },
+		func(a []V, v V) []V { return append(a, v) },
+		func(a, b []V) []V { return append(a, b...) },
+		nil)
+}
+
+// Joined is one output row of LeftOuterJoin: the left value plus the right
+// value when the key matched (HasRight reports the null case).
+type Joined[V, W any] struct {
+	Left     V
+	Right    W
+	HasRight bool
+}
+
+// LeftOuterJoin joins two pair datasets on their keys, returning one row
+// per left value (cross-producted with the matching right values, or a
+// null right). Both sides are first laid out by part; sides already
+// partitioned that way are used in place — D-RAPID's zero-shuffle join.
+func LeftOuterJoin[K comparable, V, W any](left *RDD[Pair[K, V]], right *RDD[Pair[K, W]], part Partitioner[K]) *RDD[Pair[K, Joined[V, W]]] {
+	l := PartitionBy(left, part)
+	r := PartitionBy(right, part)
+	out := newRDDIn[Pair[K, Joined[V, W]]](left.ctx, "leftOuterJoin", part.NumPartitions(), []dep{l, r})
+	out.partID = part.ID()
+	out.compute = func(q int, tc *TaskContext) []Pair[K, Joined[V, W]] {
+		lv := l.partition(q, tc)
+		rv := r.partition(q, tc)
+		tc.CountIn(int64(len(lv) + len(rv)))
+		byKey := make(map[K][]W, len(rv))
+		for _, kv := range rv {
+			byKey[kv.Key] = append(byKey[kv.Key], kv.Value)
+		}
+		var res []Pair[K, Joined[V, W]]
+		for _, kv := range lv {
+			matches, ok := byKey[kv.Key]
+			if !ok {
+				res = append(res, Pair[K, Joined[V, W]]{Key: kv.Key, Value: Joined[V, W]{Left: kv.Value}})
+				continue
+			}
+			for _, w := range matches {
+				res = append(res, Pair[K, Joined[V, W]]{Key: kv.Key, Value: Joined[V, W]{Left: kv.Value, Right: w, HasRight: true}})
+			}
+		}
+		tc.CountOut(int64(len(res)))
+		return res
+	}
+	return out
+}
+
+// Keys projects the keys of a pair dataset.
+func Keys[K comparable, V any](r *RDD[Pair[K, V]]) *RDD[K] {
+	return Map(r, func(p Pair[K, V]) K { return p.Key })
+}
+
+// Values projects the values of a pair dataset.
+func Values[K comparable, V any](r *RDD[Pair[K, V]]) *RDD[V] {
+	return Map(r, func(p Pair[K, V]) V { return p.Value })
+}

@@ -1,0 +1,379 @@
+package rdd
+
+import (
+	"fmt"
+	"sync"
+)
+
+// dep is the untyped view of an upstream dataset the DAG walker uses:
+// ensure() materializes barrier nodes (cached datasets, shuffle map sides)
+// bottom-up before the downstream stage runs. Narrow nodes just recurse.
+type dep interface {
+	ensure()
+}
+
+// RDD is a lazy, partitioned dataset. Transformations build new RDDs whose
+// compute closures pull from their parents; nothing executes until an
+// action (Collect, Count, SaveTextFile) forces the lineage.
+type RDD[T any] struct {
+	ctx   *Context
+	id    int
+	name  string
+	parts int
+
+	// compute produces partition p. For narrow transformations it calls
+	// parent.partition(p, tc), fusing the chain into one stage.
+	compute func(p int, tc *TaskContext) []T
+	// pref lists preferred executor nodes for partition p (data locality).
+	pref func(p int) []int
+	// weigh estimates one record's serialized size for cost accounting.
+	weigh func(T) int64
+	// partID identifies the partitioner that laid out this dataset
+	// (non-zero only for shuffled pair datasets); equal IDs let joins skip
+	// the shuffle, the co-location optimisation of §5.1.1.
+	partID uint64
+
+	deps  []dep
+	cache bool
+
+	mu       sync.Mutex
+	mat      [][]T
+	matBytes []int64
+	matSpill []float64 // spilled fraction of partition p at cache time
+	lost     []bool
+}
+
+func defaultWeigh[T any](T) int64 { return 64 }
+
+// newRDDIn constructs a dataset node. It is a free function rather than a
+// Context method because Go methods cannot introduce type parameters.
+func newRDDIn[T any](c *Context, name string, parts int, deps []dep) *RDD[T] {
+	c.mu.Lock()
+	c.nextID++
+	id := c.nextID
+	c.mu.Unlock()
+	return &RDD[T]{ctx: c, id: id, name: fmt.Sprintf("%s#%d", name, id), parts: parts, deps: deps, weigh: defaultWeigh[T]}
+}
+
+// Name returns the dataset's debug name.
+func (r *RDD[T]) Name() string { return r.name }
+
+// NumPartitions returns the partition count.
+func (r *RDD[T]) NumPartitions() int { return r.parts }
+
+// Context returns the owning driver context.
+func (r *RDD[T]) Context() *Context { return r.ctx }
+
+// SetWeigher installs a per-record size estimator used for cache, shuffle
+// and collect cost accounting, returning r for chaining.
+func (r *RDD[T]) SetWeigher(f func(T) int64) *RDD[T] {
+	r.weigh = f
+	return r
+}
+
+// Cache marks the dataset for materialisation: the first action computes
+// and stores its partitions on executors (spilling what exceeds storage
+// memory), and later reads hit the store instead of recomputing.
+func (r *RDD[T]) Cache() *RDD[T] {
+	r.cache = true
+	return r
+}
+
+// partition returns partition p from cache or by (re)computing it,
+// charging the read or compute to tc.
+func (r *RDD[T]) partition(p int, tc *TaskContext) []T {
+	r.mu.Lock()
+	if r.mat != nil {
+		if !r.lost[p] {
+			bytes := r.matBytes[p]
+			spill := r.matSpill[p]
+			r.mu.Unlock()
+			tc.ReadCached(bytes)
+			if spill > 0 {
+				// The spilled share comes back from local disk.
+				tc.localReadBytes += int64(float64(bytes) * spill)
+			}
+			return r.mat[p]
+		}
+		// Lost partition: lineage recovery recomputes it in place.
+		r.mu.Unlock()
+		out := r.compute(p, tc)
+		r.mu.Lock()
+		r.mat[p] = out
+		r.lost[p] = false
+		r.mu.Unlock()
+		r.ctx.mu.Lock()
+		r.ctx.metrics.Recomputes++
+		r.ctx.mu.Unlock()
+		return out
+	}
+	r.mu.Unlock()
+	return r.compute(p, tc)
+}
+
+// ensure implements dep: barrier nodes materialize, narrow nodes recurse.
+func (r *RDD[T]) ensure() {
+	r.mu.Lock()
+	done := r.mat != nil
+	r.mu.Unlock()
+	if done {
+		return
+	}
+	for _, d := range r.deps {
+		d.ensure()
+	}
+	if r.cache {
+		r.materialize()
+	}
+}
+
+// materialize runs the dataset's own stage and stores the partitions.
+func (r *RDD[T]) materialize() {
+	r.mu.Lock()
+	if r.mat != nil {
+		r.mu.Unlock()
+		return
+	}
+	r.mu.Unlock()
+	parts, execs := runStage(r.ctx, r.name, r.parts, r.pref, r.compute)
+	bytes := make([]int64, len(parts))
+	spills := make([]float64, len(parts))
+	var spilledDelta int64
+	for p, data := range parts {
+		var b int64
+		for _, t := range data {
+			b += r.weigh(t)
+		}
+		bytes[p] = b
+		if ex := r.ctx.executorByIndex(execs[p]); ex != nil {
+			cap := ex.storageCapacity()
+			before := ex.storedBytes - cap
+			if before < 0 {
+				before = 0
+			}
+			ex.storedBytes += b
+			after := ex.storedBytes - cap
+			if after < 0 {
+				after = 0
+			}
+			spilledDelta += after - before
+			spills[p] = ex.spillFraction()
+		}
+	}
+	if spilledDelta > 0 {
+		// Evicted partitions are written to executor-local disk; executors
+		// spill in parallel, so the driver sees the per-executor share.
+		r.ctx.mu.Lock()
+		r.ctx.metrics.SpillBytes += spilledDelta
+		r.ctx.mu.Unlock()
+		execsN := len(r.ctx.execs)
+		if execsN < 1 {
+			execsN = 1
+		}
+		r.ctx.chargeDriver(float64(spilledDelta) / (r.ctx.Cost.DiskMBps * 1e6) / float64(execsN))
+	}
+	r.mu.Lock()
+	r.mat = parts
+	r.matBytes = bytes
+	r.matSpill = spills
+	r.lost = make([]bool, len(parts))
+	r.mu.Unlock()
+}
+
+// forcePartitions materializes barrier ancestors, then produces this
+// dataset's partitions (storing them only if cached).
+func forcePartitions[T any](r *RDD[T]) [][]T {
+	for _, d := range r.deps {
+		d.ensure()
+	}
+	if r.cache {
+		r.materialize()
+	}
+	r.mu.Lock()
+	if r.mat != nil {
+		mat := r.mat
+		anyLost := false
+		for _, l := range r.lost {
+			anyLost = anyLost || l
+		}
+		r.mu.Unlock()
+		if !anyLost {
+			return mat
+		}
+		// Recover lost partitions through a repair stage.
+		out, _ := runStage(r.ctx, r.name+"(recover)", r.parts, r.pref, r.partition)
+		return out
+	}
+	r.mu.Unlock()
+	parts, _ := runStage(r.ctx, r.name, r.parts, r.pref, r.compute)
+	return parts
+}
+
+// Map applies f to every record.
+func Map[T, U any](r *RDD[T], f func(T) U) *RDD[U] {
+	out := newRDDIn[U](r.ctx, "map", r.parts, []dep{r})
+	out.pref = r.pref
+	out.compute = func(p int, tc *TaskContext) []U {
+		in := r.partition(p, tc)
+		tc.CountIn(int64(len(in)))
+		res := make([]U, len(in))
+		for i, t := range in {
+			res[i] = f(t)
+		}
+		tc.CountOut(int64(len(res)))
+		return res
+	}
+	return out
+}
+
+// Filter keeps the records f accepts.
+func Filter[T any](r *RDD[T], f func(T) bool) *RDD[T] {
+	out := newRDDIn[T](r.ctx, "filter", r.parts, []dep{r})
+	out.pref = r.pref
+	out.weigh = r.weigh
+	out.compute = func(p int, tc *TaskContext) []T {
+		in := r.partition(p, tc)
+		tc.CountIn(int64(len(in)))
+		res := make([]T, 0, len(in))
+		for _, t := range in {
+			if f(t) {
+				res = append(res, t)
+			}
+		}
+		tc.CountOut(int64(len(res)))
+		return res
+	}
+	return out
+}
+
+// FlatMap applies f and concatenates the results.
+func FlatMap[T, U any](r *RDD[T], f func(T) []U) *RDD[U] {
+	out := newRDDIn[U](r.ctx, "flatMap", r.parts, []dep{r})
+	out.pref = r.pref
+	out.compute = func(p int, tc *TaskContext) []U {
+		in := r.partition(p, tc)
+		tc.CountIn(int64(len(in)))
+		var res []U
+		for _, t := range in {
+			res = append(res, f(t)...)
+		}
+		tc.CountOut(int64(len(res)))
+		return res
+	}
+	return out
+}
+
+// MapPartitions transforms whole partitions, exposing the task context so
+// compute-heavy operators (the D-RAPID search) can charge their real work.
+func MapPartitions[T, U any](r *RDD[T], f func(p int, tc *TaskContext, in []T) []U) *RDD[U] {
+	out := newRDDIn[U](r.ctx, "mapPartitions", r.parts, []dep{r})
+	out.pref = r.pref
+	out.compute = func(p int, tc *TaskContext) []U {
+		in := r.partition(p, tc)
+		tc.CountIn(int64(len(in)))
+		res := f(p, tc, in)
+		tc.CountOut(int64(len(res)))
+		return res
+	}
+	return out
+}
+
+// Parallelize distributes a local slice over parts partitions.
+func Parallelize[T any](c *Context, data []T, parts int) *RDD[T] {
+	if parts <= 0 {
+		parts = c.DefaultParallelism
+	}
+	if parts > len(data) && len(data) > 0 {
+		parts = len(data)
+	}
+	if parts == 0 {
+		parts = 1
+	}
+	out := newRDDIn[T](c, "parallelize", parts, nil)
+	n := len(data)
+	out.compute = func(p int, tc *TaskContext) []T {
+		lo := p * n / parts
+		hi := (p + 1) * n / parts
+		chunk := data[lo:hi]
+		tc.CountIn(int64(len(chunk)))
+		return append([]T(nil), chunk...)
+	}
+	return out
+}
+
+// TextFile opens an HDFS file as a dataset of lines, one partition per
+// block, with locality preferences set to the block replica nodes.
+func TextFile(c *Context, name string) (*RDD[string], error) {
+	f, err := c.FS.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	out := newRDDIn[string](c, "textFile("+name+")", len(f.Blocks), nil)
+	out.weigh = func(s string) int64 { return int64(len(s)) + 1 }
+	out.pref = func(p int) []int { return f.Blocks[p].Replicas }
+	out.compute = func(p int, tc *TaskContext) []string {
+		b := f.Blocks[p]
+		tc.ReadHDFS(b.Bytes)
+		tc.AddCPU(float64(b.Bytes) * c.Cost.CPUPerByte)
+		tc.CountIn(int64(len(b.Lines)))
+		return b.Lines
+	}
+	return out, nil
+}
+
+// Collect gathers every record to the driver, charging the result transfer.
+func Collect[T any](r *RDD[T]) []T {
+	parts := forcePartitions(r)
+	var out []T
+	var bytes int64
+	for _, p := range parts {
+		out = append(out, p...)
+		for _, t := range p {
+			bytes += r.weigh(t)
+		}
+	}
+	r.ctx.chargeDriver(float64(bytes) / (r.ctx.Cost.NetMBps * 1e6))
+	return out
+}
+
+// Count returns the record count after forcing the lineage.
+func Count[T any](r *RDD[T]) int64 {
+	parts := forcePartitions(r)
+	var n int64
+	for _, p := range parts {
+		n += int64(len(p))
+	}
+	return n
+}
+
+// SaveTextFile writes the dataset back to HDFS as name/part-NNNNN files,
+// charging the replicated write path.
+func SaveTextFile(r *RDD[string], name string) error {
+	parts := forcePartitions(r)
+	var bytes int64
+	for p, lines := range parts {
+		f, err := r.ctx.FS.WriteLines(fmt.Sprintf("%s/part-%05d", name, p), lines)
+		if err != nil {
+			return err
+		}
+		bytes += f.Bytes
+	}
+	// One local write plus (replication-1) network copies, pipelined.
+	cost := float64(bytes)/(r.ctx.Cost.DiskMBps*1e6) + float64(bytes)/(r.ctx.Cost.NetMBps*1e6)
+	r.ctx.chargeDriver(cost)
+	return nil
+}
+
+// chargeDriver advances the simulated clock for driver-side work.
+func (c *Context) chargeDriver(sec float64) {
+	if sec > 0 {
+		c.clock += sec
+	}
+}
+
+func (c *Context) executorByIndex(i int) *Executor {
+	if i < 0 || i >= len(c.execs) {
+		return nil
+	}
+	return c.execs[i]
+}

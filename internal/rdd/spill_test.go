@@ -1,0 +1,116 @@
+package rdd
+
+import (
+	"strings"
+	"testing"
+
+	"drapid/internal/hdfs"
+)
+
+// bigStrings is a dataset large enough to overflow a starved executor's
+// storage memory.
+func bigStrings(n int) []string {
+	row := strings.Repeat("x", 256)
+	out := make([]string, n)
+	for i := range out {
+		out[i] = row
+	}
+	return out
+}
+
+func contextWithMem(memMB, execs int) *Context {
+	fs := hdfs.New(hdfs.Config{BlockSize: 1 << 20, Replication: 2}, 4)
+	es := make([]*Executor, execs)
+	for i := range es {
+		es[i] = &Executor{ID: i, Node: i % 4, Cores: 2, MemMB: memMB}
+	}
+	return NewContext(fs, es, DefaultCostModel())
+}
+
+func TestStarvedExecutorSpills(t *testing.T) {
+	data := bigStrings(20000) // ~5 MB weighed
+
+	starved := contextWithMem(1, 1) // 0.6 MB of storage
+	r := Parallelize(starved, data, 8).SetWeigher(func(s string) int64 { return int64(len(s)) }).Cache()
+	Count(r)
+	if starved.Metrics().SpillBytes == 0 {
+		t.Fatal("starved executor did not spill")
+	}
+
+	roomy := contextWithMem(64, 1)
+	r2 := Parallelize(roomy, data, 8).SetWeigher(func(s string) int64 { return int64(len(s)) }).Cache()
+	Count(r2)
+	if roomy.Metrics().SpillBytes != 0 {
+		t.Fatalf("roomy executor spilled %d bytes", roomy.Metrics().SpillBytes)
+	}
+
+	// Reading the cached data back pays the spill penalty.
+	Count(Map(r, func(s string) int { return len(s) }))
+	Count(Map(r2, func(s string) int { return len(s) }))
+	if starved.SimElapsed() <= roomy.SimElapsed() {
+		t.Errorf("spilling run (%g) not slower than in-memory run (%g)",
+			starved.SimElapsed(), roomy.SimElapsed())
+	}
+}
+
+func TestLocalityPreferredWhenFree(t *testing.T) {
+	ctx := contextWithMem(64, 4) // executors on nodes 0..3
+	lines := bigStrings(2000)
+	if _, err := ctx.FS.WriteLines("f", lines); err != nil {
+		t.Fatal(err)
+	}
+	r, err := TextFile(ctx, "f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	Count(r)
+	m := ctx.Metrics()
+	// With an executor on every node and replication 2, reads should be
+	// overwhelmingly node-local (remote only under slot contention).
+	if m.RemoteReadBytes > m.LocalReadBytes {
+		t.Errorf("remote reads (%d) exceed local reads (%d) despite full coverage",
+			m.RemoteReadBytes, m.LocalReadBytes)
+	}
+}
+
+func TestStageSamplesRecorded(t *testing.T) {
+	ctx := contextWithMem(64, 2)
+	Count(Map(Parallelize(ctx, []int{1, 2, 3, 4}, 2), func(x int) int { return x }))
+	samples := ctx.Metrics().StageSamples
+	if len(samples) == 0 {
+		t.Fatal("no stage samples recorded")
+	}
+	for _, s := range samples {
+		if s.Seconds < 0 || s.Tasks <= 0 || s.Name == "" {
+			t.Errorf("bad sample %+v", s)
+		}
+	}
+}
+
+func TestEmptyRDDActions(t *testing.T) {
+	ctx := contextWithMem(64, 2)
+	r := Parallelize(ctx, []int(nil), 4)
+	if n := Count(r); n != 0 {
+		t.Errorf("count of empty = %d", n)
+	}
+	if out := Collect(r); len(out) != 0 {
+		t.Errorf("collect of empty = %v", out)
+	}
+	if got := Collect(Filter(r, func(int) bool { return true })); len(got) != 0 {
+		t.Errorf("filter of empty = %v", got)
+	}
+}
+
+func TestAggregateEmptyAndSingleton(t *testing.T) {
+	ctx := contextWithMem(64, 2)
+	part := NewHashPartitioner(4)
+	empty := Parallelize(ctx, []Pair[string, int](nil), 2)
+	if got := Collect(GroupByKey(empty, part)); len(got) != 0 {
+		t.Errorf("groupByKey of empty = %v", got)
+	}
+	single := Parallelize(ctx, []Pair[string, int]{{"k", 7}}, 1)
+	out := Collect(ReduceByKey(single, part, func(a, b int) int { return a + b }))
+	if len(out) != 1 || out[0].Value != 7 {
+		t.Errorf("singleton reduce = %v", out)
+	}
+}

@@ -1,0 +1,162 @@
+package rdd
+
+import (
+	"runtime"
+	"sync"
+
+	"drapid/internal/des"
+)
+
+// LocalityWaitSec is how much later a data-local slot may free before the
+// scheduler gives up on locality and takes the earliest slot anywhere
+// (Spark's spark.locality.wait, scaled to the simulation).
+const LocalityWaitSec = 0.05
+
+// runStage executes one stage: every partition's compute closure runs for
+// real (in parallel on the host), then the tasks are placed on the
+// simulated executors by locality-preferring list scheduling and the
+// driver clock advances to the stage's completion time.
+//
+// It returns the computed partitions and, per partition, the index of the
+// executor the simulator placed it on.
+func runStage[T any](ctx *Context, name string, parts int, pref func(int) []int, fn func(p int, tc *TaskContext) []T) ([][]T, []int) {
+	stageStart := ctx.clock
+	out := make([][]T, parts)
+	tcs := make([]TaskContext, parts)
+	if parts > 0 {
+		// Phase 1: real execution. Results and work metrics are
+		// independent of placement, so this can use all host cores.
+		workers := runtime.GOMAXPROCS(0)
+		if workers > parts {
+			workers = parts
+		}
+		var wg sync.WaitGroup
+		next := make(chan int)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for p := range next {
+					tcs[p].Part = p
+					out[p] = fn(p, &tcs[p])
+				}
+			}()
+		}
+		for p := 0; p < parts; p++ {
+			next <- p
+		}
+		close(next)
+		wg.Wait()
+	}
+
+	// Phase 2: simulated placement. One slot per executor core; tasks are
+	// offered in partition order to the earliest-free slot, preferring
+	// data-local executors within the locality wait.
+	slots, _ := ctx.slotPool()
+	execAt := make([]int, parts)
+	for p := 0; p < parts; p++ {
+		var nodes []int
+		if pref != nil {
+			nodes = pref(p)
+		}
+		handle, execIdx := ctx.pickSlot(slots, nodes)
+		local := false
+		for _, n := range nodes {
+			if ctx.execs[execIdx].Node == n {
+				local = true
+				break
+			}
+		}
+		d := ctx.priceTask(&tcs[p], local)
+		slots.Commit(handle, d)
+		execAt[p] = execIdx
+	}
+	end := slots.MaxEnd()
+	if end < ctx.clock {
+		end = ctx.clock
+	}
+	ctx.clock = end + ctx.Cost.StageOverheadSec
+
+	// Fold task metrics into the context.
+	ctx.mu.Lock()
+	ctx.metrics.Stages++
+	ctx.metrics.Tasks += parts
+	ctx.metrics.StageSamples = append(ctx.metrics.StageSamples,
+		StageSample{Name: name, Tasks: parts, Seconds: ctx.clock - stageStart})
+	for p := range tcs {
+		ctx.metrics.RecordsRead += tcs[p].recordsIn
+		ctx.metrics.RecordsWritten += tcs[p].recordsOut
+		ctx.metrics.LocalReadBytes += tcs[p].localReadBytes
+		ctx.metrics.RemoteReadBytes += tcs[p].remoteReadBytes
+		ctx.metrics.ShuffleBytes += tcs[p].shuffleOutBytes
+	}
+	ctx.mu.Unlock()
+	return out, execAt
+}
+
+// slotPool builds a fresh slot pool at the current clock: one slot per
+// executor core, tagged with the executor index.
+func (c *Context) slotPool() (*des.SlotPool, []int) {
+	var slotExec []int
+	for i, e := range c.execs {
+		for k := 0; k < e.Cores; k++ {
+			slotExec = append(slotExec, i)
+		}
+	}
+	if len(slotExec) == 0 {
+		slotExec = []int{0}
+	}
+	pool := des.NewSlotPool(len(slotExec), c.clock, func(i int) int { return slotExec[i] })
+	return pool, slotExec
+}
+
+// pickSlot prefers a data-local slot unless waiting for one would cost more
+// than LocalityWaitSec over the earliest slot anywhere. It returns the slot
+// handle (valid until the next Commit) and the executor index of its tag.
+func (c *Context) pickSlot(pool *des.SlotPool, nodes []int) (handle, execIdx int) {
+	anyH, anyTag, anyAt, _ := pool.Peek(nil)
+	if len(nodes) == 0 || len(c.execs) == 0 {
+		return anyH, anyTag
+	}
+	isLocal := func(tag int) bool {
+		n := c.execs[tag].Node
+		for _, want := range nodes {
+			if n == want {
+				return true
+			}
+		}
+		return false
+	}
+	locH, locTag, locAt, ok := pool.Peek(isLocal)
+	if ok && locAt <= anyAt+LocalityWaitSec {
+		return locH, locTag
+	}
+	return anyH, anyTag
+}
+
+// priceTask converts a task's work metrics into simulated seconds.
+func (c *Context) priceTask(tc *TaskContext, local bool) float64 {
+	cost := c.Cost
+	d := cost.TaskOverheadSec
+	d += tc.cpuSec
+	d += float64(tc.recordsIn+tc.recordsOut) * cost.CPUPerRecord
+	if tc.hdfsReadBytes > 0 {
+		rate := cost.NetMBps
+		if local {
+			rate = cost.DiskMBps
+		}
+		d += float64(tc.hdfsReadBytes) / (rate * 1e6)
+	}
+	if tc.localReadBytes > 0 {
+		d += float64(tc.localReadBytes) / (cost.DiskMBps * 1e6)
+	}
+	if tc.remoteReadBytes > 0 {
+		d += float64(tc.remoteReadBytes) / (cost.NetMBps * 1e6)
+	}
+	if tc.shuffleOutBytes > 0 {
+		// Serialize and write shuffle blocks to local disk.
+		d += float64(tc.shuffleOutBytes) * cost.CPUPerByte
+		d += float64(tc.shuffleOutBytes) / (cost.DiskMBps * 1e6)
+	}
+	return d
+}

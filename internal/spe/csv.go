@@ -1,0 +1,249 @@
+package spe
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// The pipeline ships SPEs and clusters between stages as CSV text files, the
+// same interchange the paper uses for its HDFS uploads. Every record begins
+// with the observation descriptors (dataset, MJD, sky position, beam); the
+// remainder is the payload. Header lines start with '#' and are stripped in
+// stage 1 of the D-RAPID driver.
+
+// DataHeader is the header line written at the top of SPE data files.
+const DataHeader = "# dataset,mjd,ra,dec,beam,dm,snr,time,sample,downfact"
+
+// ClusterHeader is the header line written at the top of cluster files.
+const ClusterHeader = "# dataset,mjd,ra,dec,beam,id,n,dmmin,dmmax,tmin,tmax,snrmax,rank"
+
+// IsHeader reports whether a CSV line is a header or blank line that the
+// loader should skip.
+func IsHeader(line string) bool {
+	t := strings.TrimSpace(line)
+	return t == "" || strings.HasPrefix(t, "#")
+}
+
+// FormatDataLine renders one SPE as a data-file CSV record.
+func FormatDataLine(k Key, e SPE) string {
+	return fmt.Sprintf("%s,%.4f,%.4f,%.4f,%d,%.4f,%.3f,%.6f,%d,%d",
+		k.Dataset, k.MJD, k.RA, k.Dec, k.Beam, e.DM, e.SNR, e.Time, e.Sample, e.Downfact)
+}
+
+// FormatClusterLine renders one cluster as a cluster-file CSV record.
+func FormatClusterLine(c *Cluster) string {
+	k := c.Key
+	return fmt.Sprintf("%s,%.4f,%.4f,%.4f,%d,%d,%d,%.4f,%.4f,%.6f,%.6f,%.3f,%d",
+		k.Dataset, k.MJD, k.RA, k.Dec, k.Beam, c.ID, c.N, c.DMMin, c.DMMax, c.TMin, c.TMax, c.SNRMax, c.Rank)
+}
+
+// SplitKeyed splits a CSV record into its observation key (the first five
+// fields, re-joined in canonical colon form) and the remaining payload. This
+// is the "Map to KVPRDD" operation of Figure 3: the descriptors become the
+// RDD key and the rest of the line the value.
+func SplitKeyed(line string) (key, payload string, err error) {
+	rest := line
+	for i := 0; i < 5; i++ {
+		j := strings.IndexByte(rest, ',')
+		if j < 0 {
+			return "", "", fmt.Errorf("spe: record has fewer than 6 fields: %q", line)
+		}
+		rest = rest[j+1:]
+	}
+	head := line[:len(line)-len(rest)-1]
+	return strings.ReplaceAll(head, ",", ":"), rest, nil
+}
+
+// ParseDataLine parses a data-file CSV record into its key and event.
+func ParseDataLine(line string) (Key, SPE, error) {
+	f := strings.Split(line, ",")
+	if len(f) != 10 {
+		return Key{}, SPE{}, fmt.Errorf("spe: data record needs 10 fields, got %d: %q", len(f), line)
+	}
+	k, err := parseKeyFields(f[:5])
+	if err != nil {
+		return Key{}, SPE{}, err
+	}
+	e, err := ParseDataPayload(strings.Join(f[5:], ","))
+	if err != nil {
+		return Key{}, SPE{}, err
+	}
+	return k, e, nil
+}
+
+// ParseDataPayload parses the value half of a keyed data record
+// ("dm,snr,time,sample,downfact").
+func ParseDataPayload(payload string) (SPE, error) {
+	f := strings.Split(payload, ",")
+	if len(f) != 5 {
+		return SPE{}, fmt.Errorf("spe: data payload needs 5 fields, got %d: %q", len(f), payload)
+	}
+	var (
+		e    SPE
+		errs [5]error
+	)
+	e.DM, errs[0] = strconv.ParseFloat(f[0], 64)
+	e.SNR, errs[1] = strconv.ParseFloat(f[1], 64)
+	e.Time, errs[2] = strconv.ParseFloat(f[2], 64)
+	e.Sample, errs[3] = strconv.ParseInt(f[3], 10, 64)
+	df, err := strconv.Atoi(f[4])
+	errs[4] = err
+	e.Downfact = df
+	for _, err := range errs {
+		if err != nil {
+			return SPE{}, fmt.Errorf("spe: bad data payload %q: %w", payload, err)
+		}
+	}
+	return e, nil
+}
+
+// ParseClusterLine parses a cluster-file CSV record.
+func ParseClusterLine(line string) (*Cluster, error) {
+	f := strings.Split(line, ",")
+	if len(f) != 13 {
+		return nil, fmt.Errorf("spe: cluster record needs 13 fields, got %d: %q", len(f), line)
+	}
+	k, err := parseKeyFields(f[:5])
+	if err != nil {
+		return nil, err
+	}
+	c, err := ParseClusterPayload(strings.Join(f[5:], ","))
+	if err != nil {
+		return nil, err
+	}
+	c.Key = k
+	return c, nil
+}
+
+// ParseClusterPayload parses the value half of a keyed cluster record
+// ("id,n,dmmin,dmmax,tmin,tmax,snrmax,rank").
+func ParseClusterPayload(payload string) (*Cluster, error) {
+	f := strings.Split(payload, ",")
+	if len(f) != 8 {
+		return nil, fmt.Errorf("spe: cluster payload needs 8 fields, got %d: %q", len(f), payload)
+	}
+	var c Cluster
+	var err error
+	if c.ID, err = strconv.Atoi(f[0]); err != nil {
+		return nil, fmt.Errorf("spe: bad cluster id: %w", err)
+	}
+	if c.N, err = strconv.Atoi(f[1]); err != nil {
+		return nil, fmt.Errorf("spe: bad cluster n: %w", err)
+	}
+	nums := [5]*float64{&c.DMMin, &c.DMMax, &c.TMin, &c.TMax, &c.SNRMax}
+	for i, p := range nums {
+		if *p, err = strconv.ParseFloat(f[2+i], 64); err != nil {
+			return nil, fmt.Errorf("spe: bad cluster field %d: %w", 2+i, err)
+		}
+	}
+	if c.Rank, err = strconv.Atoi(f[7]); err != nil {
+		return nil, fmt.Errorf("spe: bad cluster rank: %w", err)
+	}
+	return &c, nil
+}
+
+func parseKeyFields(f []string) (Key, error) {
+	var k Key
+	var err error
+	k.Dataset = f[0]
+	if k.MJD, err = strconv.ParseFloat(f[1], 64); err != nil {
+		return Key{}, fmt.Errorf("spe: bad mjd: %w", err)
+	}
+	if k.RA, err = strconv.ParseFloat(f[2], 64); err != nil {
+		return Key{}, fmt.Errorf("spe: bad ra: %w", err)
+	}
+	if k.Dec, err = strconv.ParseFloat(f[3], 64); err != nil {
+		return Key{}, fmt.Errorf("spe: bad dec: %w", err)
+	}
+	if k.Beam, err = strconv.Atoi(f[4]); err != nil {
+		return Key{}, fmt.Errorf("spe: bad beam: %w", err)
+	}
+	return k, nil
+}
+
+// WriteDataFile writes a data file (header plus one record per event) for a
+// set of observations.
+func WriteDataFile(w io.Writer, obs []Observation) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintln(bw, DataHeader); err != nil {
+		return err
+	}
+	for _, o := range obs {
+		for _, e := range o.Events {
+			if _, err := fmt.Fprintln(bw, FormatDataLine(o.Key, e)); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteClusterFile writes a cluster file (header plus one record per cluster).
+func WriteClusterFile(w io.Writer, cs []*Cluster) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintln(bw, ClusterHeader); err != nil {
+		return err
+	}
+	for _, c := range cs {
+		if _, err := fmt.Fprintln(bw, FormatClusterLine(c)); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadDataFile parses a data file into observations grouped by key, in first-
+// appearance order.
+func ReadDataFile(r io.Reader) ([]Observation, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	order := []Key{}
+	byKey := map[Key][]SPE{}
+	for sc.Scan() {
+		line := sc.Text()
+		if IsHeader(line) {
+			continue
+		}
+		k, e, err := ParseDataLine(line)
+		if err != nil {
+			return nil, err
+		}
+		if _, ok := byKey[k]; !ok {
+			order = append(order, k)
+		}
+		byKey[k] = append(byKey[k], e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	obs := make([]Observation, 0, len(order))
+	for _, k := range order {
+		obs = append(obs, Observation{Key: k, Events: byKey[k]})
+	}
+	return obs, nil
+}
+
+// ReadClusterFile parses a cluster file.
+func ReadClusterFile(r io.Reader) ([]*Cluster, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	var cs []*Cluster
+	for sc.Scan() {
+		line := sc.Text()
+		if IsHeader(line) {
+			continue
+		}
+		c, err := ParseClusterLine(line)
+		if err != nil {
+			return nil, err
+		}
+		cs = append(cs, c)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return cs, nil
+}

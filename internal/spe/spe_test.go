@@ -1,0 +1,200 @@
+package spe
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func sampleKey() Key {
+	return Key{Dataset: "PALFA", MJD: 55711.1234, RA: 290.5432, Dec: 12.3456, Beam: 3}
+}
+
+func TestKeyRoundTrip(t *testing.T) {
+	k := sampleKey()
+	got, err := ParseKey(k.String())
+	if err != nil {
+		t.Fatalf("ParseKey(%q): %v", k.String(), err)
+	}
+	if got != k {
+		t.Errorf("round trip mismatch: got %+v want %+v", got, k)
+	}
+}
+
+func TestParseKeyRejectsGarbage(t *testing.T) {
+	for _, s := range []string{"", "a:b", "PALFA:x:1:2:3", "PALFA:1.0:2.0:3.0"} {
+		if _, err := ParseKey(s); err == nil {
+			t.Errorf("ParseKey(%q) = nil error, want failure", s)
+		}
+	}
+}
+
+func TestDataLineRoundTrip(t *testing.T) {
+	k := sampleKey()
+	e := SPE{DM: 123.45, SNR: 8.721, Time: 42.123456, Sample: 658178, Downfact: 16}
+	gotK, gotE, err := ParseDataLine(FormatDataLine(k, e))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotK != k {
+		t.Errorf("key mismatch: got %+v want %+v", gotK, k)
+	}
+	if math.Abs(gotE.DM-e.DM) > 1e-3 || math.Abs(gotE.SNR-e.SNR) > 1e-2 ||
+		math.Abs(gotE.Time-e.Time) > 1e-5 || gotE.Sample != e.Sample || gotE.Downfact != e.Downfact {
+		t.Errorf("event mismatch: got %+v want %+v", gotE, e)
+	}
+}
+
+func TestClusterLineRoundTrip(t *testing.T) {
+	c := &Cluster{ID: 7, Key: sampleKey(), N: 42, DMMin: 10.5, DMMax: 20.25,
+		TMin: 1.25, TMax: 2.5, SNRMax: 15.125, Rank: 3}
+	got, err := ParseClusterLine(FormatClusterLine(c))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ID != c.ID || got.N != c.N || got.Rank != c.Rank || got.Key != c.Key {
+		t.Errorf("metadata mismatch: got %+v want %+v", got, c)
+	}
+	if got.DMMin != c.DMMin || got.DMMax != c.DMMax || got.SNRMax != c.SNRMax {
+		t.Errorf("bounds mismatch: got %+v want %+v", got, c)
+	}
+}
+
+func TestSplitKeyed(t *testing.T) {
+	line := FormatDataLine(sampleKey(), SPE{DM: 1, SNR: 6, Time: 3})
+	key, payload, err := SplitKeyed(line)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if key != sampleKey().String() {
+		t.Errorf("key = %q, want %q", key, sampleKey().String())
+	}
+	if !strings.HasPrefix(payload, "1.0000,6.000,3.000000") {
+		t.Errorf("payload = %q", payload)
+	}
+	if _, _, err := SplitKeyed("a,b,c"); err == nil {
+		t.Error("expected error for short record")
+	}
+}
+
+func TestIsHeader(t *testing.T) {
+	for line, want := range map[string]bool{
+		DataHeader: true, ClusterHeader: true, "": true, "  ": true,
+		"PALFA,1,2,3,4,...": false,
+	} {
+		if got := IsHeader(line); got != want {
+			t.Errorf("IsHeader(%q) = %v, want %v", line, got, want)
+		}
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	events := []SPE{
+		{DM: 10, SNR: 6, Time: 5},
+		{DM: 12, SNR: 9, Time: 4},
+		{DM: 11, SNR: 7, Time: 6},
+	}
+	c := Summarize(1, sampleKey(), events)
+	if c.N != 3 || c.DMMin != 10 || c.DMMax != 12 || c.TMin != 4 || c.TMax != 6 || c.SNRMax != 9 {
+		t.Errorf("bad summary: %+v", c)
+	}
+	empty := Summarize(2, sampleKey(), nil)
+	if empty.N != 0 {
+		t.Errorf("empty summary N = %d", empty.N)
+	}
+}
+
+func TestRankClusters(t *testing.T) {
+	cs := []*Cluster{{SNRMax: 5}, {SNRMax: 20}, {SNRMax: 10}}
+	RankClusters(cs)
+	if cs[1].Rank != 1 || cs[2].Rank != 2 || cs[0].Rank != 3 {
+		t.Errorf("ranks: %d %d %d", cs[0].Rank, cs[1].Rank, cs[2].Rank)
+	}
+}
+
+func TestSorting(t *testing.T) {
+	events := []SPE{{DM: 3, Time: 1}, {DM: 1, Time: 3}, {DM: 2, Time: 2}}
+	SortByDM(events)
+	if events[0].DM != 1 || events[2].DM != 3 {
+		t.Errorf("SortByDM: %+v", events)
+	}
+	SortByTime(events)
+	if events[0].Time != 1 || events[2].Time != 3 {
+		t.Errorf("SortByTime: %+v", events)
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	obs := []Observation{
+		{Key: sampleKey(), Events: []SPE{{DM: 1.25, SNR: 6.5, Time: 1, Sample: 100, Downfact: 2}, {DM: 2.5, SNR: 7.25, Time: 2, Sample: 200, Downfact: 4}}},
+		{Key: Key{Dataset: "GBT350Drift", MJD: 55000.5, RA: 10, Dec: 20, Beam: 0},
+			Events: []SPE{{DM: 30, SNR: 9, Time: 3, Sample: 300, Downfact: 8}}},
+	}
+	var buf bytes.Buffer
+	if err := WriteDataFile(&buf, obs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadDataFile(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || len(got[0].Events) != 2 || len(got[1].Events) != 1 {
+		t.Fatalf("structure mismatch: %+v", got)
+	}
+	if got[0].Key != obs[0].Key || got[1].Key != obs[1].Key {
+		t.Errorf("keys mismatch")
+	}
+}
+
+func TestClusterFileRoundTrip(t *testing.T) {
+	cs := []*Cluster{
+		{ID: 0, Key: sampleKey(), N: 5, DMMin: 1, DMMax: 2, TMin: 3, TMax: 4, SNRMax: 9, Rank: 1},
+		{ID: 1, Key: sampleKey(), N: 2, DMMin: 5, DMMax: 6, TMin: 7, TMax: 8, SNRMax: 6, Rank: 2},
+	}
+	var buf bytes.Buffer
+	if err := WriteClusterFile(&buf, cs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadClusterFile(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].N != 5 || got[1].Rank != 2 {
+		t.Fatalf("mismatch: %+v %+v", got[0], got[1])
+	}
+}
+
+// Property: every formatted data line splits into the key produced by
+// Key.String plus a parseable payload.
+func TestSplitKeyedProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	f := func(dm, snr, tm float64) bool {
+		dm = math.Abs(math.Mod(dm, 1e4))
+		snr = 5 + math.Abs(math.Mod(snr, 100))
+		tm = math.Abs(math.Mod(tm, 1e4))
+		k := Key{Dataset: "S", MJD: 55000 + rng.Float64(), RA: rng.Float64() * 360, Dec: rng.Float64()*180 - 90, Beam: rng.Intn(7)}
+		line := FormatDataLine(k, SPE{DM: dm, SNR: snr, Time: tm, Sample: 1, Downfact: 1})
+		key, payload, err := SplitKeyed(line)
+		if err != nil || key != k.String() {
+			return false
+		}
+		_, err = ParseDataPayload(payload)
+		return err == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestContains(t *testing.T) {
+	c := &Cluster{DMMin: 10, DMMax: 20, TMin: 1, TMax: 2}
+	if !c.Contains(SPE{DM: 15, Time: 1.5}) {
+		t.Error("interior point not contained")
+	}
+	if c.Contains(SPE{DM: 25, Time: 1.5}) || c.Contains(SPE{DM: 15, Time: 3}) {
+		t.Error("exterior point contained")
+	}
+}

@@ -1,0 +1,177 @@
+package synth
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Class is the ground-truth origin of a generated signal.
+type Class int
+
+const (
+	// ClassNoise marks thermal-noise false positives.
+	ClassNoise Class = iota
+	// ClassRFI marks terrestrial interference.
+	ClassRFI
+	// ClassPulsar marks single pulses from a steadily emitting pulsar.
+	ClassPulsar
+	// ClassRRAT marks single pulses from a sporadic emitter.
+	ClassRRAT
+)
+
+// String implements fmt.Stringer.
+func (c Class) String() string {
+	switch c {
+	case ClassNoise:
+		return "noise"
+	case ClassRFI:
+		return "rfi"
+	case ClassPulsar:
+		return "pulsar"
+	case ClassRRAT:
+		return "rrat"
+	default:
+		return "unknown"
+	}
+}
+
+// Pulsar describes one emitting source. RRATs are pulsars with Sporadic
+// emission probability well below one (McLaughlin et al. 2006).
+type Pulsar struct {
+	// PeriodSec is the rotation period.
+	PeriodSec float64
+	// DM is the true dispersion measure in pc cm^-3.
+	DM float64
+	// WidthMs is the intrinsic pulse width in milliseconds.
+	WidthMs float64
+	// PeakSNR is the mean single-pulse SNR at the true DM; individual
+	// pulses scatter log-normally around it.
+	PeakSNR float64
+	// Sporadic is the per-rotation emission probability (1 for ordinary
+	// pulsars; RRATalog sources sit well below 0.1).
+	Sporadic float64
+	// RRAT marks the source as a rotating radio transient for labeling.
+	RRAT bool
+}
+
+// Class returns the ground-truth class of pulses from this source.
+func (p Pulsar) Class() Class {
+	if p.RRAT {
+		return ClassRRAT
+	}
+	return ClassPulsar
+}
+
+// DMBand controls where RandomPulsar places a source relative to the ALM
+// SNRPeakDM thresholds of Table 2 ([0,100) near, [100,175) mid, [175,∞) far).
+type DMBand int
+
+const (
+	// AnyBand samples the mixture used for whole-survey generation.
+	AnyBand DMBand = iota
+	// NearBand forces DM < 100.
+	NearBand
+	// MidBand forces 100 ≤ DM < 175.
+	MidBand
+	// FarBand forces DM ≥ 175.
+	FarBand
+)
+
+// Brightness controls where RandomPulsar places a source relative to the
+// ALM AvgSNR threshold of Table 2 ([0,8] weak, (8,∞) strong).
+type Brightness int
+
+const (
+	// AnyBrightness samples the survey mixture.
+	AnyBrightness Brightness = iota
+	// Weak biases toward faint sources (cluster AvgSNR ≲ 8).
+	Weak
+	// Strong biases toward bright sources (cluster AvgSNR ≳ 8).
+	Strong
+)
+
+// RandomPulsar samples a source from the synthetic population. The bands
+// let benchmark builders populate every ALM class combination.
+func RandomPulsar(rng *rand.Rand, band DMBand, bright Brightness, rrat bool) Pulsar {
+	var dm float64
+	switch band {
+	case NearBand:
+		dm = 5 + rng.Float64()*90
+	case MidBand:
+		dm = 100 + rng.Float64()*75
+	case FarBand:
+		dm = 175 + rng.Float64()*325
+	default:
+		switch r := rng.Float64(); {
+		case r < 0.45:
+			dm = 5 + rng.Float64()*90
+		case r < 0.70:
+			dm = 100 + rng.Float64()*75
+		default:
+			dm = 175 + rng.Float64()*325
+		}
+	}
+	var peak float64
+	switch bright {
+	case Weak:
+		peak = 6.5 + rng.Float64()*3.0 // peak ~6.5-9.5 → AvgSNR mostly ≤ 8
+	case Strong:
+		peak = 14 + math.Exp(rng.NormFloat64()*0.5+2.2) // ≳ 20
+	default:
+		peak = math.Exp(rng.NormFloat64()*0.6 + 2.4) // median ~11
+		if peak < 6.5 {
+			peak = 6.5
+		}
+	}
+	p := Pulsar{
+		PeriodSec: 0.05 + rng.Float64()*2.5,
+		DM:        dm,
+		WidthMs:   math.Exp(rng.NormFloat64()*0.6 + 1.1), // median ~3 ms
+		PeakSNR:   peak,
+		Sporadic:  1,
+	}
+	if rrat {
+		p.RRAT = true
+		p.PeriodSec = 0.5 + rng.Float64()*4
+		p.Sporadic = 0.01 + rng.Float64()*0.09
+		if p.PeakSNR < 10 {
+			p.PeakSNR = 10 + rng.Float64()*15 // RRAT pulses are bright when present
+		}
+	}
+	return p
+}
+
+// Sources is the mix of signal generators composed into one observation.
+type Sources struct {
+	// Pulsars (and RRATs) to fold into the observation.
+	Pulsars []Pulsar
+	// NumImpulseRFI broadband interference bursts (peak near DM 0, long
+	// exponential tail across trial DMs).
+	NumImpulseRFI int
+	// NumFlatRFI "wandering" interference patches with no SNR-vs-DM peak.
+	NumFlatRFI int
+	// NumNoise thermal-noise false positives scattered uniformly.
+	NumNoise int
+}
+
+// Injection is the ground truth for one generated signal: the bounding box
+// of its SPEs in the DM-vs-time plane plus its class. Benchmark builders
+// match DBSCAN clusters against injections to label training data, playing
+// the role of the paper's ATNF-catalog cross-match and manual inspection.
+type Injection struct {
+	Class   Class
+	TrueDM  float64
+	PeakSNR float64
+	// DMLo, DMHi, TLo, THi bound the generated SPEs.
+	DMLo, DMHi float64
+	TLo, THi   float64
+	// NumSPE is how many events the signal contributed.
+	NumSPE int
+}
+
+// Overlaps reports whether the injection's box intersects the given box,
+// with a tolerance pad in each dimension.
+func (in *Injection) Overlaps(dmLo, dmHi, tLo, tHi, padDM, padT float64) bool {
+	return in.DMLo-padDM <= dmHi && dmLo <= in.DMHi+padDM &&
+		in.TLo-padT <= tHi && tLo <= in.THi+padT
+}

@@ -1,0 +1,52 @@
+package synth
+
+import "drapid/internal/dmgrid"
+
+// Survey holds the receiver and search configuration of a sky survey.
+type Survey struct {
+	// Name labels generated observations (spe.Key.Dataset).
+	Name string
+	// FreqGHz is the centre observing frequency in GHz.
+	FreqGHz float64
+	// BandMHz is the receiver bandwidth in MHz.
+	BandMHz float64
+	// TobsSec is the length of one observation in seconds.
+	TobsSec float64
+	// Threshold is the single-pulse-search SNR cutoff; only events at or
+	// above it appear in SPE files (PRESTO's default is 5.0).
+	Threshold float64
+	// Beams is the number of receiver beams (PALFA's ALFA has seven).
+	Beams int
+	// Grid is the trial-DM plan the search dedisperses at.
+	Grid *dmgrid.Grid
+}
+
+// GBT350Drift returns the configuration of the paper's 350 MHz Green Bank
+// Telescope drift-scan survey (Boyles et al. 2013): 350 MHz centre, 50 MHz
+// usable bandwidth, single beam.
+func GBT350Drift() Survey {
+	return Survey{
+		Name:      "GBT350Drift",
+		FreqGHz:   0.350,
+		BandMHz:   50,
+		TobsSec:   140,
+		Threshold: 5.0,
+		Beams:     1,
+		Grid:      dmgrid.Default(),
+	}
+}
+
+// PALFA returns the configuration of the paper's Arecibo L-band Feed Array
+// survey (Cordes et al. 2006): 1.4 GHz centre, 300 MHz bandwidth, seven
+// beams.
+func PALFA() Survey {
+	return Survey{
+		Name:      "PALFA",
+		FreqGHz:   1.4,
+		BandMHz:   300,
+		TobsSec:   268,
+		Threshold: 5.0,
+		Beams:     7,
+		Grid:      dmgrid.Default(),
+	}
+}

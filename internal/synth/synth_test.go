@@ -1,0 +1,212 @@
+package synth
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"drapid/internal/spe"
+)
+
+func TestSNRDegradationAtZero(t *testing.T) {
+	if got := SNRDegradation(0, 3, 300, 1.4); got != 1 {
+		t.Errorf("S(0) = %g, want 1", got)
+	}
+}
+
+func TestSNRDegradationMonotone(t *testing.T) {
+	prev := 1.0
+	for d := 0.5; d < 100; d += 0.5 {
+		s := SNRDegradation(d, 3, 300, 1.4)
+		if s > prev+1e-12 {
+			t.Fatalf("S not monotone at ΔDM=%g: %g > %g", d, s, prev)
+		}
+		if s <= 0 || s > 1 {
+			t.Fatalf("S(%g) = %g out of (0,1]", d, s)
+		}
+		prev = s
+	}
+}
+
+func TestSNRDegradationSymmetric(t *testing.T) {
+	f := func(d float64) bool {
+		d = math.Mod(math.Abs(d), 50)
+		a := SNRDegradation(d, 3, 300, 1.4)
+		b := SNRDegradation(-d, 3, 300, 1.4)
+		return math.Abs(a-b) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHalfWidthDMInvertsDegradation(t *testing.T) {
+	for _, frac := range []float64{0.9, 0.5, 0.2} {
+		d := HalfWidthDM(frac, 3, 300, 1.4)
+		got := SNRDegradation(d, 3, 300, 1.4)
+		if math.Abs(got-frac) > 1e-6 {
+			t.Errorf("S(HalfWidthDM(%g)) = %g", frac, got)
+		}
+	}
+}
+
+func TestScatterBroadensAtLowFreqHighDM(t *testing.T) {
+	lo := ScatterTimeMs(50, 0.35)
+	hi := ScatterTimeMs(300, 0.35)
+	if hi <= lo {
+		t.Errorf("scattering should grow with DM: %g vs %g", lo, hi)
+	}
+	palfa := ScatterTimeMs(300, 1.4)
+	if palfa >= hi {
+		t.Errorf("scattering should shrink with frequency: %g vs %g", palfa, hi)
+	}
+}
+
+func TestDispersionDelayScaling(t *testing.T) {
+	// Delay ∝ DM and ∝ ν^-2.
+	if d := DispersionDelay(100, 1.0); math.Abs(d-0.415) > 1e-9 {
+		t.Errorf("delay(100, 1 GHz) = %g, want 0.415", d)
+	}
+	if DispersionDelay(100, 0.5) <= DispersionDelay(100, 1.0) {
+		t.Error("delay should grow at lower frequency")
+	}
+}
+
+func TestRenderPulsePeaksAtTrueDM(t *testing.T) {
+	g := NewGenerator(PALFA(), 1)
+	p := Pulsar{PeriodSec: 1, DM: 150, WidthMs: 5, PeakSNR: 30, Sporadic: 1}
+	events, inj := g.renderPulse(p, 100, 30)
+	if len(events) < 10 {
+		t.Fatalf("bright pulse produced only %d events", len(events))
+	}
+	best := events[0]
+	for _, e := range events {
+		if e.SNR > best.SNR {
+			best = e
+		}
+	}
+	if math.Abs(best.DM-150) > 2 {
+		t.Errorf("peak at DM %g, want near 150", best.DM)
+	}
+	if inj.Class != ClassPulsar || inj.NumSPE != len(events) {
+		t.Errorf("bad injection: %+v", inj)
+	}
+	if inj.DMLo > 150 || inj.DMHi < 150 {
+		t.Errorf("injection box [%g,%g] misses true DM", inj.DMLo, inj.DMHi)
+	}
+}
+
+func TestObserveDeterministic(t *testing.T) {
+	mix := Sources{
+		Pulsars:       []Pulsar{{PeriodSec: 1, DM: 80, WidthMs: 3, PeakSNR: 15, Sporadic: 1}},
+		NumImpulseRFI: 2,
+		NumFlatRFI:    2,
+		NumNoise:      100,
+	}
+	a, truthA := NewGenerator(PALFA(), 7).Observe(spe.Key{Dataset: "PALFA"}, mix)
+	b, truthB := NewGenerator(PALFA(), 7).Observe(spe.Key{Dataset: "PALFA"}, mix)
+	if len(a.Events) != len(b.Events) || len(truthA) != len(truthB) {
+		t.Fatalf("same seed produced different volumes: %d/%d events, %d/%d truths",
+			len(a.Events), len(b.Events), len(truthA), len(truthB))
+	}
+	for i := range a.Events {
+		if a.Events[i] != b.Events[i] {
+			t.Fatalf("event %d differs", i)
+		}
+	}
+}
+
+func TestObserveEventsSortedAndBounded(t *testing.T) {
+	g := NewGenerator(GBT350Drift(), 3)
+	mix := Sources{
+		Pulsars:  []Pulsar{RandomPulsar(rand.New(rand.NewSource(1)), AnyBand, AnyBrightness, false)},
+		NumNoise: 500,
+	}
+	obs, _ := g.Observe(g.NextKey(), mix)
+	sv := g.Survey
+	for i, e := range obs.Events {
+		if i > 0 && e.Time < obs.Events[i-1].Time {
+			t.Fatal("events not time-sorted")
+		}
+		if e.Time < 0 || e.Time >= sv.TobsSec {
+			t.Fatalf("event time %g outside [0, %g)", e.Time, sv.TobsSec)
+		}
+		if e.SNR < sv.Threshold {
+			t.Fatalf("event below threshold: %g", e.SNR)
+		}
+	}
+}
+
+func TestRRATSporadicity(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	rrat := RandomPulsar(rng, AnyBand, AnyBrightness, true)
+	if !rrat.RRAT || rrat.Sporadic >= 0.2 {
+		t.Fatalf("bad RRAT: %+v", rrat)
+	}
+	g := NewGenerator(PALFA(), 5)
+	_, truth := g.Observe(g.NextKey(), Sources{Pulsars: []Pulsar{rrat}})
+	// A p≈0.05 emitter over ~268s/2.5s ≈ 107 rotations yields few pulses.
+	maxPulses := int(float64(g.Survey.TobsSec/rrat.PeriodSec)*rrat.Sporadic*4) + 3
+	if len(truth) > maxPulses {
+		t.Errorf("RRAT emitted %d pulses, expected ≤ %d", len(truth), maxPulses)
+	}
+	for _, in := range truth {
+		if in.Class != ClassRRAT {
+			t.Errorf("injection class %v, want rrat", in.Class)
+		}
+	}
+}
+
+func TestRandomPulsarBands(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 50; i++ {
+		if p := RandomPulsar(rng, NearBand, AnyBrightness, false); p.DM >= 100 {
+			t.Fatalf("near pulsar at DM %g", p.DM)
+		}
+		if p := RandomPulsar(rng, MidBand, AnyBrightness, false); p.DM < 100 || p.DM >= 175 {
+			t.Fatalf("mid pulsar at DM %g", p.DM)
+		}
+		if p := RandomPulsar(rng, FarBand, AnyBrightness, false); p.DM < 175 {
+			t.Fatalf("far pulsar at DM %g", p.DM)
+		}
+	}
+}
+
+func TestInjectionOverlaps(t *testing.T) {
+	in := &Injection{DMLo: 10, DMHi: 20, TLo: 1, THi: 2}
+	if !in.Overlaps(15, 25, 1.5, 3, 0, 0) {
+		t.Error("overlapping boxes reported disjoint")
+	}
+	if in.Overlaps(30, 40, 5, 6, 0, 0) {
+		t.Error("disjoint boxes reported overlapping")
+	}
+	if !in.Overlaps(21, 25, 3, 4, 2, 1.5) {
+		t.Error("pad not applied")
+	}
+}
+
+func TestRFIHasNoPeakAwayFromZero(t *testing.T) {
+	g := NewGenerator(PALFA(), 11)
+	events, inj := g.renderImpulseRFI()
+	if inj.Class != ClassRFI {
+		t.Fatalf("class %v", inj.Class)
+	}
+	if len(events) == 0 {
+		t.Skip("burst fell below threshold")
+	}
+	// SNR should not increase with DM on average: check the brightest
+	// event sits in the lowest DM third.
+	best, maxDM := events[0], events[0].DM
+	for _, e := range events {
+		if e.SNR > best.SNR {
+			best = e
+		}
+		if e.DM > maxDM {
+			maxDM = e.DM
+		}
+	}
+	if best.DM > maxDM/3+1 {
+		t.Errorf("impulse RFI peak at DM %g of range %g", best.DM, maxDM)
+	}
+}

@@ -1,0 +1,94 @@
+package yarn
+
+import "testing"
+
+func twoNodes() []NodeSpec {
+	return []NodeSpec{
+		{ID: 0, VCores: 4, MemMB: 8192},
+		{ID: 1, VCores: 2, MemMB: 4096},
+	}
+}
+
+func TestAllocateAndRelease(t *testing.T) {
+	rm := NewResourceManager(twoNodes())
+	grants, err := rm.Allocate(ContainerRequest{VCores: 2, MemMB: 2048}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(grants) != 3 {
+		t.Fatalf("got %d grants", len(grants))
+	}
+	vc, _ := rm.Available()
+	if vc != 0 {
+		t.Errorf("available vcores = %d, want 0", vc)
+	}
+	for _, g := range grants {
+		rm.Release(g)
+	}
+	vc, mem := rm.Available()
+	if vc != 6 || mem != 12288 {
+		t.Errorf("after release: vc=%d mem=%d", vc, mem)
+	}
+}
+
+func TestAllocateRollsBackOnFailure(t *testing.T) {
+	rm := NewResourceManager(twoNodes())
+	if _, err := rm.Allocate(ContainerRequest{VCores: 2, MemMB: 2048}, 10); err == nil {
+		t.Fatal("expected failure")
+	}
+	vc, mem := rm.Available()
+	if vc != 6 || mem != 12288 {
+		t.Errorf("rollback incomplete: vc=%d mem=%d", vc, mem)
+	}
+}
+
+func TestAllocateSpreadsAcrossNodes(t *testing.T) {
+	rm := NewResourceManager(twoNodes())
+	grants, err := rm.Allocate(ContainerRequest{VCores: 1, MemMB: 1024}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if grants[0].Node == grants[1].Node {
+		t.Errorf("both containers on node %d", grants[0].Node)
+	}
+}
+
+func TestInvalidRequests(t *testing.T) {
+	rm := NewResourceManager(twoNodes())
+	for _, req := range []ContainerRequest{{0, 100}, {1, 0}, {-1, -1}} {
+		if _, err := rm.Allocate(req, 1); err == nil {
+			t.Errorf("request %+v accepted", req)
+		}
+	}
+	if _, err := rm.Allocate(ContainerRequest{VCores: 1, MemMB: 1}, 0); err == nil {
+		t.Error("zero count accepted")
+	}
+}
+
+func TestPaperClusterHolds22Executors(t *testing.T) {
+	rm := NewResourceManager(PaperCluster())
+	if got := rm.MaxContainers(PaperExecutor()); got != 22 {
+		t.Errorf("max executors = %d, want 22 (paper §6.1)", got)
+	}
+	grants, err := rm.Allocate(PaperExecutor(), 22)
+	if err != nil {
+		t.Fatalf("allocating 22 executors: %v", err)
+	}
+	if len(grants) != 22 {
+		t.Fatalf("got %d", len(grants))
+	}
+	if _, err := rm.Allocate(PaperExecutor(), 1); err == nil {
+		t.Error("23rd executor fit")
+	}
+}
+
+func TestPaperClusterShape(t *testing.T) {
+	nodes := PaperCluster()
+	if len(nodes) != 15 {
+		t.Fatalf("data nodes = %d, want 15", len(nodes))
+	}
+	vc, _ := NewResourceManager(nodes).Capacity()
+	if vc < 55 || vc > 62 {
+		t.Errorf("total vcores = %d, want ≈60", vc)
+	}
+}
