@@ -3,8 +3,10 @@
 // Astronomy" (Devine, Goseva-Popstojanova & Pang, ICPP 2018).
 //
 // The implementation lives under internal/ (see DESIGN.md for the system
-// inventory); runnable entry points are under cmd/ and examples/. The
-// root package exists to carry module documentation and the benchmark
+// inventory, and DESIGN.md §2 for the concurrent executor that runs RDD
+// stages on real CPUs while simulating cluster time); runnable entry
+// points are under cmd/ and examples/, and README.md holds the quickstart.
+// The root package exists to carry module documentation and the benchmark
 // suite (bench_test.go) that regenerates every figure and table of the
-// paper's evaluation.
+// paper's evaluation plus the executor's wall-clock scaling.
 package drapid

@@ -1,0 +1,3 @@
+module drapid
+
+go 1.24

@@ -1,9 +1,10 @@
 // Package des is a small discrete-event simulator. The distributed
 // substrates (YARN scheduling, the RDD engine's stage execution, the
-// multithreaded baseline) execute real work on the host but account
-// *simulated* time through this package, which is how a laptop-scale run
-// reproduces the elapsed-time behaviour of the paper's 16-node Beowulf
-// cluster (see DESIGN.md §1, substitution table).
+// multithreaded baseline) execute real work on the host — concurrently,
+// on the rdd worker pool — but additionally account *simulated* time
+// through this package, which is how a laptop-scale run reproduces the
+// elapsed-time behaviour of the paper's 16-node Beowulf cluster for the
+// Figure 4 sweep (RQ 1–2; see DESIGN.md §1, substitution table).
 //
 // Simulated time is a float64 in seconds from simulation start.
 package des

@@ -1,9 +1,9 @@
 // Package dmgrid models the trial dispersion-measure grid a single-pulse
 // search dedisperses at. Real searches (PRESTO's DDplan) use a piecewise
 // plan whose DM step grows with DM, because intra-channel smearing makes
-// fine steps pointless at high DM. The paper's DMSpacing feature — "the
-// interval between two consecutive DM values", rising from 0.01 at low DM
-// to 2.00 at very high DM — is read directly off this grid.
+// fine steps pointless at high DM. The paper's DMSpacing feature (Table 1,
+// §5.1.3) — "the interval between two consecutive DM values", rising from
+// 0.01 at low DM to 2.00 at very high DM — is read directly off this grid.
 package dmgrid
 
 import (

@@ -1,7 +1,7 @@
 // Package arff reads and writes Weka's ARFF format. The paper ran its
-// classification trials in Weka; exporting our synthetic benchmarks as
-// ARFF lets anyone replay them in the original toolchain (and lets Weka
-// users adopt this library's datasets directly).
+// classification trials (§5.2.3) in Weka; exporting our synthetic
+// benchmarks as ARFF lets anyone replay them in the original toolchain
+// (and lets Weka users adopt this library's datasets directly).
 package arff
 
 import (

@@ -2,7 +2,8 @@
 // Weka): bagged, unpruned random trees voting by majority, with a random
 // feature subset considered at every node. Trees build in parallel across
 // host cores — the learner the paper found best for single-pulse
-// classification and the main beneficiary of ALM's training-time savings.
+// classification (RQ 3, Figure 5) and the main beneficiary of ALM's
+// training-time savings (RQ 5).
 package forest
 
 import (

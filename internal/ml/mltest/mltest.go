@@ -1,7 +1,9 @@
 // Package mltest provides deterministic synthetic datasets for testing the
-// learners: Gaussian blobs with controllable separation, a two-moons-style
-// nonlinear problem, and an imbalanced variant. Keeping them in a real
-// package (not _test files) lets every learner package share one oracle.
+// Table 5 learners: Gaussian blobs with controllable separation, a
+// two-moons-style nonlinear problem, and an imbalanced variant (the class
+// skew regime the paper's SMOTE treatment, §5.2.1, targets). Keeping them
+// in a real package (not _test files) lets every learner package share one
+// oracle.
 package mltest
 
 import (

@@ -2,7 +2,8 @@
 // J48 (Quinlan's C4.5 — gain-ratio splits, pessimistic error pruning), the
 // unpruned random trees bagged by the forest package, and the shared
 // recursive builder both use. PART (in the rules package) also builds its
-// partial trees through this builder.
+// partial trees through this builder. J48 is one of the six Table 5
+// learners the paper's classification study (§5.2.3, RQ 3) evaluates.
 package tree
 
 import (

@@ -3,6 +3,7 @@ package pipeline
 import (
 	"fmt"
 	"strings"
+	"time"
 
 	"drapid/internal/core"
 	"drapid/internal/features"
@@ -28,8 +29,11 @@ type JobConfig struct {
 
 // JobResult summarises a run.
 type JobResult struct {
-	// SimSeconds is the simulated elapsed time of the whole job.
+	// SimSeconds is the simulated elapsed time of the whole job (zero when
+	// the context runs with ExecConfig.SimClock off).
 	SimSeconds float64
+	// WallSeconds is the measured host wall-clock time of the whole job.
+	WallSeconds float64
 	// Records is the number of ML records produced.
 	Records int
 	// Pulses is the number of single pulses identified (== Records).
@@ -47,6 +51,13 @@ type JobResult struct {
 //	           left-outer-join cluster→data, and search each key group.
 //
 // ML output is saved back to HDFS under cfg.OutDir.
+//
+// All stages execute concurrently on the context's worker pool
+// (rdd.ExecConfig); the Search phase additionally drives each key group's
+// ProcessKeyGroup as its own pool work item. Cancelling a context bound
+// with ctx.SetContext stops the job between task batches and RunDRAPID
+// returns the cancellation cause. Outputs are deterministic: any worker
+// count produces record-for-record the same ML files.
 func RunDRAPID(ctx *rdd.Context, cfg JobConfig) (JobResult, error) {
 	if cfg.PartitionsPerCore <= 0 {
 		cfg.PartitionsPerCore = 32
@@ -54,7 +65,11 @@ func RunDRAPID(ctx *rdd.Context, cfg JobConfig) (JobResult, error) {
 	if cfg.Params.Weight == 0 {
 		cfg.Params = core.DefaultParams()
 	}
+	if err := ctx.Err(); err != nil {
+		return JobResult{}, err
+	}
 	start := ctx.SimElapsed()
+	wallStart := time.Now()
 
 	dataKV, err := loadKeyed(ctx, cfg.DataFile)
 	if err != nil {
@@ -85,9 +100,20 @@ func RunDRAPID(ctx *rdd.Context, cfg JobConfig) (JobResult, error) {
 	joined := rdd.LeftOuterJoin(clusterAgg, dataAgg, part)
 
 	searchCost := ctx.Cost.SearchPerSPE
+	// Per-key work items nest inside partition tasks, so size the inner
+	// pool by the leftover width: wide stages search keys serially within
+	// each partition task, narrow ones (fewer partitions than workers)
+	// fan keys out with the idle workers — never Workers² goroutines.
+	innerExec := ctx.Exec.NestedConfig(joined.NumPartitions())
 	ml := rdd.MapPartitions(joined, func(p int, tc *rdd.TaskContext, in []rdd.Pair[string, rdd.Joined[[]string, []string]]) []string {
-		var out []string
-		for _, kv := range in {
+		// The Search phase proper: each key group is one work item on the
+		// executor pool, nested under the partition task. Outputs and CPU
+		// charges are gathered per item and folded back in key order,
+		// keeping the result record-for-record identical to a serial run.
+		outs := make([][]string, len(in))
+		cpu := make([]float64, len(in))
+		_ = ctx.RunTasksConfig(innerExec, len(in), func(i int) {
+			kv := in[i]
 			clusterPayloads := kv.Value.Left
 			var dataPayloads []string
 			if kv.Value.HasRight {
@@ -97,12 +123,17 @@ func RunDRAPID(ctx *rdd.Context, cfg JobConfig) (JobResult, error) {
 			if err != nil {
 				// Malformed records are dropped, as the Scala driver's
 				// parse guards do; they are invisible at this layer.
-				continue
+				return
 			}
-			tc.AddCPU(float64(stats.SPEsSearched) * searchCost)
+			cpu[i] = float64(stats.SPEsSearched) * searchCost
 			for _, r := range recs {
-				out = append(out, r.Format())
+				outs[i] = append(outs[i], r.Format())
 			}
+		})
+		var out []string
+		for i := range outs {
+			tc.AddCPU(cpu[i])
+			out = append(out, outs[i]...)
 		}
 		return out
 	})
@@ -112,15 +143,24 @@ func RunDRAPID(ctx *rdd.Context, cfg JobConfig) (JobResult, error) {
 	ml.Cache()
 
 	count := rdd.Count(ml)
+	if err := ctx.Err(); err != nil {
+		// Cancelled mid-job: partitions the pool never ran are missing, so
+		// the count is partial and nothing is saved.
+		return JobResult{}, err
+	}
 	if err := rdd.SaveTextFile(ml, cfg.OutDir); err != nil {
+		return JobResult{}, err
+	}
+	if err := ctx.Err(); err != nil {
 		return JobResult{}, err
 	}
 
 	return JobResult{
-		SimSeconds: ctx.SimElapsed() - start,
-		Records:    int(count),
-		Pulses:     int(count),
-		Metrics:    ctx.Metrics(),
+		SimSeconds:  ctx.SimElapsed() - start,
+		WallSeconds: time.Since(wallStart).Seconds(),
+		Records:     int(count),
+		Pulses:      int(count),
+		Metrics:     ctx.Metrics(),
 	}, nil
 }
 

@@ -1,0 +1,134 @@
+package pipeline_test
+
+import (
+	"context"
+	"testing"
+
+	"drapid/internal/dbscan"
+	"drapid/internal/pipeline"
+	"drapid/internal/rdd"
+)
+
+// TestParallelMatchesSerial is the executor's equivalence oracle: the same
+// job run on the serial reference path (Workers = 1) and on a wide worker
+// pool must produce record-for-record identical ML output — and, because
+// the cost model prices work metrics rather than host timing, identical
+// simulated elapsed time too.
+func TestParallelMatchesSerial(t *testing.T) {
+	prep, sv := makeSurveyData(t, 7, 3)
+
+	run := func(workers int) (pipeline.JobResult, []pipeline.MLRecord) {
+		ctx := newTestContext(t, 4)
+		ctx.Exec.Workers = workers
+		if err := prep.Upload(ctx.FS, "spe.csv", "clusters.csv"); err != nil {
+			t.Fatal(err)
+		}
+		res, err := pipeline.RunDRAPID(ctx, pipeline.JobConfig{
+			DataFile: "spe.csv", ClusterFile: "clusters.csv", OutDir: "ml",
+			Feat: featConfig(sv),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		recs, err := pipeline.CollectML(ctx, "ml")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, recs
+	}
+
+	serialRes, serialRecs := run(1)
+	parallelRes, parallelRecs := run(8)
+
+	if serialRes.Records == 0 {
+		t.Fatal("serial run produced no records; fixture too small")
+	}
+	if len(serialRecs) != len(parallelRecs) {
+		t.Fatalf("record counts differ: serial %d vs parallel %d", len(serialRecs), len(parallelRecs))
+	}
+	// Same order, not just same multiset: partition layout and within-
+	// partition key order are worker-count independent.
+	for i := range serialRecs {
+		if s, p := serialRecs[i].Format(), parallelRecs[i].Format(); s != p {
+			t.Fatalf("record %d differs:\n serial:   %s\n parallel: %s", i, s, p)
+		}
+	}
+	if serialRes.SimSeconds != parallelRes.SimSeconds {
+		t.Errorf("simulated clocks diverge with worker count: serial %g vs parallel %g",
+			serialRes.SimSeconds, parallelRes.SimSeconds)
+	}
+	if parallelRes.WallSeconds <= 0 {
+		t.Error("parallel run measured no wall-clock time")
+	}
+}
+
+// TestRunDRAPIDEmptyInput runs the whole job over header-only files: no
+// keys, no clusters, no output — and no error.
+func TestRunDRAPIDEmptyInput(t *testing.T) {
+	prep := pipeline.Prepare(nil, nil, dbscan.DefaultParams())
+	ctx := newTestContext(t, 2)
+	if err := prep.Upload(ctx.FS, "spe.csv", "clusters.csv"); err != nil {
+		t.Fatal(err)
+	}
+	res, err := pipeline.RunDRAPID(ctx, pipeline.JobConfig{
+		DataFile: "spe.csv", ClusterFile: "clusters.csv", OutDir: "ml",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Records != 0 {
+		t.Errorf("empty input produced %d records", res.Records)
+	}
+	recs, err := pipeline.CollectML(ctx, "ml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 0 {
+		t.Errorf("collected %d records from an empty job", len(recs))
+	}
+}
+
+// TestRunDRAPIDCancelled verifies context-based cancellation surfaces as
+// the job error instead of a partial silent result.
+func TestRunDRAPIDCancelled(t *testing.T) {
+	prep, sv := makeSurveyData(t, 8, 1)
+	ctx := newTestContext(t, 2)
+	if err := prep.Upload(ctx.FS, "spe.csv", "clusters.csv"); err != nil {
+		t.Fatal(err)
+	}
+	gctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ctx.SetContext(gctx)
+	_, err := pipeline.RunDRAPID(ctx, pipeline.JobConfig{
+		DataFile: "spe.csv", ClusterFile: "clusters.csv", OutDir: "ml",
+		Feat: featConfig(sv),
+	})
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestWorkersExceedKeyCount: a pool far wider than the key space must not
+// lose or duplicate records.
+func TestWorkersExceedKeyCount(t *testing.T) {
+	prep, sv := makeSurveyData(t, 9, 1) // one observation → one join key
+	base := newTestContext(t, 2)
+	if err := prep.Upload(base.FS, "spe.csv", "clusters.csv"); err != nil {
+		t.Fatal(err)
+	}
+	base.Exec = rdd.ExecConfig{Workers: 32, SimClock: true}
+	res, err := pipeline.RunDRAPID(base, pipeline.JobConfig{
+		DataFile: "spe.csv", ClusterFile: "clusters.csv", OutDir: "ml",
+		Feat: featConfig(sv),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := pipeline.CollectML(base, "ml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != res.Records {
+		t.Fatalf("collected %d records, job reported %d", len(recs), res.Records)
+	}
+}

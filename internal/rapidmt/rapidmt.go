@@ -1,15 +1,20 @@
-// Package rapidmt is the multithreaded single-machine baseline of RQ 2:
-// the same single-pulse search D-RAPID distributes, run with a worker-
-// thread pool on one workstation. It executes the identical per-cluster
-// code path (pipeline.ProcessKeyGroup), so its outputs can be compared
-// record-for-record against the distributed job; its elapsed time is
-// simulated with a single-machine cost model — one shared disk, a fixed
-// physical core count that caps useful parallelism, and no cluster memory
-// to spill into.
+// Package rapidmt is the multithreaded single-machine baseline of RQ 2
+// (the paper's RAPID-MT, §5.1.2): the same single-pulse search D-RAPID
+// distributes, run on one workstation. It is a thin configuration of the
+// same concurrent executor the distributed engine uses — rdd.RunParallel
+// with Workers set to the requested thread count — executing the identical
+// per-key code path (pipeline.ProcessKeyGroup), so its outputs can be
+// compared record-for-record against the distributed job. Alongside the
+// real execution, elapsed time is also *simulated* with a single-machine
+// cost model — one shared disk, a fixed physical core count that caps
+// useful parallelism, and no cluster memory to spill into — which is what
+// the Figure 4 thread sweep plots.
 package rapidmt
 
 import (
+	"context"
 	"sort"
+	"time"
 
 	"drapid/internal/core"
 	"drapid/internal/des"
@@ -65,6 +70,8 @@ func PaperWorkstation() Machine {
 type Result struct {
 	// SimSeconds is the simulated elapsed time.
 	SimSeconds float64
+	// WallSeconds is the measured host wall-clock time of the search phase.
+	WallSeconds float64
 	// Records is the number of ML records produced.
 	Records int
 	// ML holds the produced records (same format as the distributed job).
@@ -72,9 +79,11 @@ type Result struct {
 }
 
 // Run executes the multithreaded RAPID search over the raw data and
-// cluster file lines with the requested thread count. CPU cost constants
-// are shared with the distributed cost model so the two implementations
-// are priced consistently.
+// cluster file lines with the requested thread count: one executor-pool
+// work item per observation key, really running threads-wide
+// (rdd.RunParallel). CPU cost constants are shared with the distributed
+// cost model so the two implementations are priced consistently, and the
+// ML output is deterministic — identical for any thread count.
 func Run(dataLines, clusterLines []string, threads int, m Machine, cost rdd.CostModel, params core.Params, feat features.Config) (Result, error) {
 	if threads < 1 {
 		threads = 1
@@ -116,20 +125,36 @@ func Run(dataLines, clusterLines []string, threads int, m Machine, cost rdd.Cost
 	}
 	sort.Strings(keys)
 
-	// Real execution: same worker as the distributed job, parsing each
-	// observation once and recording per-cluster search volumes so the
-	// simulated task pool can schedule at cluster granularity (the unit
-	// the multithreaded program parallelizes over).
+	// Real execution: the same executor pool as the distributed job, one
+	// work item per observation key, threads goroutines wide. Each item
+	// parses its observation once and records per-cluster search volumes so
+	// the simulated task pool can schedule at cluster granularity (the unit
+	// the multithreaded program parallelizes over). Per-key results land in
+	// key-indexed slots and are folded back in key order, so the output is
+	// identical to a serial run.
 	var result Result
-	var parseRecords int64
-	var clusterSPEs []int
-	for _, k := range keys {
+	type keyWork struct {
+		recs        []pipeline.MLRecord
+		parsed      int64
+		clusterSPEs []int
+		err         error
+	}
+	work := make([]keyWork, len(keys))
+	wallStart := time.Now()
+	// A parse error cancels the pool so remaining keys are not searched
+	// (fail-fast, as the serial loop did); in-flight items finish.
+	gctx, abort := context.WithCancel(context.Background())
+	defer abort()
+	_ = rdd.RunParallel(gctx, rdd.ExecConfig{Workers: threads}, len(keys), func(i int) {
+		k := keys[i]
 		recs, stats, err := pipeline.ProcessKeyGroup(k, clustersByKey[k], dataByKey[k], params, feat)
 		if err != nil {
-			return Result{}, err
+			work[i].err = err
+			abort()
+			return
 		}
-		parseRecords += int64(stats.EventsParsed)
-		result.ML = append(result.ML, recs...)
+		work[i].recs = recs
+		work[i].parsed = int64(stats.EventsParsed)
 		// Recover per-cluster sizes for scheduling skew: the searched SPE
 		// total distributes over this key's clusters.
 		events := make([]spe.SPE, 0, len(dataByKey[k]))
@@ -152,8 +177,19 @@ func Run(dataLines, clusterLines []string, threads int, m Machine, cost rdd.Cost
 					n++
 				}
 			}
-			clusterSPEs = append(clusterSPEs, n)
+			work[i].clusterSPEs = append(work[i].clusterSPEs, n)
 		}
+	})
+	result.WallSeconds = time.Since(wallStart).Seconds()
+	var parseRecords int64
+	var clusterSPEs []int
+	for _, w := range work {
+		if w.err != nil {
+			return Result{}, w.err
+		}
+		result.ML = append(result.ML, w.recs...)
+		parseRecords += w.parsed
+		clusterSPEs = append(clusterSPEs, w.clusterSPEs...)
 	}
 	result.Records = len(result.ML)
 

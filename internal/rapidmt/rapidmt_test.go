@@ -51,6 +51,9 @@ func TestProducesRecords(t *testing.T) {
 	if res.SimSeconds <= 0 {
 		t.Error("no simulated time")
 	}
+	if res.WallSeconds <= 0 {
+		t.Error("no wall-clock time measured")
+	}
 }
 
 func TestOutputIndependentOfThreads(t *testing.T) {

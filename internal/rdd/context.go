@@ -2,15 +2,23 @@
 // datasets with narrow and wide (shuffle) transformations, hash
 // partitioning, locality-aware task scheduling over simulated executors,
 // caching with spill accounting, and lineage-based recovery of lost
-// partitions.
+// partitions. It implements the D-RAPID substrate of the paper's §5.1
+// (RQ 1–2).
 //
-// Real work executes on the host (partitions are really computed, joins
-// really join); elapsed time is *simulated* through a calibrated cost model
-// and the des scheduler, which is what lets the Figure 4 experiment sweep
-// executor counts on one machine (see DESIGN.md §1).
+// Execution is two-layered (see DESIGN.md §1–2). Stage tasks really run,
+// concurrently, on a goroutine worker pool (ExecConfig: configurable
+// Workers, batched task queues, bounded-queue backpressure between shuffle
+// stages, context-based cancellation via SetContext), and wall-clock times
+// are measured into Metrics. Alongside that, an optional *simulated* clock
+// (ExecConfig.SimClock) prices the same tasks with a calibrated cost model
+// and the des list scheduler, which is what lets the Figure 4 experiment
+// sweep cluster executor counts {1..22} on one machine. Results are
+// record-for-record identical across serial, parallel and simulated runs;
+// only the clocks differ.
 package rdd
 
 import (
+	"context"
 	"sync"
 
 	"drapid/internal/hdfs"
@@ -93,14 +101,20 @@ func DefaultCostModel() CostModel {
 	}
 }
 
-// StageSample records one stage's simulated execution for diagnostics.
+// StageSample records one stage's execution for diagnostics: the simulated
+// cluster seconds (zero when SimClock is off) alongside the measured host
+// wall-clock and the worker-pool width that produced it.
 type StageSample struct {
-	Name    string
-	Tasks   int
-	Seconds float64
+	Name        string
+	Tasks       int
+	Seconds     float64
+	WallSeconds float64
+	Workers     int
 }
 
-// Metrics accumulates simulated-execution counters for one context.
+// Metrics accumulates execution counters for one context. Byte and record
+// counters are exact; Seconds-suffixed fields separate the two clocks
+// (simulated cluster time vs measured host time in stages).
 type Metrics struct {
 	Stages          int
 	Tasks           int
@@ -111,6 +125,7 @@ type Metrics struct {
 	ShuffleBytes    int64
 	SpillBytes      int64
 	Recomputes      int
+	WallSeconds     float64
 	StageSamples    []StageSample
 }
 
@@ -119,9 +134,14 @@ type Metrics struct {
 type Context struct {
 	FS   *hdfs.FS
 	Cost CostModel
+	// Exec configures the real concurrent executor (worker count, batch
+	// size, backpressure depth, simulated-clock maintenance). It may be
+	// reconfigured between actions but not while one is running.
+	Exec ExecConfig
 
 	execs []*Executor
 	clock float64
+	goctx context.Context
 
 	// DefaultParallelism is the partition count used when callers don't
 	// specify one (Spark: total executor cores).
@@ -132,7 +152,8 @@ type Context struct {
 	nextID  int
 }
 
-// NewContext builds a driver context over the given executors.
+// NewContext builds a driver context over the given executors, with the
+// default executor configuration (all host cores, simulated clock on).
 func NewContext(fs *hdfs.FS, execs []*Executor, cost CostModel) *Context {
 	cores := 0
 	for _, e := range execs {
@@ -141,7 +162,7 @@ func NewContext(fs *hdfs.FS, execs []*Executor, cost CostModel) *Context {
 	if cores == 0 {
 		cores = 1
 	}
-	return &Context{FS: fs, Cost: cost, execs: execs, DefaultParallelism: cores}
+	return &Context{FS: fs, Cost: cost, Exec: DefaultExecConfig(), execs: execs, DefaultParallelism: cores}
 }
 
 // NumExecutors returns the executor count.

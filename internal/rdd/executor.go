@@ -1,0 +1,210 @@
+package rdd
+
+import (
+	"context"
+	"runtime"
+	"sync"
+)
+
+// ExecConfig configures the real concurrent executor that runs stage tasks
+// on host CPUs. The zero value is valid: every field defaults at use time,
+// except SimClock, which NewContext turns on (DefaultExecConfig) so that
+// existing cost-model consumers keep their simulated elapsed times.
+type ExecConfig struct {
+	// Workers is the number of goroutines executing tasks concurrently in
+	// one scheduler pass (one stage, or one nested per-key batch). Zero
+	// means runtime.GOMAXPROCS(0); one forces the serial reference path
+	// that parallel runs are checked against record-for-record.
+	Workers int
+	// BatchSize is how many task indices are dispatched per queue element.
+	// Batching amortizes channel traffic for the many-small-partitions
+	// layout D-RAPID uses (32 partitions per core). Zero picks a batch
+	// that gives each worker several batches, so stragglers rebalance.
+	BatchSize int
+	// QueueDepth bounds the number of dispatched-but-unclaimed batches per
+	// scheduler pass: the dispatcher blocks once workers fall behind, so
+	// dispatch bookkeeping stays proportional to Workers × BatchSize no
+	// matter how wide the stage is, and cancellation bites within a batch
+	// rather than after a whole stage was enqueued. Stage *results* are
+	// still retained for the whole stage — stages are synchronous barriers
+	// (a shuffle's reduce side starts only after its map side completed),
+	// so the queue bounds dispatch, not output memory. Zero means
+	// 2 × Workers.
+	QueueDepth int
+	// SimClock keeps the calibrated cost-model accounting: after a stage's
+	// real execution, its tasks are placed on the simulated executors and
+	// the context's simulated clock advances (what Figure 4 sweeps). When
+	// false the simulated clock stays put and only wall-clock metrics are
+	// collected.
+	SimClock bool
+}
+
+// DefaultExecConfig is the configuration NewContext installs: all-core
+// parallel execution with the simulated clock maintained.
+func DefaultExecConfig() ExecConfig { return ExecConfig{SimClock: true} }
+
+// NumWorkers returns the effective pool width: Workers, or the host core
+// count when Workers is zero.
+func (cfg ExecConfig) NumWorkers() int { return cfg.workers() }
+
+// workers resolves the effective worker count.
+func (cfg ExecConfig) workers() int {
+	if cfg.Workers > 0 {
+		return cfg.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// batchSize resolves the dispatch granularity for n tasks on w workers.
+func (cfg ExecConfig) batchSize(n, w int) int {
+	if cfg.BatchSize > 0 {
+		return cfg.BatchSize
+	}
+	if w == 1 {
+		// Serial path: batching amortizes nothing (no channel traffic, no
+		// stragglers), so keep cancellation checks per-task.
+		return 1
+	}
+	// Aim for ~4 batches per worker so the earliest-free worker picks up
+	// the stragglers' share (cluster sizes are heavily skewed: median 19
+	// SPEs, max thousands).
+	b := n / (4 * w)
+	if b < 1 {
+		b = 1
+	}
+	return b
+}
+
+// queueDepth resolves the bounded-queue capacity for w workers.
+func (cfg ExecConfig) queueDepth(w int) int {
+	if cfg.QueueDepth > 0 {
+		return cfg.QueueDepth
+	}
+	return 2 * w
+}
+
+// RunParallel executes fn(0) … fn(n-1) on a worker pool: a dispatcher
+// feeds index batches through a bounded queue (the backpressure bound) to
+// cfg.Workers goroutines. It blocks until every dispatched task finished
+// or gctx was cancelled, and returns gctx's error.
+//
+// Cancellation is cooperative at batch granularity: a cancelled gctx stops
+// the dispatcher immediately and makes workers drain remaining batches
+// without running them, so no new tasks start but in-flight ones complete.
+// Task functions must tolerate concurrent invocation when Workers > 1;
+// with Workers == 1 tasks run in index order on the calling goroutine,
+// which is the serial reference path.
+//
+// The pool is created per call, so nested calls (a stage task fanning its
+// per-key work items back out) cannot deadlock against each other.
+func RunParallel(gctx context.Context, cfg ExecConfig, n int, fn func(i int)) error {
+	if gctx == nil {
+		gctx = context.Background()
+	}
+	if n <= 0 {
+		return gctx.Err()
+	}
+	w := cfg.workers()
+	if w > n {
+		w = n
+	}
+	batch := cfg.batchSize(n, w)
+
+	if w == 1 {
+		for lo := 0; lo < n; lo += batch {
+			if err := gctx.Err(); err != nil {
+				return err
+			}
+			hi := lo + batch
+			if hi > n {
+				hi = n
+			}
+			for i := lo; i < hi; i++ {
+				fn(i)
+			}
+		}
+		return gctx.Err()
+	}
+
+	type span struct{ lo, hi int }
+	queue := make(chan span, cfg.queueDepth(w))
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for k := 0; k < w; k++ {
+		go func() {
+			defer wg.Done()
+			for s := range queue {
+				if gctx.Err() != nil {
+					continue // drain without executing
+				}
+				for i := s.lo; i < s.hi; i++ {
+					fn(i)
+				}
+			}
+		}()
+	}
+	done := gctx.Done()
+dispatch:
+	for lo := 0; lo < n; lo += batch {
+		hi := lo + batch
+		if hi > n {
+			hi = n
+		}
+		select {
+		case queue <- span{lo, hi}:
+		case <-done:
+			break dispatch
+		}
+	}
+	close(queue)
+	wg.Wait()
+	return gctx.Err()
+}
+
+// SetContext binds a Go cancellation context to the driver: cancelling it
+// stops the executor from dispatching further tasks (stages return with
+// whatever partitions completed) and makes Err report the cause. A nil
+// binding (the default) means the driver never cancels.
+func (c *Context) SetContext(gctx context.Context) { c.goctx = gctx }
+
+// goContext returns the bound cancellation context, defaulting to
+// context.Background.
+func (c *Context) goContext() context.Context {
+	if c.goctx != nil {
+		return c.goctx
+	}
+	return context.Background()
+}
+
+// Err reports the driver's cancellation state: nil while live, the
+// context's error once cancelled. Actions forced after cancellation return
+// partial results; callers that care check Err afterwards (RunDRAPID does).
+func (c *Context) Err() error { return c.goContext().Err() }
+
+// RunTasksConfig drives n independent work items through the same worker
+// pool the stage scheduler uses, with an explicit executor configuration
+// and the context's cancellation binding. It is how driver code outside
+// the RDD lineage shares the executor: the D-RAPID Search phase runs its
+// per-key work items through it with a NestedConfig-sized pool. (The
+// RAPID-MT baseline, which has no Context, calls RunParallel directly.)
+func (c *Context) RunTasksConfig(cfg ExecConfig, n int, fn func(i int)) error {
+	return RunParallel(c.goContext(), cfg, n, fn)
+}
+
+// NestedConfig sizes a pool for work items fanned out *inside* stage
+// tasks, given the enclosing stage's width in partitions: the outer pass
+// already runs up to min(Workers, outerParts) tasks concurrently, so the
+// nested pass gets only the leftover width. Wide stages (at least Workers
+// partitions) get a serial inner pass; narrow stages split the idle
+// workers across their partitions. This keeps total concurrency ~Workers
+// instead of Workers² when stage tasks fan out again.
+func (cfg ExecConfig) NestedConfig(outerParts int) ExecConfig {
+	inner := cfg
+	w := cfg.workers()
+	if outerParts >= w || outerParts <= 0 {
+		inner.Workers = 1
+		return inner
+	}
+	inner.Workers = (w + outerParts - 1) / outerParts
+	return inner
+}

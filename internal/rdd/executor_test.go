@@ -1,0 +1,284 @@
+package rdd
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestRunParallelZeroWorkersDefaults(t *testing.T) {
+	// The zero config must be usable: Workers/BatchSize/QueueDepth all
+	// default, and every task runs exactly once.
+	var ran [100]int32
+	if err := RunParallel(nil, ExecConfig{}, len(ran), func(i int) {
+		atomic.AddInt32(&ran[i], 1)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i, n := range ran {
+		if n != 1 {
+			t.Fatalf("task %d ran %d times, want 1", i, n)
+		}
+	}
+}
+
+func TestRunParallelWorkersExceedTasks(t *testing.T) {
+	// More workers than work items: the pool clips to the item count.
+	var ran int32
+	if err := RunParallel(context.Background(), ExecConfig{Workers: 64}, 3, func(i int) {
+		atomic.AddInt32(&ran, 1)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if ran != 3 {
+		t.Fatalf("ran %d tasks, want 3", ran)
+	}
+}
+
+func TestRunParallelEmptyInput(t *testing.T) {
+	if err := RunParallel(context.Background(), ExecConfig{Workers: 4}, 0, func(i int) {
+		t.Error("task ran on empty input")
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunParallelSerialOrder(t *testing.T) {
+	// Workers == 1 is the serial reference path: tasks run in index order
+	// on the calling goroutine.
+	var got []int
+	if err := RunParallel(context.Background(), ExecConfig{Workers: 1, BatchSize: 3}, 10, func(i int) {
+		got = append(got, i)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("serial order broken at %d: got %v", i, got)
+		}
+	}
+	if len(got) != 10 {
+		t.Fatalf("ran %d tasks, want 10", len(got))
+	}
+}
+
+func TestRunParallelConcurrencyBound(t *testing.T) {
+	// At no point may more than Workers tasks run simultaneously.
+	const workers = 3
+	var cur, peak int32
+	err := RunParallel(context.Background(), ExecConfig{Workers: workers, BatchSize: 1}, 60, func(i int) {
+		c := atomic.AddInt32(&cur, 1)
+		for {
+			p := atomic.LoadInt32(&peak)
+			if c <= p || atomic.CompareAndSwapInt32(&peak, p, c) {
+				break
+			}
+		}
+		time.Sleep(200 * time.Microsecond)
+		atomic.AddInt32(&cur, -1)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if peak > workers {
+		t.Fatalf("observed %d concurrent tasks, bound is %d", peak, workers)
+	}
+	if peak < 2 {
+		t.Logf("peak concurrency only %d (single-core host?)", peak)
+	}
+}
+
+func TestRunParallelCancellationSerial(t *testing.T) {
+	// Serial path: cancelling inside task k stops dispatch at the next
+	// batch boundary, so with BatchSize 1 exactly k+1 tasks run.
+	gctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var ran int32
+	err := RunParallel(gctx, ExecConfig{Workers: 1, BatchSize: 1}, 100, func(i int) {
+		atomic.AddInt32(&ran, 1)
+		if i == 4 {
+			cancel()
+		}
+	})
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if ran != 5 {
+		t.Fatalf("ran %d tasks, want 5", ran)
+	}
+}
+
+func TestRunParallelCancellationParallel(t *testing.T) {
+	// Parallel path: a cancellation fired by the first task must keep the
+	// bulk of the queue from executing (workers drain without running).
+	gctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var ran int32
+	var once int32
+	const n = 10000
+	err := RunParallel(gctx, ExecConfig{Workers: 4, BatchSize: 1, QueueDepth: 2}, n, func(i int) {
+		atomic.AddInt32(&ran, 1)
+		if atomic.CompareAndSwapInt32(&once, 0, 1) {
+			cancel()
+		}
+	})
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if got := atomic.LoadInt32(&ran); got == n {
+		t.Fatal("cancellation did not stop the pool: every task ran")
+	}
+}
+
+func TestRunParallelNested(t *testing.T) {
+	// A task may fan its own work back out (the per-key Search pattern)
+	// without deadlocking: each call owns its pool.
+	var ran int32
+	err := RunParallel(context.Background(), ExecConfig{Workers: 4}, 8, func(i int) {
+		_ = RunParallel(context.Background(), ExecConfig{Workers: 4}, 8, func(j int) {
+			atomic.AddInt32(&ran, 1)
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ran != 64 {
+		t.Fatalf("ran %d nested tasks, want 64", ran)
+	}
+}
+
+func TestExecutorWallClockSpeedup(t *testing.T) {
+	// Latency-bound synthetic workload (a disk/network stand-in that does
+	// not need spare cores): 8 workers must finish the same 32 tasks at
+	// least 2x faster than 1 worker. The ideal ratio is 8; the margin
+	// absorbs scheduler noise on loaded hosts.
+	const tasks = 32
+	run := func(workers int) time.Duration {
+		start := time.Now()
+		if err := RunParallel(context.Background(), ExecConfig{Workers: workers}, tasks, func(int) {
+			time.Sleep(2 * time.Millisecond)
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return time.Since(start)
+	}
+	serial := run(1)
+	parallel := run(8)
+	if ratio := float64(serial) / float64(parallel); ratio < 2 {
+		t.Errorf("8-worker speedup %.2fx over serial, want >= 2x (serial %v, parallel %v)", ratio, serial, parallel)
+	}
+}
+
+func TestStageCancellationMidJob(t *testing.T) {
+	// Cancelling the driver context mid-stage stops the engine: the action
+	// returns partial output and Context.Err reports the cause.
+	ctx := NewContext(nil, []*Executor{{ID: 0, Node: 0, Cores: 2, MemMB: 256}}, DefaultCostModel())
+	ctx.Exec = ExecConfig{Workers: 2, BatchSize: 1, QueueDepth: 1, SimClock: true}
+	gctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	ctx.SetContext(gctx)
+
+	data := make([]int, 500)
+	for i := range data {
+		data[i] = i
+	}
+	var once int32
+	doubled := Map(Parallelize(ctx, data, 500), func(v int) int {
+		if atomic.CompareAndSwapInt32(&once, 0, 1) {
+			cancel()
+		}
+		return 2 * v
+	})
+	got := Collect(doubled)
+	if err := ctx.Err(); err != context.Canceled {
+		t.Fatalf("ctx.Err() = %v, want context.Canceled", err)
+	}
+	if len(got) >= len(data) {
+		t.Fatalf("collected %d records after mid-job cancel, want a partial result", len(got))
+	}
+}
+
+func TestCancellationDoesNotPoisonState(t *testing.T) {
+	// A job cancelled mid shuffle-map must not leave half-built shuffle
+	// buckets or partial cached partitions behind: after rebinding a live
+	// context, re-running the action recomputes and returns everything.
+	ctx := NewContext(nil, []*Executor{{ID: 0, Node: 0, Cores: 2, MemMB: 256}}, DefaultCostModel())
+	ctx.Exec = ExecConfig{Workers: 2, BatchSize: 1, QueueDepth: 1, SimClock: true}
+	gctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	ctx.SetContext(gctx)
+
+	data := make([]Pair[string, int], 400)
+	for i := range data {
+		data[i] = Pair[string, int]{Key: "k" + string(rune('a'+i%23)), Value: i}
+	}
+	var once int32
+	src := Map(Parallelize(ctx, data, 100), func(p Pair[string, int]) Pair[string, int] {
+		if atomic.CompareAndSwapInt32(&once, 0, 1) {
+			cancel()
+		}
+		return p
+	})
+	shuffled := PartitionBy(src, NewHashPartitioner(8)).Cache()
+	_ = Collect(shuffled) // cancelled mid shuffle-map; partial by design
+	if err := ctx.Err(); err != context.Canceled {
+		t.Fatalf("ctx.Err() = %v, want context.Canceled", err)
+	}
+
+	ctx.SetContext(context.Background())
+	got := Collect(shuffled)
+	if len(got) != len(data) {
+		t.Fatalf("rebound context collected %d records, want %d (stale cancelled state served)", len(got), len(data))
+	}
+}
+
+func TestNestedConfig(t *testing.T) {
+	cfg := ExecConfig{Workers: 8}
+	if w := cfg.NestedConfig(16).Workers; w != 1 {
+		t.Errorf("wide stage: inner workers = %d, want 1", w)
+	}
+	if w := cfg.NestedConfig(8).Workers; w != 1 {
+		t.Errorf("exact-width stage: inner workers = %d, want 1", w)
+	}
+	if w := cfg.NestedConfig(3).Workers; w != 3 {
+		t.Errorf("narrow stage: inner workers = %d, want ceil(8/3) = 3", w)
+	}
+	if w := cfg.NestedConfig(0).Workers; w != 1 {
+		t.Errorf("empty stage: inner workers = %d, want 1", w)
+	}
+}
+
+func TestSimClockOffKeepsResults(t *testing.T) {
+	// With the simulated clock off the engine still computes identical
+	// results and measures wall-clock, but simulated time stays at zero.
+	run := func(sim bool) ([]int, float64, Metrics) {
+		ctx := NewContext(nil, []*Executor{{ID: 0, Node: 0, Cores: 2, MemMB: 256}}, DefaultCostModel())
+		ctx.Exec.SimClock = sim
+		data := make([]int, 100)
+		for i := range data {
+			data[i] = i
+		}
+		sq := Map(Parallelize(ctx, data, 10), func(v int) int { return v * v })
+		return Collect(sq), ctx.SimElapsed(), ctx.Metrics()
+	}
+	simOut, simT, _ := run(true)
+	rawOut, rawT, m := run(false)
+	if simT <= 0 {
+		t.Error("simulated clock did not advance with SimClock on")
+	}
+	if rawT != 0 {
+		t.Errorf("simulated clock advanced to %g with SimClock off", rawT)
+	}
+	if m.WallSeconds <= 0 {
+		t.Error("no wall-clock time measured")
+	}
+	if len(simOut) != len(rawOut) {
+		t.Fatalf("result sizes differ: %d vs %d", len(simOut), len(rawOut))
+	}
+	for i := range simOut {
+		if simOut[i] != rawOut[i] {
+			t.Fatalf("record %d differs: %d vs %d", i, simOut[i], rawOut[i])
+		}
+	}
+}

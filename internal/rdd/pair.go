@@ -54,50 +54,68 @@ func (h *HashPartitioner) ID() uint64 { return h.id }
 // shuffle is the barrier between a map-side stage and its reduce-side
 // reads: it buckets every parent partition by the target partitioner and
 // keeps the buckets (the moral equivalent of shuffle files on executor
-// disks) for reduce tasks to fetch.
+// disks) for reduce tasks to fetch. Both sides run on the worker pool.
+// Stages are synchronous barriers — the reduce side starts only after
+// every map bucket exists — and within a stage the pool's bounded
+// dispatch queue (ExecConfig.QueueDepth) keeps the dispatcher from
+// running arbitrarily ahead of the workers, so a cancelled driver
+// context stops either side within a batch.
 type shuffle[K comparable, V any] struct {
 	parent *RDD[Pair[K, V]]
 	part   Partitioner[K]
-	once   sync.Once
 
+	mu   sync.Mutex
+	done bool
 	// buckets[m][q] holds map task m's records for reduce partition q.
 	buckets [][][]Pair[K, V]
 	bytes   [][]int64
 }
 
 func (s *shuffle[K, V]) ensure() {
-	s.once.Do(func() {
-		for _, d := range s.parent.deps {
-			d.ensure()
-		}
-		if s.parent.cache {
-			s.parent.materialize()
-		}
-		n := s.part.NumPartitions()
-		ctx := s.parent.ctx
-		s.buckets = make([][][]Pair[K, V], s.parent.parts)
-		s.bytes = make([][]int64, s.parent.parts)
-		weigh := s.parent.weigh
-		_, _ = runStage(ctx, s.parent.name+"(shuffle-map)", s.parent.parts, s.parent.pref,
-			func(m int, tc *TaskContext) []struct{} {
-				in := s.parent.partition(m, tc)
-				tc.CountIn(int64(len(in)))
-				bk := make([][]Pair[K, V], n)
-				by := make([]int64, n)
-				var total int64
-				for _, kv := range in {
-					q := s.part.Partition(kv.Key)
-					bk[q] = append(bk[q], kv)
-					w := weigh(kv)
-					by[q] += w
-					total += w
-				}
-				tc.WriteShuffle(total)
-				s.buckets[m] = bk
-				s.bytes[m] = by
-				return nil
-			})
-	})
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.done {
+		return
+	}
+	for _, d := range s.parent.deps {
+		d.ensure()
+	}
+	if s.parent.cache {
+		s.parent.materialize()
+	}
+	n := s.part.NumPartitions()
+	ctx := s.parent.ctx
+	s.buckets = make([][][]Pair[K, V], s.parent.parts)
+	s.bytes = make([][]int64, s.parent.parts)
+	weigh := s.parent.weigh
+	_, _ = runStage(ctx, s.parent.name+"(shuffle-map)", s.parent.parts, s.parent.pref,
+		func(m int, tc *TaskContext) []struct{} {
+			in := s.parent.partition(m, tc)
+			tc.CountIn(int64(len(in)))
+			bk := make([][]Pair[K, V], n)
+			by := make([]int64, n)
+			var total int64
+			for _, kv := range in {
+				q := s.part.Partition(kv.Key)
+				bk[q] = append(bk[q], kv)
+				w := weigh(kv)
+				by[q] += w
+				total += w
+			}
+			tc.WriteShuffle(total)
+			s.buckets[m] = bk
+			s.bytes[m] = by
+			return nil
+		})
+	if ctx.Err() != nil {
+		// Cancelled mid-stage: some map tasks never ran. Discard the
+		// partial buckets instead of marking the shuffle done, so a later
+		// action (possibly under a rebound, live context) re-runs the map
+		// side rather than serving holes.
+		s.buckets, s.bytes = nil, nil
+		return
+	}
+	s.done = true
 }
 
 // fetch concatenates reduce partition q's buckets, charging the network
@@ -106,6 +124,11 @@ func (s *shuffle[K, V]) fetch(q int, tc *TaskContext) []Pair[K, V] {
 	var out []Pair[K, V]
 	var bytes int64
 	for m := range s.buckets {
+		if s.buckets[m] == nil {
+			// Only possible under cancellation (the map task never ran);
+			// the partial result is discarded by the caller anyway.
+			continue
+		}
 		out = append(out, s.buckets[m][q]...)
 		bytes += s.bytes[m][q]
 	}

@@ -136,6 +136,13 @@ func (r *RDD[T]) materialize() {
 	}
 	r.mu.Unlock()
 	parts, execs := runStage(r.ctx, r.name, r.parts, r.pref, r.compute)
+	if r.ctx.Err() != nil {
+		// Cancelled mid-stage: some partitions never computed. Do not
+		// commit them to the cache — a later action (possibly under a
+		// rebound, live context) materializes from scratch instead of
+		// serving holes as cached data.
+		return
+	}
 	bytes := make([]int64, len(parts))
 	spills := make([]float64, len(parts))
 	var spilledDelta int64
@@ -364,9 +371,10 @@ func SaveTextFile(r *RDD[string], name string) error {
 	return nil
 }
 
-// chargeDriver advances the simulated clock for driver-side work.
+// chargeDriver advances the simulated clock for driver-side work. It is a
+// no-op when the simulated clock is off (ExecConfig.SimClock == false).
 func (c *Context) chargeDriver(sec float64) {
-	if sec > 0 {
+	if c.Exec.SimClock && sec > 0 {
 		c.clock += sec
 	}
 }

@@ -1,8 +1,7 @@
 package rdd
 
 import (
-	"runtime"
-	"sync"
+	"time"
 
 	"drapid/internal/des"
 )
@@ -13,45 +12,38 @@ import (
 const LocalityWaitSec = 0.05
 
 // runStage executes one stage: every partition's compute closure runs for
-// real (in parallel on the host), then the tasks are placed on the
-// simulated executors by locality-preferring list scheduling and the
-// driver clock advances to the stage's completion time.
+// real on the context's worker pool (RunParallel — batched dispatch,
+// bounded-queue backpressure, cancellation), then the tasks are placed on
+// the simulated executors by locality-preferring list scheduling and the
+// driver clock advances to the stage's completion time (skipped when
+// ExecConfig.SimClock is off).
 //
 // It returns the computed partitions and, per partition, the index of the
-// executor the simulator placed it on.
+// executor the simulator placed it on. On cancellation the partitions the
+// pool never ran are nil; callers observe the cause through Context.Err.
 func runStage[T any](ctx *Context, name string, parts int, pref func(int) []int, fn func(p int, tc *TaskContext) []T) ([][]T, []int) {
 	stageStart := ctx.clock
+	wallStart := time.Now()
 	out := make([][]T, parts)
 	tcs := make([]TaskContext, parts)
+	workers := ctx.Exec.workers()
+	if workers > parts {
+		workers = parts // what the pool actually uses, for the sample
+	}
 	if parts > 0 {
 		// Phase 1: real execution. Results and work metrics are
-		// independent of placement, so this can use all host cores.
-		workers := runtime.GOMAXPROCS(0)
-		if workers > parts {
-			workers = parts
-		}
-		var wg sync.WaitGroup
-		next := make(chan int)
-		for w := 0; w < workers; w++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				for p := range next {
-					tcs[p].Part = p
-					out[p] = fn(p, &tcs[p])
-				}
-			}()
-		}
-		for p := 0; p < parts; p++ {
-			next <- p
-		}
-		close(next)
-		wg.Wait()
+		// independent of placement, so any worker may run any task.
+		_ = RunParallel(ctx.goContext(), ctx.Exec, parts, func(p int) {
+			tcs[p].Part = p
+			out[p] = fn(p, &tcs[p])
+		})
 	}
+	wall := time.Since(wallStart).Seconds()
 
 	// Phase 2: simulated placement. One slot per executor core; tasks are
 	// offered in partition order to the earliest-free slot, preferring
-	// data-local executors within the locality wait.
+	// data-local executors within the locality wait. Placement always runs
+	// (cache accounting needs it); only the clock advance is optional.
 	slots, _ := ctx.slotPool()
 	execAt := make([]int, parts)
 	for p := 0; p < parts; p++ {
@@ -71,18 +63,21 @@ func runStage[T any](ctx *Context, name string, parts int, pref func(int) []int,
 		slots.Commit(handle, d)
 		execAt[p] = execIdx
 	}
-	end := slots.MaxEnd()
-	if end < ctx.clock {
-		end = ctx.clock
+	if ctx.Exec.SimClock {
+		end := slots.MaxEnd()
+		if end < ctx.clock {
+			end = ctx.clock
+		}
+		ctx.clock = end + ctx.Cost.StageOverheadSec
 	}
-	ctx.clock = end + ctx.Cost.StageOverheadSec
 
 	// Fold task metrics into the context.
 	ctx.mu.Lock()
 	ctx.metrics.Stages++
 	ctx.metrics.Tasks += parts
+	ctx.metrics.WallSeconds += wall
 	ctx.metrics.StageSamples = append(ctx.metrics.StageSamples,
-		StageSample{Name: name, Tasks: parts, Seconds: ctx.clock - stageStart})
+		StageSample{Name: name, Tasks: parts, Seconds: ctx.clock - stageStart, WallSeconds: wall, Workers: workers})
 	for p := range tcs {
 		ctx.metrics.RecordsRead += tcs[p].recordsIn
 		ctx.metrics.RecordsWritten += tcs[p].recordsOut
