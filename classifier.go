@@ -1,0 +1,235 @@
+package drapid
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"drapid/internal/ml"
+	"drapid/internal/ml/learners"
+)
+
+// ModelFormat identifies the persisted model envelope this package writes
+// and reads (DESIGN.md §4.4).
+const ModelFormat = "drapid-model/v1"
+
+// ClassifierOption tunes learner construction.
+type ClassifierOption func(*learners.Options)
+
+// WithSeed sets the random seed driving stochastic learners (default 1).
+func WithSeed(seed int64) ClassifierOption {
+	return func(o *learners.Options) { o.Seed = seed }
+}
+
+// WithForestTrees sets the RandomForest ensemble size.
+func WithForestTrees(n int) ClassifierOption {
+	return func(o *learners.Options) { o.ForestTrees = n }
+}
+
+// WithMLPEpochs sets the MPN training-epoch count.
+func WithMLPEpochs(n int) ClassifierOption {
+	return func(o *learners.Options) { o.MLPEpochs = n }
+}
+
+// Learners lists the supported learner names (Table 5 of the paper).
+// NewClassifier also accepts any case and the documented aliases
+// (learners.Aliases), e.g. "RandomForest" or "ripper".
+func Learners() []string { return learners.Names() }
+
+// Classifier is the public trained-model façade over the six Table 5
+// learners: construct by name, Train on labeled vectors, Predict class
+// names, and Save/Load so a trained model outlives the process. Predict
+// is safe for concurrent use once the model is trained or loaded; Train
+// and Load are not safe concurrently with Predict.
+type Classifier struct {
+	learner  string
+	impl     ml.Classifier
+	opts     learners.Options
+	features []string
+	classes  []string
+	trained  bool
+}
+
+// NewClassifier constructs an untrained classifier. The learner name is
+// case-insensitive and alias-aware; unknown names return an error listing
+// the valid ones.
+func NewClassifier(learner string, opts ...ClassifierOption) (*Classifier, error) {
+	canonical, err := learners.Resolve(learner)
+	if err != nil {
+		return nil, err
+	}
+	o := learners.Options{Seed: 1, ForestParallel: true}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	impl, err := learners.New(canonical, o)
+	if err != nil {
+		return nil, err
+	}
+	return &Classifier{learner: canonical, impl: impl, opts: o}, nil
+}
+
+// TrainingData is a labeled dataset for Train: row i has feature vector
+// X[i] (in Features order) and class index Y[i] into Classes.
+type TrainingData struct {
+	Features []string
+	Classes  []string
+	X        [][]float64
+	Y        []int
+}
+
+// Train fits the model, replacing any previous state.
+func (c *Classifier) Train(data TrainingData) error {
+	if len(data.X) != len(data.Y) {
+		return fmt.Errorf("drapid: %d rows but %d labels", len(data.X), len(data.Y))
+	}
+	if len(data.X) == 0 {
+		return fmt.Errorf("drapid: empty training set")
+	}
+	ds := ml.NewDataset(append([]string(nil), data.Features...), append([]string(nil), data.Classes...))
+	for i := range data.X {
+		ds.Add(data.X[i], data.Y[i])
+	}
+	if err := ds.Validate(); err != nil {
+		return fmt.Errorf("drapid: invalid training data: %w", err)
+	}
+	if err := c.impl.Fit(ds); err != nil {
+		return err
+	}
+	c.features = ds.Names
+	c.classes = ds.Classes
+	c.trained = true
+	return nil
+}
+
+// Learner returns the canonical Table 5 learner name.
+func (c *Classifier) Learner() string { return c.learner }
+
+// Trained reports whether the model holds a fitted state.
+func (c *Classifier) Trained() bool { return c.trained }
+
+// Features returns the feature column names the model was trained on.
+func (c *Classifier) Features() []string { return append([]string(nil), c.features...) }
+
+// Classes returns the class names the model predicts over.
+func (c *Classifier) Classes() []string { return append([]string(nil), c.classes...) }
+
+// PredictIndex classifies one feature vector, returning the class index.
+// A structurally-invalid model (possible via LoadClassifier on a
+// hand-crafted document) surfaces as an error, never a panic — the HTTP
+// service feeds this remotely-supplied input.
+func (c *Classifier) PredictIndex(x []float64) (idx int, err error) {
+	if !c.trained {
+		return 0, fmt.Errorf("drapid: classifier %s is not trained", c.learner)
+	}
+	if len(x) != len(c.features) {
+		return 0, fmt.Errorf("drapid: instance has %d features, model wants %d", len(x), len(c.features))
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("drapid: %s model is malformed: %v", c.learner, r)
+		}
+	}()
+	idx = c.impl.Predict(x)
+	if idx < 0 || idx >= len(c.classes) {
+		return 0, fmt.Errorf("drapid: learner predicted out-of-range class %d", idx)
+	}
+	return idx, nil
+}
+
+// Predict classifies one feature vector, returning the class name.
+func (c *Classifier) Predict(x []float64) (string, error) {
+	idx, err := c.PredictIndex(x)
+	if err != nil {
+		return "", err
+	}
+	return c.classes[idx], nil
+}
+
+// modelEnvelope is the on-disk model document: a format tag, the schema,
+// and the learner-specific fitted state.
+type modelEnvelope struct {
+	Format   string           `json:"format"`
+	Learner  string           `json:"learner"`
+	Features []string         `json:"features"`
+	Classes  []string         `json:"classes"`
+	Options  learners.Options `json:"options"`
+	Model    json.RawMessage  `json:"model"`
+}
+
+// Save writes the trained model as a self-describing JSON document that
+// LoadClassifier restores to a model predicting identically.
+func (c *Classifier) Save(w io.Writer) error {
+	if !c.trained {
+		return fmt.Errorf("drapid: cannot save untrained classifier %s", c.learner)
+	}
+	m, ok := c.impl.(json.Marshaler)
+	if !ok {
+		return fmt.Errorf("drapid: learner %s does not support persistence", c.learner)
+	}
+	state, err := m.MarshalJSON()
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(modelEnvelope{
+		Format:   ModelFormat,
+		Learner:  c.learner,
+		Features: c.features,
+		Classes:  c.classes,
+		Options:  c.opts,
+		Model:    state,
+	})
+}
+
+// SaveFile writes the model to path (0644, truncating).
+func (c *Classifier) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := c.Save(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadClassifier reads a model document written by Save and returns a
+// trained classifier.
+func LoadClassifier(r io.Reader) (*Classifier, error) {
+	var env modelEnvelope
+	if err := json.NewDecoder(r).Decode(&env); err != nil {
+		return nil, fmt.Errorf("drapid: reading model: %w", err)
+	}
+	if env.Format != ModelFormat {
+		return nil, fmt.Errorf("drapid: unsupported model format %q (want %q)", env.Format, ModelFormat)
+	}
+	c, err := NewClassifier(env.Learner)
+	if err != nil {
+		return nil, err
+	}
+	c.opts = env.Options
+	u, ok := c.impl.(json.Unmarshaler)
+	if !ok {
+		return nil, fmt.Errorf("drapid: learner %s does not support persistence", env.Learner)
+	}
+	if err := u.UnmarshalJSON(env.Model); err != nil {
+		return nil, err
+	}
+	c.features = env.Features
+	c.classes = env.Classes
+	c.trained = true
+	return c, nil
+}
+
+// LoadClassifierFile reads a model document from path.
+func LoadClassifierFile(path string) (*Classifier, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return LoadClassifier(f)
+}

@@ -1,0 +1,187 @@
+package drapid_test
+
+// Tests of the Classifier façade: every Table 5 learner must survive a
+// Save/Load round trip predicting identically, and learner-name lookup
+// must accept the documented aliases case-insensitively.
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"drapid"
+)
+
+// toyData builds a three-class, six-feature dataset of separated gaussian
+// blobs — easy enough that every learner fits something non-trivial.
+func toyData(seed int64, n int) drapid.TrainingData {
+	rng := rand.New(rand.NewSource(seed))
+	data := drapid.TrainingData{
+		Features: []string{"f0", "f1", "f2", "f3", "f4", "f5"},
+		Classes:  []string{"noise", "rfi", "pulse"},
+	}
+	centers := [3][6]float64{
+		{0, 0, 0, 0, 0, 0},
+		{4, 4, 0, -4, 2, 1},
+		{-4, 2, 5, 3, -3, -2},
+	}
+	for i := 0; i < n; i++ {
+		y := i % 3
+		x := make([]float64, 6)
+		for j := range x {
+			x[j] = centers[y][j] + rng.NormFloat64()
+		}
+		data.X = append(data.X, x)
+		data.Y = append(data.Y, y)
+	}
+	return data
+}
+
+// TestSaveLoadRoundTripAllLearners trains, saves, reloads and re-predicts
+// with every learner: the reloaded model must agree with the original on
+// every probe point.
+func TestSaveLoadRoundTripAllLearners(t *testing.T) {
+	train := toyData(3, 150)
+	probes := toyData(99, 90)
+	for _, name := range drapid.Learners() {
+		t.Run(name, func(t *testing.T) {
+			c, err := drapid.NewClassifier(name,
+				drapid.WithSeed(5), drapid.WithForestTrees(12), drapid.WithMLPEpochs(15))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := c.Train(train); err != nil {
+				t.Fatal(err)
+			}
+
+			buf := new(bytes.Buffer)
+			if err := c.Save(buf); err != nil {
+				t.Fatal(err)
+			}
+			loaded, err := drapid.LoadClassifier(bytes.NewReader(buf.Bytes()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if loaded.Learner() != c.Learner() {
+				t.Fatalf("learner %q != %q", loaded.Learner(), c.Learner())
+			}
+			if got, want := loaded.Classes(), c.Classes(); len(got) != len(want) {
+				t.Fatalf("classes %v != %v", got, want)
+			}
+			if !loaded.Trained() {
+				t.Fatal("loaded model not marked trained")
+			}
+
+			agree := 0
+			for _, x := range probes.X {
+				want, err := c.Predict(x)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := loaded.Predict(x)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got != want {
+					t.Fatalf("prediction diverged after reload: %q != %q on %v", got, want, x)
+				}
+				agree++
+			}
+			if agree != len(probes.X) {
+				t.Fatalf("only %d/%d probes compared", agree, len(probes.X))
+			}
+		})
+	}
+}
+
+// TestClassifierAliases covers the satellite: case-insensitive names and
+// the documented alias table, plus a helpful unknown-name error.
+func TestClassifierAliases(t *testing.T) {
+	cases := map[string]string{
+		"rf":           "RF",
+		"RandomForest": "RF",
+		"forest":       "RF",
+		"RIPPER":       "JRip",
+		"jrip":         "JRip",
+		"c4.5":         "J48",
+		"mlp":          "MPN",
+		"ann":          "MPN",
+		"svm":          "SMO",
+		"Part":         "PART",
+	}
+	for in, want := range cases {
+		c, err := drapid.NewClassifier(in)
+		if err != nil {
+			t.Errorf("NewClassifier(%q): %v", in, err)
+			continue
+		}
+		if c.Learner() != want {
+			t.Errorf("NewClassifier(%q) resolved to %q, want %q", in, c.Learner(), want)
+		}
+	}
+
+	_, err := drapid.NewClassifier("decision-transformer")
+	if err == nil {
+		t.Fatal("unknown learner accepted")
+	}
+	msg := err.Error()
+	for _, want := range []string{"MPN", "RF", "randomforest"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("error %q does not list %q", msg, want)
+		}
+	}
+}
+
+// TestClassifierGuards covers untrained/invalid use.
+func TestClassifierGuards(t *testing.T) {
+	c, err := drapid.NewClassifier("J48")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Save(new(bytes.Buffer)); err == nil {
+		t.Error("saved an untrained model")
+	}
+	if _, err := c.Predict([]float64{1}); err == nil {
+		t.Error("predicted with an untrained model")
+	}
+	if err := c.Train(drapid.TrainingData{}); err == nil {
+		t.Error("trained on empty data")
+	}
+	if err := c.Train(toyData(1, 30)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Predict([]float64{1, 2}); err == nil {
+		t.Error("predicted with wrong feature width")
+	}
+	if _, err := drapid.LoadClassifier(strings.NewReader(`{"format":"other"}`)); err == nil {
+		t.Error("loaded an unknown format")
+	}
+}
+
+// TestMalformedModelDocuments: hand-crafted model documents must fail at
+// load time or surface as Predict errors — never panic (the HTTP service
+// accepts these remotely).
+func TestMalformedModelDocuments(t *testing.T) {
+	// Internal node with no children: rejected at load.
+	truncated := `{"format":"drapid-model/v1","learner":"J48",` +
+		`"features":["a","b"],"classes":["x","y"],` +
+		`"model":{"min_leaf":2,"cf":0.25,"root":{"f":0,"t":1}}}`
+	if _, err := drapid.LoadClassifier(strings.NewReader(truncated)); err == nil {
+		t.Error("loaded a tree with a childless internal node")
+	}
+
+	// Structurally sound tree whose feature index exceeds the schema:
+	// loads, but Predict must return an error instead of panicking.
+	outOfRange := `{"format":"drapid-model/v1","learner":"J48",` +
+		`"features":["a","b"],"classes":["x","y"],` +
+		`"model":{"min_leaf":2,"cf":0.25,"root":{"f":9,"t":1,` +
+		`"l":{"leaf":true,"c":0},"r":{"leaf":true,"c":1}}}}`
+	c, err := drapid.LoadClassifier(strings.NewReader(outOfRange))
+	if err != nil {
+		t.Fatalf("structurally valid model rejected: %v", err)
+	}
+	if _, err := c.Predict([]float64{1, 2}); err == nil {
+		t.Error("out-of-range feature index predicted without error")
+	}
+}

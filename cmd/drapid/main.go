@@ -1,7 +1,9 @@
 // Command drapid runs the distributed single-pulse identification job on a
-// simulated YARN cluster: it uploads the SPE data and cluster files
-// (produced by cmd/spgen) to the simulated HDFS, allocates executors, runs
-// the D-RAPID driver (Figure 3's stages), and writes the ML records out.
+// simulated YARN cluster through the public engine API: it submits the SPE
+// data and cluster files (produced by cmd/spgen) as an IdentifyJob and
+// consumes the candidate stream as stage-3 key groups complete. The output
+// CSV is written in canonical sorted order so it stays byte-identical for
+// any -workers setting (stream arrival order depends on scheduling).
 //
 // Usage:
 //
@@ -16,17 +18,14 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"sort"
 
-	"drapid/internal/dmgrid"
-	"drapid/internal/features"
-	"drapid/internal/hdfs"
-	"drapid/internal/pipeline"
-	"drapid/internal/rdd"
-	"drapid/internal/yarn"
+	"drapid"
 )
 
 func main() {
@@ -58,62 +57,66 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// Stand up the simulated platform: 15 data nodes, paper executor shape.
-	fs := hdfs.New(hdfs.Config{BlockSize: 8 << 20, Replication: 3}, 15)
-	rm := yarn.NewResourceManager(yarn.PaperCluster())
-	if max := rm.MaxContainers(yarn.PaperExecutor()); *executors > max {
-		log.Fatalf("cluster supports at most %d executors of the paper shape", max)
+	w := *workers
+	if !*parallel {
+		w = 1
 	}
-	grants, err := rm.Allocate(yarn.PaperExecutor(), *executors)
+	engine, err := drapid.New(
+		drapid.WithWorkers(w),
+		drapid.WithExecutors(*executors),
+		drapid.WithPartitionsPerCore(*partsCore),
+		drapid.WithSimClock(true),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
-	if _, err := fs.WriteLines("spe.csv", dataLines); err != nil {
-		log.Fatal(err)
-	}
-	if _, err := fs.WriteLines("clusters.csv", clusterLines); err != nil {
-		log.Fatal(err)
-	}
+	defer engine.Close()
 
-	ctx := rdd.NewContext(fs, rdd.FromContainers(grants), rdd.DefaultCostModel())
-	ctx.Exec.Workers = *workers
-	if !*parallel {
-		ctx.Exec.Workers = 1
-	}
-	res, err := pipeline.RunDRAPID(ctx, pipeline.JobConfig{
-		DataFile:          "spe.csv",
-		ClusterFile:       "clusters.csv",
-		OutDir:            "ml",
-		PartitionsPerCore: *partsCore,
-		Feat:              features.Config{Grid: dmgrid.Default(), BandMHz: *band, FreqGHz: *freq},
+	job, err := engine.Submit(context.Background(), drapid.IdentifyJob{
+		Data:     dataLines,
+		Clusters: clusterLines,
+		FreqGHz:  *freq,
+		BandMHz:  *band,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	recs, err := pipeline.CollectML(ctx, "ml")
-	if err != nil {
-		log.Fatal(err)
+	// Consume the candidate stream as key groups complete, then write the
+	// file in canonical sorted order: stream order depends on scheduling,
+	// and the CLI's output must stay byte-identical for any -workers.
+	var lines []string
+	for c, err := range job.Results() {
+		if err != nil {
+			log.Fatal(err)
+		}
+		lines = append(lines, c.CSV())
 	}
+	sort.Strings(lines)
+
 	f, err := os.Create(*outPath)
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer f.Close()
-	w := bufio.NewWriter(f)
-	fmt.Fprintln(w, pipeline.MLHeader)
-	for _, r := range recs {
-		fmt.Fprintln(w, r.Format())
+	out := bufio.NewWriter(f)
+	fmt.Fprintln(out, drapid.CandidateHeader)
+	for _, line := range lines {
+		fmt.Fprintln(out, line)
 	}
-	if err := w.Flush(); err != nil {
+	if err := out.Flush(); err != nil {
 		log.Fatal(err)
 	}
+	streamed := len(lines)
 
-	m := ctx.Metrics()
+	res, err := job.Wait(context.Background())
+	if err != nil {
+		log.Fatal(err)
+	}
 	log.Printf("executors=%d single pulses=%d simulated elapsed=%.3fs wall=%.3fs", *executors, res.Records, res.SimSeconds, res.WallSeconds)
-	log.Printf("stages=%d tasks=%d shuffle=%.1fMB spill=%.1fMB recomputes=%d",
-		m.Stages, m.Tasks, float64(m.ShuffleBytes)/1e6, float64(m.SpillBytes)/1e6, m.Recomputes)
-	log.Printf("wrote %d ML records to %s", len(recs), *outPath)
+	log.Printf("stages=%d tasks=%d shuffle=%.1fMB spill=%.1fMB dropped=%d",
+		res.Stages, res.Tasks, float64(res.ShuffleBytes)/1e6, float64(res.SpillBytes)/1e6, res.RecordsDropped)
+	log.Printf("streamed %d ML records to %s", streamed, *outPath)
 }
 
 func readLines(path string) ([]string, error) {

@@ -1,0 +1,87 @@
+// Command drapidd serves the D-RAPID engine over HTTP: submit
+// identification jobs, watch their progress, stream their candidates as
+// NDJSON, and classify candidates against a persisted model — the
+// trained-model serving workflow the public drapid API exists for.
+//
+// Usage:
+//
+//	drapidd -addr :8422 -workers 8 -executors 10 -model rf.model.json
+//
+// API (see DESIGN.md §4.5):
+//
+//	POST /v1/jobs                 {"data": [...], "clusters": [...]} → {"id": ...}
+//	GET  /v1/jobs/{id}            progress
+//	GET  /v1/jobs/{id}/candidates NDJSON stream of identified pulses
+//	POST /v1/jobs/{id}/cancel     cancel
+//	POST /v1/classify             {"instances": [[...22 features...]]}
+//	GET|POST /v1/models           inspect / load the serving model
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"time"
+
+	"drapid"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("drapidd: ")
+	var (
+		addr      = flag.String("addr", ":8422", "listen address")
+		workers   = flag.Int("workers", 0, "host worker goroutines shared by all jobs (0 = all cores)")
+		executors = flag.Int("executors", 10, "simulated Spark executors per job (paper testbed max: 22)")
+		simClock  = flag.Bool("simclock", false, "maintain the simulated cluster clock per job")
+		partsCore = flag.Int("partitions", 32, "default hash partitions per core")
+		modelPath = flag.String("model", "", "drapid-model/v1 JSON to serve /v1/classify from (optional)")
+	)
+	flag.Parse()
+
+	engine, err := drapid.New(
+		drapid.WithWorkers(*workers),
+		drapid.WithExecutors(*executors),
+		drapid.WithSimClock(*simClock),
+		drapid.WithPartitionsPerCore(*partsCore),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer engine.Close()
+
+	var model *drapid.Classifier
+	if *modelPath != "" {
+		model, err = drapid.LoadClassifierFile(*modelPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("serving %s model (%d features, classes %v)",
+			model.Learner(), len(model.Features()), model.Classes())
+	}
+
+	srv := &http.Server{
+		Addr:    *addr,
+		Handler: newServer(engine, model).handler(),
+		// No WriteTimeout: the candidate stream is long-lived by design.
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       5 * time.Minute,
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Shutdown(shutdownCtx)
+	}()
+
+	log.Printf("listening on %s (workers=%d executors=%d)", *addr, engine.Workers(), *executors)
+	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatal(err)
+	}
+}

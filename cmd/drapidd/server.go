@@ -1,0 +1,274 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+
+	"drapid"
+)
+
+// server routes the v1 HTTP API onto one engine and at most one loaded
+// classification model. Handlers are thin: all semantics live in the
+// public drapid package.
+type server struct {
+	engine *drapid.Engine
+
+	mu    sync.RWMutex
+	model *drapid.Classifier
+}
+
+func newServer(engine *drapid.Engine, model *drapid.Classifier) *server {
+	return &server{engine: engine, model: model}
+}
+
+// handler builds the route table:
+//
+//	POST /v1/jobs                 submit an identification job
+//	GET  /v1/jobs                 list jobs with progress
+//	GET  /v1/jobs/{id}            one job's progress
+//	GET  /v1/jobs/{id}/candidates NDJSON candidate stream (live or replay)
+//	POST /v1/jobs/{id}/cancel     cancel a running job
+//	DELETE /v1/jobs/{id}          evict a terminal job (retention)
+//	POST /v1/classify             classify instances against the model
+//	GET  /v1/models               loaded-model metadata
+//	POST /v1/models               load a model document (drapid-model/v1)
+//	GET  /healthz                 liveness
+func (s *server) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs", s.handleListJobs)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleProgress)
+	mux.HandleFunc("GET /v1/jobs/{id}/candidates", s.handleCandidates)
+	mux.HandleFunc("POST /v1/jobs/{id}/cancel", s.handleCancel)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleRemove)
+	mux.HandleFunc("POST /v1/classify", s.handleClassify)
+	mux.HandleFunc("GET /v1/models", s.handleModelInfo)
+	mux.HandleFunc("POST /v1/models", s.handleLoadModel)
+	return mux
+}
+
+// writeJSON renders one JSON document response.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+// errorJSON renders {"error": ...} with the given status.
+func errorJSON(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func (s *server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"ok": true, "workers": s.engine.Workers()})
+}
+
+// submitRequest is the POST /v1/jobs body. Inputs are raw CSV lines
+// (headers optional), mirroring drapid.IdentifyJob.
+type submitRequest struct {
+	Data              []string `json:"data"`
+	Clusters          []string `json:"clusters"`
+	DataFile          string   `json:"data_file"`
+	ClusterFile       string   `json:"cluster_file"`
+	FreqGHz           float64  `json:"freq_ghz"`
+	BandMHz           float64  `json:"band_mhz"`
+	PartitionsPerCore int      `json:"partitions_per_core"`
+}
+
+// Request-body ceilings: survey inputs are tens-of-MB CSV datasets, model
+// documents and classify batches are far smaller. Oversized bodies fail
+// decoding with a 400 instead of exhausting server memory.
+const (
+	maxJobBody      = 512 << 20
+	maxModelBody    = 64 << 20
+	maxClassifyBody = 16 << 20
+)
+
+func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req submitRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxJobBody)).Decode(&req); err != nil {
+		errorJSON(w, http.StatusBadRequest, "decoding request: %v", err)
+		return
+	}
+	// The job must outlive this request, so it is NOT bound to r.Context();
+	// clients stop it via the cancel endpoint.
+	job, err := s.engine.Submit(context.Background(), drapid.IdentifyJob{
+		Data:              req.Data,
+		Clusters:          req.Clusters,
+		DataFile:          req.DataFile,
+		ClusterFile:       req.ClusterFile,
+		FreqGHz:           req.FreqGHz,
+		BandMHz:           req.BandMHz,
+		PartitionsPerCore: req.PartitionsPerCore,
+	})
+	if err != nil {
+		errorJSON(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, map[string]any{
+		"id":         job.ID(),
+		"state":      job.State().String(),
+		"progress":   "/v1/jobs/" + job.ID(),
+		"candidates": "/v1/jobs/" + job.ID() + "/candidates",
+	})
+}
+
+func (s *server) handleListJobs(w http.ResponseWriter, r *http.Request) {
+	jobs := s.engine.Jobs()
+	out := make([]map[string]any, 0, len(jobs))
+	for _, j := range jobs {
+		out = append(out, map[string]any{"id": j.ID(), "progress": j.Progress()})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": out})
+}
+
+// job resolves the {id} path value, writing a 404 on miss.
+func (s *server) job(w http.ResponseWriter, r *http.Request) (*drapid.Job, bool) {
+	id := r.PathValue("id")
+	j, ok := s.engine.Job(id)
+	if !ok {
+		errorJSON(w, http.StatusNotFound, "no such job %q", id)
+	}
+	return j, ok
+}
+
+func (s *server) handleProgress(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.job(w, r)
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"id": j.ID(), "progress": j.Progress()})
+}
+
+func (s *server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.job(w, r)
+	if !ok {
+		return
+	}
+	j.Cancel()
+	writeJSON(w, http.StatusOK, map[string]any{"id": j.ID(), "state": j.State().String()})
+}
+
+// handleRemove evicts a terminal job so a long-lived server's memory does
+// not grow with every job ever submitted.
+func (s *server) handleRemove(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if err := s.engine.Remove(id); err != nil {
+		status := http.StatusNotFound
+		if _, ok := s.engine.Job(id); ok {
+			status = http.StatusConflict // exists but not terminal
+		}
+		errorJSON(w, status, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"id": id, "removed": true})
+}
+
+// handleCandidates streams the job's candidates as NDJSON, one JSON
+// candidate per line, flushed as they are identified. The stream replays
+// from the start on every request (jobs keep their candidate log), so it
+// works mid-run and after completion. A failed or cancelled job ends the
+// stream with a final {"error": ...} line.
+func (s *server) handleCandidates(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.job(w, r)
+	if !ok {
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	for c, err := range j.ResultsContext(r.Context()) {
+		if r.Context().Err() != nil {
+			return // client went away
+		}
+		if err != nil {
+			enc.Encode(map[string]string{"error": err.Error()})
+			break
+		}
+		if encErr := enc.Encode(c); encErr != nil {
+			return
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	if flusher != nil {
+		flusher.Flush()
+	}
+}
+
+// classifyRequest is the POST /v1/classify body: feature vectors in the
+// model's feature order.
+type classifyRequest struct {
+	Instances [][]float64 `json:"instances"`
+}
+
+func (s *server) handleClassify(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	model := s.model
+	s.mu.RUnlock()
+	if model == nil {
+		errorJSON(w, http.StatusServiceUnavailable, "no model loaded (POST /v1/models or start with -model)")
+		return
+	}
+	var req classifyRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxClassifyBody)).Decode(&req); err != nil {
+		errorJSON(w, http.StatusBadRequest, "decoding request: %v", err)
+		return
+	}
+	if len(req.Instances) == 0 {
+		errorJSON(w, http.StatusBadRequest, "no instances")
+		return
+	}
+	preds := make([]string, len(req.Instances))
+	for i, x := range req.Instances {
+		label, err := model.Predict(x)
+		if err != nil {
+			errorJSON(w, http.StatusBadRequest, "instance %d: %v", i, err)
+			return
+		}
+		preds[i] = label
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"learner":     model.Learner(),
+		"classes":     model.Classes(),
+		"predictions": preds,
+	})
+}
+
+func (s *server) handleModelInfo(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	model := s.model
+	s.mu.RUnlock()
+	if model == nil {
+		errorJSON(w, http.StatusNotFound, "no model loaded")
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"learner":  model.Learner(),
+		"features": model.Features(),
+		"classes":  model.Classes(),
+	})
+}
+
+// handleLoadModel installs a model from a drapid-model/v1 document.
+func (s *server) handleLoadModel(w http.ResponseWriter, r *http.Request) {
+	model, err := drapid.LoadClassifier(http.MaxBytesReader(w, r.Body, maxModelBody))
+	if err != nil {
+		errorJSON(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	s.mu.Lock()
+	s.model = model
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"learner":  model.Learner(),
+		"features": len(model.Features()),
+		"classes":  model.Classes(),
+	})
+}

@@ -1,0 +1,268 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"drapid"
+	"drapid/internal/dbscan"
+	"drapid/internal/pipeline"
+	"drapid/internal/spe"
+	"drapid/internal/synth"
+)
+
+// makeJobLines generates a small synthetic survey and runs stages 1–2,
+// producing the two CSV inputs a job needs.
+func makeJobLines(t *testing.T, seed int64, numObs int) ([]string, []string) {
+	t.Helper()
+	sv := synth.PALFA()
+	sv.TobsSec = 12
+	gen := synth.NewGenerator(sv, seed)
+	rng := rand.New(rand.NewSource(seed + 1))
+	var obs []spe.Observation
+	for i := 0; i < numObs; i++ {
+		o, _ := gen.Observe(gen.NextKey(), synth.Sources{
+			Pulsars:       []synth.Pulsar{synth.RandomPulsar(rng, synth.AnyBand, synth.AnyBrightness, false)},
+			NumImpulseRFI: 1,
+			NumNoise:      200,
+		})
+		obs = append(obs, o)
+	}
+	prep := pipeline.Prepare(obs, sv.Grid, dbscan.DefaultParams())
+	return prep.DataLines, prep.ClusterLines
+}
+
+// postJSON posts a JSON body and decodes the JSON response into out.
+func postJSON(t *testing.T, url string, body, out any) *http.Response {
+	t.Helper()
+	buf := new(bytes.Buffer)
+	if err := json.NewEncoder(buf).Encode(body); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decoding %s response: %v", url, err)
+		}
+	}
+	return resp
+}
+
+// TestSmokeHTTP boots the drapidd server, submits a tiny synthetic job
+// over HTTP, streams its candidates as NDJSON, checks the reported
+// progress, then loads a model and classifies a streamed candidate — the
+// CI serving smoke test.
+func TestSmokeHTTP(t *testing.T) {
+	engine, err := drapid.New(drapid.WithWorkers(4), drapid.WithExecutors(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer engine.Close()
+	ts := httptest.NewServer(newServer(engine, nil).handler())
+	defer ts.Close()
+
+	// Liveness.
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %v (%v)", resp, err)
+	}
+	resp.Body.Close()
+
+	// Submit.
+	data, clusters := makeJobLines(t, 7, 3)
+	var sub struct {
+		ID         string `json:"id"`
+		Candidates string `json:"candidates"`
+	}
+	if resp := postJSON(t, ts.URL+"/v1/jobs", map[string]any{"data": data, "clusters": clusters}, &sub); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: status %d", resp.StatusCode)
+	}
+	if sub.ID == "" {
+		t.Fatal("submit returned no job id")
+	}
+
+	// Stream candidates until the job completes.
+	stream, err := http.Get(ts.URL + sub.Candidates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stream.Body.Close()
+	if ct := stream.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("stream content type %q", ct)
+	}
+	var cands []drapid.Candidate
+	sc := bufio.NewScanner(stream.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if bytes.Contains(line, []byte(`"error"`)) {
+			t.Fatalf("stream ended with error line: %s", line)
+		}
+		var c drapid.Candidate
+		if err := json.Unmarshal(line, &c); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", line, err)
+		}
+		cands = append(cands, c)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(cands) == 0 {
+		t.Fatal("no candidates streamed")
+	}
+	if got := len(cands[0].Features); got != len(drapid.FeatureNames()) {
+		t.Fatalf("candidate has %d features, want %d", got, len(drapid.FeatureNames()))
+	}
+
+	// Progress reflects completion and the streamed count.
+	var prog struct {
+		Progress drapid.Progress `json:"progress"`
+	}
+	resp, err = http.Get(ts.URL + "/v1/jobs/" + sub.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&prog); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if prog.Progress.State != drapid.JobSucceeded {
+		t.Fatalf("job state %v, want succeeded", prog.Progress.State)
+	}
+	if prog.Progress.Candidates != len(cands) {
+		t.Errorf("progress reports %d candidates, streamed %d", prog.Progress.Candidates, len(cands))
+	}
+
+	// Unknown job is a 404.
+	resp, err = http.Get(ts.URL + "/v1/jobs/nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown job: status %d, want 404", resp.StatusCode)
+	}
+
+	// Classify before a model is loaded: 503.
+	inst := map[string]any{"instances": [][]float64{cands[0].Features}}
+	if resp := postJSON(t, ts.URL+"/v1/classify", inst, nil); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("classify without model: status %d, want 503", resp.StatusCode)
+	}
+
+	// Train a small model over the candidate feature space, load it over
+	// HTTP, and classify the first streamed candidate.
+	model := trainToyModel(t, cands)
+	buf := new(bytes.Buffer)
+	if err := model.Save(buf); err != nil {
+		t.Fatal(err)
+	}
+	resp, err = http.Post(ts.URL+"/v1/models", "application/json", buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("loading model: status %d", resp.StatusCode)
+	}
+
+	var cls struct {
+		Learner     string   `json:"learner"`
+		Predictions []string `json:"predictions"`
+	}
+	if resp := postJSON(t, ts.URL+"/v1/classify", inst, &cls); resp.StatusCode != http.StatusOK {
+		t.Fatalf("classify: status %d", resp.StatusCode)
+	}
+	if cls.Learner != "J48" || len(cls.Predictions) != 1 {
+		t.Fatalf("classify response: %+v", cls)
+	}
+	want, err := model.Predict(cands[0].Features)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cls.Predictions[0] != want {
+		t.Errorf("served prediction %q != local prediction %q", cls.Predictions[0], want)
+	}
+
+	// Cancel endpoint answers for a fresh job (outcome may race with
+	// completion; the endpoint contract is what's under test).
+	var sub2 struct {
+		ID string `json:"id"`
+	}
+	postJSON(t, ts.URL+"/v1/jobs", map[string]any{"data": data[:2], "clusters": clusters[:2]}, &sub2)
+	if resp := postJSON(t, ts.URL+"/v1/jobs/"+sub2.ID+"/cancel", struct{}{}, nil); resp.StatusCode != http.StatusOK {
+		t.Errorf("cancel: status %d", resp.StatusCode)
+	}
+
+	// Evict the finished job (retention): DELETE → 200, then GET → 404.
+	req, err := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+sub.ID, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("delete: status %d", resp.StatusCode)
+	}
+	resp, err = http.Get(ts.URL + "/v1/jobs/" + sub.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("evicted job still served: status %d", resp.StatusCode)
+	}
+}
+
+// trainToyModel fits a J48 over the streamed candidates, labeling by a
+// simple SNR threshold — enough structure for a deterministic prediction.
+func trainToyModel(t *testing.T, cands []drapid.Candidate) *drapid.Classifier {
+	t.Helper()
+	names := drapid.FeatureNames()
+	snr := -1
+	for i, n := range names {
+		if strings.EqualFold(n, "SNRMax") {
+			snr = i
+		}
+	}
+	if snr < 0 {
+		t.Fatal("no SNRMax feature")
+	}
+	data := drapid.TrainingData{Features: names, Classes: []string{"faint", "bright"}}
+	for i, c := range cands {
+		y := 0
+		if c.Features[snr] > 8 {
+			y = 1
+		}
+		data.X = append(data.X, c.Features)
+		data.Y = append(data.Y, y)
+		// Pad with jittered copies so tiny candidate sets still split.
+		jit := append([]float64(nil), c.Features...)
+		jit[snr] += float64(i%3) * 0.01
+		data.X = append(data.X, jit)
+		data.Y = append(data.Y, y)
+	}
+	model, err := drapid.NewClassifier("j48") // alias-case path
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := model.Train(data); err != nil {
+		t.Fatal(err)
+	}
+	if got := model.Learner(); got != "J48" {
+		t.Fatalf("canonical learner %q", got)
+	}
+	return model
+}

@@ -8,6 +8,12 @@
 //	repro -all                 # everything at the default scale
 //	repro -fig4                # identification sweep only
 //	repro -fig5 -fig6 -scale 2 # classification figures at 2x benchmark scale
+//	repro -models models/      # export trained Table 5 models for serving
+//
+// With -models, every Table 5 learner is trained on the GBT350Drift-like
+// benchmark (ALM scheme 8) through the public drapid.Classifier façade and
+// saved as a drapid-model/v1 JSON document — the artifacts cmd/drapidd
+// serves classification from.
 package main
 
 import (
@@ -18,7 +24,9 @@ import (
 	"path/filepath"
 	"strings"
 
+	"drapid"
 	"drapid/internal/experiments"
+	"drapid/internal/ml/alm"
 	"drapid/internal/ml/learners"
 )
 
@@ -39,6 +47,7 @@ func main() {
 		epochs   = flag.Int("epochs", 40, "MPN training epochs")
 		smote    = flag.Bool("smote", false, "add SMOTE-balanced replicas of classification trials")
 		outDir   = flag.String("out", "results", "output directory for markdown reports")
+		models   = flag.String("models", "", "directory to export trained scheme-8 models for cmd/drapidd serving")
 	)
 	flag.Parse()
 	if *all || *headline {
@@ -47,7 +56,7 @@ func main() {
 	if *all {
 		*tables, *tuning = true, true
 	}
-	if !*fig4 && !*fig5 && !*fig6 && !*tables && !*tuning {
+	if !*fig4 && !*fig5 && !*fig6 && !*tables && !*tuning && *models == "" {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -81,7 +90,7 @@ func main() {
 	}
 
 	var gbt, palfa *experiments.Benchmark
-	if *fig5 || *fig6 {
+	if *fig5 || *fig6 || *models != "" {
 		log.Printf("building GBT350Drift-like benchmark (scale %.2f)...", *scale)
 		gbt, err = experiments.BuildBenchmark(experiments.DefaultGBTBench(*scale, *seed))
 		if err != nil {
@@ -128,6 +137,39 @@ func main() {
 		h := experiments.ComputeHeadline(f4, f5, f6)
 		emit(*outDir, "headline.md", experiments.HeadlineMarkdown(h, rq4))
 	}
+
+	if *models != "" {
+		if err := exportModels(*models, gbt, *seed, *trees, *epochs); err != nil {
+			log.Fatal(err)
+		}
+	}
+}
+
+// exportModels trains every Table 5 learner on the GBT scheme-8 dataset
+// through the public classifier façade and saves each as a serving model.
+func exportModels(dir string, gbt *experiments.Benchmark, seed int64, trees, epochs int) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	data := gbt.Dataset(alm.Scheme8)
+	td := drapid.TrainingData{Features: data.Names, Classes: data.Classes, X: data.X, Y: data.Y}
+	for _, name := range drapid.Learners() {
+		model, err := drapid.NewClassifier(name,
+			drapid.WithSeed(seed), drapid.WithForestTrees(trees), drapid.WithMLPEpochs(epochs))
+		if err != nil {
+			return err
+		}
+		log.Printf("training %s for export...", name)
+		if err := model.Train(td); err != nil {
+			return fmt.Errorf("training %s: %w", name, err)
+		}
+		path := filepath.Join(dir, strings.ToLower(name)+".model.json")
+		if err := model.SaveFile(path); err != nil {
+			return err
+		}
+		log.Printf("wrote %s", path)
+	}
+	return nil
 }
 
 // emit writes a report file and echoes it.

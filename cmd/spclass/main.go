@@ -6,6 +6,12 @@
 // Usage:
 //
 //	spclass -survey gbt350 -scheme 8 -learner RF -fs IG
+//
+// Learner names are case-insensitive and accept the documented aliases
+// ("RandomForest", "ripper", ...). With -save, the learner is additionally
+// trained on the full dataset through the public drapid.Classifier façade
+// and persisted as a drapid-model/v1 JSON document that cmd/drapidd can
+// serve (-model) — the trained model outlives the process.
 package main
 
 import (
@@ -14,6 +20,7 @@ import (
 	"log"
 	"os"
 
+	"drapid"
 	"drapid/internal/experiments"
 	"drapid/internal/ml"
 	"drapid/internal/ml/alm"
@@ -29,7 +36,8 @@ func main() {
 	var (
 		survey   = flag.String("survey", "palfa", "survey preset: palfa or gbt350")
 		schemeF  = flag.String("scheme", "2", "ALM scheme: 2, 4*, 4, 7 or 8")
-		learner  = flag.String("learner", "RF", "learner: MPN, SMO, JRip, J48, PART or RF")
+		learner  = flag.String("learner", "RF", "learner: MPN, SMO, JRip, J48, PART or RF (case-insensitive, aliases accepted)")
+		savePath = flag.String("save", "", "also train on the full dataset and save the model JSON here")
 		fsName   = flag.String("fs", "None", "feature selection: None, IG, GR, SU, Cor or 1R")
 		useSMOTE = flag.Bool("smote", false, "apply SMOTE to training folds")
 		folds    = flag.Int("folds", 5, "cross-validation folds")
@@ -39,6 +47,12 @@ func main() {
 		epochs   = flag.Int("epochs", 40, "MPN epochs")
 	)
 	flag.Parse()
+
+	canonical, err := learners.Resolve(*learner)
+	if err != nil {
+		log.Fatal(err)
+	}
+	*learner = canonical
 
 	var scheme alm.Scheme
 	found := false
@@ -111,6 +125,25 @@ func main() {
 	fmt.Printf("collapsed (pulsar-vs-not): recall=%.4f precision=%.4f f1=%.4f\n",
 		s.Conf.BinaryRecall(alm.NonPulsar), s.Conf.BinaryPrecision(alm.NonPulsar), s.Conf.BinaryF1(alm.NonPulsar))
 	fmt.Printf("mean training time: %.3fs (per fold: %v)\n", s.MeanTrainSeconds, formatTimes(s.TrainSeconds))
+
+	if *savePath != "" {
+		model, err := drapid.NewClassifier(*learner,
+			drapid.WithSeed(*seed), drapid.WithForestTrees(*trees), drapid.WithMLPEpochs(*epochs))
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := model.Train(drapid.TrainingData{
+			Features: data.Names, Classes: data.Classes, X: data.X, Y: data.Y,
+		}); err != nil {
+			log.Fatal(err)
+		}
+		if err := model.SaveFile(*savePath); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("saved trained %s model (%d features, %d classes) to %s",
+			model.Learner(), len(model.Features()), len(model.Classes()), *savePath)
+	}
+
 	if s.Conf.BinaryRecall(alm.NonPulsar) == 0 {
 		os.Exit(1)
 	}

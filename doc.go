@@ -1,12 +1,26 @@
 // Package drapid is a from-scratch Go reproduction of "Scalable Solutions
 // for Automated Single Pulse Identification and Classification in Radio
-// Astronomy" (Devine, Goseva-Popstojanova & Pang, ICPP 2018).
+// Astronomy" (Devine, Goseva-Popstojanova & Pang, ICPP 2018) — and the
+// public API over it.
 //
-// The implementation lives under internal/ (see DESIGN.md for the system
-// inventory, and DESIGN.md §2 for the concurrent executor that runs RDD
-// stages on real CPUs while simulating cluster time); runnable entry
-// points are under cmd/ and examples/, and README.md holds the quickstart.
-// The root package exists to carry module documentation and the benchmark
-// suite (bench_test.go) that regenerates every figure and table of the
-// paper's evaluation plus the executor's wall-clock scaling.
+// The package exposes the two halves of the paper as services rather than
+// one-shot batch runs (DESIGN.md §4):
+//
+//   - Identification: New builds an Engine (functional options:
+//     WithWorkers, WithSimClock, WithExecutors, WithFS, ...); Engine.Submit
+//     starts an IdentifyJob and returns a *Job handle with Progress,
+//     Cancel, Wait, and a streaming Results iterator that yields
+//     candidates as stage-3 key groups complete. Any number of jobs share
+//     one engine's worker pool fairly.
+//
+//   - Classification: NewClassifier wraps any of the six Table 5 learners
+//     behind Train / Predict, and Save / LoadClassifier persist a trained
+//     model as JSON so it outlives the process.
+//
+// cmd/drapidd serves both over HTTP (job submission, progress, NDJSON
+// candidate streaming, classification against a loaded model); cmd/drapid,
+// cmd/spclass and cmd/repro are the CLI entry points. The implementation
+// lives under internal/ (see DESIGN.md for the system inventory and the
+// concurrent executor design); bench_test.go regenerates every figure and
+// table of the paper's evaluation.
 package drapid

@@ -1,0 +1,359 @@
+package drapid_test
+
+// Tests of the public engine API against the batch pipeline it fronts:
+// streaming results must match the pre-redesign pipeline.RunDRAPID output
+// record-for-record, concurrent jobs must not interfere, cancellation
+// must terminate the stream with its cause, and malformed key groups must
+// be counted rather than silently dropped.
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+
+	"drapid"
+	"drapid/internal/dbscan"
+	"drapid/internal/dmgrid"
+	"drapid/internal/features"
+	"drapid/internal/hdfs"
+	"drapid/internal/pipeline"
+	"drapid/internal/rdd"
+	"drapid/internal/spe"
+	"drapid/internal/synth"
+	"drapid/internal/yarn"
+)
+
+// makeSurvey generates a small multi-observation PALFA-like dataset and
+// runs stages 1–2, returning the two CSV inputs.
+func makeSurvey(t *testing.T, seed int64, numObs int) ([]string, []string) {
+	t.Helper()
+	sv := synth.PALFA()
+	sv.TobsSec = 12
+	gen := synth.NewGenerator(sv, seed)
+	rng := rand.New(rand.NewSource(seed + 1))
+	var obs []spe.Observation
+	for i := 0; i < numObs; i++ {
+		o, _ := gen.Observe(gen.NextKey(), synth.Sources{
+			Pulsars:       []synth.Pulsar{synth.RandomPulsar(rng, synth.AnyBand, synth.AnyBrightness, false)},
+			NumImpulseRFI: 2,
+			NumFlatRFI:    1,
+			NumNoise:      250,
+		})
+		obs = append(obs, o)
+	}
+	prep := pipeline.Prepare(obs, sv.Grid, dbscan.DefaultParams())
+	return prep.DataLines, prep.ClusterLines
+}
+
+// batchReference runs the pre-redesign batch path over the same inputs and
+// returns the sorted ML record lines.
+func batchReference(t *testing.T, data, clusters []string) []string {
+	t.Helper()
+	fs := hdfs.New(hdfs.Config{BlockSize: 64 << 10, Replication: 3}, 15)
+	rm := yarn.NewResourceManager(yarn.PaperCluster())
+	grants, err := rm.Allocate(yarn.PaperExecutor(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := rdd.NewContext(fs, rdd.FromContainers(grants), rdd.DefaultCostModel())
+	ctx.Exec.SimClock = false
+	if _, err := fs.WriteLines("spe.csv", data); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fs.WriteLines("clusters.csv", clusters); err != nil {
+		t.Fatal(err)
+	}
+	_, err = pipeline.RunDRAPID(ctx, pipeline.JobConfig{
+		DataFile: "spe.csv", ClusterFile: "clusters.csv", OutDir: "ml",
+		Feat: features.Config{Grid: dmgrid.Default(), BandMHz: 300, FreqGHz: 1.4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := pipeline.CollectML(ctx, "ml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]string, len(recs))
+	for i, r := range recs {
+		out[i] = r.Format()
+	}
+	sort.Strings(out)
+	if len(out) == 0 {
+		t.Fatal("batch reference produced no records")
+	}
+	return out
+}
+
+// collectStream drains a job's Results into sorted CSV lines, failing on
+// any stream error.
+func collectStream(t *testing.T, job *drapid.Job) []string {
+	t.Helper()
+	var out []string
+	for c, err := range job.Results() {
+		if err != nil {
+			t.Fatalf("stream error: %v", err)
+		}
+		out = append(out, c.CSV())
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TestStreamingMatchesBatch is the redesign's equivalence oracle: two jobs
+// submitted concurrently to one engine must each stream record-for-record
+// what the pre-redesign batch path produces for the same inputs.
+func TestStreamingMatchesBatch(t *testing.T) {
+	data, clusters := makeSurvey(t, 11, 4)
+	want := batchReference(t, data, clusters)
+
+	engine, err := drapid.New(drapid.WithWorkers(4), drapid.WithExecutors(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer engine.Close()
+
+	const jobs = 2
+	streams := make([][]string, jobs)
+	results := make([]drapid.Result, jobs)
+	var wg sync.WaitGroup
+	for k := 0; k < jobs; k++ {
+		job, err := engine.Submit(context.Background(), drapid.IdentifyJob{Data: data, Clusters: clusters})
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(k int, job *drapid.Job) {
+			defer wg.Done()
+			streams[k] = collectStream(t, job)
+			res, err := job.Wait(context.Background())
+			if err != nil {
+				t.Errorf("job %d: %v", k, err)
+			}
+			results[k] = res
+		}(k, job)
+	}
+	wg.Wait()
+
+	for k := 0; k < jobs; k++ {
+		if len(streams[k]) != len(want) {
+			t.Fatalf("job %d streamed %d records, batch produced %d", k, len(streams[k]), len(want))
+		}
+		for i := range want {
+			if streams[k][i] != want[i] {
+				t.Fatalf("job %d record %d differs:\nstream: %s\n batch: %s", k, i, streams[k][i], want[i])
+			}
+		}
+		if results[k].Records != len(want) {
+			t.Errorf("job %d result reports %d records, want %d", k, results[k].Records, len(want))
+		}
+		if results[k].RecordsDropped != 0 {
+			t.Errorf("job %d dropped %d records on clean input", k, results[k].RecordsDropped)
+		}
+	}
+
+	// The saved HDFS output of each job matches the stream too.
+	for k, job := range engine.Jobs() {
+		res, _ := job.Wait(context.Background())
+		ctx := rdd.NewContext(engine.FS(), nil, rdd.DefaultCostModel())
+		recs, err := pipeline.CollectML(ctx, res.OutDir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		saved := make([]string, len(recs))
+		for i, r := range recs {
+			saved[i] = r.Format()
+		}
+		sort.Strings(saved)
+		for i := range want {
+			if saved[i] != want[i] {
+				t.Fatalf("job %d saved record %d differs from batch", k, i)
+			}
+		}
+	}
+}
+
+// TestCancelMidStream submits a backpressured job (ResultBuffer 1, so the
+// search blocks once a candidate is unread), consumes one candidate, then
+// cancels: the stream must terminate promptly with the cancellation cause
+// and Wait must report a cancelled job.
+func TestCancelMidStream(t *testing.T) {
+	data, clusters := makeSurvey(t, 12, 5)
+	engine, err := drapid.New(drapid.WithWorkers(2), drapid.WithExecutors(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer engine.Close()
+
+	job, err := engine.Submit(context.Background(), drapid.IdentifyJob{
+		Data: data, Clusters: clusters, ResultBuffer: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var streamed int
+	var streamErr error
+	for c, err := range job.Results() {
+		if err != nil {
+			streamErr = err
+			break
+		}
+		if c.Key == "" {
+			t.Fatal("empty candidate")
+		}
+		streamed++
+		job.Cancel() // cancel after the first candidate
+	}
+	if streamed == 0 {
+		t.Fatal("no candidate before cancellation")
+	}
+	if !errors.Is(streamErr, drapid.ErrCancelled) {
+		t.Fatalf("stream ended with %v, want ErrCancelled", streamErr)
+	}
+
+	if _, err := job.Wait(context.Background()); !errors.Is(err, drapid.ErrCancelled) {
+		t.Fatalf("Wait returned %v, want ErrCancelled", err)
+	}
+	if st := job.State(); st != drapid.JobCancelled {
+		t.Fatalf("state %v, want cancelled", st)
+	}
+	if p := job.Progress(); p.State != drapid.JobCancelled || p.Error == "" {
+		t.Errorf("progress after cancel: %+v", p)
+	}
+
+	// A late consumer of the cancelled job still terminates with the cause.
+	var lateErr error
+	for _, err := range job.Results() {
+		lateErr = err
+	}
+	if !errors.Is(lateErr, drapid.ErrCancelled) {
+		t.Errorf("late stream ended with %v, want ErrCancelled", lateErr)
+	}
+}
+
+// TestRecordsDroppedSurfaced corrupts one cluster record so its key group
+// fails to parse: the engine must complete the job and report exactly one
+// dropped key group through Result and Progress (satellite: the silent
+// drop at internal/pipeline/driver.go is now counted).
+func TestRecordsDroppedSurfaced(t *testing.T) {
+	data, clusters := makeSurvey(t, 13, 3)
+	// Corrupt the rank field of the first non-header cluster line; the key
+	// survives SplitKeyed, so the group reaches the search and is dropped
+	// there.
+	corrupted := false
+	for i, line := range clusters {
+		if spe.IsHeader(line) {
+			continue
+		}
+		cut := strings.LastIndex(line, ",")
+		clusters[i] = line[:cut] + ",notanumber"
+		corrupted = true
+		break
+	}
+	if !corrupted {
+		t.Fatal("no cluster line to corrupt")
+	}
+
+	engine, err := drapid.New(drapid.WithWorkers(2), drapid.WithExecutors(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer engine.Close()
+	job, err := engine.Submit(context.Background(), drapid.IdentifyJob{Data: data, Clusters: clusters})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := job.Wait(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RecordsDropped != 1 {
+		t.Fatalf("Result.RecordsDropped = %d, want 1", res.RecordsDropped)
+	}
+	if p := job.Progress(); p.RecordsDropped != 1 {
+		t.Fatalf("Progress.RecordsDropped = %d, want 1", p.RecordsDropped)
+	}
+}
+
+// TestResultsContextDetaches: cancelling the *consumer's* context must
+// terminate its stream promptly with the context cause while the job
+// itself keeps running, and Remove must refuse non-terminal jobs then
+// evict terminal ones.
+func TestResultsContextDetaches(t *testing.T) {
+	data, clusters := makeSurvey(t, 14, 4)
+	engine, err := drapid.New(drapid.WithWorkers(2), drapid.WithExecutors(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer engine.Close()
+	job, err := engine.Submit(context.Background(), drapid.IdentifyJob{
+		Data: data, Clusters: clusters, ResultBuffer: 1, // job parks until consumed
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cctx, cancelConsumer := context.WithCancel(context.Background())
+	defer cancelConsumer()
+	var consumerErr error
+	reads := 0
+	for _, err := range job.ResultsContext(cctx) {
+		if err != nil {
+			consumerErr = err
+			break
+		}
+		reads++
+		cancelConsumer() // walk away mid-stream
+	}
+	if reads == 0 {
+		t.Fatal("consumer read nothing before detaching")
+	}
+	if !errors.Is(consumerErr, context.Canceled) {
+		t.Fatalf("detached stream ended with %v, want context.Canceled", consumerErr)
+	}
+	if job.State().Terminal() {
+		t.Fatal("detaching a consumer terminated the job")
+	}
+
+	if err := engine.Remove(job.ID()); err == nil {
+		t.Fatal("Remove accepted a non-terminal job")
+	}
+	job.Cancel()
+	if _, err := job.Wait(context.Background()); !errors.Is(err, drapid.ErrCancelled) {
+		t.Fatalf("Wait: %v", err)
+	}
+	if err := engine.Remove(job.ID()); err != nil {
+		t.Fatalf("Remove of terminal job: %v", err)
+	}
+	if _, ok := engine.Job(job.ID()); ok {
+		t.Fatal("removed job still listed")
+	}
+	for _, name := range engine.FS().List() {
+		if strings.HasPrefix(name, "jobs/"+job.ID()+"/") {
+			t.Fatalf("removed job left %s in the engine filesystem", name)
+		}
+	}
+}
+
+// TestSubmitValidation covers spec validation and closed-engine behaviour.
+func TestSubmitValidation(t *testing.T) {
+	engine, err := drapid.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := engine.Submit(context.Background(), drapid.IdentifyJob{}); err == nil {
+		t.Error("empty spec accepted")
+	}
+	if _, err := engine.Submit(context.Background(), drapid.IdentifyJob{Data: []string{"x"}}); err == nil {
+		t.Error("spec without clusters accepted")
+	}
+	engine.Close()
+	if _, err := engine.Submit(context.Background(), drapid.IdentifyJob{Data: []string{"x"}, Clusters: []string{"y"}}); err == nil {
+		t.Error("closed engine accepted a job")
+	}
+}

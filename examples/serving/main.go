@@ -1,0 +1,125 @@
+// Serving walkthrough of the public drapid API: build an engine, submit
+// two identification jobs that share its worker pool, stream candidates
+// as stage-3 key groups complete, then train a classifier, persist it,
+// reload it and classify the streamed candidates — the trained-model
+// serving workflow cmd/drapidd exposes over HTTP.
+//
+//	go run ./examples/serving
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"path/filepath"
+
+	"drapid"
+	"drapid/internal/dbscan"
+	"drapid/internal/pipeline"
+	"drapid/internal/spe"
+	"drapid/internal/synth"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// Stages 1–2: synthesize a small survey and cluster it (cmd/spgen does
+	// this from the command line).
+	sv := synth.PALFA()
+	sv.TobsSec = 15
+	gen := synth.NewGenerator(sv, 7)
+	rng := rand.New(rand.NewSource(8))
+	var obs []spe.Observation
+	for i := 0; i < 3; i++ {
+		o, _ := gen.Observe(gen.NextKey(), synth.Sources{
+			Pulsars:       []synth.Pulsar{synth.RandomPulsar(rng, synth.AnyBand, synth.AnyBrightness, false)},
+			NumImpulseRFI: 2,
+			NumNoise:      300,
+		})
+		obs = append(obs, o)
+	}
+	prep := pipeline.Prepare(obs, sv.Grid, dbscan.DefaultParams())
+
+	// One engine, shared by every job.
+	engine, err := drapid.New(drapid.WithWorkers(4), drapid.WithExecutors(4))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer engine.Close()
+
+	spec := drapid.IdentifyJob{Data: prep.DataLines, Clusters: prep.ClusterLines}
+	jobA, err := engine.Submit(context.Background(), spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	jobB, err := engine.Submit(context.Background(), spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Stream job A's candidates as they are identified.
+	var cands []drapid.Candidate
+	for c, err := range jobA.Results() {
+		if err != nil {
+			log.Fatal(err)
+		}
+		cands = append(cands, c)
+	}
+	resA, err := jobA.Wait(context.Background())
+	if err != nil {
+		log.Fatal(err)
+	}
+	resB, err := jobB.Wait(context.Background())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("job %s: %d candidates streamed (%d dropped), wall %.3fs\n",
+		jobA.ID(), len(cands), resA.RecordsDropped, resA.WallSeconds)
+	fmt.Printf("job %s: %d records (concurrent on the same pool), wall %.3fs\n",
+		jobB.ID(), resB.Records, resB.WallSeconds)
+
+	// Train a classifier over the streamed candidates (labels here are a
+	// simple brightness threshold; real labels come from ALM schemes).
+	names := drapid.FeatureNames()
+	snr := 1 // SNRMax column
+	td := drapid.TrainingData{Features: names, Classes: []string{"faint", "bright"}}
+	for _, c := range cands {
+		y := 0
+		if c.Features[snr] > 8 {
+			y = 1
+		}
+		td.X = append(td.X, c.Features)
+		td.Y = append(td.Y, y)
+	}
+	model, err := drapid.NewClassifier("RandomForest", drapid.WithSeed(2), drapid.WithForestTrees(20))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := model.Train(td); err != nil {
+		log.Fatal(err)
+	}
+
+	// Persist, reload, predict: the model outlives the process.
+	path := filepath.Join(os.TempDir(), "drapid-serving-example.model.json")
+	if err := model.SaveFile(path); err != nil {
+		log.Fatal(err)
+	}
+	loaded, err := drapid.LoadClassifierFile(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	bright := 0
+	for _, c := range cands {
+		label, err := loaded.Predict(c.Features)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if label == "bright" {
+			bright++
+		}
+	}
+	fmt.Printf("reloaded %s model from %s: %d/%d candidates classified bright\n",
+		loaded.Learner(), path, bright, len(cands))
+}

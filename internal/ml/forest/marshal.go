@@ -1,0 +1,50 @@
+package forest
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"drapid/internal/ml/tree"
+)
+
+// forestState is the persisted form of a fitted RandomForest: the
+// hyperparameters plus every bagged tree (prediction needs nothing else).
+type forestState struct {
+	Trees    int          `json:"trees"`
+	MTry     int          `json:"mtry,omitempty"`
+	MinLeaf  int          `json:"min_leaf"`
+	Seed     int64        `json:"seed"`
+	Classes  int          `json:"classes"`
+	Ensemble []*tree.Node `json:"ensemble"`
+}
+
+// MarshalJSON implements json.Marshaler over the fitted state.
+func (f *RandomForest) MarshalJSON() ([]byte, error) {
+	if len(f.ensemble) == 0 {
+		return nil, fmt.Errorf("forest: marshal of unfitted model")
+	}
+	return json.Marshal(forestState{
+		Trees: f.Trees, MTry: f.MTry, MinLeaf: f.MinLeaf, Seed: f.Seed,
+		Classes: f.classes, Ensemble: f.ensemble,
+	})
+}
+
+// UnmarshalJSON implements json.Unmarshaler, restoring a model that
+// predicts identically to the one marshalled.
+func (f *RandomForest) UnmarshalJSON(data []byte) error {
+	var s forestState
+	if err := json.Unmarshal(data, &s); err != nil {
+		return fmt.Errorf("forest: %w", err)
+	}
+	if len(s.Ensemble) == 0 {
+		return fmt.Errorf("forest: model state has no trees")
+	}
+	for i, root := range s.Ensemble {
+		if err := tree.CheckTree(root); err != nil {
+			return fmt.Errorf("forest: tree %d: %w", i, err)
+		}
+	}
+	f.Trees, f.MTry, f.MinLeaf, f.Seed = s.Trees, s.MTry, s.MinLeaf, s.Seed
+	f.classes, f.ensemble = s.Classes, s.Ensemble
+	return nil
+}

@@ -5,6 +5,8 @@ package learners
 
 import (
 	"fmt"
+	"sort"
+	"strings"
 
 	"drapid/internal/ml"
 	"drapid/internal/ml/forest"
@@ -16,6 +18,56 @@ import (
 
 // Names lists Table 5's learners in the paper's order.
 func Names() []string { return []string{"MPN", "SMO", "JRip", "J48", "PART", "RF"} }
+
+// Aliases maps accepted alternative spellings (lower-cased) to Table 5
+// names. Lookup through Canonical is additionally case-insensitive, so
+// "rf", "RandomForest" and "ripper" all resolve; the table documents every
+// non-identity spelling New accepts.
+var Aliases = map[string]string{
+	"randomforest":         "RF",
+	"forest":               "RF",
+	"multilayerperceptron": "MPN",
+	"mlp":                  "MPN",
+	"ann":                  "MPN",
+	"svm":                  "SMO",
+	"ripper":               "JRip",
+	"c4.5":                 "J48",
+}
+
+// Canonical resolves a learner name case-insensitively, via the Aliases
+// table, to its Table 5 name. ok is false for unknown names.
+func Canonical(name string) (canonical string, ok bool) {
+	lower := strings.ToLower(strings.TrimSpace(name))
+	for _, n := range Names() {
+		if strings.ToLower(n) == lower {
+			return n, true
+		}
+	}
+	if n, found := Aliases[lower]; found {
+		return n, true
+	}
+	return "", false
+}
+
+// validNames renders the accepted spellings for error messages.
+func validNames() string {
+	aliases := make([]string, 0, len(Aliases))
+	for a := range Aliases {
+		aliases = append(aliases, a)
+	}
+	sort.Strings(aliases)
+	return fmt.Sprintf("%v (case-insensitive; aliases: %v)", Names(), aliases)
+}
+
+// Resolve is Canonical with the descriptive error callers print: it
+// returns the Table 5 name, or an error listing every valid spelling.
+func Resolve(name string) (string, error) {
+	canonical, ok := Canonical(name)
+	if !ok {
+		return "", fmt.Errorf("learners: unknown learner %q; valid names are %s", name, validNames())
+	}
+	return canonical, nil
+}
 
 // Types maps each learner to its Table 5 type description.
 var Types = map[string]string{
@@ -41,9 +93,15 @@ type Options struct {
 	MLPEpochs int
 }
 
-// New constructs a learner by Table 5 name.
+// New constructs a learner by Table 5 name. Names resolve through
+// Canonical, so any case and any Aliases entry is accepted; unknown names
+// get an error listing the valid spellings.
 func New(name string, opt Options) (ml.Classifier, error) {
-	switch name {
+	canonical, err := Resolve(name)
+	if err != nil {
+		return nil, err
+	}
+	switch canonical {
 	case "MPN":
 		m := mlp.NewMLP(opt.Seed)
 		if opt.MLPEpochs > 0 {
@@ -58,11 +116,12 @@ func New(name string, opt Options) (ml.Classifier, error) {
 		return tree.NewJ48(), nil
 	case "PART":
 		return rules.NewPART(), nil
-	case "RF", "RandomForest":
+	case "RF":
 		f := forest.NewRandomForest(opt.ForestTrees, opt.Seed)
 		f.Parallel = opt.ForestParallel
 		return f, nil
 	default:
-		return nil, fmt.Errorf("learners: unknown learner %q (Table 5 lists %v)", name, Names())
+		// Unreachable: Canonical only returns Table 5 names.
+		return nil, fmt.Errorf("learners: unknown learner %q; valid names are %s", name, validNames())
 	}
 }

@@ -1,6 +1,7 @@
 package learners
 
 import (
+	"strings"
 	"testing"
 
 	"drapid/internal/ml/mltest"
@@ -45,6 +46,46 @@ func TestAllLearnersFitBlobs(t *testing.T) {
 		}
 		if acc < 0.85 {
 			t.Errorf("%s accuracy %g on easy blobs, want >= 0.85", name, acc)
+		}
+	}
+}
+
+func TestCanonicalAliases(t *testing.T) {
+	cases := map[string]string{
+		"RF": "RF", "rf": "RF", "RandomForest": "RF", "FOREST": "RF",
+		"jrip": "JRip", "Ripper": "JRip", "c4.5": "J48", " J48 ": "J48",
+		"mlp": "MPN", "ann": "MPN", "MultilayerPerceptron": "MPN",
+		"svm": "SMO", "part": "PART",
+	}
+	for in, want := range cases {
+		got, ok := Canonical(in)
+		if !ok || got != want {
+			t.Errorf("Canonical(%q) = %q,%v; want %q", in, got, ok, want)
+		}
+	}
+	if _, ok := Canonical("XGBoost"); ok {
+		t.Error("Canonical accepted an unknown name")
+	}
+	for alias, want := range Aliases {
+		c, err := New(alias, Options{Seed: 1, ForestTrees: 5, MLPEpochs: 2})
+		if err != nil {
+			t.Errorf("New(%q): %v", alias, err)
+			continue
+		}
+		if canon, _ := Canonical(c.Name()); canon != want && c.Name() != want {
+			t.Errorf("New(%q) built %q, want %q", alias, c.Name(), want)
+		}
+	}
+}
+
+func TestUnknownLearnerErrorListsNames(t *testing.T) {
+	_, err := New("nonsense", Options{})
+	if err == nil {
+		t.Fatal("unknown learner accepted")
+	}
+	for _, want := range []string{"MPN", "SMO", "JRip", "J48", "PART", "RF", "randomforest"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q does not mention %q", err, want)
 		}
 	}
 }

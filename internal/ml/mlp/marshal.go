@@ -1,0 +1,52 @@
+package mlp
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"drapid/internal/ml"
+)
+
+// mlpState is the persisted form of a fitted MLP: hyperparameters, the
+// layer shape, the standardizer, and both weight matrices.
+type mlpState struct {
+	Hidden       int              `json:"hidden,omitempty"`
+	Epochs       int              `json:"epochs"`
+	LearningRate float64          `json:"learning_rate"`
+	Momentum     float64          `json:"momentum"`
+	Seed         int64            `json:"seed"`
+	In           int              `json:"in"`
+	Out          int              `json:"out"`
+	Hid          int              `json:"hid"`
+	Std          *ml.Standardizer `json:"std"`
+	WIH          [][]float64      `json:"wih"`
+	WHO          [][]float64      `json:"who"`
+}
+
+// MarshalJSON implements json.Marshaler over the fitted state.
+func (m *MLP) MarshalJSON() ([]byte, error) {
+	if m.std == nil {
+		return nil, fmt.Errorf("mlp: marshal of unfitted model")
+	}
+	return json.Marshal(mlpState{
+		Hidden: m.Hidden, Epochs: m.Epochs, LearningRate: m.LearningRate,
+		Momentum: m.Momentum, Seed: m.Seed,
+		In: m.in, Out: m.out, Hid: m.hid, Std: m.std, WIH: m.wIH, WHO: m.wHO,
+	})
+}
+
+// UnmarshalJSON implements json.Unmarshaler, restoring a model that
+// predicts identically to the one marshalled.
+func (m *MLP) UnmarshalJSON(data []byte) error {
+	var s mlpState
+	if err := json.Unmarshal(data, &s); err != nil {
+		return fmt.Errorf("mlp: %w", err)
+	}
+	if s.Std == nil || len(s.WIH) == 0 || len(s.WHO) == 0 {
+		return fmt.Errorf("mlp: model state incomplete")
+	}
+	m.Hidden, m.Epochs, m.LearningRate, m.Momentum, m.Seed =
+		s.Hidden, s.Epochs, s.LearningRate, s.Momentum, s.Seed
+	m.in, m.out, m.hid, m.std, m.wIH, m.wHO = s.In, s.Out, s.Hid, s.Std, s.WIH, s.WHO
+	return nil
+}

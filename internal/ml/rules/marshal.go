@@ -1,0 +1,65 @@
+package rules
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// jripState and partState are the persisted forms of the two rule
+// learners: hyperparameters plus the fitted decision list (RuleList has
+// only exported fields, so it serializes directly).
+type jripState struct {
+	Seed             int64     `json:"seed"`
+	MaxRulesPerClass int       `json:"max_rules_per_class"`
+	List             *RuleList `json:"list"`
+}
+
+// MarshalJSON implements json.Marshaler over the fitted state.
+func (j *JRip) MarshalJSON() ([]byte, error) {
+	if j.list == nil {
+		return nil, fmt.Errorf("jrip: marshal of unfitted model")
+	}
+	return json.Marshal(jripState{Seed: j.Seed, MaxRulesPerClass: j.MaxRulesPerClass, List: j.list})
+}
+
+// UnmarshalJSON implements json.Unmarshaler, restoring a model that
+// predicts identically to the one marshalled.
+func (j *JRip) UnmarshalJSON(data []byte) error {
+	var s jripState
+	if err := json.Unmarshal(data, &s); err != nil {
+		return fmt.Errorf("jrip: %w", err)
+	}
+	if s.List == nil {
+		return fmt.Errorf("jrip: model state has no rule list")
+	}
+	j.Seed, j.MaxRulesPerClass, j.list = s.Seed, s.MaxRulesPerClass, s.List
+	return nil
+}
+
+type partState struct {
+	MaxRules  int       `json:"max_rules"`
+	TreeDepth int       `json:"tree_depth"`
+	List      *RuleList `json:"list"`
+}
+
+// MarshalJSON implements json.Marshaler over the fitted state.
+func (p *PART) MarshalJSON() ([]byte, error) {
+	if p.list == nil {
+		return nil, fmt.Errorf("part: marshal of unfitted model")
+	}
+	return json.Marshal(partState{MaxRules: p.MaxRules, TreeDepth: p.TreeDepth, List: p.list})
+}
+
+// UnmarshalJSON implements json.Unmarshaler, restoring a model that
+// predicts identically to the one marshalled.
+func (p *PART) UnmarshalJSON(data []byte) error {
+	var s partState
+	if err := json.Unmarshal(data, &s); err != nil {
+		return fmt.Errorf("part: %w", err)
+	}
+	if s.List == nil {
+		return fmt.Errorf("part: model state has no rule list")
+	}
+	p.MaxRules, p.TreeDepth, p.list = s.MaxRules, s.TreeDepth, s.List
+	return nil
+}

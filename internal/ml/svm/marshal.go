@@ -1,0 +1,63 @@
+package svm
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"drapid/internal/ml"
+)
+
+// machineState mirrors one fitted binarySMO: for the linear kernel the
+// weight vector and bias are the whole decision function.
+type machineState struct {
+	Neg int       `json:"neg"`
+	Pos int       `json:"pos"`
+	W   []float64 `json:"w"`
+	B   float64   `json:"b"`
+}
+
+// smoState is the persisted form of a fitted SMO: hyperparameters, the
+// training-set standardizer, and the k(k−1)/2 pairwise machines.
+type smoState struct {
+	C         float64          `json:"c"`
+	Tol       float64          `json:"tol"`
+	MaxPasses int              `json:"max_passes"`
+	Seed      int64            `json:"seed"`
+	Classes   int              `json:"classes"`
+	Std       *ml.Standardizer `json:"std"`
+	Machines  []machineState   `json:"machines"`
+}
+
+// MarshalJSON implements json.Marshaler over the fitted state.
+func (s *SMO) MarshalJSON() ([]byte, error) {
+	if s.std == nil {
+		return nil, fmt.Errorf("smo: marshal of unfitted model")
+	}
+	st := smoState{C: s.C, Tol: s.Tol, MaxPasses: s.MaxPasses, Seed: s.Seed, Classes: s.classes, Std: s.std}
+	for _, m := range s.machines {
+		st.Machines = append(st.Machines, machineState{Neg: m.neg, Pos: m.pos, W: m.w, B: m.b})
+	}
+	return json.Marshal(st)
+}
+
+// UnmarshalJSON implements json.Unmarshaler, restoring a model that
+// predicts identically to the one marshalled.
+func (s *SMO) UnmarshalJSON(data []byte) error {
+	var st smoState
+	if err := json.Unmarshal(data, &st); err != nil {
+		return fmt.Errorf("smo: %w", err)
+	}
+	if st.Std == nil {
+		return fmt.Errorf("smo: model state has no standardizer")
+	}
+	s.C, s.Tol, s.MaxPasses, s.Seed = st.C, st.Tol, st.MaxPasses, st.Seed
+	s.classes, s.std = st.Classes, st.Std
+	s.machines = s.machines[:0]
+	for _, m := range st.Machines {
+		s.machines = append(s.machines, &binarySMO{
+			neg: m.Neg, pos: m.Pos, c: st.C, tol: st.Tol, maxPasses: st.MaxPasses,
+			w: m.W, b: m.B,
+		})
+	}
+	return nil
+}

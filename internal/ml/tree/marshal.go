@@ -1,0 +1,61 @@
+package tree
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// j48State is the persisted form of a fitted J48: hyperparameters plus the
+// pruned tree. It backs the public drapid.Classifier Save/Load round trip
+// (DESIGN.md §4.4).
+type j48State struct {
+	MinLeaf  int     `json:"min_leaf"`
+	CF       float64 `json:"cf"`
+	MaxDepth int     `json:"max_depth,omitempty"`
+	Root     *Node   `json:"root"`
+}
+
+// MarshalJSON implements json.Marshaler over the fitted state.
+func (j *J48) MarshalJSON() ([]byte, error) {
+	if j.root == nil {
+		return nil, fmt.Errorf("j48: marshal of unfitted model")
+	}
+	return json.Marshal(j48State{MinLeaf: j.MinLeaf, CF: j.CF, MaxDepth: j.MaxDepth, Root: j.root})
+}
+
+// UnmarshalJSON implements json.Unmarshaler, restoring a model that
+// predicts identically to the one marshalled.
+func (j *J48) UnmarshalJSON(data []byte) error {
+	var s j48State
+	if err := json.Unmarshal(data, &s); err != nil {
+		return fmt.Errorf("j48: %w", err)
+	}
+	if err := CheckTree(s.Root); err != nil {
+		return fmt.Errorf("j48: %w", err)
+	}
+	j.MinLeaf, j.CF, j.MaxDepth, j.root = s.MinLeaf, s.CF, s.MaxDepth, s.Root
+	return nil
+}
+
+// CheckTree validates a deserialized tree's structure: non-nil, every
+// internal node has both children and a non-negative feature index.
+// Loaders call it so hand-crafted model documents fail at load time
+// instead of panicking inside Predict.
+func CheckTree(n *Node) error {
+	if n == nil {
+		return fmt.Errorf("tree: missing node")
+	}
+	if n.Leaf {
+		return nil
+	}
+	if n.Feature < 0 {
+		return fmt.Errorf("tree: negative feature index %d", n.Feature)
+	}
+	if n.Left == nil || n.Right == nil {
+		return fmt.Errorf("tree: internal node missing a child")
+	}
+	if err := CheckTree(n.Left); err != nil {
+		return err
+	}
+	return CheckTree(n.Right)
+}

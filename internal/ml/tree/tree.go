@@ -15,18 +15,21 @@ import (
 )
 
 // Node is one tree node. Leaves carry a class; internal nodes route on
-// x[Feature] <= Threshold.
+// x[Feature] <= Threshold. The JSON form (used by model persistence, see
+// DESIGN.md §4.4) keeps only what Predict needs, under short keys — the
+// training-time distribution and count are fit/prune bookkeeping and are
+// not serialized.
 type Node struct {
-	Feature   int
-	Threshold float64
-	Left      *Node // x[Feature] <= Threshold
-	Right     *Node // x[Feature] >  Threshold
-	Leaf      bool
-	Class     int
+	Feature   int     `json:"f,omitempty"`
+	Threshold float64 `json:"t,omitempty"`
+	Left      *Node   `json:"l,omitempty"` // x[Feature] <= Threshold
+	Right     *Node   `json:"r,omitempty"` // x[Feature] >  Threshold
+	Leaf      bool    `json:"leaf,omitempty"`
+	Class     int     `json:"c,omitempty"`
 	// Dist is the training class distribution at the node (counts).
-	Dist []float64
+	Dist []float64 `json:"-"`
 	// N is the training instance count at the node.
-	N float64
+	N float64 `json:"-"`
 }
 
 // Predict routes one instance to a leaf class.

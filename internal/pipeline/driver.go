@@ -25,6 +25,16 @@ type JobConfig struct {
 	Params core.Params
 	// Feat supplies the feature-extraction context.
 	Feat features.Config
+	// Emit, when non-nil, streams each key group's ML records as soon as
+	// that group's search completes, before the job's HDFS output exists —
+	// the hook the public drapid.Job candidate stream is built on. It is
+	// called from executor worker goroutines concurrently and must be safe
+	// for concurrent use; it must not block indefinitely (a slow consumer
+	// stalls search workers, which is how stream backpressure propagates).
+	// Under lineage recovery a recomputed partition re-emits its groups, so
+	// delivery is at-least-once per key group; the saved HDFS output stays
+	// exactly-once either way.
+	Emit func(recs []MLRecord)
 }
 
 // JobResult summarises a run.
@@ -38,6 +48,9 @@ type JobResult struct {
 	Records int
 	// Pulses is the number of single pulses identified (== Records).
 	Pulses int
+	// RecordsDropped is the number of malformed key groups the search phase
+	// discarded (mirrors Metrics.RecordsDropped for this run).
+	RecordsDropped int64
 	// Metrics snapshots the engine counters.
 	Metrics rdd.Metrics
 }
@@ -69,6 +82,7 @@ func RunDRAPID(ctx *rdd.Context, cfg JobConfig) (JobResult, error) {
 		return JobResult{}, err
 	}
 	start := ctx.SimElapsed()
+	droppedStart := ctx.Metrics().RecordsDropped
 	wallStart := time.Now()
 
 	dataKV, err := loadKeyed(ctx, cfg.DataFile)
@@ -112,6 +126,7 @@ func RunDRAPID(ctx *rdd.Context, cfg JobConfig) (JobResult, error) {
 		// keeping the result record-for-record identical to a serial run.
 		outs := make([][]string, len(in))
 		cpu := make([]float64, len(in))
+		dropped := make([]int64, len(in))
 		_ = ctx.RunTasksConfig(innerExec, len(in), func(i int) {
 			kv := in[i]
 			clusterPayloads := kv.Value.Left
@@ -121,18 +136,24 @@ func RunDRAPID(ctx *rdd.Context, cfg JobConfig) (JobResult, error) {
 			}
 			recs, stats, err := ProcessKeyGroup(kv.Key, clusterPayloads, dataPayloads, cfg.Params, cfg.Feat)
 			if err != nil {
-				// Malformed records are dropped, as the Scala driver's
-				// parse guards do; they are invisible at this layer.
+				// Malformed key groups are dropped, as the Scala driver's
+				// parse guards do — but no longer invisibly: the count
+				// surfaces in Metrics.RecordsDropped and JobResult.
+				dropped[i] = 1
 				return
 			}
 			cpu[i] = float64(stats.SPEsSearched) * searchCost
 			for _, r := range recs {
 				outs[i] = append(outs[i], r.Format())
 			}
+			if cfg.Emit != nil && len(recs) > 0 {
+				cfg.Emit(recs)
+			}
 		})
 		var out []string
 		for i := range outs {
 			tc.AddCPU(cpu[i])
+			tc.CountDropped(dropped[i])
 			out = append(out, outs[i]...)
 		}
 		return out
@@ -155,12 +176,14 @@ func RunDRAPID(ctx *rdd.Context, cfg JobConfig) (JobResult, error) {
 		return JobResult{}, err
 	}
 
+	m := ctx.Metrics()
 	return JobResult{
-		SimSeconds:  ctx.SimElapsed() - start,
-		WallSeconds: time.Since(wallStart).Seconds(),
-		Records:     int(count),
-		Pulses:      int(count),
-		Metrics:     ctx.Metrics(),
+		SimSeconds:     ctx.SimElapsed() - start,
+		WallSeconds:    time.Since(wallStart).Seconds(),
+		Records:        int(count),
+		Pulses:         int(count),
+		RecordsDropped: m.RecordsDropped - droppedStart,
+		Metrics:        m,
 	}, nil
 }
 

@@ -1,0 +1,87 @@
+package pipeline_test
+
+import (
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+
+	"drapid/internal/pipeline"
+	"drapid/internal/spe"
+)
+
+// TestEmitStreamsAllRecords: the per-key-group Emit hook must deliver
+// exactly the records the job saves to HDFS (order aside), while the
+// batch output stays intact.
+func TestEmitStreamsAllRecords(t *testing.T) {
+	prep, sv := makeSurveyData(t, 5, 3)
+	ctx := newTestContext(t, 4)
+	if err := prep.Upload(ctx.FS, "spe.csv", "clusters.csv"); err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	var emitted []string
+	res, err := pipeline.RunDRAPID(ctx, pipeline.JobConfig{
+		DataFile: "spe.csv", ClusterFile: "clusters.csv", OutDir: "ml",
+		Feat: featConfig(sv),
+		Emit: func(recs []pipeline.MLRecord) {
+			mu.Lock()
+			defer mu.Unlock()
+			for _, r := range recs {
+				emitted = append(emitted, r.Format())
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	saved, err := pipeline.CollectML(ctx, "ml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([]string, len(saved))
+	for i, r := range saved {
+		want[i] = r.Format()
+	}
+	sort.Strings(want)
+	sort.Strings(emitted)
+	if len(emitted) != len(want) || len(emitted) != res.Records {
+		t.Fatalf("emitted %d records, saved %d, result says %d", len(emitted), len(want), res.Records)
+	}
+	for i := range want {
+		if emitted[i] != want[i] {
+			t.Fatalf("record %d differs:\nemitted: %s\n  saved: %s", i, emitted[i], want[i])
+		}
+	}
+}
+
+// TestMalformedKeyGroupCounted: a cluster record that fails to parse drops
+// its key group — and the drop must be counted, not silent.
+func TestMalformedKeyGroupCounted(t *testing.T) {
+	prep, sv := makeSurveyData(t, 6, 3)
+	for i, line := range prep.ClusterLines {
+		if spe.IsHeader(line) {
+			continue
+		}
+		cut := strings.LastIndex(line, ",")
+		prep.ClusterLines[i] = line[:cut] + ",notanumber"
+		break
+	}
+	ctx := newTestContext(t, 3)
+	if err := prep.Upload(ctx.FS, "spe.csv", "clusters.csv"); err != nil {
+		t.Fatal(err)
+	}
+	res, err := pipeline.RunDRAPID(ctx, pipeline.JobConfig{
+		DataFile: "spe.csv", ClusterFile: "clusters.csv", OutDir: "ml",
+		Feat: featConfig(sv),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RecordsDropped != 1 {
+		t.Fatalf("JobResult.RecordsDropped = %d, want 1", res.RecordsDropped)
+	}
+	if res.Metrics.RecordsDropped != 1 {
+		t.Fatalf("Metrics.RecordsDropped = %d, want 1", res.Metrics.RecordsDropped)
+	}
+}

@@ -116,10 +116,15 @@ type StageSample struct {
 // counters are exact; Seconds-suffixed fields separate the two clocks
 // (simulated cluster time vs measured host time in stages).
 type Metrics struct {
-	Stages          int
-	Tasks           int
-	RecordsRead     int64
-	RecordsWritten  int64
+	Stages         int
+	Tasks          int
+	RecordsRead    int64
+	RecordsWritten int64
+	// RecordsDropped counts input records discarded as malformed instead of
+	// processed (e.g. D-RAPID key groups whose payloads fail to parse).
+	// Before this counter existed such drops were invisible; now every
+	// guard that discards data reports it here via TaskContext.CountDropped.
+	RecordsDropped  int64
 	LocalReadBytes  int64
 	RemoteReadBytes int64
 	ShuffleBytes    int64
@@ -199,6 +204,7 @@ type TaskContext struct {
 	shuffleOutBytes int64
 	recordsIn       int64
 	recordsOut      int64
+	recordsDropped  int64
 	cachedReadBytes int64 // reads from executor-cached partitions
 }
 
@@ -221,3 +227,7 @@ func (tc *TaskContext) WriteShuffle(bytes int64) { tc.shuffleOutBytes += bytes }
 // CountIn and CountOut record record counts through the task.
 func (tc *TaskContext) CountIn(n int64)  { tc.recordsIn += n }
 func (tc *TaskContext) CountOut(n int64) { tc.recordsOut += n }
+
+// CountDropped records input records the task discarded as malformed; the
+// count surfaces in Metrics.RecordsDropped.
+func (tc *TaskContext) CountDropped(n int64) { tc.recordsDropped += n }

@@ -37,6 +37,26 @@ type ExecConfig struct {
 	// false the simulated clock stays put and only wall-clock metrics are
 	// collected.
 	SimClock bool
+	// Limiter, when non-nil, is a shared token bucket gating batch
+	// execution across *independent* schedulers: a worker takes one token
+	// before running a batch and returns it afterwards, so the total number
+	// of concurrently-executing batches across every RunParallel call
+	// sharing the bucket is bounded by the bucket's capacity. This is how
+	// one engine runs several driver contexts (jobs) at once with fair,
+	// FIFO-ish sharing of the host worker pool instead of Jobs × Workers
+	// goroutines all running. Create one with NewLimiter; NestedConfig
+	// drops it, because a nested pool acquiring tokens while its enclosing
+	// task holds one would deadlock once the bucket drains.
+	Limiter chan struct{}
+}
+
+// NewLimiter returns a token bucket for ExecConfig.Limiter bounding the
+// cross-scheduler batch concurrency to capacity tokens.
+func NewLimiter(capacity int) chan struct{} {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return make(chan struct{}, capacity)
 }
 
 // DefaultExecConfig is the configuration NewContext installs: all-core
@@ -110,6 +130,23 @@ func RunParallel(gctx context.Context, cfg ExecConfig, n int, fn func(i int)) er
 	}
 	batch := cfg.batchSize(n, w)
 
+	// runBatch executes one dispatch batch under the shared limiter (when
+	// configured): acquire a token or give up on cancellation, run, release.
+	runBatch := func(lo, hi int) bool {
+		if cfg.Limiter != nil {
+			select {
+			case cfg.Limiter <- struct{}{}:
+				defer func() { <-cfg.Limiter }()
+			case <-gctx.Done():
+				return false
+			}
+		}
+		for i := lo; i < hi; i++ {
+			fn(i)
+		}
+		return true
+	}
+
 	if w == 1 {
 		for lo := 0; lo < n; lo += batch {
 			if err := gctx.Err(); err != nil {
@@ -119,8 +156,8 @@ func RunParallel(gctx context.Context, cfg ExecConfig, n int, fn func(i int)) er
 			if hi > n {
 				hi = n
 			}
-			for i := lo; i < hi; i++ {
-				fn(i)
+			if !runBatch(lo, hi) {
+				return gctx.Err()
 			}
 		}
 		return gctx.Err()
@@ -137,9 +174,7 @@ func RunParallel(gctx context.Context, cfg ExecConfig, n int, fn func(i int)) er
 				if gctx.Err() != nil {
 					continue // drain without executing
 				}
-				for i := s.lo; i < s.hi; i++ {
-					fn(i)
-				}
+				runBatch(s.lo, s.hi)
 			}
 		}()
 	}
@@ -200,6 +235,19 @@ func (c *Context) RunTasksConfig(cfg ExecConfig, n int, fn func(i int)) error {
 // instead of Workers² when stage tasks fan out again.
 func (cfg ExecConfig) NestedConfig(outerParts int) ExecConfig {
 	inner := cfg
+	if cfg.Limiter != nil {
+		// Shared-bucket mode (several jobs on one engine): the enclosing
+		// batch already holds exactly one token, and a nested pool
+		// re-acquiring from the same bucket would deadlock once every
+		// token is held by an outer task waiting on its inner pass. An
+		// *unthrottled* nested fan-out would instead run several work
+		// items per token, overshooting the engine-wide Workers bound on
+		// narrow stages — so under a limiter the inner pass is strictly
+		// serial: one token, one running work item.
+		inner.Limiter = nil
+		inner.Workers = 1
+		return inner
+	}
 	w := cfg.workers()
 	if outerParts >= w || outerParts <= 0 {
 		inner.Workers = 1

@@ -2,6 +2,7 @@ package rdd
 
 import (
 	"context"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -280,5 +281,83 @@ func TestSimClockOffKeepsResults(t *testing.T) {
 		if simOut[i] != rawOut[i] {
 			t.Fatalf("record %d differs: %d vs %d", i, simOut[i], rawOut[i])
 		}
+	}
+}
+
+// TestLimiterBoundsCrossSchedulerConcurrency runs two independent
+// RunParallel schedulers sharing one token bucket: their combined
+// concurrently-executing batch count must never exceed the bucket
+// capacity, even though each scheduler alone is wider — the fairness
+// mechanism one engine uses across concurrent jobs.
+func TestLimiterBoundsCrossSchedulerConcurrency(t *testing.T) {
+	const capacity = 2
+	lim := NewLimiter(capacity)
+	cfg := ExecConfig{Workers: 4, BatchSize: 1, Limiter: lim}
+
+	var running, peak, total atomic.Int32
+	task := func(int) {
+		n := running.Add(1)
+		for {
+			p := peak.Load()
+			if n <= p || peak.CompareAndSwap(p, n) {
+				break
+			}
+		}
+		time.Sleep(200 * time.Microsecond)
+		running.Add(-1)
+		total.Add(1)
+	}
+
+	var wg sync.WaitGroup
+	for s := 0; s < 2; s++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := RunParallel(context.Background(), cfg, 20, task); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := total.Load(); got != 40 {
+		t.Fatalf("ran %d tasks, want 40", got)
+	}
+	if p := peak.Load(); p > capacity {
+		t.Fatalf("peak concurrency %d exceeds limiter capacity %d", p, capacity)
+	}
+}
+
+// TestLimiterCancellation: a cancelled scheduler must not deadlock waiting
+// for tokens another scheduler holds.
+func TestLimiterCancellation(t *testing.T) {
+	lim := NewLimiter(1)
+	lim <- struct{}{} // bucket drained by "another job"
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		done <- RunParallel(ctx, ExecConfig{Workers: 2, Limiter: lim}, 8, func(int) {
+			t.Error("task ran without a token")
+		})
+	}()
+	cancel()
+	if err := <-done; err == nil {
+		t.Fatal("cancelled run returned nil")
+	}
+	<-lim
+}
+
+// TestNestedConfigDropsLimiter: nested pools must not re-acquire from the
+// shared bucket (deadlock risk documented on ExecConfig.Limiter), and
+// under a shared bucket they must be serial — an unthrottled inner
+// fan-out would run several work items per held token, overshooting the
+// engine-wide Workers bound on narrow stages.
+func TestNestedConfigDropsLimiter(t *testing.T) {
+	cfg := ExecConfig{Workers: 8, Limiter: NewLimiter(2)}
+	inner := cfg.NestedConfig(2)
+	if inner.Limiter != nil {
+		t.Error("NestedConfig kept the limiter")
+	}
+	if inner.Workers != 1 {
+		t.Errorf("nested pool under a limiter has %d workers, want 1", inner.Workers)
 	}
 }

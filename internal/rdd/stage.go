@@ -81,6 +81,7 @@ func runStage[T any](ctx *Context, name string, parts int, pref func(int) []int,
 	for p := range tcs {
 		ctx.metrics.RecordsRead += tcs[p].recordsIn
 		ctx.metrics.RecordsWritten += tcs[p].recordsOut
+		ctx.metrics.RecordsDropped += tcs[p].recordsDropped
 		ctx.metrics.LocalReadBytes += tcs[p].localReadBytes
 		ctx.metrics.RemoteReadBytes += tcs[p].remoteReadBytes
 		ctx.metrics.ShuffleBytes += tcs[p].shuffleOutBytes

@@ -1,0 +1,377 @@
+package drapid
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"iter"
+	"sync"
+
+	"drapid/internal/features"
+	"drapid/internal/pipeline"
+	"drapid/internal/rdd"
+)
+
+// ErrCancelled is the cancellation cause Job.Cancel installs; it is what a
+// cancelled job's Results stream and Wait return (via errors.Is).
+var ErrCancelled = errors.New("drapid: job cancelled")
+
+// ErrEngineClosed is the cancellation cause Engine.Close installs on jobs
+// that were still running.
+var ErrEngineClosed = errors.New("drapid: engine closed")
+
+// JobState is a job's position in its lifecycle. The state machine is
+// linear: Pending → Running → exactly one of Succeeded, Failed or
+// Cancelled (see DESIGN.md §4.2).
+type JobState int
+
+const (
+	// JobPending means the job is registered but its driver has not
+	// started executing stages yet.
+	JobPending JobState = iota
+	// JobRunning means stages are executing on the worker pool.
+	JobRunning
+	// JobSucceeded means the job completed and its result is final.
+	JobSucceeded
+	// JobFailed means the job stopped on a non-cancellation error.
+	JobFailed
+	// JobCancelled means Cancel (or the submission context) stopped the
+	// job before completion.
+	JobCancelled
+)
+
+// Terminal reports whether the state is final.
+func (s JobState) Terminal() bool { return s >= JobSucceeded }
+
+// String implements fmt.Stringer.
+func (s JobState) String() string {
+	switch s {
+	case JobPending:
+		return "pending"
+	case JobRunning:
+		return "running"
+	case JobSucceeded:
+		return "succeeded"
+	case JobFailed:
+		return "failed"
+	case JobCancelled:
+		return "cancelled"
+	default:
+		return fmt.Sprintf("JobState(%d)", int(s))
+	}
+}
+
+// MarshalText makes JobState render as its name in JSON (the HTTP API's
+// progress documents).
+func (s JobState) MarshalText() ([]byte, error) { return []byte(s.String()), nil }
+
+// UnmarshalText parses a state name produced by MarshalText.
+func (s *JobState) UnmarshalText(text []byte) error {
+	for _, st := range []JobState{JobPending, JobRunning, JobSucceeded, JobFailed, JobCancelled} {
+		if st.String() == string(text) {
+			*s = st
+			return nil
+		}
+	}
+	return fmt.Errorf("drapid: unknown job state %q", text)
+}
+
+// Candidate is one identified single pulse streamed out of a job: the
+// observation key, the source cluster and pulse rank within it, and the 22
+// extracted features in FeatureNames order.
+type Candidate struct {
+	Key       string    `json:"key"`
+	Cluster   int       `json:"cluster"`
+	PulseRank int       `json:"pulse_rank"`
+	Features  []float64 `json:"features"`
+}
+
+// FeatureNames lists the 22 feature columns of Candidate.Features, in
+// order (Table 1 of the paper).
+func FeatureNames() []string {
+	out := make([]string, len(features.Names))
+	copy(out, features.Names[:])
+	return out
+}
+
+// CandidateHeader is the CSV header matching Candidate.CSV.
+var CandidateHeader = pipeline.MLHeader
+
+// CSV renders the candidate as one ML-file CSV line by delegating to the
+// pipeline's record formatter, so it stays byte-identical to the record
+// the batch path saves to HDFS for the same pulse. Candidates always
+// carry exactly the 22 features of FeatureNames.
+func (c Candidate) CSV() string {
+	r := pipeline.MLRecord{Key: c.Key, ClusterID: c.Cluster, PulseRank: c.PulseRank}
+	copy(r.Vec[:], c.Features)
+	return r.Format()
+}
+
+// Progress is a point-in-time snapshot of a job.
+type Progress struct {
+	State JobState `json:"state"`
+	// Candidates is the number of single pulses emitted so far.
+	Candidates int `json:"candidates"`
+	// RecordsDropped counts malformed key groups the search phase
+	// discarded (previously invisible; see rdd.Metrics.RecordsDropped).
+	RecordsDropped int64 `json:"records_dropped"`
+	// Stages and Tasks count executed scheduler work so far.
+	Stages int `json:"stages"`
+	Tasks  int `json:"tasks"`
+	// WallSeconds is the measured host compute time accumulated by the
+	// job's stages so far.
+	WallSeconds float64 `json:"wall_seconds"`
+	// SimSeconds is the simulated cluster time; populated once the job
+	// succeeds (and only when the engine runs with the simulated clock).
+	SimSeconds float64 `json:"sim_seconds,omitempty"`
+	// Error carries the failure or cancellation cause of a terminal,
+	// unsuccessful job.
+	Error string `json:"error,omitempty"`
+}
+
+// Result summarises a completed job.
+type Result struct {
+	// Records is the number of single pulses identified.
+	Records int `json:"records"`
+	// RecordsDropped counts malformed key groups discarded by the search.
+	RecordsDropped int64 `json:"records_dropped"`
+	// SimSeconds and WallSeconds are the two clocks (simulated cluster
+	// time is zero unless the engine enables WithSimClock).
+	SimSeconds  float64 `json:"sim_seconds"`
+	WallSeconds float64 `json:"wall_seconds"`
+	// Stages and Tasks count executed scheduler work.
+	Stages int `json:"stages"`
+	Tasks  int `json:"tasks"`
+	// ShuffleBytes and SpillBytes snapshot the engine counters.
+	ShuffleBytes int64 `json:"shuffle_bytes"`
+	SpillBytes   int64 `json:"spill_bytes"`
+	// OutDir is the engine-filesystem directory holding the job's saved
+	// ML part files.
+	OutDir string `json:"out_dir"`
+}
+
+// Job is the handle to one submitted identification run. All methods are
+// safe for concurrent use; any number of goroutines may consume Results
+// independently (each gets the full stream when the job buffers, see
+// IdentifyJob.ResultBuffer).
+type Job struct {
+	id     string
+	ctx    context.Context
+	cancel context.CancelCauseFunc
+	rctx   *rdd.Context
+	buffer int
+	done   chan struct{}
+	stop   func() bool // releases the cancellation watcher
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	state   JobState
+	cands   []Candidate
+	maxRead int // furthest consumer position, for backpressure
+	result  Result
+	err     error
+}
+
+// newJob wires a job handle and its cancellation watcher.
+func newJob(id string, ctx context.Context, cancel context.CancelCauseFunc, rctx *rdd.Context, buffer int) *Job {
+	j := &Job{id: id, ctx: ctx, cancel: cancel, rctx: rctx, buffer: buffer, done: make(chan struct{})}
+	j.cond = sync.NewCond(&j.mu)
+	// Wake blocked stream consumers and emitters the moment the job is
+	// cancelled, so Cancel terminates streams promptly.
+	j.stop = context.AfterFunc(ctx, func() {
+		j.mu.Lock()
+		j.cond.Broadcast()
+		j.mu.Unlock()
+	})
+	return j
+}
+
+// ID returns the engine-unique job identifier.
+func (j *Job) ID() string { return j.id }
+
+// State returns the current lifecycle state.
+func (j *Job) State() JobState {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+// Done is closed when the job reaches a terminal state.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// Cancel stops the job with ErrCancelled as the cause: no new task batches
+// start, the candidate stream terminates with the cause, and Wait returns
+// it. Cancelling a terminal job is a no-op.
+func (j *Job) Cancel() { j.cancel(ErrCancelled) }
+
+// run executes the batch pipeline on the job's driver context and
+// finalises the state machine. It is the job's only writer goroutine.
+func (j *Job) run(cfg pipeline.JobConfig) {
+	defer j.stop()
+	j.mu.Lock()
+	j.state = JobRunning
+	j.cond.Broadcast()
+	j.mu.Unlock()
+
+	res, err := pipeline.RunDRAPID(j.rctx, cfg)
+
+	j.mu.Lock()
+	switch {
+	case err == nil:
+		j.state = JobSucceeded
+		j.result = Result{
+			Records:        res.Records,
+			RecordsDropped: res.RecordsDropped,
+			SimSeconds:     res.SimSeconds,
+			WallSeconds:    res.WallSeconds,
+			Stages:         res.Metrics.Stages,
+			Tasks:          res.Metrics.Tasks,
+			ShuffleBytes:   res.Metrics.ShuffleBytes,
+			SpillBytes:     res.Metrics.SpillBytes,
+			OutDir:         cfg.OutDir,
+		}
+	case j.ctx.Err() != nil:
+		j.state = JobCancelled
+		j.err = context.Cause(j.ctx)
+	default:
+		j.state = JobFailed
+		j.err = err
+	}
+	j.cond.Broadcast()
+	j.mu.Unlock()
+	close(j.done)
+}
+
+// emit is the pipeline's streaming hook (JobConfig.Emit): it appends one
+// key group's records to the candidate log, honouring the backpressure
+// bound when the job was submitted with ResultBuffer > 0. Called
+// concurrently from search workers.
+func (j *Job) emit(recs []pipeline.MLRecord) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	for _, r := range recs {
+		if j.buffer > 0 {
+			for j.ctx.Err() == nil && len(j.cands)-j.maxRead >= j.buffer {
+				j.cond.Wait()
+			}
+		}
+		if j.ctx.Err() != nil {
+			return // cancelled: drop, the stream is terminating anyway
+		}
+		vec := make([]float64, len(r.Vec))
+		copy(vec, r.Vec[:])
+		j.cands = append(j.cands, Candidate{Key: r.Key, Cluster: r.ClusterID, PulseRank: r.PulseRank, Features: vec})
+		j.cond.Broadcast()
+	}
+}
+
+// Results streams the job's candidates as they are identified, in
+// completion order (deterministic per key group, arbitrary across key
+// groups — sort by CSV for a canonical order). The sequence yields each
+// candidate with a nil error and terminates either cleanly (job
+// succeeded and the stream is drained) or with exactly one final non-nil
+// error: the cancellation cause after Cancel, or the job's failure error.
+// Breaking out of the range is always safe.
+func (j *Job) Results() iter.Seq2[Candidate, error] {
+	return j.ResultsContext(context.Background())
+}
+
+// ResultsContext is Results bounded by a consumer-side context: when ctx
+// is done the stream terminates promptly with ctx's cause, without
+// affecting the job. This is how a server detaches a departed client from
+// a still-running job's stream instead of blocking until the next
+// candidate.
+func (j *Job) ResultsContext(ctx context.Context) iter.Seq2[Candidate, error] {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return func(yield func(Candidate, error) bool) {
+		// Wake our cond waits when the consumer goes away.
+		stop := context.AfterFunc(ctx, func() {
+			j.mu.Lock()
+			j.cond.Broadcast()
+			j.mu.Unlock()
+		})
+		defer stop()
+		i := 0
+		for {
+			if err := ctx.Err(); err != nil {
+				yield(Candidate{}, context.Cause(ctx))
+				return
+			}
+			j.mu.Lock()
+			for i >= len(j.cands) && !j.state.Terminal() && j.ctx.Err() == nil && ctx.Err() == nil {
+				j.cond.Wait()
+			}
+			if ctx.Err() != nil {
+				j.mu.Unlock()
+				yield(Candidate{}, context.Cause(ctx))
+				return
+			}
+			if i < len(j.cands) {
+				c := j.cands[i]
+				i++
+				if i > j.maxRead {
+					j.maxRead = i
+					j.cond.Broadcast() // free emitters blocked on backpressure
+				}
+				j.mu.Unlock()
+				if !yield(c, nil) {
+					return
+				}
+				continue
+			}
+			var err error
+			if j.state.Terminal() {
+				err = j.err
+			} else {
+				// Cancelled but the driver has not unwound yet: terminate
+				// the stream now with the cause rather than waiting.
+				err = context.Cause(j.ctx)
+			}
+			j.mu.Unlock()
+			if err != nil {
+				yield(Candidate{}, err)
+			}
+			return
+		}
+	}
+}
+
+// Progress snapshots the job's state and live counters.
+func (j *Job) Progress() Progress {
+	m := j.rctx.Metrics()
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	p := Progress{
+		State:          j.state,
+		Candidates:     len(j.cands),
+		RecordsDropped: m.RecordsDropped,
+		Stages:         m.Stages,
+		Tasks:          m.Tasks,
+		WallSeconds:    m.WallSeconds,
+	}
+	if j.state == JobSucceeded {
+		p.SimSeconds = j.result.SimSeconds
+	}
+	if j.err != nil {
+		p.Error = j.err.Error()
+	}
+	return p
+}
+
+// Wait blocks until the job is terminal (or ctx is done) and returns the
+// result. A cancelled or failed job returns its cause as the error.
+func (j *Job) Wait(ctx context.Context) (Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	select {
+	case <-j.done:
+	case <-ctx.Done():
+		return Result{}, context.Cause(ctx)
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.result, j.err
+}
