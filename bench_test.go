@@ -20,10 +20,12 @@ package drapid_test
 import (
 	"context"
 	"fmt"
+	"os"
 	"sync"
 	"testing"
 	"time"
 
+	"drapid/internal/benchjson"
 	"drapid/internal/core"
 	"drapid/internal/dbscan"
 	"drapid/internal/experiments"
@@ -37,6 +39,22 @@ import (
 	"drapid/internal/spe"
 	"drapid/internal/synth"
 )
+
+// benchOut mirrors the executor scaling numbers into the same
+// machine-readable artifact the sps benchmarks write (BENCH_sps.json, or
+// $BENCH_JSON), so perf-tracking PRs read one file.
+var benchOut = benchjson.NewCollector("")
+
+func TestMain(m *testing.M) {
+	code := m.Run()
+	if err := benchOut.Flush(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		if code == 0 {
+			code = 1
+		}
+	}
+	os.Exit(code)
+}
 
 // ---- shared fixtures (built once; benchmarks must not pay setup) ----
 
@@ -295,6 +313,7 @@ func BenchmarkExecutor(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				pool(w)
 			}
+			benchOut.Measure("BenchmarkExecutor/workers="+fmt.Sprint(w), b.Elapsed(), b.N, 0, w)
 		})
 	}
 	b.Run("speedup/8v1", func(b *testing.B) {

@@ -1,19 +1,27 @@
-// Command drapid runs the distributed single-pulse identification job on a
-// simulated YARN cluster through the public engine API: it submits the SPE
-// data and cluster files (produced by cmd/spgen) as an IdentifyJob and
-// consumes the candidate stream as stage-3 key groups complete. The output
-// CSV is written in canonical sorted order so it stays byte-identical for
-// any -workers setting (stream arrival order depends on scheduling).
+// Command drapid runs single-pulse jobs on a simulated YARN cluster
+// through the public engine API. Two modes share the same streaming
+// output path:
 //
-// Usage:
+// Identify (default): submit SPE data and cluster files (produced by
+// cmd/spgen) as an IdentifyJob and consume the candidate stream as
+// stage-3 key groups complete.
 //
 //	drapid -data data/PALFA_spe.csv -clusters data/PALFA_clusters.csv \
 //	       -executors 10 -out ml.csv
 //
-// Stage tasks really execute on a host worker pool (-workers sets its
-// width, 0 = all cores; -parallel=false forces the serial reference
-// path), while -executors sizes the *simulated* cluster whose elapsed
-// time the cost model reports.
+// Detect (-detect): start one step earlier, from a raw SIGPROC
+// filterbank (cmd/spgen -filterbank writes ground-truthed synthetic
+// ones): dedisperse over the trial-DM grid, matched-filter, cluster, and
+// identify — end to end in one submission.
+//
+//	drapid -detect obs.fil -dm-max 300 -dm-step 1 -threshold 6 -out ml.csv
+//
+// The output CSV is written in canonical sorted order so it stays
+// byte-identical for any -workers setting (stream arrival order depends
+// on scheduling). Stage tasks really execute on a host worker pool
+// (-workers sets its width, 0 = all cores; -parallel=false forces the
+// serial reference path), while -executors sizes the *simulated* cluster
+// whose elapsed time the cost model reports.
 package main
 
 import (
@@ -32,29 +40,26 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("drapid: ")
 	var (
-		dataPath    = flag.String("data", "", "SPE data CSV (required)")
-		clusterPath = flag.String("clusters", "", "cluster CSV (required)")
+		dataPath    = flag.String("data", "", "SPE data CSV (identify mode)")
+		clusterPath = flag.String("clusters", "", "cluster CSV (identify mode)")
+		detectPath  = flag.String("detect", "", "SIGPROC filterbank to search (detect mode)")
+		dmMin       = flag.Float64("dm-min", 0, "detect: lowest trial DM, pc/cm^3")
+		dmMax       = flag.Float64("dm-max", 300, "detect: highest trial DM, pc/cm^3")
+		dmStep      = flag.Float64("dm-step", 1, "detect: trial DM spacing, pc/cm^3")
+		threshold   = flag.Float64("threshold", 6, "detect: matched-filter SNR threshold")
+		noZeroDM    = flag.Bool("no-zerodm", false, "detect: disable the zero-DM broadband-RFI filter")
 		executors   = flag.Int("executors", 10, "Spark executors to allocate (paper testbed max: 22)")
 		partsCore   = flag.Int("partitions", 32, "hash partitions per core")
 		workers     = flag.Int("workers", 0, "host worker goroutines per stage (0 = all cores)")
 		parallel    = flag.Bool("parallel", true, "execute stage tasks concurrently (false forces the serial reference path)")
 		outPath     = flag.String("out", "ml.csv", "output ML records CSV")
-		freq        = flag.Float64("freq", 1.4, "survey centre frequency, GHz (feature extraction)")
-		band        = flag.Float64("band", 300, "survey bandwidth, MHz (feature extraction)")
+		freq        = flag.Float64("freq", 1.4, "survey centre frequency, GHz (feature extraction, identify mode)")
+		band        = flag.Float64("band", 300, "survey bandwidth, MHz (feature extraction, identify mode)")
 	)
 	flag.Parse()
-	if *dataPath == "" || *clusterPath == "" {
+	if *detectPath == "" && (*dataPath == "" || *clusterPath == "") {
 		flag.Usage()
 		os.Exit(2)
-	}
-
-	dataLines, err := readLines(*dataPath)
-	if err != nil {
-		log.Fatal(err)
-	}
-	clusterLines, err := readLines(*clusterPath)
-	if err != nil {
-		log.Fatal(err)
 	}
 
 	w := *workers
@@ -72,14 +77,41 @@ func main() {
 	}
 	defer engine.Close()
 
-	job, err := engine.Submit(context.Background(), drapid.IdentifyJob{
-		Data:     dataLines,
-		Clusters: clusterLines,
-		FreqGHz:  *freq,
-		BandMHz:  *band,
-	})
-	if err != nil {
-		log.Fatal(err)
+	var job *drapid.Job
+	if *detectPath != "" {
+		raw, err := os.ReadFile(*detectPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		job, err = engine.SubmitDetect(context.Background(), drapid.DetectJob{
+			Filterbank: raw,
+			DMMin:      *dmMin,
+			DMMax:      *dmMax,
+			DMStep:     *dmStep,
+			Threshold:  *threshold,
+			NoZeroDM:   *noZeroDM,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+	} else {
+		dataLines, err := readLines(*dataPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		clusterLines, err := readLines(*clusterPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		job, err = engine.Submit(context.Background(), drapid.IdentifyJob{
+			Data:     dataLines,
+			Clusters: clusterLines,
+			FreqGHz:  *freq,
+			BandMHz:  *band,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
 	}
 
 	// Consume the candidate stream as key groups complete, then write the
@@ -112,6 +144,9 @@ func main() {
 	res, err := job.Wait(context.Background())
 	if err != nil {
 		log.Fatal(err)
+	}
+	if *detectPath != "" {
+		log.Printf("detect: %d raw events above %.1f sigma in %.3fs", res.Detections, *threshold, res.DetectSeconds)
 	}
 	log.Printf("executors=%d single pulses=%d simulated elapsed=%.3fs wall=%.3fs", *executors, res.Records, res.SimSeconds, res.WallSeconds)
 	log.Printf("stages=%d tasks=%d shuffle=%.1fMB spill=%.1fMB dropped=%d",

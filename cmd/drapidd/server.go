@@ -27,6 +27,7 @@ func newServer(engine *drapid.Engine, model *drapid.Classifier) *server {
 // handler builds the route table:
 //
 //	POST /v1/jobs                 submit an identification job
+//	POST /v1/detect               submit an end-to-end detection job
 //	GET  /v1/jobs                 list jobs with progress
 //	GET  /v1/jobs/{id}            one job's progress
 //	GET  /v1/jobs/{id}/candidates NDJSON candidate stream (live or replay)
@@ -40,6 +41,7 @@ func (s *server) handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("POST /v1/detect", s.handleDetect)
 	mux.HandleFunc("GET /v1/jobs", s.handleListJobs)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleProgress)
 	mux.HandleFunc("GET /v1/jobs/{id}/candidates", s.handleCandidates)
@@ -103,6 +105,56 @@ func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		ClusterFile:       req.ClusterFile,
 		FreqGHz:           req.FreqGHz,
 		BandMHz:           req.BandMHz,
+		PartitionsPerCore: req.PartitionsPerCore,
+	})
+	if err != nil {
+		errorJSON(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, map[string]any{
+		"id":         job.ID(),
+		"state":      job.State().String(),
+		"progress":   "/v1/jobs/" + job.ID(),
+		"candidates": "/v1/jobs/" + job.ID() + "/candidates",
+	})
+}
+
+// detectRequest is the POST /v1/detect body. A filterbank observation
+// arrives base64-encoded (JSON []byte), or a synth spec generates one
+// server-side; the remaining knobs mirror drapid.DetectJob.
+type detectRequest struct {
+	Filterbank        []byte            `json:"filterbank,omitempty"`
+	Synth             *drapid.SynthSpec `json:"synth,omitempty"`
+	Key               string            `json:"key,omitempty"`
+	DMMin             float64           `json:"dm_min,omitempty"`
+	DMMax             float64           `json:"dm_max,omitempty"`
+	DMStep            float64           `json:"dm_step,omitempty"`
+	Widths            []int             `json:"widths,omitempty"`
+	Threshold         float64           `json:"threshold,omitempty"`
+	NormWindow        int               `json:"norm_window,omitempty"`
+	NoZeroDM          bool              `json:"no_zerodm,omitempty"`
+	PartitionsPerCore int               `json:"partitions_per_core,omitempty"`
+}
+
+func (s *server) handleDetect(w http.ResponseWriter, r *http.Request) {
+	var req detectRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxJobBody)).Decode(&req); err != nil {
+		errorJSON(w, http.StatusBadRequest, "decoding request: %v", err)
+		return
+	}
+	// Like identification jobs, detect jobs outlive the request; clients
+	// stop them via the cancel endpoint.
+	job, err := s.engine.SubmitDetect(context.Background(), drapid.DetectJob{
+		Filterbank:        req.Filterbank,
+		Synth:             req.Synth,
+		Key:               req.Key,
+		DMMin:             req.DMMin,
+		DMMax:             req.DMMax,
+		DMStep:            req.DMStep,
+		Widths:            req.Widths,
+		Threshold:         req.Threshold,
+		NormWindow:        req.NormWindow,
+		NoZeroDM:          req.NoZeroDM,
 		PartitionsPerCore: req.PartitionsPerCore,
 	})
 	if err != nil {

@@ -226,6 +226,84 @@ func TestSmokeHTTP(t *testing.T) {
 	}
 }
 
+// TestSmokeDetectHTTP submits a detect job over HTTP — synthetic
+// observation generated server-side — and streams its candidates,
+// checking the frontend counters surface in progress.
+func TestSmokeDetectHTTP(t *testing.T) {
+	engine, err := drapid.New(drapid.WithWorkers(4), drapid.WithExecutors(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer engine.Close()
+	ts := httptest.NewServer(newServer(engine, nil).handler())
+	defer ts.Close()
+
+	var sub struct {
+		ID         string `json:"id"`
+		Candidates string `json:"candidates"`
+	}
+	req := map[string]any{
+		"synth": drapid.SynthSpec{
+			NChans: 64, NSamples: 8192, TsampSec: 256e-6,
+			Seed: 3,
+			Pulses: []drapid.InjectedPulse{
+				{TimeSec: 0.5, DM: 40, WidthMs: 3, SNR: 20},
+				{TimeSec: 1.2, DM: 90, WidthMs: 4, SNR: 25},
+			},
+		},
+		"dm_max":    120.0,
+		"dm_step":   1.0,
+		"threshold": 6.5,
+	}
+	if resp := postJSON(t, ts.URL+"/v1/detect", req, &sub); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("detect submit: status %d", resp.StatusCode)
+	}
+
+	stream, err := http.Get(ts.URL + sub.Candidates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stream.Body.Close()
+	n := 0
+	sc := bufio.NewScanner(stream.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		if bytes.Contains(sc.Bytes(), []byte(`"error"`)) {
+			t.Fatalf("stream error line: %s", sc.Bytes())
+		}
+		n++
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Fatal("detect job streamed no candidates")
+	}
+
+	var prog struct {
+		Progress drapid.Progress `json:"progress"`
+	}
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + sub.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&prog); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if prog.Progress.State != drapid.JobSucceeded {
+		t.Fatalf("detect job state %v", prog.Progress.State)
+	}
+	if prog.Progress.Detections == 0 {
+		t.Fatal("progress reports no frontend detections")
+	}
+
+	// A bad detect spec is rejected synchronously with a 400.
+	if resp := postJSON(t, ts.URL+"/v1/detect", map[string]any{}, nil); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("empty detect spec: status %d, want 400", resp.StatusCode)
+	}
+}
+
 // trainToyModel fits a J48 over the streamed candidates, labeling by a
 // simple SNR threshold — enough structure for a deterministic prediction.
 func trainToyModel(t *testing.T, cands []drapid.Candidate) *drapid.Classifier {

@@ -6,20 +6,60 @@
 // Usage:
 //
 //	spgen -survey palfa -obs 20 -out data/
+//
+// With -filterbank it instead writes one raw SIGPROC filterbank
+// observation with randomly injected dispersed pulses — the input of
+// cmd/drapid -detect — plus a <path>.truth.json ground-truth file:
+//
+//	spgen -filterbank obs.fil -fil-pulses 10 -seed 3
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"log"
 	"math/rand"
 	"os"
 	"path/filepath"
 
+	"drapid"
 	"drapid/internal/dbscan"
 	"drapid/internal/pipeline"
 	"drapid/internal/spe"
 	"drapid/internal/synth"
 )
+
+// writeFilterbank handles -filterbank mode: render a ground-truthed
+// synthetic observation to SIGPROC bytes and record the injections.
+func writeFilterbank(path string, pulses int, seed int64) {
+	spec := drapid.SynthSpec{SourceName: "SYNTH", Seed: seed}
+	rng := rand.New(rand.NewSource(seed + 1))
+	// Injections span the default detect grid (DM 0–300) with SNRs from
+	// marginal to bright; times leave room for the worst dispersion sweep.
+	for i := 0; i < pulses; i++ {
+		spec.Pulses = append(spec.Pulses, drapid.InjectedPulse{
+			TimeSec: 0.1 + rng.Float64()*3.5,
+			DM:      10 + rng.Float64()*270,
+			WidthMs: 1 + rng.Float64()*6,
+			SNR:     10 + rng.Float64()*20,
+		})
+	}
+	raw, err := drapid.GenerateFilterbank(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	truth, err := json.MarshalIndent(spec, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := os.WriteFile(path+".truth.json", append(truth, '\n'), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("wrote %s (%d bytes, %d injected pulses) and %s.truth.json", path, len(raw), pulses, path)
+}
 
 func main() {
 	log.SetFlags(0)
@@ -34,8 +74,14 @@ func main() {
 		rfi     = flag.Int("rfi", 4, "RFI signals per observation")
 		seed    = flag.Int64("seed", 1, "random seed")
 		outDir  = flag.String("out", "data", "output directory")
+		filPath = flag.String("filterbank", "", "write one synthetic SIGPROC filterbank here instead of CSVs")
+		filN    = flag.Int("fil-pulses", 10, "injected pulses in the -filterbank observation")
 	)
 	flag.Parse()
+	if *filPath != "" {
+		writeFilterbank(*filPath, *filN, *seed)
+		return
+	}
 
 	var sv synth.Survey
 	switch *survey {

@@ -1,0 +1,312 @@
+package drapid
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"math"
+	"strings"
+	"time"
+
+	"drapid/internal/core"
+	"drapid/internal/dbscan"
+	"drapid/internal/dmgrid"
+	"drapid/internal/features"
+	"drapid/internal/pipeline"
+	"drapid/internal/spe"
+	"drapid/internal/sps"
+)
+
+// InjectedPulse is one dispersed pulse of ground truth to embed in a
+// synthetic observation (SynthSpec.Pulses): arrival time at the highest
+// observed frequency, true DM, intrinsic width, and the matched-filter SNR
+// an ideal search recovers.
+type InjectedPulse struct {
+	TimeSec float64 `json:"time_sec"`
+	DM      float64 `json:"dm"`
+	WidthMs float64 `json:"width_ms"`
+	SNR     float64 `json:"snr"`
+}
+
+// RFIBurst is one broadband zero-DM interference burst to embed in a
+// synthetic observation (SynthSpec.RFI); Amp is per channel, in noise
+// sigmas.
+type RFIBurst struct {
+	TimeSec float64 `json:"time_sec"`
+	WidthMs float64 `json:"width_ms"`
+	Amp     float64 `json:"amp"`
+}
+
+// SynthSpec describes a synthetic filterbank observation for a DetectJob:
+// receiver geometry, Gaussian noise, and injected signals with known
+// ground truth. Zero geometry fields take the documented defaults (128
+// channels of 2 MHz below 1500 MHz, 16384 × 256 µs samples, unit noise).
+type SynthSpec struct {
+	NChans     int     `json:"nchans,omitempty"`
+	NSamples   int     `json:"nsamples,omitempty"`
+	TsampSec   float64 `json:"tsamp_sec,omitempty"`
+	Fch1MHz    float64 `json:"fch1_mhz,omitempty"`
+	FoffMHz    float64 `json:"foff_mhz,omitempty"`
+	TStartMJD  float64 `json:"tstart_mjd,omitempty"`
+	SourceName string  `json:"source_name,omitempty"`
+	// NoiseSigma is the per-channel noise level (0 = 1).
+	NoiseSigma float64 `json:"noise_sigma,omitempty"`
+	// Seed makes the observation deterministic.
+	Seed   int64           `json:"seed,omitempty"`
+	Pulses []InjectedPulse `json:"pulses,omitempty"`
+	RFI    []RFIBurst      `json:"rfi,omitempty"`
+}
+
+// internal converts the public spec to the frontend's configuration.
+func (s SynthSpec) internal() sps.SynthConfig {
+	cfg := sps.SynthConfig{
+		NChans:     s.NChans,
+		NSamples:   s.NSamples,
+		TsampSec:   s.TsampSec,
+		Fch1MHz:    s.Fch1MHz,
+		FoffMHz:    s.FoffMHz,
+		TStartMJD:  s.TStartMJD,
+		SourceName: s.SourceName,
+		NoiseSigma: s.NoiseSigma,
+		Seed:       s.Seed,
+	}
+	for _, p := range s.Pulses {
+		cfg.Pulses = append(cfg.Pulses, sps.InjectedPulse(p))
+	}
+	for _, b := range s.RFI {
+		cfg.RFI = append(cfg.RFI, sps.RFIBurst(b))
+	}
+	return cfg
+}
+
+// GenerateFilterbank renders a synthetic observation to SIGPROC
+// filterbank bytes: ground-truthed input for DetectJob.Filterbank, for
+// files on disk (cmd/spgen -filterbank), or for HTTP detect clients.
+func GenerateFilterbank(spec SynthSpec) ([]byte, error) {
+	fb, err := sps.Generate(spec.internal())
+	if err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	if err := sps.Write(&buf, fb); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// DetectJob specifies one end-to-end single-pulse search: raw
+// time–frequency data in (a SIGPROC filterbank, or a synthetic
+// observation), classified-ready candidates out. The frontend
+// (internal/sps) dedisperses the data over the trial-DM grid on the
+// engine's shared worker pool, matched-filters every trial, clusters the
+// detections with the stage-2 DBSCAN, and feeds the resulting SPE and
+// cluster files through the same distributed identification pipeline an
+// IdentifyJob runs — so Results() streams the same Candidate records,
+// ready for Classifier.Predict.
+type DetectJob struct {
+	// Filterbank is a raw SIGPROC filterbank observation (for example
+	// written by cmd/spgen -filterbank). Exactly one of Filterbank and
+	// Synth must be set.
+	Filterbank []byte
+	// Synth generates a synthetic observation in place of Filterbank.
+	Synth *SynthSpec
+	// Key identifies the observation in downstream records, in the
+	// canonical "dataset:mjd:ra:dec:beam" form; empty derives one from
+	// the filterbank header (source name and start MJD).
+	Key string
+	// DMMin, DMMax and DMStep define the trial dispersion-measure grid in
+	// pc cm⁻³. All-zero takes the default grid (0 to 300, step 1).
+	DMMin, DMMax, DMStep float64
+	// Widths is the boxcar matched-filter ladder in samples; empty takes
+	// the octave ladder 1…64.
+	Widths []int
+	// Threshold is the detection SNR cut; zero takes 6.
+	Threshold float64
+	// NormWindow is the running mean/variance normalisation window in
+	// samples; zero normalises each trial by its global moments.
+	NormWindow int
+	// NoZeroDM disables the zero-DM broadband-RFI filter
+	// (sps.ZeroDMFilter), which detect jobs otherwise apply before
+	// dedispersion. Disable it only when genuinely zero-DM signals matter
+	// more than RFI rejection.
+	NoZeroDM bool
+	// PartitionsPerCore overrides the engine default when positive.
+	PartitionsPerCore int
+	// ResultBuffer bounds consumer lag exactly as for IdentifyJob.
+	ResultBuffer int
+}
+
+// validate checks the spec and resolves the trial grid.
+func (spec DetectJob) validate() (lo, hi, step float64, err error) {
+	if len(spec.Filterbank) == 0 && spec.Synth == nil {
+		return 0, 0, 0, fmt.Errorf("drapid: DetectJob needs Filterbank bytes or a Synth spec")
+	}
+	if len(spec.Filterbank) > 0 && spec.Synth != nil {
+		return 0, 0, 0, fmt.Errorf("drapid: DetectJob takes Filterbank or Synth, not both")
+	}
+	lo, hi, step = spec.DMMin, spec.DMMax, spec.DMStep
+	if lo == 0 && hi == 0 && step == 0 {
+		lo, hi, step = 0, 300, 1
+	}
+	if step <= 0 {
+		return 0, 0, 0, fmt.Errorf("drapid: DM step %g must be > 0", step)
+	}
+	if lo < 0 || hi <= lo {
+		return 0, 0, 0, fmt.Errorf("drapid: bad DM range [%g, %g]", lo, hi)
+	}
+	if spec.Threshold < 0 {
+		return 0, 0, 0, fmt.Errorf("drapid: threshold %g must be >= 0", spec.Threshold)
+	}
+	if spec.ResultBuffer < 0 {
+		return 0, 0, 0, fmt.Errorf("drapid: ResultBuffer must be >= 0, got %d", spec.ResultBuffer)
+	}
+	if spec.Key != "" {
+		if _, err := spe.ParseKey(spec.Key); err != nil {
+			return 0, 0, 0, fmt.Errorf("drapid: bad observation key %q (want dataset:mjd:ra:dec:beam)", spec.Key)
+		}
+	}
+	return lo, hi, step, nil
+}
+
+// SubmitDetect registers and starts a detection job, returning its handle
+// immediately (the same streaming Job handle Submit returns: Results,
+// Progress, Wait, Cancel all apply). The frontend search runs on the
+// engine's worker pool under the shared limiter, so detect jobs share the
+// host fairly with concurrent identify jobs.
+func (e *Engine) SubmitDetect(ctx context.Context, spec DetectJob) (*Job, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	lo, hi, step, err := spec.validate()
+	if err != nil {
+		return nil, err
+	}
+	grid, err := detectGrid(lo, hi, step)
+	if err != nil {
+		return nil, fmt.Errorf("drapid: building DM grid: %w", err)
+	}
+	id, err := e.allocateID()
+	if err != nil {
+		return nil, err
+	}
+	j := e.newJobHandle(ctx, id, spec.ResultBuffer)
+	if err := e.register(j); err != nil {
+		return nil, err
+	}
+	go j.run(e.detectWork(j, spec, grid))
+	return j, nil
+}
+
+// detectGrid builds the one-stage trial plan holding exactly the DMs
+// lo, lo+step, … that do not exceed hi: sizing the stage bound from the
+// floor'd trial count keeps a step that does not divide the range from
+// overshooting the caller's DMMax.
+func detectGrid(lo, hi, step float64) (*dmgrid.Grid, error) {
+	n := math.Floor((hi-lo)/step+1e-9) + 1
+	return dmgrid.New([]dmgrid.Stage{{Lo: lo, Hi: lo + n*step, Step: step}})
+}
+
+// detectWork is the detect job's work function: frontend search, stage-2
+// clustering, upload, then the shared identification pipeline.
+func (e *Engine) detectWork(j *Job, spec DetectJob, grid *dmgrid.Grid) func() (Result, error) {
+	return func() (Result, error) {
+		start := time.Now()
+		var fb *sps.Filterbank
+		var err error
+		if spec.Synth != nil {
+			fb, err = sps.Generate(spec.Synth.internal())
+		} else {
+			fb, err = sps.Read(bytes.NewReader(spec.Filterbank))
+		}
+		if err != nil {
+			return Result{}, fmt.Errorf("drapid: reading filterbank: %w", err)
+		}
+		events, _, err := sps.Search(j.ctx, fb, sps.Config{
+			DMs:        grid.Trials(),
+			Widths:     spec.Widths,
+			Threshold:  spec.Threshold,
+			NormWindow: spec.NormWindow,
+			ZeroDM:     !spec.NoZeroDM,
+			Exec:       e.exec,
+		})
+		if err != nil {
+			return Result{}, fmt.Errorf("drapid: single-pulse search: %w", err)
+		}
+		j.setDetections(len(events))
+		detectSecs := time.Since(start).Seconds()
+
+		key, err := observationKey(spec.Key, fb.Header)
+		if err != nil {
+			return Result{}, err
+		}
+		prep := pipeline.Prepare([]spe.Observation{{Key: key, Events: events}}, grid, dbscan.DefaultParams())
+		dataFile := "jobs/" + j.id + "/spe.csv"
+		clusterFile := "jobs/" + j.id + "/clusters.csv"
+		if err := prep.Upload(e.fs, dataFile, clusterFile); err != nil {
+			return Result{}, fmt.Errorf("drapid: uploading detections: %w", err)
+		}
+		partsPerCore := e.partsPerCore
+		if spec.PartitionsPerCore > 0 {
+			partsPerCore = spec.PartitionsPerCore
+		}
+		res, err := j.pipelineWork(pipeline.JobConfig{
+			DataFile:          dataFile,
+			ClusterFile:       clusterFile,
+			OutDir:            "jobs/" + j.id + "/ml",
+			PartitionsPerCore: partsPerCore,
+			Params:            detectSearchParams(grid),
+			Feat: features.Config{
+				Grid:    grid,
+				BandMHz: fb.BandwidthMHz(),
+				FreqGHz: fb.CenterFreqGHz(),
+			},
+			Emit: j.emit,
+		})()
+		if err != nil {
+			return Result{}, err
+		}
+		res.Detections = len(events)
+		res.DetectSeconds = detectSecs
+		return res, nil
+	}
+}
+
+// detectSearchParams adapts Algorithm 1's slope threshold to the detect
+// grid. The paper's M = 0.5 (SNR per pc cm⁻³) was tuned on survey plans
+// whose spacing is ≲0.25 at the DMs that matter, where a real pulse's
+// SNR-vs-DM climb is steep in DM units. A brute-force detect grid is much
+// coarser (default step 1), which flattens the same climb proportionally —
+// under the survey threshold every bin of a genuine pulse reads "flat" and
+// nothing is ever identified. Scaling M by spacing keeps the threshold
+// constant in SNR-per-trial terms, capped at the paper's value for fine
+// grids.
+func detectSearchParams(grid *dmgrid.Grid) core.Params {
+	p := core.DefaultParams()
+	step := grid.SpacingAt(grid.Min())
+	if step > 0.25 {
+		p.SlopeM = core.DefaultSlopeM * 0.25 / step
+	}
+	return p
+}
+
+// observationKey resolves the job's observation key: the caller's, or one
+// derived from the filterbank header. Source names are sanitised into the
+// CSV/colon-joined key alphabet.
+func observationKey(explicit string, hdr sps.Header) (spe.Key, error) {
+	if explicit != "" {
+		return spe.ParseKey(explicit)
+	}
+	name := strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '+', r == '-', r == '.', r == '_':
+			return r
+		default:
+			return '_'
+		}
+	}, hdr.SourceName)
+	if name == "" {
+		name = "DETECT"
+	}
+	return spe.Key{Dataset: name, MJD: hdr.TStartMJD}, nil
+}

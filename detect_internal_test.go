@@ -1,0 +1,38 @@
+package drapid
+
+import "testing"
+
+// TestDetectGridRespectsDMMax pins the trial-plan arithmetic: the grid
+// holds every lo+k·step up to hi and nothing beyond, even when the step
+// does not divide the range.
+func TestDetectGridRespectsDMMax(t *testing.T) {
+	cases := []struct {
+		lo, hi, step float64
+		first, last  float64
+		n            int
+	}{
+		{0, 300, 1, 0, 300, 301},
+		{0, 10, 4, 0, 8, 3},      // 12 would overshoot DMMax
+		{5, 6, 0.25, 5, 6, 5},    // fractional step, exact fit
+		{10, 10.1, 1, 10, 10, 1}, // range smaller than one step
+	}
+	for _, c := range cases {
+		grid, err := detectGrid(c.lo, c.hi, c.step)
+		if err != nil {
+			t.Fatalf("detectGrid(%g, %g, %g): %v", c.lo, c.hi, c.step, err)
+		}
+		trials := grid.Trials()
+		if len(trials) != c.n {
+			t.Fatalf("detectGrid(%g, %g, %g) has %d trials %v, want %d", c.lo, c.hi, c.step, len(trials), trials, c.n)
+		}
+		if trials[0] != c.first || trials[len(trials)-1] != c.last {
+			t.Fatalf("detectGrid(%g, %g, %g) spans [%g, %g], want [%g, %g]",
+				c.lo, c.hi, c.step, trials[0], trials[len(trials)-1], c.first, c.last)
+		}
+		for _, dm := range trials {
+			if dm > c.hi {
+				t.Fatalf("trial %g exceeds DMMax %g", dm, c.hi)
+			}
+		}
+	}
+}

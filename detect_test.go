@@ -1,0 +1,226 @@
+package drapid_test
+
+import (
+	"context"
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"drapid"
+)
+
+// detectSynthSpec is the end-to-end fixture: a ~4.2 s synthetic band with
+// ten injected pulses of known DM/width/SNR, all comfortably above the
+// detection threshold, plus a broadband RFI burst.
+func detectSynthSpec() drapid.SynthSpec {
+	return drapid.SynthSpec{
+		NChans: 128, NSamples: 16384, TsampSec: 256e-6,
+		Fch1MHz: 1500, FoffMHz: -2,
+		SourceName: "J1234+56",
+		Seed:       29,
+		Pulses: []drapid.InjectedPulse{
+			{TimeSec: 0.30, DM: 18, WidthMs: 2, SNR: 16},
+			{TimeSec: 0.65, DM: 45, WidthMs: 4, SNR: 13},
+			{TimeSec: 1.00, DM: 70, WidthMs: 3, SNR: 22},
+			{TimeSec: 1.35, DM: 98, WidthMs: 5, SNR: 14},
+			{TimeSec: 1.70, DM: 125, WidthMs: 2.5, SNR: 18},
+			{TimeSec: 2.05, DM: 152, WidthMs: 6, SNR: 15},
+			{TimeSec: 2.40, DM: 180, WidthMs: 3.5, SNR: 20},
+			{TimeSec: 2.75, DM: 210, WidthMs: 4.5, SNR: 12},
+			{TimeSec: 3.10, DM: 240, WidthMs: 5.5, SNR: 17},
+			{TimeSec: 3.45, DM: 268, WidthMs: 3, SNR: 25},
+		},
+		RFI: []drapid.RFIBurst{{TimeSec: 1.52, WidthMs: 4, Amp: 3}},
+	}
+}
+
+// featureIndex resolves a Table 1 feature name to its vector index.
+func featureIndex(t *testing.T, name string) int {
+	t.Helper()
+	for i, n := range drapid.FeatureNames() {
+		if n == name {
+			return i
+		}
+	}
+	t.Fatalf("no feature named %q", name)
+	return -1
+}
+
+// TestDetectJobRecall is the acceptance test for the single-pulse search
+// frontend: ≥90% of the injected pulses must come back out of the full
+// detect → cluster → identify pipeline as streamed candidates.
+func TestDetectJobRecall(t *testing.T) {
+	engine, err := drapid.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer engine.Close()
+
+	spec := detectSynthSpec()
+	job, err := engine.SubmitDetect(context.Background(), drapid.DetectJob{
+		Synth:     &spec,
+		Threshold: 6.5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var cands []drapid.Candidate
+	for c, err := range job.Results() {
+		if err != nil {
+			t.Fatal(err)
+		}
+		cands = append(cands, c)
+	}
+	res, err := job.Wait(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Detections == 0 || res.Detections < len(cands) {
+		t.Fatalf("Detections = %d with %d candidates", res.Detections, len(cands))
+	}
+	if res.DetectSeconds <= 0 {
+		t.Fatalf("DetectSeconds = %g", res.DetectSeconds)
+	}
+	if res.Records != len(cands) {
+		t.Fatalf("Records = %d, streamed %d", res.Records, len(cands))
+	}
+	if p := job.Progress(); p.Detections != res.Detections {
+		t.Fatalf("Progress.Detections = %d, Result.Detections = %d", p.Detections, res.Detections)
+	}
+
+	peakDM := featureIndex(t, "SNRPeakDM")
+	startT := featureIndex(t, "StartTime")
+	stopT := featureIndex(t, "StopTime")
+	recovered := 0
+	for _, p := range spec.Pulses {
+		center := p.TimeSec + p.WidthMs/2000
+		found := false
+		for _, c := range cands {
+			if math.Abs(c.Features[peakDM]-p.DM) <= 6 &&
+				c.Features[startT] <= center+0.05 &&
+				c.Features[stopT] >= center-0.05 {
+				found = true
+				break
+			}
+		}
+		if found {
+			recovered++
+		} else {
+			t.Logf("missed injection %+v", p)
+		}
+	}
+	recall := float64(recovered) / float64(len(spec.Pulses))
+	t.Logf("end-to-end recall %d/%d = %.0f%% (%d detections → %d candidates)",
+		recovered, len(spec.Pulses), 100*recall, res.Detections, len(cands))
+	if recall < 0.9 {
+		t.Fatalf("end-to-end recall %.2f below 0.90", recall)
+	}
+
+	// The derived observation key carries the sanitised source name.
+	for _, c := range cands {
+		if !strings.HasPrefix(c.Key, "J1234+56:") {
+			t.Fatalf("candidate key %q does not carry the source name", c.Key)
+		}
+	}
+}
+
+// TestDetectJobFromFilterbankBytes runs the same pipeline from serialised
+// SIGPROC bytes — the path real recorded observations take.
+func TestDetectJobFromFilterbankBytes(t *testing.T) {
+	engine, err := drapid.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer engine.Close()
+
+	raw, err := drapid.GenerateFilterbank(drapid.SynthSpec{
+		NChans: 64, NSamples: 8192, TsampSec: 256e-6,
+		Seed:   5,
+		Pulses: []drapid.InjectedPulse{{TimeSec: 0.5, DM: 60, WidthMs: 4, SNR: 25}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	job, err := engine.SubmitDetect(context.Background(), drapid.DetectJob{
+		Filterbank: raw,
+		DMMin:      0, DMMax: 120, DMStep: 1,
+		Key: "TESTSET:55000.0000:10.0000:-5.0000:2",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var n int
+	for c, err := range job.Results() {
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c.Key != "TESTSET:55000.0000:10.0000:-5.0000:2" {
+			t.Fatalf("candidate key %q, want the explicit key", c.Key)
+		}
+		n++
+	}
+	if _, err := job.Wait(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Fatal("no candidates from an SNR-25 injection")
+	}
+}
+
+func TestDetectJobValidation(t *testing.T) {
+	engine, err := drapid.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer engine.Close()
+	synth := &drapid.SynthSpec{NChans: 8, NSamples: 64}
+	cases := map[string]drapid.DetectJob{
+		"no input":       {},
+		"both inputs":    {Filterbank: []byte{1}, Synth: synth},
+		"bad DM range":   {Synth: synth, DMMin: 50, DMMax: 10, DMStep: 1},
+		"bad DM step":    {Synth: synth, DMMin: 0, DMMax: 10, DMStep: -1},
+		"bad threshold":  {Synth: synth, Threshold: -2},
+		"bad buffer":     {Synth: synth, ResultBuffer: -1},
+		"malformed key":  {Synth: synth, Key: "not-a-key"},
+		"bad filterbank": {Filterbank: []byte("not a filterbank")},
+	}
+	for name, spec := range cases {
+		job, err := engine.SubmitDetect(context.Background(), spec)
+		if err != nil {
+			continue // rejected synchronously: good
+		}
+		if name != "bad filterbank" {
+			t.Errorf("%s: accepted", name)
+			continue
+		}
+		// Malformed bytes are only discovered asynchronously; the job
+		// must fail, not hang or panic.
+		if _, err := job.Wait(context.Background()); err == nil {
+			t.Errorf("%s: job succeeded", name)
+		}
+	}
+}
+
+func TestDetectJobCancel(t *testing.T) {
+	engine, err := drapid.New(drapid.WithWorkers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer engine.Close()
+	spec := detectSynthSpec()
+	job, err := engine.SubmitDetect(context.Background(), drapid.DetectJob{Synth: &spec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	job.Cancel()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if _, err := job.Wait(ctx); err == nil {
+		t.Fatal("cancelled detect job returned nil error")
+	}
+	if s := job.State(); s != drapid.JobCancelled {
+		t.Fatalf("state = %v", s)
+	}
+}

@@ -13,6 +13,13 @@
 //     candidates as stage-3 key groups complete. Any number of jobs share
 //     one engine's worker pool fairly.
 //
+//   - Detection: Engine.SubmitDetect starts a DetectJob one stage earlier
+//     in the physical pipeline — raw time–frequency data (a SIGPROC
+//     filterbank, or a SynthSpec observation with injected ground truth)
+//     is dedispersed over a trial-DM grid on the same worker pool,
+//     matched-filtered, clustered and identified end to end, streaming
+//     the same Candidate records (DESIGN.md §5).
+//
 //   - Classification: NewClassifier wraps any of the six Table 5 learners
 //     behind Train / Predict, and Save / LoadClassifier persist a trained
 //     model as JSON so it outlives the process.

@@ -219,14 +219,10 @@ func (e *Engine) Submit(ctx context.Context, spec IdentifyJob) (*Job, error) {
 	if err := spec.validate(); err != nil {
 		return nil, err
 	}
-	e.mu.Lock()
-	if e.closed {
-		e.mu.Unlock()
-		return nil, fmt.Errorf("drapid: engine is closed")
+	id, err := e.allocateID()
+	if err != nil {
+		return nil, err
 	}
-	e.nextID++
-	id := fmt.Sprintf("job-%d", e.nextID)
-	e.mu.Unlock()
 
 	dataFile, clusterFile := spec.DataFile, spec.ClusterFile
 	if len(spec.Data) > 0 {
@@ -254,15 +250,7 @@ func (e *Engine) Submit(ctx context.Context, spec IdentifyJob) (*Job, error) {
 		partsPerCore = spec.PartitionsPerCore
 	}
 
-	jctx, cancel := context.WithCancelCause(ctx)
-	// Each job gets its own driver context (metrics, simulated clock,
-	// fresh simulated executors) over the shared filesystem; the shared
-	// Limiter in e.exec is what makes concurrent jobs share the host pool.
-	rctx := rdd.NewContext(e.fs, rdd.FromContainers(e.grants), e.cost)
-	rctx.Exec = e.exec
-	rctx.SetContext(jctx)
-
-	j := newJob(id, jctx, cancel, rctx, spec.ResultBuffer)
+	j := e.newJobHandle(ctx, id, spec.ResultBuffer)
 	cfg := pipeline.JobConfig{
 		DataFile:          dataFile,
 		ClusterFile:       clusterFile,
@@ -271,20 +259,51 @@ func (e *Engine) Submit(ctx context.Context, spec IdentifyJob) (*Job, error) {
 		Feat:              features.Config{Grid: dmgrid.Default(), BandMHz: band, FreqGHz: freq},
 		Emit:              j.emit,
 	}
+	if err := e.register(j); err != nil {
+		return nil, err
+	}
+	go j.run(j.pipelineWork(cfg))
+	return j, nil
+}
 
+// allocateID reserves the next job ID, refusing when the engine is closed.
+func (e *Engine) allocateID() (string, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return "", fmt.Errorf("drapid: engine is closed")
+	}
+	e.nextID++
+	return fmt.Sprintf("job-%d", e.nextID), nil
+}
+
+// newJobHandle builds a job handle bound to its own driver context
+// (metrics, simulated clock, fresh simulated executors) over the shared
+// filesystem; the shared Limiter in e.exec is what makes concurrent jobs
+// share the host pool.
+func (e *Engine) newJobHandle(ctx context.Context, id string, buffer int) *Job {
+	jctx, cancel := context.WithCancelCause(ctx)
+	rctx := rdd.NewContext(e.fs, rdd.FromContainers(e.grants), e.cost)
+	rctx.Exec = e.exec
+	rctx.SetContext(jctx)
+	return newJob(id, jctx, cancel, rctx, buffer)
+}
+
+// register installs the job in the engine's table, unwinding it (and any
+// inputs already uploaded under its directory) when Close raced the
+// submission.
+func (e *Engine) register(j *Job) error {
 	e.mu.Lock()
 	if e.closed {
 		e.mu.Unlock()
-		cancel(fmt.Errorf("drapid: engine is closed"))
-		e.removeJobFiles(id) // don't leak the just-uploaded inputs
-		return nil, fmt.Errorf("drapid: engine is closed")
+		j.cancel(fmt.Errorf("drapid: engine is closed"))
+		e.removeJobFiles(j.id) // don't leak the just-uploaded inputs
+		return fmt.Errorf("drapid: engine is closed")
 	}
-	e.jobs[id] = j
-	e.order = append(e.order, id)
+	e.jobs[j.id] = j
+	e.order = append(e.order, j.id)
 	e.mu.Unlock()
-
-	go j.run(cfg)
-	return j, nil
+	return nil
 }
 
 // Job returns a submitted job by ID.

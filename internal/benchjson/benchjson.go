@@ -1,0 +1,152 @@
+// Package benchjson records benchmark results as a machine-readable JSON
+// file, so performance PRs leave a trackable artifact (BENCH_sps.json)
+// instead of only transient `go test -bench` text. Benchmarks register
+// entries with a Collector during the run; a TestMain flushes it once,
+// merging over any existing file so repeated partial runs accumulate.
+package benchjson
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Format identifies the document schema.
+const Format = "drapid-bench/v1"
+
+// DefaultFile is the artifact name when the BENCH_JSON environment
+// variable does not override it.
+const DefaultFile = "BENCH_sps.json"
+
+// Entry is one benchmark measurement.
+type Entry struct {
+	// Name is the full benchmark name (e.g. "BenchmarkDedisperse/workers=4").
+	Name string `json:"name"`
+	// NsPerOp is the measured nanoseconds per operation.
+	NsPerOp float64 `json:"ns_per_op"`
+	// MBPerS is the processing rate in MB/s, when the benchmark declares a
+	// per-op byte volume.
+	MBPerS float64 `json:"mb_per_s,omitempty"`
+	// Workers is the worker-pool width the measurement used, when the
+	// benchmark sweeps one.
+	Workers int `json:"workers,omitempty"`
+	// N is the benchmark iteration count behind the measurement.
+	N int `json:"n,omitempty"`
+}
+
+// Document is the on-disk shape.
+type Document struct {
+	Format string `json:"format"`
+	// WrittenAt is the RFC 3339 flush time.
+	WrittenAt string  `json:"written_at"`
+	Entries   []Entry `json:"entries"`
+}
+
+// Collector accumulates entries keyed by name (last write wins) and flushes
+// them to one file. Safe for concurrent use.
+type Collector struct {
+	mu      sync.Mutex
+	path    string
+	entries map[string]Entry
+}
+
+// DefaultPath resolves the artifact path: $BENCH_JSON, or DefaultFile at
+// the module root. `go test` runs each package in its own directory, so
+// anchoring at the nearest enclosing go.mod is what lets benchmarks from
+// different packages (the sps frontend and the root evaluation suite)
+// merge into one artifact; without a go.mod in reach it falls back to the
+// working directory.
+func DefaultPath() string {
+	if p := os.Getenv("BENCH_JSON"); p != "" {
+		return p
+	}
+	dir, err := os.Getwd()
+	if err != nil {
+		return DefaultFile
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return filepath.Join(dir, DefaultFile)
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return DefaultFile
+		}
+		dir = parent
+	}
+}
+
+// NewCollector returns a collector writing to path (DefaultPath when empty).
+func NewCollector(path string) *Collector {
+	if path == "" {
+		path = DefaultPath()
+	}
+	return &Collector{path: path, entries: map[string]Entry{}}
+}
+
+// Record registers one measurement, replacing any earlier entry of the
+// same name (benchmarks re-run with increasing b.N; the final run wins).
+func (c *Collector) Record(e Entry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.entries[e.Name] = e
+}
+
+// Measure derives an Entry from raw benchmark accounting — elapsed time
+// over n iterations, optionally bytesPerOp processed per iteration and the
+// worker width — and records it.
+func (c *Collector) Measure(name string, elapsed time.Duration, n int, bytesPerOp int64, workers int) {
+	if n <= 0 || elapsed <= 0 {
+		return
+	}
+	e := Entry{
+		Name:    name,
+		NsPerOp: float64(elapsed.Nanoseconds()) / float64(n),
+		Workers: workers,
+		N:       n,
+	}
+	if bytesPerOp > 0 {
+		e.MBPerS = float64(bytesPerOp) * float64(n) / elapsed.Seconds() / 1e6
+	}
+	c.Record(e)
+}
+
+// Flush writes the collected entries, merged over any existing document at
+// the path (entries recorded this run replace same-named ones; others are
+// kept). A collector with no entries flushes nothing, so wiring Flush into
+// TestMain is harmless for plain `go test` runs.
+func (c *Collector) Flush() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.entries) == 0 {
+		return nil
+	}
+	merged := map[string]Entry{}
+	if raw, err := os.ReadFile(c.path); err == nil {
+		var doc Document
+		if json.Unmarshal(raw, &doc) == nil && doc.Format == Format {
+			for _, e := range doc.Entries {
+				merged[e.Name] = e
+			}
+		}
+	}
+	for name, e := range c.entries {
+		merged[name] = e
+	}
+	doc := Document{Format: Format, WrittenAt: time.Now().UTC().Format(time.RFC3339)}
+	for _, e := range merged {
+		doc.Entries = append(doc.Entries, e)
+	}
+	sort.Slice(doc.Entries, func(i, j int) bool { return doc.Entries[i].Name < doc.Entries[j].Name })
+	raw, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(c.path, append(raw, '\n'), 0o644)
+}
+
+// Path returns the file the collector flushes to.
+func (c *Collector) Path() string { return c.path }

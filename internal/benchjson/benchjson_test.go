@@ -1,0 +1,100 @@
+package benchjson
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func readDoc(t *testing.T, path string) Document {
+	t.Helper()
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc Document
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatal(err)
+	}
+	return doc
+}
+
+func TestFlushWritesSortedEntries(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	c := NewCollector(path)
+	c.Measure("B/workers=2", 2*time.Second, 4, 1_000_000, 2)
+	c.Measure("A/serial", time.Second, 10, 0, 1)
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	doc := readDoc(t, path)
+	if doc.Format != Format {
+		t.Fatalf("format = %q", doc.Format)
+	}
+	if len(doc.Entries) != 2 || doc.Entries[0].Name != "A/serial" || doc.Entries[1].Name != "B/workers=2" {
+		t.Fatalf("entries = %+v", doc.Entries)
+	}
+	a, b := doc.Entries[0], doc.Entries[1]
+	if a.NsPerOp != 1e8 || a.MBPerS != 0 || a.Workers != 1 {
+		t.Fatalf("A entry = %+v", a)
+	}
+	// 4 ops × 1 MB over 2 s = 2 MB/s; 2 s / 4 ops = 5e8 ns/op.
+	if b.NsPerOp != 5e8 || b.MBPerS != 2 || b.Workers != 2 || b.N != 4 {
+		t.Fatalf("B entry = %+v", b)
+	}
+}
+
+func TestFlushMergesExistingFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	c1 := NewCollector(path)
+	c1.Measure("old", time.Second, 1, 0, 0)
+	c1.Measure("stale", time.Second, 1, 0, 0)
+	if err := c1.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	c2 := NewCollector(path)
+	c2.Measure("stale", 2*time.Second, 1, 0, 0) // replaces
+	c2.Measure("new", time.Second, 1, 0, 0)
+	if err := c2.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	doc := readDoc(t, path)
+	got := map[string]float64{}
+	for _, e := range doc.Entries {
+		got[e.Name] = e.NsPerOp
+	}
+	if len(got) != 3 || got["old"] != 1e9 || got["stale"] != 2e9 || got["new"] != 1e9 {
+		t.Fatalf("merged entries = %v", got)
+	}
+}
+
+func TestEmptyCollectorFlushesNothing(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := NewCollector(path).Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatalf("empty flush created %s", path)
+	}
+}
+
+func TestDefaultPathAnchorsAtModuleRoot(t *testing.T) {
+	root := t.TempDir()
+	if err := os.WriteFile(filepath.Join(root, "go.mod"), []byte("module x\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	sub := filepath.Join(root, "internal", "deep")
+	if err := os.MkdirAll(sub, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	t.Chdir(sub)
+	if got, want := DefaultPath(), filepath.Join(root, DefaultFile); got != want {
+		t.Fatalf("DefaultPath() = %q, want %q", got, want)
+	}
+	t.Setenv("BENCH_JSON", "/explicit/override.json")
+	if got := DefaultPath(); got != "/explicit/override.json" {
+		t.Fatalf("BENCH_JSON override ignored: %q", got)
+	}
+}

@@ -196,20 +196,24 @@ func WriteClusterFile(w io.Writer, cs []*Cluster) error {
 }
 
 // ReadDataFile parses a data file into observations grouped by key, in first-
-// appearance order.
+// appearance order. Header and blank lines (including trailing ones) are
+// skipped; a malformed record fails with its 1-based line number, so a bad
+// row in a multi-gigabyte survey file can actually be found.
 func ReadDataFile(r io.Reader) ([]Observation, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
 	order := []Key{}
 	byKey := map[Key][]SPE{}
+	ln := 0
 	for sc.Scan() {
+		ln++
 		line := sc.Text()
 		if IsHeader(line) {
 			continue
 		}
 		k, e, err := ParseDataLine(line)
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("spe: line %d: %w", ln, err)
 		}
 		if _, ok := byKey[k]; !ok {
 			order = append(order, k)
@@ -217,7 +221,7 @@ func ReadDataFile(r io.Reader) ([]Observation, error) {
 		byKey[k] = append(byKey[k], e)
 	}
 	if err := sc.Err(); err != nil {
-		return nil, err
+		return nil, fmt.Errorf("spe: after line %d: %w", ln, err)
 	}
 	obs := make([]Observation, 0, len(order))
 	for _, k := range order {
@@ -226,24 +230,28 @@ func ReadDataFile(r io.Reader) ([]Observation, error) {
 	return obs, nil
 }
 
-// ReadClusterFile parses a cluster file.
+// ReadClusterFile parses a cluster file. Header and blank lines (including
+// trailing ones) are skipped; a malformed record fails with its 1-based
+// line number.
 func ReadClusterFile(r io.Reader) ([]*Cluster, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
 	var cs []*Cluster
+	ln := 0
 	for sc.Scan() {
+		ln++
 		line := sc.Text()
 		if IsHeader(line) {
 			continue
 		}
 		c, err := ParseClusterLine(line)
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("spe: line %d: %w", ln, err)
 		}
 		cs = append(cs, c)
 	}
 	if err := sc.Err(); err != nil {
-		return nil, err
+		return nil, fmt.Errorf("spe: after line %d: %w", ln, err)
 	}
 	return cs, nil
 }

@@ -1,0 +1,44 @@
+package spe
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseDataLine asserts the SPE record parser never panics on
+// arbitrary input, and that any line it accepts survives a
+// format-and-reparse round trip (the interchange invariant the HDFS
+// upload path depends on).
+func FuzzParseDataLine(f *testing.F) {
+	f.Add("PALFA,55000.1234,140.5000,30.2500,3,120.5000,8.125,12.345600,192900,4")
+	f.Add("")
+	f.Add("a,b,c")
+	f.Add("S,55000,10,20,1,NaN,8,12,100,4")
+	f.Add(strings.Repeat(",", 9))
+	f.Fuzz(func(t *testing.T, line string) {
+		k, e, err := ParseDataLine(line)
+		if err != nil {
+			return
+		}
+		if _, _, err := ParseDataLine(FormatDataLine(k, e)); err != nil {
+			t.Fatalf("accepted line does not round trip: %q → %v", line, err)
+		}
+	})
+}
+
+// FuzzParseClusterLine is the same contract for cluster records.
+func FuzzParseClusterLine(f *testing.F) {
+	f.Add("PALFA,55000.1234,140.5000,30.2500,3,7,19,118.0000,123.0000,12.100000,12.500000,9.875,2")
+	f.Add("")
+	f.Add(strings.Repeat(",", 12))
+	f.Add("S,55000,10,20,1,0,3,10,20,1,2,9.5,nope")
+	f.Fuzz(func(t *testing.T, line string) {
+		c, err := ParseClusterLine(line)
+		if err != nil {
+			return
+		}
+		if _, err := ParseClusterLine(FormatClusterLine(c)); err != nil {
+			t.Fatalf("accepted line does not round trip: %q → %v", line, err)
+		}
+	})
+}

@@ -198,3 +198,51 @@ func TestContains(t *testing.T) {
 		t.Error("exterior point contained")
 	}
 }
+
+func TestReadDataFileReportsLineNumbers(t *testing.T) {
+	in := DataHeader + "\n" +
+		"S,55000.0,10.0,20.0,1,120.5,8.1,12.3,100,4\n" +
+		"S,55000.0,10.0,20.0,1,not-a-dm,8.1,12.3,100,4\n"
+	_, err := ReadDataFile(strings.NewReader(in))
+	if err == nil {
+		t.Fatal("malformed record accepted")
+	}
+	if !strings.Contains(err.Error(), "line 3") {
+		t.Fatalf("error %q does not name line 3", err)
+	}
+}
+
+func TestReadClusterFileReportsLineNumbers(t *testing.T) {
+	in := ClusterHeader + "\n\n" +
+		"S,55000.0,10.0,20.0,1,0,bad-n,10,20,1,2,9.5,1\n"
+	_, err := ReadClusterFile(strings.NewReader(in))
+	if err == nil {
+		t.Fatal("malformed record accepted")
+	}
+	if !strings.Contains(err.Error(), "line 3") {
+		t.Fatalf("error %q does not name line 3", err)
+	}
+}
+
+func TestReadFilesTolerateTrailingBlankLines(t *testing.T) {
+	data := DataHeader + "\n" +
+		"S,55000.0,10.0,20.0,1,120.5,8.1,12.3,100,4\n" +
+		"\n\n  \n"
+	obs, err := ReadDataFile(strings.NewReader(data))
+	if err != nil {
+		t.Fatalf("trailing blanks rejected: %v", err)
+	}
+	if len(obs) != 1 || len(obs[0].Events) != 1 {
+		t.Fatalf("obs = %+v", obs)
+	}
+	clusters := ClusterHeader + "\n" +
+		"S,55000.0,10.0,20.0,1,0,3,10,20,1,2,9.5,1\n" +
+		"\n\n"
+	cs, err := ReadClusterFile(strings.NewReader(clusters))
+	if err != nil {
+		t.Fatalf("trailing blanks rejected: %v", err)
+	}
+	if len(cs) != 1 {
+		t.Fatalf("clusters = %+v", cs)
+	}
+}

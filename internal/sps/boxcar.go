@@ -1,0 +1,165 @@
+package sps
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Normalize converts the series to z-scores in place using a running mean
+// and variance over a centred window of the given length (prefix sums make
+// the pass O(n) for any window). window <= 0 or >= len(x) uses the global
+// moments. A running window tracks the slow baseline drifts real receivers
+// exhibit, so a detection threshold in normalised units stays meaningful
+// across the observation; the variance floor guards flat (synthetic or
+// clipped) stretches against division by ~zero.
+func Normalize(x []float64, window int) {
+	n := len(x)
+	if n == 0 {
+		return
+	}
+	if window <= 0 || window >= n {
+		window = n
+	}
+	// Prefix sums of x and x² over the original values.
+	sum := make([]float64, n+1)
+	sq := make([]float64, n+1)
+	for i, v := range x {
+		sum[i+1] = sum[i] + v
+		sq[i+1] = sq[i] + v*v
+	}
+	half := window / 2
+	for i := range x {
+		lo := i - half
+		if lo < 0 {
+			lo = 0
+		}
+		hi := lo + window
+		if hi > n {
+			hi = n
+			lo = hi - window
+		}
+		w := float64(hi - lo)
+		mean := (sum[hi] - sum[lo]) / w
+		variance := (sq[hi]-sq[lo])/w - mean*mean
+		if variance < 1e-12 {
+			variance = 1e-12
+		}
+		x[i] = (x[i] - mean) / math.Sqrt(variance)
+	}
+}
+
+// Detection is one matched-filter candidate in a dedispersed series: the
+// boxcar width (in samples) and placement that maximised SNR.
+type Detection struct {
+	// Start is the first sample of the best boxcar window.
+	Start int
+	// Width is the boxcar width in samples (the Downfact of the event).
+	Width int
+	// SNR is sum(z[Start:Start+Width])/sqrt(Width) for the normalised
+	// series z — the matched-filter significance.
+	SNR float64
+}
+
+// Center returns the midpoint sample of the detection window.
+func (d Detection) Center() int { return d.Start + d.Width/2 }
+
+// BoxcarDetect runs multi-width boxcar matched filtering over a normalised
+// series: for every width it scans the running boxcar SNR for local maxima
+// above threshold, then merges detections whose windows overlap across
+// widths, keeping the highest-SNR (best-matched) one. Widths are filtered
+// to [1, len(z)] and deduplicated; results are ordered by Start.
+func BoxcarDetect(z []float64, widths []int, threshold float64) []Detection {
+	n := len(z)
+	var cands []Detection
+	prefix := make([]float64, n+1)
+	for i, v := range z {
+		prefix[i+1] = prefix[i] + v
+	}
+	seen := map[int]bool{}
+	for _, w := range widths {
+		if w < 1 || w > n || seen[w] {
+			continue
+		}
+		seen[w] = true
+		norm := 1 / math.Sqrt(float64(w))
+		last := n - w // inclusive last start
+		snrAt := func(t int) float64 { return (prefix[t+w] - prefix[t]) * norm }
+		prev := snrAt(0)
+		cur := prev
+		for t := 0; t <= last; t++ {
+			next := cur
+			if t < last {
+				next = snrAt(t + 1)
+			}
+			// Local maximum (plateaus break to the left) above threshold.
+			if cur >= threshold && cur >= prev && cur > next {
+				cands = append(cands, Detection{Start: t, Width: w, SNR: cur})
+			} else if cur >= threshold && t == last && cur >= prev {
+				cands = append(cands, Detection{Start: t, Width: w, SNR: cur})
+			}
+			prev, cur = cur, next
+		}
+	}
+	return mergeDetections(cands)
+}
+
+// mergeDetections suppresses overlapping windows across widths: detections
+// are considered best-first and any later one whose window intersects a
+// kept window is discarded. The tie-break (SNR desc, start asc, width asc)
+// makes the outcome deterministic.
+func mergeDetections(cands []Detection) []Detection {
+	if len(cands) < 2 {
+		return cands
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		a, b := cands[i], cands[j]
+		if a.SNR != b.SNR {
+			return a.SNR > b.SNR
+		}
+		if a.Start != b.Start {
+			return a.Start < b.Start
+		}
+		return a.Width < b.Width
+	})
+	var kept []Detection
+	for _, c := range cands {
+		clear := true
+		for _, k := range kept {
+			if c.Start < k.Start+k.Width && k.Start < c.Start+c.Width {
+				clear = false
+				break
+			}
+		}
+		if clear {
+			kept = append(kept, c)
+		}
+	}
+	sort.Slice(kept, func(i, j int) bool { return kept[i].Start < kept[j].Start })
+	return kept
+}
+
+// validWidths normalises a boxcar width ladder: positive, ascending,
+// deduplicated. An empty input takes DefaultWidths.
+func validWidths(widths []int) ([]int, error) {
+	if len(widths) == 0 {
+		widths = DefaultWidths()
+	}
+	out := make([]int, 0, len(widths))
+	seen := map[int]bool{}
+	for _, w := range widths {
+		if w < 1 {
+			return nil, fmt.Errorf("sps: boxcar width %d must be >= 1", w)
+		}
+		if !seen[w] {
+			seen[w] = true
+			out = append(out, w)
+		}
+	}
+	sort.Ints(out)
+	return out, nil
+}
+
+// DefaultWidths is the octave boxcar ladder single-pulse searches
+// conventionally use (PRESTO's downfact ladder).
+func DefaultWidths() []int { return []int{1, 2, 4, 8, 16, 32, 64} }

@@ -1,0 +1,134 @@
+package sps
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestNormalizeGlobalMoments(t *testing.T) {
+	x := []float64{10, 12, 14, 16, 18} // mean 14, var 8
+	Normalize(x, 0)
+	want := []float64{-math.Sqrt2, -math.Sqrt2 / 2, 0, math.Sqrt2 / 2, math.Sqrt2}
+	for i := range x {
+		if math.Abs(x[i]-want[i]) > 1e-12 {
+			t.Fatalf("z[%d] = %g, want %g", i, x[i], want[i])
+		}
+	}
+}
+
+func TestNormalizeRunningWindowTracksDrift(t *testing.T) {
+	// A strong linear baseline drift: global normalisation leaves the ramp
+	// in place (|z| grows toward the ends), while a running window
+	// flattens it so a mid-series spike stands out.
+	n := 4096
+	mk := func() []float64 {
+		rng := rand.New(rand.NewSource(5))
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = float64(i)*0.005 + rng.NormFloat64()
+		}
+		x[n/2] += 8
+		return x
+	}
+	global := mk()
+	Normalize(global, 0)
+	running := mk()
+	Normalize(running, 256)
+	if global[n/2] > 2 {
+		t.Fatalf("global z at spike = %g; drift should have drowned it", global[n/2])
+	}
+	if running[n/2] < 5 {
+		t.Fatalf("running z at spike = %g; window should have tracked the drift out", running[n/2])
+	}
+}
+
+func TestNormalizeDegenerateInputs(t *testing.T) {
+	Normalize(nil, 0) // must not panic
+	flat := []float64{3, 3, 3, 3}
+	Normalize(flat, 0) // variance floor, no Inf/NaN
+	for i, v := range flat {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("flat[%d] = %g", i, v)
+		}
+	}
+}
+
+func TestBoxcarDetectMatchesWidth(t *testing.T) {
+	// A width-8 top-hat of unit amplitude in unit noise-free series:
+	// SNR at width w ≤ 8 is w/√w = √w; at w = 16 it is 8/4 = 2. The
+	// matched width 8 (SNR √8 ≈ 2.83) must win.
+	z := make([]float64, 256)
+	for i := 100; i < 108; i++ {
+		z[i] = 1
+	}
+	dets := BoxcarDetect(z, DefaultWidths(), 1.5)
+	if len(dets) != 1 {
+		t.Fatalf("detections = %+v, want exactly one", dets)
+	}
+	d := dets[0]
+	if d.Width != 8 || d.Start != 100 {
+		t.Fatalf("best boxcar = %+v, want width 8 at 100", d)
+	}
+	if math.Abs(d.SNR-math.Sqrt(8)) > 1e-9 {
+		t.Fatalf("SNR = %g, want √8", d.SNR)
+	}
+	if d.Center() != 104 {
+		t.Fatalf("center = %d", d.Center())
+	}
+}
+
+func TestBoxcarDetectSeparatesPulses(t *testing.T) {
+	z := make([]float64, 512)
+	z[50] = 5
+	for i := 300; i < 304; i++ {
+		z[i] = 3
+	}
+	dets := BoxcarDetect(z, DefaultWidths(), 2)
+	if len(dets) != 2 {
+		t.Fatalf("detections = %+v, want two", dets)
+	}
+	if dets[0].Start > dets[1].Start {
+		t.Fatal("detections not ordered by start")
+	}
+	if dets[0].Width != 1 || dets[1].Width != 4 {
+		t.Fatalf("widths = %d, %d; want 1 and 4", dets[0].Width, dets[1].Width)
+	}
+}
+
+func TestBoxcarDetectThreshold(t *testing.T) {
+	z := make([]float64, 64)
+	z[10] = 3
+	if dets := BoxcarDetect(z, []int{1}, 5); len(dets) != 0 {
+		t.Fatalf("sub-threshold detection: %+v", dets)
+	}
+	if dets := BoxcarDetect(z, []int{1}, 2.5); len(dets) != 1 {
+		t.Fatalf("above-threshold missed: %+v", dets)
+	}
+}
+
+func TestBoxcarDetectEdgePeak(t *testing.T) {
+	// A peak on the very last valid start must still be found.
+	z := make([]float64, 32)
+	z[31] = 4
+	dets := BoxcarDetect(z, []int{1}, 3)
+	if len(dets) != 1 || dets[0].Start != 31 {
+		t.Fatalf("edge peak: %+v", dets)
+	}
+}
+
+func TestValidWidths(t *testing.T) {
+	ws, err := validWidths([]int{8, 2, 8, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ws) != 3 || ws[0] != 1 || ws[1] != 2 || ws[2] != 8 {
+		t.Fatalf("widths = %v", ws)
+	}
+	if _, err := validWidths([]int{0}); err == nil {
+		t.Fatal("width 0 accepted")
+	}
+	if ws, _ = validWidths(nil); len(ws) != len(DefaultWidths()) {
+		t.Fatalf("default widths = %v", ws)
+	}
+}

@@ -1,0 +1,121 @@
+package sps
+
+import (
+	"fmt"
+	"math"
+)
+
+// DispersionK is the cold-plasma dispersion constant in MHz² pc⁻¹ cm³ s:
+// a pulse at dispersion measure DM arrives at frequency f later than at
+// infinite frequency by DispersionK · DM / f² seconds.
+const DispersionK = 4.148808e3
+
+// DelaySeconds returns the dispersion delay in seconds of a pulse with
+// dispersion measure dm at frequency fMHz relative to refMHz:
+//
+//	Δt = 4.148808×10³ s · DM · (f⁻² − f_ref⁻²)   [f in MHz]
+//
+// Positive for f below the reference — lower frequencies arrive later.
+func DelaySeconds(dm, fMHz, refMHz float64) float64 {
+	return DispersionK * dm * (1/(fMHz*fMHz) - 1/(refMHz*refMHz))
+}
+
+// ChannelShifts fills shifts (grown as needed; pass nil or a reused
+// buffer) with the per-channel sample delay at trial DM dm, relative to the
+// highest-frequency channel, rounded to the nearest sample. Shifts are
+// non-negative and ascending toward lower frequencies.
+func ChannelShifts(h Header, dm float64, shifts []int) []int {
+	if cap(shifts) < h.NChans {
+		shifts = make([]int, h.NChans)
+	}
+	shifts = shifts[:h.NChans]
+	ref := h.FTopMHz()
+	for ch := 0; ch < h.NChans; ch++ {
+		shifts[ch] = int(math.Round(DelaySeconds(dm, h.FreqMHz(ch), ref) / h.TsampSec))
+	}
+	return shifts[:h.NChans]
+}
+
+// MaxShift returns the largest per-channel sample delay at trial DM dm —
+// the number of trailing samples a dedispersed series loses.
+func MaxShift(h Header, dm float64) int {
+	worst := 0
+	ref := h.FTopMHz()
+	for _, f := range []float64{h.FreqMHz(0), h.FreqMHz(h.NChans - 1)} {
+		if s := int(math.Round(DelaySeconds(dm, f, ref) / h.TsampSec)); s > worst {
+			worst = s
+		}
+	}
+	return worst
+}
+
+// ZeroDMFilter returns a copy of the filterbank with each sample's
+// band-averaged power subtracted from every channel — the zero-DM filter
+// (Eatough, Keane & Lyne 2009). Broadband RFI puts the same power in every
+// channel at one instant, so it cancels exactly; a dispersed pulse touches
+// only ~width/sweep of the band at any instant and loses only that
+// fraction of its power. The cost is one filtered copy of the data block
+// (the original is left untouched so callers can search both ways).
+func ZeroDMFilter(fb *Filterbank) *Filterbank {
+	out := &Filterbank{Header: fb.Header, Data: make([]float32, len(fb.Data))}
+	nchan := fb.NChans
+	for t := 0; t < fb.NSamples; t++ {
+		row := fb.Data[t*nchan : (t+1)*nchan]
+		var sum float64
+		for _, v := range row {
+			sum += float64(v)
+		}
+		m := float32(sum / float64(nchan))
+		orow := out.Data[t*nchan : (t+1)*nchan]
+		for i, v := range row {
+			orow[i] = v - m
+		}
+	}
+	return out
+}
+
+// Dedisperse sums the filterbank's channels with the given per-channel
+// sample shifts into out, producing one dedispersed time series: sample t
+// of the output is the total power of a pulse whose highest-frequency edge
+// arrived at sample t. The output holds NSamples − max(shifts) samples
+// (the tail where some channel would read past the end is dropped, keeping
+// every output sample a full-band sum with uniform noise statistics); out
+// is reused when its capacity suffices. An error is returned when the
+// trial's dispersion sweep exceeds the observation.
+func Dedisperse(fb *Filterbank, shifts []int, out []float64) ([]float64, error) {
+	if len(shifts) != fb.NChans {
+		return nil, fmt.Errorf("sps: %d shifts for %d channels", len(shifts), fb.NChans)
+	}
+	maxShift := 0
+	for _, s := range shifts {
+		if s < 0 {
+			return nil, fmt.Errorf("sps: negative channel shift %d", s)
+		}
+		if s > maxShift {
+			maxShift = s
+		}
+	}
+	n := fb.NSamples - maxShift
+	if n < 1 {
+		return nil, fmt.Errorf("sps: dispersion sweep of %d samples exceeds the %d-sample observation", maxShift, fb.NSamples)
+	}
+	if cap(out) < n {
+		out = make([]float64, n)
+	}
+	out = out[:n]
+	for i := range out {
+		out[i] = 0
+	}
+	nchan := fb.NChans
+	for ch := 0; ch < nchan; ch++ {
+		// Walk one channel's column through the whole series: the shifted
+		// reads are sequential in t, so each channel streams linearly
+		// through memory with stride nchan.
+		base := shifts[ch]*nchan + ch
+		for t := 0; t < n; t++ {
+			out[t] += float64(fb.Data[base])
+			base += nchan
+		}
+	}
+	return out, nil
+}

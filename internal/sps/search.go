@@ -1,0 +1,179 @@
+package sps
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"drapid/internal/rdd"
+	"drapid/internal/spe"
+)
+
+// Config parameterises one single-pulse search over a filterbank.
+type Config struct {
+	// DMs is the ascending trial dispersion-measure grid (pc cm⁻³).
+	DMs []float64
+	// Widths is the boxcar width ladder in samples; empty takes
+	// DefaultWidths (1…64, octave-spaced).
+	Widths []int
+	// Threshold is the matched-filter SNR detection threshold; zero takes
+	// DefaultThreshold.
+	Threshold float64
+	// NormWindow is the running-normalisation window in samples
+	// (Normalize); zero uses the global moments of each trial's series.
+	NormWindow int
+	// ZeroDM applies ZeroDMFilter before dedispersion, cancelling
+	// broadband RFI at the cost of one filtered copy of the data block
+	// (and of sensitivity to genuinely zero-DM signals). Detect jobs
+	// submitted through the engine enable it by default.
+	ZeroDM bool
+	// Exec configures the worker pool the DM trials fan out on — the same
+	// executor the distributed engine's stages use, so a search submitted
+	// through the engine shares its host pool (and token-bucket limiter)
+	// with co-tenant jobs. The zero value runs on all host cores.
+	Exec rdd.ExecConfig
+}
+
+// DefaultThreshold is the detection threshold real surveys typically cut
+// candidate lists at (the paper's SPE files are 5–6 σ thresholded).
+const DefaultThreshold = 6.0
+
+// Stats summarises one search.
+type Stats struct {
+	// Trials is the number of DM trials dedispersed.
+	Trials int
+	// Samples is the total dedispersed samples searched across trials.
+	Samples int64
+	// Events is the number of threshold crossings emitted.
+	Events int
+}
+
+// trialBuffers is the per-trial scratch a worker reuses: the dedispersed
+// series and the per-channel shift table. Pooling them makes steady-state
+// search allocation-free per trial, which is what lets the DM fan-out
+// scale with workers instead of with the allocator.
+type trialBuffers struct {
+	series []float64
+	shifts []int
+}
+
+var trialPool = sync.Pool{New: func() any { return &trialBuffers{} }}
+
+// Search runs the full frontend over one filterbank: for every trial DM it
+// dedisperses (Dedisperse), normalises (Normalize), and matched-filters
+// (BoxcarDetect), emitting one spe.SPE per detection. Trials execute
+// concurrently on cfg.Exec via the rdd worker pool; per-trial outputs are
+// folded back in grid order, so the result is record-for-record identical
+// for any worker count. Event times are the boxcar-centre arrival times at
+// the highest observed frequency, in seconds from the start of the
+// observation; Downfact carries the matched boxcar width.
+//
+// Trials whose dispersion sweep exceeds the observation are skipped (a
+// short observation simply cannot constrain them); any other per-trial
+// failure aborts the search.
+func Search(ctx context.Context, fb *Filterbank, cfg Config) ([]spe.SPE, Stats, error) {
+	var stats Stats
+	if err := fb.Validate(); err != nil {
+		return nil, stats, err
+	}
+	if len(fb.Data) != fb.NSamples*fb.NChans {
+		return nil, stats, fmt.Errorf("sps: data has %d values, header says %d", len(fb.Data), fb.NSamples*fb.NChans)
+	}
+	if len(cfg.DMs) == 0 {
+		return nil, stats, fmt.Errorf("sps: no trial DMs")
+	}
+	for i, dm := range cfg.DMs {
+		if dm < 0 {
+			return nil, stats, fmt.Errorf("sps: trial DM %g must be >= 0", dm)
+		}
+		if i > 0 && dm <= cfg.DMs[i-1] {
+			return nil, stats, fmt.Errorf("sps: trial DMs must ascend (trial %d: %g after %g)", i, dm, cfg.DMs[i-1])
+		}
+	}
+	widths, err := validWidths(cfg.Widths)
+	if err != nil {
+		return nil, stats, err
+	}
+	threshold := cfg.Threshold
+	if threshold == 0 {
+		threshold = DefaultThreshold
+	}
+	if threshold < 0 {
+		return nil, stats, fmt.Errorf("sps: threshold %g must be >= 0", threshold)
+	}
+	if cfg.ZeroDM {
+		fb = ZeroDMFilter(fb)
+	}
+
+	perTrial := make([][]spe.SPE, len(cfg.DMs))
+	searched := make([]int64, len(cfg.DMs))
+	errs := make([]error, len(cfg.DMs))
+	if err := rdd.RunParallel(ctx, cfg.Exec, len(cfg.DMs), func(i int) {
+		dm := cfg.DMs[i]
+		if MaxShift(fb.Header, dm) >= fb.NSamples {
+			return // sweep longer than the observation: unconstrainable trial
+		}
+		bufs := trialPool.Get().(*trialBuffers)
+		defer trialPool.Put(bufs)
+		bufs.shifts = ChannelShifts(fb.Header, dm, bufs.shifts[:0])
+		series, err := Dedisperse(fb, bufs.shifts, bufs.series)
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		bufs.series = series // keep the (possibly grown) buffer for reuse
+		Normalize(series, cfg.NormWindow)
+		searched[i] = int64(len(series))
+		dets := BoxcarDetect(series, widths, threshold)
+		if len(dets) == 0 {
+			return
+		}
+		events := make([]spe.SPE, len(dets))
+		for k, d := range dets {
+			events[k] = spe.SPE{
+				DM:       dm,
+				SNR:      d.SNR,
+				Time:     float64(d.Center()) * fb.TsampSec,
+				Sample:   int64(d.Center()),
+				Downfact: d.Width,
+			}
+		}
+		perTrial[i] = events
+	}); err != nil {
+		return nil, stats, err
+	}
+	var out []spe.SPE
+	for i, events := range perTrial {
+		if errs[i] != nil {
+			return nil, stats, fmt.Errorf("sps: trial DM %g: %w", cfg.DMs[i], errs[i])
+		}
+		stats.Samples += searched[i]
+		if searched[i] > 0 {
+			stats.Trials++
+		}
+		out = append(out, events...)
+	}
+	spe.SortByTime(out)
+	stats.Events = len(out)
+	return out, stats, nil
+}
+
+// LinearDMs builds the ascending trial grid [lo, hi] spaced step apart —
+// the simple dense plan brute-force dedispersion sweeps.
+func LinearDMs(lo, hi, step float64) ([]float64, error) {
+	if step <= 0 {
+		return nil, fmt.Errorf("sps: DM step %g must be > 0", step)
+	}
+	if hi < lo || lo < 0 {
+		return nil, fmt.Errorf("sps: bad DM range [%g, %g]", lo, hi)
+	}
+	n := int((hi-lo)/step) + 1
+	if n > 1<<20 {
+		return nil, fmt.Errorf("sps: DM grid of %d trials exceeds %d", n, 1<<20)
+	}
+	out := make([]float64, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, lo+float64(i)*step)
+	}
+	return out, nil
+}

@@ -1,0 +1,325 @@
+package sps
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+)
+
+// SIGPROC filterbank files carry a self-describing binary header — a
+// sequence of length-prefixed keyword strings, each followed by its value
+// in the type the keyword dictates — bracketed by HEADER_START/HEADER_END,
+// then the raw samples. Everything is little-endian. The reader is strict:
+// malformed input of any shape returns an error (never a panic — the fuzz
+// target's contract), and unknown keywords are rejected because their
+// value width cannot be known.
+
+// ErrNotFilterbank reports input that does not begin with a SIGPROC
+// HEADER_START token.
+var ErrNotFilterbank = errors.New("sps: not a SIGPROC filterbank (missing HEADER_START)")
+
+const (
+	headerStart = "HEADER_START"
+	headerEnd   = "HEADER_END"
+
+	// maxKeyword bounds a keyword/string-value length prefix; SIGPROC
+	// keywords are short and source names are file-name sized.
+	maxKeyword = 256
+	// maxChans and maxSamples bound allocations driven by header fields,
+	// so a hostile header cannot demand gigabytes before the data read
+	// fails anyway.
+	maxChans   = 1 << 16
+	maxSamples = 1 << 28
+)
+
+// headerKind is the value type a SIGPROC keyword carries.
+type headerKind int
+
+const (
+	kindInt headerKind = iota
+	kindDouble
+	kindString
+	kindFlag // keyword with no value
+)
+
+// sigprocKeywords maps every keyword this reader understands to its value
+// type. Keywords SIGPROC defines but this package does not model are
+// parsed and discarded (entries with no Header field below).
+var sigprocKeywords = map[string]headerKind{
+	"source_name":   kindString,
+	"rawdatafile":   kindString,
+	"telescope_id":  kindInt,
+	"machine_id":    kindInt,
+	"data_type":     kindInt,
+	"barycentric":   kindInt,
+	"pulsarcentric": kindInt,
+	"nchans":        kindInt,
+	"nbits":         kindInt,
+	"nifs":          kindInt,
+	"nsamples":      kindInt,
+	"nbeams":        kindInt,
+	"ibeam":         kindInt,
+	"az_start":      kindDouble,
+	"za_start":      kindDouble,
+	"src_raj":       kindDouble,
+	"src_dej":       kindDouble,
+	"tstart":        kindDouble,
+	"tsamp":         kindDouble,
+	"fch1":          kindDouble,
+	"foff":          kindDouble,
+	"refdm":         kindDouble,
+	"period":        kindDouble,
+	"signed":        kindFlag,
+}
+
+// readPrefixed reads one length-prefixed SIGPROC string.
+func readPrefixed(r io.Reader) (string, error) {
+	var n int32
+	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+		return "", fmt.Errorf("sps: reading string length: %w", err)
+	}
+	if n < 1 || n > maxKeyword {
+		return "", fmt.Errorf("sps: string length %d outside [1,%d]", n, maxKeyword)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return "", fmt.Errorf("sps: reading %d-byte string: %w", n, err)
+	}
+	return string(buf), nil
+}
+
+// ReadHeader parses a SIGPROC header from r, leaving r positioned at the
+// first data byte. It returns an error — never panics — on any malformed
+// input: wrong magic, truncation, unknown keywords, out-of-range lengths,
+// or a header that fails Validate.
+func ReadHeader(r io.Reader) (Header, error) {
+	start, err := readPrefixed(r)
+	if err != nil || start != headerStart {
+		return Header{}, ErrNotFilterbank
+	}
+	hdr := Header{NIFs: 1, NBits: 32, DataType: 1}
+	seen := 0
+	for {
+		seen++
+		if seen > 64 {
+			return Header{}, fmt.Errorf("sps: header exceeds 64 keywords without HEADER_END")
+		}
+		kw, err := readPrefixed(r)
+		if err != nil {
+			return Header{}, fmt.Errorf("sps: reading keyword: %w", err)
+		}
+		if kw == headerEnd {
+			break
+		}
+		kind, ok := sigprocKeywords[kw]
+		if !ok {
+			return Header{}, fmt.Errorf("sps: unknown header keyword %q", kw)
+		}
+		switch kind {
+		case kindString:
+			s, err := readPrefixed(r)
+			if err != nil {
+				return Header{}, fmt.Errorf("sps: value of %q: %w", kw, err)
+			}
+			if kw == "source_name" {
+				hdr.SourceName = s
+			}
+		case kindInt:
+			var v int32
+			if err := binary.Read(r, binary.LittleEndian, &v); err != nil {
+				return Header{}, fmt.Errorf("sps: value of %q: %w", kw, err)
+			}
+			switch kw {
+			case "telescope_id":
+				hdr.TelescopeID = int(v)
+			case "machine_id":
+				hdr.MachineID = int(v)
+			case "data_type":
+				hdr.DataType = int(v)
+			case "nchans":
+				hdr.NChans = int(v)
+			case "nbits":
+				hdr.NBits = int(v)
+			case "nifs":
+				hdr.NIFs = int(v)
+			case "nsamples":
+				hdr.NSamples = int(v)
+			}
+		case kindDouble:
+			var v float64
+			if err := binary.Read(r, binary.LittleEndian, &v); err != nil {
+				return Header{}, fmt.Errorf("sps: value of %q: %w", kw, err)
+			}
+			switch kw {
+			case "src_raj":
+				hdr.SrcRAJ = v
+			case "src_dej":
+				hdr.SrcDeJ = v
+			case "tstart":
+				hdr.TStartMJD = v
+			case "tsamp":
+				hdr.TsampSec = v
+			case "fch1":
+				hdr.Fch1MHz = v
+			case "foff":
+				hdr.FoffMHz = v
+			}
+		case kindFlag:
+			// no value
+		}
+	}
+	if err := hdr.Validate(); err != nil {
+		return Header{}, err
+	}
+	return hdr, nil
+}
+
+// Read parses a complete filterbank (header + data) from r. When the
+// header carries nsamples the data block must supply exactly that many
+// samples; otherwise samples are read to EOF and NSamples is derived.
+func Read(r io.Reader) (*Filterbank, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	hdr, err := ReadHeader(br)
+	if err != nil {
+		return nil, err
+	}
+	bytesPer := hdr.NBits / 8
+	if hdr.NSamples > 0 && hdr.NSamples*hdr.NChans > maxSamples {
+		return nil, fmt.Errorf("sps: %d×%d data block exceeds %d values", hdr.NSamples, hdr.NChans, maxSamples)
+	}
+	var raw []byte
+	if hdr.NSamples > 0 {
+		want := hdr.NSamples * hdr.NChans * bytesPer
+		raw = make([]byte, want)
+		if _, err := io.ReadFull(br, raw); err != nil {
+			return nil, fmt.Errorf("sps: reading %d data bytes: %w", want, err)
+		}
+	} else {
+		// Same total-value bound as the explicit-nsamples path: one extra
+		// sample of headroom in the read limit makes the overflow
+		// detectable.
+		perSample := hdr.NChans * bytesPer
+		raw, err = io.ReadAll(io.LimitReader(br, int64(maxSamples)*int64(bytesPer)+int64(perSample)))
+		if err != nil {
+			return nil, fmt.Errorf("sps: reading data: %w", err)
+		}
+		if len(raw)/bytesPer > maxSamples {
+			return nil, fmt.Errorf("sps: data block exceeds %d values", maxSamples)
+		}
+		if len(raw)%perSample != 0 {
+			return nil, fmt.Errorf("sps: data block of %d bytes is not a whole number of %d-byte samples", len(raw), perSample)
+		}
+		hdr.NSamples = len(raw) / perSample
+	}
+	fb := &Filterbank{Header: hdr, Data: make([]float32, hdr.NSamples*hdr.NChans)}
+	switch hdr.NBits {
+	case 8:
+		for i, b := range raw {
+			fb.Data[i] = float32(b)
+		}
+	case 32:
+		for i := range fb.Data {
+			fb.Data[i] = math.Float32frombits(binary.LittleEndian.Uint32(raw[4*i:]))
+		}
+	}
+	return fb, nil
+}
+
+// writePrefixed writes one length-prefixed SIGPROC string.
+func writePrefixed(w io.Writer, s string) error {
+	if err := binary.Write(w, binary.LittleEndian, int32(len(s))); err != nil {
+		return err
+	}
+	_, err := io.WriteString(w, s)
+	return err
+}
+
+// WriteHeader serialises the header in SIGPROC binary form.
+func WriteHeader(w io.Writer, hdr Header) error {
+	if err := hdr.Validate(); err != nil {
+		return err
+	}
+	if err := writePrefixed(w, headerStart); err != nil {
+		return err
+	}
+	writeKw := func(kw string, v any) error {
+		if err := writePrefixed(w, kw); err != nil {
+			return err
+		}
+		if s, ok := v.(string); ok {
+			return writePrefixed(w, s)
+		}
+		return binary.Write(w, binary.LittleEndian, v)
+	}
+	if hdr.SourceName != "" {
+		if err := writeKw("source_name", hdr.SourceName); err != nil {
+			return err
+		}
+	}
+	for _, kv := range []struct {
+		kw string
+		v  any
+	}{
+		{"telescope_id", int32(hdr.TelescopeID)},
+		{"machine_id", int32(hdr.MachineID)},
+		{"data_type", int32(hdr.DataType)},
+		{"src_raj", hdr.SrcRAJ},
+		{"src_dej", hdr.SrcDeJ},
+		{"tstart", hdr.TStartMJD},
+		{"tsamp", hdr.TsampSec},
+		{"fch1", hdr.Fch1MHz},
+		{"foff", hdr.FoffMHz},
+		{"nchans", int32(hdr.NChans)},
+		{"nbits", int32(hdr.NBits)},
+		{"nifs", int32(hdr.NIFs)},
+		{"nsamples", int32(hdr.NSamples)},
+	} {
+		if err := writeKw(kv.kw, kv.v); err != nil {
+			return err
+		}
+	}
+	return writePrefixed(w, headerEnd)
+}
+
+// Write serialises the filterbank (header + data) in SIGPROC binary form.
+// 8-bit output clamps samples to [0,255] with rounding; 32-bit output is
+// lossless.
+func Write(w io.Writer, fb *Filterbank) error {
+	if want := fb.NSamples * fb.NChans; len(fb.Data) != want {
+		return fmt.Errorf("sps: data has %d values, header says %d", len(fb.Data), want)
+	}
+	bw := bufio.NewWriterSize(w, 1<<16)
+	if err := WriteHeader(bw, fb.Header); err != nil {
+		return err
+	}
+	switch fb.NBits {
+	case 8:
+		buf := make([]byte, len(fb.Data))
+		for i, v := range fb.Data {
+			x := math.Round(float64(v))
+			if x < 0 {
+				x = 0
+			} else if x > 255 {
+				x = 255
+			}
+			buf[i] = byte(x)
+		}
+		if _, err := bw.Write(buf); err != nil {
+			return err
+		}
+	case 32:
+		buf := make([]byte, 4*len(fb.Data))
+		for i, v := range fb.Data {
+			binary.LittleEndian.PutUint32(buf[4*i:], math.Float32bits(v))
+		}
+		if _, err := bw.Write(buf); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("sps: nbits must be 8 or 32, got %d", fb.NBits)
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,210 @@
+package sps
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math"
+	"strings"
+	"testing"
+)
+
+func testHeader() Header {
+	return Header{
+		SourceName: "J0000+00",
+		DataType:   1,
+		TStartMJD:  58000.5,
+		TsampSec:   256e-6,
+		Fch1MHz:    1500,
+		FoffMHz:    -2,
+		NChans:     4,
+		NBits:      32,
+		NIFs:       1,
+		NSamples:   8,
+	}
+}
+
+func TestHeaderRoundTrip(t *testing.T) {
+	want := testHeader()
+	var buf bytes.Buffer
+	if err := WriteHeader(&buf, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadHeader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("round trip:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+func TestFilterbankRoundTrip32(t *testing.T) {
+	fb := &Filterbank{Header: testHeader()}
+	fb.Data = make([]float32, fb.NSamples*fb.NChans)
+	for i := range fb.Data {
+		fb.Data[i] = float32(i) - 7.5
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, fb); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Header != fb.Header {
+		t.Fatalf("header: got %+v want %+v", got.Header, fb.Header)
+	}
+	for i := range fb.Data {
+		if got.Data[i] != fb.Data[i] {
+			t.Fatalf("data[%d] = %g, want %g", i, got.Data[i], fb.Data[i])
+		}
+	}
+}
+
+func TestFilterbankRoundTrip8BitClamps(t *testing.T) {
+	fb := &Filterbank{Header: testHeader()}
+	fb.NBits = 8
+	fb.Data = make([]float32, fb.NSamples*fb.NChans)
+	fb.Data[0], fb.Data[1], fb.Data[2] = -5, 300, 41.6
+	var buf bytes.Buffer
+	if err := Write(&buf, fb); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Data[0] != 0 || got.Data[1] != 255 || got.Data[2] != 42 {
+		t.Fatalf("8-bit clamp/round: got %v %v %v", got.Data[0], got.Data[1], got.Data[2])
+	}
+}
+
+func TestReadDerivesNSamples(t *testing.T) {
+	fb := &Filterbank{Header: testHeader()}
+	fb.Data = make([]float32, fb.NSamples*fb.NChans)
+	var buf bytes.Buffer
+	if err := Write(&buf, fb); err != nil {
+		t.Fatal(err)
+	}
+	// Rewrite the header with nsamples elided (0): Read must derive it
+	// from the data length.
+	hdr := fb.Header
+	hdr.NSamples = 0
+	var buf2 bytes.Buffer
+	if err := WriteHeader(&buf2, hdr); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	buf2.Write(raw[len(raw)-4*len(fb.Data):])
+	got, err := Read(&buf2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NSamples != fb.NSamples {
+		t.Fatalf("derived nsamples = %d, want %d", got.NSamples, fb.NSamples)
+	}
+}
+
+// mustHeaderBytes serialises a header for malformed-input surgery.
+func mustHeaderBytes(t *testing.T, hdr Header) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := WriteHeader(&buf, hdr); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func prefixed(s string) []byte {
+	var buf bytes.Buffer
+	binary.Write(&buf, binary.LittleEndian, int32(len(s)))
+	buf.WriteString(s)
+	return buf.Bytes()
+}
+
+func TestReadHeaderRejectsMalformed(t *testing.T) {
+	valid := mustHeaderBytes(t, testHeader())
+	cases := map[string][]byte{
+		"empty":            {},
+		"not a filterbank": []byte("plain text file"),
+		"bad magic":        prefixed("HEADER_SMART"),
+		"truncated":        valid[:len(valid)-6],
+		"negative length":  {0xff, 0xff, 0xff, 0xff},
+		"huge length":      {0xff, 0xff, 0x00, 0x00},
+		"unknown keyword": append(append([]byte{}, prefixed(headerStart)...),
+			prefixed("bogus_keyword")...),
+		"no header end": append(append([]byte{}, prefixed(headerStart)...),
+			bytes.Repeat(prefixed("signed"), 80)...),
+	}
+	for name, data := range cases {
+		if _, err := ReadHeader(bytes.NewReader(data)); err == nil {
+			t.Errorf("%s: ReadHeader accepted malformed input", name)
+		}
+	}
+}
+
+func TestReadHeaderRejectsInvalidFields(t *testing.T) {
+	mods := map[string]func(*Header){
+		"zero channels": func(h *Header) { h.NChans = 0 },
+		"nbits 16":      func(h *Header) { h.NBits = 16 },
+		"two IFs":       func(h *Header) { h.NIFs = 2 },
+		"zero tsamp":    func(h *Header) { h.TsampSec = 0 },
+		"zero foff":     func(h *Header) { h.FoffMHz = 0 },
+		"negative fch1": func(h *Header) { h.Fch1MHz = -100 },
+		"band crosses zero": func(h *Header) {
+			h.Fch1MHz, h.FoffMHz, h.NChans = 100, -2, 60
+		},
+		// The writer must refuse what the reader would reject, so a
+		// generated file always round-trips.
+		"oversized source name": func(h *Header) {
+			h.SourceName = strings.Repeat("x", maxKeyword+1)
+		},
+	}
+	for name, mod := range mods {
+		hdr := testHeader()
+		mod(&hdr)
+		if err := hdr.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted %+v", name, hdr)
+		}
+		if err := WriteHeader(&bytes.Buffer{}, hdr); err == nil {
+			t.Errorf("%s: WriteHeader accepted invalid header", name)
+		}
+	}
+}
+
+func TestReadRejectsShortData(t *testing.T) {
+	hdr := testHeader()
+	var buf bytes.Buffer
+	if err := WriteHeader(&buf, hdr); err != nil {
+		t.Fatal(err)
+	}
+	buf.Write(make([]byte, 10)) // far fewer than 8×4×4 bytes
+	if _, err := Read(&buf); err == nil || !strings.Contains(err.Error(), "data") {
+		t.Fatalf("Read accepted truncated data: %v", err)
+	}
+}
+
+func TestHeaderGeometry(t *testing.T) {
+	h := testHeader() // 1500, 1498, 1496, 1494 MHz
+	if got := h.FTopMHz(); got != 1500 {
+		t.Fatalf("FTopMHz = %g", got)
+	}
+	if got := h.FreqMHz(3); got != 1494 {
+		t.Fatalf("FreqMHz(3) = %g", got)
+	}
+	if got := h.BandwidthMHz(); got != 8 {
+		t.Fatalf("BandwidthMHz = %g", got)
+	}
+	if got := h.CenterFreqGHz(); math.Abs(got-1.497) > 1e-12 {
+		t.Fatalf("CenterFreqGHz = %g", got)
+	}
+	if got := h.DurationSec(); math.Abs(got-8*256e-6) > 1e-12 {
+		t.Fatalf("DurationSec = %g", got)
+	}
+	up := h
+	up.Fch1MHz, up.FoffMHz = 1400, 2 // ascending band: 1400…1406
+	if got := up.FTopMHz(); got != 1406 {
+		t.Fatalf("ascending FTopMHz = %g", got)
+	}
+}

@@ -112,6 +112,10 @@ type Progress struct {
 	State JobState `json:"state"`
 	// Candidates is the number of single pulses emitted so far.
 	Candidates int `json:"candidates"`
+	// Detections is the number of raw frontend threshold crossings, once a
+	// detect job's search phase has completed (zero before that and for
+	// identification jobs).
+	Detections int `json:"detections,omitempty"`
 	// RecordsDropped counts malformed key groups the search phase
 	// discarded (previously invisible; see rdd.Metrics.RecordsDropped).
 	RecordsDropped int64 `json:"records_dropped"`
@@ -133,6 +137,14 @@ type Progress struct {
 type Result struct {
 	// Records is the number of single pulses identified.
 	Records int `json:"records"`
+	// Detections is the number of raw threshold crossings the search
+	// frontend emitted before clustering (detect jobs only; zero for
+	// identification jobs, whose inputs arrive pre-detected).
+	Detections int `json:"detections,omitempty"`
+	// DetectSeconds is the wall-clock time the dedispersion + matched
+	// filtering frontend took (detect jobs only); WallSeconds covers the
+	// downstream identification pipeline.
+	DetectSeconds float64 `json:"detect_seconds,omitempty"`
 	// RecordsDropped counts malformed key groups discarded by the search.
 	RecordsDropped int64 `json:"records_dropped"`
 	// SimSeconds and WallSeconds are the two clocks (simulated cluster
@@ -163,13 +175,14 @@ type Job struct {
 	done   chan struct{}
 	stop   func() bool // releases the cancellation watcher
 
-	mu      sync.Mutex
-	cond    *sync.Cond
-	state   JobState
-	cands   []Candidate
-	maxRead int // furthest consumer position, for backpressure
-	result  Result
-	err     error
+	mu         sync.Mutex
+	cond       *sync.Cond
+	state      JobState
+	cands      []Candidate
+	maxRead    int // furthest consumer position, for backpressure
+	detections int // raw frontend events, once a detect job's search ran
+	result     Result
+	err        error
 }
 
 // newJob wires a job handle and its cancellation watcher.
@@ -204,32 +217,24 @@ func (j *Job) Done() <-chan struct{} { return j.done }
 // it. Cancelling a terminal job is a no-op.
 func (j *Job) Cancel() { j.cancel(ErrCancelled) }
 
-// run executes the batch pipeline on the job's driver context and
-// finalises the state machine. It is the job's only writer goroutine.
-func (j *Job) run(cfg pipeline.JobConfig) {
+// run executes the job's work function and finalises the state machine.
+// It is the job's only writer goroutine. Work functions differ by job kind
+// — identification runs the batch pipeline directly, detection prepends
+// the sps search frontend — but share this lifecycle.
+func (j *Job) run(work func() (Result, error)) {
 	defer j.stop()
 	j.mu.Lock()
 	j.state = JobRunning
 	j.cond.Broadcast()
 	j.mu.Unlock()
 
-	res, err := pipeline.RunDRAPID(j.rctx, cfg)
+	res, err := work()
 
 	j.mu.Lock()
 	switch {
 	case err == nil:
 		j.state = JobSucceeded
-		j.result = Result{
-			Records:        res.Records,
-			RecordsDropped: res.RecordsDropped,
-			SimSeconds:     res.SimSeconds,
-			WallSeconds:    res.WallSeconds,
-			Stages:         res.Metrics.Stages,
-			Tasks:          res.Metrics.Tasks,
-			ShuffleBytes:   res.Metrics.ShuffleBytes,
-			SpillBytes:     res.Metrics.SpillBytes,
-			OutDir:         cfg.OutDir,
-		}
+		j.result = res
 	case j.ctx.Err() != nil:
 		j.state = JobCancelled
 		j.err = context.Cause(j.ctx)
@@ -240,6 +245,36 @@ func (j *Job) run(cfg pipeline.JobConfig) {
 	j.cond.Broadcast()
 	j.mu.Unlock()
 	close(j.done)
+}
+
+// pipelineWork adapts the batch identification pipeline into a run work
+// function, converting its result to the public shape.
+func (j *Job) pipelineWork(cfg pipeline.JobConfig) func() (Result, error) {
+	return func() (Result, error) {
+		res, err := pipeline.RunDRAPID(j.rctx, cfg)
+		if err != nil {
+			return Result{}, err
+		}
+		return Result{
+			Records:        res.Records,
+			RecordsDropped: res.RecordsDropped,
+			SimSeconds:     res.SimSeconds,
+			WallSeconds:    res.WallSeconds,
+			Stages:         res.Metrics.Stages,
+			Tasks:          res.Metrics.Tasks,
+			ShuffleBytes:   res.Metrics.ShuffleBytes,
+			SpillBytes:     res.Metrics.SpillBytes,
+			OutDir:         cfg.OutDir,
+		}, nil
+	}
+}
+
+// setDetections records the frontend's raw event count once a detect
+// job's search phase completes, making it visible in Progress mid-run.
+func (j *Job) setDetections(n int) {
+	j.mu.Lock()
+	j.detections = n
+	j.mu.Unlock()
 }
 
 // emit is the pipeline's streaming hook (JobConfig.Emit): it appends one
@@ -346,6 +381,7 @@ func (j *Job) Progress() Progress {
 	p := Progress{
 		State:          j.state,
 		Candidates:     len(j.cands),
+		Detections:     j.detections,
 		RecordsDropped: m.RecordsDropped,
 		Stages:         m.Stages,
 		Tasks:          m.Tasks,
