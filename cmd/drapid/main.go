@@ -11,8 +11,10 @@
 //
 // Detect (-detect): start one step earlier, from a raw SIGPROC
 // filterbank (cmd/spgen -filterbank writes ground-truthed synthetic
-// ones): dedisperse over the trial-DM grid, matched-filter, cluster, and
-// identify — end to end in one submission.
+// ones): dedisperse over the trial-DM grid — two-stage subband
+// dedispersion by default, with -plan brute selecting the one-stage
+// oracle kernel — then matched-filter, cluster, and identify, end to end
+// in one submission. The summary line reports which plan actually ran.
 //
 //	drapid -detect obs.fil -dm-max 300 -dm-step 1 -threshold 6 -out ml.csv
 //
@@ -48,6 +50,7 @@ func main() {
 		dmStep      = flag.Float64("dm-step", 1, "detect: trial DM spacing, pc/cm^3")
 		threshold   = flag.Float64("threshold", 6, "detect: matched-filter SNR threshold")
 		noZeroDM    = flag.Bool("no-zerodm", false, "detect: disable the zero-DM broadband-RFI filter")
+		plan        = flag.String("plan", "auto", "detect: dedispersion plan: auto, subband, or brute")
 		executors   = flag.Int("executors", 10, "Spark executors to allocate (paper testbed max: 22)")
 		partsCore   = flag.Int("partitions", 32, "hash partitions per core")
 		workers     = flag.Int("workers", 0, "host worker goroutines per stage (0 = all cores)")
@@ -90,6 +93,7 @@ func main() {
 			DMStep:     *dmStep,
 			Threshold:  *threshold,
 			NoZeroDM:   *noZeroDM,
+			Plan:       *plan,
 		})
 		if err != nil {
 			log.Fatal(err)
@@ -146,7 +150,8 @@ func main() {
 		log.Fatal(err)
 	}
 	if *detectPath != "" {
-		log.Printf("detect: %d raw events above %.1f sigma in %.3fs", res.Detections, *threshold, res.DetectSeconds)
+		log.Printf("detect: %d raw events above %.1f sigma in %.3fs, dedispersion plan %s",
+			res.Detections, *threshold, res.DetectSeconds, res.Plan)
 	}
 	log.Printf("executors=%d single pulses=%d simulated elapsed=%.3fs wall=%.3fs", *executors, res.Records, res.SimSeconds, res.WallSeconds)
 	log.Printf("stages=%d tasks=%d shuffle=%.1fMB spill=%.1fMB dropped=%d",

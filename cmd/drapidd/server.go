@@ -133,6 +133,7 @@ type detectRequest struct {
 	Threshold         float64           `json:"threshold,omitempty"`
 	NormWindow        int               `json:"norm_window,omitempty"`
 	NoZeroDM          bool              `json:"no_zerodm,omitempty"`
+	Plan              string            `json:"plan,omitempty"`
 	PartitionsPerCore int               `json:"partitions_per_core,omitempty"`
 }
 
@@ -155,6 +156,7 @@ func (s *server) handleDetect(w http.ResponseWriter, r *http.Request) {
 		Threshold:         req.Threshold,
 		NormWindow:        req.NormWindow,
 		NoZeroDM:          req.NoZeroDM,
+		Plan:              req.Plan,
 		PartitionsPerCore: req.PartitionsPerCore,
 	})
 	if err != nil {

@@ -254,9 +254,16 @@ func TestSmokeDetectHTTP(t *testing.T) {
 		"dm_max":    120.0,
 		"dm_step":   1.0,
 		"threshold": 6.5,
+		"plan":      "subband",
 	}
 	if resp := postJSON(t, ts.URL+"/v1/detect", req, &sub); resp.StatusCode != http.StatusAccepted {
 		t.Fatalf("detect submit: status %d", resp.StatusCode)
+	}
+
+	// An unknown dedispersion plan is rejected synchronously with a 400.
+	bad := map[string]any{"synth": drapid.SynthSpec{NChans: 8, NSamples: 64}, "plan": "turbo"}
+	if resp := postJSON(t, ts.URL+"/v1/detect", bad, nil); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad plan: status %d, want 400", resp.StatusCode)
 	}
 
 	stream, err := http.Get(ts.URL + sub.Candidates)

@@ -9,7 +9,9 @@
 //
 // With -filterbank it instead writes one raw SIGPROC filterbank
 // observation with randomly injected dispersed pulses — the input of
-// cmd/drapid -detect — plus a <path>.truth.json ground-truth file:
+// cmd/drapid -detect, which dedisperses it with the two-stage subband
+// plan by default (or the brute-force oracle under -plan brute) — plus a
+// <path>.truth.json ground-truth file:
 //
 //	spgen -filterbank obs.fil -fil-pulses 10 -seed 3
 package main
@@ -74,7 +76,7 @@ func main() {
 		rfi     = flag.Int("rfi", 4, "RFI signals per observation")
 		seed    = flag.Int64("seed", 1, "random seed")
 		outDir  = flag.String("out", "data", "output directory")
-		filPath = flag.String("filterbank", "", "write one synthetic SIGPROC filterbank here instead of CSVs")
+		filPath = flag.String("filterbank", "", "write one synthetic SIGPROC filterbank here instead of CSVs (the input of drapid -detect, searched with subband dedispersion by default)")
 		filN    = flag.Int("fil-pulses", 10, "injected pulses in the -filterbank observation")
 	)
 	flag.Parse()

@@ -130,42 +130,56 @@ type DetectJob struct {
 	// dedispersion. Disable it only when genuinely zero-DM signals matter
 	// more than RFI rejection.
 	NoZeroDM bool
+	// Plan selects the dedispersion strategy: "" or "auto" (the default)
+	// picks two-stage subband dedispersion with an auto-chosen subband
+	// count whenever its cost model beats brute force; "subband" and
+	// "brute" force a strategy. Result.Plan reports what actually ran.
+	// See DESIGN.md §6.
+	Plan string
 	// PartitionsPerCore overrides the engine default when positive.
 	PartitionsPerCore int
 	// ResultBuffer bounds consumer lag exactly as for IdentifyJob.
 	ResultBuffer int
 }
 
-// validate checks the spec and resolves the trial grid.
-func (spec DetectJob) validate() (lo, hi, step float64, err error) {
+// validate checks the spec, resolving the trial grid and the parsed
+// dedispersion plan kind.
+func (spec DetectJob) validate() (lo, hi, step float64, kind sps.PlanKind, err error) {
+	fail := func(err error) (float64, float64, float64, sps.PlanKind, error) {
+		return 0, 0, 0, sps.PlanAuto, err
+	}
 	if len(spec.Filterbank) == 0 && spec.Synth == nil {
-		return 0, 0, 0, fmt.Errorf("drapid: DetectJob needs Filterbank bytes or a Synth spec")
+		return fail(fmt.Errorf("drapid: DetectJob needs Filterbank bytes or a Synth spec"))
 	}
 	if len(spec.Filterbank) > 0 && spec.Synth != nil {
-		return 0, 0, 0, fmt.Errorf("drapid: DetectJob takes Filterbank or Synth, not both")
+		return fail(fmt.Errorf("drapid: DetectJob takes Filterbank or Synth, not both"))
 	}
 	lo, hi, step = spec.DMMin, spec.DMMax, spec.DMStep
 	if lo == 0 && hi == 0 && step == 0 {
 		lo, hi, step = 0, 300, 1
 	}
 	if step <= 0 {
-		return 0, 0, 0, fmt.Errorf("drapid: DM step %g must be > 0", step)
+		return fail(fmt.Errorf("drapid: DM step %g must be > 0", step))
 	}
 	if lo < 0 || hi <= lo {
-		return 0, 0, 0, fmt.Errorf("drapid: bad DM range [%g, %g]", lo, hi)
+		return fail(fmt.Errorf("drapid: bad DM range [%g, %g]", lo, hi))
 	}
 	if spec.Threshold < 0 {
-		return 0, 0, 0, fmt.Errorf("drapid: threshold %g must be >= 0", spec.Threshold)
+		return fail(fmt.Errorf("drapid: threshold %g must be >= 0", spec.Threshold))
 	}
 	if spec.ResultBuffer < 0 {
-		return 0, 0, 0, fmt.Errorf("drapid: ResultBuffer must be >= 0, got %d", spec.ResultBuffer)
+		return fail(fmt.Errorf("drapid: ResultBuffer must be >= 0, got %d", spec.ResultBuffer))
 	}
 	if spec.Key != "" {
 		if _, err := spe.ParseKey(spec.Key); err != nil {
-			return 0, 0, 0, fmt.Errorf("drapid: bad observation key %q (want dataset:mjd:ra:dec:beam)", spec.Key)
+			return fail(fmt.Errorf("drapid: bad observation key %q (want dataset:mjd:ra:dec:beam)", spec.Key))
 		}
 	}
-	return lo, hi, step, nil
+	kind, err = sps.ParsePlanKind(spec.Plan)
+	if err != nil {
+		return fail(fmt.Errorf("drapid: %w", err))
+	}
+	return lo, hi, step, kind, nil
 }
 
 // SubmitDetect registers and starts a detection job, returning its handle
@@ -177,7 +191,7 @@ func (e *Engine) SubmitDetect(ctx context.Context, spec DetectJob) (*Job, error)
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	lo, hi, step, err := spec.validate()
+	lo, hi, step, kind, err := spec.validate()
 	if err != nil {
 		return nil, err
 	}
@@ -193,7 +207,7 @@ func (e *Engine) SubmitDetect(ctx context.Context, spec DetectJob) (*Job, error)
 	if err := e.register(j); err != nil {
 		return nil, err
 	}
-	go j.run(e.detectWork(j, spec, grid))
+	go j.run(e.detectWork(j, spec, grid, kind))
 	return j, nil
 }
 
@@ -207,8 +221,9 @@ func detectGrid(lo, hi, step float64) (*dmgrid.Grid, error) {
 }
 
 // detectWork is the detect job's work function: frontend search, stage-2
-// clustering, upload, then the shared identification pipeline.
-func (e *Engine) detectWork(j *Job, spec DetectJob, grid *dmgrid.Grid) func() (Result, error) {
+// clustering, upload, then the shared identification pipeline. kind is
+// the dedispersion plan validate already parsed from spec.Plan.
+func (e *Engine) detectWork(j *Job, spec DetectJob, grid *dmgrid.Grid, kind sps.PlanKind) func() (Result, error) {
 	return func() (Result, error) {
 		start := time.Now()
 		var fb *sps.Filterbank
@@ -221,12 +236,13 @@ func (e *Engine) detectWork(j *Job, spec DetectJob, grid *dmgrid.Grid) func() (R
 		if err != nil {
 			return Result{}, fmt.Errorf("drapid: reading filterbank: %w", err)
 		}
-		events, _, err := sps.Search(j.ctx, fb, sps.Config{
+		events, searchStats, err := sps.Search(j.ctx, fb, sps.Config{
 			DMs:        grid.Trials(),
 			Widths:     spec.Widths,
 			Threshold:  spec.Threshold,
 			NormWindow: spec.NormWindow,
 			ZeroDM:     !spec.NoZeroDM,
+			Plan:       sps.DedispersePlan{Kind: kind},
 			Exec:       e.exec,
 		})
 		if err != nil {
@@ -267,6 +283,7 @@ func (e *Engine) detectWork(j *Job, spec DetectJob, grid *dmgrid.Grid) func() (R
 		}
 		res.Detections = len(events)
 		res.DetectSeconds = detectSecs
+		res.Plan = searchStats.Plan
 		return res, nil
 	}
 }

@@ -89,6 +89,11 @@ func TestDetectJobRecall(t *testing.T) {
 	if p := job.Progress(); p.Detections != res.Detections {
 		t.Fatalf("Progress.Detections = %d, Result.Detections = %d", p.Detections, res.Detections)
 	}
+	// The default plan must resolve to the two-stage subband path on a
+	// realistic band — the recall gate below is scored against it.
+	if !strings.HasPrefix(res.Plan, "subband(") {
+		t.Fatalf("Result.Plan = %q, want the subband default", res.Plan)
+	}
 
 	peakDM := featureIndex(t, "SNRPeakDM")
 	startT := featureIndex(t, "StartTime")
@@ -146,7 +151,8 @@ func TestDetectJobFromFilterbankBytes(t *testing.T) {
 	job, err := engine.SubmitDetect(context.Background(), drapid.DetectJob{
 		Filterbank: raw,
 		DMMin:      0, DMMax: 120, DMStep: 1,
-		Key: "TESTSET:55000.0000:10.0000:-5.0000:2",
+		Key:  "TESTSET:55000.0000:10.0000:-5.0000:2",
+		Plan: "brute", // keep the oracle path covered end to end
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -161,11 +167,15 @@ func TestDetectJobFromFilterbankBytes(t *testing.T) {
 		}
 		n++
 	}
-	if _, err := job.Wait(context.Background()); err != nil {
+	res, err := job.Wait(context.Background())
+	if err != nil {
 		t.Fatal(err)
 	}
 	if n == 0 {
 		t.Fatal("no candidates from an SNR-25 injection")
+	}
+	if res.Plan != "brute" {
+		t.Fatalf("Result.Plan = %q, want the forced brute oracle", res.Plan)
 	}
 }
 
@@ -184,6 +194,7 @@ func TestDetectJobValidation(t *testing.T) {
 		"bad threshold":  {Synth: synth, Threshold: -2},
 		"bad buffer":     {Synth: synth, ResultBuffer: -1},
 		"malformed key":  {Synth: synth, Key: "not-a-key"},
+		"bad plan":       {Synth: synth, Plan: "turbo"},
 		"bad filterbank": {Filterbank: []byte("not a filterbank")},
 	}
 	for name, spec := range cases {

@@ -26,8 +26,41 @@
 //
 // cmd/drapidd serves both over HTTP (job submission, progress, NDJSON
 // candidate streaming, classification against a loaded model); cmd/drapid,
-// cmd/spclass and cmd/repro are the CLI entry points. The implementation
-// lives under internal/ (see DESIGN.md for the system inventory and the
-// concurrent executor design); bench_test.go regenerates every figure and
-// table of the paper's evaluation.
+// cmd/spclass, cmd/spgen and cmd/repro are the CLI entry points.
+// bench_test.go regenerates every figure and table of the paper's
+// evaluation.
+//
+// # Package map
+//
+// The implementation lives under internal/ — seventeen packages, each of
+// whose godoc names the paper section or research question it implements
+// (DESIGN.md §1.1 is the authoritative inventory):
+//
+//   - Data model: spe (single-pulse events, observation keys, CSV
+//     interchange), dmgrid (trial dispersion-measure grids with
+//     DDplan-style widening), synth (physics-guided synthetic survey
+//     generator with retained ground truth).
+//
+//   - Search frontend (DESIGN.md §5–§6): sps — SIGPROC filterbank
+//     ingestion, synthetic observations, zero-DM RFI filtering,
+//     dedispersion (two-stage subband by default, brute force as the
+//     oracle), and boxcar matched filtering.
+//
+//   - Identification (DESIGN.md §1.2): dbscan (customized DM-vs-time
+//     clustering), core (Algorithm 1's trend search), features (the 22
+//     characteristic features), pipeline (the four-stage workflow both
+//     drivers share).
+//
+//   - Execution (DESIGN.md §2): rdd (the Spark-like dataset engine and
+//     the real concurrent executor), hdfs and yarn (simulated storage
+//     and allocation), des (discrete-event accounting for the simulated
+//     clocks), rapidmt (the multithreaded single-machine baseline).
+//
+//   - Classification: ml and its subpackages (datasets, the six Table 5
+//     learners, ALM labeling, SMOTE, feature selection, evaluation,
+//     ARFF export).
+//
+//   - Evaluation: experiments (regenerates every figure and table),
+//     plot (text-mode candidate plots), benchjson (the machine-readable
+//     drapid-bench/v1 benchmark artifact).
 package drapid

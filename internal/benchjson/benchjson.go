@@ -1,8 +1,3 @@
-// Package benchjson records benchmark results as a machine-readable JSON
-// file, so performance PRs leave a trackable artifact (BENCH_sps.json)
-// instead of only transient `go test -bench` text. Benchmarks register
-// entries with a Collector during the run; a TestMain flushes it once,
-// merging over any existing file so repeated partial runs accumulate.
 package benchjson
 
 import (

@@ -1,0 +1,75 @@
+// Package benchjson records benchmark results as a machine-readable JSON
+// file, so performance PRs leave a trackable artifact (BENCH_sps.json)
+// instead of only transient `go test -bench` text. Benchmarks register
+// entries with a Collector during the run; a TestMain flushes it once,
+// merging over any existing file so repeated partial runs accumulate.
+//
+// # The drapid-bench/v1 document
+//
+// The artifact is one JSON object (see Document):
+//
+//	{
+//	  "format": "drapid-bench/v1",
+//	  "written_at": "2026-07-27T12:00:00Z",
+//	  "entries": [
+//	    {
+//	      "name": "BenchmarkDedisperse/plan=subband",
+//	      "ns_per_op": 861181240,
+//	      "mb_per_s": 5863.97,
+//	      "workers": 8,
+//	      "n": 3
+//	    },
+//	    ...
+//	  ]
+//	}
+//
+// Fields:
+//
+//   - format: always "drapid-bench/v1" (the Format constant). Readers
+//     must ignore documents with any other value.
+//   - written_at: RFC 3339 UTC time of the flush that last wrote the
+//     file.
+//   - entries: one Entry per benchmark measurement, sorted by name.
+//     name is the full Go benchmark name including sub-benchmark path
+//     (the series key across PRs); ns_per_op the measured nanoseconds
+//     per operation; mb_per_s the processing rate when the benchmark
+//     declares a per-op byte volume (omitted otherwise — for
+//     comparative series like BenchmarkDedisperse's plan=brute /
+//     plan=subband pair the byte volume is the *same equivalent work*
+//     for every member, so the rates divide into a speedup);
+//     workers the worker-pool width the measurement used, when the
+//     benchmark sweeps or pins one; n the benchmark iteration count
+//     behind the measurement (a confidence hint: CI smoke runs use 1).
+//
+// # Merge-on-flush semantics
+//
+// `go test` runs each package in its own directory and re-runs
+// benchmarks with increasing b.N, so the file is built up in two
+// layers (see Collector):
+//
+//   - Within one run, Record keeps the *last* entry per name — the
+//     final, largest-b.N measurement wins.
+//   - At flush, the collector reads any existing document at the path
+//     and merges: entries recorded this run replace same-named ones,
+//     all others are kept. A partial run (say, only BenchmarkBoxcar)
+//     therefore refreshes its own series without erasing the rest.
+//     A collector that recorded nothing flushes nothing, so wiring
+//     Flush into TestMain is harmless for plain `go test` runs.
+//
+// The path is resolved by DefaultPath: $BENCH_JSON when set, else
+// BENCH_sps.json anchored at the nearest enclosing go.mod — which is
+// what lets benchmarks from different packages (internal/sps and the
+// root evaluation suite) merge into one artifact.
+//
+// # How CI writes it
+//
+// The workflow's bench-smoke step runs
+//
+//	go test -short -run xxx -bench 'Dedisperse|Boxcar' -benchtime 1x ./internal/sps
+//
+// — one tiny iteration of the frontend benchmarks — and asserts the
+// artifact exists and is non-empty at the module root. That keeps the
+// recording path itself green on every push; the artifact itself is
+// gitignored (regenerated, not committed), and real measurements use
+// the full-size fixtures via `go test -bench . -run xxx ./internal/sps`.
+package benchjson

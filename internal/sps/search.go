@@ -27,6 +27,13 @@ type Config struct {
 	// (and of sensitivity to genuinely zero-DM signals). Detect jobs
 	// submitted through the engine enable it by default.
 	ZeroDM bool
+	// Plan selects the dedispersion strategy (DESIGN.md §6): the zero
+	// value picks two-stage subband dedispersion with an auto-chosen
+	// subband count whenever its cost model beats brute force, falling
+	// back to the brute kernel when it cannot (the half-sample ceiling
+	// degenerates the nominal grid into the fine grid — low observing
+	// frequencies with fine sampling against a coarse trial grid).
+	Plan DedispersePlan
 	// Exec configures the worker pool the DM trials fan out on — the same
 	// executor the distributed engine's stages use, so a search submitted
 	// through the engine shares its host pool (and token-bucket limiter)
@@ -46,6 +53,9 @@ type Stats struct {
 	Samples int64
 	// Events is the number of threshold crossings emitted.
 	Events int
+	// Plan describes the dedispersion strategy that ran: "brute", or
+	// SubbandPlan.Describe() for the two-stage path.
+	Plan string
 }
 
 // trialBuffers is the per-trial scratch a worker reuses: the dedispersed
@@ -59,14 +69,31 @@ type trialBuffers struct {
 
 var trialPool = sync.Pool{New: func() any { return &trialBuffers{} }}
 
+// subbandBuffers is the per-nominal scratch of the two-stage path: the
+// NSub stage-1 subband series, the stage-2 combined series, and the two
+// shift tables. One set serves a whole nominal group — stage 1 once,
+// then every assigned fine trial — so steady-state subband search is
+// allocation-free per nominal just as the brute path is per trial.
+type subbandBuffers struct {
+	sub       [][]float32
+	combined  []float64
+	shifts    []int
+	subShifts []int
+}
+
+var subbandPool = sync.Pool{New: func() any { return &subbandBuffers{} }}
+
 // Search runs the full frontend over one filterbank: for every trial DM it
-// dedisperses (Dedisperse), normalises (Normalize), and matched-filters
-// (BoxcarDetect), emitting one spe.SPE per detection. Trials execute
-// concurrently on cfg.Exec via the rdd worker pool; per-trial outputs are
-// folded back in grid order, so the result is record-for-record identical
-// for any worker count. Event times are the boxcar-centre arrival times at
-// the highest observed frequency, in seconds from the start of the
-// observation; Downfact carries the matched boxcar width.
+// dedisperses (two-stage subband by default, brute-force Dedisperse as
+// the selectable oracle — see Config.Plan and DESIGN.md §6), normalises
+// (Normalize), and matched-filters (BoxcarDetect), emitting one spe.SPE
+// per detection. Work fans out concurrently on cfg.Exec via the rdd
+// worker pool — per trial DM on the brute path, per nominal DM on the
+// subband path — and per-trial outputs are folded back in grid order, so
+// the result is record-for-record identical for any worker count. Event
+// times are the boxcar-centre arrival times at the highest observed
+// frequency, in seconds from the start of the observation; Downfact
+// carries the matched boxcar width.
 //
 // Trials whose dispersion sweep exceeds the observation are skipped (a
 // short observation simply cannot constrain them); any other per-trial
@@ -101,6 +128,11 @@ func Search(ctx context.Context, fb *Filterbank, cfg Config) ([]spe.SPE, Stats, 
 	if threshold < 0 {
 		return nil, stats, fmt.Errorf("sps: threshold %g must be >= 0", threshold)
 	}
+	sub, planDesc, err := resolveDedisperse(fb.Header, cfg.DMs, cfg.Plan)
+	if err != nil {
+		return nil, stats, err
+	}
+	stats.Plan = planDesc
 	if cfg.ZeroDM {
 		fb = ZeroDMFilter(fb)
 	}
@@ -108,38 +140,12 @@ func Search(ctx context.Context, fb *Filterbank, cfg Config) ([]spe.SPE, Stats, 
 	perTrial := make([][]spe.SPE, len(cfg.DMs))
 	searched := make([]int64, len(cfg.DMs))
 	errs := make([]error, len(cfg.DMs))
-	if err := rdd.RunParallel(ctx, cfg.Exec, len(cfg.DMs), func(i int) {
-		dm := cfg.DMs[i]
-		if MaxShift(fb.Header, dm) >= fb.NSamples {
-			return // sweep longer than the observation: unconstrainable trial
-		}
-		bufs := trialPool.Get().(*trialBuffers)
-		defer trialPool.Put(bufs)
-		bufs.shifts = ChannelShifts(fb.Header, dm, bufs.shifts[:0])
-		series, err := Dedisperse(fb, bufs.shifts, bufs.series)
-		if err != nil {
-			errs[i] = err
-			return
-		}
-		bufs.series = series // keep the (possibly grown) buffer for reuse
-		Normalize(series, cfg.NormWindow)
-		searched[i] = int64(len(series))
-		dets := BoxcarDetect(series, widths, threshold)
-		if len(dets) == 0 {
-			return
-		}
-		events := make([]spe.SPE, len(dets))
-		for k, d := range dets {
-			events[k] = spe.SPE{
-				DM:       dm,
-				SNR:      d.SNR,
-				Time:     float64(d.Center()) * fb.TsampSec,
-				Sample:   int64(d.Center()),
-				Downfact: d.Width,
-			}
-		}
-		perTrial[i] = events
-	}); err != nil {
+	if sub != nil {
+		err = searchSubband(ctx, fb, cfg, sub, widths, threshold, perTrial, searched)
+	} else {
+		err = searchBrute(ctx, fb, cfg, widths, threshold, perTrial, searched, errs)
+	}
+	if err != nil {
 		return nil, stats, err
 	}
 	var out []spe.SPE
@@ -156,6 +162,73 @@ func Search(ctx context.Context, fb *Filterbank, cfg Config) ([]spe.SPE, Stats, 
 	spe.SortByTime(out)
 	stats.Events = len(out)
 	return out, stats, nil
+}
+
+// searchBrute is the one-stage strategy: every trial DM dedisperses the
+// full band independently (Dedisperse), fanned out per trial on the pool.
+func searchBrute(ctx context.Context, fb *Filterbank, cfg Config, widths []int, threshold float64,
+	perTrial [][]spe.SPE, searched []int64, errs []error) error {
+	return rdd.RunParallel(ctx, cfg.Exec, len(cfg.DMs), func(i int) {
+		dm := cfg.DMs[i]
+		if MaxShift(fb.Header, dm) >= fb.NSamples {
+			return // sweep longer than the observation: unconstrainable trial
+		}
+		bufs := trialPool.Get().(*trialBuffers)
+		defer trialPool.Put(bufs)
+		bufs.shifts = ChannelShifts(fb.Header, dm, bufs.shifts[:0])
+		series, err := Dedisperse(fb, bufs.shifts, bufs.series)
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		bufs.series = series // keep the (possibly grown) buffer for reuse
+		Normalize(series, cfg.NormWindow)
+		searched[i] = int64(len(series))
+		perTrial[i] = trialEvents(dm, fb.TsampSec, BoxcarDetect(series, widths, threshold))
+	})
+}
+
+// searchSubband is the two-stage strategy (DESIGN.md §6): fine trials
+// group by their assigned nominal DM, and the fan-out unit is one nominal
+// — stage 1 dedisperses the subbands once, then every assigned fine
+// trial combines, normalises and matched-filters in the same task. Each
+// fine trial belongs to exactly one nominal, so per-trial output slots
+// are written once and the grid-order fold stays deterministic for any
+// worker count, exactly as on the brute path.
+func searchSubband(ctx context.Context, fb *Filterbank, cfg Config, plan *SubbandPlan, widths []int, threshold float64,
+	perTrial [][]spe.SPE, searched []int64) error {
+	groups := plan.nominalGroups()
+	return rdd.RunParallel(ctx, cfg.Exec, len(groups), func(k int) {
+		if len(groups[k]) == 0 {
+			return
+		}
+		bufs := subbandPool.Get().(*subbandBuffers)
+		defer subbandPool.Put(bufs)
+		plan.dedisperseNominal(fb, k, groups[k], bufs, func(i int, series []float64) {
+			Normalize(series, cfg.NormWindow)
+			searched[i] = int64(len(series))
+			perTrial[i] = trialEvents(cfg.DMs[i], fb.TsampSec, BoxcarDetect(series, widths, threshold))
+		})
+	})
+}
+
+// trialEvents converts one trial's detections to SPE events (nil when the
+// trial found nothing).
+func trialEvents(dm, tsampSec float64, dets []Detection) []spe.SPE {
+	if len(dets) == 0 {
+		return nil
+	}
+	events := make([]spe.SPE, len(dets))
+	for k, d := range dets {
+		events[k] = spe.SPE{
+			DM:       dm,
+			SNR:      d.SNR,
+			Time:     float64(d.Center()) * tsampSec,
+			Sample:   int64(d.Center()),
+			Downfact: d.Width,
+		}
+	}
+	return events
 }
 
 // LinearDMs builds the ascending trial grid [lo, hi] spaced step apart —

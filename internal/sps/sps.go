@@ -9,11 +9,18 @@
 //	           ──► multi-width boxcar matched filtering + thresholding
 //	           ──► spe.SPE events (DM, SNR, time, sample, downfact)
 //
-// Dedispersion is brute force over a configurable trial-DM grid — the
+// Dedispersion over the configurable trial-DM grid is the
 // throughput-critical hot path of real-time single-pulse search (Adámek &
-// Armour 2019) — parallelised across DM trials on the same worker pool the
-// distributed engine uses (rdd.RunParallel), with per-trial buffers reused
-// through a sync.Pool so steady-state search allocates nothing per trial.
+// Armour 2019 profile it at >90% of such pipelines' compute). Two
+// strategies are implemented, selected by Config.Plan (DESIGN.md §6): the
+// one-stage brute-force kernel (Dedisperse, the equivalence oracle), and
+// the default two-stage subband plan (SubbandPlan, after Adámek & Armour
+// 2020) that dedisperses channel groups once per coarse nominal DM and
+// assembles fine trials from the subband series, with the added smearing
+// held below half a sample by construction. Both fan out on the same
+// worker pool the distributed engine uses (rdd.RunParallel), with
+// per-task buffers reused through a sync.Pool so steady-state search
+// allocates nothing per trial.
 package sps
 
 import (

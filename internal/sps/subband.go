@@ -1,0 +1,382 @@
+package sps
+
+import (
+	"fmt"
+	"math"
+)
+
+// PlanKind selects the dedispersion strategy of one search.
+type PlanKind string
+
+const (
+	// PlanAuto picks subband or brute-force dedispersion by the arithmetic
+	// cost model (PlanSubbands chooses the subband configuration; brute
+	// force wins when no subband split beats it, e.g. very few channels or
+	// a fine grid so dense the nominal grid degenerates into it).
+	PlanAuto PlanKind = ""
+	// PlanSubband forces the two-stage subband path (DESIGN.md §6).
+	PlanSubband PlanKind = "subband"
+	// PlanBrute forces the one-stage brute-force kernel (Dedisperse) — the
+	// equivalence oracle the subband path is tested against.
+	PlanBrute PlanKind = "brute"
+)
+
+// ParsePlanKind maps the CLI/HTTP spelling of a dedispersion plan to its
+// PlanKind: "" and "auto" select automatically, "subband" and "brute"
+// force a strategy.
+func ParsePlanKind(s string) (PlanKind, error) {
+	switch s {
+	case "", "auto":
+		return PlanAuto, nil
+	case string(PlanSubband):
+		return PlanSubband, nil
+	case string(PlanBrute):
+		return PlanBrute, nil
+	}
+	return PlanAuto, fmt.Errorf("sps: unknown dedispersion plan %q (want auto, subband or brute)", s)
+}
+
+// DedispersePlan configures how a search dedisperses its trial-DM grid.
+// The zero value selects automatically (PlanAuto with an auto-chosen
+// subband count), which is what detect jobs submitted through the engine
+// use by default.
+type DedispersePlan struct {
+	// Kind selects the strategy; PlanAuto (the zero value) decides by cost.
+	Kind PlanKind
+	// NSub forces the subband count of a subband plan; 0 auto-chooses the
+	// count minimising total arithmetic under the half-sample smearing
+	// ceiling (see PlanSubbands). Ignored by PlanBrute.
+	NSub int
+}
+
+// SubbandPlan is one concrete two-stage subband dedispersion plan
+// (Adámek & Armour 2020): stage 1 dedisperses each of NSub contiguous
+// channel groups once per *nominal* DM — using only the intra-subband
+// delays, relative to the subband's own highest frequency — and stage 2
+// assembles every fine trial DM by shifting and summing the NSub subband
+// series of the nearest nominal DM. Stage 1 costs |NominalDMs| × NChans
+// channel-sums per sample and stage 2 |DMs| × NSub, against the brute
+// force |DMs| × NChans; the approximation error is bounded by
+// MaxSmearSec, held below half a sample by construction.
+type SubbandPlan struct {
+	hdr Header
+	dms []float64
+
+	// NSub is the number of subbands (the last may be narrower when it
+	// does not divide the channel count).
+	NSub int
+	// chansPer is the channel count of every subband but possibly the last.
+	chansPer int
+	// subRef is each subband's reference frequency in MHz — its highest
+	// channel centre, the zero-delay point of the subband's stage-1 shifts.
+	subRef []float64
+	// NominalDMs is the coarse stage-1 grid. Its spacing is the widest
+	// that keeps the worst intra-subband smearing under half a sample; when
+	// even the fine grid's own spacing exceeds that, the nominal grid *is*
+	// the fine grid (zero smearing, but no stage-1 saving — the cost model
+	// then prefers brute force under PlanAuto).
+	NominalDMs []float64
+	// assign maps each fine trial index to its nearest nominal DM index.
+	assign []int
+	// MaxSmearSec bounds the added intra-subband smearing in seconds: the
+	// worst channel's |Δdelay| when dedispersed at its nominal rather than
+	// its fine DM. PlanSubbands guarantees MaxSmearSec ≤ TsampSec/2.
+	MaxSmearSec float64
+	// cost is the plan's channel-sum count per sample, the quantity the
+	// auto-chooser minimises; bruteCost is the one-stage equivalent.
+	cost, bruteCost float64
+}
+
+// MaxSmearSamples returns the smearing bound in samples (≤ 0.5 for any
+// plan PlanSubbands builds).
+func (p *SubbandPlan) MaxSmearSamples() float64 { return p.MaxSmearSec / p.hdr.TsampSec }
+
+// Describe renders the plan for job summaries and logs, e.g.
+// "subband(nsub=32 nominals=41 smear=0.42samp)".
+func (p *SubbandPlan) Describe() string {
+	return fmt.Sprintf("subband(nsub=%d nominals=%d smear=%.2fsamp)",
+		p.NSub, len(p.NominalDMs), p.MaxSmearSamples())
+}
+
+// subRange returns the channel index range [lo, hi) of subband s.
+func (p *SubbandPlan) subRange(s int) (int, int) {
+	lo := s * p.chansPer
+	hi := lo + p.chansPer
+	if hi > p.hdr.NChans {
+		hi = p.hdr.NChans
+	}
+	return lo, hi
+}
+
+// PlanSubbands builds a subband plan for one header and ascending fine
+// trial grid. nsub == 0 auto-chooses the subband count: candidates are
+// swept (powers of two up to NChans), each paired with the coarsest
+// nominal-DM spacing whose worst-case intra-subband smearing — the
+// nearest-nominal assignment puts a fine trial at most half a nominal
+// step from its nominal, and a subband's delay-per-DM span then bounds
+// every channel's timing error — stays below half a sample, and the
+// candidate minimising total channel-sums (stage 1 + stage 2) wins.
+func PlanSubbands(h Header, dms []float64, nsub int) (*SubbandPlan, error) {
+	if err := h.Validate(); err != nil {
+		return nil, err
+	}
+	if len(dms) == 0 {
+		return nil, fmt.Errorf("sps: no trial DMs to plan")
+	}
+	if nsub < 0 || nsub > h.NChans {
+		return nil, fmt.Errorf("sps: subband count %d outside [0,%d] (0 auto-chooses)", nsub, h.NChans)
+	}
+	if nsub > 0 {
+		return buildSubbandPlan(h, dms, nsub), nil
+	}
+	var best *SubbandPlan
+	for cand := 1; ; cand *= 2 {
+		if cand > h.NChans {
+			cand = h.NChans
+		}
+		p := buildSubbandPlan(h, dms, cand)
+		if best == nil || p.cost < best.cost {
+			best = p
+		}
+		if cand == h.NChans {
+			break
+		}
+	}
+	return best, nil
+}
+
+// buildSubbandPlan derives the concrete plan for one subband count: the
+// channel partition, per-subband references, and the nominal grid sized
+// by the half-sample smearing ceiling.
+func buildSubbandPlan(h Header, dms []float64, nsub int) *SubbandPlan {
+	chansPer := (h.NChans + nsub - 1) / nsub
+	nsub = (h.NChans + chansPer - 1) / chansPer // drop empty trailing subbands
+	p := &SubbandPlan{
+		hdr:      h,
+		dms:      dms,
+		NSub:     nsub,
+		chansPer: chansPer,
+		subRef:   make([]float64, nsub),
+	}
+	// spanSec is the worst subband's internal delay range per unit DM:
+	// the timing error a channel accrues when its subband is dedispersed
+	// ΔDM away from the truth is ΔDM × span(subband).
+	var spanSec float64
+	for s := 0; s < nsub; s++ {
+		lo, hi := p.subRange(s)
+		fA, fB := h.FreqMHz(lo), h.FreqMHz(hi-1)
+		fMin, fMax := math.Min(fA, fB), math.Max(fA, fB)
+		p.subRef[s] = fMax
+		if span := DelaySeconds(1, fMin, fMax); span > spanSec {
+			spanSec = span
+		}
+	}
+	dmLo, dmHi := dms[0], dms[len(dms)-1]
+	switch {
+	case spanSec == 0 || dmHi == dmLo:
+		// Single-channel subbands (zero intra-subband delay) or a single
+		// fine DM: one nominal serves every trial exactly.
+		nominal := dmLo
+		if spanSec > 0 {
+			nominal = (dmLo + dmHi) / 2
+		}
+		p.NominalDMs = []float64{nominal}
+		p.assign = make([]int, len(dms))
+		p.MaxSmearSec = (dmHi - dmLo) / 2 * spanSec
+	default:
+		// Half-sample ceiling: (step/2) × span ≤ tsamp/2 ⇒ step ≤ tsamp/span.
+		step := h.TsampSec / spanSec
+		if minGap := minSpacing(dms); step < minGap {
+			// The required nominal grid would be denser than the fine grid
+			// itself: degenerate to nominal == fine (exact, zero smearing).
+			p.NominalDMs = append([]float64(nil), dms...)
+			p.assign = make([]int, len(dms))
+			for i := range p.assign {
+				p.assign[i] = i
+			}
+		} else {
+			nNom := int(math.Ceil((dmHi-dmLo)/step)) + 1
+			spacing := (dmHi - dmLo) / float64(nNom-1)
+			p.NominalDMs = make([]float64, nNom)
+			for k := range p.NominalDMs {
+				p.NominalDMs[k] = dmLo + float64(k)*spacing
+			}
+			p.assign = make([]int, len(dms))
+			for i, dm := range dms {
+				k := int(math.Round((dm - dmLo) / spacing))
+				if k < 0 {
+					k = 0
+				}
+				if k >= nNom {
+					k = nNom - 1
+				}
+				p.assign[i] = k
+			}
+			p.MaxSmearSec = spacing / 2 * spanSec
+		}
+	}
+	p.cost = float64(len(p.NominalDMs))*float64(h.NChans) + float64(len(dms))*float64(p.NSub)
+	p.bruteCost = float64(len(dms)) * float64(h.NChans)
+	return p
+}
+
+// minSpacing returns the smallest gap of the ascending grid (0 for a
+// single trial).
+func minSpacing(dms []float64) float64 {
+	if len(dms) < 2 {
+		return 0
+	}
+	min := math.Inf(1)
+	for i := 1; i < len(dms); i++ {
+		if gap := dms[i] - dms[i-1]; gap < min {
+			min = gap
+		}
+	}
+	return min
+}
+
+// resolveDedisperse turns a plan config into the concrete strategy for one
+// search: a non-nil *SubbandPlan for the two-stage path, nil for brute
+// force, plus the human-readable description Stats carries.
+func resolveDedisperse(h Header, dms []float64, cfg DedispersePlan) (*SubbandPlan, string, error) {
+	switch cfg.Kind {
+	case PlanBrute:
+		return nil, string(PlanBrute), nil
+	case PlanSubband, PlanAuto:
+		p, err := PlanSubbands(h, dms, cfg.NSub)
+		if err != nil {
+			return nil, "", err
+		}
+		if cfg.Kind == PlanAuto && p.cost >= p.bruteCost {
+			return nil, string(PlanBrute), nil
+		}
+		return p, p.Describe(), nil
+	}
+	return nil, "", fmt.Errorf("sps: unknown dedispersion plan kind %q", cfg.Kind)
+}
+
+// stage1 dedisperses every subband at nominal DM index k: within subband
+// s, channels shift relative to the subband's own reference frequency
+// (subRef[s]) and sum into dst[s], a float32 series of NSamples −
+// maxIntraShift(s) samples (the tail a subband channel would read past
+// the end is dropped, exactly as Dedisperse drops the full-band tail).
+// shifts is reused scratch of NChans ints. The rare observation shorter
+// than a nominal's own intra-subband sweep returns ok == false — every
+// fine trial of that nominal is unconstrainable.
+func (p *SubbandPlan) stage1(fb *Filterbank, k int, dst [][]float32, shifts []int) ([][]float32, bool) {
+	nu := p.NominalDMs[k]
+	nchan := fb.NChans
+	if cap(dst) < p.NSub {
+		dst = make([][]float32, p.NSub)
+	}
+	dst = dst[:p.NSub]
+	for s := 0; s < p.NSub; s++ {
+		lo, hi := p.subRange(s)
+		maxIntra := 0
+		for ch := lo; ch < hi; ch++ {
+			sh := int(math.Round(DelaySeconds(nu, fb.FreqMHz(ch), p.subRef[s]) / fb.TsampSec))
+			shifts[ch] = sh
+			if sh > maxIntra {
+				maxIntra = sh
+			}
+		}
+		n := fb.NSamples - maxIntra
+		if n < 1 {
+			return dst, false
+		}
+		series := dst[s]
+		if cap(series) < n {
+			series = make([]float32, n)
+		}
+		series = series[:n]
+		for t := range series {
+			series[t] = 0
+		}
+		for ch := lo; ch < hi; ch++ {
+			// Same access pattern as the brute kernel: each channel's
+			// shifted reads stream linearly through memory with stride
+			// nchan.
+			base := shifts[ch]*nchan + ch
+			for t := 0; t < n; t++ {
+				series[t] += fb.Data[base]
+				base += nchan
+			}
+		}
+		dst[s] = series
+	}
+	return dst, true
+}
+
+// nominalGroups buckets the fine trial indices by their assigned nominal
+// DM — the fan-out unit of the two-stage path.
+func (p *SubbandPlan) nominalGroups() [][]int {
+	groups := make([][]int, len(p.NominalDMs))
+	for i := range p.dms {
+		k := p.assign[i]
+		groups[k] = append(groups[k], i)
+	}
+	return groups
+}
+
+// dedisperseNominal is one nominal task's dedispersion work, shared by
+// the search path and the benchmark so they cannot drift apart: stage 1
+// once for nominal index k, then stage 2 for each fine trial in trials,
+// calling each(i, series) per successfully combined trial. Unconstrainable
+// trials (and nominals whose own intra-subband sweep exceeds the
+// observation) are skipped, mirroring the brute path's skip.
+func (p *SubbandPlan) dedisperseNominal(fb *Filterbank, k int, trials []int, bufs *subbandBuffers, each func(i int, series []float64)) {
+	if cap(bufs.shifts) < fb.NChans {
+		bufs.shifts = make([]int, fb.NChans)
+	}
+	if cap(bufs.subShifts) < p.NSub {
+		bufs.subShifts = make([]int, p.NSub)
+	}
+	sub, ok := p.stage1(fb, k, bufs.sub, bufs.shifts[:fb.NChans])
+	bufs.sub = sub
+	if !ok {
+		return
+	}
+	for _, i := range trials {
+		series, ok := p.combine(sub, i, bufs.combined, bufs.subShifts[:p.NSub])
+		bufs.combined = series
+		if !ok {
+			continue
+		}
+		each(i, series)
+	}
+}
+
+// combine assembles fine trial i from its nominal's stage-1 subband
+// series: each subband shifts by its reference frequency's delay at the
+// *fine* DM (relative to the global top frequency) and the series sum
+// into out. subShifts is reused scratch of NSub ints. ok == false means
+// the trial's sweep exceeds the observation (the skip Search applies to
+// unconstrainable brute trials too).
+func (p *SubbandPlan) combine(series [][]float32, i int, out []float64, subShifts []int) ([]float64, bool) {
+	dm := p.dms[i]
+	ftop := p.hdr.FTopMHz()
+	n := math.MaxInt
+	for s := 0; s < p.NSub; s++ {
+		subShifts[s] = int(math.Round(DelaySeconds(dm, p.subRef[s], ftop) / p.hdr.TsampSec))
+		if m := len(series[s]) - subShifts[s]; m < n {
+			n = m
+		}
+	}
+	if n < 1 {
+		return out, false
+	}
+	if cap(out) < n {
+		out = make([]float64, n)
+	}
+	out = out[:n]
+	for t := range out {
+		out[t] = 0
+	}
+	for s := 0; s < p.NSub; s++ {
+		src := series[s][subShifts[s] : subShifts[s]+n]
+		for t, v := range src {
+			out[t] += float64(v)
+		}
+	}
+	return out, true
+}

@@ -1,0 +1,239 @@
+package sps
+
+import (
+	"context"
+	"math"
+	"reflect"
+	"testing"
+
+	"drapid/internal/rdd"
+)
+
+// subbandFixture is the equivalence fixture: injected pulses spanning the
+// detect DM range, wide enough (≥ 8 samples) that the sub-sample subband
+// smearing is a second-order effect on their matched-filter SNR.
+func subbandFixture(t testing.TB) (*Filterbank, []float64, []InjectedPulse) {
+	pulses := []InjectedPulse{
+		{TimeSec: 0.30, DM: 22, WidthMs: 3, SNR: 18},
+		{TimeSec: 0.90, DM: 95, WidthMs: 4, SNR: 22},
+		{TimeSec: 1.60, DM: 167, WidthMs: 5, SNR: 16},
+		{TimeSec: 2.40, DM: 241, WidthMs: 6, SNR: 20},
+	}
+	fb, err := Generate(SynthConfig{
+		NChans: 128, NSamples: 16384, TsampSec: 256e-6,
+		Fch1MHz: 1500, FoffMHz: -2, Seed: 61, Pulses: pulses,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dms, err := LinearDMs(0, 300, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fb, dms, pulses
+}
+
+// bestNear returns the highest-SNR event within the DM window around an
+// injection.
+func bestNear(events []eventKey, dm, window float64) (eventKey, bool) {
+	var best eventKey
+	found := false
+	for _, e := range events {
+		if math.Abs(e.dm-dm) <= window && (!found || e.snr > best.snr) {
+			best = e
+			found = true
+		}
+	}
+	return best, found
+}
+
+func searchWithPlan(t testing.TB, fb *Filterbank, dms []float64, plan DedispersePlan) ([]eventKey, Stats) {
+	t.Helper()
+	events, stats, err := Search(context.Background(), fb, Config{DMs: dms, Plan: plan})
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := make([]eventKey, len(events))
+	for i, e := range events {
+		keys[i] = eventKey{e.DM, e.SNR, e.Time, e.Sample, e.Downfact}
+	}
+	return keys, stats
+}
+
+// TestSubbandMatchesBrute is the equivalence oracle: every injected pulse
+// the brute-force path recovers, the subband path recovers at the same DM
+// and time within one grid cell, with matched-filter SNR degraded by no
+// more than the plan's smearing bound allows.
+func TestSubbandMatchesBrute(t *testing.T) {
+	fb, dms, pulses := subbandFixture(t)
+	brute, bstats := searchWithPlan(t, fb, dms, DedispersePlan{Kind: PlanBrute})
+	subbd, sstats := searchWithPlan(t, fb, dms, DedispersePlan{Kind: PlanSubband})
+	if bstats.Plan != "brute" {
+		t.Fatalf("brute Stats.Plan = %q", bstats.Plan)
+	}
+	if sstats.Plan == "brute" || sstats.Plan == "" {
+		t.Fatalf("subband Stats.Plan = %q", sstats.Plan)
+	}
+
+	plan, err := PlanSubbands(fb.Header, dms, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	step := dms[1] - dms[0]
+	for _, p := range pulses {
+		b, okB := bestNear(brute, p.DM, 2*step)
+		s, okS := bestNear(subbd, p.DM, 2*step)
+		if !okB || !okS {
+			t.Fatalf("injection DM=%g: brute found=%v subband found=%v", p.DM, okB, okS)
+		}
+		if math.Abs(b.dm-s.dm) > step {
+			t.Errorf("injection DM=%g: peak DM %g (brute) vs %g (subband), > one grid cell", p.DM, b.dm, s.dm)
+		}
+		// Time within one matched-boxcar width: the smearing bound (< half
+		// a sample) plus per-stage rounding can move the peak by a sample
+		// or two, never by the pulse's own width.
+		wSamp := int64(p.WidthSamples(fb.TsampSec))
+		if d := b.sample - s.sample; d > wSamp || d < -wSamp {
+			t.Errorf("injection DM=%g: peak sample %d (brute) vs %d (subband), > width %d", p.DM, b.sample, s.sample, wSamp)
+		}
+		// SNR within the smearing bound: a ≤ half-sample smear over a ≥ 8
+		// sample boxcar costs a few percent at most; allow 10% plus noise.
+		if s.snr < 0.9*b.snr {
+			t.Errorf("injection DM=%g: subband SNR %.2f below 90%% of brute %.2f (smear bound %.3f samp)",
+				p.DM, s.snr, b.snr, plan.MaxSmearSamples())
+		}
+	}
+}
+
+// TestSubbandSerialMatchesParallel pins the nominal-group fan-out: any
+// worker count must produce record-for-record identical events on the
+// subband path, like the brute path's TestSearchSerialMatchesParallel.
+func TestSubbandSerialMatchesParallel(t *testing.T) {
+	fb, dms, _ := subbandFixture(t)
+	run := func(workers int) []eventKey {
+		events, _, err := Search(context.Background(), fb, Config{
+			DMs:  dms,
+			Plan: DedispersePlan{Kind: PlanSubband},
+			Exec: rdd.ExecConfig{Workers: workers},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		keys := make([]eventKey, len(events))
+		for i, e := range events {
+			keys[i] = eventKey{e.DM, e.SNR, e.Time, e.Sample, e.Downfact}
+		}
+		return keys
+	}
+	serial := run(1)
+	if len(serial) == 0 {
+		t.Fatal("serial subband search found nothing")
+	}
+	for _, w := range []int{2, 4, 8} {
+		if got := run(w); !reflect.DeepEqual(got, serial) {
+			t.Fatalf("workers=%d diverges from serial: %d vs %d events", w, len(got), len(serial))
+		}
+	}
+}
+
+// TestPlanSubbandsSmearingCeiling asserts the auto-chosen plan honours
+// the half-sample smearing guarantee across representative filterbank
+// headers — both the declared MaxSmearSec bound and the exact per-channel
+// delay error it summarises.
+func TestPlanSubbandsSmearingCeiling(t *testing.T) {
+	headers := []struct {
+		name string
+		h    Header
+		hiDM float64
+	}{
+		{"L-band PALFA-like", Header{TsampSec: 64e-6, Fch1MHz: 1500, FoffMHz: -0.336, NChans: 960, NBits: 32, NIFs: 1, NSamples: 1 << 20}, 1000},
+		{"350MHz drift-scan", Header{TsampSec: 81.92e-6, Fch1MHz: 400, FoffMHz: -0.0977, NChans: 1024, NBits: 32, NIFs: 1, NSamples: 1 << 20}, 150},
+		{"coarse 128-chan synth", Header{TsampSec: 256e-6, Fch1MHz: 1500, FoffMHz: -2, NChans: 128, NBits: 32, NIFs: 1, NSamples: 16384}, 300},
+		{"ascending band", Header{TsampSec: 128e-6, Fch1MHz: 1200, FoffMHz: 1, NChans: 256, NBits: 32, NIFs: 1, NSamples: 1 << 16}, 500},
+	}
+	for _, tc := range headers {
+		t.Run(tc.name, func(t *testing.T) {
+			dms, err := LinearDMs(0, tc.hiDM, tc.hiDM/600)
+			if err != nil {
+				t.Fatal(err)
+			}
+			plan, err := PlanSubbands(tc.h, dms, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			half := tc.h.TsampSec / 2
+			if plan.MaxSmearSec > half*(1+1e-9) {
+				t.Fatalf("nsub=%d: declared smear %.3g s exceeds half a sample (%.3g s)",
+					plan.NSub, plan.MaxSmearSec, half)
+			}
+			// Exact check: for every fine trial and channel, the delay
+			// error of dedispersing at the nominal instead of the fine DM.
+			worst := 0.0
+			for i, dm := range dms {
+				nu := plan.NominalDMs[plan.assign[i]]
+				for s := 0; s < plan.NSub; s++ {
+					lo, hi := plan.subRange(s)
+					for _, ch := range []int{lo, hi - 1} { // extremes bound the monotone error
+						e := math.Abs(DelaySeconds(dm-nu, tc.h.FreqMHz(ch), plan.subRef[s]))
+						if e > worst {
+							worst = e
+						}
+					}
+				}
+			}
+			if worst > half*(1+1e-9) {
+				t.Fatalf("nsub=%d: measured worst smear %.3g s exceeds half a sample (%.3g s)", plan.NSub, worst, half)
+			}
+			if worst > plan.MaxSmearSec*(1+1e-9) {
+				t.Fatalf("measured worst smear %.3g s exceeds the declared bound %.3g s", worst, plan.MaxSmearSec)
+			}
+			t.Logf("nsub=%d nominals=%d (of %d fine trials) smear=%.3f samp",
+				plan.NSub, len(plan.NominalDMs), len(dms), plan.MaxSmearSamples())
+		})
+	}
+}
+
+// TestResolveDedisperse pins plan selection: auto prefers subband when
+// the cost model wins and falls back to brute when the half-sample
+// ceiling forces the nominal grid to degenerate into the fine grid (fine
+// sampling at low frequency against a coarse trial grid), where stage 1
+// alone already costs as much as brute force.
+func TestResolveDedisperse(t *testing.T) {
+	many := Header{TsampSec: 256e-6, Fch1MHz: 1500, FoffMHz: -2, NChans: 128, NBits: 32, NIFs: 1, NSamples: 16384}
+	degen := Header{TsampSec: 1e-5, Fch1MHz: 350, FoffMHz: -0.1, NChans: 32, NBits: 32, NIFs: 1, NSamples: 1 << 20}
+	dms, err := LinearDMs(0, 300, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coarse, err := LinearDMs(0, 300, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub, desc, err := resolveDedisperse(many, dms, DedispersePlan{}); err != nil || sub == nil {
+		t.Fatalf("auto on 128 channels: sub=%v desc=%q err=%v, want subband", sub, desc, err)
+	}
+	if sub, desc, err := resolveDedisperse(degen, coarse, DedispersePlan{}); err != nil || sub != nil || desc != "brute" {
+		t.Fatalf("auto on a degenerate plan: sub=%v desc=%q err=%v, want brute fallback", sub, desc, err)
+	}
+	if sub, _, err := resolveDedisperse(many, dms, DedispersePlan{Kind: PlanBrute}); err != nil || sub != nil {
+		t.Fatalf("forced brute returned sub=%v err=%v", sub, err)
+	}
+	if sub, _, err := resolveDedisperse(many, dms, DedispersePlan{Kind: PlanSubband, NSub: 8}); err != nil || sub == nil || sub.NSub != 8 {
+		t.Fatalf("forced nsub=8 returned %+v err=%v", sub, err)
+	}
+	if _, _, err := resolveDedisperse(many, dms, DedispersePlan{Kind: PlanSubband, NSub: 1000}); err == nil {
+		t.Fatal("nsub > nchans accepted")
+	}
+}
+
+func TestParsePlanKind(t *testing.T) {
+	for in, want := range map[string]PlanKind{"": PlanAuto, "auto": PlanAuto, "subband": PlanSubband, "brute": PlanBrute} {
+		got, err := ParsePlanKind(in)
+		if err != nil || got != want {
+			t.Errorf("ParsePlanKind(%q) = %q, %v", in, got, err)
+		}
+	}
+	if _, err := ParsePlanKind("turbo"); err == nil {
+		t.Error("unknown plan accepted")
+	}
+}

@@ -145,6 +145,11 @@ type Result struct {
 	// filtering frontend took (detect jobs only); WallSeconds covers the
 	// downstream identification pipeline.
 	DetectSeconds float64 `json:"detect_seconds,omitempty"`
+	// Plan describes the dedispersion strategy the frontend ran (detect
+	// jobs only): "brute", or a subband summary like
+	// "subband(nsub=16 nominals=71 smear=0.49samp)" — see DetectJob.Plan
+	// and DESIGN.md §6.
+	Plan string `json:"plan,omitempty"`
 	// RecordsDropped counts malformed key groups discarded by the search.
 	RecordsDropped int64 `json:"records_dropped"`
 	// SimSeconds and WallSeconds are the two clocks (simulated cluster
