@@ -18,6 +18,14 @@
 //
 //	drapid -detect obs.fil -dm-max 300 -dm-step 1 -threshold 6 -out ml.csv
 //
+// With -block N the filterbank is streamed in N-sample gulps instead of
+// staged whole (DESIGN.md §7): peak memory is bounded by the gulp size —
+// a multi-hour drift scan searches in the same footprint as a minutes-long
+// pointing — and candidates are identified segment by segment while the
+// file is still being read.
+//
+//	drapid -detect drift.fil -block 65536 -out ml.csv
+//
 // The output CSV is written in canonical sorted order so it stays
 // byte-identical for any -workers setting (stream arrival order depends
 // on scheduling). Stage tasks really execute on a host worker pool
@@ -51,6 +59,7 @@ func main() {
 		threshold   = flag.Float64("threshold", 6, "detect: matched-filter SNR threshold")
 		noZeroDM    = flag.Bool("no-zerodm", false, "detect: disable the zero-DM broadband-RFI filter")
 		plan        = flag.String("plan", "auto", "detect: dedispersion plan: auto, subband, or brute")
+		block       = flag.Int("block", 0, "detect: stream the filterbank in gulps of this many samples (bounded memory; 0 = whole-file batch)")
 		executors   = flag.Int("executors", 10, "Spark executors to allocate (paper testbed max: 22)")
 		partsCore   = flag.Int("partitions", 32, "hash partitions per core")
 		workers     = flag.Int("workers", 0, "host worker goroutines per stage (0 = all cores)")
@@ -82,19 +91,33 @@ func main() {
 
 	var job *drapid.Job
 	if *detectPath != "" {
-		raw, err := os.ReadFile(*detectPath)
-		if err != nil {
-			log.Fatal(err)
+		spec := drapid.DetectJob{
+			DMMin:        *dmMin,
+			DMMax:        *dmMax,
+			DMStep:       *dmStep,
+			Threshold:    *threshold,
+			NoZeroDM:     *noZeroDM,
+			Plan:         *plan,
+			BlockSamples: *block,
 		}
-		job, err = engine.SubmitDetect(context.Background(), drapid.DetectJob{
-			Filterbank: raw,
-			DMMin:      *dmMin,
-			DMMax:      *dmMax,
-			DMStep:     *dmStep,
-			Threshold:  *threshold,
-			NoZeroDM:   *noZeroDM,
-			Plan:       *plan,
-		})
+		if *block > 0 {
+			// Stream the file instead of staging it: peak memory stays
+			// bounded by the gulp size however long the observation is.
+			f, err := os.Open(*detectPath)
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer f.Close()
+			spec.FilterbankStream = f
+		} else {
+			raw, err := os.ReadFile(*detectPath)
+			if err != nil {
+				log.Fatal(err)
+			}
+			spec.Filterbank = raw
+		}
+		var err error
+		job, err = engine.SubmitDetect(context.Background(), spec)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -10,6 +10,8 @@
 // API (see DESIGN.md §4.5):
 //
 //	POST /v1/jobs                 {"data": [...], "clusters": [...]} → {"id": ...}
+//	POST /v1/detect               JSON detect job (filterbank base64 or synth spec)
+//	POST /v1/detect/stream        raw SIGPROC body in, NDJSON candidates out (DESIGN.md §7)
 //	GET  /v1/jobs/{id}            progress
 //	GET  /v1/jobs/{id}/candidates NDJSON stream of identified pulses
 //	POST /v1/jobs/{id}/cancel     cancel

@@ -5,7 +5,10 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"net/url"
+	"strconv"
 	"sync"
+	"time"
 
 	"drapid"
 )
@@ -15,19 +18,26 @@ import (
 // public drapid package.
 type server struct {
 	engine *drapid.Engine
+	// jsonCap bounds JSON request bodies (maxJobBody by default; tests
+	// shrink it). The octet-stream detect endpoint is deliberately not
+	// subject to it: its memory is bounded by the engine's block size, not
+	// the body size, which is what lets it accept observations far larger
+	// than any buffered JSON document could be.
+	jsonCap int64
 
 	mu    sync.RWMutex
 	model *drapid.Classifier
 }
 
 func newServer(engine *drapid.Engine, model *drapid.Classifier) *server {
-	return &server{engine: engine, model: model}
+	return &server{engine: engine, model: model, jsonCap: maxJobBody}
 }
 
 // handler builds the route table:
 //
 //	POST /v1/jobs                 submit an identification job
 //	POST /v1/detect               submit an end-to-end detection job
+//	POST /v1/detect/stream        stream a raw SIGPROC body through a block-streaming detect job
 //	GET  /v1/jobs                 list jobs with progress
 //	GET  /v1/jobs/{id}            one job's progress
 //	GET  /v1/jobs/{id}/candidates NDJSON candidate stream (live or replay)
@@ -42,6 +52,7 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	mux.HandleFunc("POST /v1/detect", s.handleDetect)
+	mux.HandleFunc("POST /v1/detect/stream", s.handleDetectStream)
 	mux.HandleFunc("GET /v1/jobs", s.handleListJobs)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleProgress)
 	mux.HandleFunc("GET /v1/jobs/{id}/candidates", s.handleCandidates)
@@ -92,7 +103,7 @@ const (
 
 func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	var req submitRequest
-	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxJobBody)).Decode(&req); err != nil {
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.jsonCap)).Decode(&req); err != nil {
 		errorJSON(w, http.StatusBadRequest, "decoding request: %v", err)
 		return
 	}
@@ -139,7 +150,7 @@ type detectRequest struct {
 
 func (s *server) handleDetect(w http.ResponseWriter, r *http.Request) {
 	var req detectRequest
-	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxJobBody)).Decode(&req); err != nil {
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.jsonCap)).Decode(&req); err != nil {
 		errorJSON(w, http.StatusBadRequest, "decoding request: %v", err)
 		return
 	}
@@ -169,6 +180,106 @@ func (s *server) handleDetect(w http.ResponseWriter, r *http.Request) {
 		"progress":   "/v1/jobs/" + job.ID(),
 		"candidates": "/v1/jobs/" + job.ID() + "/candidates",
 	})
+}
+
+// queryFloat parses an optional float query parameter.
+func queryFloat(q url.Values, name string) (float64, error) {
+	v := q.Get(name)
+	if v == "" {
+		return 0, nil
+	}
+	f, err := strconv.ParseFloat(v, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad %s %q", name, v)
+	}
+	return f, nil
+}
+
+// queryInt parses an optional integer query parameter.
+func queryInt(q url.Values, name string) (int, error) {
+	v := q.Get(name)
+	if v == "" {
+		return 0, nil
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil {
+		return 0, fmt.Errorf("bad %s %q", name, v)
+	}
+	return n, nil
+}
+
+// handleDetectStream runs a block-streaming detect job over a raw
+// application/octet-stream SIGPROC body: no base64 inflation, no body
+// buffering (memory is bounded by the block size, so the body may far
+// exceed the JSON endpoints' size cap), and candidates flush back as
+// NDJSON while the body is still uploading. Search knobs arrive as query
+// parameters (dm_min, dm_max, dm_step, threshold, norm_window, block,
+// plan, key, no_zerodm). Unlike POST /v1/detect, the job is bound to the
+// request: a departing client cancels it, and the stream always
+// terminates with a final record — {"done": ..., "result": ...} on
+// success, {"error": ...} on failure or cancellation.
+func (s *server) handleDetectStream(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	spec := drapid.DetectJob{
+		FilterbankStream: r.Body,
+		Key:              q.Get("key"),
+		Plan:             q.Get("plan"),
+		NoZeroDM:         q.Get("no_zerodm") == "true" || q.Get("no_zerodm") == "1",
+	}
+	var err error
+	if spec.DMMin, err = queryFloat(q, "dm_min"); err == nil {
+		if spec.DMMax, err = queryFloat(q, "dm_max"); err == nil {
+			if spec.DMStep, err = queryFloat(q, "dm_step"); err == nil {
+				spec.Threshold, err = queryFloat(q, "threshold")
+			}
+		}
+	}
+	if err == nil {
+		if spec.NormWindow, err = queryInt(q, "norm_window"); err == nil {
+			spec.BlockSamples, err = queryInt(q, "block")
+		}
+	}
+	if err != nil {
+		errorJSON(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	// The response streams while the body is still being read: switch the
+	// connection to full duplex and lift the server's read deadline, which
+	// is sized for buffered JSON bodies, not hours-long uploads.
+	rc := http.NewResponseController(w)
+	rc.EnableFullDuplex()
+	rc.SetReadDeadline(time.Time{})
+
+	job, err := s.engine.SubmitDetect(r.Context(), spec)
+	if err != nil {
+		errorJSON(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	rc.Flush() // headers out now: the client sees the stream open while it uploads
+	enc := json.NewEncoder(w)
+	for c, err := range job.ResultsContext(r.Context()) {
+		if r.Context().Err() != nil {
+			return // client went away; the request context cancels the job
+		}
+		if err != nil {
+			enc.Encode(map[string]string{"error": err.Error()})
+			rc.Flush()
+			return
+		}
+		if encErr := enc.Encode(c); encErr != nil {
+			return
+		}
+		rc.Flush()
+	}
+	res, err := job.Wait(r.Context())
+	if err != nil {
+		enc.Encode(map[string]string{"error": err.Error()})
+	} else {
+		enc.Encode(map[string]any{"done": true, "result": res})
+	}
+	rc.Flush()
 }
 
 func (s *server) handleListJobs(w http.ResponseWriter, r *http.Request) {

@@ -4,11 +4,13 @@ import (
 	"bufio"
 	"bytes"
 	"encoding/json"
+	"io"
 	"math/rand"
 	"net/http"
 	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 
 	"drapid"
 	"drapid/internal/dbscan"
@@ -308,6 +310,184 @@ func TestSmokeDetectHTTP(t *testing.T) {
 	// A bad detect spec is rejected synchronously with a 400.
 	if resp := postJSON(t, ts.URL+"/v1/detect", map[string]any{}, nil); resp.StatusCode != http.StatusBadRequest {
 		t.Fatalf("empty detect spec: status %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestSmokeDetectStreamHTTP exercises POST /v1/detect/stream: a raw
+// SIGPROC body — larger than the server's JSON body cap — streams through
+// a block-streaming detect job and the candidates come back as NDJSON
+// with a final done record, while the same payload is rejected by the
+// JSON endpoint's size cap.
+func TestSmokeDetectStreamHTTP(t *testing.T) {
+	engine, err := drapid.New(drapid.WithWorkers(4), drapid.WithExecutors(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer engine.Close()
+	srv := newServer(engine, nil)
+	srv.jsonCap = 256 << 10 // shrink the JSON cap below the observation size
+	ts := httptest.NewServer(srv.handler())
+	defer ts.Close()
+
+	raw, err := drapid.GenerateFilterbank(drapid.SynthSpec{
+		NChans: 64, NSamples: 8192, TsampSec: 256e-6,
+		Seed: 3,
+		Pulses: []drapid.InjectedPulse{
+			{TimeSec: 0.5, DM: 40, WidthMs: 3, SNR: 20},
+			{TimeSec: 1.2, DM: 90, WidthMs: 4, SNR: 25},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(len(raw)) <= srv.jsonCap {
+		t.Fatalf("fixture of %d bytes does not exceed the %d-byte JSON cap", len(raw), srv.jsonCap)
+	}
+
+	// The JSON endpoint refuses the same observation: base64-in-JSON must
+	// be buffered, so it is size-capped.
+	if resp := postJSON(t, ts.URL+"/v1/detect", map[string]any{"filterbank": raw, "dm_max": 120.0}, nil); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("oversized JSON detect: status %d, want 400", resp.StatusCode)
+	}
+
+	// The octet-stream endpoint takes it without buffering.
+	resp, err := http.Post(ts.URL+"/v1/detect/stream?dm_max=120&dm_step=1&threshold=6.5&block=2048",
+		"application/octet-stream", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("detect stream: status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("stream content type %q", ct)
+	}
+	var cands, done int
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		switch {
+		case bytes.Contains(line, []byte(`"error"`)):
+			t.Fatalf("stream error line: %s", line)
+		case bytes.Contains(line, []byte(`"done"`)):
+			done++
+			var fin struct {
+				Done   bool          `json:"done"`
+				Result drapid.Result `json:"result"`
+			}
+			if err := json.Unmarshal(line, &fin); err != nil {
+				t.Fatalf("bad final record %q: %v", line, err)
+			}
+			if !fin.Done || fin.Result.Detections == 0 || fin.Result.Records != cands {
+				t.Fatalf("final record %+v after %d candidates", fin, cands)
+			}
+		default:
+			var c drapid.Candidate
+			if err := json.Unmarshal(line, &c); err != nil {
+				t.Fatalf("bad NDJSON line %q: %v", line, err)
+			}
+			cands++
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if cands == 0 || done != 1 {
+		t.Fatalf("stream yielded %d candidates and %d done records", cands, done)
+	}
+
+	// A malformed query is rejected before any job is submitted.
+	resp, err = http.Post(ts.URL+"/v1/detect/stream?dm_max=oops", "application/octet-stream", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad query: status %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestSmokeDetectStreamCancelHTTP cancels a streaming detect job whose
+// upload has stalled mid-observation and checks the NDJSON stream
+// terminates with an error record rather than hanging.
+func TestSmokeDetectStreamCancelHTTP(t *testing.T) {
+	engine, err := drapid.New(drapid.WithWorkers(2), drapid.WithExecutors(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer engine.Close()
+	ts := httptest.NewServer(newServer(engine, nil).handler())
+	defer ts.Close()
+
+	raw, err := drapid.GenerateFilterbank(drapid.SynthSpec{
+		NChans: 32, NSamples: 16384, TsampSec: 256e-6, Seed: 11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr, pw := io.Pipe()
+	go func() {
+		pw.Write(raw[:len(raw)/2]) // header and early gulps, then stall
+	}()
+	defer pw.Close()
+
+	resp, err := http.Post(ts.URL+"/v1/detect/stream?dm_max=60&dm_step=1&block=2048", "application/octet-stream", pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("detect stream: status %d", resp.StatusCode)
+	}
+
+	// Find the request-scoped job and cancel it mid-ingest.
+	var list struct {
+		Jobs []struct {
+			ID string `json:"id"`
+		} `json:"jobs"`
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for len(list.Jobs) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("job never appeared in the list")
+		}
+		lr, err := http.Get(ts.URL + "/v1/jobs")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := json.NewDecoder(lr.Body).Decode(&list); err != nil {
+			t.Fatal(err)
+		}
+		lr.Body.Close()
+	}
+	if resp := postJSON(t, ts.URL+"/v1/jobs/"+list.Jobs[0].ID+"/cancel", struct{}{}, nil); resp.StatusCode != http.StatusOK {
+		t.Fatalf("cancel: status %d", resp.StatusCode)
+	}
+
+	lines := make(chan string, 16)
+	go func() {
+		sc := bufio.NewScanner(resp.Body)
+		sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+		for sc.Scan() {
+			lines <- sc.Text()
+		}
+		close(lines)
+	}()
+	timeout := time.After(30 * time.Second)
+	for {
+		select {
+		case line, ok := <-lines:
+			if !ok {
+				t.Fatal("stream closed without an error record")
+			}
+			if strings.Contains(line, `"error"`) {
+				return // terminated with the cancellation cause: the contract
+			}
+		case <-timeout:
+			t.Fatal("stream hung after cancellation")
+		}
 	}
 }
 

@@ -1,9 +1,11 @@
 package drapid
 
 import (
+	"bufio"
 	"bytes"
 	"context"
 	"fmt"
+	"io"
 	"math"
 	"strings"
 	"time"
@@ -20,22 +22,15 @@ import (
 // InjectedPulse is one dispersed pulse of ground truth to embed in a
 // synthetic observation (SynthSpec.Pulses): arrival time at the highest
 // observed frequency, true DM, intrinsic width, and the matched-filter SNR
-// an ideal search recovers.
-type InjectedPulse struct {
-	TimeSec float64 `json:"time_sec"`
-	DM      float64 `json:"dm"`
-	WidthMs float64 `json:"width_ms"`
-	SNR     float64 `json:"snr"`
-}
+// an ideal search recovers. It aliases the frontend's type so SynthSpec
+// converts to the internal configuration as one struct conversion — the
+// compiler, not a hand-maintained copy, keeps the field sets in lock step.
+type InjectedPulse = sps.InjectedPulse
 
 // RFIBurst is one broadband zero-DM interference burst to embed in a
 // synthetic observation (SynthSpec.RFI); Amp is per channel, in noise
-// sigmas.
-type RFIBurst struct {
-	TimeSec float64 `json:"time_sec"`
-	WidthMs float64 `json:"width_ms"`
-	Amp     float64 `json:"amp"`
-}
+// sigmas. Aliased like InjectedPulse.
+type RFIBurst = sps.RFIBurst
 
 // SynthSpec describes a synthetic filterbank observation for a DetectJob:
 // receiver geometry, Gaussian noise, and injected signals with known
@@ -57,26 +52,12 @@ type SynthSpec struct {
 	RFI    []RFIBurst      `json:"rfi,omitempty"`
 }
 
-// internal converts the public spec to the frontend's configuration.
+// internal converts the public spec to the frontend's configuration. The
+// direct struct conversion only compiles while the two field sets are
+// identical, so adding a field to one side without the other is a build
+// error, not a silent drop (TestSynthSpecParity pins the shape as well).
 func (s SynthSpec) internal() sps.SynthConfig {
-	cfg := sps.SynthConfig{
-		NChans:     s.NChans,
-		NSamples:   s.NSamples,
-		TsampSec:   s.TsampSec,
-		Fch1MHz:    s.Fch1MHz,
-		FoffMHz:    s.FoffMHz,
-		TStartMJD:  s.TStartMJD,
-		SourceName: s.SourceName,
-		NoiseSigma: s.NoiseSigma,
-		Seed:       s.Seed,
-	}
-	for _, p := range s.Pulses {
-		cfg.Pulses = append(cfg.Pulses, sps.InjectedPulse(p))
-	}
-	for _, b := range s.RFI {
-		cfg.RFI = append(cfg.RFI, sps.RFIBurst(b))
-	}
-	return cfg
+	return sps.SynthConfig(s)
 }
 
 // GenerateFilterbank renders a synthetic observation to SIGPROC
@@ -105,11 +86,18 @@ func GenerateFilterbank(spec SynthSpec) ([]byte, error) {
 // ready for Classifier.Predict.
 type DetectJob struct {
 	// Filterbank is a raw SIGPROC filterbank observation (for example
-	// written by cmd/spgen -filterbank). Exactly one of Filterbank and
-	// Synth must be set.
+	// written by cmd/spgen -filterbank). Exactly one of Filterbank,
+	// Synth and FilterbankStream must be set.
 	Filterbank []byte
 	// Synth generates a synthetic observation in place of Filterbank.
 	Synth *SynthSpec
+	// FilterbankStream supplies the observation as a raw SIGPROC byte
+	// stream consumed incrementally — the live-ingest input: candidates
+	// flow while the stream is still arriving and memory stays bounded by
+	// the block size regardless of observation length. The job owns the
+	// reader until it terminates. Implies block streaming: a zero
+	// BlockSamples takes DefaultBlockSamples.
+	FilterbankStream io.Reader
 	// Key identifies the observation in downstream records, in the
 	// canonical "dataset:mjd:ra:dec:beam" form; empty derives one from
 	// the filterbank header (source name and start MJD).
@@ -136,11 +124,31 @@ type DetectJob struct {
 	// "brute" force a strategy. Result.Plan reports what actually ran.
 	// See DESIGN.md §6.
 	Plan string
+	// BlockSamples switches the search to the bounded-memory streaming
+	// path (DESIGN.md §7): the observation is consumed in gulps of this
+	// many samples with the dispersion overlap carried between them, events
+	// fold in deterministic order as blocks complete, and candidates are
+	// clustered and identified segment by segment — streamed out while
+	// later blocks are still being searched — instead of after the full
+	// search. BlockSamples must cover the largest trial's dispersion sweep
+	// (undersized blocks fail with a clear error). Zero keeps today's
+	// whole-file batch path (unless FilterbankStream is set, which
+	// defaults it to DefaultBlockSamples). In streaming mode a zero
+	// NormWindow uses the frontend's DefaultNormWindow, since global
+	// moments need the whole series; DetectSeconds then covers the whole
+	// interleaved ingest-to-candidate loop.
+	BlockSamples int
 	// PartitionsPerCore overrides the engine default when positive.
 	PartitionsPerCore int
 	// ResultBuffer bounds consumer lag exactly as for IdentifyJob.
 	ResultBuffer int
 }
+
+// DefaultBlockSamples is the gulp size a FilterbankStream detect job uses
+// when BlockSamples is zero: 65536 samples (a few tens of MB of gulp for
+// typical channel counts, and comfortably above any realistic dispersion
+// sweep at survey time resolutions).
+const DefaultBlockSamples = 1 << 16
 
 // validate checks the spec, resolving the trial grid and the parsed
 // dedispersion plan kind.
@@ -148,11 +156,24 @@ func (spec DetectJob) validate() (lo, hi, step float64, kind sps.PlanKind, err e
 	fail := func(err error) (float64, float64, float64, sps.PlanKind, error) {
 		return 0, 0, 0, sps.PlanAuto, err
 	}
-	if len(spec.Filterbank) == 0 && spec.Synth == nil {
-		return fail(fmt.Errorf("drapid: DetectJob needs Filterbank bytes or a Synth spec"))
+	inputs := 0
+	if len(spec.Filterbank) > 0 {
+		inputs++
 	}
-	if len(spec.Filterbank) > 0 && spec.Synth != nil {
-		return fail(fmt.Errorf("drapid: DetectJob takes Filterbank or Synth, not both"))
+	if spec.Synth != nil {
+		inputs++
+	}
+	if spec.FilterbankStream != nil {
+		inputs++
+	}
+	if inputs == 0 {
+		return fail(fmt.Errorf("drapid: DetectJob needs Filterbank bytes, a Synth spec, or a FilterbankStream"))
+	}
+	if inputs > 1 {
+		return fail(fmt.Errorf("drapid: DetectJob takes exactly one of Filterbank, Synth and FilterbankStream"))
+	}
+	if spec.BlockSamples < 0 {
+		return fail(fmt.Errorf("drapid: BlockSamples must be >= 0, got %d", spec.BlockSamples))
 	}
 	lo, hi, step = spec.DMMin, spec.DMMax, spec.DMStep
 	if lo == 0 && hi == 0 && step == 0 {
@@ -222,8 +243,13 @@ func detectGrid(lo, hi, step float64) (*dmgrid.Grid, error) {
 
 // detectWork is the detect job's work function: frontend search, stage-2
 // clustering, upload, then the shared identification pipeline. kind is
-// the dedispersion plan validate already parsed from spec.Plan.
+// the dedispersion plan validate already parsed from spec.Plan. Jobs with
+// BlockSamples (or a FilterbankStream) take the bounded-memory streaming
+// path instead, which runs the same stages segment by segment.
 func (e *Engine) detectWork(j *Job, spec DetectJob, grid *dmgrid.Grid, kind sps.PlanKind) func() (Result, error) {
+	if spec.BlockSamples > 0 || spec.FilterbankStream != nil {
+		return e.detectWorkStream(j, spec, grid, kind)
+	}
 	return func() (Result, error) {
 		start := time.Now()
 		var fb *sps.Filterbank
@@ -284,6 +310,191 @@ func (e *Engine) detectWork(j *Job, spec DetectJob, grid *dmgrid.Grid, kind sps.
 		res.Detections = len(events)
 		res.DetectSeconds = detectSecs
 		res.Plan = searchStats.Plan
+		return res, nil
+	}
+}
+
+// Streaming detect segmentation (DESIGN.md §7.3). Events arrive from the
+// block search in global time order; a segment is cut wherever the stream
+// goes quiet for longer than the DBSCAN linkage reach (EpsTime +
+// MergeTime, with margin), so no cluster can span a segment boundary and
+// per-segment clustering matches what the batch pass would have built for
+// the same events. A pathological stream with no quiet gap (an RFI storm)
+// is force-flushed at detectStreamMaxEvents — the only case where
+// streaming may split a cluster that batch would keep whole.
+const (
+	detectStreamGapSec    = 0.25
+	detectStreamMaxEvents = 1 << 14
+)
+
+// segmenter accumulates streamed events, cuts them into
+// clustering-independent segments, and runs each segment through the same
+// Prepare → upload → identify pipeline the batch path uses, aggregating
+// the per-segment results.
+type segmenter struct {
+	e            *Engine
+	j            *Job
+	grid         *dmgrid.Grid
+	key          spe.Key
+	feat         features.Config
+	params       core.Params
+	partsPerCore int
+
+	pending []spe.SPE
+	seg     int
+	total   Result
+}
+
+// onEvents is the search emit callback: fold in one time-ordered batch,
+// then flush everything behind the latest quiet gap.
+func (s *segmenter) onEvents(events []spe.SPE) error {
+	if err := s.j.ctx.Err(); err != nil {
+		return context.Cause(s.j.ctx)
+	}
+	s.j.addDetections(len(events))
+	s.pending = append(s.pending, events...)
+	cut := 0
+	for i := 1; i < len(s.pending); i++ {
+		if s.pending[i].Time-s.pending[i-1].Time > detectStreamGapSec {
+			cut = i
+		}
+	}
+	if cut == 0 && len(s.pending) >= detectStreamMaxEvents {
+		cut = len(s.pending)
+	}
+	if cut == 0 {
+		return nil // no quiet gap yet: keep accumulating (flush(0) is finish's empty-job case)
+	}
+	return s.flush(cut)
+}
+
+// finish flushes whatever remains; a job that saw no events at all still
+// runs one empty segment so the result carries the same pipeline
+// bookkeeping shape as an empty batch run.
+func (s *segmenter) finish() error {
+	if len(s.pending) > 0 || s.seg == 0 {
+		return s.flush(len(s.pending))
+	}
+	return nil
+}
+
+// flush clusters and identifies pending[:n] as one segment. Per-run
+// accounting (records, wall and simulated seconds, drops) accumulates;
+// scheduler counters are cumulative context snapshots, so the latest
+// segment's values stand for the job.
+func (s *segmenter) flush(n int) error {
+	if n == 0 && s.seg > 0 {
+		return nil
+	}
+	s.seg++
+	dir := fmt.Sprintf("jobs/%s/seg-%d", s.j.id, s.seg)
+	prep := pipeline.Prepare([]spe.Observation{{Key: s.key, Events: s.pending[:n]}}, s.grid, dbscan.DefaultParams())
+	dataFile := dir + "/spe.csv"
+	clusterFile := dir + "/clusters.csv"
+	if err := prep.Upload(s.e.fs, dataFile, clusterFile); err != nil {
+		return fmt.Errorf("drapid: uploading segment %d: %w", s.seg, err)
+	}
+	res, err := s.j.pipelineWork(pipeline.JobConfig{
+		DataFile:          dataFile,
+		ClusterFile:       clusterFile,
+		OutDir:            fmt.Sprintf("jobs/%s/ml/seg-%d", s.j.id, s.seg),
+		PartitionsPerCore: s.partsPerCore,
+		Params:            s.params,
+		Feat:              s.feat,
+		Emit:              s.j.emit,
+	})()
+	if err != nil {
+		return err
+	}
+	s.pending = append(s.pending[:0], s.pending[n:]...)
+	s.total.Records += res.Records
+	s.total.RecordsDropped += res.RecordsDropped
+	s.total.SimSeconds += res.SimSeconds
+	s.total.WallSeconds += res.WallSeconds
+	s.total.Stages, s.total.Tasks = res.Stages, res.Tasks
+	s.total.ShuffleBytes, s.total.SpillBytes = res.ShuffleBytes, res.SpillBytes
+	return nil
+}
+
+// detectWorkStream is the streaming work function: the block search emits
+// time-ordered event batches as gulps complete, the segmenter clusters and
+// identifies them at quiet gaps, and candidates stream out while the tail
+// of the observation is still being read.
+func (e *Engine) detectWorkStream(j *Job, spec DetectJob, grid *dmgrid.Grid, kind sps.PlanKind) func() (Result, error) {
+	return func() (Result, error) {
+		start := time.Now()
+		block := spec.BlockSamples
+		if block == 0 {
+			block = DefaultBlockSamples
+		}
+		cfg := sps.Config{
+			DMs:          grid.Trials(),
+			Widths:       spec.Widths,
+			Threshold:    spec.Threshold,
+			NormWindow:   spec.NormWindow,
+			ZeroDM:       !spec.NoZeroDM,
+			Plan:         sps.DedispersePlan{Kind: kind},
+			Exec:         e.exec,
+			BlockSamples: block,
+		}
+		var hdr sps.Header
+		var run func(emit func([]spe.SPE) error) (sps.Stats, error)
+		if spec.FilterbankStream != nil {
+			rd := bufio.NewReaderSize(spec.FilterbankStream, 1<<16)
+			h, err := sps.ReadHeader(rd)
+			if err != nil {
+				return Result{}, fmt.Errorf("drapid: reading filterbank header: %w", err)
+			}
+			hdr = h
+			run = func(emit func([]spe.SPE) error) (sps.Stats, error) {
+				return sps.SearchBlocks(j.ctx, hdr, rd, cfg, emit)
+			}
+		} else {
+			var fb *sps.Filterbank
+			var err error
+			if spec.Synth != nil {
+				fb, err = sps.Generate(spec.Synth.internal())
+			} else {
+				fb, err = sps.Read(bytes.NewReader(spec.Filterbank))
+			}
+			if err != nil {
+				return Result{}, fmt.Errorf("drapid: reading filterbank: %w", err)
+			}
+			hdr = fb.Header
+			run = func(emit func([]spe.SPE) error) (sps.Stats, error) {
+				return sps.SearchFilterbank(j.ctx, fb, cfg, emit)
+			}
+		}
+		key, err := observationKey(spec.Key, hdr)
+		if err != nil {
+			return Result{}, err
+		}
+		partsPerCore := e.partsPerCore
+		if spec.PartitionsPerCore > 0 {
+			partsPerCore = spec.PartitionsPerCore
+		}
+		seg := &segmenter{
+			e: e, j: j, grid: grid, key: key,
+			params:       detectSearchParams(grid),
+			partsPerCore: partsPerCore,
+			feat: features.Config{
+				Grid:    grid,
+				BandMHz: hdr.BandwidthMHz(),
+				FreqGHz: hdr.CenterFreqGHz(),
+			},
+		}
+		stats, err := run(seg.onEvents)
+		if err != nil {
+			return Result{}, fmt.Errorf("drapid: single-pulse search: %w", err)
+		}
+		if err := seg.finish(); err != nil {
+			return Result{}, err
+		}
+		res := seg.total
+		res.Detections = stats.Events
+		res.DetectSeconds = time.Since(start).Seconds()
+		res.Plan = stats.Plan
+		res.OutDir = "jobs/" + j.id + "/ml"
 		return res, nil
 	}
 }

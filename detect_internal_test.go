@@ -1,6 +1,36 @@
 package drapid
 
-import "testing"
+import (
+	"reflect"
+	"testing"
+
+	"drapid/internal/sps"
+)
+
+// TestSynthSpecParity pins SynthSpec to the frontend's SynthConfig field
+// for field: the direct struct conversion in SynthSpec.internal already
+// fails to compile on a divergence, and this keeps the failure readable —
+// naming the drifted field — if the conversion is ever rewritten.
+func TestSynthSpecParity(t *testing.T) {
+	pub := reflect.TypeOf(SynthSpec{})
+	intl := reflect.TypeOf(sps.SynthConfig{})
+	if pub.NumField() != intl.NumField() {
+		t.Fatalf("SynthSpec has %d fields, sps.SynthConfig %d", pub.NumField(), intl.NumField())
+	}
+	for i := 0; i < pub.NumField(); i++ {
+		pf, inf := pub.Field(i), intl.Field(i)
+		if pf.Name != inf.Name {
+			t.Errorf("field %d: SynthSpec.%s vs SynthConfig.%s", i, pf.Name, inf.Name)
+		}
+		if pf.Type != inf.Type {
+			t.Errorf("field %s: type %v vs %v", pf.Name, pf.Type, inf.Type)
+		}
+		if pf.Tag.Get("json") != inf.Tag.Get("json") {
+			t.Errorf("field %s: json tag %q vs %q (the HTTP spec and the internal one must marshal alike)",
+				pf.Name, pf.Tag.Get("json"), inf.Tag.Get("json"))
+		}
+	}
+}
 
 // TestDetectGridRespectsDMMax pins the trial-plan arithmetic: the grid
 // holds every lo+k·step up to hi and nothing beyond, even when the step

@@ -2,6 +2,8 @@ package drapid_test
 
 import (
 	"context"
+	"errors"
+	"io"
 	"math"
 	"strings"
 	"testing"
@@ -211,6 +213,134 @@ func TestDetectJobValidation(t *testing.T) {
 		if _, err := job.Wait(context.Background()); err == nil {
 			t.Errorf("%s: job succeeded", name)
 		}
+	}
+}
+
+// TestDetectJobRecallStreaming holds the same ≥90% end-to-end gate on the
+// block-streaming path: the identical fixture searched in bounded-memory
+// gulps, clustered and identified segment by segment, must still recover
+// the injected pulses through the streamed candidates.
+func TestDetectJobRecallStreaming(t *testing.T) {
+	engine, err := drapid.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer engine.Close()
+
+	spec := detectSynthSpec()
+	job, err := engine.SubmitDetect(context.Background(), drapid.DetectJob{
+		Synth:        &spec,
+		Threshold:    6.5,
+		BlockSamples: 4096,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cands []drapid.Candidate
+	for c, err := range job.Results() {
+		if err != nil {
+			t.Fatal(err)
+		}
+		cands = append(cands, c)
+	}
+	res, err := job.Wait(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Detections == 0 {
+		t.Fatal("streaming detect reported no raw events")
+	}
+	if res.Records != len(cands) {
+		t.Fatalf("Records = %d, streamed %d", res.Records, len(cands))
+	}
+	if !strings.HasPrefix(res.Plan, "subband(") {
+		t.Fatalf("Result.Plan = %q, want the subband default", res.Plan)
+	}
+	peakDM := featureIndex(t, "SNRPeakDM")
+	startT := featureIndex(t, "StartTime")
+	stopT := featureIndex(t, "StopTime")
+	recovered := 0
+	for _, p := range spec.Pulses {
+		center := p.TimeSec + p.WidthMs/2000
+		for _, c := range cands {
+			if math.Abs(c.Features[peakDM]-p.DM) <= 6 &&
+				c.Features[startT] <= center+0.05 &&
+				c.Features[stopT] >= center-0.05 {
+				recovered++
+				break
+			}
+		}
+	}
+	recall := float64(recovered) / float64(len(spec.Pulses))
+	t.Logf("streaming end-to-end recall %d/%d = %.0f%% (%d detections → %d candidates)",
+		recovered, len(spec.Pulses), 100*recall, res.Detections, len(cands))
+	if recall < 0.9 {
+		t.Fatalf("streaming end-to-end recall %.2f below 0.90", recall)
+	}
+}
+
+// TestDetectJobStreamCancelMidIngest cancels a streaming detect job while
+// its FilterbankStream source is stalled mid-observation: the job must
+// reach the cancelled state promptly once the source unblocks, and the
+// candidate stream must terminate with the cancellation cause instead of
+// hanging.
+func TestDetectJobStreamCancelMidIngest(t *testing.T) {
+	engine, err := drapid.New(drapid.WithWorkers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer engine.Close()
+
+	raw, err := drapid.GenerateFilterbank(drapid.SynthSpec{
+		NChans: 32, NSamples: 16384, TsampSec: 256e-6,
+		Seed:   9,
+		Pulses: []drapid.InjectedPulse{{TimeSec: 0.5, DM: 30, WidthMs: 4, SNR: 25}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr, pw := io.Pipe()
+	go func() {
+		pw.Write(raw[:len(raw)/2]) // header + early blocks, then stall
+	}()
+	job, err := engine.SubmitDetect(context.Background(), drapid.DetectJob{
+		FilterbankStream: pr,
+		BlockSamples:     2048,
+		DMMin:            0, DMMax: 60, DMStep: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	streamDone := make(chan error, 1)
+	go func() {
+		for _, err := range job.Results() {
+			if err != nil {
+				streamDone <- err
+				return
+			}
+		}
+		streamDone <- nil
+	}()
+
+	job.Cancel()
+	pw.CloseWithError(errors.New("source detached")) // unblock the stalled read
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if _, err := job.Wait(ctx); !errors.Is(err, drapid.ErrCancelled) {
+		t.Fatalf("Wait returned %v, want ErrCancelled", err)
+	}
+	if s := job.State(); s != drapid.JobCancelled {
+		t.Fatalf("state = %v", s)
+	}
+	select {
+	case err := <-streamDone:
+		if !errors.Is(err, drapid.ErrCancelled) {
+			t.Fatalf("candidate stream ended with %v, want ErrCancelled", err)
+		}
+	case <-ctx.Done():
+		t.Fatal("candidate stream hung after cancellation")
 	}
 }
 

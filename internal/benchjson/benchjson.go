@@ -30,6 +30,12 @@ type Entry struct {
 	Workers int `json:"workers,omitempty"`
 	// N is the benchmark iteration count behind the measurement.
 	N int `json:"n,omitempty"`
+	// PeakAllocBytes is the heap-allocation high-water mark of one
+	// operation (measured with the collector paused), when the benchmark
+	// reports one — the bounded-memory evidence of the mode=stream search
+	// series, which must stay roughly flat as the observation grows while
+	// mode=batch grows linearly.
+	PeakAllocBytes int64 `json:"peak_alloc_bytes,omitempty"`
 }
 
 // Document is the on-disk shape.

@@ -1,15 +1,19 @@
 package sps
 
 import (
+	"bytes"
 	"context"
 	"fmt"
 	"math/rand"
 	"os"
+	"runtime"
+	"runtime/debug"
 	"testing"
 	"time"
 
 	"drapid/internal/benchjson"
 	"drapid/internal/rdd"
+	"drapid/internal/spe"
 )
 
 // Benchmarks of the frontend hot path. Results are also written as
@@ -94,7 +98,7 @@ func subbandDedisperseAll(b *testing.B, fb *Filterbank, plan *SubbandPlan, worke
 		}
 		bufs := subbandPool.Get().(*subbandBuffers)
 		defer subbandPool.Put(bufs)
-		plan.dedisperseNominal(fb, k, groups[k], bufs, func(int, []float64) {})
+		plan.dedisperseNominal(fb, k, groups[k], bufs, func(int, []float64) error { return nil }, nil)
 	}); err != nil {
 		b.Fatal(err)
 	}
@@ -198,19 +202,106 @@ func BenchmarkDedisperse(b *testing.B) {
 	})
 }
 
-// BenchmarkSearch measures the full frontend (dedisperse + normalise +
-// boxcar) end to end at full pool width.
+// BenchmarkSearch measures the full frontend end to end at full pool
+// width, ingest included, as a mode=batch / mode=stream matrix over an
+// nsamples axis that grows 4×. Both modes start from the same serialised
+// SIGPROC bytes and run the same trial grid with the same explicit
+// normalisation window (so the searched events are identical); batch
+// stages the whole observation (sps.Read + Search), stream consumes it in
+// fixed gulps (SearchStream). The per-entry peak-alloc-B metric — the
+// heap-allocation high-water of one operation, recorded in BENCH_sps.json
+// as peak_alloc_bytes — is the bounded-memory evidence of DESIGN.md §7:
+// roughly flat across the nsamples axis for stream, linear for batch.
 func BenchmarkSearch(b *testing.B) {
-	fb, dms := benchFilterbank(b)
-	bytesPerOp := int64(len(dms)) * int64(len(fb.Data)) * 4
-	b.SetBytes(bytesPerOp)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, _, err := Search(context.Background(), fb, Config{DMs: dms}); err != nil {
+	baseNS := 1 << 15
+	if testing.Short() {
+		baseNS = 1 << 13
+	}
+	workers := rdd.ExecConfig{}.NumWorkers()
+	for _, scale := range []int{1, 4} {
+		cfg := SynthConfig{NChans: 128, NSamples: baseNS * scale, TsampSec: 128e-6, FoffMHz: -1, Seed: 21}
+		cfg.Pulses = RandomPulses(cfg, 4, 20, 200, 12, 30, 7)
+		fb, err := Generate(cfg)
+		if err != nil {
 			b.Fatal(err)
 		}
+		var buf bytes.Buffer
+		if err := Write(&buf, fb); err != nil {
+			b.Fatal(err)
+		}
+		raw := buf.Bytes()
+		dms, err := LinearDMs(0, 254, 2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sub, _, err := resolveDedisperse(fb.Header, dms, DedispersePlan{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		sweep, _ := requiredSweep(fb.Header, dms, sub)
+		block := 8192
+		if block < sweep {
+			block = sweep
+		}
+		scfg := Config{DMs: dms, NormWindow: 1024}
+		bytesPerOp := int64(len(dms)) * int64(len(fb.Data)) * 4
+		discard := func([]spe.SPE) error { return nil }
+		ops := map[string]func(){
+			"batch": func() {
+				got, err := Read(bytes.NewReader(raw))
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, _, err := Search(context.Background(), got, scfg); err != nil {
+					b.Fatal(err)
+				}
+			},
+			"stream": func() {
+				streamCfg := scfg
+				streamCfg.BlockSamples = block
+				if _, _, err := SearchStream(context.Background(), bytes.NewReader(raw), streamCfg, discard); err != nil {
+					b.Fatal(err)
+				}
+			},
+		}
+		for _, mode := range []string{"batch", "stream"} {
+			op := ops[mode]
+			name := fmt.Sprintf("mode=%s/nsamples=%d", mode, cfg.NSamples)
+			b.Run(name, func(b *testing.B) {
+				b.SetBytes(bytesPerOp)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					op()
+				}
+				elapsed, n := b.Elapsed(), b.N
+				b.StopTimer()
+				peak := peakAllocBytes(op)
+				b.ReportMetric(float64(peak), "peak-alloc-B")
+				benchOut.Record(benchjson.Entry{
+					Name:           "BenchmarkSearch/" + name,
+					NsPerOp:        float64(elapsed.Nanoseconds()) / float64(n),
+					MBPerS:         float64(bytesPerOp) * float64(n) / elapsed.Seconds() / 1e6,
+					Workers:        workers,
+					N:              n,
+					PeakAllocBytes: peak,
+				})
+			})
+		}
 	}
-	benchOut.Measure("BenchmarkSearch", b.Elapsed(), b.N, bytesPerOp, rdd.ExecConfig{}.NumWorkers())
+}
+
+// peakAllocBytes runs op once with the collector paused and returns the
+// heap-allocation high-water it adds — with GC off, HeapAlloc grows
+// monotonically, so the delta bounds the operation's peak footprint.
+func peakAllocBytes(op func()) int64 {
+	prev := debug.SetGCPercent(-1)
+	defer debug.SetGCPercent(prev)
+	runtime.GC()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	op()
+	runtime.ReadMemStats(&m1)
+	return int64(m1.HeapAlloc - m0.HeapAlloc)
 }
 
 func BenchmarkBoxcar(b *testing.B) {

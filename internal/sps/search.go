@@ -34,6 +34,15 @@ type Config struct {
 	// degenerates the nominal grid into the fine grid — low observing
 	// frequencies with fine sampling against a coarse trial grid).
 	Plan DedispersePlan
+	// BlockSamples switches the search to the bounded-memory block driver
+	// (DESIGN.md §7): the observation is consumed as gulps of this many
+	// samples with the dispersion overlap carried between them, and the
+	// emitted events are record-for-record identical to the batch path for
+	// any block size (BlockSamples must cover the largest trial's sweep) and
+	// any worker count — provided NormWindow is explicit, since streaming
+	// substitutes DefaultNormWindow for the batch default of global
+	// moments. Zero (the default) keeps the whole-file batch kernels.
+	BlockSamples int
 	// Exec configures the worker pool the DM trials fan out on — the same
 	// executor the distributed engine's stages use, so a search submitted
 	// through the engine shares its host pool (and token-bucket limiter)
@@ -59,12 +68,14 @@ type Stats struct {
 }
 
 // trialBuffers is the per-trial scratch a worker reuses: the dedispersed
-// series and the per-channel shift table. Pooling them makes steady-state
-// search allocation-free per trial, which is what lets the DM fan-out
-// scale with workers instead of with the allocator.
+// series, the per-channel shift table, and (on the streaming path) the
+// normalised-sample segment. Pooling them makes steady-state search
+// allocation-free per trial, which is what lets the DM fan-out scale with
+// workers instead of with the allocator.
 type trialBuffers struct {
 	series []float64
 	shifts []int
+	z      []float64
 }
 
 var trialPool = sync.Pool{New: func() any { return &trialBuffers{} }}
@@ -79,6 +90,7 @@ type subbandBuffers struct {
 	combined  []float64
 	shifts    []int
 	subShifts []int
+	z         []float64
 }
 
 var subbandPool = sync.Pool{New: func() any { return &subbandBuffers{} }}
@@ -106,29 +118,20 @@ func Search(ctx context.Context, fb *Filterbank, cfg Config) ([]spe.SPE, Stats, 
 	if len(fb.Data) != fb.NSamples*fb.NChans {
 		return nil, stats, fmt.Errorf("sps: data has %d values, header says %d", len(fb.Data), fb.NSamples*fb.NChans)
 	}
-	if len(cfg.DMs) == 0 {
-		return nil, stats, fmt.Errorf("sps: no trial DMs")
-	}
-	for i, dm := range cfg.DMs {
-		if dm < 0 {
-			return nil, stats, fmt.Errorf("sps: trial DM %g must be >= 0", dm)
+	if cfg.BlockSamples > 0 {
+		// Bounded-memory block driver (DESIGN.md §7), collected back into
+		// the batch return shape; the event records are identical.
+		var out []spe.SPE
+		stats, err := SearchFilterbank(ctx, fb, cfg, func(events []spe.SPE) error {
+			out = append(out, events...)
+			return nil
+		})
+		if err != nil {
+			return nil, stats, err
 		}
-		if i > 0 && dm <= cfg.DMs[i-1] {
-			return nil, stats, fmt.Errorf("sps: trial DMs must ascend (trial %d: %g after %g)", i, dm, cfg.DMs[i-1])
-		}
+		return out, stats, nil
 	}
-	widths, err := validWidths(cfg.Widths)
-	if err != nil {
-		return nil, stats, err
-	}
-	threshold := cfg.Threshold
-	if threshold == 0 {
-		threshold = DefaultThreshold
-	}
-	if threshold < 0 {
-		return nil, stats, fmt.Errorf("sps: threshold %g must be >= 0", threshold)
-	}
-	sub, planDesc, err := resolveDedisperse(fb.Header, cfg.DMs, cfg.Plan)
+	widths, threshold, sub, planDesc, err := resolveSearch(fb.Header, cfg)
 	if err != nil {
 		return nil, stats, err
 	}
@@ -141,7 +144,7 @@ func Search(ctx context.Context, fb *Filterbank, cfg Config) ([]spe.SPE, Stats, 
 	searched := make([]int64, len(cfg.DMs))
 	errs := make([]error, len(cfg.DMs))
 	if sub != nil {
-		err = searchSubband(ctx, fb, cfg, sub, widths, threshold, perTrial, searched)
+		err = searchSubband(ctx, fb, cfg, sub, widths, threshold, perTrial, searched, errs)
 	} else {
 		err = searchBrute(ctx, fb, cfg, widths, threshold, perTrial, searched, errs)
 	}
@@ -162,6 +165,39 @@ func Search(ctx context.Context, fb *Filterbank, cfg Config) ([]spe.SPE, Stats, 
 	spe.SortByTime(out)
 	stats.Events = len(out)
 	return out, stats, nil
+}
+
+// resolveSearch validates the search parameters shared by the batch and
+// streaming drivers — the trial grid, the width ladder, the threshold —
+// and resolves the dedispersion plan.
+func resolveSearch(hdr Header, cfg Config) (widths []int, threshold float64, sub *SubbandPlan, planDesc string, err error) {
+	if len(cfg.DMs) == 0 {
+		return nil, 0, nil, "", fmt.Errorf("sps: no trial DMs")
+	}
+	for i, dm := range cfg.DMs {
+		if dm < 0 {
+			return nil, 0, nil, "", fmt.Errorf("sps: trial DM %g must be >= 0", dm)
+		}
+		if i > 0 && dm <= cfg.DMs[i-1] {
+			return nil, 0, nil, "", fmt.Errorf("sps: trial DMs must ascend (trial %d: %g after %g)", i, dm, cfg.DMs[i-1])
+		}
+	}
+	widths, err = validWidths(cfg.Widths)
+	if err != nil {
+		return nil, 0, nil, "", err
+	}
+	threshold = cfg.Threshold
+	if threshold == 0 {
+		threshold = DefaultThreshold
+	}
+	if threshold < 0 {
+		return nil, 0, nil, "", fmt.Errorf("sps: threshold %g must be >= 0", threshold)
+	}
+	sub, planDesc, err = resolveDedisperse(hdr, cfg.DMs, cfg.Plan)
+	if err != nil {
+		return nil, 0, nil, "", err
+	}
+	return widths, threshold, sub, planDesc, nil
 }
 
 // searchBrute is the one-stage strategy: every trial DM dedisperses the
@@ -194,9 +230,11 @@ func searchBrute(ctx context.Context, fb *Filterbank, cfg Config, widths []int, 
 // trial combines, normalises and matched-filters in the same task. Each
 // fine trial belongs to exactly one nominal, so per-trial output slots
 // are written once and the grid-order fold stays deterministic for any
-// worker count, exactly as on the brute path.
+// worker count, exactly as on the brute path. Per-trial failures land in
+// errs[i] exactly as on the brute path, so Search's fold reports them with
+// the trial DM attached.
 func searchSubband(ctx context.Context, fb *Filterbank, cfg Config, plan *SubbandPlan, widths []int, threshold float64,
-	perTrial [][]spe.SPE, searched []int64) error {
+	perTrial [][]spe.SPE, searched []int64, errs []error) error {
 	groups := plan.nominalGroups()
 	return rdd.RunParallel(ctx, cfg.Exec, len(groups), func(k int) {
 		if len(groups[k]) == 0 {
@@ -204,11 +242,12 @@ func searchSubband(ctx context.Context, fb *Filterbank, cfg Config, plan *Subban
 		}
 		bufs := subbandPool.Get().(*subbandBuffers)
 		defer subbandPool.Put(bufs)
-		plan.dedisperseNominal(fb, k, groups[k], bufs, func(i int, series []float64) {
+		plan.dedisperseNominal(fb, k, groups[k], bufs, func(i int, series []float64) error {
 			Normalize(series, cfg.NormWindow)
 			searched[i] = int64(len(series))
 			perTrial[i] = trialEvents(cfg.DMs[i], fb.TsampSec, BoxcarDetect(series, widths, threshold))
-		})
+			return nil
+		}, errs)
 	})
 }
 

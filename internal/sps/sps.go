@@ -21,6 +21,15 @@
 // worker pool the distributed engine uses (rdd.RunParallel), with
 // per-task buffers reused through a sync.Pool so steady-state search
 // allocates nothing per trial.
+//
+// The whole pipeline also runs as a bounded-memory block stream
+// (DESIGN.md §7): BlockReader yields fixed-size gulps with the dispersion
+// overlap carried between them, SearchStream/SearchBlocks/SearchFilterbank
+// drive stateful per-trial kernels across them, and the emitted events
+// are record-for-record identical to the batch Search for any block size
+// and worker count — which is what lets observations of unbounded length
+// (or live feeds with no declared length) be searched in a fixed
+// footprint.
 package sps
 
 import (

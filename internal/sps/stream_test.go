@@ -1,0 +1,423 @@
+package sps
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"io"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+
+	"drapid/internal/rdd"
+	"drapid/internal/spe"
+)
+
+// streamFixture is a compact observation with pulses spread over the DM
+// range and an RFI burst, dense enough that boxcar chains and block
+// boundaries interact.
+func streamFixture(t testing.TB) *Filterbank {
+	t.Helper()
+	fb, err := Generate(SynthConfig{
+		NChans: 64, NSamples: 8192, TsampSec: 256e-6,
+		Seed: 41,
+		Pulses: []InjectedPulse{
+			{TimeSec: 0.25, DM: 15, WidthMs: 2, SNR: 14},
+			{TimeSec: 0.60, DM: 55, WidthMs: 4, SNR: 18},
+			{TimeSec: 0.95, DM: 95, WidthMs: 3, SNR: 22},
+			{TimeSec: 1.30, DM: 130, WidthMs: 5, SNR: 12},
+			{TimeSec: 1.70, DM: 160, WidthMs: 2.5, SNR: 16},
+		},
+		RFI: []RFIBurst{{TimeSec: 1.1, WidthMs: 4, Amp: 3}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fb
+}
+
+// TestSearchStreamMatchesBatch is the equivalence gate of DESIGN.md §7:
+// for both dedispersion plans, several block sizes (including one exactly
+// at the sweep and one larger than the observation) and several worker
+// counts, the streaming emission must be record-for-record identical to
+// the batch search.
+func TestSearchStreamMatchesBatch(t *testing.T) {
+	fb := streamFixture(t)
+	dms, err := LinearDMs(0, 180, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, plan := range []PlanKind{PlanBrute, PlanSubband} {
+		base := Config{DMs: dms, Threshold: 6, NormWindow: 512, ZeroDM: true, Plan: DedispersePlan{Kind: plan}}
+		batch, batchStats, err := Search(context.Background(), fb, base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(batch) == 0 {
+			t.Fatalf("plan %q: batch search found nothing to compare", plan)
+		}
+		sub, _, err := resolveDedisperse(fb.Header, dms, base.Plan)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sweep, _ := requiredSweep(fb.Header, dms, sub)
+		for _, block := range []int{sweep, sweep + 37, 1024, 4096, fb.NSamples, fb.NSamples + 999} {
+			if block < 1 {
+				continue
+			}
+			for _, workers := range []int{1, 4} {
+				cfg := base
+				cfg.BlockSamples = block
+				cfg.Exec = rdd.ExecConfig{Workers: workers}
+				got, stats, err := Search(context.Background(), fb, cfg)
+				if err != nil {
+					t.Fatalf("plan %q block %d workers %d: %v", plan, block, workers, err)
+				}
+				if !reflect.DeepEqual(got, batch) {
+					t.Fatalf("plan %q block %d workers %d: stream diverges from batch (%d vs %d events)",
+						plan, block, workers, len(got), len(batch))
+				}
+				if stats.Trials != batchStats.Trials || stats.Samples != batchStats.Samples || stats.Events != batchStats.Events {
+					t.Fatalf("plan %q block %d workers %d: stats %+v != batch %+v", plan, block, workers, stats, batchStats)
+				}
+			}
+		}
+	}
+}
+
+// TestSearchStreamReaderMatchesBatch runs the io.Reader entry point — the
+// path a live SIGPROC upload takes, including the 8-bit decode — against
+// the batch search of the re-read filterbank.
+func TestSearchStreamReaderMatchesBatch(t *testing.T) {
+	fb := streamFixture(t)
+	fb.NBits = 8 // quantised upload: exercises the block decoder
+	var buf bytes.Buffer
+	if err := Write(&buf, fb); err != nil {
+		t.Fatal(err)
+	}
+	reread, err := Read(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dms, err := LinearDMs(0, 120, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{DMs: dms, Threshold: 6, NormWindow: 512, BlockSamples: 1500}
+	batch, _, err := Search(context.Background(), reread, Config{DMs: dms, Threshold: 6, NormWindow: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []spe.SPE
+	var batches int
+	hdr, stats, err := SearchStream(context.Background(), bytes.NewReader(buf.Bytes()), cfg, func(events []spe.SPE) error {
+		batches++
+		got = append(got, events...)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hdr != reread.Header {
+		t.Fatalf("stream header %+v != file header %+v", hdr, reread.Header)
+	}
+	if !reflect.DeepEqual(got, batch) {
+		t.Fatalf("reader stream diverges from batch (%d vs %d events)", len(got), len(batch))
+	}
+	if batches < 2 {
+		t.Fatalf("events arrived in %d batch(es); expected incremental emission", batches)
+	}
+	if stats.Events != len(batch) {
+		t.Fatalf("stats.Events = %d, want %d", stats.Events, len(batch))
+	}
+}
+
+// TestSearchStreamBlockTooSmall pins the clear error for a block smaller
+// than the maximum dispersion sweep.
+func TestSearchStreamBlockTooSmall(t *testing.T) {
+	fb := streamFixture(t)
+	dms, err := LinearDMs(0, 180, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, _, err := resolveDedisperse(fb.Header, dms, DedispersePlan{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sweep, _ := requiredSweep(fb.Header, dms, sub)
+	if sweep < 2 {
+		t.Fatalf("fixture sweep %d too small to test", sweep)
+	}
+	_, err = SearchFilterbank(context.Background(), fb, Config{DMs: dms, BlockSamples: sweep - 1}, func([]spe.SPE) error { return nil })
+	if err == nil {
+		t.Fatal("undersized block accepted")
+	}
+	if !strings.Contains(err.Error(), "dispersion sweep") {
+		t.Fatalf("unhelpful undersized-block error: %v", err)
+	}
+}
+
+// TestBlockReaderHugeBlock pins the overflow-safe gulp guard: block sizes
+// near MaxInt (reachable straight off the network via the stream detect
+// endpoint's block parameter) must error cleanly, never panic in makeslice
+// or wrap into a silently tiny gulp.
+func TestBlockReaderHugeBlock(t *testing.T) {
+	fb := streamFixture(t)
+	var buf bytes.Buffer
+	if err := Write(&buf, fb); err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range [][2]int{
+		{math.MaxInt, 0},
+		{math.MaxInt - 1, 2},
+		{1, math.MaxInt},
+		{maxSamples, maxSamples},
+		{maxSamples/fb.NChans + 1, 0},
+	} {
+		if _, err := NewBlockReader(bytes.NewReader(buf.Bytes()), bad[0], bad[1]); err == nil {
+			t.Errorf("NewBlockReader(block=%d, overlap=%d) accepted", bad[0], bad[1])
+		}
+	}
+	// The same guard protects the whole streaming search (and hence the
+	// HTTP endpoint): a huge BlockSamples is an error, not a panic.
+	dms, err := LinearDMs(0, 60, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = SearchStream(context.Background(), bytes.NewReader(buf.Bytes()),
+		Config{DMs: dms, BlockSamples: math.MaxInt}, func([]spe.SPE) error { return nil })
+	if err == nil {
+		t.Fatal("MaxInt BlockSamples accepted")
+	}
+}
+
+// TestSearchStreamCancel checks a context cancelled mid-stream stops the
+// driver promptly with the context's error instead of draining the
+// observation.
+func TestSearchStreamCancel(t *testing.T) {
+	fb := streamFixture(t)
+	dms, err := LinearDMs(0, 180, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	blocks := 0
+	_, err = SearchFilterbank(ctx, fb, Config{DMs: dms, BlockSamples: 1024, NormWindow: 256, Threshold: 2}, func([]spe.SPE) error {
+		blocks++
+		if blocks == 1 {
+			cancel()
+		}
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled stream returned %v", err)
+	}
+	if blocks > 3 {
+		t.Fatalf("driver processed %d emissions after cancellation", blocks)
+	}
+}
+
+// TestSearchStreamEmitError checks an emit failure (a departed HTTP
+// client) aborts the search with that error.
+func TestSearchStreamEmitError(t *testing.T) {
+	fb := streamFixture(t)
+	dms, err := LinearDMs(0, 120, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("consumer gone")
+	_, err = SearchFilterbank(context.Background(), fb, Config{DMs: dms, BlockSamples: 1024, NormWindow: 256, Threshold: 2}, func([]spe.SPE) error {
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("emit error not propagated: %v", err)
+	}
+}
+
+// TestBlockReaderGeometry walks gulps over a known observation and checks
+// the overlap-carry invariants: starts advance by the block size, carried
+// rows repeat the previous tail verbatim, and the final block lands
+// exactly on the observation end.
+func TestBlockReaderGeometry(t *testing.T) {
+	fb := streamFixture(t)
+	var buf bytes.Buffer
+	if err := Write(&buf, fb); err != nil {
+		t.Fatal(err)
+	}
+	const block, overlap = 1000, 200
+	br, err := NewBlockReader(bytes.NewReader(buf.Bytes()), block, overlap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if br.Header() != fb.Header {
+		t.Fatalf("header %+v != %+v", br.Header(), fb.Header)
+	}
+	nchan := fb.NChans
+	covered := 0
+	k := 0
+	for {
+		blk, err := br.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if blk.Start != k*block {
+			t.Fatalf("block %d starts at %d, want %d", k, blk.Start, k*block)
+		}
+		wantFresh := overlap
+		if k == 0 {
+			wantFresh = 0
+		}
+		if blk.Fresh != wantFresh {
+			t.Fatalf("block %d Fresh = %d, want %d", k, blk.Fresh, wantFresh)
+		}
+		if len(blk.Data) != blk.Rows*nchan {
+			t.Fatalf("block %d has %d values for %d rows", k, len(blk.Data), blk.Rows)
+		}
+		for r := 0; r < blk.Rows; r++ {
+			at := blk.Start + r
+			for ch := 0; ch < nchan; ch++ {
+				if blk.Data[r*nchan+ch] != fb.Data[at*nchan+ch] {
+					t.Fatalf("block %d row %d ch %d: %g != %g", k, r, ch, blk.Data[r*nchan+ch], fb.Data[at*nchan+ch])
+				}
+			}
+		}
+		covered = blk.Start + blk.Rows
+		if blk.Last {
+			if covered != fb.NSamples {
+				t.Fatalf("last block ends at %d, want %d", covered, fb.NSamples)
+			}
+		}
+		k++
+	}
+	if covered != fb.NSamples {
+		t.Fatalf("blocks covered %d of %d samples", covered, fb.NSamples)
+	}
+}
+
+// TestBlockReaderTruncation checks a header-declared sample count the body
+// cannot supply errors instead of yielding a silent short block.
+func TestBlockReaderTruncation(t *testing.T) {
+	fb := streamFixture(t)
+	var buf bytes.Buffer
+	if err := Write(&buf, fb); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()[:buf.Len()-4096*4]
+	br, err := NewBlockReader(bytes.NewReader(raw), 2048, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		_, err = br.Next()
+		if err != nil {
+			break
+		}
+	}
+	if err == io.EOF || err == nil {
+		t.Fatal("truncated stream read to EOF without error")
+	}
+	if !strings.Contains(err.Error(), "truncated") {
+		t.Fatalf("unhelpful truncation error: %v", err)
+	}
+}
+
+// TestBlockReaderUnknownLength reads a stream whose header does not
+// declare nsamples — the live-ingest case — deriving the length from EOF,
+// and rejects a trailing partial sample.
+func TestBlockReaderUnknownLength(t *testing.T) {
+	fb := streamFixture(t)
+	hdr := fb.Header
+	hdr.NSamples = 0
+	var buf bytes.Buffer
+	if err := WriteHeader(&buf, hdr); err != nil {
+		t.Fatal(err)
+	}
+	headerLen := buf.Len()
+	full := &Filterbank{Header: fb.Header, Data: fb.Data}
+	var body bytes.Buffer
+	if err := Write(&body, full); err != nil {
+		t.Fatal(err)
+	}
+	// Reuse the real data bytes behind the nsamples-free header.
+	var hbuf bytes.Buffer
+	if err := WriteHeader(&hbuf, fb.Header); err != nil {
+		t.Fatal(err)
+	}
+	data := body.Bytes()[hbuf.Len():]
+	buf.Write(data)
+
+	br, err := NewBlockReader(bytes.NewReader(buf.Bytes()), 3000, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for {
+		blk, err := br.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		total = blk.Start + blk.Rows
+	}
+	if total != fb.NSamples {
+		t.Fatalf("unknown-length stream yielded %d samples, want %d", total, fb.NSamples)
+	}
+
+	// A trailing partial sample is an error, as in the batch reader.
+	ragged := append([]byte(nil), buf.Bytes()[:headerLen+7]...)
+	br, err = NewBlockReader(bytes.NewReader(ragged), 3000, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = br.Next()
+	if err == nil || err == io.EOF {
+		t.Fatalf("ragged tail accepted: %v", err)
+	}
+}
+
+// TestSearchStreamUnknownLength checks the driver handles a stream whose
+// total length is only discovered at EOF, matching the batch search of
+// the same data.
+func TestSearchStreamUnknownLength(t *testing.T) {
+	fb := streamFixture(t)
+	hdr := fb.Header
+	hdr.NSamples = 0
+	var buf bytes.Buffer
+	if err := WriteHeader(&buf, hdr); err != nil {
+		t.Fatal(err)
+	}
+	var full bytes.Buffer
+	if err := Write(&full, fb); err != nil {
+		t.Fatal(err)
+	}
+	var hbuf bytes.Buffer
+	if err := WriteHeader(&hbuf, fb.Header); err != nil {
+		t.Fatal(err)
+	}
+	buf.Write(full.Bytes()[hbuf.Len():])
+
+	dms, err := LinearDMs(0, 120, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch, _, err := Search(context.Background(), fb, Config{DMs: dms, Threshold: 6, NormWindow: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []spe.SPE
+	_, _, err = SearchStream(context.Background(), bytes.NewReader(buf.Bytes()),
+		Config{DMs: dms, Threshold: 6, NormWindow: 512, BlockSamples: 1700},
+		func(events []spe.SPE) error { got = append(got, events...); return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, batch) {
+		t.Fatalf("unknown-length stream diverges from batch (%d vs %d events)", len(got), len(batch))
+	}
+}

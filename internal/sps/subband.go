@@ -307,6 +307,68 @@ func (p *SubbandPlan) stage1(fb *Filterbank, k int, dst [][]float32, shifts []in
 	return dst, true
 }
 
+// stage1Block is stage1 over one gulp: within subband s, the series covers
+// block-relative rows [0, blkRows − intra[s]), which are the absolute
+// output samples [blk.Start, blk.Start+blkRows−intra[s]). shifts and
+// intra are the nominal's precomputed channel-shift table and per-subband
+// maxima (streamShifts) — block-invariant, so they are derived once per
+// search, not per gulp. The channel accumulation order matches stage1
+// exactly, so for any block size the float32 sums are bit-identical to
+// the whole-observation pass.
+func (p *SubbandPlan) stage1Block(data []float32, blkRows int, shifts, intra []int, dst [][]float32) [][]float32 {
+	nchan := p.hdr.NChans
+	if cap(dst) < p.NSub {
+		dst = make([][]float32, p.NSub)
+	}
+	dst = dst[:p.NSub]
+	for s := 0; s < p.NSub; s++ {
+		lo, hi := p.subRange(s)
+		n := blkRows - intra[s]
+		if n < 0 {
+			n = 0
+		}
+		series := dst[s]
+		if cap(series) < n {
+			series = make([]float32, n)
+		}
+		series = series[:n]
+		for t := range series {
+			series[t] = 0
+		}
+		for ch := lo; ch < hi; ch++ {
+			base := shifts[ch]*nchan + ch
+			for t := 0; t < n; t++ {
+				series[t] += data[base]
+				base += nchan
+			}
+		}
+		dst[s] = series
+	}
+	return dst
+}
+
+// combineBlock assembles one fine trial's output samples [outLo, outHi)
+// from one gulp's stage-1 series (whose row 0 is absolute sample
+// blkStart), using the trial's precomputed stage-2 shift table and
+// combine's exact subband summation order.
+func (p *SubbandPlan) combineBlock(series [][]float32, subShifts []int, blkStart, outLo, outHi int, out []float64) []float64 {
+	n := outHi - outLo
+	if cap(out) < n {
+		out = make([]float64, n)
+	}
+	out = out[:n]
+	for t := range out {
+		out[t] = 0
+	}
+	for s := 0; s < p.NSub; s++ {
+		src := series[s][outLo+subShifts[s]-blkStart:]
+		for t := 0; t < n; t++ {
+			out[t] += float64(src[t])
+		}
+	}
+	return out
+}
+
 // nominalGroups buckets the fine trial indices by their assigned nominal
 // DM — the fan-out unit of the two-stage path.
 func (p *SubbandPlan) nominalGroups() [][]int {
@@ -323,8 +385,10 @@ func (p *SubbandPlan) nominalGroups() [][]int {
 // once for nominal index k, then stage 2 for each fine trial in trials,
 // calling each(i, series) per successfully combined trial. Unconstrainable
 // trials (and nominals whose own intra-subband sweep exceeds the
-// observation) are skipped, mirroring the brute path's skip.
-func (p *SubbandPlan) dedisperseNominal(fb *Filterbank, k int, trials []int, bufs *subbandBuffers, each func(i int, series []float64)) {
+// observation) are skipped, mirroring the brute path's skip; an error from
+// each is recorded in errs[i] (when errs is non-nil), giving the subband
+// path the same per-trial error reporting as the brute one.
+func (p *SubbandPlan) dedisperseNominal(fb *Filterbank, k int, trials []int, bufs *subbandBuffers, each func(i int, series []float64) error, errs []error) {
 	if cap(bufs.shifts) < fb.NChans {
 		bufs.shifts = make([]int, fb.NChans)
 	}
@@ -342,7 +406,9 @@ func (p *SubbandPlan) dedisperseNominal(fb *Filterbank, k int, trials []int, buf
 		if !ok {
 			continue
 		}
-		each(i, series)
+		if err := each(i, series); err != nil && errs != nil {
+			errs[i] = err
+		}
 	}
 }
 

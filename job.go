@@ -163,7 +163,9 @@ type Result struct {
 	ShuffleBytes int64 `json:"shuffle_bytes"`
 	SpillBytes   int64 `json:"spill_bytes"`
 	// OutDir is the engine-filesystem directory holding the job's saved
-	// ML part files.
+	// ML part files. Streaming detect jobs (DetectJob.BlockSamples /
+	// FilterbankStream) write one seg-N subdirectory beneath it per
+	// identified segment rather than part files at the top level.
 	OutDir string `json:"out_dir"`
 }
 
@@ -279,6 +281,15 @@ func (j *Job) pipelineWork(cfg pipeline.JobConfig) func() (Result, error) {
 func (j *Job) setDetections(n int) {
 	j.mu.Lock()
 	j.detections = n
+	j.mu.Unlock()
+}
+
+// addDetections accumulates raw frontend events as a streaming detect
+// job's blocks complete, so Progress.Detections grows while the
+// observation is still being ingested.
+func (j *Job) addDetections(n int) {
+	j.mu.Lock()
+	j.detections += n
 	j.mu.Unlock()
 }
 
