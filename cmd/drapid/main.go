@@ -60,6 +60,8 @@ func main() {
 		noZeroDM    = flag.Bool("no-zerodm", false, "detect: disable the zero-DM broadband-RFI filter")
 		plan        = flag.String("plan", "auto", "detect: dedispersion plan: auto, subband, or brute")
 		block       = flag.Int("block", 0, "detect: stream the filterbank in gulps of this many samples (bounded memory; 0 = whole-file batch)")
+		top         = flag.Int("top", 10, "detect: print the N best sifted candidate groups and their repeat sources (0 disables sifting)")
+		catalogPath = flag.String("catalog", "", "detect: known-source catalog CSV (name,dm,period_s) for sift matching")
 		executors   = flag.Int("executors", 10, "Spark executors to allocate (paper testbed max: 22)")
 		partsCore   = flag.Int("partitions", 32, "hash partitions per core")
 		workers     = flag.Int("workers", 0, "host worker goroutines per stage (0 = all cores)")
@@ -99,6 +101,14 @@ func main() {
 			NoZeroDM:     *noZeroDM,
 			Plan:         *plan,
 			BlockSamples: *block,
+			Sift:         drapid.Sift{Top: *top, Disable: *top == 0},
+		}
+		if *catalogPath != "" {
+			cat, err := os.ReadFile(*catalogPath)
+			if err != nil {
+				log.Fatal(err)
+			}
+			spec.Sift.Catalog = string(cat)
 		}
 		if *block > 0 {
 			// Stream the file instead of staging it: peak memory stays
@@ -175,11 +185,37 @@ func main() {
 	if *detectPath != "" {
 		log.Printf("detect: %d raw events above %.1f sigma in %.3fs, dedispersion plan %s",
 			res.Detections, *threshold, res.DetectSeconds, res.Plan)
+		printTop(res)
 	}
 	log.Printf("executors=%d single pulses=%d simulated elapsed=%.3fs wall=%.3fs", *executors, res.Records, res.SimSeconds, res.WallSeconds)
 	log.Printf("stages=%d tasks=%d shuffle=%.1fMB spill=%.1fMB dropped=%d",
 		res.Stages, res.Tasks, float64(res.ShuffleBytes)/1e6, float64(res.SpillBytes)/1e6, res.RecordsDropped)
 	log.Printf("streamed %d ML records to %s", streamed, *outPath)
+}
+
+// printTop renders the ranked sifted view: the top candidate groups in
+// canonical order, then the cross-matched repeat sources.
+func printTop(res drapid.Result) {
+	if len(res.TopCandidates) == 0 {
+		return
+	}
+	log.Printf("top %d sifted candidates:", len(res.TopCandidates))
+	log.Printf("  %-4s %-9s %8s %8s %9s %4s %6s %s", "#", "rank", "snr", "dm", "time", "n", "src", "known")
+	for i, c := range res.TopCandidates {
+		src := "-"
+		if c.Source > 0 {
+			src = fmt.Sprintf("S%d", c.Source)
+		}
+		log.Printf("  %-4d %-9s %8.2f %8.2f %9.4f %4d %6s %s", i+1, c.Rank, c.SNR, c.DM, c.Time, c.N, src, c.Known)
+	}
+	for _, s := range res.Sources {
+		known := s.Known
+		if known == "" {
+			known = "unmatched"
+		}
+		log.Printf("source S%d: %d detection(s) at DM %.2f, best SNR %.2f at t=%.4fs (%s)",
+			s.ID, s.Detections, s.DM, s.BestSNR, s.BestTime, known)
+	}
 }
 
 func readLines(path string) ([]string, error) {

@@ -41,6 +41,7 @@ func newServer(engine *drapid.Engine, model *drapid.Classifier) *server {
 //	GET  /v1/jobs                 list jobs with progress
 //	GET  /v1/jobs/{id}            one job's progress
 //	GET  /v1/jobs/{id}/candidates NDJSON candidate stream (live or replay)
+//	GET  /v1/jobs/{id}/top        ranked sifted view (?n= bounds the page)
 //	POST /v1/jobs/{id}/cancel     cancel a running job
 //	DELETE /v1/jobs/{id}          evict a terminal job (retention)
 //	POST /v1/classify             classify instances against the model
@@ -56,6 +57,7 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("GET /v1/jobs", s.handleListJobs)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleProgress)
 	mux.HandleFunc("GET /v1/jobs/{id}/candidates", s.handleCandidates)
+	mux.HandleFunc("GET /v1/jobs/{id}/top", s.handleTop)
 	mux.HandleFunc("POST /v1/jobs/{id}/cancel", s.handleCancel)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleRemove)
 	mux.HandleFunc("POST /v1/classify", s.handleClassify)
@@ -146,6 +148,7 @@ type detectRequest struct {
 	NoZeroDM          bool              `json:"no_zerodm,omitempty"`
 	Plan              string            `json:"plan,omitempty"`
 	PartitionsPerCore int               `json:"partitions_per_core,omitempty"`
+	Sift              drapid.Sift       `json:"sift,omitempty"`
 }
 
 func (s *server) handleDetect(w http.ResponseWriter, r *http.Request) {
@@ -169,6 +172,7 @@ func (s *server) handleDetect(w http.ResponseWriter, r *http.Request) {
 		NoZeroDM:          req.NoZeroDM,
 		Plan:              req.Plan,
 		PartitionsPerCore: req.PartitionsPerCore,
+		Sift:              req.Sift,
 	})
 	if err != nil {
 		errorJSON(w, http.StatusBadRequest, "%v", err)
@@ -179,6 +183,7 @@ func (s *server) handleDetect(w http.ResponseWriter, r *http.Request) {
 		"state":      job.State().String(),
 		"progress":   "/v1/jobs/" + job.ID(),
 		"candidates": "/v1/jobs/" + job.ID() + "/candidates",
+		"top":        "/v1/jobs/" + job.ID() + "/top",
 	})
 }
 
@@ -214,7 +219,7 @@ func queryInt(q url.Values, name string) (int, error) {
 // exceed the JSON endpoints' size cap), and candidates flush back as
 // NDJSON while the body is still uploading. Search knobs arrive as query
 // parameters (dm_min, dm_max, dm_step, threshold, norm_window, block,
-// plan, key, no_zerodm). Unlike POST /v1/detect, the job is bound to the
+// plan, key, no_zerodm, top). Unlike POST /v1/detect, the job is bound to the
 // request: a departing client cancels it, and the stream always
 // terminates with a final record — {"done": ..., "result": ...} on
 // success, {"error": ...} on failure or cancellation.
@@ -238,6 +243,9 @@ func (s *server) handleDetectStream(w http.ResponseWriter, r *http.Request) {
 		if spec.NormWindow, err = queryInt(q, "norm_window"); err == nil {
 			spec.BlockSamples, err = queryInt(q, "block")
 		}
+	}
+	if err == nil {
+		spec.Sift.Top, err = queryInt(q, "top")
 	}
 	if err != nil {
 		errorJSON(w, http.StatusBadRequest, "%v", err)
@@ -365,6 +373,33 @@ func (s *server) handleCandidates(w http.ResponseWriter, r *http.Request) {
 	if flusher != nil {
 		flusher.Flush()
 	}
+}
+
+// handleTop returns the job's ranked sifted view — the top candidate
+// groups in canonical order plus the cross-matched repeat sources — as one
+// JSON document. ?n= bounds the page (default: the job's configured Top).
+// The view is a consistent snapshot: on a still-streaming job it covers
+// the segments identified so far, and it is safe to poll concurrently with
+// the ingest. Jobs without sifting (identify jobs, Sift.Disable) return
+// empty lists.
+func (s *server) handleTop(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.job(w, r)
+	if !ok {
+		return
+	}
+	n, err := queryInt(r.URL.Query(), "n")
+	if err != nil {
+		errorJSON(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	view := j.Top(n)
+	if view.Top == nil {
+		view.Top = []drapid.TopCandidate{}
+	}
+	if view.Sources == nil {
+		view.Sources = []drapid.Source{}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"id": j.ID(), "state": j.State().String(), "top": view.Top, "sources": view.Sources})
 }
 
 // classifyRequest is the POST /v1/classify body: feature vectors in the

@@ -4,11 +4,13 @@ import (
 	"bufio"
 	"bytes"
 	"encoding/json"
+	"fmt"
 	"io"
 	"math/rand"
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -488,6 +490,163 @@ func TestSmokeDetectStreamCancelHTTP(t *testing.T) {
 		case <-timeout:
 			t.Fatal("stream hung after cancellation")
 		}
+	}
+}
+
+// TestTopConcurrentWithStreamingHTTP hammers GET /v1/jobs/{id}/top from
+// many goroutines while a block-streaming detect job is still ingesting
+// its observation (the upload is held open until the storm finishes). The
+// ranked view must come back as a well-formed snapshot on every request —
+// the CI test matrix runs this under -race, which is what proves the
+// snapshotting — and must settle to the final ranking once the job
+// completes.
+func TestTopConcurrentWithStreamingHTTP(t *testing.T) {
+	engine, err := drapid.New(drapid.WithWorkers(4), drapid.WithExecutors(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer engine.Close()
+	ts := httptest.NewServer(newServer(engine, nil).handler())
+	defer ts.Close()
+
+	raw, err := drapid.GenerateFilterbank(drapid.SynthSpec{
+		NChans: 64, NSamples: 16384, TsampSec: 256e-6, Seed: 17,
+		Trains: []drapid.PulseTrain{
+			{StartSec: 0.3, PeriodSec: 0.9, Count: 3, DM: 60, WidthMs: 3, SNR: 22},
+		},
+		Pulses: []drapid.InjectedPulse{{TimeSec: 2.9, DM: 95, WidthMs: 4, SNR: 18}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Hold back the tail of the observation so the job cannot complete
+	// until the request storm is done.
+	pr, pw := io.Pipe()
+	hold := len(raw) - 4096
+	go pw.Write(raw[:hold])
+
+	streamDone := make(chan error, 1)
+	go func() {
+		resp, err := http.Post(ts.URL+"/v1/detect/stream?dm_max=120&dm_step=1&threshold=6.5&block=2048&top=8",
+			"application/octet-stream", pr)
+		if err != nil {
+			streamDone <- err
+			return
+		}
+		defer resp.Body.Close()
+		_, err = io.Copy(io.Discard, resp.Body)
+		streamDone <- err
+	}()
+
+	// Wait for the request-scoped job to appear.
+	var id string
+	deadline := time.Now().Add(10 * time.Second)
+	for id == "" {
+		if time.Now().After(deadline) {
+			t.Fatal("job never appeared in the list")
+		}
+		var list struct {
+			Jobs []struct {
+				ID string `json:"id"`
+			} `json:"jobs"`
+		}
+		lr, err := http.Get(ts.URL + "/v1/jobs")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := json.NewDecoder(lr.Body).Decode(&list); err != nil {
+			t.Fatal(err)
+		}
+		lr.Body.Close()
+		if len(list.Jobs) > 0 {
+			id = list.Jobs[0].ID
+		}
+	}
+
+	// The storm: concurrent ranked-view reads against the still-streaming
+	// job, with varying page sizes.
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				resp, err := http.Get(fmt.Sprintf("%s/v1/jobs/%s/top?n=%d", ts.URL, id, 1+(g+i)%10))
+				if err != nil {
+					errs <- err
+					return
+				}
+				var view struct {
+					Top     []drapid.TopCandidate `json:"top"`
+					Sources []drapid.Source       `json:"sources"`
+				}
+				err = json.NewDecoder(resp.Body).Decode(&view)
+				resp.Body.Close()
+				if err != nil {
+					errs <- fmt.Errorf("decoding top view: %w", err)
+					return
+				}
+				if resp.StatusCode != http.StatusOK {
+					errs <- fmt.Errorf("top: status %d", resp.StatusCode)
+					return
+				}
+				if view.Top == nil || view.Sources == nil {
+					errs <- fmt.Errorf("top view missing lists: %+v", view)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	// Release the tail and let the job finish.
+	if _, err := pw.Write(raw[hold:]); err != nil {
+		t.Fatal(err)
+	}
+	pw.Close()
+	select {
+	case err := <-streamDone:
+		if err != nil {
+			t.Fatalf("detect stream: %v", err)
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("detect stream never completed")
+	}
+
+	// The settled view carries the injected train as a repeat source.
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + id + "/top")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var final struct {
+		State   string                `json:"state"`
+		Top     []drapid.TopCandidate `json:"top"`
+		Sources []drapid.Source       `json:"sources"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&final); err != nil {
+		t.Fatal(err)
+	}
+	if final.State != "succeeded" {
+		t.Fatalf("final state %q", final.State)
+	}
+	if len(final.Top) == 0 {
+		t.Fatal("settled top view is empty")
+	}
+	found := false
+	for _, s := range final.Sources {
+		if s.Detections >= 3 && s.DM > 50 && s.DM < 70 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("injected train not recovered as a repeat source: %+v", final.Sources)
 	}
 }
 

@@ -32,6 +32,12 @@ type InjectedPulse = sps.InjectedPulse
 // sigmas. Aliased like InjectedPulse.
 type RFIBurst = sps.RFIBurst
 
+// PulseTrain is a repeating source to embed in a synthetic observation
+// (SynthSpec.Trains): Count pulses at one DM spaced PeriodSec apart —
+// ground truth for the repeat-source sifting stage. Aliased like
+// InjectedPulse.
+type PulseTrain = sps.PulseTrain
+
 // SynthSpec describes a synthetic filterbank observation for a DetectJob:
 // receiver geometry, Gaussian noise, and injected signals with known
 // ground truth. Zero geometry fields take the documented defaults (128
@@ -50,6 +56,7 @@ type SynthSpec struct {
 	Seed   int64           `json:"seed,omitempty"`
 	Pulses []InjectedPulse `json:"pulses,omitempty"`
 	RFI    []RFIBurst      `json:"rfi,omitempty"`
+	Trains []PulseTrain    `json:"trains,omitempty"`
 }
 
 // internal converts the public spec to the frontend's configuration. The
@@ -142,6 +149,11 @@ type DetectJob struct {
 	PartitionsPerCore int
 	// ResultBuffer bounds consumer lag exactly as for IdentifyJob.
 	ResultBuffer int
+	// Sift configures the post-classification sifting stage: group ranking
+	// (Result.TopCandidates, Job.Top) and repeat-source cross-matching
+	// (Result.Sources). The zero value runs sifting with defaults; set
+	// Sift.Disable to skip it. See DESIGN.md §8.
+	Sift Sift
 }
 
 // DefaultBlockSamples is the gulp size a FilterbankStream detect job uses
@@ -216,6 +228,10 @@ func (e *Engine) SubmitDetect(ctx context.Context, spec DetectJob) (*Job, error)
 	if err != nil {
 		return nil, err
 	}
+	catalog, err := spec.Sift.validate()
+	if err != nil {
+		return nil, err
+	}
 	grid, err := detectGrid(lo, hi, step)
 	if err != nil {
 		return nil, fmt.Errorf("drapid: building DM grid: %w", err)
@@ -225,6 +241,13 @@ func (e *Engine) SubmitDetect(ctx context.Context, spec DetectJob) (*Job, error)
 		return nil, err
 	}
 	j := e.newJobHandle(ctx, id, spec.ResultBuffer)
+	if !spec.Sift.Disable {
+		top := spec.Sift.Top
+		if top == 0 {
+			top = DefaultTopCandidates
+		}
+		j.sift = &jobSift{params: spec.Sift.params(), catalog: catalog, top: top}
+	}
 	if err := e.register(j); err != nil {
 		return nil, err
 	}
@@ -281,7 +304,11 @@ func (e *Engine) detectWork(j *Job, spec DetectJob, grid *dmgrid.Grid, kind sps.
 		if err != nil {
 			return Result{}, err
 		}
-		prep := pipeline.Prepare([]spe.Observation{{Key: key, Events: events}}, grid, dbscan.DefaultParams())
+		obs := []spe.Observation{{Key: key, Events: events}}
+		prep := pipeline.Prepare(obs, grid, dbscan.DefaultParams())
+		if j.sift != nil {
+			j.addSiftGroups(siftGroups(obs, prep, 0, j.sift.params))
+		}
 		dataFile := "jobs/" + j.id + "/spe.csv"
 		clusterFile := "jobs/" + j.id + "/clusters.csv"
 		if err := prep.Upload(e.fs, dataFile, clusterFile); err != nil {
@@ -310,6 +337,10 @@ func (e *Engine) detectWork(j *Job, spec DetectJob, grid *dmgrid.Grid, kind sps.
 		res.Detections = len(events)
 		res.DetectSeconds = detectSecs
 		res.Plan = searchStats.Plan
+		if j.sift != nil {
+			view := j.Top(0)
+			res.TopCandidates, res.Sources = view.Top, view.Sources
+		}
 		return res, nil
 	}
 }
@@ -342,7 +373,14 @@ type segmenter struct {
 
 	pending []spe.SPE
 	seg     int
-	total   Result
+	// clusters counts clusters flushed in earlier segments: the id offset
+	// that keeps per-segment cluster numbering identical to what one batch
+	// pass over the same events would assign (segments are cut at quiet
+	// gaps wider than the DBSCAN linkage reach, and batch clustering
+	// discovers clusters in time order, so segment-local ids continue the
+	// batch numbering exactly).
+	clusters int
+	total    Result
 }
 
 // onEvents is the search emit callback: fold in one time-ordered batch,
@@ -388,11 +426,31 @@ func (s *segmenter) flush(n int) error {
 	}
 	s.seg++
 	dir := fmt.Sprintf("jobs/%s/seg-%d", s.j.id, s.seg)
-	prep := pipeline.Prepare([]spe.Observation{{Key: s.key, Events: s.pending[:n]}}, s.grid, dbscan.DefaultParams())
+	obs := []spe.Observation{{Key: s.key, Events: s.pending[:n]}}
+	prep := pipeline.Prepare(obs, s.grid, dbscan.DefaultParams())
+	base := s.clusters
+	s.clusters += prep.NumClusters()
+	if s.j.sift != nil {
+		s.j.addSiftGroups(siftGroups(obs, prep, base, s.j.sift.params))
+	}
 	dataFile := dir + "/spe.csv"
 	clusterFile := dir + "/clusters.csv"
 	if err := prep.Upload(s.e.fs, dataFile, clusterFile); err != nil {
 		return fmt.Errorf("drapid: uploading segment %d: %w", s.seg, err)
+	}
+	// Streamed candidates carry batch-identical cluster ids: shift the
+	// segment-local ids the pipeline assigned by the earlier segments'
+	// cluster count before they reach the job's candidate log.
+	emit := s.j.emit
+	if base > 0 {
+		emit = func(recs []pipeline.MLRecord) {
+			shifted := make([]pipeline.MLRecord, len(recs))
+			for i, r := range recs {
+				r.ClusterID += base
+				shifted[i] = r
+			}
+			s.j.emit(shifted)
+		}
 	}
 	res, err := s.j.pipelineWork(pipeline.JobConfig{
 		DataFile:          dataFile,
@@ -401,7 +459,7 @@ func (s *segmenter) flush(n int) error {
 		PartitionsPerCore: s.partsPerCore,
 		Params:            s.params,
 		Feat:              s.feat,
-		Emit:              s.j.emit,
+		Emit:              emit,
 	})()
 	if err != nil {
 		return err
@@ -495,6 +553,10 @@ func (e *Engine) detectWorkStream(j *Job, spec DetectJob, grid *dmgrid.Grid, kin
 		res.DetectSeconds = time.Since(start).Seconds()
 		res.Plan = stats.Plan
 		res.OutDir = "jobs/" + j.id + "/ml"
+		if j.sift != nil {
+			view := j.Top(0)
+			res.TopCandidates, res.Sources = view.Top, view.Sources
+		}
 		return res, nil
 	}
 }

@@ -18,7 +18,10 @@
 //     filterbank, or a SynthSpec observation with injected ground truth)
 //     is dedispersed over a trial-DM grid on the same worker pool,
 //     matched-filtered, clustered and identified end to end, streaming
-//     the same Candidate records (DESIGN.md §5).
+//     the same Candidate records (DESIGN.md §5). A sifting layer ranks
+//     the resulting cluster groups, folds repeat detections into
+//     sources, and matches a known-source catalog; Result.TopCandidates
+//     and Job.Top expose the ranked view (DESIGN.md §8).
 //
 //   - Classification: NewClassifier wraps any of the six Table 5 learners
 //     behind Train / Predict, and Save / LoadClassifier persist a trained
@@ -32,7 +35,7 @@
 //
 // # Package map
 //
-// The implementation lives under internal/ — seventeen packages, each of
+// The implementation lives under internal/ — eighteen packages, each of
 // whose godoc names the paper section or research question it implements
 // (DESIGN.md §1.1 is the authoritative inventory):
 //
@@ -49,7 +52,8 @@
 //   - Identification (DESIGN.md §1.2): dbscan (customized DM-vs-time
 //     clustering), core (Algorithm 1's trend search), features (the 22
 //     characteristic features), pipeline (the four-stage workflow both
-//     drivers share).
+//     drivers share), sift (candidate ranking, repeat-source
+//     cross-matching, known-source catalogs).
 //
 //   - Execution (DESIGN.md §2): rdd (the Spark-like dataset engine and
 //     the real concurrent executor), hdfs and yarn (simulated storage

@@ -36,6 +36,9 @@ type Entry struct {
 	// series, which must stay roughly flat as the observation grows while
 	// mode=batch grows linearly.
 	PeakAllocBytes int64 `json:"peak_alloc_bytes,omitempty"`
+	// EventsPerS is the record-processing rate for benchmarks whose natural
+	// unit is events rather than bytes (the sift series).
+	EventsPerS float64 `json:"events_per_s,omitempty"`
 }
 
 // Document is the on-disk shape.

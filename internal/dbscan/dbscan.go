@@ -58,6 +58,17 @@ type Result struct {
 	Members [][]int
 }
 
+// MemberEvents materialises cluster i's member events from the input slice
+// the clustering ran over, preserving input (time) order — the view the
+// post-classification sifter rates groups from.
+func (r *Result) MemberEvents(i int, events []spe.SPE) []spe.SPE {
+	out := make([]spe.SPE, len(r.Members[i]))
+	for j, idx := range r.Members[i] {
+		out[j] = events[idx]
+	}
+	return out
+}
+
 // Cluster runs the customized DBSCAN over one observation's events.
 func Cluster(events []spe.SPE, grid *dmgrid.Grid, key spe.Key, p Params) *Result {
 	n := len(events)

@@ -16,6 +16,10 @@ type Prepared struct {
 	// Keys and Clusters hold the stage-2 output per observation, aligned.
 	Keys     []spe.Key
 	Clusters [][]*spe.Cluster
+	// Results holds the full per-observation clustering outcome (labels and
+	// member indices), aligned with Keys — what the sifting stage reads
+	// cluster membership from.
+	Results []*dbscan.Result
 	// NumSPEs is the total event count across observations.
 	NumSPEs int
 }
@@ -39,6 +43,7 @@ func Prepare(obs []spe.Observation, grid *dmgrid.Grid, params dbscan.Params) *Pr
 		}
 		p.Keys = append(p.Keys, o.Key)
 		p.Clusters = append(p.Clusters, res.Clusters)
+		p.Results = append(p.Results, res)
 		p.NumSPEs += len(o.Events)
 	}
 	return p

@@ -1,0 +1,101 @@
+package sift
+
+import (
+	"fmt"
+	"os"
+	"testing"
+
+	"drapid/internal/benchjson"
+)
+
+// BenchmarkSift measures the sifting backend — group rating, canonical
+// ranking, and repeat-source cross-matching — over a ~10⁵-event synthetic
+// observation. The natural unit is events, so the series reports events/s
+// (also written to BENCH_sps.json as events_per_s) rather than MB/s.
+
+var benchOut = benchjson.NewCollector("")
+
+func TestMain(m *testing.M) {
+	code := m.Run()
+	if err := benchOut.Flush(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		if code == 0 {
+			code = 1
+		}
+	}
+	os.Exit(code)
+}
+
+// benchFixture builds the measurement workload once: ~10⁵ events across
+// repeat sources, one-off pulses, RFI, and chance groups. -short shrinks it
+// so the CI smoke step stays fast.
+func benchFixture(b *testing.B) *Fixture {
+	b.Helper()
+	cfg := FixtureConfig{Seed: 7, RFI: 4000, Noise: 2000}
+	trains, perTrain, singles := 150, 50, 3000
+	if testing.Short() {
+		cfg.RFI, cfg.Noise = 400, 200
+		trains, perTrain, singles = 15, 50, 300
+	}
+	for i := 0; i < trains; i++ {
+		cfg.Trains = append(cfg.Trains, FixtureTrain{
+			DM:        20 + float64(i*37%900),
+			StartSec:  0.1 * float64(i%10),
+			PeriodSec: 0.25 + 0.01*float64(i%40),
+			Count:     perTrain,
+			SNR:       9 + float64(i%12),
+		})
+	}
+	for i := 0; i < singles; i++ {
+		cfg.Singles = append(cfg.Singles, FixtureTrain{
+			DM:       10 + float64(i*13%950),
+			StartSec: 0.01 * float64(i),
+			SNR:      8 + float64(i%18),
+		})
+	}
+	f := NewFixture(cfg)
+	if !testing.Short() && f.NumEvents < 100_000 {
+		b.Fatalf("bench fixture has %d events, want >= 100000", f.NumEvents)
+	}
+	return f
+}
+
+func BenchmarkSift(b *testing.B) {
+	f := benchFixture(b)
+	p := Params{}.withDefaults()
+	catalog := []CatalogEntry{
+		{Name: "B0531+21", DM: 56.7712, PeriodSec: 0.033392},
+		{Name: "J1819-1458", DM: 196.0, PeriodSec: 4.26316},
+		{Name: "FRB121102", DM: 557.0},
+	}
+	record := func(b *testing.B, stage string) {
+		b.Helper()
+		events := float64(f.NumEvents)
+		b.ReportMetric(events*float64(b.N)/b.Elapsed().Seconds(), "events/s")
+		benchOut.Record(benchjson.Entry{
+			Name:       "BenchmarkSift/stage=" + stage,
+			NsPerOp:    float64(b.Elapsed().Nanoseconds()) / float64(b.N),
+			N:          b.N,
+			EventsPerS: events * float64(b.N) / b.Elapsed().Seconds(),
+		})
+	}
+	var ranked []Group
+	b.Run("stage=rank", func(b *testing.B) {
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ranked = f.Build(p)
+		}
+		record(b, "rank")
+	})
+	if ranked == nil {
+		ranked = f.Build(p)
+	}
+	b.Run("stage=sources", func(b *testing.B) {
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			srcs := Sources(ranked, p)
+			MatchCatalog(srcs, catalog, p)
+		}
+		record(b, "sources")
+	})
+}

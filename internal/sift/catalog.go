@@ -1,0 +1,110 @@
+package sift
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+
+	"drapid/internal/spe"
+)
+
+// CatalogEntry is one known source: a name, its catalogued DM, and (for
+// periodic sources) its spin period. The interchange form is CSV,
+// "name,dm,period_s", with the period field optional.
+type CatalogEntry struct {
+	Name string `json:"name"`
+	// DM is the catalogued dispersion measure in pc cm⁻³.
+	DM float64 `json:"dm"`
+	// PeriodSec is the spin period in seconds; zero for aperiodic sources
+	// (or when the catalog omits it).
+	PeriodSec float64 `json:"period_sec,omitempty"`
+}
+
+// CatalogHeader is the header line written at the top of catalog files.
+const CatalogHeader = "# name,dm,period_s"
+
+// FormatCatalogEntry renders one entry as a catalog CSV record.
+func FormatCatalogEntry(e CatalogEntry) string {
+	if e.PeriodSec == 0 {
+		return fmt.Sprintf("%s,%.4f,", e.Name, e.DM)
+	}
+	return fmt.Sprintf("%s,%.4f,%.6f", e.Name, e.DM, e.PeriodSec)
+}
+
+// ParseCatalogLine parses one catalog CSV record.
+func ParseCatalogLine(line string) (CatalogEntry, error) {
+	f := strings.Split(line, ",")
+	if len(f) != 2 && len(f) != 3 {
+		return CatalogEntry{}, fmt.Errorf("sift: catalog record needs 2 or 3 fields, got %d: %q", len(f), line)
+	}
+	var e CatalogEntry
+	e.Name = strings.TrimSpace(f[0])
+	if e.Name == "" {
+		return CatalogEntry{}, fmt.Errorf("sift: catalog record has an empty name: %q", line)
+	}
+	dm, err := strconv.ParseFloat(strings.TrimSpace(f[1]), 64)
+	if err != nil {
+		return CatalogEntry{}, fmt.Errorf("sift: bad catalog dm: %w", err)
+	}
+	if math.IsNaN(dm) || math.IsInf(dm, 0) || dm < 0 {
+		return CatalogEntry{}, fmt.Errorf("sift: catalog dm %g must be finite and >= 0", dm)
+	}
+	e.DM = dm
+	if len(f) == 3 && strings.TrimSpace(f[2]) != "" {
+		p, err := strconv.ParseFloat(strings.TrimSpace(f[2]), 64)
+		if err != nil {
+			return CatalogEntry{}, fmt.Errorf("sift: bad catalog period: %w", err)
+		}
+		if math.IsNaN(p) || math.IsInf(p, 0) || p < 0 {
+			return CatalogEntry{}, fmt.Errorf("sift: catalog period %g must be finite and >= 0", p)
+		}
+		e.PeriodSec = p
+	}
+	return e, nil
+}
+
+// ParseCatalog reads a known-source catalog. Header and blank lines
+// (including trailing ones) are skipped; a malformed record fails with its
+// 1-based line number, like the pipeline's other CSV readers.
+func ParseCatalog(r io.Reader) ([]CatalogEntry, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	var out []CatalogEntry
+	ln := 0
+	for sc.Scan() {
+		ln++
+		line := sc.Text()
+		if spe.IsHeader(line) {
+			continue
+		}
+		e, err := ParseCatalogLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("sift: line %d: %w", ln, err)
+		}
+		out = append(out, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("sift: after line %d: %w", ln, err)
+	}
+	return out, nil
+}
+
+// MatchCatalog annotates each source with the name of the closest catalog
+// entry whose DM lies within the CatalogDM tolerance window, mutating
+// sources in place. Sources with no entry in reach stay unannotated.
+func MatchCatalog(sources []Source, catalog []CatalogEntry, p Params) {
+	p = p.withDefaults()
+	for i := range sources {
+		bestDist := math.Inf(1)
+		for _, e := range catalog {
+			d := math.Abs(sources[i].DM - e.DM)
+			if d <= p.CatalogDM && d < bestDist {
+				bestDist = d
+				sources[i].Known = e.Name
+			}
+		}
+	}
+}

@@ -1,0 +1,88 @@
+package sift
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseCatalog(t *testing.T) {
+	in := strings.Join([]string{
+		CatalogHeader,
+		"B0531+21,56.7712,0.033392",
+		"J1819-1458,196.0000,4.263160",
+		"",
+		"FRB121102,557.0000,", // aperiodic: empty period field
+		"B0329+54,26.7641",    // aperiodic: period column omitted
+		"",
+	}, "\n")
+	cat, err := ParseCatalog(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cat) != 4 {
+		t.Fatalf("parsed %d entries, want 4", len(cat))
+	}
+	if cat[0].Name != "B0531+21" || cat[0].DM != 56.7712 || cat[0].PeriodSec != 0.033392 {
+		t.Fatalf("entry 0 = %+v", cat[0])
+	}
+	if cat[2].PeriodSec != 0 || cat[3].PeriodSec != 0 {
+		t.Fatalf("aperiodic entries carry periods: %+v, %+v", cat[2], cat[3])
+	}
+	for i, e := range cat {
+		back, err := ParseCatalogLine(FormatCatalogEntry(e))
+		if err != nil {
+			t.Fatalf("entry %d does not round trip: %v", i, err)
+		}
+		if back.Name != e.Name {
+			t.Fatalf("entry %d name drifted: %q → %q", i, e.Name, back.Name)
+		}
+	}
+}
+
+// TestParseCatalogLineNumbers: malformed records must carry their 1-based
+// line number, like the spe CSV readers.
+func TestParseCatalogLineNumbers(t *testing.T) {
+	cases := map[string]string{
+		"# name,dm,period_s\nB0531+21,56.77,0.0334\nbroken": "line 3",
+		"J0000+00,not-a-dm,1":                               "line 1",
+		"# header\n\nname,12,nope":                          "line 3",
+		"ok,10,1\n,20,2":                                    "line 2",
+		"neg,-4,1":                                          "line 1",
+		"inf,1e999,1":                                       "line 1",
+		"toomany,1,2,3":                                     "line 1",
+		"# name,dm,period_s\nB0531+21,56.77,0.0334\nbadp,5,-1e3": "line 3",
+	}
+	for in, want := range cases {
+		_, err := ParseCatalog(strings.NewReader(in))
+		if err == nil {
+			t.Errorf("accepted %q", in)
+			continue
+		}
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error for %q lacks %q: %v", in, want, err)
+		}
+	}
+}
+
+func TestMatchCatalog(t *testing.T) {
+	cat := []CatalogEntry{
+		{Name: "B0531+21", DM: 56.77, PeriodSec: 0.0334},
+		{Name: "NEARBY", DM: 58.9},
+		{Name: "J1819-1458", DM: 196.0, PeriodSec: 4.26},
+	}
+	sources := []Source{
+		{ID: 1, DM: 57.1},  // inside both windows: closest (B0531+21) wins
+		{ID: 2, DM: 196.5}, // inside J1819-1458's window
+		{ID: 3, DM: 300},   // no match
+	}
+	MatchCatalog(sources, cat, Params{})
+	if sources[0].Known != "B0531+21" {
+		t.Errorf("source 1 matched %q, want the closest entry B0531+21", sources[0].Known)
+	}
+	if sources[1].Known != "J1819-1458" {
+		t.Errorf("source 2 matched %q, want J1819-1458", sources[1].Known)
+	}
+	if sources[2].Known != "" {
+		t.Errorf("source 3 matched %q, want no match", sources[2].Known)
+	}
+}

@@ -1,0 +1,28 @@
+// Package sift is the post-classification sifting layer of the pipeline:
+// it turns the flood of DBSCAN groups a survey search emits into a short,
+// ranked list a human can actually inspect.
+//
+// Three stages compose:
+//
+//  1. Group ranking (Build/Rate): every DBSCAN cluster of single-pulse
+//     events is placed on a rank ladder adapted from Karako's PRESTO
+//     sifter — group-size and DM-dependent SNR floors weed out noise,
+//     a zero-DM peak marks terrestrial interference, and the shape of
+//     max-SNR across five DM bins separates the matched-filter peak of
+//     a genuinely dispersed pulse from flat or edge-peaked junk.
+//
+//  2. Repeat-source detection (Sources): ranked groups are cross-matched
+//     at consistent DM across the observation, brightest first, in the
+//     style of tcoenen's ssps pulse-train finder. Each source reports its
+//     detection count and best-SNR exemplar, so a repeating transient
+//     shows up as one line, not thirty.
+//
+//  3. Known-source catalog matching (ParseCatalog/MatchCatalog): an
+//     optional CSV catalog of name/DM/period annotates sources whose DM
+//     falls inside the tolerance window of a known pulsar or RRAT.
+//
+// Every function is deterministic: ranking is invariant under permutation
+// of a group's member events, and the comparator ordering ranked output is
+// total, which is what lets the streaming detect path rank segment by
+// segment and still emit exactly the batch ranking (DESIGN.md §8).
+package sift

@@ -1,0 +1,180 @@
+package sift
+
+import (
+	"math"
+	"math/rand"
+
+	"drapid/internal/spe"
+)
+
+// Label is the ground-truth class of a fixture group.
+type Label int
+
+const (
+	// LabelNoise marks a chance-coincidence group.
+	LabelNoise Label = iota
+	// LabelRFI marks a zero-DM interference group.
+	LabelRFI
+	// LabelPulse marks a genuinely dispersed pulse group.
+	LabelPulse
+)
+
+// String names the label in golden files and test logs.
+func (l Label) String() string {
+	switch l {
+	case LabelNoise:
+		return "noise"
+	case LabelRFI:
+		return "rfi"
+	case LabelPulse:
+		return "pulse"
+	default:
+		return "?"
+	}
+}
+
+// FixtureTrain describes one repeating source the fixture injects: Count
+// pulses at a fixed DM, spaced PeriodSec apart from StartSec, each with a
+// peak SNR near SNR.
+type FixtureTrain struct {
+	DM        float64
+	StartSec  float64
+	PeriodSec float64
+	Count     int
+	SNR       float64
+}
+
+// FixtureGroup is one labeled group of the fixture: the member events plus
+// the ground truth the generator built them from.
+type FixtureGroup struct {
+	Members []spe.SPE
+	Label   Label
+	// Train is the 1-based injected-train index for LabelPulse groups that
+	// belong to a repeat source; 0 otherwise.
+	Train int
+	// DM is the true dispersion measure (pulse groups only).
+	DM float64
+}
+
+// FixtureConfig sizes a synthetic sifting workload.
+type FixtureConfig struct {
+	Seed int64
+	// Trains are the injected repeat sources.
+	Trains []FixtureTrain
+	// Singles injects one-off pulses at these (DM, SNR) pairs, spread over
+	// the observation.
+	Singles []FixtureTrain
+	// RFI and Noise count the zero-DM interference and chance-coincidence
+	// groups to inject.
+	RFI   int
+	Noise int
+	// DMStep is the trial grid spacing the event synthesis assumes
+	// (default 1 pc cm⁻³).
+	DMStep float64
+}
+
+// Fixture is a ground-truthed sifting workload: labeled groups whose
+// member events mimic what the detect frontend hands the DBSCAN stage.
+type Fixture struct {
+	Key    spe.Key
+	Groups []FixtureGroup
+	// NumEvents is the total member count across groups.
+	NumEvents int
+}
+
+// NewFixture renders the configured workload deterministically from the
+// seed. Pulse groups get the matched-filter SNR-vs-DM silhouette a real
+// dispersed pulse produces (a smooth peak at the true DM falling toward
+// both edges); RFI groups slope down from a zero-DM maximum; noise groups
+// are a handful of faint scattered events.
+func NewFixture(cfg FixtureConfig) *Fixture {
+	step := cfg.DMStep
+	if step == 0 {
+		step = 1
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	f := &Fixture{Key: spe.Key{Dataset: "SIFTFIX", MJD: 58000}}
+
+	pulse := func(dm, t, snr float64, train int) {
+		// Matched-filter falloff over ±6 trials: snr(k) = peak/(1+(k/3)²),
+		// keeping only events a threshold-6 search would report.
+		var members []spe.SPE
+		for k := -6; k <= 6; k++ {
+			s := snr / (1 + float64(k*k)/9)
+			if s < 6 {
+				continue
+			}
+			trialDM := dm + float64(k)*step
+			if trialDM < 0 {
+				continue
+			}
+			members = append(members, spe.SPE{
+				DM:       trialDM,
+				SNR:      math.Round(s*1000) / 1000,
+				Time:     t + rng.Float64()*1e-4,
+				Sample:   int64(t / 256e-6),
+				Downfact: 4,
+			})
+		}
+		f.Groups = append(f.Groups, FixtureGroup{Members: members, Label: LabelPulse, Train: train, DM: dm})
+		f.NumEvents += len(members)
+	}
+
+	for ti, tr := range cfg.Trains {
+		for i := 0; i < tr.Count; i++ {
+			snr := tr.SNR * (0.85 + 0.3*rng.Float64())
+			pulse(tr.DM, tr.StartSec+float64(i)*tr.PeriodSec, snr, ti+1)
+		}
+	}
+	for _, s := range cfg.Singles {
+		pulse(s.DM, s.StartSec, s.SNR, 0)
+	}
+	for i := 0; i < cfg.RFI; i++ {
+		t := 0.5 + rng.Float64()*10
+		amp := 15 + rng.Float64()*20
+		var members []spe.SPE
+		for k := 0; k < 8; k++ {
+			s := amp * (1 - float64(k)/9)
+			if s < 6 {
+				continue
+			}
+			members = append(members, spe.SPE{
+				DM:       float64(k) * step,
+				SNR:      math.Round(s*1000) / 1000,
+				Time:     t,
+				Sample:   int64(t / 256e-6),
+				Downfact: 8,
+			})
+		}
+		f.Groups = append(f.Groups, FixtureGroup{Members: members, Label: LabelRFI})
+		f.NumEvents += len(members)
+	}
+	for i := 0; i < cfg.Noise; i++ {
+		t := rng.Float64() * 12
+		n := 2 + rng.Intn(3)
+		var members []spe.SPE
+		for k := 0; k < n; k++ {
+			members = append(members, spe.SPE{
+				DM:       math.Round(rng.Float64()*280/step) * step,
+				SNR:      math.Round((6+rng.Float64())*1000) / 1000,
+				Time:     t + rng.Float64()*0.05,
+				Sample:   int64(t / 256e-6),
+				Downfact: 1,
+			})
+		}
+		f.Groups = append(f.Groups, FixtureGroup{Members: members, Label: LabelNoise})
+		f.NumEvents += len(members)
+	}
+	return f
+}
+
+// Build runs the sifter over every fixture group (ids in fixture order)
+// and returns the groups in canonical ranked order.
+func (f *Fixture) Build(p Params) []Group {
+	out := make([]Group, len(f.Groups))
+	for i, fg := range f.Groups {
+		out[i] = Build(i, f.Key, fg.Members, p)
+	}
+	SortGroups(out)
+	return out
+}

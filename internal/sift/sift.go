@@ -1,0 +1,303 @@
+package sift
+
+import (
+	"fmt"
+	"sort"
+
+	"drapid/internal/spe"
+)
+
+// Rank is a group's position on the sifting ladder. Higher is better; the
+// ladder is ordinal, so ranked output sorts by Rank first and SNR second.
+type Rank int
+
+const (
+	// RankNoise marks groups too small or too faint (against the
+	// DM-dependent floor) to be anything but chance coincidences.
+	RankNoise Rank = iota
+	// RankRFI marks groups whose SNR peaks at (or indistinguishably near)
+	// zero DM: broadband terrestrial interference, not a dispersed pulse.
+	RankRFI
+	// RankFair clears the size and SNR floors but has a flat or
+	// edge-peaked SNR-vs-DM shape, so the dedispersion sweep never found a
+	// distinct optimum.
+	RankFair
+	// RankGood peaks in the central DM bins, above both edges — the
+	// matched-filter signature of a real dispersed pulse.
+	RankGood
+	// RankStrong is Good with both edges falling below FracSigma of the
+	// peak: the SNR climb-and-fall a bright single pulse produces.
+	RankStrong
+	// RankExcellent is Strong at high significance (SNRMax ≥ StrongSNR).
+	RankExcellent
+)
+
+// String names the rank for tables and JSON documents.
+func (r Rank) String() string {
+	switch r {
+	case RankNoise:
+		return "noise"
+	case RankRFI:
+		return "rfi"
+	case RankFair:
+		return "fair"
+	case RankGood:
+		return "good"
+	case RankStrong:
+		return "strong"
+	case RankExcellent:
+		return "excellent"
+	default:
+		return fmt.Sprintf("Rank(%d)", int(r))
+	}
+}
+
+// Params tunes the sifting heuristics. The zero value of every field takes
+// the documented default, so Params{} is usable as-is.
+type Params struct {
+	// MinGroup is the smallest member count a group needs to escape
+	// RankNoise. Default 5: the detect grids here are far coarser than the
+	// survey plans Karako's MIN_GROUP=50 was tuned on, so a real pulse
+	// crosses fewer trials.
+	MinGroup int
+	// MinSNR is the base SNR floor. Groups peaking below the DM-dependent
+	// floor derived from it rank as noise. Default 7.
+	MinSNR float64
+	// RFIDM bounds the zero-DM interference zone: a group whose best event
+	// sits at DM ≤ RFIDM ranks as RFI. Default 2 pc cm⁻³ (Karako's
+	// CLOSE_DM). Within LowDMBoostSpan×RFIDM the SNR floor is raised by
+	// LowDMBoost, since weak low-DM groups are overwhelmingly terrestrial.
+	RFIDM float64
+	// FracSigma is the edge falloff fraction for RankStrong: both edge
+	// bins must stay at or below FracSigma × peak. Default 0.9 (Karako's
+	// FRACTIONAL_SIGMA).
+	FracSigma float64
+	// StrongSNR is the significance gate promoting RankStrong to
+	// RankExcellent. Default 12.
+	StrongSNR float64
+	// CloseDM is the base DM tolerance for cross-matching detections of
+	// the same source; the effective window widens with dmTier, mirroring
+	// the survey DDplan spacing. Default 2 pc cm⁻³.
+	CloseDM float64
+	// CatalogDM is the DM tolerance for known-source catalog matches.
+	// Default 3 pc cm⁻³.
+	CatalogDM float64
+}
+
+// Default parameter values (see the Params field docs).
+const (
+	DefaultMinGroup  = 5
+	DefaultMinSNR    = 7.0
+	DefaultRFIDM     = 2.0
+	DefaultFracSigma = 0.9
+	DefaultStrongSNR = 12.0
+	DefaultCloseDM   = 2.0
+	DefaultCatalogDM = 3.0
+
+	// lowDMBoost raises the SNR floor inside the low-DM interference zone
+	// (DM ≤ lowDMBoostSpan × RFIDM): faint low-DM groups are almost always
+	// terrestrial, so they must be brighter to clear the floor.
+	lowDMBoost     = 1.25
+	lowDMBoostSpan = 5.0
+
+	// shapeBins is the number of DM-ordered bins the SNR-shape test uses,
+	// matching the five subgroups of Karako's ladder.
+	shapeBins = 5
+)
+
+// withDefaults resolves zero fields.
+func (p Params) withDefaults() Params {
+	if p.MinGroup == 0 {
+		p.MinGroup = DefaultMinGroup
+	}
+	if p.MinSNR == 0 {
+		p.MinSNR = DefaultMinSNR
+	}
+	if p.RFIDM == 0 {
+		p.RFIDM = DefaultRFIDM
+	}
+	if p.FracSigma == 0 {
+		p.FracSigma = DefaultFracSigma
+	}
+	if p.StrongSNR == 0 {
+		p.StrongSNR = DefaultStrongSNR
+	}
+	if p.CloseDM == 0 {
+		p.CloseDM = DefaultCloseDM
+	}
+	if p.CatalogDM == 0 {
+		p.CatalogDM = DefaultCatalogDM
+	}
+	return p
+}
+
+// Validate rejects parameter values the heuristics cannot run with.
+func (p Params) Validate() error {
+	if p.MinGroup < 0 {
+		return fmt.Errorf("sift: MinGroup must be >= 0, got %d", p.MinGroup)
+	}
+	for name, v := range map[string]float64{
+		"MinSNR": p.MinSNR, "RFIDM": p.RFIDM, "FracSigma": p.FracSigma,
+		"StrongSNR": p.StrongSNR, "CloseDM": p.CloseDM, "CatalogDM": p.CatalogDM,
+	} {
+		if v < 0 {
+			return fmt.Errorf("sift: %s must be >= 0, got %g", name, v)
+		}
+	}
+	if p.FracSigma > 1 {
+		return fmt.Errorf("sift: FracSigma must be <= 1, got %g", p.FracSigma)
+	}
+	return nil
+}
+
+// dmTier mirrors a survey DDplan's downsampling ladder: trial spacing (and
+// with it every DM tolerance) widens as DM grows, so cross-matching windows
+// scale by the tier instead of staying fixed (Karako's dmthreshold).
+func dmTier(dm float64) float64 {
+	switch {
+	case dm <= 212.8:
+		return 1
+	case dm <= 443.2:
+		return 2
+	case dm <= 543.4:
+		return 3
+	case dm <= 876.4:
+		return 5
+	case dm <= 990.4:
+		return 6
+	default:
+		return 10
+	}
+}
+
+// snrFloor is the DM-dependent acceptance threshold a group's best SNR
+// must clear to escape RankNoise.
+func (p Params) snrFloor(dm float64) float64 {
+	if dm <= lowDMBoostSpan*p.RFIDM {
+		return p.MinSNR * lowDMBoost
+	}
+	return p.MinSNR
+}
+
+// Group is one sifted DBSCAN cluster: the compact, mode-independent record
+// the ranked views are built from. Everything here derives from the member
+// events alone, which is what keeps the batch and streaming detect paths
+// byte-identical (DESIGN.md §8.4).
+type Group struct {
+	// ID is the observation-unique DBSCAN cluster id.
+	ID int `json:"id"`
+	// Key identifies the observation.
+	Key string `json:"key"`
+	// N is the member event count.
+	N int `json:"n"`
+	// SNR, DM, Time and Width describe the group's best (peak) event.
+	SNR   float64 `json:"snr"`
+	DM    float64 `json:"dm"`
+	Time  float64 `json:"time"`
+	Width int     `json:"width"`
+	// DMMin, DMMax, TMin and TMax bound the group.
+	DMMin float64 `json:"dm_min"`
+	DMMax float64 `json:"dm_max"`
+	TMin  float64 `json:"t_min"`
+	TMax  float64 `json:"t_max"`
+	// Rank is the ladder rank Rate assigned.
+	Rank Rank `json:"rank"`
+}
+
+// Score is the one-number ordering key of ranked output: the rank in the
+// thousands digit and the peak SNR below it, so a single float sorts the
+// ladder first and brightness second. (Survey SNRs live far below 1000.)
+func (g Group) Score() float64 { return float64(g.Rank)*1000 + g.SNR }
+
+// Build summarises and rates one DBSCAN cluster. Members may arrive in any
+// order: every statistic is permutation-invariant (the peak is the
+// max-SNR event with ties broken toward earlier time then lower DM, and
+// the shape bins sort members by DM first).
+func Build(id int, key spe.Key, members []spe.SPE, p Params) Group {
+	p = p.withDefaults()
+	g := Group{ID: id, Key: key.String(), N: len(members)}
+	if len(members) == 0 {
+		return g
+	}
+	best := members[0]
+	g.DMMin, g.DMMax = members[0].DM, members[0].DM
+	g.TMin, g.TMax = members[0].Time, members[0].Time
+	for _, e := range members[1:] {
+		if e.SNR > best.SNR ||
+			(e.SNR == best.SNR && (e.Time < best.Time || (e.Time == best.Time && e.DM < best.DM))) {
+			best = e
+		}
+		g.DMMin, g.DMMax = min(g.DMMin, e.DM), max(g.DMMax, e.DM)
+		g.TMin, g.TMax = min(g.TMin, e.Time), max(g.TMax, e.Time)
+	}
+	g.SNR, g.DM, g.Time, g.Width = best.SNR, best.DM, best.Time, best.Downfact
+	g.Rank = rate(g, members, p)
+	return g
+}
+
+// rate walks the ladder bottom-up. The checks are ordered so that scaling
+// every member SNR up can only move a group to an equal or higher rank
+// (the monotonicity property TestRankMonotoneInSNR pins).
+func rate(g Group, members []spe.SPE, p Params) Rank {
+	if g.N < p.MinGroup || g.SNR < p.snrFloor(g.DM) {
+		return RankNoise
+	}
+	if g.DM <= p.RFIDM {
+		return RankRFI
+	}
+	bins := shapeProfile(members)
+	peak, peakIdx := bins[0], 0
+	for i, v := range bins[1:] {
+		if v > peak {
+			peak, peakIdx = v, i+1
+		}
+	}
+	// A dispersed pulse's matched-filter response peaks strictly inside
+	// the group's DM span; an edge peak means the optimum lies outside the
+	// searched sweep (or the group is an interference slope).
+	if peakIdx == 0 || peakIdx == shapeBins-1 || peak <= bins[0] || peak <= bins[shapeBins-1] {
+		return RankFair
+	}
+	if bins[0] > p.FracSigma*peak || bins[shapeBins-1] > p.FracSigma*peak {
+		return RankGood
+	}
+	if g.SNR < p.StrongSNR {
+		return RankStrong
+	}
+	return RankExcellent
+}
+
+// shapeProfile splits the members into shapeBins DM-ordered bins and
+// returns the max SNR per bin — the SNR-vs-DM silhouette the ladder's
+// shape checks read. Sorting by (DM, Time) first makes the profile
+// independent of input order.
+func shapeProfile(members []spe.SPE) [shapeBins]float64 {
+	sorted := make([]spe.SPE, len(members))
+	copy(sorted, members)
+	spe.SortByDM(sorted)
+	var bins [shapeBins]float64
+	for i, e := range sorted {
+		b := i * shapeBins / len(sorted)
+		if e.SNR > bins[b] {
+			bins[b] = e.SNR
+		}
+	}
+	return bins
+}
+
+// SortGroups orders groups into the canonical ranked order: descending
+// Score, then ascending peak time, then ascending id. The comparator is a
+// total order over distinct groups, so any partition of the observation
+// (batch, or streaming segments) sorts to the same sequence.
+func SortGroups(groups []Group) {
+	sort.Slice(groups, func(i, j int) bool {
+		a, b := groups[i], groups[j]
+		if a.Score() != b.Score() {
+			return a.Score() > b.Score()
+		}
+		if a.Time != b.Time {
+			return a.Time < b.Time
+		}
+		return a.ID < b.ID
+	})
+}

@@ -1,0 +1,312 @@
+package sift
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"drapid/internal/spe"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// testKey is the observation every sift test runs under.
+var testKey = spe.Key{Dataset: "SIFTFIX", MJD: 58000}
+
+// mkPulse fabricates a dispersed-pulse group: peak SNR at dm, falling off
+// over ±span trials with the matched-filter silhouette.
+func mkPulse(dm, t, snr float64, span int) []spe.SPE {
+	var out []spe.SPE
+	for k := -span; k <= span; k++ {
+		s := snr / (1 + float64(k*k)/9)
+		if s < 6 || dm+float64(k) < 0 {
+			continue
+		}
+		out = append(out, spe.SPE{DM: dm + float64(k), SNR: s, Time: t, Sample: int64(t / 256e-6), Downfact: 4})
+	}
+	return out
+}
+
+// TestRankLadder drives one crafted group onto every rung.
+func TestRankLadder(t *testing.T) {
+	p := Params{}
+	cases := []struct {
+		name    string
+		members []spe.SPE
+		want    Rank
+	}{
+		{"too small", mkPulse(80, 1, 8, 6), RankNoise}, // 3 events < MinGroup
+		{"below floor", []spe.SPE{{DM: 78, SNR: 6.5, Time: 1}, {DM: 79, SNR: 6.6, Time: 1}, {DM: 80, SNR: 6.8, Time: 1}, {DM: 81, SNR: 6.6, Time: 1}, {DM: 82, SNR: 6.5, Time: 1}}, RankNoise},
+		{"low-dm floor boost", mkPulse(8, 1, 8.7, 6), RankNoise}, // 5 events, but SNR 8.7 < 7·1.25 inside the RFI zone
+		{"zero-dm rfi", []spe.SPE{{DM: 0, SNR: 30, Time: 2}, {DM: 1, SNR: 26, Time: 2}, {DM: 2, SNR: 22, Time: 2}, {DM: 3, SNR: 18, Time: 2}, {DM: 4, SNR: 14, Time: 2}, {DM: 5, SNR: 10, Time: 2}}, RankRFI},
+		{"edge-peaked fair", []spe.SPE{{DM: 60, SNR: 11, Time: 3}, {DM: 61, SNR: 10, Time: 3}, {DM: 62, SNR: 9, Time: 3}, {DM: 63, SNR: 8, Time: 3}, {DM: 64, SNR: 7, Time: 3}}, RankFair},
+		{"broad good", []spe.SPE{{DM: 60, SNR: 10.5, Time: 4}, {DM: 61, SNR: 10.8, Time: 4}, {DM: 62, SNR: 11, Time: 4}, {DM: 63, SNR: 10.8, Time: 4}, {DM: 64, SNR: 10.5, Time: 4}}, RankGood},
+		{"strong", mkPulse(80, 5, 11, 6), RankStrong},
+		{"excellent", mkPulse(80, 6, 20, 6), RankExcellent},
+	}
+	for _, tc := range cases {
+		g := Build(0, testKey, tc.members, p)
+		if g.Rank != tc.want {
+			t.Errorf("%s: rank = %v, want %v (group %+v)", tc.name, g.Rank, tc.want, g)
+		}
+	}
+}
+
+// TestRankMonotoneInSNR is the ladder's ordering property: at fixed group
+// size and shape, uniformly brighter events can never rank lower.
+func TestRankMonotoneInSNR(t *testing.T) {
+	fix := NewFixture(FixtureConfig{
+		Seed: 7,
+		Trains: []FixtureTrain{
+			{DM: 75, StartSec: 0.5, PeriodSec: 1.1, Count: 4, SNR: 13},
+			{DM: 190, StartSec: 0.9, PeriodSec: 2.3, Count: 3, SNR: 9},
+		},
+		Singles: []FixtureTrain{{DM: 33, StartSec: 4.4, SNR: 18}, {DM: 260, StartSec: 7.7, SNR: 10}},
+		RFI:     3,
+		Noise:   5,
+	})
+	for i, fg := range fix.Groups {
+		base := Build(i, testKey, fg.Members, Params{})
+		for _, scale := range []float64{1.05, 1.3, 2, 5} {
+			brighter := make([]spe.SPE, len(fg.Members))
+			for j, e := range fg.Members {
+				e.SNR *= scale
+				brighter[j] = e
+			}
+			got := Build(i, testKey, brighter, Params{})
+			if got.Rank < base.Rank {
+				t.Fatalf("group %d (%s): rank fell %v → %v when every SNR scaled by %g",
+					i, fg.Label, base.Rank, got.Rank, scale)
+			}
+		}
+	}
+}
+
+// TestBuildPermutationInvariant: the sifted group must not depend on the
+// order member events arrive in.
+func TestBuildPermutationInvariant(t *testing.T) {
+	members := mkPulse(120, 2.5, 15, 6)
+	// Add an SNR tie so the peak tiebreak is exercised too.
+	members = append(members, spe.SPE{DM: 115, SNR: members[0].SNR, Time: 3.0, Downfact: 2})
+	want := Build(3, testKey, members, Params{})
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 50; trial++ {
+		shuffled := make([]spe.SPE, len(members))
+		copy(shuffled, members)
+		rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+		got := Build(3, testKey, shuffled, Params{})
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d: permuted members changed the group:\n got %+v\nwant %+v", trial, got, want)
+		}
+	}
+}
+
+// TestSortGroupsPartitionInvariant: sorting the union equals merging
+// independently sorted parts — the property the streaming path's
+// segment-by-segment ranking rests on (DESIGN.md §8.4).
+func TestSortGroupsPartitionInvariant(t *testing.T) {
+	fix := NewFixture(FixtureConfig{
+		Seed:    3,
+		Trains:  []FixtureTrain{{DM: 140, StartSec: 0.4, PeriodSec: 0.9, Count: 6, SNR: 14}},
+		Singles: []FixtureTrain{{DM: 52, StartSec: 2.2, SNR: 22}},
+		RFI:     2,
+		Noise:   4,
+	})
+	all := make([]Group, len(fix.Groups))
+	for i, fg := range fix.Groups {
+		all[i] = Build(i, fix.Key, fg.Members, Params{})
+	}
+	want := append([]Group(nil), all...)
+	SortGroups(want)
+	for _, cut := range []int{1, 3, len(all) / 2, len(all) - 1} {
+		a := append([]Group(nil), all[:cut]...)
+		b := append([]Group(nil), all[cut:]...)
+		SortGroups(a)
+		SortGroups(b)
+		merged := append(a, b...)
+		SortGroups(merged)
+		if !reflect.DeepEqual(merged, want) {
+			t.Fatalf("cut %d: merged per-partition ranking differs from global ranking", cut)
+		}
+	}
+}
+
+// TestSources: injected pulse trains must come back as repeat sources with
+// the right detection counts and the brightest group as exemplar.
+func TestSources(t *testing.T) {
+	fix := NewFixture(FixtureConfig{
+		Seed: 19,
+		Trains: []FixtureTrain{
+			{DM: 88, StartSec: 0.5, PeriodSec: 1.4, Count: 5, SNR: 16},
+			{DM: 215, StartSec: 1.1, PeriodSec: 2.0, Count: 3, SNR: 12},
+		},
+		Singles: []FixtureTrain{{DM: 300, StartSec: 6.5, SNR: 14}},
+		RFI:     2,
+		Noise:   6,
+	})
+	groups := make([]Group, len(fix.Groups))
+	for i, fg := range fix.Groups {
+		groups[i] = Build(i, fix.Key, fg.Members, Params{})
+	}
+	sources := Sources(groups, Params{})
+	if len(sources) != 3 {
+		t.Fatalf("got %d sources, want 3 (two trains + one single): %+v", len(sources), sources)
+	}
+	// Most-detected first: the 5-pulse train, then the 3-pulse train.
+	if sources[0].Detections != 5 || sources[1].Detections != 3 || sources[2].Detections != 1 {
+		t.Fatalf("detection counts = %d,%d,%d, want 5,3,1",
+			sources[0].Detections, sources[1].Detections, sources[2].Detections)
+	}
+	for i, wantDM := range []float64{88, 215, 300} {
+		if d := sources[i].DM - wantDM; d < -3 || d > 3 {
+			t.Errorf("source %d DM = %g, want ≈%g", i, sources[i].DM, wantDM)
+		}
+		if sources[i].ID != i+1 {
+			t.Errorf("source %d ID = %d, want %d", i, sources[i].ID, i+1)
+		}
+	}
+	// The exemplar is the brightest member group.
+	byID := map[int]Group{}
+	for _, g := range groups {
+		byID[g.ID] = g
+	}
+	for _, s := range sources {
+		for _, gid := range s.Groups {
+			if byID[gid].SNR > s.BestSNR {
+				t.Errorf("source %d exemplar SNR %.1f below member group %d's %.1f", s.ID, s.BestSNR, gid, byID[gid].SNR)
+			}
+		}
+		if byID[s.Best].SNR != s.BestSNR {
+			t.Errorf("source %d: Best group %d has SNR %.1f, BestSNR says %.1f", s.ID, s.Best, byID[s.Best].SNR, s.BestSNR)
+		}
+	}
+	// RFI and noise groups must not seed sources.
+	member := SourceOf(sources)
+	for i, fg := range fix.Groups {
+		if fg.Label != LabelPulse {
+			if _, ok := member[groups[i].ID]; ok && groups[i].Rank >= RankFair {
+				continue // a fair-ranked non-pulse may legitimately match
+			}
+			if _, ok := member[groups[i].ID]; ok {
+				t.Errorf("%s group %d joined a source", fg.Label, i)
+			}
+		}
+	}
+}
+
+// TestSourcesInputOrderInvariant: cross-matching must not depend on the
+// order groups are handed over (streaming hands them segment by segment).
+func TestSourcesInputOrderInvariant(t *testing.T) {
+	fix := NewFixture(FixtureConfig{
+		Seed:   23,
+		Trains: []FixtureTrain{{DM: 120, StartSec: 0.3, PeriodSec: 0.8, Count: 7, SNR: 15}},
+		RFI:    2,
+		Noise:  3,
+	})
+	groups := make([]Group, len(fix.Groups))
+	for i, fg := range fix.Groups {
+		groups[i] = Build(i, fix.Key, fg.Members, Params{})
+	}
+	want := Sources(groups, Params{})
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 20; trial++ {
+		shuffled := append([]Group(nil), groups...)
+		rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+		if got := Sources(shuffled, Params{}); !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d: shuffled input changed the sources:\n got %+v\nwant %+v", trial, got, want)
+		}
+	}
+}
+
+func TestParamsValidate(t *testing.T) {
+	if err := (Params{}).Validate(); err != nil {
+		t.Fatalf("zero params rejected: %v", err)
+	}
+	bad := []Params{
+		{MinGroup: -1},
+		{MinSNR: -2},
+		{FracSigma: 1.5},
+		{CloseDM: -1},
+		{CatalogDM: -0.5},
+	}
+	for _, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("params %+v accepted", p)
+		}
+	}
+}
+
+// renderRanking is the golden-file shape: one line per group in canonical
+// ranked order, carrying everything rank-relevant.
+func renderRanking(groups []Group, truth map[int]Label) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# rank score snr dm time n label\n")
+	for _, g := range groups {
+		fmt.Fprintf(&b, "%-9s %8.3f %7.3f %7.2f %8.4f %3d %s\n",
+			g.Rank, g.Score(), g.SNR, g.DM, g.Time, g.N, truth[g.ID])
+	}
+	return b.String()
+}
+
+// TestGoldenRanking pins the full ranked ordering of a mixed fixture. The
+// golden file is the reviewable contract for the ladder: regenerate with
+// `go test ./internal/sift -run Golden -update` and inspect the diff.
+func TestGoldenRanking(t *testing.T) {
+	fix := NewFixture(FixtureConfig{
+		Seed: 41,
+		Trains: []FixtureTrain{
+			{DM: 96, StartSec: 0.4, PeriodSec: 1.2, Count: 5, SNR: 17},
+			{DM: 243, StartSec: 0.8, PeriodSec: 2.1, Count: 3, SNR: 11},
+		},
+		Singles: []FixtureTrain{
+			{DM: 31, StartSec: 3.1, SNR: 24},
+			{DM: 160, StartSec: 5.9, SNR: 9.5},
+		},
+		RFI:   3,
+		Noise: 8,
+	})
+	truth := map[int]Label{}
+	for i, fg := range fix.Groups {
+		truth[i] = fg.Label
+	}
+	got := renderRanking(fix.Build(Params{}), truth)
+
+	path := filepath.Join("testdata", "ranking.golden")
+	if *update {
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading golden (run with -update to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("ranking drifted from golden:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+
+	// The golden ordering must also respect the labels: every pulse group
+	// bright enough to clear the floors outranks every RFI and noise group.
+	ranked := fix.Build(Params{})
+	worstPulse, bestOther := RankExcellent, RankNoise
+	for _, g := range ranked {
+		switch truth[g.ID] {
+		case LabelPulse:
+			if g.Rank >= RankFair && g.Rank < worstPulse {
+				worstPulse = g.Rank
+			}
+		default:
+			if g.Rank > bestOther {
+				bestOther = g.Rank
+			}
+		}
+	}
+	if bestOther >= worstPulse {
+		t.Errorf("an rfi/noise group (rank %v) ties or beats a real pulse (rank %v)", bestOther, worstPulse)
+	}
+}

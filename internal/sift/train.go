@@ -1,0 +1,115 @@
+package sift
+
+import "sort"
+
+// Source is one repeat source: the set of ranked groups whose peak DMs
+// agree within the (DM-tier-widened) CloseDM window, cross-matched across
+// the whole observation. A pulsar or repeating transient shows up as one
+// Source with Detections > 1; a one-off burst as a single-detection source.
+type Source struct {
+	// ID is 1-based, assigned in output order (most detections first,
+	// brightest first among ties).
+	ID int `json:"id"`
+	// DM is the exemplar's peak DM — the source's nominal dispersion
+	// measure.
+	DM float64 `json:"dm"`
+	// Detections counts the member groups.
+	Detections int `json:"detections"`
+	// Best identifies the best-SNR exemplar group, with its SNR and
+	// arrival time alongside.
+	Best     int     `json:"best"`
+	BestSNR  float64 `json:"best_snr"`
+	BestTime float64 `json:"best_time"`
+	// Known carries the catalog name when MatchCatalog found one.
+	Known string `json:"known,omitempty"`
+	// Groups lists the member group ids, in detection (time) order.
+	Groups []int `json:"groups"`
+}
+
+// Sources cross-matches groups into repeat sources, in the style of the
+// ssps pulse-train finder: take every group that still looks like a pulse
+// (RankFair and above), walk them brightest-first, and attach each to the
+// first source whose DM lies within the tier-widened CloseDM window —
+// opening a new source when none matches. Brightest-first assignment makes
+// the exemplar the anchor of its DM window instead of letting a faint
+// outlier drag the window away. The result is deterministic for any input
+// order of groups.
+func Sources(groups []Group, p Params) []Source {
+	p = p.withDefaults()
+	cands := make([]Group, 0, len(groups))
+	for _, g := range groups {
+		if g.Rank >= RankFair {
+			cands = append(cands, g)
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		a, b := cands[i], cands[j]
+		if a.SNR != b.SNR {
+			return a.SNR > b.SNR
+		}
+		if a.Time != b.Time {
+			return a.Time < b.Time
+		}
+		return a.ID < b.ID
+	})
+
+	var out []*Source
+	for _, g := range cands {
+		var best *Source
+		for _, s := range out {
+			win := p.CloseDM * dmTier(s.DM)
+			if g.DM >= s.DM-win && g.DM <= s.DM+win {
+				best = s
+				break // sources are anchored brightest-first; first window hit wins
+			}
+		}
+		if best == nil {
+			out = append(out, &Source{DM: g.DM, Best: g.ID, BestSNR: g.SNR, BestTime: g.Time, Groups: []int{g.ID}})
+			continue
+		}
+		best.Groups = append(best.Groups, g.ID)
+	}
+
+	sources := make([]Source, len(out))
+	for i, s := range out {
+		s.Detections = len(s.Groups)
+		// Report members in arrival order: the pulse train as it happened.
+		byTime := map[int]float64{}
+		for _, g := range cands {
+			byTime[g.ID] = g.Time
+		}
+		sort.Slice(s.Groups, func(a, b int) bool {
+			if byTime[s.Groups[a]] != byTime[s.Groups[b]] {
+				return byTime[s.Groups[a]] < byTime[s.Groups[b]]
+			}
+			return s.Groups[a] < s.Groups[b]
+		})
+		sources[i] = *s
+	}
+	sort.SliceStable(sources, func(i, j int) bool {
+		a, b := sources[i], sources[j]
+		if a.Detections != b.Detections {
+			return a.Detections > b.Detections
+		}
+		if a.BestSNR != b.BestSNR {
+			return a.BestSNR > b.BestSNR
+		}
+		return a.Best < b.Best
+	})
+	for i := range sources {
+		sources[i].ID = i + 1
+	}
+	return sources
+}
+
+// SourceOf returns a map from member group id to its source's index in
+// sources, for annotating ranked output.
+func SourceOf(sources []Source) map[int]int {
+	m := make(map[int]int)
+	for i, s := range sources {
+		for _, g := range s.Groups {
+			m[g] = i
+		}
+	}
+	return m
+}

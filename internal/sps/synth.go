@@ -34,6 +34,37 @@ type RFIBurst struct {
 	Amp float64 `json:"amp"`
 }
 
+// PulseTrain injects a repeating source: Count pulses at one DM and
+// width, spaced PeriodSec apart from StartSec, each with the same target
+// SNR. It is the ground truth the repeat-source sifting stage recovers.
+type PulseTrain struct {
+	// StartSec is the first pulse's arrival time at the highest observed
+	// frequency, in seconds from the start of the observation.
+	StartSec float64 `json:"start_sec"`
+	// PeriodSec is the pulse spacing in seconds (required when Count > 1).
+	PeriodSec float64 `json:"period_sec,omitempty"`
+	// Count is the number of pulses.
+	Count int `json:"count"`
+	// DM, WidthMs and SNR are as for InjectedPulse, shared by every pulse.
+	DM      float64 `json:"dm"`
+	WidthMs float64 `json:"width_ms"`
+	SNR     float64 `json:"snr"`
+}
+
+// Pulses expands the train into its individual injectable pulses.
+func (t PulseTrain) Pulses() []InjectedPulse {
+	out := make([]InjectedPulse, t.Count)
+	for i := range out {
+		out[i] = InjectedPulse{
+			TimeSec: t.StartSec + float64(i)*t.PeriodSec,
+			DM:      t.DM,
+			WidthMs: t.WidthMs,
+			SNR:     t.SNR,
+		}
+	}
+	return out
+}
+
 // SynthConfig describes a synthetic observation: the receiver geometry,
 // the Gaussian noise floor, and the injected signals (pulses with known
 // DM/width/SNR ground truth, plus broadband RFI). The zero value of every
@@ -59,6 +90,9 @@ type SynthConfig struct {
 	Pulses []InjectedPulse `json:"pulses,omitempty"`
 	// RFI bursts to inject.
 	RFI []RFIBurst `json:"rfi,omitempty"`
+	// Trains are repeating sources, expanded into individual pulses at
+	// generation time.
+	Trains []PulseTrain `json:"trains,omitempty"`
 }
 
 // withDefaults resolves zero geometry fields.
@@ -134,7 +168,17 @@ func Generate(cfg SynthConfig) (*Filterbank, error) {
 		return nil, fmt.Errorf("sps: synthetic observation needs nsamples > 0")
 	}
 	tobs := hdr.DurationSec()
-	for i, p := range cfg.Pulses {
+	pulses := append([]InjectedPulse(nil), cfg.Pulses...)
+	for i, tr := range cfg.Trains {
+		if tr.Count <= 0 {
+			return nil, fmt.Errorf("sps: train %d needs count > 0", i)
+		}
+		if tr.Count > 1 && tr.PeriodSec <= 0 {
+			return nil, fmt.Errorf("sps: train %d needs period > 0 for %d pulses", i, tr.Count)
+		}
+		pulses = append(pulses, tr.Pulses()...)
+	}
+	for i, p := range pulses {
 		if p.TimeSec < 0 || p.TimeSec >= tobs {
 			return nil, fmt.Errorf("sps: pulse %d at t=%gs outside the %gs observation", i, p.TimeSec, tobs)
 		}
@@ -149,7 +193,7 @@ func Generate(cfg SynthConfig) (*Filterbank, error) {
 		fb.Data[i] = float32(rng.NormFloat64() * sigma)
 	}
 	ref := hdr.FTopMHz()
-	for _, p := range cfg.Pulses {
+	for _, p := range pulses {
 		w := p.WidthSamples(hdr.TsampSec)
 		amp := float32(p.SNR * sigma / math.Sqrt(float64(hdr.NChans*w)))
 		for ch := 0; ch < hdr.NChans; ch++ {

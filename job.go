@@ -167,6 +167,12 @@ type Result struct {
 	// FilterbankStream) write one seg-N subdirectory beneath it per
 	// identified segment rather than part files at the top level.
 	OutDir string `json:"out_dir"`
+	// TopCandidates is the ranked sifted view of the observation's DBSCAN
+	// groups (detect jobs only, unless DetectJob.Sift.Disable), bounded by
+	// Sift.Top; Sources are the cross-matched repeat sources behind it.
+	// Identical record for record between the batch and streaming paths.
+	TopCandidates []TopCandidate `json:"top_candidates,omitempty"`
+	Sources       []Source       `json:"sources,omitempty"`
 }
 
 // Job is the handle to one submitted identification run. All methods are
@@ -188,6 +194,7 @@ type Job struct {
 	cands      []Candidate
 	maxRead    int // furthest consumer position, for backpressure
 	detections int // raw frontend events, once a detect job's search ran
+	sift       *jobSift
 	result     Result
 	err        error
 }
