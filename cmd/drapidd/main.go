@@ -7,6 +7,13 @@
 //
 //	drapidd -addr :8422 -workers 8 -executors 10 -model rf.model.json
 //
+// Cluster mode (DESIGN.md §9): one coordinator daemon fans sharded
+// detect jobs out over worker daemons —
+//
+//	drapidd -worker -addr :8423                 # a worker (repeat per host)
+//	drapidd -addr :8422 -fleet http://hostA:8423,http://hostB:8423 \
+//	        -journal /var/lib/drapidd/journal   # the coordinator
+//
 // API (see DESIGN.md §4.5):
 //
 //	POST /v1/jobs                 {"data": [...], "clusters": [...]} → {"id": ...}
@@ -17,44 +24,82 @@
 //	POST /v1/jobs/{id}/cancel     cancel
 //	POST /v1/classify             {"instances": [[...22 features...]]}
 //	GET|POST /v1/models           inspect / load the serving model
+//	GET  /readyz                  readiness + fleet state
 package main
 
 import (
 	"context"
 	"errors"
 	"flag"
+	"fmt"
 	"log"
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
+	"syscall"
 	"time"
 
 	"drapid"
+	"drapid/internal/fleet"
+	"drapid/internal/rdd"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("drapidd: ")
 	var (
-		addr      = flag.String("addr", ":8422", "listen address")
-		workers   = flag.Int("workers", 0, "host worker goroutines shared by all jobs (0 = all cores)")
-		executors = flag.Int("executors", 10, "simulated Spark executors per job (paper testbed max: 22)")
-		simClock  = flag.Bool("simclock", false, "maintain the simulated cluster clock per job")
-		partsCore = flag.Int("partitions", 32, "default hash partitions per core")
-		modelPath = flag.String("model", "", "drapid-model/v1 JSON to serve /v1/classify from (optional)")
+		addr       = flag.String("addr", ":8422", "listen address")
+		workers    = flag.Int("workers", 0, "host worker goroutines shared by all jobs (0 = all cores)")
+		executors  = flag.Int("executors", 10, "simulated Spark executors per job (paper testbed max: 22)")
+		simClock   = flag.Bool("simclock", false, "maintain the simulated cluster clock per job")
+		partsCore  = flag.Int("partitions", 32, "default hash partitions per core")
+		modelPath  = flag.String("model", "", "drapid-model/v1 JSON to serve /v1/classify from (optional)")
+		workerMode = flag.Bool("worker", false, "run as a fleet worker: serve the shard protocol instead of the jobs API")
+		fleetURLs  = flag.String("fleet", "", "comma-separated worker base URLs to coordinate sharded detect jobs over")
+		fleetLocal = flag.Int("fleet-local", 0, "in-process fleet workers (single-host sharding; mixes with -fleet)")
+		journalDir = flag.String("journal", "", "directory to journal queued/running jobs in; replayed on restart")
+		drainWait  = flag.Duration("drain", 30*time.Second, "graceful-shutdown bound: how long SIGTERM waits for in-flight jobs and streams")
 	)
 	flag.Parse()
 
-	engine, err := drapid.New(
+	if *workerMode {
+		if err := runWorker(*addr, *workers, *drainWait); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
+	opts := []drapid.Option{
 		drapid.WithWorkers(*workers),
 		drapid.WithExecutors(*executors),
 		drapid.WithSimClock(*simClock),
 		drapid.WithPartitionsPerCore(*partsCore),
-	)
+	}
+	if *fleetLocal > 0 {
+		opts = append(opts, drapid.WithFleetWorkers(*fleetLocal))
+	}
+	if *fleetURLs != "" {
+		opts = append(opts, drapid.WithRemoteWorkers(strings.Split(*fleetURLs, ",")...))
+	}
+	if *journalDir != "" {
+		opts = append(opts, drapid.WithJournalDir(*journalDir))
+	}
+	engine, err := drapid.New(opts...)
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer engine.Close()
+
+	if *journalDir != "" {
+		recovered, err := engine.Recover(context.Background())
+		if err != nil {
+			log.Fatalf("replaying journal: %v", err)
+		}
+		for _, j := range recovered {
+			log.Printf("recovered job %s from journal", j.ID())
+		}
+	}
 
 	var model *drapid.Classifier
 	if *modelPath != "" {
@@ -73,17 +118,65 @@ func main() {
 		ReadHeaderTimeout: 10 * time.Second,
 		ReadTimeout:       5 * time.Minute,
 	}
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	// Graceful shutdown on SIGINT/SIGTERM: stop accepting jobs, let
+	// in-flight jobs and their NDJSON streams drain within the -drain
+	// bound, then close the listener (Shutdown waits for active handlers,
+	// which is what drains the streams).
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	go func() {
 		<-ctx.Done()
-		shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		log.Printf("shutdown: draining in-flight jobs (bound %s)", *drainWait)
+		drainCtx, cancel := context.WithTimeout(context.Background(), *drainWait)
 		defer cancel()
+		if err := engine.Drain(drainCtx); err != nil {
+			log.Printf("shutdown: drain incomplete: %v", err)
+		}
+		shutdownCtx, cancel2 := context.WithTimeout(context.Background(), *drainWait)
+		defer cancel2()
 		srv.Shutdown(shutdownCtx)
 	}()
 
+	if fs := engine.FleetStatus(); fs.Enabled {
+		log.Printf("fleet: %d workers configured", fs.WorkersKnown)
+	}
 	log.Printf("listening on %s (workers=%d executors=%d)", *addr, engine.Workers(), *executors)
 	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Fatal(err)
 	}
+}
+
+// runWorker serves the fleet shard protocol (GET /v1/shard/ping, POST
+// /v1/shard) plus /healthz: the whole of a worker daemon. Workers are
+// stateless — every shard arrives self-contained — so they need no
+// journal and no drain: SIGTERM lets in-flight shard requests finish
+// within the drain bound and the coordinator resubmits anything cut off.
+func runWorker(addr string, workers int, drainWait time.Duration) error {
+	exec := rdd.ExecConfig{Workers: workers}
+	exec.Limiter = rdd.NewLimiter(exec.NumWorkers())
+	mux := http.NewServeMux()
+	mux.Handle("/v1/shard", fleet.Handler(exec))
+	mux.Handle("/v1/shard/", fleet.Handler(exec))
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintln(w, `{"ok":true}`)
+	})
+	srv := &http.Server{
+		Addr:              addr,
+		Handler:           mux,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), drainWait)
+		defer cancel()
+		srv.Shutdown(shutdownCtx)
+	}()
+	log.Printf("worker listening on %s (workers=%d)", addr, exec.NumWorkers())
+	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
 }

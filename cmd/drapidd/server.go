@@ -3,6 +3,7 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"net/url"
@@ -48,9 +49,11 @@ func newServer(engine *drapid.Engine, model *drapid.Classifier) *server {
 //	GET  /v1/models               loaded-model metadata
 //	POST /v1/models               load a model document (drapid-model/v1)
 //	GET  /healthz                 liveness
+//	GET  /readyz                  readiness + fleet state (503 while draining)
 func (s *server) handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /readyz", s.handleReady)
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	mux.HandleFunc("POST /v1/detect", s.handleDetect)
 	mux.HandleFunc("POST /v1/detect/stream", s.handleDetectStream)
@@ -80,6 +83,31 @@ func errorJSON(w http.ResponseWriter, status int, format string, args ...any) {
 
 func (s *server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"ok": true, "workers": s.engine.Workers()})
+}
+
+// handleReady is readiness, distinct from /healthz liveness: it reports
+// whether the daemon is accepting work, plus the fleet state behind that
+// answer (workers known/alive, shards queued/running/resubmitted, journal
+// depth). Not ready — 503, same body — when draining toward shutdown, or
+// when a configured fleet has no alive workers left to run shards on.
+func (s *server) handleReady(w http.ResponseWriter, r *http.Request) {
+	fs := s.engine.FleetStatus()
+	ready := !fs.Draining && (!fs.Enabled || fs.WorkersAlive > 0)
+	status := http.StatusOK
+	if !ready {
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, map[string]any{"ready": ready, "fleet": fs})
+}
+
+// submitStatus maps a submission error: 503 while draining (the
+// load-balancer signal to take the instance out of rotation), 400
+// otherwise.
+func submitStatus(err error) int {
+	if errors.Is(err, drapid.ErrDraining) {
+		return http.StatusServiceUnavailable
+	}
+	return http.StatusBadRequest
 }
 
 // submitRequest is the POST /v1/jobs body. Inputs are raw CSV lines
@@ -121,7 +149,7 @@ func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		PartitionsPerCore: req.PartitionsPerCore,
 	})
 	if err != nil {
-		errorJSON(w, http.StatusBadRequest, "%v", err)
+		errorJSON(w, submitStatus(err), "%v", err)
 		return
 	}
 	writeJSON(w, http.StatusAccepted, map[string]any{
@@ -147,6 +175,8 @@ type detectRequest struct {
 	NormWindow        int               `json:"norm_window,omitempty"`
 	NoZeroDM          bool              `json:"no_zerodm,omitempty"`
 	Plan              string            `json:"plan,omitempty"`
+	Shards            int               `json:"shards,omitempty"`
+	ShardBy           string            `json:"shard_by,omitempty"`
 	PartitionsPerCore int               `json:"partitions_per_core,omitempty"`
 	Sift              drapid.Sift       `json:"sift,omitempty"`
 }
@@ -171,11 +201,13 @@ func (s *server) handleDetect(w http.ResponseWriter, r *http.Request) {
 		NormWindow:        req.NormWindow,
 		NoZeroDM:          req.NoZeroDM,
 		Plan:              req.Plan,
+		Shards:            req.Shards,
+		ShardBy:           req.ShardBy,
 		PartitionsPerCore: req.PartitionsPerCore,
 		Sift:              req.Sift,
 	})
 	if err != nil {
-		errorJSON(w, http.StatusBadRequest, "%v", err)
+		errorJSON(w, submitStatus(err), "%v", err)
 		return
 	}
 	writeJSON(w, http.StatusAccepted, map[string]any{
@@ -260,7 +292,7 @@ func (s *server) handleDetectStream(w http.ResponseWriter, r *http.Request) {
 
 	job, err := s.engine.SubmitDetect(r.Context(), spec)
 	if err != nil {
-		errorJSON(w, http.StatusBadRequest, "%v", err)
+		errorJSON(w, submitStatus(err), "%v", err)
 		return
 	}
 	w.Header().Set("Content-Type", "application/x-ndjson")

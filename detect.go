@@ -145,6 +145,18 @@ type DetectJob struct {
 	// moments need the whole series; DetectSeconds then covers the whole
 	// interleaved ingest-to-candidate loop.
 	BlockSamples int
+	// Shards splits the search across the engine's worker fleet (DESIGN.md
+	// §9): the job is planned into this many shards, dispatched over the
+	// workers attached with WithFleetWorkers/WithRemoteWorkers, and the
+	// per-shard event streams are merged back so the candidate output is
+	// record-for-record what an unsharded run produces. Shards > 1
+	// requires a fleet and is incompatible with the streaming inputs
+	// (FilterbankStream, BlockSamples); zero or one runs unsharded.
+	Shards int
+	// ShardBy picks the shard axis: ShardByDM (the default, bit-exact) or
+	// ShardByTime (bounded per-worker input, approximate at seams,
+	// requires an explicit NormWindow).
+	ShardBy string
 	// PartitionsPerCore overrides the engine default when positive.
 	PartitionsPerCore int
 	// ResultBuffer bounds consumer lag exactly as for IdentifyJob.
@@ -208,6 +220,21 @@ func (spec DetectJob) validate() (lo, hi, step float64, kind sps.PlanKind, err e
 			return fail(fmt.Errorf("drapid: bad observation key %q (want dataset:mjd:ra:dec:beam)", spec.Key))
 		}
 	}
+	if spec.Shards < 0 {
+		return fail(fmt.Errorf("drapid: Shards must be >= 0, got %d", spec.Shards))
+	}
+	switch spec.ShardBy {
+	case "", ShardByDM:
+	case ShardByTime:
+		if spec.Shards > 1 && spec.NormWindow <= 0 {
+			return fail(fmt.Errorf("drapid: time sharding requires an explicit NormWindow (global-moment normalisation cannot be sliced)"))
+		}
+	default:
+		return fail(fmt.Errorf("drapid: unknown ShardBy %q (want %q or %q)", spec.ShardBy, ShardByDM, ShardByTime))
+	}
+	if spec.Shards > 1 && (spec.FilterbankStream != nil || spec.BlockSamples > 0) {
+		return fail(fmt.Errorf("drapid: sharding (Shards > 1) is incompatible with streaming inputs (FilterbankStream/BlockSamples)"))
+	}
 	kind, err = sps.ParsePlanKind(spec.Plan)
 	if err != nil {
 		return fail(fmt.Errorf("drapid: %w", err))
@@ -221,6 +248,12 @@ func (spec DetectJob) validate() (lo, hi, step float64, kind sps.PlanKind, err e
 // engine's worker pool under the shared limiter, so detect jobs share the
 // host fairly with concurrent identify jobs.
 func (e *Engine) SubmitDetect(ctx context.Context, spec DetectJob) (*Job, error) {
+	return e.submitDetect(ctx, spec, "")
+}
+
+// submitDetect is SubmitDetect plus the journal-replay entry point: a
+// non-empty forceID resubmits a recovered job under its original ID.
+func (e *Engine) submitDetect(ctx context.Context, spec DetectJob, forceID string) (*Job, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -232,11 +265,19 @@ func (e *Engine) SubmitDetect(ctx context.Context, spec DetectJob) (*Job, error)
 	if err != nil {
 		return nil, err
 	}
+	if spec.Shards > 1 && e.coord == nil {
+		return nil, fmt.Errorf("drapid: Shards = %d but the engine has no fleet (use WithFleetWorkers or WithRemoteWorkers)", spec.Shards)
+	}
 	grid, err := detectGrid(lo, hi, step)
 	if err != nil {
 		return nil, fmt.Errorf("drapid: building DM grid: %w", err)
 	}
-	id, err := e.allocateID()
+	id := forceID
+	if id == "" {
+		id, err = e.allocateID()
+	} else {
+		err = e.claimID(id)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -251,7 +292,26 @@ func (e *Engine) SubmitDetect(ctx context.Context, spec DetectJob) (*Job, error)
 	if err := e.register(j); err != nil {
 		return nil, err
 	}
-	go j.run(e.detectWork(j, spec, grid, kind))
+	if e.journal != nil && spec.journalable() {
+		if err := e.journalPut(j, spec); err != nil {
+			e.mu.Lock()
+			delete(e.jobs, id)
+			for i, oid := range e.order {
+				if oid == id {
+					e.order = append(e.order[:i], e.order[i+1:]...)
+					break
+				}
+			}
+			e.mu.Unlock()
+			j.cancel(err)
+			return nil, err
+		}
+	}
+	work := e.detectWork(j, spec, grid, kind)
+	if spec.Shards > 1 {
+		work = e.detectWorkFleet(j, spec, grid)
+	}
+	go j.run(work)
 	return j, nil
 }
 
@@ -371,6 +431,14 @@ type segmenter struct {
 	params       core.Params
 	partsPerCore int
 
+	// single defers the one and only flush to finish: the whole event set
+	// goes through a single Prepare, so cross-cluster features computed
+	// over "all clusters of the observation" (ClusterRank) come out
+	// exactly as the batch path's. The fleet's DM-sharded barrier merge
+	// uses this — it already holds every event in memory, so incremental
+	// flushing buys nothing and would re-rank per segment.
+	single bool
+
 	pending []spe.SPE
 	seg     int
 	// clusters counts clusters flushed in earlier segments: the id offset
@@ -391,6 +459,9 @@ func (s *segmenter) onEvents(events []spe.SPE) error {
 	}
 	s.j.addDetections(len(events))
 	s.pending = append(s.pending, events...)
+	if s.single {
+		return nil
+	}
 	cut := 0
 	for i := 1; i < len(s.pending); i++ {
 		if s.pending[i].Time-s.pending[i-1].Time > detectStreamGapSec {

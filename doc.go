@@ -35,7 +35,7 @@
 //
 // # Package map
 //
-// The implementation lives under internal/ — eighteen packages, each of
+// The implementation lives under internal/ — nineteen packages, each of
 // whose godoc names the paper section or research question it implements
 // (DESIGN.md §1.1 is the authoritative inventory):
 //
@@ -59,6 +59,13 @@
 //     the real concurrent executor), hdfs and yarn (simulated storage
 //     and allocation), des (discrete-event accounting for the simulated
 //     clocks), rapidmt (the multithreaded single-machine baseline).
+//
+//   - Scale-out (DESIGN.md §9): fleet — shard planning over DM-trial
+//     ranges or time slices, the coordinator with heartbeat-based
+//     worker-loss recovery and bounded resubmission, the HTTP shard
+//     protocol drapidd -worker serves, and the job journal behind
+//     Engine.Recover. WithFleetWorkers / WithRemoteWorkers enable it;
+//     DetectJob.Shards splits the job.
 //
 //   - Classification: ml and its subpackages (datasets, the six Table 5
 //     learners, ALM labeling, SMOTE, feature selection, evaluation,

@@ -8,6 +8,7 @@ import (
 
 	"drapid/internal/dmgrid"
 	"drapid/internal/features"
+	"drapid/internal/fleet"
 	"drapid/internal/hdfs"
 	"drapid/internal/pipeline"
 	"drapid/internal/rdd"
@@ -24,6 +25,11 @@ type config struct {
 	blockSize    int64
 	replication  int
 	dataNodes    int
+	fleetLocal   int
+	fleetRemote  []string
+	fleetCfg     fleet.Config
+	journalFS    bool
+	journalDir   string
 }
 
 // Option configures an Engine under construction (drapid.New).
@@ -114,12 +120,15 @@ type Engine struct {
 	cost         rdd.CostModel
 	exec         rdd.ExecConfig
 	partsPerCore int
+	coord        *fleet.Coordinator // nil without WithFleetWorkers/WithRemoteWorkers
+	journal      fleet.Store        // nil without WithJournal/WithJournalDir
 
-	mu     sync.Mutex
-	jobs   map[string]*Job
-	order  []string
-	nextID int
-	closed bool
+	mu       sync.Mutex
+	jobs     map[string]*Job
+	order    []string
+	nextID   int
+	closed   bool
+	draining bool
 }
 
 // New builds an engine from functional options. The zero-option engine
@@ -152,12 +161,24 @@ func New(opts ...Option) (*Engine, error) {
 	}
 	exec := rdd.ExecConfig{Workers: cfg.workers, SimClock: cfg.simClock}
 	exec.Limiter = rdd.NewLimiter(exec.NumWorkers())
+	var journal fleet.Store
+	switch {
+	case cfg.journalDir != "":
+		journal, err = fleet.NewDirStore(cfg.journalDir)
+		if err != nil {
+			return nil, fmt.Errorf("drapid: opening journal directory: %w", err)
+		}
+	case cfg.journalFS:
+		journal = fleet.NewFSStore(fs, "journal/")
+	}
 	return &Engine{
 		fs:           fs,
 		grants:       grants,
 		cost:         rdd.DefaultCostModel(),
 		exec:         exec,
 		partsPerCore: cfg.partsPerCore,
+		coord:        newFleet(cfg, exec),
+		journal:      journal,
 		jobs:         make(map[string]*Job),
 	}, nil
 }
@@ -266,12 +287,16 @@ func (e *Engine) Submit(ctx context.Context, spec IdentifyJob) (*Job, error) {
 	return j, nil
 }
 
-// allocateID reserves the next job ID, refusing when the engine is closed.
+// allocateID reserves the next job ID, refusing when the engine is closed
+// or draining.
 func (e *Engine) allocateID() (string, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if e.closed {
 		return "", fmt.Errorf("drapid: engine is closed")
+	}
+	if e.draining {
+		return "", ErrDraining
 	}
 	e.nextID++
 	return fmt.Sprintf("job-%d", e.nextID), nil
@@ -387,5 +412,8 @@ func (e *Engine) Close() {
 	e.mu.Unlock()
 	for _, j := range jobs {
 		j.cancel(ErrEngineClosed)
+	}
+	if e.coord != nil {
+		e.coord.Close()
 	}
 }

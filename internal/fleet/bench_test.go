@@ -1,0 +1,116 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"os"
+	"testing"
+
+	"drapid/internal/benchjson"
+	"drapid/internal/rdd"
+	"drapid/internal/spe"
+	"drapid/internal/sps"
+)
+
+// BenchmarkFleet measures the coordinator end to end — shard planning,
+// dispatch over in-process workers, search, and the ordered merge — over
+// a shards × workers grid, reporting the brute-force read volume as MB/s
+// and the merged event rate. Results land in BENCH_sps.json (or
+// $BENCH_JSON) through internal/benchjson:
+//
+//	go test -bench Fleet -run xxx ./internal/fleet
+
+var benchOut = benchjson.NewCollector("")
+
+func TestMain(m *testing.M) {
+	code := m.Run()
+	if err := benchOut.Flush(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		if code == 0 {
+			code = 1
+		}
+	}
+	os.Exit(code)
+}
+
+// benchFixture builds the measurement observation once: raw SIGPROC
+// bytes plus the trial grid every shard carries. -short shrinks it so a
+// CI smoke step stays fast.
+func benchFixture(b *testing.B) ([]byte, []float64, int64) {
+	b.Helper()
+	cfg := sps.SynthConfig{
+		NChans: 96, NSamples: 1 << 14, TsampSec: 256e-6,
+		Fch1MHz: 1500, FoffMHz: -2, Seed: 17,
+	}
+	nTrials := 96
+	if testing.Short() {
+		cfg.NChans, cfg.NSamples, nTrials = 48, 1<<12, 32
+	}
+	cfg.Pulses = sps.RandomPulses(cfg, 6, 15, float64(2*nTrials-10), 10, 25, 5)
+	fb, err := sps.Generate(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := sps.Write(&buf, fb); err != nil {
+		b.Fatal(err)
+	}
+	raw := buf.Bytes()
+	dms, err := sps.LinearDMs(0, float64(2*nTrials-2), 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Brute-force dedispersion reads the whole block once per trial.
+	bytesPerOp := int64(len(dms)) * int64(cfg.NChans) * int64(cfg.NSamples) * 4
+	return raw, dms, bytesPerOp
+}
+
+func benchWorkers(n int) []Worker {
+	ws := make([]Worker, n)
+	for i := range ws {
+		exec := rdd.ExecConfig{Workers: 2}
+		exec.Limiter = rdd.NewLimiter(exec.NumWorkers())
+		ws[i] = NewLocal(fmt.Sprintf("w%d", i), exec)
+	}
+	return ws
+}
+
+func BenchmarkFleet(b *testing.B) {
+	raw, dms, bytesPerOp := benchFixture(b)
+	search := SearchSpec{Threshold: 6, NormWindow: 1024, ZeroDM: true, Plan: "brute"}
+	for _, grid := range []struct{ shards, workers int }{
+		{1, 1}, {2, 2}, {4, 2}, {4, 4}, {8, 4},
+	} {
+		name := fmt.Sprintf("shards=%d/workers=%d", grid.shards, grid.workers)
+		b.Run(name, func(b *testing.B) {
+			coord := NewCoordinator(Config{}, benchWorkers(grid.workers)...)
+			defer coord.Close()
+			shards := PlanDM("bench", raw, dms, search, grid.shards)
+			b.SetBytes(bytesPerOp)
+			var events int
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				events = 0
+				_, _, err := coord.Run(context.Background(), shards,
+					func(batch []spe.SPE) error { events += len(batch); return nil },
+					RunOptions{})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			if events == 0 {
+				b.Fatal("benchmark run merged no events")
+			}
+			benchOut.Record(benchjson.Entry{
+				Name:       "BenchmarkFleet/" + name,
+				NsPerOp:    float64(b.Elapsed().Nanoseconds()) / float64(b.N),
+				MBPerS:     float64(bytesPerOp) * float64(b.N) / b.Elapsed().Seconds() / 1e6,
+				Workers:    grid.workers,
+				N:          b.N,
+				EventsPerS: float64(events) * float64(b.N) / b.Elapsed().Seconds(),
+			})
+		})
+	}
+}

@@ -1,0 +1,522 @@
+package fleet
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"drapid/internal/spe"
+	"drapid/internal/sps"
+)
+
+// Config tunes the coordinator's failure detection and recovery.
+type Config struct {
+	// Heartbeat is the ping interval of the worker monitor (default 1s).
+	Heartbeat time.Duration
+	// PingTimeout bounds one ping (default: Heartbeat).
+	PingTimeout time.Duration
+	// FailLimit is how many consecutive ping failures mark a worker dead
+	// (default 2). A dead worker keeps being pinged and revives on the
+	// next success — transient network partitions heal themselves.
+	FailLimit int
+	// MaxAttempts bounds dispatches per shard, counting the first
+	// (default 4): a shard failing that many times — worker deaths and
+	// shard errors both count — fails its job.
+	MaxAttempts int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Heartbeat <= 0 {
+		c.Heartbeat = time.Second
+	}
+	if c.PingTimeout <= 0 {
+		c.PingTimeout = c.Heartbeat
+	}
+	if c.FailLimit <= 0 {
+		c.FailLimit = 2
+	}
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 4
+	}
+	return c
+}
+
+// Status is the coordinator-wide fleet snapshot (the /readyz payload):
+// worker liveness plus shard gauges aggregated over every running job.
+type Status struct {
+	WorkersKnown      int `json:"workers_known"`
+	WorkersAlive      int `json:"workers_alive"`
+	ShardsQueued      int `json:"shards_queued"`
+	ShardsRunning     int `json:"shards_running"`
+	ShardsResubmitted int `json:"shards_resubmitted"`
+}
+
+// JobStatus is one job's shard progress.
+type JobStatus struct {
+	Shards      int `json:"shards"`
+	Done        int `json:"done"`
+	Running     int `json:"running"`
+	Resubmitted int `json:"resubmitted"`
+}
+
+// workerState is the coordinator's view of one worker.
+type workerState struct {
+	w      Worker
+	alive  bool
+	busy   bool
+	fails  int
+	cancel context.CancelFunc // cancels the in-flight shard, if any
+}
+
+// Coordinator owns a fleet of workers and runs sharded jobs over them:
+// dispatch, heartbeat-based loss detection, bounded resubmission, and the
+// ordered merge of per-shard event streams. One coordinator serves any
+// number of concurrent jobs; workers are shared across them (a worker
+// runs one shard at a time, whichever job it belongs to). All methods are
+// safe for concurrent use.
+type Coordinator struct {
+	cfg Config
+
+	mu          sync.Mutex
+	cond        *sync.Cond
+	workers     []*workerState
+	queued      int
+	running     int
+	resubmitted int
+	closed      bool
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+// NewCoordinator builds a coordinator over the given workers and starts
+// its heartbeat monitor. Close releases it.
+func NewCoordinator(cfg Config, workers ...Worker) *Coordinator {
+	c := &Coordinator{cfg: cfg.withDefaults(), stop: make(chan struct{})}
+	c.cond = sync.NewCond(&c.mu)
+	for _, w := range workers {
+		c.workers = append(c.workers, &workerState{w: w, alive: true})
+	}
+	c.wg.Add(1)
+	go c.monitor()
+	return c
+}
+
+// Close stops the heartbeat monitor and wakes any waiters with an error.
+// Jobs still running fail on their next dispatch.
+func (c *Coordinator) Close() {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	c.cond.Broadcast()
+	c.mu.Unlock()
+	close(c.stop)
+	c.wg.Wait()
+}
+
+// Workers reports the fleet width.
+func (c *Coordinator) Workers() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.workers)
+}
+
+// Status snapshots the fleet.
+func (c *Coordinator) Status() Status {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := Status{
+		WorkersKnown:      len(c.workers),
+		ShardsQueued:      c.queued,
+		ShardsRunning:     c.running,
+		ShardsResubmitted: c.resubmitted,
+	}
+	for _, ws := range c.workers {
+		if ws.alive {
+			s.WorkersAlive++
+		}
+	}
+	return s
+}
+
+// monitor is the heartbeat loop: every Heartbeat it pings each worker
+// concurrently, marking workers dead after FailLimit consecutive
+// failures (cancelling whatever shard they were running, which requeues
+// it) and reviving them on success.
+func (c *Coordinator) monitor() {
+	defer c.wg.Done()
+	ticker := time.NewTicker(c.cfg.Heartbeat)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-c.stop:
+			return
+		case <-ticker.C:
+		}
+		c.mu.Lock()
+		states := make([]*workerState, len(c.workers))
+		copy(states, c.workers)
+		c.mu.Unlock()
+		var wg sync.WaitGroup
+		for _, ws := range states {
+			wg.Add(1)
+			go func(ws *workerState) {
+				defer wg.Done()
+				ctx, cancel := context.WithTimeout(context.Background(), c.cfg.PingTimeout)
+				err := ws.w.Ping(ctx)
+				cancel()
+				c.mu.Lock()
+				defer c.mu.Unlock()
+				if err == nil {
+					ws.fails = 0
+					if !ws.alive {
+						ws.alive = true
+						c.cond.Broadcast() // revived: wake acquirers
+					}
+					return
+				}
+				ws.fails++
+				if ws.fails >= c.cfg.FailLimit && ws.alive {
+					ws.alive = false
+					if ws.cancel != nil {
+						ws.cancel() // in-flight shard aborts and requeues
+					}
+				}
+			}(ws)
+		}
+		wg.Wait()
+	}
+}
+
+// markDead records a worker whose shard RPC failed: suspect immediately,
+// revived by the next successful heartbeat.
+func (c *Coordinator) markDead(ws *workerState) {
+	c.mu.Lock()
+	ws.alive = false
+	ws.fails = c.cfg.FailLimit
+	c.mu.Unlock()
+}
+
+// acquire blocks until an alive idle worker is available (or ctx is done
+// or the coordinator closes) and claims it.
+func (c *Coordinator) acquire(ctx context.Context) (*workerState, error) {
+	stop := context.AfterFunc(ctx, func() {
+		c.mu.Lock()
+		c.cond.Broadcast()
+		c.mu.Unlock()
+	})
+	defer stop()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for {
+		if c.closed {
+			return nil, fmt.Errorf("fleet: coordinator closed")
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, context.Cause(ctx)
+		}
+		if len(c.workers) == 0 {
+			return nil, fmt.Errorf("fleet: no workers")
+		}
+		for _, ws := range c.workers {
+			if ws.alive && !ws.busy {
+				ws.busy = true
+				return ws, nil
+			}
+		}
+		// Every worker busy or dead: wait for a release, a revival, or
+		// cancellation. A fleet that is entirely dead parks here until the
+		// monitor revives someone or the job's context gives up — the
+		// job's deadline, not the coordinator, decides how long to hope.
+		c.cond.Wait()
+	}
+}
+
+// release returns a worker to the pool.
+func (c *Coordinator) release(ws *workerState) {
+	c.mu.Lock()
+	ws.busy = false
+	ws.cancel = nil
+	c.cond.Broadcast()
+	c.mu.Unlock()
+}
+
+// runJob is the per-job merge and bookkeeping state.
+type runJob struct {
+	mu        sync.Mutex
+	shards    []ShardSpec
+	results   [][]spe.SPE // successful attempt's events, per shard
+	stats     []sps.Stats
+	done      []bool
+	attempts  []int
+	doneCount int
+	running   int
+	resub     int
+	emitNext  int  // next shard index to emit (time-ordered merge)
+	emitting  bool // an emitter is draining the watermark prefix
+	failed    error
+}
+
+// RunOptions configure one sharded run.
+type RunOptions struct {
+	// TimeOrder marks the shards as a time partition: shard events are
+	// emitted in watermark order — shard k flushes downstream as soon as
+	// shards 0..k have all completed — so candidates stream while later
+	// time ranges are still searching. Off (DM sharding), shards span the
+	// whole observation and the merge is a barrier: every shard's events
+	// are folded and canonically time-sorted once all shards are done.
+	TimeOrder bool
+	// OnProgress, when non-nil, observes every shard state change.
+	OnProgress func(JobStatus)
+}
+
+// Run executes a sharded job: dispatches every shard across the fleet,
+// resubmits shards lost to worker failure (bounded by MaxAttempts), and
+// delivers the merged event stream to emit exactly as a single-engine
+// search over the same job would have (see the package comment for the
+// exactness contract). emit is never called concurrently. Returns the
+// folded search stats and the final shard status.
+func (c *Coordinator) Run(ctx context.Context, shards []ShardSpec, emit func([]spe.SPE) error, opts RunOptions) (sps.Stats, JobStatus, error) {
+	if len(shards) == 0 {
+		return sps.Stats{}, JobStatus{}, fmt.Errorf("fleet: no shards")
+	}
+	runCtx, cancel := context.WithCancelCause(ctx)
+	defer cancel(nil)
+	j := &runJob{
+		shards:   shards,
+		results:  make([][]spe.SPE, len(shards)),
+		stats:    make([]sps.Stats, len(shards)),
+		done:     make([]bool, len(shards)),
+		attempts: make([]int, len(shards)),
+	}
+	todo := make(chan int, len(shards)*c.cfg.MaxAttempts)
+	for i := range shards {
+		todo <- i
+	}
+	c.addQueued(len(shards))
+
+	var wg sync.WaitGroup
+	finished := make(chan struct{})
+	var finishOnce sync.Once
+	maybeFinish := func() {
+		j.mu.Lock()
+		doneAll := j.doneCount == len(shards) || j.failed != nil
+		j.mu.Unlock()
+		if doneAll {
+			finishOnce.Do(func() { close(finished) })
+		}
+	}
+
+dispatch:
+	for {
+		select {
+		case <-finished:
+			break dispatch
+		case <-runCtx.Done():
+			break dispatch
+		case i := <-todo:
+			ws, err := c.acquire(runCtx)
+			if err != nil {
+				c.addQueued(-1)
+				j.mu.Lock()
+				if j.failed == nil {
+					j.failed = err
+				}
+				j.mu.Unlock()
+				cancel(err)
+				break dispatch
+			}
+			c.addQueued(-1)
+			wg.Add(1)
+			go func(i int, ws *workerState) {
+				defer wg.Done()
+				c.runShard(runCtx, cancel, j, i, ws, todo, emit, opts)
+				maybeFinish()
+			}(i, ws)
+		}
+	}
+	wg.Wait()
+
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	status := JobStatus{Shards: len(shards), Done: j.doneCount, Resubmitted: j.resub}
+	if j.failed == nil && runCtx.Err() != nil {
+		j.failed = context.Cause(runCtx)
+	}
+	if j.failed != nil {
+		return sps.Stats{}, status, j.failed
+	}
+	var stats sps.Stats
+	for i := range shards {
+		stats.Trials += j.stats[i].Trials
+		stats.Samples += j.stats[i].Samples
+		stats.Events += j.stats[i].Events
+		if stats.Plan == "" {
+			stats.Plan = j.stats[i].Plan
+		}
+	}
+	if !opts.TimeOrder {
+		// Barrier merge: fold shard outputs in shard order and canonically
+		// sort — byte-identical to the single-engine fold (shards are
+		// disjoint trial ranges, and SortByTime is a total order).
+		var all []spe.SPE
+		for _, evs := range j.results {
+			all = append(all, evs...)
+		}
+		spe.SortByTime(all)
+		if len(all) > 0 && emit != nil {
+			if err := emit(all); err != nil {
+				return stats, status, err
+			}
+		}
+	}
+	return stats, status, nil
+}
+
+// runShard executes one dispatched shard attempt on a claimed worker and
+// routes its outcome: success folds into the merge, failure requeues or
+// fails the job.
+func (c *Coordinator) runShard(runCtx context.Context, cancelRun context.CancelCauseFunc, j *runJob,
+	i int, ws *workerState, todo chan<- int, emit func([]spe.SPE) error, opts RunOptions) {
+	shardCtx, cancelShard := context.WithCancel(runCtx)
+	defer cancelShard()
+	c.mu.Lock()
+	ws.cancel = cancelShard
+	c.mu.Unlock()
+
+	j.mu.Lock()
+	j.attempts[i]++
+	j.running++
+	spec := j.shards[i]
+	spec.Attempt = j.attempts[i]
+	j.mu.Unlock()
+	c.addRunning(1)
+	c.progress(j, opts)
+
+	var buf []spe.SPE
+	stats, err := ws.w.Run(shardCtx, spec, func(events []spe.SPE) error {
+		buf = append(buf, events...)
+		return shardCtx.Err()
+	})
+
+	c.addRunning(-1)
+	switch {
+	case err == nil:
+		c.release(ws)
+		j.mu.Lock()
+		j.running--
+		if !j.done[i] {
+			j.done[i] = true
+			j.doneCount++
+			j.results[i] = buf
+			j.stats[i] = stats
+		}
+		j.mu.Unlock()
+		c.progress(j, opts)
+		if opts.TimeOrder {
+			if err := c.emitWatermark(j, emit); err != nil {
+				j.mu.Lock()
+				if j.failed == nil {
+					j.failed = err
+				}
+				j.mu.Unlock()
+				cancelRun(err)
+			}
+		}
+	case runCtx.Err() != nil:
+		// The job is being torn down (failure elsewhere, or caller
+		// cancellation): don't requeue, don't blame the worker.
+		c.release(ws)
+		j.mu.Lock()
+		j.running--
+		j.mu.Unlock()
+	default:
+		// The attempt failed — shard error, or the heartbeat monitor
+		// cancelled a dead worker's context. Blame the worker (the next
+		// heartbeat revives a healthy one) and recompute the shard
+		// elsewhere, within the attempt bound.
+		c.markDead(ws)
+		c.release(ws)
+		j.mu.Lock()
+		j.running--
+		j.resub++
+		attempts := j.attempts[i]
+		fail := attempts >= c.cfg.MaxAttempts
+		if fail && j.failed == nil {
+			j.failed = fmt.Errorf("fleet: shard %s/%d failed after %d attempts (last worker %s): %w",
+				spec.Job, spec.Index, attempts, ws.w.Name(), err)
+		}
+		j.mu.Unlock()
+		c.mu.Lock()
+		c.resubmitted++
+		c.mu.Unlock()
+		if fail {
+			cancelRun(j.failed)
+		} else {
+			c.addQueued(1)
+			todo <- i
+		}
+		c.progress(j, opts)
+	}
+}
+
+// emitWatermark drains the contiguous completed prefix of a time-ordered
+// job: shard k's events flush once shards 0..k are all done. Exactly one
+// goroutine drains at a time, so emit is never called concurrently and
+// batches leave in shard (= time) order.
+func (c *Coordinator) emitWatermark(j *runJob, emit func([]spe.SPE) error) error {
+	if emit == nil {
+		return nil
+	}
+	j.mu.Lock()
+	if j.emitting {
+		j.mu.Unlock()
+		return nil // the active emitter will pick our shard up
+	}
+	j.emitting = true
+	for j.emitNext < len(j.shards) && j.done[j.emitNext] {
+		events := j.results[j.emitNext]
+		j.emitNext++
+		j.mu.Unlock()
+		if len(events) > 0 {
+			if err := emit(events); err != nil {
+				j.mu.Lock()
+				j.emitting = false
+				j.mu.Unlock()
+				return err
+			}
+		}
+		j.mu.Lock()
+	}
+	j.emitting = false
+	j.mu.Unlock()
+	return nil
+}
+
+// progress reports a job snapshot to the observer, outside any lock the
+// observer could re-enter.
+func (c *Coordinator) progress(j *runJob, opts RunOptions) {
+	if opts.OnProgress == nil {
+		return
+	}
+	j.mu.Lock()
+	s := JobStatus{Shards: len(j.shards), Done: j.doneCount, Running: j.running, Resubmitted: j.resub}
+	j.mu.Unlock()
+	opts.OnProgress(s)
+}
+
+func (c *Coordinator) addQueued(d int) {
+	c.mu.Lock()
+	c.queued += d
+	c.mu.Unlock()
+}
+
+func (c *Coordinator) addRunning(d int) {
+	c.mu.Lock()
+	c.running += d
+	c.mu.Unlock()
+}

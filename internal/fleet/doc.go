@@ -1,0 +1,38 @@
+// Package fleet is the horizontal scale-out layer of the single-pulse
+// search (DESIGN.md §9): a coordinator that splits one detection job into
+// shards, dispatches them across a fleet of workers behind a
+// placement-agnostic Worker interface, and merges the per-shard event
+// streams back into the exact stream a single-engine run would have
+// produced — the paper's Spark-over-YARN scale-out story recast onto the
+// engine's own primitives.
+//
+// The shard unit is a restricted single-pulse search (ShardSpec):
+// every shard carries the full observation metadata and the FULL trial-DM
+// grid, plus either a trial sub-range (DM sharding, the default) or an
+// owned time range over a sliced observation (time sharding). Carrying
+// the whole grid is what makes DM sharding bit-exact: dedispersion-plan
+// resolution — including the subband nominal grid and the trial→nominal
+// assignment of DESIGN.md §6 — derives from the full grid on every
+// worker, so a trial computed on any worker is bit-identical to the same
+// trial in an unsharded run, and the canonical time-ordered merge of the
+// shard outputs is record-for-record the single-engine event stream.
+// Time sharding trades that bit-exactness (slice-local normalisation
+// prefix sums differ in final ulps from whole-series ones) for bounded
+// per-worker input, and is documented as approximate at shard seams.
+//
+// Fault tolerance follows the paper's RDD lineage discipline: shards are
+// deterministic pure recomputations, so a worker lost mid-shard (detected
+// by heartbeat pings, or by a failed shard RPC) simply has its shard
+// resubmitted to another worker, bounded by Config.MaxAttempts. Partial
+// results of a failed attempt are discarded — a shard's events enter the
+// merge only when its attempt completes — so resubmission can never
+// duplicate or reorder merged output.
+//
+// Workers come in two placements: Local (an in-process searcher over an
+// rdd executor, used by tests, benchmarks and single-host fleets) and
+// Remote (a client for the small HTTP shard protocol that Handler serves,
+// which is what `drapidd -worker` mounts). Store abstracts the journal
+// persistence the public engine layers on top (queued/running jobs
+// replayed on daemon restart): FSStore keeps entries in the simulated
+// engine filesystem, DirStore in a real directory on disk.
+package fleet

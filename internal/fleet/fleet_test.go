@@ -1,0 +1,526 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"drapid/internal/hdfs"
+	"drapid/internal/rdd"
+	"drapid/internal/spe"
+	"drapid/internal/sps"
+)
+
+// testExec is a small shared executor for shard runs.
+func testExec() rdd.ExecConfig {
+	exec := rdd.ExecConfig{Workers: 4}
+	exec.Limiter = rdd.NewLimiter(exec.NumWorkers())
+	return exec
+}
+
+// testObservation renders a small synthetic observation with a few
+// dispersed pulses, returning both the parsed filterbank and its raw
+// SIGPROC bytes.
+func testObservation(t *testing.T) (*sps.Filterbank, []byte) {
+	t.Helper()
+	fb, err := sps.Generate(sps.SynthConfig{
+		NChans: 96, NSamples: 8192, TsampSec: 256e-6,
+		Fch1MHz: 1500, FoffMHz: -2,
+		Seed: 11,
+		Pulses: []sps.InjectedPulse{
+			{TimeSec: 0.25, DM: 20, WidthMs: 2, SNR: 15},
+			{TimeSec: 0.80, DM: 55, WidthMs: 3, SNR: 18},
+			{TimeSec: 1.40, DM: 90, WidthMs: 4, SNR: 13},
+			{TimeSec: 1.90, DM: 30, WidthMs: 2.5, SNR: 20},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := sps.Write(&buf, fb); err != nil {
+		t.Fatal(err)
+	}
+	return fb, buf.Bytes()
+}
+
+// testGrid is the trial grid shared by the sharding tests.
+func testGrid() []float64 {
+	dms := make([]float64, 0, 51)
+	for dm := 0.0; dm <= 100; dm += 2 {
+		dms = append(dms, dm)
+	}
+	return dms
+}
+
+// unshardedEvents runs the reference single-engine search.
+func unshardedEvents(t *testing.T, fb *sps.Filterbank, search SearchSpec, dms []float64) []spe.SPE {
+	t.Helper()
+	kind, err := sps.ParsePlanKind(search.Plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	events, _, err := sps.Search(context.Background(), fb, sps.Config{
+		DMs: dms, Widths: search.Widths, Threshold: search.Threshold,
+		NormWindow: search.NormWindow, ZeroDM: search.ZeroDM,
+		Plan: sps.DedispersePlan{Kind: kind}, Exec: testExec(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return events
+}
+
+func eventsEqual(a, b []spe.SPE) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestDMShardingBitExact is the core merge-exactness contract: for every
+// shard count and both plan kinds, the canonical merge of the DM shards'
+// events must be identical — every field of every record — to the
+// unsharded search.
+func TestDMShardingBitExact(t *testing.T) {
+	fb, raw := testObservation(t)
+	dms := testGrid()
+	for _, plan := range []string{"brute", "subband"} {
+		search := SearchSpec{Threshold: 6, Plan: plan, NormWindow: 1024}
+		want := unshardedEvents(t, fb, search, dms)
+		if len(want) == 0 {
+			t.Fatalf("plan %s: reference search found no events", plan)
+		}
+		for _, n := range []int{2, 3, 7} {
+			shards := PlanDM("job", raw, dms, search, n)
+			if len(shards) != n {
+				t.Fatalf("PlanDM(%d) produced %d shards", n, len(shards))
+			}
+			var got []spe.SPE
+			for _, s := range shards {
+				evs, _, err := collectShard(s)
+				if err != nil {
+					t.Fatalf("plan %s shards %d: %v", plan, n, err)
+				}
+				got = append(got, evs...)
+			}
+			spe.SortByTime(got)
+			if !eventsEqual(want, got) {
+				t.Fatalf("plan %s shards %d: merged events differ from unsharded (%d vs %d)",
+					plan, n, len(got), len(want))
+			}
+		}
+	}
+}
+
+// collectShard runs one shard locally and buffers its events.
+func collectShard(s ShardSpec) ([]spe.SPE, sps.Stats, error) {
+	var evs []spe.SPE
+	stats, err := RunShard(context.Background(), s, testExec(), func(batch []spe.SPE) error {
+		evs = append(evs, batch...)
+		return nil
+	})
+	return evs, stats, err
+}
+
+// TestTimeShardingNearExact checks the documented contract of the
+// approximate axis: time shards cover every owned range exactly once,
+// merged events arrive in time order, and almost all events match the
+// unsharded run exactly on (Sample, DM, Downfact) — only seam-adjacent
+// detections may differ, by ulp-level normalisation drift.
+func TestTimeShardingNearExact(t *testing.T) {
+	fb, _ := testObservation(t)
+	dms := testGrid()
+	search := SearchSpec{Threshold: 6, Plan: "brute", NormWindow: 1024}
+	want := unshardedEvents(t, fb, search, dms)
+	shards, err := PlanTime("job", fb, dms, search, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(shards) < 2 {
+		t.Fatalf("PlanTime produced %d shards, want >= 2", len(shards))
+	}
+	var got []spe.SPE
+	for _, s := range shards {
+		evs, _, err := collectShard(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 1; i < len(evs); i++ {
+			if evs[i].Time < evs[i-1].Time {
+				t.Fatalf("shard %d events not time-ordered", s.Index)
+			}
+		}
+		got = append(got, evs...)
+	}
+	type key struct {
+		sample   int64
+		dm       float64
+		downfact int
+	}
+	seen := make(map[key]bool, len(got))
+	for _, e := range got {
+		k := key{e.Sample, e.DM, e.Downfact}
+		if seen[k] {
+			t.Fatalf("duplicate event across shards: %+v", e)
+		}
+		seen[k] = true
+	}
+	matched := 0
+	for _, e := range want {
+		if seen[key{e.Sample, e.DM, e.Downfact}] {
+			matched++
+		}
+	}
+	if frac := float64(matched) / float64(len(want)); frac < 0.9 {
+		t.Fatalf("only %d/%d (%.0f%%) of unsharded events recovered by time shards",
+			matched, len(want), 100*frac)
+	}
+}
+
+// TestPlanTimeRequiresNormWindow pins the documented restriction.
+func TestPlanTimeRequiresNormWindow(t *testing.T) {
+	fb, _ := testObservation(t)
+	if _, err := PlanTime("job", fb, testGrid(), SearchSpec{Threshold: 6}, 2); err == nil {
+		t.Fatal("PlanTime accepted NormWindow = 0")
+	}
+}
+
+// TestStreamRejectsTrialRange pins that the streaming search refuses a
+// restricted config rather than silently searching everything.
+func TestStreamRejectsTrialRange(t *testing.T) {
+	fb, _ := testObservation(t)
+	cfg := sps.Config{DMs: testGrid(), Threshold: 6, TrialLo: 1, TrialHi: 4,
+		BlockSamples: 8192, NormWindow: 1024, Exec: testExec()}
+	if _, err := sps.SearchFilterbank(context.Background(), fb, cfg, nil); err == nil ||
+		!strings.Contains(err.Error(), "trial range") {
+		t.Fatalf("streaming search with TrialLo/TrialHi: err = %v, want trial-range rejection", err)
+	}
+}
+
+// fakeWorker scripts Worker behaviour for coordinator tests.
+type fakeWorker struct {
+	name string
+	mu   sync.Mutex
+	ping func() error
+	run  func(ctx context.Context, spec ShardSpec, emit func([]spe.SPE) error) (sps.Stats, error)
+	runs int
+}
+
+func (f *fakeWorker) Name() string { return f.name }
+
+func (f *fakeWorker) Ping(ctx context.Context) error {
+	f.mu.Lock()
+	ping := f.ping
+	f.mu.Unlock()
+	if ping != nil {
+		return ping()
+	}
+	return ctx.Err()
+}
+
+func (f *fakeWorker) Run(ctx context.Context, spec ShardSpec, emit func([]spe.SPE) error) (sps.Stats, error) {
+	f.mu.Lock()
+	f.runs++
+	run := f.run
+	f.mu.Unlock()
+	return run(ctx, spec, emit)
+}
+
+// okRun returns a run function that emits one event derived from the
+// shard index after an optional delay.
+func okRun(delay time.Duration) func(context.Context, ShardSpec, func([]spe.SPE) error) (sps.Stats, error) {
+	return func(ctx context.Context, spec ShardSpec, emit func([]spe.SPE) error) (sps.Stats, error) {
+		if delay > 0 {
+			select {
+			case <-time.After(delay):
+			case <-ctx.Done():
+				return sps.Stats{}, ctx.Err()
+			}
+		}
+		if err := emit([]spe.SPE{{Time: float64(spec.Index), DM: 1, SNR: 9, Sample: int64(spec.Index)}}); err != nil {
+			return sps.Stats{}, err
+		}
+		return sps.Stats{Events: 1, Trials: 1}, nil
+	}
+}
+
+// fakeShards builds n minimal shards (coordinator tests never execute a
+// real search).
+func fakeShards(n int) []ShardSpec {
+	shards := make([]ShardSpec, n)
+	for i := range shards {
+		shards[i] = ShardSpec{Job: "job", Index: i, Shards: n}
+	}
+	return shards
+}
+
+// TestCoordinatorResubmission kills a worker's first attempt after a
+// partial emit and checks the shard is recomputed elsewhere with no
+// duplicate or lost events.
+func TestCoordinatorResubmission(t *testing.T) {
+	var failedOnce sync.Once
+	flaky := &fakeWorker{name: "flaky"}
+	flaky.run = func(ctx context.Context, spec ShardSpec, emit func([]spe.SPE) error) (sps.Stats, error) {
+		var failed bool
+		failedOnce.Do(func() { failed = true })
+		if failed {
+			// Emit a partial batch, then die: the coordinator must discard it.
+			emit([]spe.SPE{{Time: 999, DM: 999, SNR: 1}})
+			return sps.Stats{}, fmt.Errorf("worker lost")
+		}
+		return okRun(0)(ctx, spec, emit)
+	}
+	healthy := &fakeWorker{name: "healthy", run: okRun(0)}
+	c := NewCoordinator(Config{Heartbeat: time.Hour}, flaky, healthy)
+	defer c.Close()
+
+	var merged []spe.SPE
+	_, status, err := c.Run(context.Background(), fakeShards(4), func(evs []spe.SPE) error {
+		merged = append(merged, evs...)
+		return nil
+	}, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status.Resubmitted != 1 {
+		t.Fatalf("Resubmitted = %d, want 1", status.Resubmitted)
+	}
+	if status.Done != 4 {
+		t.Fatalf("Done = %d, want 4", status.Done)
+	}
+	if len(merged) != 4 {
+		t.Fatalf("merged %d events, want 4 (partial emit must be discarded)", len(merged))
+	}
+	for i, e := range merged {
+		if e.Time != float64(i) {
+			t.Fatalf("merged[%d].Time = %g: order or content wrong (partial leak?)", i, e.Time)
+		}
+	}
+	if s := c.Status(); s.ShardsQueued != 0 || s.ShardsRunning != 0 || s.ShardsResubmitted != 1 {
+		t.Fatalf("coordinator gauges after run: %+v", s)
+	}
+}
+
+// TestCoordinatorHeartbeatKillsDeadWorker wedges a worker mid-shard and
+// fails its pings: the monitor must cancel the shard, mark the worker
+// dead, and the job must still finish on the healthy worker.
+func TestCoordinatorHeartbeatKillsDeadWorker(t *testing.T) {
+	dead := &fakeWorker{name: "wedged"}
+	dead.ping = func() error { return fmt.Errorf("no heartbeat") }
+	dead.run = func(ctx context.Context, spec ShardSpec, emit func([]spe.SPE) error) (sps.Stats, error) {
+		<-ctx.Done() // wedge until the monitor cancels us
+		return sps.Stats{}, ctx.Err()
+	}
+	healthy := &fakeWorker{name: "healthy", run: okRun(0)}
+	c := NewCoordinator(Config{Heartbeat: 10 * time.Millisecond, FailLimit: 2}, dead, healthy)
+	defer c.Close()
+
+	done := make(chan error, 1)
+	var mu sync.Mutex
+	var merged []spe.SPE
+	go func() {
+		_, _, err := c.Run(context.Background(), fakeShards(3), func(evs []spe.SPE) error {
+			mu.Lock()
+			merged = append(merged, evs...)
+			mu.Unlock()
+			return nil
+		}, RunOptions{})
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("job did not recover from the wedged worker")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(merged) != 3 {
+		t.Fatalf("merged %d events, want 3", len(merged))
+	}
+	if s := c.Status(); s.WorkersAlive != 1 {
+		t.Fatalf("WorkersAlive = %d, want 1 (wedged worker must stay dead)", s.WorkersAlive)
+	}
+}
+
+// TestCoordinatorMaxAttempts bounds resubmission: a fleet that always
+// fails must fail the job, not loop forever.
+func TestCoordinatorMaxAttempts(t *testing.T) {
+	bad := &fakeWorker{name: "bad"}
+	bad.run = func(ctx context.Context, spec ShardSpec, emit func([]spe.SPE) error) (sps.Stats, error) {
+		return sps.Stats{}, fmt.Errorf("always broken")
+	}
+	c := NewCoordinator(Config{Heartbeat: 5 * time.Millisecond, MaxAttempts: 3}, bad)
+	defer c.Close()
+	_, status, err := c.Run(context.Background(), fakeShards(1), nil, RunOptions{})
+	if err == nil || !strings.Contains(err.Error(), "after 3 attempts") {
+		t.Fatalf("err = %v, want failure after 3 attempts", err)
+	}
+	if status.Resubmitted == 0 {
+		t.Fatalf("Resubmitted = 0, want > 0")
+	}
+}
+
+// TestCoordinatorWatermarkOrder runs a time-ordered job whose shards
+// complete in reverse and checks emission still arrives in shard order.
+func TestCoordinatorWatermarkOrder(t *testing.T) {
+	// Shard 0 is slowest, shard 3 fastest: completion order is reversed.
+	slowByIndex := &fakeWorker{name: "w"}
+	slowByIndex.run = func(ctx context.Context, spec ShardSpec, emit func([]spe.SPE) error) (sps.Stats, error) {
+		return okRun(time.Duration(3-spec.Index)*40*time.Millisecond)(ctx, spec, emit)
+	}
+	peers := []*fakeWorker{slowByIndex, {name: "x", run: slowByIndex.run},
+		{name: "y", run: slowByIndex.run}, {name: "z", run: slowByIndex.run}}
+	c := NewCoordinator(Config{Heartbeat: time.Hour}, peers[0], peers[1], peers[2], peers[3])
+	defer c.Close()
+
+	var mu sync.Mutex
+	var order []int64
+	_, _, err := c.Run(context.Background(), fakeShards(4), func(evs []spe.SPE) error {
+		mu.Lock()
+		for _, e := range evs {
+			order = append(order, e.Sample)
+		}
+		mu.Unlock()
+		return nil
+	}, RunOptions{TimeOrder: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 4 {
+		t.Fatalf("emitted %d events, want 4", len(order))
+	}
+	for i, s := range order {
+		if s != int64(i) {
+			t.Fatalf("watermark emission order %v, want shard-index order", order)
+		}
+	}
+}
+
+// TestHTTPWorkerRoundTrip drives a real shard through the HTTP protocol
+// and checks the remote result is identical to running it locally.
+func TestHTTPWorkerRoundTrip(t *testing.T) {
+	_, raw := testObservation(t)
+	dms := testGrid()
+	search := SearchSpec{Threshold: 6, Plan: "brute", NormWindow: 1024}
+	shards := PlanDM("job", raw, dms, search, 2)
+
+	ts := httptest.NewServer(Handler(testExec()))
+	defer ts.Close()
+	remote := NewRemote("r0", ts.URL, nil)
+	if err := remote.Ping(context.Background()); err != nil {
+		t.Fatalf("ping: %v", err)
+	}
+
+	wantEvents, wantStats, err := collectShard(shards[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	var gotEvents []spe.SPE
+	gotStats, err := remote.Run(context.Background(), shards[0], func(evs []spe.SPE) error {
+		gotEvents = append(gotEvents, evs...)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eventsEqual(wantEvents, gotEvents) {
+		t.Fatalf("remote events differ from local (%d vs %d)", len(gotEvents), len(wantEvents))
+	}
+	if gotStats != wantStats {
+		t.Fatalf("remote stats %+v, local %+v", gotStats, wantStats)
+	}
+}
+
+// TestRemoteStreamCut pins the completion contract: a response cut before
+// the done line is a failed attempt, not a silently short result.
+func TestRemoteStreamCut(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, `{"events":[{"dm":1,"snr":9,"time":0.5,"sample":10,"downfact":1}]}`)
+		panic(http.ErrAbortHandler) // cut the connection mid-stream
+	}))
+	defer ts.Close()
+	remote := NewRemote("cut", ts.URL, nil)
+	_, err := remote.Run(context.Background(), ShardSpec{Job: "j", Shards: 1}, func([]spe.SPE) error { return nil })
+	if err == nil {
+		t.Fatal("cut stream did not fail the attempt")
+	}
+}
+
+// TestStores exercises both journal stores through the shared contract.
+func TestStores(t *testing.T) {
+	stores := map[string]Store{
+		"fs": NewFSStore(hdfs.New(hdfs.Config{BlockSize: 1 << 20, Replication: 1}, 3), "journal/"),
+	}
+	dir, err := NewDirStore(t.TempDir() + "/journal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	stores["dir"] = dir
+	for name, s := range stores {
+		t.Run(name, func(t *testing.T) {
+			if err := s.Put("job-1", []byte(`{"a":1}`)); err != nil {
+				t.Fatal(err)
+			}
+			if err := s.Put("job-2", []byte(`{"b":2}`)); err != nil {
+				t.Fatal(err)
+			}
+			// Overwrite must replace, not error.
+			if err := s.Put("job-1", []byte(`{"a":3}`)); err != nil {
+				t.Fatalf("overwrite: %v", err)
+			}
+			data, err := s.Get("job-1")
+			if err != nil || string(data) != `{"a":3}` {
+				t.Fatalf("Get = %q, %v", data, err)
+			}
+			names, err := s.List()
+			if err != nil || len(names) != 2 || names[0] != "job-1" || names[1] != "job-2" {
+				t.Fatalf("List = %v, %v", names, err)
+			}
+			if err := s.Delete("job-2"); err != nil {
+				t.Fatal(err)
+			}
+			if names, _ = s.List(); len(names) != 1 {
+				t.Fatalf("List after delete = %v", names)
+			}
+			if err := s.Delete("job-2"); err == nil {
+				t.Fatal("deleting a missing entry did not error")
+			}
+		})
+	}
+}
+
+// TestShardSpecValidate covers the spec guard rails.
+func TestShardSpecValidate(t *testing.T) {
+	_, raw := testObservation(t)
+	good := ShardSpec{Job: "j", Filterbank: raw, DMs: []float64{0, 1, 2}, TrialLo: 0, TrialHi: 2}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for name, bad := range map[string]ShardSpec{
+		"no filterbank": {Job: "j", DMs: []float64{0}},
+		"no grid":       {Job: "j", Filterbank: raw},
+		"trial range":   {Job: "j", Filterbank: raw, DMs: []float64{0, 1}, TrialLo: 1, TrialHi: 5},
+		"owned range":   {Job: "j", Filterbank: raw, DMs: []float64{0}, OwnLo: 5, OwnHi: 2},
+	} {
+		if err := bad.Validate(); err == nil {
+			t.Fatalf("%s: Validate accepted %+v", name, bad)
+		}
+	}
+}

@@ -1,0 +1,234 @@
+package fleet
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"drapid/internal/rdd"
+	"drapid/internal/spe"
+	"drapid/internal/sps"
+)
+
+// The shard protocol is two endpoints of NDJSON over HTTP:
+//
+//	GET  /v1/shard/ping  → 200 {"ok":true}
+//	POST /v1/shard       ← JSON ShardSpec
+//	                     → NDJSON: zero or more {"events":[...]} batches,
+//	                       then exactly one {"done":true,"stats":{...}}
+//	                       or {"error":"..."}
+//
+// The terminal line doubles as the completion signal: a response that ends
+// without one (connection cut, worker killed) is a failed attempt, which
+// the coordinator resubmits. Events stream as they are found, but the
+// coordinator only folds them into the merge when the done line arrives —
+// so a half-streamed response never contaminates merged output.
+
+// shardLine is one NDJSON response line.
+type shardLine struct {
+	Events []wireEvent `json:"events,omitempty"`
+	Done   bool        `json:"done,omitempty"`
+	Stats  *wireStats  `json:"stats,omitempty"`
+	Error  string      `json:"error,omitempty"`
+}
+
+// wireEvent is spe.SPE with stable JSON tags (the spe package keeps its
+// structs tag-free; the wire format is owned here).
+type wireEvent struct {
+	DM       float64 `json:"dm"`
+	SNR      float64 `json:"snr"`
+	Time     float64 `json:"time"`
+	Sample   int64   `json:"sample"`
+	Downfact int     `json:"downfact"`
+}
+
+// wireStats mirrors sps.Stats on the wire.
+type wireStats struct {
+	Trials  int    `json:"trials"`
+	Samples int64  `json:"samples"`
+	Events  int    `json:"events"`
+	Plan    string `json:"plan,omitempty"`
+}
+
+func toWire(events []spe.SPE) []wireEvent {
+	out := make([]wireEvent, len(events))
+	for i, e := range events {
+		out[i] = wireEvent{DM: e.DM, SNR: e.SNR, Time: e.Time, Sample: e.Sample, Downfact: e.Downfact}
+	}
+	return out
+}
+
+func fromWire(events []wireEvent) []spe.SPE {
+	out := make([]spe.SPE, len(events))
+	for i, e := range events {
+		out[i] = spe.SPE{DM: e.DM, SNR: e.SNR, Time: e.Time, Sample: e.Sample, Downfact: e.Downfact}
+	}
+	return out
+}
+
+// Handler serves the worker side of the shard protocol over the given
+// executor: what `drapidd -worker` mounts. The handler is stateless —
+// every shard arrives self-contained — so a worker process can be killed
+// and replaced at will (the coordinator treats the cut connection as a
+// failed attempt and resubmits).
+func Handler(exec rdd.ExecConfig) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/shard/ping", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintln(w, `{"ok":true}`)
+	})
+	mux.HandleFunc("POST /v1/shard", func(w http.ResponseWriter, r *http.Request) {
+		var spec ShardSpec
+		if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+			http.Error(w, fmt.Sprintf(`{"error":%q}`, "bad shard spec: "+err.Error()), http.StatusBadRequest)
+			return
+		}
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		w.WriteHeader(http.StatusOK)
+		enc := json.NewEncoder(w)
+		rc := http.NewResponseController(w)
+		stats, err := RunShard(r.Context(), spec, exec, func(events []spe.SPE) error {
+			if err := enc.Encode(shardLine{Events: toWire(events)}); err != nil {
+				return err
+			}
+			return rc.Flush()
+		})
+		if err != nil {
+			enc.Encode(shardLine{Error: err.Error()})
+			return
+		}
+		enc.Encode(shardLine{Done: true, Stats: &wireStats{
+			Trials: stats.Trials, Samples: stats.Samples, Events: stats.Events, Plan: stats.Plan,
+		}})
+	})
+	return mux
+}
+
+// Remote is a worker behind the HTTP shard protocol: the coordinator's
+// client for one `drapidd -worker` process.
+type Remote struct {
+	name   string
+	base   string
+	client *http.Client
+}
+
+// NewRemote builds a worker client for the given base URL (e.g.
+// "http://host:8417"). A nil client uses a dedicated streaming-friendly
+// default (no response timeout; shard lifetime is bounded by the run
+// context, not the transport).
+func NewRemote(name, baseURL string, client *http.Client) *Remote {
+	if client == nil {
+		client = &http.Client{}
+	}
+	return &Remote{name: name, base: strings.TrimRight(baseURL, "/"), client: client}
+}
+
+// Name implements Worker.
+func (r *Remote) Name() string { return r.name }
+
+// Ping implements Worker via GET /v1/shard/ping.
+func (r *Remote) Ping(ctx context.Context) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, r.base+"/v1/shard/ping", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := r.client.Do(req)
+	if err != nil {
+		return err
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("fleet: worker %s ping: %s", r.name, resp.Status)
+	}
+	return nil
+}
+
+// Run implements Worker: POST the spec, stream back event batches, and
+// require the terminal done line — a response that ends without one is a
+// failed attempt.
+func (r *Remote) Run(ctx context.Context, spec ShardSpec, emit func([]spe.SPE) error) (sps.Stats, error) {
+	body, err := json.Marshal(spec)
+	if err != nil {
+		return sps.Stats{}, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, r.base+"/v1/shard", strings.NewReader(string(body)))
+	if err != nil {
+		return sps.Stats{}, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := r.client.Do(req)
+	if err != nil {
+		return sps.Stats{}, err
+	}
+	defer func() {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 1024))
+		return sps.Stats{}, fmt.Errorf("fleet: worker %s shard %s/%d: %s: %s",
+			r.name, spec.Job, spec.Index, resp.Status, strings.TrimSpace(string(msg)))
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 64*1024*1024)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var l shardLine
+		if err := json.Unmarshal(line, &l); err != nil {
+			return sps.Stats{}, fmt.Errorf("fleet: worker %s: bad response line: %w", r.name, err)
+		}
+		switch {
+		case l.Error != "":
+			return sps.Stats{}, fmt.Errorf("fleet: worker %s shard %s/%d: %s", r.name, spec.Job, spec.Index, l.Error)
+		case l.Done:
+			var stats sps.Stats
+			if l.Stats != nil {
+				stats = sps.Stats{Trials: l.Stats.Trials, Samples: l.Stats.Samples, Events: l.Stats.Events, Plan: l.Stats.Plan}
+			}
+			return stats, nil
+		case len(l.Events) > 0:
+			if emit != nil {
+				if err := emit(fromWire(l.Events)); err != nil {
+					return sps.Stats{}, err
+				}
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return sps.Stats{}, fmt.Errorf("fleet: worker %s shard %s/%d: stream cut: %w", r.name, spec.Job, spec.Index, err)
+	}
+	return sps.Stats{}, fmt.Errorf("fleet: worker %s shard %s/%d: stream ended without completion", r.name, spec.Job, spec.Index)
+}
+
+// WaitReady polls a worker until it answers a ping or the deadline
+// expires: a convenience for process orchestration (tests, the CI smoke
+// script) that starts worker processes and needs them listening before
+// submitting.
+func WaitReady(ctx context.Context, w Worker, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		pctx, cancel := context.WithTimeout(ctx, time.Second)
+		err := w.Ping(pctx)
+		cancel()
+		if err == nil {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("fleet: worker %s not ready after %s: %w", w.Name(), timeout, err)
+		}
+		select {
+		case <-ctx.Done():
+			return context.Cause(ctx)
+		case <-time.After(50 * time.Millisecond):
+		}
+	}
+}

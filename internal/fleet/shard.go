@@ -1,0 +1,220 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+
+	"drapid/internal/rdd"
+	"drapid/internal/spe"
+	"drapid/internal/sps"
+)
+
+// SearchSpec is the search parameterisation every shard of one job
+// shares: the knobs of sps.Config that do not depend on the shard split.
+type SearchSpec struct {
+	// Widths, Threshold, NormWindow, ZeroDM and Plan mirror the fields of
+	// sps.Config / drapid.DetectJob.
+	Widths     []int   `json:"widths,omitempty"`
+	Threshold  float64 `json:"threshold,omitempty"`
+	NormWindow int     `json:"norm_window,omitempty"`
+	ZeroDM     bool    `json:"zero_dm,omitempty"`
+	Plan       string  `json:"plan,omitempty"`
+}
+
+// ShardSpec is one unit of fleet work: a restricted single-pulse search
+// that any worker can execute from the spec alone (the RDD-lineage
+// property resubmission relies on — reruns are pure recomputations).
+type ShardSpec struct {
+	// Job and Index locate the shard: Index is the merge position among
+	// the job's Shards shards.
+	Job    string `json:"job"`
+	Index  int    `json:"index"`
+	Shards int    `json:"shards"`
+	// Attempt counts dispatches of this shard (first dispatch is 1); the
+	// coordinator sets it.
+	Attempt int `json:"attempt,omitempty"`
+	// Filterbank is the raw SIGPROC observation this shard searches: the
+	// whole observation for DM shards, the owned slice plus overlap for
+	// time shards.
+	Filterbank []byte `json:"filterbank"`
+	// DMs is the job's FULL ascending trial grid — never a subset, so
+	// dedispersion-plan resolution is identical on every worker (see the
+	// package comment).
+	DMs    []float64  `json:"dms"`
+	Search SearchSpec `json:"search"`
+	// TrialLo and TrialHi restrict the search to [TrialLo, TrialHi) of
+	// DMs (DM sharding). Both zero searches every trial (time sharding).
+	TrialLo int `json:"trial_lo,omitempty"`
+	TrialHi int `json:"trial_hi,omitempty"`
+	// SampleOff, OwnLo and OwnHi are the time-sharding geometry: the
+	// global sample index of the slice's first sample, and the half-open
+	// global sample range this shard owns. Events outside the owned range
+	// are boundary overlap and are dropped; kept events are rebased to
+	// global sample indices and times. OwnHi == 0 means the shard owns
+	// everything it detects (DM sharding).
+	SampleOff int64 `json:"sample_off,omitempty"`
+	OwnLo     int64 `json:"own_lo,omitempty"`
+	OwnHi     int64 `json:"own_hi,omitempty"`
+}
+
+// Validate checks the shard is executable.
+func (s ShardSpec) Validate() error {
+	if len(s.Filterbank) == 0 {
+		return fmt.Errorf("fleet: shard %s/%d has no filterbank", s.Job, s.Index)
+	}
+	if len(s.DMs) == 0 {
+		return fmt.Errorf("fleet: shard %s/%d has no trial grid", s.Job, s.Index)
+	}
+	if s.TrialLo != 0 || s.TrialHi != 0 {
+		if s.TrialLo < 0 || s.TrialHi <= s.TrialLo || s.TrialHi > len(s.DMs) {
+			return fmt.Errorf("fleet: shard %s/%d trial range [%d, %d) outside grid of %d trials",
+				s.Job, s.Index, s.TrialLo, s.TrialHi, len(s.DMs))
+		}
+	}
+	if s.OwnHi < 0 || s.OwnLo < 0 || (s.OwnHi > 0 && s.OwnLo >= s.OwnHi) {
+		return fmt.Errorf("fleet: shard %s/%d bad owned range [%d, %d)", s.Job, s.Index, s.OwnLo, s.OwnHi)
+	}
+	return nil
+}
+
+// RunShard executes one shard on the given executor: the shared core of
+// the Local worker and the HTTP worker handler. Events are delivered to
+// emit time-sorted, filtered to the shard's owned range, and rebased to
+// global sample indices; the Time of a rebased event is recomputed with
+// the same float64(sample)*tsamp arithmetic the batch search uses.
+func RunShard(ctx context.Context, spec ShardSpec, exec rdd.ExecConfig, emit func([]spe.SPE) error) (sps.Stats, error) {
+	if err := spec.Validate(); err != nil {
+		return sps.Stats{}, err
+	}
+	fb, err := sps.Read(bytes.NewReader(spec.Filterbank))
+	if err != nil {
+		return sps.Stats{}, fmt.Errorf("fleet: shard %s/%d: reading filterbank: %w", spec.Job, spec.Index, err)
+	}
+	kind, err := sps.ParsePlanKind(spec.Search.Plan)
+	if err != nil {
+		return sps.Stats{}, fmt.Errorf("fleet: shard %s/%d: %w", spec.Job, spec.Index, err)
+	}
+	events, stats, err := sps.Search(ctx, fb, sps.Config{
+		DMs:        spec.DMs,
+		Widths:     spec.Search.Widths,
+		Threshold:  spec.Search.Threshold,
+		NormWindow: spec.Search.NormWindow,
+		ZeroDM:     spec.Search.ZeroDM,
+		Plan:       sps.DedispersePlan{Kind: kind},
+		TrialLo:    spec.TrialLo,
+		TrialHi:    spec.TrialHi,
+		Exec:       exec,
+	})
+	if err != nil {
+		return stats, err
+	}
+	if spec.OwnHi > 0 {
+		kept := events[:0]
+		for _, e := range events {
+			g := e.Sample + spec.SampleOff
+			if g < spec.OwnLo || g >= spec.OwnHi {
+				continue
+			}
+			e.Sample = g
+			e.Time = float64(g) * fb.TsampSec
+			kept = append(kept, e)
+		}
+		events = kept
+		stats.Events = len(events)
+	}
+	if len(events) > 0 && emit != nil {
+		if err := emit(events); err != nil {
+			return stats, err
+		}
+	}
+	return stats, nil
+}
+
+// PlanDM splits a job into n DM shards: contiguous, balanced sub-ranges
+// of the full trial grid, every shard carrying the whole observation.
+// n is clamped to the trial count; the returned slice has the effective
+// shard count.
+func PlanDM(job string, raw []byte, dms []float64, search SearchSpec, n int) []ShardSpec {
+	if n > len(dms) {
+		n = len(dms)
+	}
+	if n < 1 {
+		n = 1
+	}
+	shards := make([]ShardSpec, 0, n)
+	for i := 0; i < n; i++ {
+		lo := i * len(dms) / n
+		hi := (i + 1) * len(dms) / n
+		if hi <= lo {
+			continue
+		}
+		shards = append(shards, ShardSpec{
+			Job: job, Index: len(shards),
+			Filterbank: raw, DMs: dms, Search: search,
+			TrialLo: lo, TrialHi: hi,
+		})
+	}
+	for i := range shards {
+		shards[i].Shards = len(shards)
+	}
+	return shards
+}
+
+// PlanTime splits a job into up to n time shards: contiguous owned sample
+// ranges, each shipped as its slice of the observation padded by an
+// overlap that covers the largest dispersion sweep, the normalisation
+// window and the boxcar merge reach. n is clamped so every slice is long
+// enough to search every trial the whole observation can (a slice shorter
+// than the largest sweep would silently skip trials the single-engine run
+// searches). Time shards require an explicit NormWindow: whole-series
+// (global-moment) normalisation is inherently unsliceable.
+func PlanTime(job string, fb *sps.Filterbank, dms []float64, search SearchSpec, n int) ([]ShardSpec, error) {
+	if search.NormWindow <= 0 {
+		return nil, fmt.Errorf("fleet: time sharding requires an explicit NormWindow (global-moment normalisation cannot be sliced)")
+	}
+	maxWidth := 1
+	widths := search.Widths
+	if len(widths) == 0 {
+		widths = sps.DefaultWidths()
+	}
+	for _, w := range widths {
+		if w > maxWidth {
+			maxWidth = w
+		}
+	}
+	sweep := sps.MaxShift(fb.Header, dms[len(dms)-1])
+	overlap := sweep + search.NormWindow + 4*maxWidth
+	if maxShards := fb.NSamples / (overlap + 1); n > maxShards {
+		n = maxShards
+	}
+	if n < 1 {
+		n = 1
+	}
+	own := (fb.NSamples + n - 1) / n
+	var shards []ShardSpec
+	for i := 0; i < n; i++ {
+		ownLo := i * own
+		ownHi := min((i+1)*own, fb.NSamples)
+		if ownHi <= ownLo {
+			continue
+		}
+		sliceLo := max(ownLo-overlap, 0)
+		sliceHi := min(ownHi+overlap, fb.NSamples)
+		slice := &sps.Filterbank{Header: fb.Header, Data: fb.Data[sliceLo*fb.NChans : sliceHi*fb.NChans]}
+		slice.NSamples = sliceHi - sliceLo
+		var buf bytes.Buffer
+		if err := sps.Write(&buf, slice); err != nil {
+			return nil, fmt.Errorf("fleet: slicing shard %d: %w", i, err)
+		}
+		shards = append(shards, ShardSpec{
+			Job: job, Index: len(shards),
+			Filterbank: buf.Bytes(), DMs: dms, Search: search,
+			SampleOff: int64(sliceLo), OwnLo: int64(ownLo), OwnHi: int64(ownHi),
+		})
+	}
+	for i := range shards {
+		shards[i].Shards = len(shards)
+	}
+	return shards, nil
+}

@@ -1,0 +1,161 @@
+package fleet
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+
+	"drapid/internal/hdfs"
+)
+
+// Store is the persistence the job journal writes through: a flat
+// namespace of small named blobs (one per journaled job). Two
+// implementations ship — FSStore over the engine's simulated distributed
+// filesystem (journal survives engine restart in tests sharing one FS)
+// and DirStore over a real directory (what `drapidd -journal` uses, so a
+// daemon restart replays the jobs that were queued or running when it
+// died). Implementations must be safe for concurrent use.
+type Store interface {
+	// Put writes the blob, replacing any previous blob of that name.
+	Put(name string, data []byte) error
+	// Get reads a blob.
+	Get(name string) ([]byte, error)
+	// List returns the stored names, sorted.
+	List() ([]string, error)
+	// Delete removes a blob; deleting a missing name is an error.
+	Delete(name string) error
+}
+
+// FSStore journals into a simulated hdfs.FS under a name prefix. Blobs
+// are stored as single-line files, so they must not contain newlines
+// (journal entries are compact JSON, which never does).
+type FSStore struct {
+	mu     sync.Mutex
+	fs     *hdfs.FS
+	prefix string
+}
+
+// NewFSStore builds a journal store over fs, keeping entries under
+// prefix (e.g. "journal/").
+func NewFSStore(fs *hdfs.FS, prefix string) *FSStore {
+	return &FSStore{fs: fs, prefix: prefix}
+}
+
+// Put implements Store; hdfs refuses overwrites, so replace is
+// delete-then-write under the store lock.
+func (s *FSStore) Put(name string, data []byte) error {
+	if strings.ContainsAny(string(data), "\n") {
+		return fmt.Errorf("fleet: journal blob %q contains a newline", name)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	full := s.prefix + name
+	if _, err := s.fs.Open(full); err == nil {
+		if err := s.fs.Delete(full); err != nil {
+			return err
+		}
+	}
+	_, err := s.fs.WriteLines(full, []string{string(data)})
+	return err
+}
+
+// Get implements Store.
+func (s *FSStore) Get(name string) ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	f, err := s.fs.Open(s.prefix + name)
+	if err != nil {
+		return nil, err
+	}
+	var sb strings.Builder
+	for _, b := range f.Blocks {
+		for _, line := range b.Lines {
+			sb.WriteString(line)
+		}
+	}
+	return []byte(sb.String()), nil
+}
+
+// List implements Store.
+func (s *FSStore) List() ([]string, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var names []string
+	for _, n := range s.fs.List() {
+		if rest, ok := strings.CutPrefix(n, s.prefix); ok {
+			names = append(names, rest)
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// Delete implements Store.
+func (s *FSStore) Delete(name string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.fs.Delete(s.prefix + name)
+}
+
+// DirStore journals into a real directory, one file per blob, written
+// atomically (temp file + rename) so a crash mid-write never leaves a
+// torn entry for recovery to choke on.
+type DirStore struct {
+	dir string
+}
+
+// NewDirStore builds a journal store in dir, creating it if needed.
+func NewDirStore(dir string) (*DirStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	return &DirStore{dir: dir}, nil
+}
+
+// Put implements Store.
+func (s *DirStore) Put(name string, data []byte) error {
+	tmp, err := os.CreateTemp(s.dir, ".tmp-"+name+"-*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return os.Rename(tmp.Name(), filepath.Join(s.dir, name))
+}
+
+// Get implements Store.
+func (s *DirStore) Get(name string) ([]byte, error) {
+	return os.ReadFile(filepath.Join(s.dir, name))
+}
+
+// List implements Store.
+func (s *DirStore) List() ([]string, error) {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if e.IsDir() || strings.HasPrefix(e.Name(), ".tmp-") {
+			continue
+		}
+		names = append(names, e.Name())
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// Delete implements Store.
+func (s *DirStore) Delete(name string) error {
+	return os.Remove(filepath.Join(s.dir, name))
+}

@@ -71,13 +71,27 @@ type Observation struct {
 	Events []SPE
 }
 
-// SortByTime orders events by arrival time, breaking ties by DM.
+// SortByTime orders events by arrival time, breaking ties by DM, then by
+// matched width and SNR. The comparator is a total order on distinct
+// events, so the sorted sequence is canonical for any input permutation —
+// what lets independently-produced event streams (per-trial folds, block
+// streams, fleet shards) merge into byte-identical output. In practice
+// (Time, DM) alone already distinguishes the search's events — boxcar
+// overlap merging keeps one detection per window — the extra keys are
+// insurance for hand-built event sets.
 func SortByTime(events []SPE) {
 	sort.Slice(events, func(i, j int) bool {
-		if events[i].Time != events[j].Time {
-			return events[i].Time < events[j].Time
+		a, b := events[i], events[j]
+		if a.Time != b.Time {
+			return a.Time < b.Time
 		}
-		return events[i].DM < events[j].DM
+		if a.DM != b.DM {
+			return a.DM < b.DM
+		}
+		if a.Downfact != b.Downfact {
+			return a.Downfact < b.Downfact
+		}
+		return a.SNR < b.SNR
 	})
 }
 

@@ -34,6 +34,15 @@ type Config struct {
 	// degenerates the nominal grid into the fine grid — low observing
 	// frequencies with fine sampling against a coarse trial grid).
 	Plan DedispersePlan
+	// TrialLo and TrialHi restrict the batch search to the half-open range
+	// [TrialLo, TrialHi) of DMs — the sharding hook of the coordinator +
+	// worker fleet (internal/fleet, DESIGN.md §9). The full grid must still
+	// be supplied: dedispersion-plan resolution (the subband nominal grid
+	// and trial→nominal assignment) always derives from the whole grid, so
+	// a trial searched under any restriction produces bit-identical events
+	// to the same trial in an unrestricted run. Both zero searches every
+	// trial. The streaming driver does not support restriction.
+	TrialLo, TrialHi int
 	// BlockSamples switches the search to the bounded-memory block driver
 	// (DESIGN.md §7): the observation is consumed as gulps of this many
 	// samples with the dispersion overlap carried between them, and the
@@ -193,6 +202,11 @@ func resolveSearch(hdr Header, cfg Config) (widths []int, threshold float64, sub
 	if threshold < 0 {
 		return nil, 0, nil, "", fmt.Errorf("sps: threshold %g must be >= 0", threshold)
 	}
+	if cfg.TrialLo != 0 || cfg.TrialHi != 0 {
+		if cfg.TrialLo < 0 || cfg.TrialHi <= cfg.TrialLo || cfg.TrialHi > len(cfg.DMs) {
+			return nil, 0, nil, "", fmt.Errorf("sps: trial range [%d, %d) outside grid of %d trials", cfg.TrialLo, cfg.TrialHi, len(cfg.DMs))
+		}
+	}
 	sub, planDesc, err = resolveDedisperse(hdr, cfg.DMs, cfg.Plan)
 	if err != nil {
 		return nil, 0, nil, "", err
@@ -200,11 +214,23 @@ func resolveSearch(hdr Header, cfg Config) (widths []int, threshold float64, sub
 	return widths, threshold, sub, planDesc, nil
 }
 
-// searchBrute is the one-stage strategy: every trial DM dedisperses the
-// full band independently (Dedisperse), fanned out per trial on the pool.
+// trialRange resolves Config.TrialLo/TrialHi to the half-open index range
+// of cfg.DMs a batch search executes (the whole grid by default).
+func trialRange(cfg Config) (lo, hi int) {
+	if cfg.TrialLo == 0 && cfg.TrialHi == 0 {
+		return 0, len(cfg.DMs)
+	}
+	return cfg.TrialLo, cfg.TrialHi
+}
+
+// searchBrute is the one-stage strategy: every trial DM in the configured
+// trial range dedisperses the full band independently (Dedisperse), fanned
+// out per trial on the pool.
 func searchBrute(ctx context.Context, fb *Filterbank, cfg Config, widths []int, threshold float64,
 	perTrial [][]spe.SPE, searched []int64, errs []error) error {
-	return rdd.RunParallel(ctx, cfg.Exec, len(cfg.DMs), func(i int) {
+	lo, hi := trialRange(cfg)
+	return rdd.RunParallel(ctx, cfg.Exec, hi-lo, func(k int) {
+		i := lo + k
 		dm := cfg.DMs[i]
 		if MaxShift(fb.Header, dm) >= fb.NSamples {
 			return // sweep longer than the observation: unconstrainable trial
@@ -236,6 +262,22 @@ func searchBrute(ctx context.Context, fb *Filterbank, cfg Config, widths []int, 
 func searchSubband(ctx context.Context, fb *Filterbank, cfg Config, plan *SubbandPlan, widths []int, threshold float64,
 	perTrial [][]spe.SPE, searched []int64, errs []error) error {
 	groups := plan.nominalGroups()
+	lo, hi := trialRange(cfg)
+	if lo != 0 || hi != len(cfg.DMs) {
+		// Restricted search: drop out-of-range fine trials from every
+		// nominal group. Stage 1 (and the group→nominal geometry) is built
+		// from the full grid, so the surviving trials' series are
+		// bit-identical to an unrestricted run's.
+		filtered := make([][]int, len(groups))
+		for k, g := range groups {
+			for _, i := range g {
+				if i >= lo && i < hi {
+					filtered[k] = append(filtered[k], i)
+				}
+			}
+		}
+		groups = filtered
+	}
 	return rdd.RunParallel(ctx, cfg.Exec, len(groups), func(k int) {
 		if len(groups[k]) == 0 {
 			return

@@ -583,6 +583,9 @@ func searchBlockStream(ctx context.Context, hdr Header, open func(overlap int) (
 	if err := hdr.Validate(); err != nil {
 		return stats, err
 	}
+	if cfg.TrialLo != 0 || cfg.TrialHi != 0 {
+		return stats, fmt.Errorf("sps: the streaming search does not support a trial range (TrialLo/TrialHi); restrict batch searches only")
+	}
 	widths, threshold, sub, planDesc, err := resolveSearch(hdr, cfg)
 	if err != nil {
 		return stats, err

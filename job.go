@@ -128,6 +128,10 @@ type Progress struct {
 	// SimSeconds is the simulated cluster time; populated once the job
 	// succeeds (and only when the engine runs with the simulated clock).
 	SimSeconds float64 `json:"sim_seconds,omitempty"`
+	// Fleet is the sharding view of a fleet job (DetectJob.Shards > 1):
+	// shard completions, in-flight attempts, and worker-loss
+	// resubmissions. Nil for unsharded jobs.
+	Fleet *FleetProgress `json:"fleet,omitempty"`
 	// Error carries the failure or cancellation cause of a terminal,
 	// unsuccessful job.
 	Error string `json:"error,omitempty"`
@@ -173,6 +177,9 @@ type Result struct {
 	// Identical record for record between the batch and streaming paths.
 	TopCandidates []TopCandidate `json:"top_candidates,omitempty"`
 	Sources       []Source       `json:"sources,omitempty"`
+	// Fleet summarises the sharded execution of a fleet job (shard count,
+	// fleet width, worker-loss resubmissions); nil for unsharded jobs.
+	Fleet *FleetProgress `json:"fleet,omitempty"`
 }
 
 // Job is the handle to one submitted identification run. All methods are
@@ -194,6 +201,7 @@ type Job struct {
 	cands      []Candidate
 	maxRead    int // furthest consumer position, for backpressure
 	detections int // raw frontend events, once a detect job's search ran
+	fleet      *FleetProgress
 	sift       *jobSift
 	result     Result
 	err        error
@@ -409,6 +417,10 @@ func (j *Job) Progress() Progress {
 		Stages:         m.Stages,
 		Tasks:          m.Tasks,
 		WallSeconds:    m.WallSeconds,
+	}
+	if j.fleet != nil {
+		f := *j.fleet
+		p.Fleet = &f
 	}
 	if j.state == JobSucceeded {
 		p.SimSeconds = j.result.SimSeconds
