@@ -67,6 +67,7 @@ func main() {
 		workers     = flag.Int("workers", 0, "host worker goroutines per stage (0 = all cores)")
 		parallel    = flag.Bool("parallel", true, "execute stage tasks concurrently (false forces the serial reference path)")
 		outPath     = flag.String("out", "ml.csv", "output ML records CSV")
+		stats       = flag.Bool("stats", false, "print the per-stage pipeline breakdown (wall seconds, records, bytes)")
 		freq        = flag.Float64("freq", 1.4, "survey centre frequency, GHz (feature extraction, identify mode)")
 		band        = flag.Float64("band", 300, "survey bandwidth, MHz (feature extraction, identify mode)")
 	)
@@ -189,8 +190,51 @@ func main() {
 	}
 	log.Printf("executors=%d single pulses=%d simulated elapsed=%.3fs wall=%.3fs", *executors, res.Records, res.SimSeconds, res.WallSeconds)
 	log.Printf("stages=%d tasks=%d shuffle=%.1fMB spill=%.1fMB dropped=%d",
-		res.Stages, res.Tasks, float64(res.ShuffleBytes)/1e6, float64(res.SpillBytes)/1e6, res.RecordsDropped)
+		res.RDDStages, res.Tasks, float64(res.ShuffleBytes)/1e6, float64(res.SpillBytes)/1e6, res.RecordsDropped)
+	if *stats {
+		printStages(res.Stages)
+	}
 	log.Printf("streamed %d ML records to %s", streamed, *outPath)
+}
+
+// stageOrder is the pipeline order for the -stats table; stages the job
+// never ran are skipped, unknown stages print after the known ones.
+var stageOrder = []string{"ingest", "zerodm", "dedisperse", "normalise", "boxcar", "cluster", "classify", "sift"}
+
+// printStages renders the per-stage breakdown (Result.Stages): wall
+// seconds — which partition the job's detect time — plus record and
+// byte volumes where the stage reports them.
+func printStages(stages map[string]drapid.StageStats) {
+	if len(stages) == 0 {
+		return
+	}
+	log.Printf("per-stage breakdown:")
+	log.Printf("  %-11s %9s %6s %10s %10s %10s", "stage", "wall_s", "calls", "rec_in", "rec_out", "bytes")
+	seen := make(map[string]bool, len(stages))
+	var total float64
+	emit := func(name string) {
+		st, ok := stages[name]
+		if !ok || seen[name] {
+			return
+		}
+		seen[name] = true
+		total += st.WallSeconds
+		log.Printf("  %-11s %9.3f %6d %10d %10d %10d", name, st.WallSeconds, st.Calls, st.RecordsIn, st.RecordsOut, st.Bytes)
+	}
+	for _, name := range stageOrder {
+		emit(name)
+	}
+	rest := make([]string, 0, len(stages))
+	for name := range stages {
+		if !seen[name] {
+			rest = append(rest, name)
+		}
+	}
+	sort.Strings(rest)
+	for _, name := range rest {
+		emit(name)
+	}
+	log.Printf("  %-11s %9.3f", "total", total)
 }
 
 // printTop renders the ranked sifted view: the top candidate groups in

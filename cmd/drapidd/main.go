@@ -14,6 +14,12 @@
 //	drapidd -addr :8422 -fleet http://hostA:8423,http://hostB:8423 \
 //	        -journal /var/lib/drapidd/journal   # the coordinator
 //
+// Observability (DESIGN.md §10): GET /metrics serves the engine's
+// registry in Prometheus text format on the public address; -debug-addr
+// opens a second, private listener carrying /debug/pprof/* (never
+// mounted publicly) plus a /metrics alias. -log-format json switches the
+// structured request/job logs from prefixed text to JSON lines.
+//
 // API (see DESIGN.md §4.5):
 //
 //	POST /v1/jobs                 {"data": [...], "clusters": [...]} → {"id": ...}
@@ -24,6 +30,7 @@
 //	POST /v1/jobs/{id}/cancel     cancel
 //	POST /v1/classify             {"instances": [[...22 features...]]}
 //	GET|POST /v1/models           inspect / load the serving model
+//	GET  /metrics                 Prometheus text exposition
 //	GET  /readyz                  readiness + fleet state
 package main
 
@@ -32,8 +39,9 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -42,12 +50,11 @@ import (
 
 	"drapid"
 	"drapid/internal/fleet"
+	"drapid/internal/obs"
 	"drapid/internal/rdd"
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("drapidd: ")
 	var (
 		addr       = flag.String("addr", ":8422", "listen address")
 		workers    = flag.Int("workers", 0, "host worker goroutines shared by all jobs (0 = all cores)")
@@ -60,12 +67,24 @@ func main() {
 		fleetLocal = flag.Int("fleet-local", 0, "in-process fleet workers (single-host sharding; mixes with -fleet)")
 		journalDir = flag.String("journal", "", "directory to journal queued/running jobs in; replayed on restart")
 		drainWait  = flag.Duration("drain", 30*time.Second, "graceful-shutdown bound: how long SIGTERM waits for in-flight jobs and streams")
+		debugAddr  = flag.String("debug-addr", "", "private listen address for /debug/pprof and /metrics (empty = no debug listener)")
+		logFormat  = flag.String("log-format", "text", "log format: text (prefixed key=value lines) or json")
 	)
 	flag.Parse()
 
+	logger, err := newLogger(*logFormat)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "drapidd:", err)
+		os.Exit(2)
+	}
+	fatal := func(msg string, args ...any) {
+		logger.Error(msg, args...)
+		os.Exit(1)
+	}
+
 	if *workerMode {
-		if err := runWorker(*addr, *workers, *drainWait); err != nil {
-			log.Fatal(err)
+		if err := runWorker(*addr, *debugAddr, *workers, *drainWait, logger); err != nil {
+			fatal("worker failed", "err", err)
 		}
 		return
 	}
@@ -75,6 +94,7 @@ func main() {
 		drapid.WithExecutors(*executors),
 		drapid.WithSimClock(*simClock),
 		drapid.WithPartitionsPerCore(*partsCore),
+		drapid.WithLogger(logger),
 	}
 	if *fleetLocal > 0 {
 		opts = append(opts, drapid.WithFleetWorkers(*fleetLocal))
@@ -87,17 +107,17 @@ func main() {
 	}
 	engine, err := drapid.New(opts...)
 	if err != nil {
-		log.Fatal(err)
+		fatal("starting engine", "err", err)
 	}
 	defer engine.Close()
 
 	if *journalDir != "" {
 		recovered, err := engine.Recover(context.Background())
 		if err != nil {
-			log.Fatalf("replaying journal: %v", err)
+			fatal("replaying journal", "err", err)
 		}
 		for _, j := range recovered {
-			log.Printf("recovered job %s from journal", j.ID())
+			logger.Info("recovered job from journal", "job", j.ID())
 		}
 	}
 
@@ -105,15 +125,21 @@ func main() {
 	if *modelPath != "" {
 		model, err = drapid.LoadClassifierFile(*modelPath)
 		if err != nil {
-			log.Fatal(err)
+			fatal("loading model", "err", err)
 		}
-		log.Printf("serving %s model (%d features, classes %v)",
-			model.Learner(), len(model.Features()), model.Classes())
+		logger.Info("serving model",
+			"learner", model.Learner(), "features", len(model.Features()), "classes", fmt.Sprint(model.Classes()))
 	}
 
+	if *debugAddr != "" {
+		go serveDebug(*debugAddr, engine.MetricsRegistry(), logger)
+	}
+
+	sv := newServer(engine, model)
+	sv.log = logger
 	srv := &http.Server{
 		Addr:    *addr,
-		Handler: newServer(engine, model).handler(),
+		Handler: sv.handler(),
 		// No WriteTimeout: the candidate stream is long-lived by design.
 		ReadHeaderTimeout: 10 * time.Second,
 		ReadTimeout:       5 * time.Minute,
@@ -126,11 +152,11 @@ func main() {
 	defer stop()
 	go func() {
 		<-ctx.Done()
-		log.Printf("shutdown: draining in-flight jobs (bound %s)", *drainWait)
+		logger.Info("shutdown: draining in-flight jobs", "bound", drainWait.String())
 		drainCtx, cancel := context.WithTimeout(context.Background(), *drainWait)
 		defer cancel()
 		if err := engine.Drain(drainCtx); err != nil {
-			log.Printf("shutdown: drain incomplete: %v", err)
+			logger.Warn("shutdown: drain incomplete", "err", err)
 		}
 		shutdownCtx, cancel2 := context.WithTimeout(context.Background(), *drainWait)
 		defer cancel2()
@@ -138,20 +164,67 @@ func main() {
 	}()
 
 	if fs := engine.FleetStatus(); fs.Enabled {
-		log.Printf("fleet: %d workers configured", fs.WorkersKnown)
+		logger.Info("fleet configured", "workers", fs.WorkersKnown)
 	}
-	log.Printf("listening on %s (workers=%d executors=%d)", *addr, engine.Workers(), *executors)
+	logger.Info("listening", "addr", *addr, "workers", engine.Workers(), "executors", *executors)
 	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
-		log.Fatal(err)
+		fatal("server failed", "err", err)
+	}
+}
+
+// newLogger builds the process logger: JSON lines, or key=value text
+// with the traditional "drapidd: " line prefix.
+func newLogger(format string) (*slog.Logger, error) {
+	switch format {
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, nil)), nil
+	case "text":
+		return slog.New(slog.NewTextHandler(&prefixWriter{w: os.Stderr, prefix: "drapidd: "}, nil)), nil
+	}
+	return nil, fmt.Errorf("unknown -log-format %q (want text or json)", format)
+}
+
+// prefixWriter prepends a fixed prefix to every write. slog handlers
+// emit exactly one Write per record, so per-write prefixing is per-line
+// prefixing — the old log.SetPrefix behaviour under structured logging.
+type prefixWriter struct {
+	w      *os.File
+	prefix string
+}
+
+func (p *prefixWriter) Write(b []byte) (int, error) {
+	if _, err := p.w.WriteString(p.prefix); err != nil {
+		return 0, err
+	}
+	return p.w.Write(b)
+}
+
+// serveDebug runs the private debug listener: /debug/pprof/* (this file
+// is the only place in the tree that touches net/http/pprof, keeping
+// profiling off the public mux by construction — CI greps for exactly
+// that) and a /metrics alias so one private port carries both.
+func serveDebug(addr string, reg *obs.Registry, logger *slog.Logger) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("GET /metrics", obs.Handler(reg))
+	logger.Info("debug listener", "addr", addr)
+	srv := &http.Server{Addr: addr, Handler: mux, ReadHeaderTimeout: 10 * time.Second}
+	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		logger.Error("debug listener failed", "err", err)
 	}
 }
 
 // runWorker serves the fleet shard protocol (GET /v1/shard/ping, POST
-// /v1/shard) plus /healthz: the whole of a worker daemon. Workers are
-// stateless — every shard arrives self-contained — so they need no
-// journal and no drain: SIGTERM lets in-flight shard requests finish
-// within the drain bound and the coordinator resubmits anything cut off.
-func runWorker(addr string, workers int, drainWait time.Duration) error {
+// /v1/shard) plus /healthz and /metrics: the whole of a worker daemon.
+// Workers are stateless — every shard arrives self-contained — so they
+// need no journal and no drain: SIGTERM lets in-flight shard requests
+// finish within the drain bound and the coordinator resubmits anything
+// cut off.
+func runWorker(addr, debugAddr string, workers int, drainWait time.Duration, logger *slog.Logger) error {
 	exec := rdd.ExecConfig{Workers: workers}
 	exec.Limiter = rdd.NewLimiter(exec.NumWorkers())
 	mux := http.NewServeMux()
@@ -161,9 +234,15 @@ func runWorker(addr string, workers int, drainWait time.Duration) error {
 		w.Header().Set("Content-Type", "application/json")
 		fmt.Fprintln(w, `{"ok":true}`)
 	})
+	// Workers record shard service metrics into the process-global
+	// registry (fleet.Handler); serve it so each worker is scrapeable.
+	mux.Handle("GET /metrics", obs.Handler(obs.Default))
+	if debugAddr != "" {
+		go serveDebug(debugAddr, obs.Default, logger)
+	}
 	srv := &http.Server{
 		Addr:              addr,
-		Handler:           mux,
+		Handler:           obs.Instrument(mux, obs.Default, logger, workerRoute),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -174,9 +253,18 @@ func runWorker(addr string, workers int, drainWait time.Duration) error {
 		defer cancel()
 		srv.Shutdown(shutdownCtx)
 	}()
-	log.Printf("worker listening on %s (workers=%d)", addr, exec.NumWorkers())
+	logger.Info("worker listening", "addr", addr, "workers", exec.NumWorkers())
 	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		return err
 	}
 	return nil
+}
+
+// workerRoute normalises worker request paths into a bounded label set.
+func workerRoute(r *http.Request) string {
+	switch r.URL.Path {
+	case "/v1/shard", "/v1/shard/ping", "/healthz", "/metrics":
+		return r.URL.Path
+	}
+	return "other"
 }

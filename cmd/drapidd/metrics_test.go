@@ -1,0 +1,113 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"drapid"
+)
+
+// TestMetricsEndpoint boots drapidd over an isolated registry, runs a
+// tiny detect job, and scrapes GET /metrics: the per-stage job
+// histograms, the lifecycle counters, and the instrumented HTTP series
+// must all appear in the exposition — the same series the CI smoke
+// greps for on a live daemon.
+func TestMetricsEndpoint(t *testing.T) {
+	reg := drapid.NewMetricsRegistry()
+	engine, err := drapid.New(drapid.WithWorkers(4), drapid.WithExecutors(3), drapid.WithMetrics(reg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer engine.Close()
+	ts := httptest.NewServer(newServer(engine, nil).handler())
+	defer ts.Close()
+
+	var sub struct {
+		ID         string `json:"id"`
+		Candidates string `json:"candidates"`
+	}
+	req := map[string]any{
+		"synth": drapid.SynthSpec{
+			NChans: 64, NSamples: 8192, TsampSec: 256e-6,
+			Seed: 11,
+			Pulses: []drapid.InjectedPulse{
+				{TimeSec: 0.5, DM: 40, WidthMs: 3, SNR: 20},
+			},
+		},
+		"dm_max":    120.0,
+		"dm_step":   1.0,
+		"threshold": 6.5,
+	}
+	if resp := postJSON(t, ts.URL+"/v1/detect", req, &sub); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("detect submit: status %d", resp.StatusCode)
+	}
+	stream, err := http.Get(ts.URL + sub.Candidates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(stream.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+	}
+	stream.Body.Close()
+
+	// The per-stage breakdown rides the progress document over the API.
+	var prog struct {
+		Progress drapid.Progress `json:"progress"`
+	}
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + sub.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&prog); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if prog.Progress.State != drapid.JobSucceeded {
+		t.Fatalf("detect job state %v", prog.Progress.State)
+	}
+	if len(prog.Progress.Stages) == 0 {
+		t.Error("progress document carries no per-stage breakdown")
+	}
+
+	// A path outside the route table must collapse to route="other"
+	// rather than minting a per-path series.
+	if resp, err := http.Get(ts.URL + "/no/such/path"); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+	}
+
+	resp, err = http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics: status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Errorf("metrics content type %q", ct)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scrape := string(raw)
+	for _, want := range []string{
+		`drapid_job_stage_seconds_count{stage="dedisperse"} 1`,
+		`drapid_jobs_finished_total{kind="detect",state="succeeded"} 1`,
+		`drapid_http_requests_total{code="202",method="POST",route="/v1/detect"} 1`,
+		`drapid_http_requests_total{code="404",method="GET",route="other"} 1`,
+		`drapid_http_request_seconds_count{method="GET",route="/v1/jobs/{id}/candidates"} 1`,
+	} {
+		if !strings.Contains(scrape, want) {
+			t.Errorf("scrape missing %q", want)
+		}
+	}
+}

@@ -5,13 +5,16 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"net/url"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
 	"drapid"
+	"drapid/internal/obs"
 )
 
 // server routes the v1 HTTP API onto one engine and at most one loaded
@@ -25,6 +28,9 @@ type server struct {
 	// the body size, which is what lets it accept observations far larger
 	// than any buffered JSON document could be.
 	jsonCap int64
+	// log receives one structured line per request (main sets it; nil —
+	// the tests' default — logs nothing).
+	log *slog.Logger
 
 	mu    sync.RWMutex
 	model *drapid.Classifier
@@ -48,12 +54,20 @@ func newServer(engine *drapid.Engine, model *drapid.Classifier) *server {
 //	POST /v1/classify             classify instances against the model
 //	GET  /v1/models               loaded-model metadata
 //	POST /v1/models               load a model document (drapid-model/v1)
+//	GET  /metrics                 Prometheus text exposition of the engine registry
 //	GET  /healthz                 liveness
 //	GET  /readyz                  readiness + fleet state (503 while draining)
+//
+// The whole table is wrapped in obs.Instrument: request counters and
+// latency histograms land in the engine's registry (served right back at
+// /metrics), and each request logs one structured line. Note /debug/pprof
+// is deliberately absent — profiling lives on the -debug-addr listener
+// only (main.go).
 func (s *server) handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.HandleFunc("GET /readyz", s.handleReady)
+	mux.Handle("GET /metrics", obs.Handler(s.engine.MetricsRegistry()))
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	mux.HandleFunc("POST /v1/detect", s.handleDetect)
 	mux.HandleFunc("POST /v1/detect/stream", s.handleDetectStream)
@@ -66,7 +80,31 @@ func (s *server) handler() http.Handler {
 	mux.HandleFunc("POST /v1/classify", s.handleClassify)
 	mux.HandleFunc("GET /v1/models", s.handleModelInfo)
 	mux.HandleFunc("POST /v1/models", s.handleLoadModel)
-	return mux
+	return obs.Instrument(mux, s.engine.MetricsRegistry(), s.log, routeLabel)
+}
+
+// routeLabel normalises request paths into the bounded label set the
+// metrics use: job IDs collapse to {id}, and anything outside the route
+// table (scanners, typos) collapses to "other" so a hostile client
+// cannot mint unbounded series.
+func routeLabel(r *http.Request) string {
+	p := r.URL.Path
+	if rest, ok := strings.CutPrefix(p, "/v1/jobs/"); ok && rest != "" {
+		if i := strings.IndexByte(rest, '/'); i >= 0 {
+			switch rest[i:] {
+			case "/candidates", "/top", "/cancel":
+				return "/v1/jobs/{id}" + rest[i:]
+			}
+			return "other"
+		}
+		return "/v1/jobs/{id}"
+	}
+	switch p {
+	case "/healthz", "/readyz", "/metrics", "/v1/jobs", "/v1/detect",
+		"/v1/detect/stream", "/v1/classify", "/v1/models":
+		return p
+	}
+	return "other"
 }
 
 // writeJSON renders one JSON document response.

@@ -281,7 +281,7 @@ func (e *Engine) submitDetect(ctx context.Context, spec DetectJob, forceID strin
 	if err != nil {
 		return nil, err
 	}
-	j := e.newJobHandle(ctx, id, spec.ResultBuffer)
+	j := e.newJobHandle(ctx, id, "detect", spec.ResultBuffer)
 	if !spec.Sift.Disable {
 		top := spec.Sift.Top
 		if top == 0 {
@@ -335,6 +335,7 @@ func (e *Engine) detectWork(j *Job, spec DetectJob, grid *dmgrid.Grid, kind sps.
 	}
 	return func() (Result, error) {
 		start := time.Now()
+		ingest := j.trace.Span(sps.StageIngest)
 		var fb *sps.Filterbank
 		var err error
 		if spec.Synth != nil {
@@ -343,8 +344,12 @@ func (e *Engine) detectWork(j *Job, spec DetectJob, grid *dmgrid.Grid, kind sps.
 			fb, err = sps.Read(bytes.NewReader(spec.Filterbank))
 		}
 		if err != nil {
+			ingest.End()
 			return Result{}, fmt.Errorf("drapid: reading filterbank: %w", err)
 		}
+		ingest.SetRecords(0, int64(fb.NSamples))
+		ingest.AddBytes(int64(len(fb.Data)) * 4)
+		ingest.End()
 		events, searchStats, err := sps.Search(j.ctx, fb, sps.Config{
 			DMs:        grid.Trials(),
 			Widths:     spec.Widths,
@@ -359,20 +364,30 @@ func (e *Engine) detectWork(j *Job, spec DetectJob, grid *dmgrid.Grid, kind sps.
 		}
 		j.setDetections(len(events))
 		detectSecs := time.Since(start).Seconds()
+		// Batch DetectSeconds stops at the search, so the detect-phase
+		// stages (ingest, zerodm and the apportioned kernels) partition it
+		// here, before any downstream span can join the trace.
+		applyDetectStages(j.trace, searchStats.StageSeconds, detectSecs, detectStageKernels)
 
 		key, err := observationKey(spec.Key, fb.Header)
 		if err != nil {
 			return Result{}, err
 		}
+		cluster := j.trace.Span("cluster")
 		obs := []spe.Observation{{Key: key, Events: events}}
 		prep := pipeline.Prepare(obs, grid, dbscan.DefaultParams())
-		if j.sift != nil {
-			j.addSiftGroups(siftGroups(obs, prep, 0, j.sift.params))
-		}
+		cluster.SetRecords(int64(len(events)), int64(prep.NumClusters()))
 		dataFile := "jobs/" + j.id + "/spe.csv"
 		clusterFile := "jobs/" + j.id + "/clusters.csv"
-		if err := prep.Upload(e.fs, dataFile, clusterFile); err != nil {
+		err = prep.Upload(e.fs, dataFile, clusterFile)
+		cluster.End()
+		if err != nil {
 			return Result{}, fmt.Errorf("drapid: uploading detections: %w", err)
+		}
+		if j.sift != nil {
+			sift := j.trace.Span("sift")
+			j.addSiftGroups(siftGroups(obs, prep, 0, j.sift.params))
+			sift.End()
 		}
 		partsPerCore := e.partsPerCore
 		if spec.PartitionsPerCore > 0 {
@@ -398,7 +413,10 @@ func (e *Engine) detectWork(j *Job, spec DetectJob, grid *dmgrid.Grid, kind sps.
 		res.DetectSeconds = detectSecs
 		res.Plan = searchStats.Plan
 		if j.sift != nil {
+			sift := j.trace.Span("sift")
 			view := j.Top(0)
+			sift.SetRecords(0, int64(len(view.Top)))
+			sift.End()
 			res.TopCandidates, res.Sources = view.Top, view.Sources
 		}
 		return res, nil
@@ -497,17 +515,23 @@ func (s *segmenter) flush(n int) error {
 	}
 	s.seg++
 	dir := fmt.Sprintf("jobs/%s/seg-%d", s.j.id, s.seg)
+	cluster := s.j.trace.Span("cluster")
 	obs := []spe.Observation{{Key: s.key, Events: s.pending[:n]}}
 	prep := pipeline.Prepare(obs, s.grid, dbscan.DefaultParams())
+	cluster.SetRecords(int64(n), int64(prep.NumClusters()))
 	base := s.clusters
 	s.clusters += prep.NumClusters()
-	if s.j.sift != nil {
-		s.j.addSiftGroups(siftGroups(obs, prep, base, s.j.sift.params))
-	}
 	dataFile := dir + "/spe.csv"
 	clusterFile := dir + "/clusters.csv"
-	if err := prep.Upload(s.e.fs, dataFile, clusterFile); err != nil {
+	err := prep.Upload(s.e.fs, dataFile, clusterFile)
+	cluster.End()
+	if err != nil {
 		return fmt.Errorf("drapid: uploading segment %d: %w", s.seg, err)
+	}
+	if s.j.sift != nil {
+		sift := s.j.trace.Span("sift")
+		s.j.addSiftGroups(siftGroups(obs, prep, base, s.j.sift.params))
+		sift.End()
 	}
 	// Streamed candidates carry batch-identical cluster ids: shift the
 	// segment-local ids the pipeline assigned by the earlier segments'
@@ -540,7 +564,7 @@ func (s *segmenter) flush(n int) error {
 	s.total.RecordsDropped += res.RecordsDropped
 	s.total.SimSeconds += res.SimSeconds
 	s.total.WallSeconds += res.WallSeconds
-	s.total.Stages, s.total.Tasks = res.Stages, res.Tasks
+	s.total.RDDStages, s.total.Tasks = res.RDDStages, res.Tasks
 	s.total.ShuffleBytes, s.total.SpillBytes = res.ShuffleBytes, res.SpillBytes
 	return nil
 }
@@ -579,6 +603,7 @@ func (e *Engine) detectWorkStream(j *Job, spec DetectJob, grid *dmgrid.Grid, kin
 				return sps.SearchBlocks(j.ctx, hdr, rd, cfg, emit)
 			}
 		} else {
+			ingest := j.trace.Span(sps.StageIngest)
 			var fb *sps.Filterbank
 			var err error
 			if spec.Synth != nil {
@@ -587,8 +612,12 @@ func (e *Engine) detectWorkStream(j *Job, spec DetectJob, grid *dmgrid.Grid, kin
 				fb, err = sps.Read(bytes.NewReader(spec.Filterbank))
 			}
 			if err != nil {
+				ingest.End()
 				return Result{}, fmt.Errorf("drapid: reading filterbank: %w", err)
 			}
+			ingest.SetRecords(0, int64(fb.NSamples))
+			ingest.AddBytes(int64(len(fb.Data)) * 4)
+			ingest.End()
 			hdr = fb.Header
 			run = func(emit func([]spe.SPE) error) (sps.Stats, error) {
 				return sps.SearchFilterbank(j.ctx, fb, cfg, emit)
@@ -621,13 +650,20 @@ func (e *Engine) detectWorkStream(j *Job, spec DetectJob, grid *dmgrid.Grid, kin
 		}
 		res := seg.total
 		res.Detections = stats.Events
-		res.DetectSeconds = time.Since(start).Seconds()
 		res.Plan = stats.Plan
 		res.OutDir = "jobs/" + j.id + "/ml"
 		if j.sift != nil {
+			sift := j.trace.Span("sift")
 			view := j.Top(0)
+			sift.SetRecords(0, int64(len(view.Top)))
+			sift.End()
 			res.TopCandidates, res.Sources = view.Top, view.Sources
 		}
+		// Streaming DetectSeconds covers the whole interleaved loop, so it
+		// is measured after the final sift view and the fold below makes
+		// ALL stage walls partition it (the e2e contract in Result.Stages).
+		res.DetectSeconds = time.Since(start).Seconds()
+		applyDetectStages(j.trace, stats.StageSeconds, res.DetectSeconds, detectStageKernels)
 		return res, nil
 	}
 }

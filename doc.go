@@ -35,7 +35,7 @@
 //
 // # Package map
 //
-// The implementation lives under internal/ — nineteen packages, each of
+// The implementation lives under internal/ — twenty packages, each of
 // whose godoc names the paper section or research question it implements
 // (DESIGN.md §1.1 is the authoritative inventory):
 //
@@ -66,6 +66,13 @@
 //     protocol drapidd -worker serves, and the job journal behind
 //     Engine.Recover. WithFleetWorkers / WithRemoteWorkers enable it;
 //     DetectJob.Shards splits the job.
+//
+//   - Observability (DESIGN.md §10): obs — the metrics registry
+//     (counters, gauges, histograms; Prometheus text exposition at
+//     drapidd's GET /metrics), the per-job stage tracing behind
+//     Result.Stages/Progress.Stages, and the HTTP instrumentation
+//     middleware. WithMetrics / WithLogger wire an engine to a
+//     registry and a structured logger.
 //
 //   - Classification: ml and its subpackages (datasets, the six Table 5
 //     learners, ALM labeling, SMOTE, feature selection, evaluation,

@@ -3,6 +3,7 @@ package drapid
 import (
 	"context"
 	"fmt"
+	"log/slog"
 	"strings"
 	"sync"
 
@@ -10,6 +11,7 @@ import (
 	"drapid/internal/features"
 	"drapid/internal/fleet"
 	"drapid/internal/hdfs"
+	"drapid/internal/obs"
 	"drapid/internal/pipeline"
 	"drapid/internal/rdd"
 	"drapid/internal/yarn"
@@ -30,6 +32,8 @@ type config struct {
 	fleetCfg     fleet.Config
 	journalFS    bool
 	journalDir   string
+	metrics      *obs.Registry
+	logger       *slog.Logger
 }
 
 // Option configures an Engine under construction (drapid.New).
@@ -122,6 +126,8 @@ type Engine struct {
 	partsPerCore int
 	coord        *fleet.Coordinator // nil without WithFleetWorkers/WithRemoteWorkers
 	journal      fleet.Store        // nil without WithJournal/WithJournalDir
+	metrics      *obs.Registry
+	log          *slog.Logger
 
 	mu       sync.Mutex
 	jobs     map[string]*Job
@@ -161,6 +167,15 @@ func New(opts ...Option) (*Engine, error) {
 	}
 	exec := rdd.ExecConfig{Workers: cfg.workers, SimClock: cfg.simClock}
 	exec.Limiter = rdd.NewLimiter(exec.NumWorkers())
+	metrics := cfg.metrics
+	if metrics == nil {
+		metrics = obs.Default
+	}
+	logger := cfg.logger
+	if logger == nil {
+		logger = slog.New(slog.DiscardHandler) // a library is silent unless asked
+	}
+	cfg.fleetCfg.Metrics = metrics // coordinator gauges land in the engine's registry
 	var journal fleet.Store
 	switch {
 	case cfg.journalDir != "":
@@ -179,6 +194,8 @@ func New(opts ...Option) (*Engine, error) {
 		partsPerCore: cfg.partsPerCore,
 		coord:        newFleet(cfg, exec),
 		journal:      journal,
+		metrics:      metrics,
+		log:          logger,
 		jobs:         make(map[string]*Job),
 	}, nil
 }
@@ -271,7 +288,7 @@ func (e *Engine) Submit(ctx context.Context, spec IdentifyJob) (*Job, error) {
 		partsPerCore = spec.PartitionsPerCore
 	}
 
-	j := e.newJobHandle(ctx, id, spec.ResultBuffer)
+	j := e.newJobHandle(ctx, id, "identify", spec.ResultBuffer)
 	cfg := pipeline.JobConfig{
 		DataFile:          dataFile,
 		ClusterFile:       clusterFile,
@@ -305,13 +322,19 @@ func (e *Engine) allocateID() (string, error) {
 // newJobHandle builds a job handle bound to its own driver context
 // (metrics, simulated clock, fresh simulated executors) over the shared
 // filesystem; the shared Limiter in e.exec is what makes concurrent jobs
-// share the host pool.
-func (e *Engine) newJobHandle(ctx context.Context, id string, buffer int) *Job {
+// share the host pool. The per-job obs.Trace rides the job context so
+// every layer below — detect driver, sps kernels, fleet shards —
+// records into the same stage breakdown (DESIGN.md §10).
+func (e *Engine) newJobHandle(ctx context.Context, id, kind string, buffer int) *Job {
 	jctx, cancel := context.WithCancelCause(ctx)
+	trace := obs.NewTrace()
+	jctx = obs.WithTrace(jctx, trace)
 	rctx := rdd.NewContext(e.fs, rdd.FromContainers(e.grants), e.cost)
 	rctx.Exec = e.exec
 	rctx.SetContext(jctx)
-	return newJob(id, jctx, cancel, rctx, buffer)
+	j := newJob(id, jctx, cancel, rctx, buffer)
+	j.kind, j.trace, j.metrics, j.log = kind, trace, e.metrics, e.log
+	return j
 }
 
 // register installs the job in the engine's table, unwinding it (and any
@@ -328,6 +351,9 @@ func (e *Engine) register(j *Job) error {
 	e.jobs[j.id] = j
 	e.order = append(e.order, j.id)
 	e.mu.Unlock()
+	e.metrics.Counter("drapid_jobs_submitted_total", "Jobs accepted, by kind.",
+		obs.L("kind", j.kind)).Inc()
+	e.log.Info("job submitted", "job", j.id, "kind", j.kind)
 	return nil
 }
 

@@ -364,18 +364,24 @@ func (e *Engine) claimID(id string) error {
 func (e *Engine) detectWorkFleet(j *Job, spec DetectJob, grid *dmgrid.Grid) func() (Result, error) {
 	return func() (Result, error) {
 		start := time.Now()
+		ingest := j.trace.Span(sps.StageIngest)
 		raw := spec.Filterbank
 		if spec.Synth != nil {
 			var err error
 			raw, err = GenerateFilterbank(*spec.Synth)
 			if err != nil {
+				ingest.End()
 				return Result{}, fmt.Errorf("drapid: generating observation: %w", err)
 			}
 		}
 		fb, err := sps.Read(bytes.NewReader(raw))
 		if err != nil {
+			ingest.End()
 			return Result{}, fmt.Errorf("drapid: reading filterbank: %w", err)
 		}
+		ingest.SetRecords(0, int64(fb.NSamples))
+		ingest.AddBytes(int64(len(raw)))
+		ingest.End()
 		key, err := observationKey(spec.Key, fb.Header)
 		if err != nil {
 			return Result{}, err
@@ -428,7 +434,6 @@ func (e *Engine) detectWorkFleet(j *Job, spec DetectJob, grid *dmgrid.Grid) func
 		}
 		res := seg.total
 		res.Detections = stats.Events
-		res.DetectSeconds = time.Since(start).Seconds()
 		res.Plan = stats.Plan
 		res.OutDir = "jobs/" + j.id + "/ml"
 		res.Fleet = &FleetProgress{
@@ -438,9 +443,19 @@ func (e *Engine) detectWorkFleet(j *Job, spec DetectJob, grid *dmgrid.Grid) func
 			Resubmitted: status.Resubmitted,
 		}
 		if j.sift != nil {
+			sift := j.trace.Span("sift")
 			view := j.Top(0)
+			sift.SetRecords(0, int64(len(view.Top)))
+			sift.End()
 			res.TopCandidates, res.Sources = view.Top, view.Sources
 		}
+		// Fleet DetectSeconds covers the whole coordinator loop. From the
+		// coordinator's clock every shard-side stage — zerodm included —
+		// is concurrent busy time, so zerodm joins the apportioned kernels
+		// and ALL stage walls partition the elapsed detect time.
+		res.DetectSeconds = time.Since(start).Seconds()
+		applyDetectStages(j.trace, stats.StageSeconds, res.DetectSeconds,
+			append([]string{sps.StageZeroDM}, detectStageKernels...))
 		return res, nil
 	}
 }

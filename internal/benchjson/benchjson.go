@@ -39,6 +39,11 @@ type Entry struct {
 	// EventsPerS is the record-processing rate for benchmarks whose natural
 	// unit is events rather than bytes (the sift series).
 	EventsPerS float64 `json:"events_per_s,omitempty"`
+	// StageMs is the per-pipeline-stage time of one operation in
+	// milliseconds, keyed like "stage_dedisperse_ms" (the search
+	// frontend's Stats.StageSeconds, scaled) — how the search benchmarks
+	// expose where the time went, not just how much there was.
+	StageMs map[string]float64 `json:"stage_ms,omitempty"`
 }
 
 // Document is the on-disk shape.

@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"drapid/internal/obs"
 	"drapid/internal/spe"
 	"drapid/internal/sps"
 )
@@ -24,6 +25,11 @@ type Config struct {
 	// (default 4): a shard failing that many times — worker deaths and
 	// shard errors both count — fails its job.
 	MaxAttempts int
+	// Metrics receives the coordinator's fleet gauges and counters; nil
+	// records nothing. The gauges are scrape-time callbacks over the
+	// exact fields Status() reports, so /metrics and /readyz can never
+	// disagree.
+	Metrics *obs.Registry
 }
 
 func (c Config) withDefaults() Config {
@@ -62,11 +68,12 @@ type JobStatus struct {
 
 // workerState is the coordinator's view of one worker.
 type workerState struct {
-	w      Worker
-	alive  bool
-	busy   bool
-	fails  int
-	cancel context.CancelFunc // cancels the in-flight shard, if any
+	w        Worker
+	alive    bool
+	busy     bool
+	fails    int
+	lastPing time.Time          // last successful heartbeat (construction time until one lands)
+	cancel   context.CancelFunc // cancels the in-flight shard, if any
 }
 
 // Coordinator owns a fleet of workers and runs sharded jobs over them:
@@ -76,7 +83,8 @@ type workerState struct {
 // runs one shard at a time, whichever job it belongs to). All methods are
 // safe for concurrent use.
 type Coordinator struct {
-	cfg Config
+	cfg     Config
+	metrics *obs.Registry // from cfg.Metrics; nil-safe
 
 	mu          sync.Mutex
 	cond        *sync.Cond
@@ -93,14 +101,72 @@ type Coordinator struct {
 // NewCoordinator builds a coordinator over the given workers and starts
 // its heartbeat monitor. Close releases it.
 func NewCoordinator(cfg Config, workers ...Worker) *Coordinator {
-	c := &Coordinator{cfg: cfg.withDefaults(), stop: make(chan struct{})}
+	c := &Coordinator{cfg: cfg.withDefaults(), metrics: cfg.Metrics, stop: make(chan struct{})}
 	c.cond = sync.NewCond(&c.mu)
+	now := time.Now()
 	for _, w := range workers {
-		c.workers = append(c.workers, &workerState{w: w, alive: true})
+		c.workers = append(c.workers, &workerState{w: w, alive: true, lastPing: now})
 	}
+	c.registerGauges()
 	c.wg.Add(1)
 	go c.monitor()
 	return c
+}
+
+// registerGauges exports the fleet state as scrape-time callbacks. Every
+// callback reads the same mutex-guarded fields Status() snapshots —
+// there is one source of truth, observed from two doors.
+func (c *Coordinator) registerGauges() {
+	if c.metrics == nil {
+		return
+	}
+	c.metrics.GaugeFunc("drapid_fleet_workers_known", "Workers configured in the fleet.",
+		func() float64 { return float64(c.Status().WorkersKnown) })
+	c.metrics.GaugeFunc("drapid_fleet_workers_alive", "Workers currently passing heartbeats.",
+		func() float64 { return float64(c.Status().WorkersAlive) })
+	c.metrics.GaugeFunc("drapid_fleet_shards_queued", "Shards waiting for a worker, over all running jobs.",
+		func() float64 { return float64(c.Status().ShardsQueued) })
+	c.metrics.GaugeFunc("drapid_fleet_shards_running", "Shard attempts in flight, over all running jobs.",
+		func() float64 { return float64(c.Status().ShardsRunning) })
+	// Called from NewCoordinator before the coordinator escapes, so
+	// c.workers is still private — and c.mu must NOT be held here: the
+	// callbacks take it at scrape time, and registration takes registry
+	// locks, so holding c.mu across GaugeFunc would invert the lock order
+	// against a concurrent scrape.
+	for _, ws := range c.workers {
+		ws := ws
+		name := obs.L("worker", ws.w.Name())
+		c.metrics.GaugeFunc("drapid_fleet_worker_alive", "1 while the worker passes heartbeats, 0 while marked dead.",
+			func() float64 {
+				c.mu.Lock()
+				defer c.mu.Unlock()
+				if ws.alive {
+					return 1
+				}
+				return 0
+			}, name)
+		c.metrics.GaugeFunc("drapid_fleet_worker_inflight", "Shard attempts in flight on the worker (0 or 1).",
+			func() float64 {
+				c.mu.Lock()
+				defer c.mu.Unlock()
+				if ws.busy {
+					return 1
+				}
+				return 0
+			}, name)
+		c.metrics.GaugeFunc("drapid_fleet_worker_ping_failures", "Consecutive heartbeat failures (FailLimit marks the worker dead).",
+			func() float64 {
+				c.mu.Lock()
+				defer c.mu.Unlock()
+				return float64(ws.fails)
+			}, name)
+		c.metrics.GaugeFunc("drapid_fleet_worker_heartbeat_age_seconds", "Seconds since the worker's last successful heartbeat.",
+			func() float64 {
+				c.mu.Lock()
+				defer c.mu.Unlock()
+				return time.Since(ws.lastPing).Seconds()
+			}, name)
+	}
 }
 
 // Close stops the heartbeat monitor and wakes any waiters with an error.
@@ -173,6 +239,7 @@ func (c *Coordinator) monitor() {
 				defer c.mu.Unlock()
 				if err == nil {
 					ws.fails = 0
+					ws.lastPing = time.Now()
 					if !ws.alive {
 						ws.alive = true
 						c.cond.Broadcast() // revived: wake acquirers
@@ -358,6 +425,15 @@ dispatch:
 		if stats.Plan == "" {
 			stats.Plan = j.stats[i].Plan
 		}
+		// Stage busy-seconds fold additively across shards: the merged map
+		// is the job's total worker-side time per stage, which the engine
+		// apportions onto the coordinator's measured wall.
+		for name, secs := range j.stats[i].StageSeconds {
+			if stats.StageSeconds == nil {
+				stats.StageSeconds = make(map[string]float64)
+			}
+			stats.StageSeconds[name] += secs
+		}
 	}
 	if !opts.TimeOrder {
 		// Barrier merge: fold shard outputs in shard order and canonically
@@ -395,6 +471,8 @@ func (c *Coordinator) runShard(runCtx context.Context, cancelRun context.CancelC
 	spec.Attempt = j.attempts[i]
 	j.mu.Unlock()
 	c.addRunning(1)
+	c.metrics.Counter("drapid_fleet_shard_attempts_total", "Shard dispatches, first attempts and resubmissions alike.",
+		obs.L("worker", ws.w.Name())).Inc()
 	c.progress(j, opts)
 
 	var buf []spe.SPE
@@ -407,6 +485,7 @@ func (c *Coordinator) runShard(runCtx context.Context, cancelRun context.CancelC
 	switch {
 	case err == nil:
 		c.release(ws)
+		c.metrics.Counter("drapid_fleet_shards_done_total", "Shard attempts completed successfully.").Inc()
 		j.mu.Lock()
 		j.running--
 		if !j.done[i] {
@@ -454,6 +533,8 @@ func (c *Coordinator) runShard(runCtx context.Context, cancelRun context.CancelC
 		c.mu.Lock()
 		c.resubmitted++
 		c.mu.Unlock()
+		c.metrics.Counter("drapid_fleet_shards_resubmitted_total", "Shard attempts lost to worker failure and requeued.",
+			obs.L("worker", ws.w.Name())).Inc()
 		if fail {
 			cancelRun(j.failed)
 		} else {

@@ -441,8 +441,16 @@ func TestHTTPWorkerRoundTrip(t *testing.T) {
 	if !eventsEqual(wantEvents, gotEvents) {
 		t.Fatalf("remote events differ from local (%d vs %d)", len(gotEvents), len(wantEvents))
 	}
-	if gotStats != wantStats {
+	if gotStats.Trials != wantStats.Trials || gotStats.Samples != wantStats.Samples ||
+		gotStats.Events != wantStats.Events || gotStats.Plan != wantStats.Plan {
 		t.Fatalf("remote stats %+v, local %+v", gotStats, wantStats)
+	}
+	// The stage clock rides the wire: the remote's map must come back with
+	// the stages the local run timed (values are timings, not comparable).
+	for stage := range wantStats.StageSeconds {
+		if gotStats.StageSeconds[stage] <= 0 {
+			t.Errorf("remote StageSeconds missing stage %q: %+v", stage, gotStats.StageSeconds)
+		}
 	}
 }
 

@@ -10,6 +10,7 @@ import (
 	"strings"
 	"time"
 
+	"drapid/internal/obs"
 	"drapid/internal/rdd"
 	"drapid/internal/spe"
 	"drapid/internal/sps"
@@ -53,6 +54,10 @@ type wireStats struct {
 	Samples int64  `json:"samples"`
 	Events  int    `json:"events"`
 	Plan    string `json:"plan,omitempty"`
+	// StageSeconds ships the shard's per-stage busy/wall seconds back to
+	// the coordinator, which folds them additively across shards
+	// (DESIGN.md §10). Workers predating this field simply return none.
+	StageSeconds map[string]float64 `json:"stage_seconds,omitempty"`
 }
 
 func toWire(events []spe.SPE) []wireEvent {
@@ -92,18 +97,27 @@ func Handler(exec rdd.ExecConfig) http.Handler {
 		w.WriteHeader(http.StatusOK)
 		enc := json.NewEncoder(w)
 		rc := http.NewResponseController(w)
+		served := time.Now()
 		stats, err := RunShard(r.Context(), spec, exec, func(events []spe.SPE) error {
 			if err := enc.Encode(shardLine{Events: toWire(events)}); err != nil {
 				return err
 			}
 			return rc.Flush()
 		})
+		outcome := "ok"
+		if err != nil {
+			outcome = "error"
+		}
+		obs.Default.Histogram("drapid_fleet_shard_service_seconds",
+			"Worker-side shard service time (RunShard wall), by outcome.",
+			nil, obs.L("outcome", outcome)).Observe(time.Since(served).Seconds())
 		if err != nil {
 			enc.Encode(shardLine{Error: err.Error()})
 			return
 		}
 		enc.Encode(shardLine{Done: true, Stats: &wireStats{
 			Trials: stats.Trials, Samples: stats.Samples, Events: stats.Events, Plan: stats.Plan,
+			StageSeconds: stats.StageSeconds,
 		}})
 	})
 	return mux
@@ -192,7 +206,10 @@ func (r *Remote) Run(ctx context.Context, spec ShardSpec, emit func([]spe.SPE) e
 		case l.Done:
 			var stats sps.Stats
 			if l.Stats != nil {
-				stats = sps.Stats{Trials: l.Stats.Trials, Samples: l.Stats.Samples, Events: l.Stats.Events, Plan: l.Stats.Plan}
+				stats = sps.Stats{
+					Trials: l.Stats.Trials, Samples: l.Stats.Samples, Events: l.Stats.Events, Plan: l.Stats.Plan,
+					StageSeconds: l.Stats.StageSeconds,
+				}
 			}
 			return stats, nil
 		case len(l.Events) > 0:

@@ -1,0 +1,20 @@
+// Package obs is drapid's stdlib-only observability substrate
+// (DESIGN.md §10): a process-wide metrics registry (counters, gauges,
+// fixed-bucket histograms on atomics, exposed in Prometheus text
+// exposition format), a lightweight per-stage span API threaded through
+// the detect pipeline (ingest → normalise → zero-DM → dedisperse →
+// boxcar → cluster → classify → sift), and HTTP instrumentation
+// middleware shared by drapidd's public mux and the fleet shard
+// protocol.
+//
+// The registry is get-or-create: calling Counter/Gauge/Histogram with
+// the same name and labels returns the same series, so call sites need
+// no registration phase. Default is the process-global registry drapidd
+// scrapes at GET /metrics; tests use NewRegistry for isolation.
+//
+// Traces ride on a context (WithTrace/TraceFrom); StartSpan measures a
+// sequential driver phase's wall time, Trace.Add accumulates busy
+// seconds from concurrent workers, and Trace.Apportion rescales those
+// busy totals onto a measured fan-out wall so a job's per-stage walls
+// partition its end-to-end time (the Result.Stages contract).
+package obs

@@ -1,0 +1,128 @@
+package obs
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders every family in Prometheus text exposition
+// format (version 0.0.4). Output is deterministic: families sort by
+// name, series by their serialised label set — the property the golden
+// test and scrape diffing rely on.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	names := make([]string, 0, len(r.families))
+	for name := range r.families {
+		names = append(names, name)
+	}
+	fams := make([]*family, 0, len(names))
+	sort.Strings(names)
+	for _, name := range names {
+		fams = append(fams, r.families[name])
+	}
+	r.mu.RUnlock()
+
+	var b bytes.Buffer
+	for _, f := range fams {
+		f.write(&b)
+	}
+	_, err := w.Write(b.Bytes())
+	return err
+}
+
+func (f *family) write(b *bytes.Buffer) {
+	f.mu.RLock()
+	keys := make([]string, 0, len(f.series))
+	for k := range f.series {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	ser := make([]*series, 0, len(keys))
+	fns := make([]func() float64, 0, len(keys)) // fn is written under f.mu; capture it there too
+	for _, k := range keys {
+		ser = append(ser, f.series[k])
+		fns = append(fns, f.series[k].fn)
+	}
+	f.mu.RUnlock()
+
+	if f.help != "" {
+		fmt.Fprintf(b, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+	}
+	fmt.Fprintf(b, "# TYPE %s %s\n", f.name, f.typ)
+	for i, s := range ser {
+		switch f.typ {
+		case typeHistogram:
+			writeHistogram(b, f, keys[i], s)
+		default:
+			v := math.Float64frombits(s.bits.Load())
+			if fns[i] != nil {
+				v = fns[i]() // outside every registry lock: callbacks may take their own
+			}
+			writeSample(b, f.name, keys[i], "", v)
+		}
+	}
+}
+
+func writeHistogram(b *bytes.Buffer, f *family, key string, s *series) {
+	var cum uint64
+	for i, bound := range f.buckets {
+		cum += s.hist.counts[i].Load()
+		writeSample(b, f.name+"_bucket", key, `le="`+formatFloat(bound)+`"`, float64(cum))
+	}
+	cum += s.hist.counts[len(f.buckets)].Load()
+	writeSample(b, f.name+"_bucket", key, `le="+Inf"`, float64(cum))
+	writeSample(b, f.name+"_sum", key, "", math.Float64frombits(s.hist.sumBits.Load()))
+	writeSample(b, f.name+"_count", key, "", float64(s.hist.count.Load()))
+}
+
+// writeSample emits one line; extra is an additional pre-rendered label
+// (the histogram le bound) appended after the series labels.
+func writeSample(b *bytes.Buffer, name, key, extra string, v float64) {
+	b.WriteString(name)
+	if key != "" || extra != "" {
+		b.WriteByte('{')
+		b.WriteString(key)
+		if key != "" && extra != "" {
+			b.WriteByte(',')
+		}
+		b.WriteString(extra)
+		b.WriteByte('}')
+	}
+	b.WriteByte(' ')
+	b.WriteString(formatFloat(v))
+	b.WriteByte('\n')
+}
+
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func escapeHelp(h string) string {
+	return strings.NewReplacer(`\`, `\\`, "\n", `\n`).Replace(h)
+}
+
+// Handler serves the registry in exposition format — what drapidd
+// mounts at GET /metrics.
+func Handler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+}

@@ -1,0 +1,76 @@
+package obs
+
+import (
+	"log/slog"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// Instrument wraps an HTTP handler with request metrics and structured
+// logging: a drapid_http_requests_total{method,route,code} counter, a
+// drapid_http_request_seconds{method,route} histogram, and one
+// slog.Info line per request. route normalises the path to a bounded
+// label set (e.g. /v1/jobs/{id} instead of every job ID); nil keeps the
+// raw path. A nil registry or logger disables that half.
+func Instrument(next http.Handler, reg *Registry, logger *slog.Logger, route func(*http.Request) string) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		next.ServeHTTP(sw, r)
+		dur := time.Since(start)
+		rt := r.URL.Path
+		if route != nil {
+			rt = route(r)
+		}
+		if reg != nil {
+			reg.Counter("drapid_http_requests_total", "HTTP requests served, by normalised route and status code.",
+				L("method", r.Method), L("route", rt), L("code", strconv.Itoa(sw.status))).Inc()
+			reg.Histogram("drapid_http_request_seconds", "HTTP request service time in seconds.",
+				DefSeconds, L("method", r.Method), L("route", rt)).Observe(dur.Seconds())
+		}
+		if logger != nil {
+			logger.Info("http request",
+				"method", r.Method,
+				"path", r.URL.Path,
+				"route", rt,
+				"status", sw.status,
+				"bytes", sw.bytes,
+				"duration_ms", float64(dur.Microseconds())/1e3)
+		}
+	})
+}
+
+// statusWriter captures the response status and size. It forwards
+// Flush and exposes Unwrap so http.ResponseController (the NDJSON
+// streaming endpoints use full-duplex flushing) still reaches the
+// underlying writer.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+	wrote  bool
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if !w.wrote {
+		w.status = code
+		w.wrote = true
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	w.wrote = true
+	n, err := w.ResponseWriter.Write(b)
+	w.bytes += int64(n)
+	return n, err
+}
+
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }

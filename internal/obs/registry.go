@@ -1,0 +1,305 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Label is one name=value dimension of a metric series.
+type Label struct {
+	Key   string
+	Value string
+}
+
+// L builds a Label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+const (
+	typeCounter   = "counter"
+	typeGauge     = "gauge"
+	typeHistogram = "histogram"
+)
+
+// DefSeconds is the default histogram bucket ladder for durations in
+// seconds: sub-millisecond block kernels through minute-scale jobs.
+var DefSeconds = []float64{
+	0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5,
+	1, 2.5, 5, 10, 30, 60,
+}
+
+// Registry holds metric families and renders them in Prometheus text
+// exposition format. All methods are safe for concurrent use; the hot
+// paths (Counter.Add, Gauge.Set, Histogram.Observe) are lock-free once
+// the series exists.
+type Registry struct {
+	mu       sync.RWMutex
+	families map[string]*family
+}
+
+// NewRegistry builds an empty registry. Most code uses Default; tests
+// and embedded engines use their own for isolation.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// Default is the process-global registry: drapidd serves it at
+// GET /metrics, and every engine and fleet component records here
+// unless explicitly given another registry.
+var Default = NewRegistry()
+
+type family struct {
+	name    string
+	help    string
+	typ     string
+	buckets []float64 // histograms only
+
+	mu     sync.RWMutex
+	series map[string]*series
+}
+
+type series struct {
+	labels []Label // sorted by key
+	bits   atomic.Uint64
+	fn     func() float64 // gauge funcs; evaluated at scrape
+	hist   *histData
+}
+
+type histData struct {
+	counts  []atomic.Uint64 // one per bucket, plus +Inf at the end
+	sumBits atomic.Uint64
+	count   atomic.Uint64
+}
+
+// addBits atomically adds a float64 delta to a float-bits cell.
+func addBits(bits *atomic.Uint64, v float64) {
+	for {
+		old := bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// sortLabels returns a key-sorted copy.
+func sortLabels(labels []Label) []Label {
+	out := make([]Label, len(labels))
+	copy(out, labels)
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
+// seriesKey serialises sorted labels into the map key (also the
+// exposition rendering, which keeps scrape output trivially stable).
+func seriesKey(sorted []Label) string {
+	if len(sorted) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	for i, l := range sorted {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(l.Value))
+		b.WriteByte('"')
+	}
+	return b.String()
+}
+
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// getFamily returns the named family, creating it on first use. A name
+// re-registered with a different type is a programming error and
+// panics; help text from the first registration wins.
+func (r *Registry) getFamily(name, help, typ string, buckets []float64) *family {
+	r.mu.RLock()
+	f := r.families[name]
+	r.mu.RUnlock()
+	if f == nil {
+		r.mu.Lock()
+		if f = r.families[name]; f == nil {
+			f = &family{name: name, help: help, typ: typ, buckets: buckets, series: make(map[string]*series)}
+			r.families[name] = f
+		}
+		r.mu.Unlock()
+	}
+	if f.typ != typ {
+		panic(fmt.Sprintf("obs: metric %q already registered as %s, requested %s", name, f.typ, typ))
+	}
+	return f
+}
+
+// getSeries returns the family's series for the label set, creating it
+// on first use.
+func (f *family) getSeries(labels []Label) *series {
+	sorted := sortLabels(labels)
+	key := seriesKey(sorted)
+	f.mu.RLock()
+	s := f.series[key]
+	f.mu.RUnlock()
+	if s != nil {
+		return s
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if s = f.series[key]; s != nil {
+		return s
+	}
+	s = &series{labels: sorted}
+	if f.typ == typeHistogram {
+		s.hist = &histData{counts: make([]atomic.Uint64, len(f.buckets)+1)}
+	}
+	f.series[key] = s
+	return s
+}
+
+// Counter is a monotonically increasing series.
+type Counter struct{ s *series }
+
+// Counter returns the named counter series, creating it on first use.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	if r == nil {
+		return nil
+	}
+	return &Counter{s: r.getFamily(name, help, typeCounter, nil).getSeries(labels)}
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds a non-negative delta; negative deltas are dropped (counters
+// are monotone by contract).
+func (c *Counter) Add(v float64) {
+	if c == nil || c.s == nil || v < 0 {
+		return
+	}
+	addBits(&c.s.bits, v)
+}
+
+// Value reads the current total.
+func (c *Counter) Value() float64 {
+	if c == nil || c.s == nil {
+		return 0
+	}
+	return math.Float64frombits(c.s.bits.Load())
+}
+
+// Gauge is a series that can go up and down.
+type Gauge struct{ s *series }
+
+// Gauge returns the named gauge series, creating it on first use.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	if r == nil {
+		return nil
+	}
+	return &Gauge{s: r.getFamily(name, help, typeGauge, nil).getSeries(labels)}
+}
+
+// Set stores the value.
+func (g *Gauge) Set(v float64) {
+	if g == nil || g.s == nil {
+		return
+	}
+	g.s.bits.Store(math.Float64bits(v))
+}
+
+// Add applies a signed delta.
+func (g *Gauge) Add(v float64) {
+	if g == nil || g.s == nil {
+		return
+	}
+	addBits(&g.s.bits, v)
+}
+
+// Value reads the gauge (evaluating a callback gauge).
+func (g *Gauge) Value() float64 {
+	if g == nil || g.s == nil {
+		return 0
+	}
+	if g.s.fn != nil {
+		return g.s.fn()
+	}
+	return math.Float64frombits(g.s.bits.Load())
+}
+
+// GaugeFunc registers a callback gauge evaluated at scrape time. This
+// is how fleet worker state is exported: the gauge reads the same
+// coordinator fields Engine.FleetStatus reports, so /metrics and
+// /readyz can never disagree. Re-registering the same series replaces
+// the callback (coordinator restarts stay current).
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...Label) {
+	if r == nil {
+		return
+	}
+	f := r.getFamily(name, help, typeGauge, nil)
+	s := f.getSeries(labels)
+	f.mu.Lock()
+	s.fn = fn
+	f.mu.Unlock()
+}
+
+// Histogram is a fixed-bucket distribution series.
+type Histogram struct {
+	s      *series
+	bounds []float64
+}
+
+// Histogram returns the named histogram series, creating it on first
+// use with the given upper bounds (ascending; +Inf is implicit). The
+// first registration's buckets win; nil buckets default to DefSeconds.
+func (r *Registry) Histogram(name, help string, buckets []float64, labels ...Label) *Histogram {
+	if r == nil {
+		return nil
+	}
+	if buckets == nil {
+		buckets = DefSeconds
+	}
+	f := r.getFamily(name, help, typeHistogram, buckets)
+	return &Histogram{s: f.getSeries(labels), bounds: f.buckets}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil || h.s == nil || h.s.hist == nil {
+		return
+	}
+	d := h.s.hist
+	i := len(d.counts) - 1 // +Inf slot
+	for b := 0; b < len(h.bounds); b++ {
+		if v <= h.bounds[b] {
+			i = b
+			break
+		}
+	}
+	d.counts[i].Add(1)
+	addBits(&d.sumBits, v)
+	d.count.Add(1)
+}
+
+// Count reads the number of observations.
+func (h *Histogram) Count() uint64 {
+	if h == nil || h.s == nil || h.s.hist == nil {
+		return 0
+	}
+	return h.s.hist.count.Load()
+}
+
+// Sum reads the sum of observed values.
+func (h *Histogram) Sum() float64 {
+	if h == nil || h.s == nil || h.s.hist == nil {
+		return 0
+	}
+	return math.Float64frombits(h.s.hist.sumBits.Load())
+}

@@ -1,0 +1,257 @@
+package obs
+
+import (
+	"math"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestExpositionGolden locks the exposition format byte for byte:
+// families sorted by name, series by label set, histograms with
+// cumulative buckets, +Inf, _sum and _count. Scrape stability is load-
+// bearing — CI greps series names and dashboards diff scrapes.
+func TestExpositionGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("test_jobs_total", "Jobs observed.", L("kind", "detect")).Add(3)
+	r.Counter("test_jobs_total", "Jobs observed.", L("kind", "identify")).Inc()
+	r.Gauge("test_running", "Running jobs.").Set(2)
+	r.GaugeFunc("test_workers_alive", "Live workers.", func() float64 { return 4 }, L("worker", "w1"))
+	h := r.Histogram("test_latency_seconds", "Latency.", []float64{0.1, 1, 10})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(0.5)
+	h.Observe(100)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	want := `# HELP test_jobs_total Jobs observed.
+# TYPE test_jobs_total counter
+test_jobs_total{kind="detect"} 3
+test_jobs_total{kind="identify"} 1
+# HELP test_latency_seconds Latency.
+# TYPE test_latency_seconds histogram
+test_latency_seconds_bucket{le="0.1"} 1
+test_latency_seconds_bucket{le="1"} 3
+test_latency_seconds_bucket{le="10"} 3
+test_latency_seconds_bucket{le="+Inf"} 4
+test_latency_seconds_sum 101.05
+test_latency_seconds_count 4
+# HELP test_running Running jobs.
+# TYPE test_running gauge
+test_running 2
+# HELP test_workers_alive Live workers.
+# TYPE test_workers_alive gauge
+test_workers_alive{worker="w1"} 4
+`
+	if got := b.String(); got != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+
+	// The same text must come out of the HTTP handler, with the
+	// exposition content type.
+	rec := httptest.NewRecorder()
+	Handler(r).ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Body.String() != want {
+		t.Errorf("handler body differs from WritePrometheus")
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Errorf("content type = %q", ct)
+	}
+}
+
+// TestExpositionStableOrdering registers series in shuffled order and
+// checks two renders are identical (map iteration must never leak).
+func TestExpositionStableOrdering(t *testing.T) {
+	r := NewRegistry()
+	for _, kind := range []string{"z", "a", "m", "b"} {
+		r.Counter("test_order_total", "", L("kind", kind), L("zone", "x")).Inc()
+	}
+	var a, b strings.Builder
+	if err := r.WritePrometheus(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Errorf("two renders differ:\n%s\nvs\n%s", a.String(), b.String())
+	}
+	lines := strings.Split(strings.TrimSpace(a.String()), "\n")
+	series := lines[len(lines)-4:]
+	for i := 1; i < len(series); i++ {
+		if series[i-1] >= series[i] {
+			t.Errorf("series not sorted: %q before %q", series[i-1], series[i])
+		}
+	}
+}
+
+// TestLabelEscaping covers backslash, quote and newline in label
+// values and help text.
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("test_esc_total", "help with \\ and\nnewline", L("v", "a\"b\\c\nd")).Inc()
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, `v="a\"b\\c\nd"`) {
+		t.Errorf("label not escaped: %s", out)
+	}
+	if !strings.Contains(out, `help with \\ and\nnewline`) {
+		t.Errorf("help not escaped: %s", out)
+	}
+}
+
+// TestGetOrCreate checks the same series comes back for the same name
+// and labels, regardless of label order, and that values accumulate.
+func TestGetOrCreate(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("test_total", "", L("x", "1"), L("y", "2"))
+	b := r.Counter("test_total", "", L("y", "2"), L("x", "1"))
+	a.Inc()
+	b.Add(2)
+	if got := a.Value(); got != 3 {
+		t.Errorf("Value = %v, want 3 (label order must not split series)", got)
+	}
+	// Counters refuse to go backwards.
+	a.Add(-5)
+	if got := a.Value(); got != 3 {
+		t.Errorf("Value after negative Add = %v, want 3", got)
+	}
+	// Gauges do not.
+	g := r.Gauge("test_gauge", "")
+	g.Set(10)
+	g.Add(-4)
+	if got := g.Value(); got != 6 {
+		t.Errorf("gauge = %v, want 6", got)
+	}
+}
+
+// TestTypeConflictPanics locks the fail-fast on re-registering a name
+// as a different metric type.
+func TestTypeConflictPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("test_conflict", "")
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on type conflict")
+		}
+	}()
+	r.Gauge("test_conflict", "")
+}
+
+// TestNilSafety: a nil registry hands out nil-receiver metrics whose
+// methods are all no-ops, so unconfigured call sites cost nothing.
+func TestNilSafety(t *testing.T) {
+	var r *Registry
+	r.Counter("x", "").Inc()
+	r.Gauge("x", "").Set(1)
+	r.Histogram("x", "", nil).Observe(1)
+	r.GaugeFunc("x", "", func() float64 { return 1 })
+	if err := r.WritePrometheus(&strings.Builder{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestHistogramBuckets checks bucket assignment edges: values on a
+// bound land in that bucket (le is inclusive).
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("test_h", "", []float64{1, 2})
+	h.Observe(1) // le="1"
+	h.Observe(2) // le="2"
+	h.Observe(3) // +Inf
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		`test_h_bucket{le="1"} 1`,
+		`test_h_bucket{le="2"} 2`,
+		`test_h_bucket{le="+Inf"} 3`,
+		`test_h_sum 6`,
+		`test_h_count 3`,
+	} {
+		if !strings.Contains(b.String(), want) {
+			t.Errorf("missing %q in:\n%s", want, b.String())
+		}
+	}
+	if h.Count() != 3 || h.Sum() != 6 {
+		t.Errorf("Count/Sum = %d/%v, want 3/6", h.Count(), h.Sum())
+	}
+}
+
+// TestRegistryHammer pounds one registry from many goroutines — mixed
+// counters, gauges, histograms, gauge funcs and concurrent scrapes —
+// and checks the totals. Run under -race (CI does) this is the
+// registry's thread-safety proof.
+func TestRegistryHammer(t *testing.T) {
+	r := NewRegistry()
+	const goroutines = 16
+	const iters = 2000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			kind := []string{"detect", "identify"}[g%2]
+			for i := 0; i < iters; i++ {
+				r.Counter("hammer_total", "", L("kind", kind)).Inc()
+				r.Gauge("hammer_gauge", "").Add(1)
+				r.Histogram("hammer_seconds", "", nil).Observe(float64(i%10) / 1000)
+				if i%100 == 0 {
+					r.GaugeFunc("hammer_fn", "", func() float64 { return float64(g) })
+				}
+			}
+		}(g)
+	}
+	// Concurrent scrapes while writers run.
+	var scrapeWG sync.WaitGroup
+	for s := 0; s < 4; s++ {
+		scrapeWG.Add(1)
+		go func() {
+			defer scrapeWG.Done()
+			for i := 0; i < 50; i++ {
+				var b strings.Builder
+				if err := r.WritePrometheus(&b); err != nil {
+					t.Errorf("scrape: %v", err)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	scrapeWG.Wait()
+
+	total := r.Counter("hammer_total", "", L("kind", "detect")).Value() +
+		r.Counter("hammer_total", "", L("kind", "identify")).Value()
+	if total != goroutines*iters {
+		t.Errorf("counter total = %v, want %d", total, goroutines*iters)
+	}
+	if got := r.Gauge("hammer_gauge", "").Value(); got != goroutines*iters {
+		t.Errorf("gauge = %v, want %d", got, goroutines*iters)
+	}
+	if got := r.Histogram("hammer_seconds", "", nil).Count(); got != goroutines*iters {
+		t.Errorf("histogram count = %d, want %d", got, goroutines*iters)
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	cases := map[float64]string{
+		1:               "1",
+		0.25:            "0.25",
+		math.Inf(1):     "+Inf",
+		math.Inf(-1):    "-Inf",
+		1.5e-9:          "1.5e-09",
+		12345678.901234: "1.2345678901234e+07",
+	}
+	for in, want := range cases {
+		if got := formatFloat(in); got != want {
+			t.Errorf("formatFloat(%v) = %q, want %q", in, got, want)
+		}
+	}
+}

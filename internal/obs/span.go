@@ -1,0 +1,209 @@
+package obs
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// StageStats is one pipeline stage's accumulated contribution to a job:
+// wall seconds (after Apportion, the stage's share of elapsed driver
+// time — a job's stage walls partition its end-to-end time), span/call
+// count, and the record and byte volumes that crossed the stage.
+type StageStats struct {
+	WallSeconds float64 `json:"wall_seconds"`
+	Calls       int64   `json:"calls,omitempty"`
+	RecordsIn   int64   `json:"records_in,omitempty"`
+	RecordsOut  int64   `json:"records_out,omitempty"`
+	Bytes       int64   `json:"bytes,omitempty"`
+}
+
+func (s *StageStats) merge(o StageStats) {
+	s.WallSeconds += o.WallSeconds
+	s.Calls += o.Calls
+	s.RecordsIn += o.RecordsIn
+	s.RecordsOut += o.RecordsOut
+	s.Bytes += o.Bytes
+}
+
+// Trace accumulates per-stage stats for one job. Safe for concurrent
+// use; a nil *Trace is a valid no-op receiver, so instrumentation never
+// needs guarding.
+type Trace struct {
+	mu     sync.Mutex
+	stages map[string]*StageStats
+}
+
+// NewTrace builds an empty trace.
+func NewTrace() *Trace { return &Trace{stages: make(map[string]*StageStats)} }
+
+type traceKey struct{}
+
+// WithTrace attaches a trace to the context; the engine does this once
+// per job so every layer below (detect driver, sps kernels, fleet
+// shards) records into the same breakdown.
+func WithTrace(ctx context.Context, t *Trace) context.Context {
+	if t == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, traceKey{}, t)
+}
+
+// TraceFrom returns the context's trace, or nil when none is attached.
+func TraceFrom(ctx context.Context) *Trace {
+	if ctx == nil {
+		return nil
+	}
+	t, _ := ctx.Value(traceKey{}).(*Trace)
+	return t
+}
+
+// Add merges one stage contribution.
+func (t *Trace) Add(stage string, st StageStats) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	cur := t.stages[stage]
+	if cur == nil {
+		cur = &StageStats{}
+		t.stages[stage] = cur
+	}
+	cur.merge(st)
+	t.mu.Unlock()
+}
+
+// AddSeconds merges busy seconds into a stage — how concurrent workers
+// report kernel time that Apportion later rescales onto the wall.
+func (t *Trace) AddSeconds(stage string, secs float64) {
+	t.Add(stage, StageStats{WallSeconds: secs})
+}
+
+// Snapshot copies the per-stage breakdown.
+func (t *Trace) Snapshot() map[string]StageStats {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.stages) == 0 {
+		return nil
+	}
+	out := make(map[string]StageStats, len(t.stages))
+	for k, v := range t.stages {
+		out[k] = *v
+	}
+	return out
+}
+
+// WallSum returns the summed wall seconds of the named stages (all
+// stages when none are named).
+func (t *Trace) WallSum(stages ...string) float64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var sum float64
+	if len(stages) == 0 {
+		for _, st := range t.stages {
+			sum += st.WallSeconds
+		}
+		return sum
+	}
+	for _, name := range stages {
+		if st := t.stages[name]; st != nil {
+			sum += st.WallSeconds
+		}
+	}
+	return sum
+}
+
+// Apportion rescales the named stages' wall seconds so they sum to the
+// measured fan-out wall. Concurrent kernels (dedisperse / normalise /
+// boxcar) record *busy* seconds across workers; the driver measures the
+// wall the whole fan-out actually took and apportions it by busy share,
+// so per-stage walls stay comparable and sum to elapsed time regardless
+// of worker count. Untimed overhead inside the fan-out is absorbed
+// proportionally. When nothing recorded busy time the wall is split
+// evenly across the named stages.
+func (t *Trace) Apportion(wall float64, stages ...string) {
+	if t == nil || len(stages) == 0 {
+		return
+	}
+	if wall < 0 {
+		wall = 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var busy float64
+	for _, name := range stages {
+		if st := t.stages[name]; st != nil {
+			busy += st.WallSeconds
+		}
+	}
+	for _, name := range stages {
+		st := t.stages[name]
+		if st == nil {
+			st = &StageStats{}
+			t.stages[name] = st
+		}
+		if busy > 0 {
+			st.WallSeconds = wall * (st.WallSeconds / busy)
+		} else {
+			st.WallSeconds = wall / float64(len(stages))
+		}
+	}
+}
+
+// Span measures one sequential phase: StartSpan …work… End. Nested
+// spans simply accumulate into their own stages.
+type Span struct {
+	t     *Trace
+	stage string
+	start time.Time
+	st    StageStats
+	ended bool
+}
+
+// StartSpan opens a span on the context's trace. With no trace attached
+// the span is a no-op, so library code can instrument unconditionally.
+func StartSpan(ctx context.Context, stage string) *Span {
+	return TraceFrom(ctx).Span(stage)
+}
+
+// Span opens a span directly on the trace.
+func (t *Trace) Span(stage string) *Span {
+	if t == nil {
+		return nil
+	}
+	return &Span{t: t, stage: stage, start: time.Now()}
+}
+
+// SetRecords annotates the span with record counts in/out.
+func (s *Span) SetRecords(in, out int64) *Span {
+	if s != nil {
+		s.st.RecordsIn, s.st.RecordsOut = in, out
+	}
+	return s
+}
+
+// AddBytes annotates the span with processed byte volume.
+func (s *Span) AddBytes(n int64) *Span {
+	if s != nil {
+		s.st.Bytes += n
+	}
+	return s
+}
+
+// End closes the span, merging its wall time and annotations into the
+// trace. Ending twice is a no-op.
+func (s *Span) End() {
+	if s == nil || s.ended {
+		return
+	}
+	s.ended = true
+	s.st.WallSeconds = time.Since(s.start).Seconds()
+	s.st.Calls = 1
+	s.t.Add(s.stage, s.st)
+}

@@ -1,0 +1,152 @@
+package obs
+
+import (
+	"context"
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSpanBasics(t *testing.T) {
+	tr := NewTrace()
+	ctx := WithTrace(context.Background(), tr)
+	if TraceFrom(ctx) != tr {
+		t.Fatal("TraceFrom did not round-trip")
+	}
+
+	sp := StartSpan(ctx, "ingest").SetRecords(100, 90).AddBytes(4096)
+	time.Sleep(2 * time.Millisecond)
+	sp.End()
+	sp.End() // double End is a no-op
+
+	got := tr.Snapshot()["ingest"]
+	if got.WallSeconds <= 0 {
+		t.Errorf("WallSeconds = %v, want > 0", got.WallSeconds)
+	}
+	if got.Calls != 1 || got.RecordsIn != 100 || got.RecordsOut != 90 || got.Bytes != 4096 {
+		t.Errorf("stats = %+v", got)
+	}
+}
+
+// TestSpanNesting: an inner span's stage accumulates independently of
+// the outer span's stage, and the outer wall covers the inner wall
+// (simple containment — no parent/child subtraction).
+func TestSpanNesting(t *testing.T) {
+	tr := NewTrace()
+	ctx := WithTrace(context.Background(), tr)
+
+	outer := StartSpan(ctx, "cluster")
+	inner := StartSpan(ctx, "classify")
+	time.Sleep(2 * time.Millisecond)
+	inner.End()
+	time.Sleep(time.Millisecond)
+	outer.End()
+
+	s := tr.Snapshot()
+	if s["cluster"].WallSeconds < s["classify"].WallSeconds {
+		t.Errorf("outer wall %v < inner wall %v", s["cluster"].WallSeconds, s["classify"].WallSeconds)
+	}
+	if s["cluster"].Calls != 1 || s["classify"].Calls != 1 {
+		t.Errorf("calls = %+v", s)
+	}
+}
+
+// TestSpanAggregation: repeated spans on one stage merge (calls count
+// up, walls and volumes sum) — the streaming path ends one span per
+// block per stage.
+func TestSpanAggregation(t *testing.T) {
+	tr := NewTrace()
+	for i := 0; i < 5; i++ {
+		tr.Span("boxcar").SetRecords(10, 2).AddBytes(100).End()
+	}
+	got := tr.Snapshot()["boxcar"]
+	if got.Calls != 5 || got.RecordsIn != 50 || got.RecordsOut != 10 || got.Bytes != 500 {
+		t.Errorf("aggregated stats = %+v", got)
+	}
+}
+
+func TestTraceConcurrent(t *testing.T) {
+	tr := NewTrace()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				tr.AddSeconds("dedisperse", 0.001)
+				tr.Add("boxcar", StageStats{RecordsIn: 1})
+			}
+		}()
+	}
+	wg.Wait()
+	s := tr.Snapshot()
+	if math.Abs(s["dedisperse"].WallSeconds-8.0) > 1e-6 {
+		t.Errorf("dedisperse busy = %v, want 8.0", s["dedisperse"].WallSeconds)
+	}
+	if s["boxcar"].RecordsIn != 8000 {
+		t.Errorf("boxcar records = %d, want 8000", s["boxcar"].RecordsIn)
+	}
+}
+
+// TestApportion: busy seconds rescale proportionally onto the measured
+// wall, so the named stages sum exactly to it.
+func TestApportion(t *testing.T) {
+	tr := NewTrace()
+	tr.AddSeconds("dedisperse", 6)
+	tr.AddSeconds("normalise", 2)
+	tr.AddSeconds("boxcar", 2)
+	tr.Apportion(5, "dedisperse", "normalise", "boxcar")
+
+	s := tr.Snapshot()
+	if got := s["dedisperse"].WallSeconds; math.Abs(got-3) > 1e-9 {
+		t.Errorf("dedisperse = %v, want 3", got)
+	}
+	if got := s["normalise"].WallSeconds; math.Abs(got-1) > 1e-9 {
+		t.Errorf("normalise = %v, want 1", got)
+	}
+	if sum := tr.WallSum("dedisperse", "normalise", "boxcar"); math.Abs(sum-5) > 1e-9 {
+		t.Errorf("apportioned sum = %v, want 5", sum)
+	}
+}
+
+// TestApportionZeroBusy: with no busy time recorded the wall splits
+// evenly — stages still partition the elapsed time.
+func TestApportionZeroBusy(t *testing.T) {
+	tr := NewTrace()
+	tr.Apportion(3, "a", "b", "c")
+	s := tr.Snapshot()
+	for _, name := range []string{"a", "b", "c"} {
+		if got := s[name].WallSeconds; math.Abs(got-1) > 1e-9 {
+			t.Errorf("%s = %v, want 1", name, got)
+		}
+	}
+	// Negative walls clamp to zero rather than going nonsensical.
+	tr2 := NewTrace()
+	tr2.AddSeconds("a", 1)
+	tr2.Apportion(-0.5, "a")
+	if got := tr2.Snapshot()["a"].WallSeconds; got != 0 {
+		t.Errorf("clamped wall = %v, want 0", got)
+	}
+}
+
+// TestNilTrace: every entry point is a no-op on a nil trace or a
+// context without one.
+func TestNilTrace(t *testing.T) {
+	var tr *Trace
+	tr.Add("x", StageStats{})
+	tr.AddSeconds("x", 1)
+	tr.Apportion(1, "x")
+	tr.Span("x").SetRecords(1, 1).AddBytes(1).End()
+	if tr.Snapshot() != nil {
+		t.Error("nil trace snapshot should be nil")
+	}
+	if tr.WallSum() != 0 {
+		t.Error("nil trace WallSum should be 0")
+	}
+	sp := StartSpan(context.Background(), "x")
+	sp.End() // no trace in ctx: must not panic
+	if got := WithTrace(context.Background(), nil); TraceFrom(got) != nil {
+		t.Error("WithTrace(nil) must not attach")
+	}
+}

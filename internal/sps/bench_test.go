@@ -246,22 +246,29 @@ func BenchmarkSearch(b *testing.B) {
 		scfg := Config{DMs: dms, NormWindow: 1024}
 		bytesPerOp := int64(len(dms)) * int64(len(fb.Data)) * 4
 		discard := func([]spe.SPE) error { return nil }
+		// lastStats keeps the final iteration's search stats so the JSON
+		// entry can carry a representative per-stage time breakdown.
+		var lastStats Stats
 		ops := map[string]func(){
 			"batch": func() {
 				got, err := Read(bytes.NewReader(raw))
 				if err != nil {
 					b.Fatal(err)
 				}
-				if _, _, err := Search(context.Background(), got, scfg); err != nil {
+				_, stats, err := Search(context.Background(), got, scfg)
+				if err != nil {
 					b.Fatal(err)
 				}
+				lastStats = stats
 			},
 			"stream": func() {
 				streamCfg := scfg
 				streamCfg.BlockSamples = block
-				if _, _, err := SearchStream(context.Background(), bytes.NewReader(raw), streamCfg, discard); err != nil {
+				_, stats, err := SearchStream(context.Background(), bytes.NewReader(raw), streamCfg, discard)
+				if err != nil {
 					b.Fatal(err)
 				}
+				lastStats = stats
 			},
 		}
 		for _, mode := range []string{"batch", "stream"} {
@@ -284,10 +291,25 @@ func BenchmarkSearch(b *testing.B) {
 					Workers:        workers,
 					N:              n,
 					PeakAllocBytes: peak,
+					StageMs:        stageMs(lastStats.StageSeconds),
 				})
 			})
 		}
 	}
+}
+
+// stageMs scales a Stats.StageSeconds breakdown to milliseconds under
+// the artifact's key convention ("stage_dedisperse_ms"), so BENCH_sps.json
+// shows where each search op's time went.
+func stageMs(stageSeconds map[string]float64) map[string]float64 {
+	if len(stageSeconds) == 0 {
+		return nil
+	}
+	out := make(map[string]float64, len(stageSeconds))
+	for name, secs := range stageSeconds {
+		out["stage_"+name+"_ms"] = secs * 1e3
+	}
+	return out
 }
 
 // peakAllocBytes runs op once with the collector paused and returns the

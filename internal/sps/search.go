@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"time"
 
 	"drapid/internal/rdd"
 	"drapid/internal/spe"
@@ -74,6 +75,71 @@ type Stats struct {
 	// Plan describes the dedispersion strategy that ran: "brute", or
 	// SubbandPlan.Describe() for the two-stage path.
 	Plan string
+	// StageSeconds breaks the search down by pipeline stage (DESIGN.md
+	// §10). Sequential driver phases (ingest — streaming block reads —
+	// and zerodm) record wall seconds; the concurrent kernels
+	// (dedisperse, normalise, boxcar) record *busy* seconds summed
+	// across workers, which the engine apportions onto the measured
+	// fan-out wall so a job's stage walls partition its elapsed time.
+	// Fleet shards ship this map back to the coordinator, which merges
+	// it additively across shards.
+	StageSeconds map[string]float64
+}
+
+// Stage names of StageSeconds (also the engine's Result.Stages keys).
+const (
+	StageIngest     = "ingest"
+	StageZeroDM     = "zerodm"
+	StageDedisperse = "dedisperse"
+	StageNormalise  = "normalise"
+	StageBoxcar     = "boxcar"
+)
+
+// stageClock accumulates per-stage busy time from concurrent search
+// tasks. One mutex across workers is fine here: it is taken once per
+// trial (batch) or once per trial-block (streaming), both of which are
+// orders of magnitude coarser than the kernels they time. A nil clock
+// is a no-op so uninstrumented constructions stay valid.
+type stageClock struct {
+	mu sync.Mutex
+	m  map[string]time.Duration
+}
+
+func newStageClock() *stageClock { return &stageClock{m: make(map[string]time.Duration)} }
+
+// add3 merges up to three stage durations under one lock.
+func (sc *stageClock) add3(s1 string, d1 time.Duration, s2 string, d2 time.Duration, s3 string, d3 time.Duration) {
+	if sc == nil {
+		return
+	}
+	sc.mu.Lock()
+	sc.m[s1] += d1
+	if s2 != "" {
+		sc.m[s2] += d2
+	}
+	if s3 != "" {
+		sc.m[s3] += d3
+	}
+	sc.mu.Unlock()
+}
+
+func (sc *stageClock) add(stage string, d time.Duration) { sc.add3(stage, d, "", 0, "", 0) }
+
+// seconds snapshots the accumulated stages (nil when nothing recorded).
+func (sc *stageClock) seconds() map[string]float64 {
+	if sc == nil {
+		return nil
+	}
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	if len(sc.m) == 0 {
+		return nil
+	}
+	out := make(map[string]float64, len(sc.m))
+	for k, v := range sc.m {
+		out[k] = v.Seconds()
+	}
+	return out
 }
 
 // trialBuffers is the per-trial scratch a worker reuses: the dedispersed
@@ -145,18 +211,22 @@ func Search(ctx context.Context, fb *Filterbank, cfg Config) ([]spe.SPE, Stats, 
 		return nil, stats, err
 	}
 	stats.Plan = planDesc
+	sc := newStageClock()
 	if cfg.ZeroDM {
+		t0 := time.Now()
 		fb = ZeroDMFilter(fb)
+		sc.add(StageZeroDM, time.Since(t0))
 	}
 
 	perTrial := make([][]spe.SPE, len(cfg.DMs))
 	searched := make([]int64, len(cfg.DMs))
 	errs := make([]error, len(cfg.DMs))
 	if sub != nil {
-		err = searchSubband(ctx, fb, cfg, sub, widths, threshold, perTrial, searched, errs)
+		err = searchSubband(ctx, fb, cfg, sub, widths, threshold, perTrial, searched, errs, sc)
 	} else {
-		err = searchBrute(ctx, fb, cfg, widths, threshold, perTrial, searched, errs)
+		err = searchBrute(ctx, fb, cfg, widths, threshold, perTrial, searched, errs, sc)
 	}
+	stats.StageSeconds = sc.seconds()
 	if err != nil {
 		return nil, stats, err
 	}
@@ -227,7 +297,7 @@ func trialRange(cfg Config) (lo, hi int) {
 // trial range dedisperses the full band independently (Dedisperse), fanned
 // out per trial on the pool.
 func searchBrute(ctx context.Context, fb *Filterbank, cfg Config, widths []int, threshold float64,
-	perTrial [][]spe.SPE, searched []int64, errs []error) error {
+	perTrial [][]spe.SPE, searched []int64, errs []error, sc *stageClock) error {
 	lo, hi := trialRange(cfg)
 	return rdd.RunParallel(ctx, cfg.Exec, hi-lo, func(k int) {
 		i := lo + k
@@ -237,6 +307,7 @@ func searchBrute(ctx context.Context, fb *Filterbank, cfg Config, widths []int, 
 		}
 		bufs := trialPool.Get().(*trialBuffers)
 		defer trialPool.Put(bufs)
+		t0 := time.Now()
 		bufs.shifts = ChannelShifts(fb.Header, dm, bufs.shifts[:0])
 		series, err := Dedisperse(fb, bufs.shifts, bufs.series)
 		if err != nil {
@@ -244,9 +315,12 @@ func searchBrute(ctx context.Context, fb *Filterbank, cfg Config, widths []int, 
 			return
 		}
 		bufs.series = series // keep the (possibly grown) buffer for reuse
+		t1 := time.Now()
 		Normalize(series, cfg.NormWindow)
+		t2 := time.Now()
 		searched[i] = int64(len(series))
 		perTrial[i] = trialEvents(dm, fb.TsampSec, BoxcarDetect(series, widths, threshold))
+		sc.add3(StageDedisperse, t1.Sub(t0), StageNormalise, t2.Sub(t1), StageBoxcar, time.Since(t2))
 	})
 }
 
@@ -260,7 +334,7 @@ func searchBrute(ctx context.Context, fb *Filterbank, cfg Config, widths []int, 
 // errs[i] exactly as on the brute path, so Search's fold reports them with
 // the trial DM attached.
 func searchSubband(ctx context.Context, fb *Filterbank, cfg Config, plan *SubbandPlan, widths []int, threshold float64,
-	perTrial [][]spe.SPE, searched []int64, errs []error) error {
+	perTrial [][]spe.SPE, searched []int64, errs []error, sc *stageClock) error {
 	groups := plan.nominalGroups()
 	lo, hi := trialRange(cfg)
 	if lo != 0 || hi != len(cfg.DMs) {
@@ -284,12 +358,22 @@ func searchSubband(ctx context.Context, fb *Filterbank, cfg Config, plan *Subban
 		}
 		bufs := subbandPool.Get().(*subbandBuffers)
 		defer subbandPool.Put(bufs)
+		// The two dedispersion stages interleave with the per-trial
+		// downstream kernels inside dedisperseNominal, so dedisperse
+		// time is the group total minus the timed callback kernels.
+		var norm, box time.Duration
+		t0 := time.Now()
 		plan.dedisperseNominal(fb, k, groups[k], bufs, func(i int, series []float64) error {
+			ts := time.Now()
 			Normalize(series, cfg.NormWindow)
+			tn := time.Now()
 			searched[i] = int64(len(series))
 			perTrial[i] = trialEvents(cfg.DMs[i], fb.TsampSec, BoxcarDetect(series, widths, threshold))
+			norm += tn.Sub(ts)
+			box += time.Since(tn)
 			return nil
 		}, errs)
+		sc.add3(StageDedisperse, time.Since(t0)-norm-box, StageNormalise, norm, StageBoxcar, box)
 	})
 }
 

@@ -7,6 +7,7 @@ import (
 	"io"
 	"math"
 	"sort"
+	"time"
 
 	"drapid/internal/rdd"
 	"drapid/internal/spe"
@@ -295,6 +296,7 @@ type streamState struct {
 	sweep  int // trailing samples this trial's output loses to its dispersion sweep
 	norm   *normStream
 	box    *boxcarStream
+	clock  *stageClock // shared per-search stage accumulator (nil-safe)
 	fed    int64
 	events []spe.SPE // finalised, centre-ascending, not yet emitted
 }
@@ -303,18 +305,24 @@ type streamState struct {
 // conversion, using z as reusable scratch for the normalised samples.
 func (st *streamState) feed(tsamp float64, seg, z []float64) []float64 {
 	st.fed += int64(len(seg))
+	t0 := time.Now()
 	z = st.norm.feed(seg, z[:0])
+	t1 := time.Now()
 	st.box.feed(z)
 	st.collect(tsamp)
+	st.clock.add3(StageNormalise, t1.Sub(t0), StageBoxcar, time.Since(t1), "", 0)
 	return z
 }
 
 // finish flushes the normalisation tail and the final boxcar decisions.
 func (st *streamState) finish(tsamp float64, z []float64) []float64 {
+	t0 := time.Now()
 	z = st.norm.finish(z[:0])
+	t1 := time.Now()
 	st.box.feed(z)
 	st.box.finish()
 	st.collect(tsamp)
+	st.clock.add3(StageNormalise, t1.Sub(t0), StageBoxcar, time.Since(t1), "", 0)
 	return z
 }
 
@@ -604,9 +612,10 @@ func searchBlockStream(ctx context.Context, hdr Header, open func(overlap int) (
 	if window <= 0 {
 		window = DefaultNormWindow
 	}
+	sc := newStageClock()
 	trials := make([]*streamState, len(cfg.DMs))
 	for i, dm := range cfg.DMs {
-		trials[i] = &streamState{dm: dm, sweep: shifts.sweeps[i], norm: newNormStream(window), box: newBoxcarStream(widths, threshold)}
+		trials[i] = &streamState{dm: dm, sweep: shifts.sweeps[i], norm: newNormStream(window), box: newBoxcarStream(widths, threshold), clock: sc}
 	}
 	src, err := open(overlap)
 	if err != nil {
@@ -620,7 +629,9 @@ func searchBlockStream(ctx context.Context, hdr Header, open func(overlap int) (
 	nchan := hdr.NChans
 	tsamp := hdr.TsampSec
 	for {
+		tRead := time.Now()
 		blk, err := src.Next()
+		sc.add(StageIngest, time.Since(tRead))
 		if err == io.EOF {
 			break
 		}
@@ -629,7 +640,9 @@ func searchBlockStream(ctx context.Context, hdr Header, open func(overlap int) (
 		}
 		data := blk.Data
 		if cfg.ZeroDM {
+			tz := time.Now()
 			data = zd.apply(blk, nchan)
+			sc.add(StageZeroDM, time.Since(tz))
 		}
 		if sub != nil {
 			err = rdd.RunParallel(ctx, cfg.Exec, len(groups), func(k int) {
@@ -638,16 +651,21 @@ func searchBlockStream(ctx context.Context, hdr Header, open func(overlap int) (
 				}
 				bufs := subbandPool.Get().(*subbandBuffers)
 				defer subbandPool.Put(bufs)
+				td := time.Now()
 				bufs.sub = sub.stage1Block(data, blk.Rows, shifts.nomCh[k], shifts.nomIntra[k], bufs.sub)
+				var dd time.Duration = time.Since(td)
 				for _, i := range groups[k] {
 					st := trials[i]
 					outLo, outHi := blockSpan(blk, cfg.BlockSamples, st.sweep)
 					if outHi <= outLo {
 						continue
 					}
+					tc := time.Now()
 					bufs.combined = sub.combineBlock(bufs.sub, shifts.trialSub[i], blk.Start, outLo, outHi, bufs.combined)
+					dd += time.Since(tc)
 					bufs.z = st.feed(tsamp, bufs.combined, bufs.z)
 				}
+				sc.add(StageDedisperse, dd)
 			})
 		} else {
 			err = rdd.RunParallel(ctx, cfg.Exec, len(trials), func(i int) {
@@ -658,7 +676,9 @@ func searchBlockStream(ctx context.Context, hdr Header, open func(overlap int) (
 				}
 				bufs := trialPool.Get().(*trialBuffers)
 				defer trialPool.Put(bufs)
+				td := time.Now()
 				bufs.series = dedisperseBlock(data, nchan, shifts.trialCh[i], blk.Start, outLo, outHi, bufs.series)
+				sc.add(StageDedisperse, time.Since(td))
 				bufs.z = st.feed(tsamp, bufs.series, bufs.z)
 			})
 		}
@@ -685,6 +705,7 @@ func searchBlockStream(ctx context.Context, hdr Header, open func(overlap int) (
 			stats.Trials++
 		}
 	}
+	stats.StageSeconds = sc.seconds()
 	return stats, nil
 }
 

@@ -5,9 +5,12 @@ import (
 	"errors"
 	"fmt"
 	"iter"
+	"log/slog"
 	"sync"
+	"time"
 
 	"drapid/internal/features"
+	"drapid/internal/obs"
 	"drapid/internal/pipeline"
 	"drapid/internal/rdd"
 )
@@ -119,9 +122,13 @@ type Progress struct {
 	// RecordsDropped counts malformed key groups the search phase
 	// discarded (previously invisible; see rdd.Metrics.RecordsDropped).
 	RecordsDropped int64 `json:"records_dropped"`
-	// Stages and Tasks count executed scheduler work so far.
-	Stages int `json:"stages"`
-	Tasks  int `json:"tasks"`
+	// RDDStages and Tasks count executed scheduler work so far.
+	RDDStages int `json:"rdd_stages"`
+	Tasks     int `json:"tasks"`
+	// Stages is the live per-pipeline-stage breakdown (wall seconds,
+	// record and byte volumes) accumulated so far — the same map Result
+	// carries once the job is terminal. Nil until any stage reports.
+	Stages map[string]StageStats `json:"stages,omitempty"`
 	// WallSeconds is the measured host compute time accumulated by the
 	// job's stages so far.
 	WallSeconds float64 `json:"wall_seconds"`
@@ -160,9 +167,19 @@ type Result struct {
 	// time is zero unless the engine enables WithSimClock).
 	SimSeconds  float64 `json:"sim_seconds"`
 	WallSeconds float64 `json:"wall_seconds"`
-	// Stages and Tasks count executed scheduler work.
-	Stages int `json:"stages"`
-	Tasks  int `json:"tasks"`
+	// RDDStages and Tasks count executed scheduler work.
+	RDDStages int `json:"rdd_stages"`
+	Tasks     int `json:"tasks"`
+	// Stages is the per-pipeline-stage breakdown (DESIGN.md §10):
+	// ingest, zerodm, dedisperse, normalise, boxcar, cluster, classify,
+	// sift — wall seconds plus record/byte volumes. For detect jobs the
+	// detect-phase stage walls sum to DetectSeconds (streaming and fleet
+	// jobs: all stages; batch jobs: the stages before cluster, since
+	// batch DetectSeconds stops at the search). Concurrent kernel stages
+	// report their *share* of elapsed time (busy seconds apportioned
+	// onto the measured fan-out wall), so the partition holds at any
+	// worker count.
+	Stages map[string]StageStats `json:"stages,omitempty"`
 	// ShuffleBytes and SpillBytes snapshot the engine counters.
 	ShuffleBytes int64 `json:"shuffle_bytes"`
 	SpillBytes   int64 `json:"spill_bytes"`
@@ -187,13 +204,17 @@ type Result struct {
 // independently (each gets the full stream when the job buffers, see
 // IdentifyJob.ResultBuffer).
 type Job struct {
-	id     string
-	ctx    context.Context
-	cancel context.CancelCauseFunc
-	rctx   *rdd.Context
-	buffer int
-	done   chan struct{}
-	stop   func() bool // releases the cancellation watcher
+	id      string
+	kind    string // "identify" or "detect" (metrics label, log field)
+	ctx     context.Context
+	cancel  context.CancelCauseFunc
+	rctx    *rdd.Context
+	trace   *obs.Trace    // per-job stage breakdown, also on ctx
+	metrics *obs.Registry // engine registry (nil-safe)
+	log     *slog.Logger
+	buffer  int
+	done    chan struct{}
+	stop    func() bool // releases the cancellation watcher
 
 	mu         sync.Mutex
 	cond       *sync.Cond
@@ -201,6 +222,7 @@ type Job struct {
 	cands      []Candidate
 	maxRead    int // furthest consumer position, for backpressure
 	detections int // raw frontend events, once a detect job's search ran
+	dropWarned bool
 	fleet      *FleetProgress
 	sift       *jobSift
 	result     Result
@@ -245,6 +267,8 @@ func (j *Job) Cancel() { j.cancel(ErrCancelled) }
 // the sps search frontend — but share this lifecycle.
 func (j *Job) run(work func() (Result, error)) {
 	defer j.stop()
+	start := time.Now()
+	j.metrics.Gauge("drapid_jobs_running", "Jobs currently executing.").Add(1)
 	j.mu.Lock()
 	j.state = JobRunning
 	j.cond.Broadcast()
@@ -256,6 +280,7 @@ func (j *Job) run(work func() (Result, error)) {
 	switch {
 	case err == nil:
 		j.state = JobSucceeded
+		res.Stages = j.trace.Snapshot()
 		j.result = res
 	case j.ctx.Err() != nil:
 		j.state = JobCancelled
@@ -264,25 +289,78 @@ func (j *Job) run(work func() (Result, error)) {
 		j.state = JobFailed
 		j.err = err
 	}
+	state := j.state
 	j.cond.Broadcast()
 	j.mu.Unlock()
+	// Publish terminal metrics before releasing waiters: a /metrics
+	// scrape issued the moment Wait returns must already see the job's
+	// finished counters and stage histograms.
+	j.finalizeObs(state, time.Since(start))
 	close(j.done)
+}
+
+// finalizeObs publishes the terminal job's counters and stage
+// histograms and bridges the rdd engine counters into the registry —
+// the previously-invisible drop and recompute totals become scrapeable
+// here, and a job that silently discarded records gets its slog.Warn.
+func (j *Job) finalizeObs(state JobState, dur time.Duration) {
+	m := j.rctx.Metrics()
+	reg := j.metrics
+	kind := obs.L("kind", j.kind)
+	reg.Gauge("drapid_jobs_running", "Jobs currently executing.").Add(-1)
+	reg.Counter("drapid_jobs_finished_total", "Terminal jobs, by kind and final state.",
+		kind, obs.L("state", state.String())).Inc()
+	reg.Histogram("drapid_job_seconds", "End-to-end job wall time in seconds.", nil, kind).Observe(dur.Seconds())
+	for stage, st := range j.trace.Snapshot() {
+		reg.Histogram("drapid_job_stage_seconds", "Per-job pipeline stage wall time in seconds.",
+			nil, obs.L("stage", stage)).Observe(st.WallSeconds)
+	}
+	reg.Counter("drapid_rdd_tasks_total", "Scheduler tasks executed.").Add(float64(m.Tasks))
+	reg.Counter("drapid_rdd_stages_total", "Scheduler stages executed.").Add(float64(m.Stages))
+	reg.Counter("drapid_rdd_shuffle_bytes_total", "Bytes shuffled between stages.").Add(float64(m.ShuffleBytes))
+	reg.Counter("drapid_rdd_spill_bytes_total", "Bytes spilled to disk.").Add(float64(m.SpillBytes))
+	reg.Counter("drapid_rdd_recomputes_total", "Partition recomputations (lineage recovery).").Add(float64(m.Recomputes))
+	reg.Counter("drapid_rdd_records_dropped_total", "Malformed records discarded by jobs.").Add(float64(m.RecordsDropped))
+	j.warnDrops(m.RecordsDropped)
+	j.log.Info("job finished",
+		"job", j.id, "kind", j.kind, "state", state.String(),
+		"records", j.result.Records, "seconds", dur.Seconds())
+}
+
+// warnDrops logs the first time a job is seen to have dropped records
+// (Progress polls hit it mid-run; finalizeObs guarantees it fires at
+// least once for any job that dropped).
+func (j *Job) warnDrops(dropped int64) {
+	if dropped == 0 {
+		return
+	}
+	j.mu.Lock()
+	first := !j.dropWarned
+	j.dropWarned = true
+	j.mu.Unlock()
+	if first {
+		j.log.Warn("job dropped records", "job", j.id, "kind", j.kind, "dropped", dropped)
+	}
 }
 
 // pipelineWork adapts the batch identification pipeline into a run work
 // function, converting its result to the public shape.
 func (j *Job) pipelineWork(cfg pipeline.JobConfig) func() (Result, error) {
 	return func() (Result, error) {
+		sp := j.trace.Span("classify")
 		res, err := pipeline.RunDRAPID(j.rctx, cfg)
 		if err != nil {
+			sp.End()
 			return Result{}, err
 		}
+		sp.SetRecords(0, int64(res.Records))
+		sp.End()
 		return Result{
 			Records:        res.Records,
 			RecordsDropped: res.RecordsDropped,
 			SimSeconds:     res.SimSeconds,
 			WallSeconds:    res.WallSeconds,
-			Stages:         res.Metrics.Stages,
+			RDDStages:      res.Metrics.Stages,
 			Tasks:          res.Metrics.Tasks,
 			ShuffleBytes:   res.Metrics.ShuffleBytes,
 			SpillBytes:     res.Metrics.SpillBytes,
@@ -407,6 +485,7 @@ func (j *Job) ResultsContext(ctx context.Context) iter.Seq2[Candidate, error] {
 // Progress snapshots the job's state and live counters.
 func (j *Job) Progress() Progress {
 	m := j.rctx.Metrics()
+	j.warnDrops(m.RecordsDropped)
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	p := Progress{
@@ -414,8 +493,9 @@ func (j *Job) Progress() Progress {
 		Candidates:     len(j.cands),
 		Detections:     j.detections,
 		RecordsDropped: m.RecordsDropped,
-		Stages:         m.Stages,
+		RDDStages:      m.Stages,
 		Tasks:          m.Tasks,
+		Stages:         j.trace.Snapshot(),
 		WallSeconds:    m.WallSeconds,
 	}
 	if j.fleet != nil {

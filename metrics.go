@@ -1,0 +1,94 @@
+package drapid
+
+import (
+	"fmt"
+	"log/slog"
+
+	"drapid/internal/obs"
+	"drapid/internal/sps"
+)
+
+// This file is the public face of the observability layer (DESIGN.md
+// §10): the metrics/logging engine options, the per-job stage breakdown
+// types, and the fold that turns the frontend's raw stage clock into
+// wall times that partition a job's elapsed seconds.
+
+// StageStats is one pipeline stage's share of a job: wall seconds (the
+// per-job stage walls partition the job's elapsed detect time), span
+// count, and record/byte volumes. Keys of Result.Stages and
+// Progress.Stages are the stage names ingest, zerodm, dedisperse,
+// normalise, boxcar, cluster, classify and sift.
+type StageStats = obs.StageStats
+
+// MetricsRegistry is the engine's metrics registry: counters, gauges
+// and histograms in Prometheus text exposition format. drapidd serves
+// the engine's registry at GET /metrics.
+type MetricsRegistry = obs.Registry
+
+// NewMetricsRegistry builds an isolated registry (tests, embedded
+// engines). Engines default to the process-global registry.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// WithMetrics points the engine at a metrics registry. The default is
+// the process-global registry every drapid component shares; pass a
+// fresh one to isolate an engine's series (tests, multi-engine
+// processes).
+func WithMetrics(reg *MetricsRegistry) Option {
+	return func(c *config) error {
+		if reg == nil {
+			return fmt.Errorf("drapid: WithMetrics requires a non-nil registry")
+		}
+		c.metrics = reg
+		return nil
+	}
+}
+
+// WithLogger supplies the structured logger for job lifecycle events
+// (submitted / started / finished, with job ID and kind) and warnings
+// such as dropped records. The default engine logs nowhere — a library
+// stays silent unless asked; drapidd passes its process logger.
+func WithLogger(l *slog.Logger) Option {
+	return func(c *config) error {
+		if l == nil {
+			return fmt.Errorf("drapid: WithLogger requires a non-nil logger")
+		}
+		c.logger = l
+		return nil
+	}
+}
+
+// MetricsRegistry exposes the registry the engine records into, so a
+// server can mount it (obs.Handler) and tests can assert on series.
+func (e *Engine) MetricsRegistry() *MetricsRegistry { return e.metrics }
+
+// detectStageKernels are the concurrent frontend stages whose busy
+// seconds are apportioned onto the fan-out wall: they run interleaved
+// across worker goroutines, so their summed task time exceeds elapsed
+// time and only their *shares* of the measured wall are comparable.
+var detectStageKernels = []string{sps.StageDedisperse, sps.StageNormalise, sps.StageBoxcar}
+
+// applyDetectStages folds the frontend's per-stage seconds into the job
+// trace and rescales the kernel stages onto whatever part of totalSecs
+// the sequential stages (driver spans already in the trace, plus the
+// frontend's sequential walls) do not cover. After the fold the trace's
+// stage walls sum to totalSecs exactly — the Result.Stages contract the
+// e2e tests pin against DetectSeconds.
+func applyDetectStages(tr *obs.Trace, stageSeconds map[string]float64, totalSecs float64, kernels []string) {
+	if tr == nil {
+		return
+	}
+	for name, secs := range stageSeconds {
+		tr.AddSeconds(name, secs)
+	}
+	isKernel := make(map[string]bool, len(kernels))
+	for _, k := range kernels {
+		isKernel[k] = true
+	}
+	var seq float64
+	for name, st := range tr.Snapshot() {
+		if !isKernel[name] {
+			seq += st.WallSeconds
+		}
+	}
+	tr.Apportion(totalSecs-seq, kernels...)
+}

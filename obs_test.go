@@ -1,0 +1,250 @@
+package drapid_test
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+
+	"drapid"
+)
+
+// The Result.Stages contract (DESIGN.md §10): every detect path reports a
+// per-stage breakdown whose wall seconds partition the job's
+// DetectSeconds — apportioning makes the shares sum to the elapsed time
+// by construction, so these tests pin the sum within a small timing
+// tolerance rather than any per-stage duration.
+
+// stageTolerance is the allowed relative error between the summed stage
+// walls and DetectSeconds, plus a small absolute floor for clock jitter
+// on very fast runs.
+const (
+	stageTolerance = 0.05
+	stageFloorSec  = 0.005
+)
+
+// runDetectJob submits spec, drains the candidate stream, and returns
+// the finished job with its result.
+func runDetectJob(t *testing.T, engine *drapid.Engine, spec drapid.DetectJob) (*drapid.Job, drapid.Result) {
+	t.Helper()
+	job, err := engine.SubmitDetect(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, err := range job.Results() {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := job.Wait(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return job, res
+}
+
+// stageSum adds up the wall seconds of the named stages, failing on any
+// that are missing from the breakdown.
+func stageSum(t *testing.T, stages map[string]drapid.StageStats, names ...string) float64 {
+	t.Helper()
+	var sum float64
+	for _, name := range names {
+		st, ok := stages[name]
+		if !ok {
+			t.Fatalf("Result.Stages missing stage %q (have %v)", name, stageNames(stages))
+		}
+		if st.WallSeconds < 0 {
+			t.Fatalf("stage %q wall %g < 0", name, st.WallSeconds)
+		}
+		sum += st.WallSeconds
+	}
+	return sum
+}
+
+func stageNames(stages map[string]drapid.StageStats) []string {
+	names := make([]string, 0, len(stages))
+	for name := range stages {
+		names = append(names, name)
+	}
+	return names
+}
+
+// wantClose asserts sum ≈ total within the partition tolerance.
+func wantClose(t *testing.T, what string, sum, total float64) {
+	t.Helper()
+	diff := sum - total
+	if diff < 0 {
+		diff = -diff
+	}
+	if diff > total*stageTolerance+stageFloorSec {
+		t.Errorf("%s: stage walls sum to %.4fs, DetectSeconds = %.4fs (diff %.4fs beyond %.0f%%)",
+			what, sum, total, diff, 100*stageTolerance)
+	}
+}
+
+// TestDetectStagesPartitionBatch checks the batch path: DetectSeconds
+// stops at the search, so the detect-phase stages (ingest, zerodm, and
+// the apportioned kernels) partition it, while the downstream stages
+// are reported but excluded from the partition.
+func TestDetectStagesPartitionBatch(t *testing.T) {
+	reg := drapid.NewMetricsRegistry()
+	engine, err := drapid.New(drapid.WithMetrics(reg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer engine.Close()
+
+	spec := detectSynthSpec()
+	job, res := runDetectJob(t, engine, drapid.DetectJob{Synth: &spec, Threshold: 6.5})
+
+	sum := stageSum(t, res.Stages, "ingest", "zerodm", "dedisperse", "normalise", "boxcar")
+	wantClose(t, "batch", sum, res.DetectSeconds)
+	for _, name := range []string{"cluster", "classify", "sift"} {
+		if _, ok := res.Stages[name]; !ok {
+			t.Errorf("Result.Stages missing downstream stage %q", name)
+		}
+	}
+	if in := res.Stages["ingest"]; in.RecordsOut != int64(spec.NSamples) || in.Bytes == 0 {
+		t.Errorf("ingest stage = %+v, want %d records out and nonzero bytes", in, spec.NSamples)
+	}
+	if cl := res.Stages["classify"]; cl.RecordsOut != int64(res.Records) {
+		t.Errorf("classify RecordsOut = %d, want %d", cl.RecordsOut, res.Records)
+	}
+	if p := job.Progress(); len(p.Stages) == 0 {
+		t.Error("Progress.Stages empty after completion")
+	}
+
+	// The job's stage walls also feed the engine registry.
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	scrape := b.String()
+	for _, want := range []string{
+		`drapid_job_stage_seconds_count{stage="dedisperse"}`,
+		`drapid_jobs_submitted_total{kind="detect"} 1`,
+		`drapid_jobs_finished_total{kind="detect",state="succeeded"} 1`,
+		`drapid_job_seconds_count{kind="detect"} 1`,
+	} {
+		if !strings.Contains(scrape, want) {
+			t.Errorf("registry scrape missing %q", want)
+		}
+	}
+}
+
+// TestDetectStagesPartitionStreaming checks the streaming path: the
+// stages interleave with ingest across the whole loop and DetectSeconds
+// covers all of it, so every reported stage joins the partition.
+func TestDetectStagesPartitionStreaming(t *testing.T) {
+	engine, err := drapid.New(drapid.WithMetrics(drapid.NewMetricsRegistry()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer engine.Close()
+
+	spec := detectSynthSpec()
+	_, res := runDetectJob(t, engine, drapid.DetectJob{
+		Synth:        &spec,
+		Threshold:    6.5,
+		BlockSamples: 4096,
+	})
+	if len(res.Stages) == 0 {
+		t.Fatal("Result.Stages empty")
+	}
+	sum := stageSum(t, res.Stages, stageNames(res.Stages)...)
+	wantClose(t, "streaming", sum, res.DetectSeconds)
+}
+
+// TestConcurrentJobsMetrics hammers one registry from several jobs at
+// once (the -race CI run is the point): the lifecycle counters must
+// balance exactly when the dust settles.
+func TestConcurrentJobsMetrics(t *testing.T) {
+	reg := drapid.NewMetricsRegistry()
+	engine, err := drapid.New(drapid.WithMetrics(reg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer engine.Close()
+
+	const jobs = 4
+	var wg sync.WaitGroup
+	for i := 0; i < jobs; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			spec := drapid.SynthSpec{
+				NChans: 32, NSamples: 4096, TsampSec: 256e-6,
+				Seed:   int64(i + 1),
+				Pulses: []drapid.InjectedPulse{{TimeSec: 0.3, DM: 30, WidthMs: 3, SNR: 20}},
+			}
+			job, err := engine.SubmitDetect(context.Background(), drapid.DetectJob{
+				Synth: &spec, DMMax: 60, DMStep: 1, Threshold: 6.5,
+			})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			for _, err := range job.Results() {
+				if err != nil {
+					t.Error(err)
+					return
+				}
+			}
+			if _, err := job.Wait(context.Background()); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	scrape := b.String()
+	for _, want := range []string{
+		`drapid_jobs_submitted_total{kind="detect"} 4`,
+		`drapid_jobs_finished_total{kind="detect",state="succeeded"} 4`,
+		"drapid_jobs_running 0",
+	} {
+		if !strings.Contains(scrape, want) {
+			t.Errorf("registry scrape missing %q", want)
+		}
+	}
+}
+
+// TestDetectStagesPartitionFleet checks the sharded path: worker-side
+// stage seconds come back over the wire, fold across shards, and
+// partition the coordinator's whole-loop DetectSeconds together with
+// the driver-side ingest and sift spans.
+func TestDetectStagesPartitionFleet(t *testing.T) {
+	reg := drapid.NewMetricsRegistry()
+	engine, err := drapid.New(drapid.WithWorkers(4), drapid.WithFleetWorkers(2), drapid.WithMetrics(reg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer engine.Close()
+
+	spec := detectSynthSpec()
+	_, res := runDetectJob(t, engine, drapid.DetectJob{Synth: &spec, Threshold: 6.5, Shards: 4})
+	if res.Fleet == nil || res.Fleet.Done == 0 {
+		t.Fatalf("Result.Fleet = %+v, want completed shards", res.Fleet)
+	}
+	sum := stageSum(t, res.Stages, stageNames(res.Stages)...)
+	wantClose(t, "fleet", sum, res.DetectSeconds)
+
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	scrape := b.String()
+	for _, want := range []string{
+		"drapid_fleet_workers_known 2",
+		"drapid_fleet_shards_done_total",
+		"drapid_fleet_shard_attempts_total",
+	} {
+		if !strings.Contains(scrape, want) {
+			t.Errorf("fleet registry scrape missing %q", want)
+		}
+	}
+}
