@@ -1,0 +1,115 @@
+package drapid_test
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+
+	"drapid"
+)
+
+// hammerSpecs are three distinct small observations for the concurrency
+// hammer. Each concurrent job is compared against its own serial
+// reference, so any cross-job state leak through the shared engine — the
+// host worker pool, the pooled kernel scratch, or the per-trial streaming
+// state — shows up as a candidate diff even before -race flags the access.
+func hammerSpecs() []drapid.SynthSpec {
+	specs := make([]drapid.SynthSpec, 3)
+	for i := range specs {
+		specs[i] = drapid.SynthSpec{
+			NChans: 64, NSamples: 4096, TsampSec: 256e-6,
+			Fch1MHz: 1500, FoffMHz: -2,
+			SourceName: fmt.Sprintf("HAMMER-%d", i),
+			Seed:       int64(100 + i),
+			Pulses: []drapid.InjectedPulse{
+				{TimeSec: 0.25, DM: float64(15 + 25*i), WidthMs: 2, SNR: 16},
+				{TimeSec: 0.55, DM: float64(50 + 20*i), WidthMs: 4, SNR: 14},
+				{TimeSec: 0.85, DM: float64(90 + 10*i), WidthMs: 3, SNR: 20},
+			},
+		}
+	}
+	return specs
+}
+
+// runHammerJob submits one streaming detect job and drains it. The block
+// size keeps several gulps in flight per job, so concurrent jobs exercise
+// the stateful stream kernels (carried overlap, boxcar frontier) rather
+// than the batch path.
+func runHammerJob(engine *drapid.Engine, spec drapid.SynthSpec) ([]drapid.Candidate, error) {
+	job, err := engine.SubmitDetect(context.Background(), drapid.DetectJob{
+		Synth: &spec,
+		DMMax: 120, DMStep: 4,
+		Threshold: 6, NormWindow: 512,
+		BlockSamples: 1024,
+	})
+	if err != nil {
+		return nil, err
+	}
+	var cands []drapid.Candidate
+	for c, err := range job.Results() {
+		if err != nil {
+			return nil, err
+		}
+		cands = append(cands, c)
+	}
+	if _, err := job.Wait(context.Background()); err != nil {
+		return nil, err
+	}
+	return cands, nil
+}
+
+// TestEngineConcurrentDetectHammer runs several streaming detect jobs
+// concurrently on one shared engine and asserts each reproduces its serial
+// reference exactly. Under -race (the CI default for the test job) this is
+// the data-race gate the blocked-kernel PR adds for the stream kernels.
+func TestEngineConcurrentDetectHammer(t *testing.T) {
+	engine, err := drapid.New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer engine.Close()
+
+	specs := hammerSpecs()
+	refs := make([][]drapid.Candidate, len(specs))
+	for i, spec := range specs {
+		if refs[i], err = runHammerJob(engine, spec); err != nil {
+			t.Fatal(err)
+		}
+		if len(refs[i]) == 0 {
+			t.Fatalf("spec %d: serial reference produced no candidates", i)
+		}
+	}
+
+	loops := 2
+	if testing.Short() {
+		loops = 1
+	}
+	var wg sync.WaitGroup
+	errc := make(chan error, 2*len(specs))
+	for g := 0; g < 2*len(specs); g++ {
+		i := g % len(specs)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for l := 0; l < loops; l++ {
+				got, err := runHammerJob(engine, specs[i])
+				if err != nil {
+					errc <- fmt.Errorf("spec %d: %w", i, err)
+					return
+				}
+				if !reflect.DeepEqual(got, refs[i]) {
+					errc <- fmt.Errorf("spec %d: concurrent job diverged from serial reference (%d vs %d candidates)",
+						i, len(got), len(refs[i]))
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+}

@@ -30,6 +30,11 @@ type Entry struct {
 	Workers int `json:"workers,omitempty"`
 	// N is the benchmark iteration count behind the measurement.
 	N int `json:"n,omitempty"`
+	// RSDPercent is the relative standard deviation of the per-iteration
+	// times (σ/mean, percent) when the benchmark sampled iterations
+	// individually — the noise bar a regression guard reads alongside the
+	// mean. Omitted (zero) for single-shot or unsampled measurements.
+	RSDPercent float64 `json:"rsd_percent,omitempty"`
 	// PeakAllocBytes is the heap-allocation high-water mark of one
 	// operation (measured with the collector paused), when the benchmark
 	// reports one — the bounded-memory evidence of the mode=stream search

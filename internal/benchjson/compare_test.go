@@ -1,0 +1,82 @@
+package benchjson
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func compDoc(entries ...Entry) Document {
+	return Document{Format: Format, Entries: entries}
+}
+
+func TestCompareFlagsRegressions(t *testing.T) {
+	base := compDoc(
+		Entry{Name: "BenchmarkDedisperse/kernel=blocked", MBPerS: 1000},
+		Entry{Name: "BenchmarkSearch/mode=stream", MBPerS: 500, PeakAllocBytes: 1 << 20},
+		Entry{Name: "BenchmarkUntracked", MBPerS: 100},
+	)
+	cur := compDoc(
+		Entry{Name: "BenchmarkDedisperse/kernel=blocked", MBPerS: 700},                   // -30%: regression
+		Entry{Name: "BenchmarkSearch/mode=stream", MBPerS: 480, PeakAllocBytes: 3 << 20}, // alloc ×3: regression
+		Entry{Name: "BenchmarkUntracked", MBPerS: 1},                                     // untracked: ignored
+		Entry{Name: "BenchmarkNew", MBPerS: 1},                                           // current-only: ignored
+	)
+	regs, err := Compare(base, cur, []string{"BenchmarkDedisperse/*", "BenchmarkSearch/*"}, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 2 {
+		t.Fatalf("got %d regressions: %v", len(regs), regs)
+	}
+	if regs[0].Name != "BenchmarkDedisperse/kernel=blocked" || regs[0].Metric != "mb_per_s" {
+		t.Fatalf("regs[0] = %+v", regs[0])
+	}
+	if regs[1].Name != "BenchmarkSearch/mode=stream" || regs[1].Metric != "peak_alloc_bytes" {
+		t.Fatalf("regs[1] = %+v", regs[1])
+	}
+}
+
+func TestCompareWithinTolerancePasses(t *testing.T) {
+	base := compDoc(Entry{Name: "BenchmarkDedisperse/workers=1", MBPerS: 1000, PeakAllocBytes: 1000})
+	cur := compDoc(Entry{Name: "BenchmarkDedisperse/workers=1", MBPerS: 900, PeakAllocBytes: 1100})
+	regs, err := Compare(base, cur, []string{"BenchmarkDedisperse/*"}, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 0 {
+		t.Fatalf("10%% moves inside a 15%% tolerance flagged: %v", regs)
+	}
+}
+
+func TestCompareMissingTrackedSeries(t *testing.T) {
+	base := compDoc(Entry{Name: "BenchmarkSearch/mode=stream", MBPerS: 500})
+	regs, err := Compare(base, compDoc(), []string{"BenchmarkSearch/*"}, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 1 || regs[0].Metric != "missing" {
+		t.Fatalf("dropped tracked series not flagged: %v", regs)
+	}
+	if !strings.Contains(regs[0].String(), "missing") {
+		t.Fatalf("String() = %q", regs[0].String())
+	}
+}
+
+func TestCompareRejectsBadPattern(t *testing.T) {
+	if _, err := Compare(compDoc(), compDoc(), []string{"Bench[mark"}, 15); err == nil {
+		t.Fatal("malformed pattern accepted")
+	}
+}
+
+func TestReadDocumentRejectsWrongFormat(t *testing.T) {
+	dir := t.TempDir()
+	p := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(p, []byte(`{"format":"other/v9","entries":[]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadDocument(p); err == nil {
+		t.Fatal("foreign format accepted")
+	}
+}

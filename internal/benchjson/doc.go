@@ -38,8 +38,21 @@
 //     plan=subband pair the byte volume is the *same equivalent work*
 //     for every member, so the rates divide into a speedup);
 //     workers the worker-pool width the measurement used, when the
-//     benchmark sweeps or pins one; n the benchmark iteration count
-//     behind the measurement (a confidence hint: CI smoke runs use 1).
+//     benchmark sweeps or pins one; n the iteration count behind the
+//     measurement and rsd_percent its relative standard deviation —
+//     benchmarks time each iteration through a Sample and top it up to
+//     a minimum of 3 with EnsureN, so even `-benchtime 1x` smoke runs
+//     record a variance-bearing measurement rather than a single shot.
+//
+// # The perf-regression guard
+//
+// Compare (wrapped by cmd/benchguard) diffs two documents: every
+// baseline entry matching a tracked name pattern must exist in the
+// current document with MB/s no more than a tolerance below — and
+// peak_alloc_bytes no more than the tolerance above — the baseline
+// value. CI's bench-smoke step runs it against the checked-in
+// BENCH_baseline.json, so a sustained kernel regression fails the
+// build while run-to-run noise stays inside the tolerance band.
 //
 // # Merge-on-flush semantics
 //

@@ -1,0 +1,89 @@
+package benchjson
+
+import (
+	"math"
+	"time"
+)
+
+// Sample accumulates per-iteration wall times of one benchmark operation.
+// Go's testing harness only exposes the aggregate b.Elapsed()/b.N, and a
+// smoke run at -benchtime 1x leaves n = 1 — a single-shot number with no
+// variance, which is exactly the noise a regression guard cannot tell
+// from a real regression. Benchmarks time each iteration through a Sample
+// instead and top it up to a minimum count with EnsureN, so every artifact
+// entry carries a defensible n and an RSD.
+type Sample struct {
+	ns []float64
+}
+
+// Time runs op once and records its wall time.
+func (s *Sample) Time(op func()) {
+	t0 := time.Now()
+	op()
+	s.ns = append(s.ns, float64(time.Since(t0).Nanoseconds()))
+}
+
+// EnsureN runs op until the sample holds at least minN iterations — the
+// minimum-iteration floor that makes -benchtime 1x smoke runs yield a
+// variance-bearing measurement.
+func (s *Sample) EnsureN(minN int, op func()) {
+	for s.N() < minN {
+		s.Time(op)
+	}
+}
+
+// N is the number of iterations sampled.
+func (s *Sample) N() int { return len(s.ns) }
+
+// NsPerOp is the mean iteration time in nanoseconds (0 when empty).
+func (s *Sample) NsPerOp() float64 {
+	if len(s.ns) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range s.ns {
+		sum += v
+	}
+	return sum / float64(len(s.ns))
+}
+
+// RSDPercent is the relative standard deviation (σ/mean, percent) of the
+// iteration times; 0 when fewer than two iterations were sampled.
+func (s *Sample) RSDPercent() float64 {
+	mean := s.NsPerOp()
+	if len(s.ns) < 2 || mean == 0 {
+		return 0
+	}
+	var sq float64
+	for _, v := range s.ns {
+		d := v - mean
+		sq += d * d
+	}
+	return math.Sqrt(sq/float64(len(s.ns)-1)) / mean * 100
+}
+
+// MBPerS converts the mean iteration time to a processing rate for a
+// per-iteration byte volume (0 when the sample is empty).
+func (s *Sample) MBPerS(bytesPerOp int64) float64 {
+	ns := s.NsPerOp()
+	if ns == 0 {
+		return 0
+	}
+	return float64(bytesPerOp) / ns * 1e3 // bytes/ns → MB/s
+}
+
+// Entry assembles an artifact entry from the sample: name, mean, n, RSD,
+// and — when bytesPerOp is positive — the MB/s rate.
+func (s *Sample) Entry(name string, bytesPerOp int64, workers int) Entry {
+	e := Entry{
+		Name:       name,
+		NsPerOp:    s.NsPerOp(),
+		Workers:    workers,
+		N:          s.N(),
+		RSDPercent: s.RSDPercent(),
+	}
+	if bytesPerOp > 0 {
+		e.MBPerS = s.MBPerS(bytesPerOp)
+	}
+	return e
+}

@@ -89,8 +89,7 @@ func BenchmarkFleet(b *testing.B) {
 			shards := PlanDM("bench", raw, dms, search, grid.shards)
 			b.SetBytes(bytesPerOp)
 			var events int
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
+			op := func() {
 				events = 0
 				_, _, err := coord.Run(context.Background(), shards,
 					func(batch []spe.SPE) error { events += len(batch); return nil },
@@ -99,18 +98,26 @@ func BenchmarkFleet(b *testing.B) {
 					b.Fatal(err)
 				}
 			}
+			// Each iteration is timed individually and the sample is topped
+			// up to a minimum count, so a -benchtime 1x smoke run still
+			// records a variance-bearing measurement (the earlier n:1
+			// entries made single-shot scheduling noise look like real
+			// shards×workers structure).
+			s := &benchjson.Sample{}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.Time(op)
+			}
 			b.StopTimer()
+			s.EnsureN(3, op)
 			if events == 0 {
 				b.Fatal("benchmark run merged no events")
 			}
-			benchOut.Record(benchjson.Entry{
-				Name:       "BenchmarkFleet/" + name,
-				NsPerOp:    float64(b.Elapsed().Nanoseconds()) / float64(b.N),
-				MBPerS:     float64(bytesPerOp) * float64(b.N) / b.Elapsed().Seconds() / 1e6,
-				Workers:    grid.workers,
-				N:          b.N,
-				EventsPerS: float64(events) * float64(b.N) / b.Elapsed().Seconds(),
-			})
+			e := s.Entry("BenchmarkFleet/"+name, bytesPerOp, grid.workers)
+			if ns := s.NsPerOp(); ns > 0 {
+				e.EventsPerS = float64(events) / ns * 1e9
+			}
+			benchOut.Record(e)
 		})
 	}
 }

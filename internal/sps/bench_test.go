@@ -62,12 +62,35 @@ func benchFilterbank(b *testing.B) (*Filterbank, []float64) {
 	return fb, dms
 }
 
+// sampleOp times each b.N iteration of op individually and then tops the
+// sample up to minSampleN iterations, so a -benchtime 1x smoke run still
+// records a variance-bearing measurement (n and rsd_percent in the
+// artifact) instead of single-shot noise.
+const minSampleN = 3
+
+func sampleOp(b *testing.B, op func()) *benchjson.Sample {
+	b.Helper()
+	s := &benchjson.Sample{}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Time(op)
+	}
+	b.StopTimer()
+	s.EnsureN(minSampleN, op)
+	return s
+}
+
 // dedisperseAll runs one full DM fan-out over fb on the given pool width,
 // with an optional per-trial latency standing in for the filterbank block
 // ingest (disk/network reads) that accompanies each trial in a real-time
-// search.
-func dedisperseAll(b *testing.B, fb *Filterbank, dms []float64, workers int, latency time.Duration) {
+// search. A non-nil cm selects the blocked kernel, staging per call as the
+// search driver does (the staging cost is part of what the entry measures,
+// amortised over the trial grid exactly as in production).
+func dedisperseAll(b *testing.B, fb *Filterbank, dms []float64, workers int, latency time.Duration, cm *chanMajor) {
 	b.Helper()
+	if cm != nil {
+		cm.stage(fb.Data, fb.NSamples, fb.NChans)
+	}
 	if err := rdd.RunParallel(context.Background(), rdd.ExecConfig{Workers: workers}, len(dms), func(t int) {
 		if latency > 0 {
 			time.Sleep(latency)
@@ -75,6 +98,10 @@ func dedisperseAll(b *testing.B, fb *Filterbank, dms []float64, workers int, lat
 		bufs := trialPool.Get().(*trialBuffers)
 		defer trialPool.Put(bufs)
 		bufs.shifts = ChannelShifts(fb.Header, dms[t], bufs.shifts)
+		if cm != nil {
+			bufs.series = cm.dedisperse(bufs.shifts, 0, fb.NSamples-maxShiftOf(bufs.shifts), bufs.series)
+			return
+		}
 		series, err := Dedisperse(fb, bufs.shifts, bufs.series)
 		if err != nil {
 			panic(err)
@@ -89,8 +116,11 @@ func dedisperseAll(b *testing.B, fb *Filterbank, dms []float64, workers int, lat
 // two-stage plan — the dedispersion work of searchSubband without the
 // filtering stages, via the same dedisperseNominal task body the search
 // uses, mirroring what dedisperseAll measures for brute force.
-func subbandDedisperseAll(b *testing.B, fb *Filterbank, plan *SubbandPlan, workers int) {
+func subbandDedisperseAll(b *testing.B, fb *Filterbank, plan *SubbandPlan, workers int, cm *chanMajor) {
 	b.Helper()
+	if cm != nil {
+		cm.stage(fb.Data, fb.NSamples, fb.NChans)
+	}
 	groups := plan.nominalGroups()
 	if err := rdd.RunParallel(context.Background(), rdd.ExecConfig{Workers: workers}, len(groups), func(k int) {
 		if len(groups[k]) == 0 {
@@ -98,7 +128,7 @@ func subbandDedisperseAll(b *testing.B, fb *Filterbank, plan *SubbandPlan, worke
 		}
 		bufs := subbandPool.Get().(*subbandBuffers)
 		defer subbandPool.Put(bufs)
-		plan.dedisperseNominal(fb, k, groups[k], bufs, func(int, []float64) error { return nil }, nil)
+		plan.dedisperseNominal(fb, cm, k, groups[k], bufs, func(int, []float64) error { return nil }, nil)
 	}); err != nil {
 		b.Fatal(err)
 	}
@@ -109,15 +139,35 @@ func BenchmarkDedisperse(b *testing.B) {
 	// Brute-force dedispersion reads every sample of every channel once
 	// per trial: the per-op volume is trials × the 4-byte data block.
 	bytesPerOp := int64(len(dms)) * int64(len(fb.Data)) * 4
+
+	// The kernel axis is the PR 9 headline: the same single-worker trial
+	// fan-out through the original sample-major walk and the cache-blocked
+	// kernel (staging included), so the artifact carries the locality
+	// speedup independent of core count.
+	var scalarNs float64
+	for _, kern := range []KernelKind{KernelScalar, KernelBlocked} {
+		b.Run(fmt.Sprintf("kernel=%s", kern), func(b *testing.B) {
+			var cm *chanMajor
+			if kern == KernelBlocked {
+				cm = &chanMajor{}
+			}
+			b.SetBytes(bytesPerOp)
+			s := sampleOp(b, func() { dedisperseAll(b, fb, dms, 1, 0, cm) })
+			if kern == KernelScalar {
+				scalarNs = s.NsPerOp()
+			} else if scalarNs > 0 && s.NsPerOp() > 0 {
+				b.ReportMetric(scalarNs/s.NsPerOp(), "speedup")
+			}
+			benchOut.Record(s.Entry(fmt.Sprintf("BenchmarkDedisperse/kernel=%s", kern), bytesPerOp, 1))
+		})
+	}
+
 	for _, workers := range []int{1, 2, 4, 8} {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			cm := &chanMajor{}
 			b.SetBytes(bytesPerOp)
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				dedisperseAll(b, fb, dms, workers, 0)
-			}
-			benchOut.Measure("BenchmarkDedisperse/workers="+fmt.Sprint(workers),
-				b.Elapsed(), b.N, bytesPerOp, workers)
+			s := sampleOp(b, func() { dedisperseAll(b, fb, dms, workers, 0, cm) })
+			benchOut.Record(s.Entry("BenchmarkDedisperse/workers="+fmt.Sprint(workers), bytesPerOp, workers))
 		})
 	}
 
@@ -139,18 +189,14 @@ func BenchmarkDedisperse(b *testing.B) {
 	var serialNs float64
 	for _, workers := range []int{1, 2, 4, 8} {
 		b.Run(fmt.Sprintf("ingest/workers=%d", workers), func(b *testing.B) {
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				dedisperseAll(b, small, smallDMs, workers, latency)
-			}
-			ns := float64(b.Elapsed().Nanoseconds()) / float64(b.N)
+			s := sampleOp(b, func() { dedisperseAll(b, small, smallDMs, workers, latency, nil) })
+			ns := s.NsPerOp()
 			if workers == 1 {
 				serialNs = ns
 			} else if serialNs > 0 {
 				b.ReportMetric(serialNs/ns, "speedup")
 			}
-			benchOut.Measure("BenchmarkDedisperse/ingest/workers="+fmt.Sprint(workers),
-				b.Elapsed(), b.N, 0, workers)
+			benchOut.Record(s.Entry("BenchmarkDedisperse/ingest/workers="+fmt.Sprint(workers), 0, workers))
 		})
 	}
 
@@ -181,24 +227,20 @@ func BenchmarkDedisperse(b *testing.B) {
 	workers := rdd.ExecConfig{}.NumWorkers()
 	var bruteNs float64
 	b.Run("plan=brute", func(b *testing.B) {
+		cm := &chanMajor{}
 		b.SetBytes(planBytes)
-		b.ResetTimer()
-		for i := 0; i < b.N; i++ {
-			dedisperseAll(b, planFB, detectDMs, workers, 0)
-		}
-		bruteNs = float64(b.Elapsed().Nanoseconds()) / float64(b.N)
-		benchOut.Measure("BenchmarkDedisperse/plan=brute", b.Elapsed(), b.N, planBytes, workers)
+		s := sampleOp(b, func() { dedisperseAll(b, planFB, detectDMs, workers, 0, cm) })
+		bruteNs = s.NsPerOp()
+		benchOut.Record(s.Entry("BenchmarkDedisperse/plan=brute", planBytes, workers))
 	})
 	b.Run("plan=subband", func(b *testing.B) {
+		cm := &chanMajor{}
 		b.SetBytes(planBytes)
-		b.ResetTimer()
-		for i := 0; i < b.N; i++ {
-			subbandDedisperseAll(b, planFB, plan, workers)
-		}
-		if ns := float64(b.Elapsed().Nanoseconds()) / float64(b.N); bruteNs > 0 && ns > 0 {
+		s := sampleOp(b, func() { subbandDedisperseAll(b, planFB, plan, workers, cm) })
+		if ns := s.NsPerOp(); bruteNs > 0 && ns > 0 {
 			b.ReportMetric(bruteNs/ns, "speedup")
 		}
-		benchOut.Measure("BenchmarkDedisperse/plan=subband", b.Elapsed(), b.N, planBytes, workers)
+		benchOut.Record(s.Entry("BenchmarkDedisperse/plan=subband", planBytes, workers))
 	})
 }
 
@@ -276,23 +318,13 @@ func BenchmarkSearch(b *testing.B) {
 			name := fmt.Sprintf("mode=%s/nsamples=%d", mode, cfg.NSamples)
 			b.Run(name, func(b *testing.B) {
 				b.SetBytes(bytesPerOp)
-				b.ResetTimer()
-				for i := 0; i < b.N; i++ {
-					op()
-				}
-				elapsed, n := b.Elapsed(), b.N
-				b.StopTimer()
+				s := sampleOp(b, op)
 				peak := peakAllocBytes(op)
 				b.ReportMetric(float64(peak), "peak-alloc-B")
-				benchOut.Record(benchjson.Entry{
-					Name:           "BenchmarkSearch/" + name,
-					NsPerOp:        float64(elapsed.Nanoseconds()) / float64(n),
-					MBPerS:         float64(bytesPerOp) * float64(n) / elapsed.Seconds() / 1e6,
-					Workers:        workers,
-					N:              n,
-					PeakAllocBytes: peak,
-					StageMs:        stageMs(lastStats.StageSeconds),
-				})
+				e := s.Entry("BenchmarkSearch/"+name, bytesPerOp, workers)
+				e.PeakAllocBytes = peak
+				e.StageMs = stageMs(lastStats.StageSeconds)
+				benchOut.Record(e)
 			})
 		}
 	}
@@ -341,20 +373,20 @@ func BenchmarkBoxcar(b *testing.B) {
 	}
 	series := make([]float64, n)
 	bytesPerOp := int64(n) * 8
+	ops := map[string]func(){
+		"normalize": func() {
+			copy(series, base)
+			Normalize(series, 4096)
+		},
+		"detect": func() {
+			BoxcarDetect(base, DefaultWidths(), 6)
+		},
+	}
 	for _, name := range []string{"normalize", "detect"} {
 		b.Run(name, func(b *testing.B) {
 			b.SetBytes(bytesPerOp)
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				switch name {
-				case "normalize":
-					copy(series, base)
-					Normalize(series, 4096)
-				case "detect":
-					BoxcarDetect(base, DefaultWidths(), 6)
-				}
-			}
-			benchOut.Measure("BenchmarkBoxcar/"+name, b.Elapsed(), b.N, bytesPerOp, 1)
+			s := sampleOp(b, ops[name])
+			benchOut.Record(s.Entry("BenchmarkBoxcar/"+name, bytesPerOp, 1))
 		})
 	}
 }

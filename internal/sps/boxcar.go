@@ -14,16 +14,29 @@ import (
 // across the observation; the variance floor guards flat (synthetic or
 // clipped) stretches against division by ~zero.
 func Normalize(x []float64, window int) {
+	normalizeInto(x, window, nil, nil)
+}
+
+// normalizeInto is Normalize with caller-owned prefix-sum scratch: the two
+// buffers are grown as needed and returned so pooled search paths reuse
+// them across trials instead of allocating 2·(n+1) float64 per trial.
+func normalizeInto(x []float64, window int, sum, sq []float64) ([]float64, []float64) {
 	n := len(x)
 	if n == 0 {
-		return
+		return sum, sq
 	}
 	if window <= 0 || window >= n {
 		window = n
 	}
 	// Prefix sums of x and x² over the original values.
-	sum := make([]float64, n+1)
-	sq := make([]float64, n+1)
+	if cap(sum) < n+1 {
+		sum = make([]float64, n+1)
+	}
+	if cap(sq) < n+1 {
+		sq = make([]float64, n+1)
+	}
+	sum, sq = sum[:n+1], sq[:n+1]
+	sum[0], sq[0] = 0, 0
 	for i, v := range x {
 		sum[i+1] = sum[i] + v
 		sq[i+1] = sq[i] + v*v
@@ -47,6 +60,7 @@ func Normalize(x []float64, window int) {
 		}
 		x[i] = (x[i] - mean) / math.Sqrt(variance)
 	}
+	return sum, sq
 }
 
 // Detection is one matched-filter candidate in a dedispersed series: the
@@ -69,38 +83,179 @@ func (d Detection) Center() int { return d.Start + d.Width/2 }
 // above threshold, then merges detections whose windows overlap across
 // widths, keeping the highest-SNR (best-matched) one. Widths are filtered
 // to [1, len(z)] and deduplicated; results are ordered by Start.
+//
+// The window sums come from a hierarchical BoxDIT-style ladder (DESIGN.md
+// §11): each width's sums are two shifted narrower-width sums added
+// together, so the whole ladder costs one add per width per sample instead
+// of a fresh prefix-sum scan per width. The recurrence fixes the
+// floating-point summation tree of every window, which is what lets the
+// streaming boxcar reproduce batch decisions bit-for-bit: both sides run
+// the identical ladder over identical z-values.
 func BoxcarDetect(z []float64, widths []int, threshold float64) []Detection {
-	n := len(z)
-	var cands []Detection
-	prefix := make([]float64, n+1)
-	for i, v := range z {
-		prefix[i+1] = prefix[i] + v
-	}
+	clean := make([]int, 0, len(widths))
 	seen := map[int]bool{}
 	for _, w := range widths {
-		if w < 1 || w > n || seen[w] {
+		if w >= 1 && !seen[w] {
+			seen[w] = true
+			clean = append(clean, w)
+		}
+	}
+	sort.Ints(clean)
+	return newBoxLadder(clean).detect(z, threshold)
+}
+
+// splitWidth decomposes a boxcar width w > 1 into the BoxDIT operand pair
+// (a, b): a is the largest power of two below w (w/2 for powers of two)
+// and b = w − a, so S_w[t] = S_a[t] + S_b[t+a]. Power-of-two ladders
+// reduce to the classic decimation-in-time doubling; ragged widths reuse
+// the power-of-two spine plus one remainder sum.
+func splitWidth(w int) (a, b int) {
+	a = 1
+	for a*2 < w {
+		a *= 2
+	}
+	return a, w - a
+}
+
+// boxLadder is the BoxDIT decomposition of one width ladder: the requested
+// widths, the closure of operand widths the recurrence needs, and a
+// per-width window-sum buffer reused across calls. One ladder serves one
+// series length at a time and is cached in the pooled per-trial scratch.
+type boxLadder struct {
+	req    []int // requested widths, ascending, deduplicated, >= 1
+	order  []int // closure widths ascending — operands precede users
+	splitA []int // per order index: left operand width (0 for width 1)
+	splitB []int // per order index: right operand width (0 for width 1)
+	idx    map[int]int
+	sums   [][]float64
+	cands  []Detection // scratch candidate list reused across calls
+}
+
+// newBoxLadder builds the ladder for an ascending deduplicated width list.
+func newBoxLadder(widths []int) *boxLadder {
+	need := map[int]bool{}
+	var add func(w int)
+	add = func(w int) {
+		if need[w] {
+			return
+		}
+		need[w] = true
+		if w == 1 {
+			return
+		}
+		a, b := splitWidth(w)
+		add(a)
+		add(b)
+	}
+	for _, w := range widths {
+		add(w)
+	}
+	order := make([]int, 0, len(need))
+	for w := range need {
+		order = append(order, w)
+	}
+	// Operands are strictly narrower than their user, so ascending width
+	// order is a valid evaluation order.
+	sort.Ints(order)
+	l := &boxLadder{
+		req:    widths,
+		order:  order,
+		splitA: make([]int, len(order)),
+		splitB: make([]int, len(order)),
+		idx:    make(map[int]int, len(order)),
+		sums:   make([][]float64, len(order)),
+	}
+	for i, w := range order {
+		l.idx[w] = i
+		if w > 1 {
+			l.splitA[i], l.splitB[i] = splitWidth(w)
+		}
+	}
+	return l
+}
+
+// ladderFor returns lad when it already decomposes exactly these widths,
+// else a fresh ladder — the pooled-scratch reuse hook of the search paths.
+func ladderFor(lad *boxLadder, widths []int) *boxLadder {
+	if lad != nil && len(lad.req) == len(widths) {
+		same := true
+		for i, w := range widths {
+			if lad.req[i] != w {
+				same = false
+				break
+			}
+		}
+		if same {
+			return lad
+		}
+	}
+	return newBoxLadder(widths)
+}
+
+// compute fills the ladder's window sums over z: after it returns,
+// sums[idx[w]][t] = Σ z[t:t+w] for every closure width w <= len(z). Width
+// 1 aliases z itself; wider sums apply the splitWidth recurrence.
+func (l *boxLadder) compute(z []float64) {
+	n := len(z)
+	for oi, w := range l.order {
+		if w > n {
+			return // ascending order: every later width is too wide too
+		}
+		if w == 1 {
+			l.sums[oi] = z
 			continue
 		}
-		seen[w] = true
+		m := n - w + 1
+		buf := l.sums[oi]
+		if cap(buf) < m {
+			buf = make([]float64, m)
+		}
+		buf = buf[:m]
+		sa := l.sums[l.idx[l.splitA[oi]]]
+		sb := l.sums[l.idx[l.splitB[oi]]][l.splitA[oi]:]
+		for t := range buf {
+			buf[t] = sa[t] + sb[t]
+		}
+		l.sums[oi] = buf
+	}
+}
+
+// detect runs the matched-filter scan over the ladder's sums. Decisions
+// (threshold crossing, local-maximum shape) are made on the raw window
+// sums against threshold·√w — one multiply per width rather than per
+// sample, and the exact basis the streaming boxcar replays — and the
+// emitted SNR is sum/√w as ever. The returned slice aliases the ladder's
+// candidate scratch when no merging occurs; callers convert or copy before
+// the ladder's next use.
+func (l *boxLadder) detect(z []float64, threshold float64) []Detection {
+	n := len(z)
+	l.compute(z)
+	cands := l.cands[:0]
+	for _, w := range l.req {
+		if w > n {
+			continue
+		}
+		s := l.sums[l.idx[w]]
+		raw := threshold * math.Sqrt(float64(w))
 		norm := 1 / math.Sqrt(float64(w))
 		last := n - w // inclusive last start
-		snrAt := func(t int) float64 { return (prefix[t+w] - prefix[t]) * norm }
-		prev := snrAt(0)
+		prev := s[0]
 		cur := prev
 		for t := 0; t <= last; t++ {
 			next := cur
 			if t < last {
-				next = snrAt(t + 1)
+				next = s[t+1]
 			}
 			// Local maximum (plateaus break to the left) above threshold.
-			if cur >= threshold && cur >= prev && cur > next {
-				cands = append(cands, Detection{Start: t, Width: w, SNR: cur})
-			} else if cur >= threshold && t == last && cur >= prev {
-				cands = append(cands, Detection{Start: t, Width: w, SNR: cur})
+			if cur >= raw && cur >= prev && cur > next {
+				cands = append(cands, Detection{Start: t, Width: w, SNR: cur * norm})
+			} else if cur >= raw && t == last && cur >= prev {
+				cands = append(cands, Detection{Start: t, Width: w, SNR: cur * norm})
 			}
 			prev, cur = cur, next
 		}
 	}
+	l.cands = cands
 	return mergeDetections(cands)
 }
 

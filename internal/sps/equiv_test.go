@@ -1,0 +1,299 @@
+package sps
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"math"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+
+	"drapid/internal/rdd"
+	"drapid/internal/spe"
+)
+
+// This file is the property-based gate on the cache-blocked kernels: for
+// randomly drawn but valid observations — channel count, sampling, band
+// direction and bit depth all vary — every kernel/driver combination must
+// emit record-for-record what the scalar batch oracle emits. The blocked
+// dedispersion kernel preserves the scalar kernel's ascending-channel
+// accumulation order and the BoxDIT ladder is the single boxcar arithmetic
+// of batch and stream, so the equality below is exact (bit-for-bit), not
+// approximate.
+
+// equivCase is one randomly drawn observation plus the base search
+// configuration shared by the oracle and every variant.
+type equivCase struct {
+	fb   *Filterbank
+	base Config
+}
+
+// randomEquivCase draws a random valid case. The DM grid is sized so the
+// worst trial's sweep stays well inside the observation (streaming needs
+// a block covering the sweep); the boxcar ladder is ragged so the BoxDIT
+// decomposition exercises non-power-of-two splits; half the cases round-
+// trip through the 8-bit SIGPROC encoding so both kernels consume the
+// quantised decode.
+func randomEquivCase(t *testing.T, rng *rand.Rand) equivCase {
+	t.Helper()
+	nchans := []int{1, 2, 3, 7, 16, 33, 64}[rng.Intn(7)]
+	nsamples := 2048 + rng.Intn(2048)
+	tsamp := []float64{128e-6, 256e-6, 512e-6}[rng.Intn(3)]
+	foff := []float64{0.5, 1, 2, 4}[rng.Intn(4)]
+	scfg := SynthConfig{
+		NChans: nchans, NSamples: nsamples, TsampSec: tsamp,
+		Fch1MHz: 1500, FoffMHz: -foff,
+		Seed: rng.Int63(),
+	}
+	if rng.Intn(2) == 0 {
+		// Ascending band: fch1 becomes the bottom of the same span, so the
+		// reference (top) channel is the last one.
+		scfg.Fch1MHz, scfg.FoffMHz = 1500-float64(nchans-1)*foff, foff
+	}
+	h := scfg.Header()
+
+	step := float64(2 + rng.Intn(3))
+	dmHi := 150.0
+	for dmHi > step && MaxShift(h, dmHi) > nsamples/3 {
+		dmHi /= 2
+	}
+	dms, err := LinearDMs(0, dmHi, step)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Inject pulses inside the grid so the comparison covers real
+	// detections (chains, merges), not just empty outputs.
+	span := float64(nsamples) * tsamp
+	for i := 0; i < 2+rng.Intn(3); i++ {
+		scfg.Pulses = append(scfg.Pulses, InjectedPulse{
+			TimeSec: (0.1 + 0.5*rng.Float64()) * span,
+			DM:      rng.Float64() * dmHi,
+			WidthMs: (2 + 6*rng.Float64()) * tsamp * 1e3,
+			SNR:     10 + 10*rng.Float64(),
+		})
+	}
+	fb, err := Generate(scfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rng.Intn(2) == 0 {
+		fb.NBits = 8
+		var buf bytes.Buffer
+		if err := Write(&buf, fb); err != nil {
+			t.Fatal(err)
+		}
+		if fb, err = Read(bytes.NewReader(buf.Bytes())); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	widthPool := []int{1, 2, 3, 5, 7, 9, 12, 16, 21, 32, 50, 64}
+	rng.Shuffle(len(widthPool), func(i, j int) { widthPool[i], widthPool[j] = widthPool[j], widthPool[i] })
+	widths := append([]int(nil), widthPool[:3+rng.Intn(3)]...)
+
+	return equivCase{fb: fb, base: Config{
+		DMs: dms, Widths: widths,
+		Threshold:  5,
+		NormWindow: []int{256, 512, 1024}[rng.Intn(3)],
+		ZeroDM:     rng.Intn(2) == 0,
+	}}
+}
+
+func withWorkers(cfg Config, n int) Config {
+	cfg.Exec = rdd.ExecConfig{Workers: n}
+	return cfg
+}
+
+// TestKernelEquivalenceRandom sweeps random cases through both plans and
+// asserts that the blocked batch kernel (any worker count), the tiled
+// single-trial split, and both streaming kernels (random block size and
+// worker count) all reproduce the scalar batch oracle exactly.
+func TestKernelEquivalenceRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260808))
+	iters := 8
+	if testing.Short() {
+		iters = 3
+	}
+	totalEvents := 0
+	for it := 0; it < iters; it++ {
+		ec := randomEquivCase(t, rng)
+		for _, plan := range []PlanKind{PlanBrute, PlanSubband} {
+			tag := fmt.Sprintf("iter %d plan %q nchans %d nbits %d foff %g",
+				it, plan, ec.fb.NChans, ec.fb.NBits, ec.fb.FoffMHz)
+
+			oracle := ec.base
+			oracle.Plan = DedispersePlan{Kind: plan, Kernel: KernelScalar}
+			want, wantStats, err := Search(context.Background(), ec.fb, oracle)
+			if err != nil {
+				t.Fatalf("%s: oracle: %v", tag, err)
+			}
+			totalEvents += len(want)
+
+			check := func(label string, cfg Config) {
+				got, stats, err := Search(context.Background(), ec.fb, cfg)
+				if err != nil {
+					t.Fatalf("%s: %s: %v", tag, label, err)
+				}
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("%s: %s: events diverge from scalar oracle (%d vs %d)",
+						tag, label, len(got), len(want))
+				}
+				if stats.Trials != wantStats.Trials || stats.Samples != wantStats.Samples || stats.Events != wantStats.Events {
+					t.Fatalf("%s: %s: stats %+v != oracle %+v", tag, label, stats, wantStats)
+				}
+			}
+
+			blocked := ec.base
+			blocked.Plan = DedispersePlan{Kind: plan, Kernel: KernelBlocked}
+			check("batch blocked workers=1", withWorkers(blocked, 1))
+			check("batch blocked workers=n", withWorkers(blocked, 2+rng.Intn(6)))
+
+			sub, _, err := resolveDedisperse(ec.fb.Header, ec.base.DMs, blocked.Plan)
+			if err != nil {
+				t.Fatalf("%s: %v", tag, err)
+			}
+			sweep, _ := requiredSweep(ec.fb.Header, ec.base.DMs, sub)
+			for _, kern := range []KernelKind{KernelBlocked, KernelScalar} {
+				cfg := ec.base
+				cfg.Plan = DedispersePlan{Kind: plan, Kernel: kern}
+				cfg.BlockSamples = sweep + 1 + rng.Intn(ec.fb.NSamples)
+				cfg.Exec = rdd.ExecConfig{Workers: 1 + rng.Intn(4)}
+				check(fmt.Sprintf("stream kernel=%q block=%d", kern, cfg.BlockSamples), cfg)
+			}
+
+			// A single-trial restriction against a wide pool drives the
+			// time-tiled split (searchBruteTiled); its oracle is the scalar
+			// kernel under the same restriction.
+			res := ec.base
+			res.Plan = DedispersePlan{Kind: plan, Kernel: KernelScalar}
+			res.TrialLo = rng.Intn(len(ec.base.DMs))
+			res.TrialHi = res.TrialLo + 1
+			wantR, _, err := Search(context.Background(), ec.fb, res)
+			if err != nil {
+				t.Fatalf("%s: restricted oracle: %v", tag, err)
+			}
+			res.Plan.Kernel = KernelBlocked
+			res.Exec = rdd.ExecConfig{Workers: 4}
+			gotR, _, err := Search(context.Background(), ec.fb, res)
+			if err != nil {
+				t.Fatalf("%s: restricted blocked: %v", tag, err)
+			}
+			if !reflect.DeepEqual(gotR, wantR) {
+				t.Fatalf("%s: tiled single-trial search diverges from scalar oracle (%d vs %d events)",
+					tag, len(gotR), len(wantR))
+			}
+		}
+	}
+	if totalEvents == 0 {
+		t.Fatal("random sweep produced no events — the equivalence checks compared nothing")
+	}
+}
+
+// refWindowSum is the slow recursive reference for the BoxDIT recurrence:
+// the same decomposition tree the ladder materialises, evaluated
+// independently per (width, offset). Because it performs the identical
+// additions in the identical order, the ladder must match it bit-for-bit.
+func refWindowSum(z []float64, w, t int) float64 {
+	if w == 1 {
+		return z[t]
+	}
+	a, b := splitWidth(w)
+	return refWindowSum(z, a, t) + refWindowSum(z, b, t+a)
+}
+
+// TestBoxLadderMatchesReference pins the ladder's partial-sum reuse to the
+// recursive reference (bit-exact) and to the naive direct window sum
+// (within float64 reassociation tolerance).
+func TestBoxLadderMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	widths := []int{1, 2, 3, 5, 7, 8, 13, 16, 21, 64}
+	const n = 300
+	z := make([]float64, n)
+	for i := range z {
+		z[i] = rng.NormFloat64()
+	}
+	lad := newBoxLadder(widths)
+	lad.compute(z)
+	for _, w := range widths {
+		sums := lad.sums[lad.idx[w]]
+		if len(sums) != n-w+1 {
+			t.Fatalf("width %d: %d sums, want %d", w, len(sums), n-w+1)
+		}
+		for ti, got := range sums {
+			if want := refWindowSum(z, w, ti); got != want {
+				t.Fatalf("width %d offset %d: ladder %v != recursive reference %v", w, ti, got, want)
+			}
+			var direct float64
+			for k := 0; k < w; k++ {
+				direct += z[ti+k]
+			}
+			if math.Abs(got-direct) > 1e-9*math.Max(1, math.Abs(direct)) {
+				t.Fatalf("width %d offset %d: ladder %v vs direct sum %v", w, ti, got, direct)
+			}
+		}
+	}
+}
+
+// TestSearchConcurrentShared hammers the package-level scratch pools and
+// the stateful stream kernels: several goroutines repeatedly run batch and
+// streaming searches (blocked kernels, both plans) over shared inputs, and
+// every run must reproduce its serial reference. Run under -race this is
+// the data-race gate for the pooled trial buffers, the staged channel-major
+// copy, and the per-trial stream state.
+func TestSearchConcurrentShared(t *testing.T) {
+	fb := streamFixture(t)
+	dms, err := LinearDMs(0, 180, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgs := []Config{
+		{DMs: dms, Threshold: 6, NormWindow: 512, ZeroDM: true,
+			Plan: DedispersePlan{Kind: PlanBrute, Kernel: KernelBlocked},
+			Exec: rdd.ExecConfig{Workers: 2}},
+		{DMs: dms, Threshold: 6, NormWindow: 512, ZeroDM: true,
+			Plan:         DedispersePlan{Kind: PlanSubband, Kernel: KernelBlocked},
+			BlockSamples: 2048, Exec: rdd.ExecConfig{Workers: 2}},
+		{DMs: dms, Threshold: 6, NormWindow: 512,
+			Plan:         DedispersePlan{Kind: PlanBrute, Kernel: KernelBlocked},
+			BlockSamples: 1024, Exec: rdd.ExecConfig{Workers: 3}},
+	}
+	refs := make([][]spe.SPE, len(cfgs))
+	for i, cfg := range cfgs {
+		if refs[i], _, err = Search(context.Background(), fb, cfg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	loops := 2
+	if testing.Short() {
+		loops = 1
+	}
+	var wg sync.WaitGroup
+	errc := make(chan error, 2*len(cfgs)*loops)
+	for g := 0; g < 2*len(cfgs); g++ {
+		i := g % len(cfgs)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for l := 0; l < loops; l++ {
+				got, _, err := Search(context.Background(), fb, cfgs[i])
+				if err != nil {
+					errc <- fmt.Errorf("cfg %d: %w", i, err)
+					return
+				}
+				if !reflect.DeepEqual(got, refs[i]) {
+					errc <- fmt.Errorf("cfg %d: concurrent run diverged from serial reference (%d vs %d events)",
+						i, len(got), len(refs[i]))
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,132 @@
+package sps
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// FuzzKernelPlanner fuzzes the three planners behind the blocked kernels —
+// the L1 time-tile planner, the BoxDIT width-closure builder, and the
+// subband nominal-grid planner — over adversarial headers and grids. The
+// contract under fuzz: never panic, and when a subband plan is produced at
+// all, never violate the half-sample smearing ceiling. Validation failures
+// must surface as errors, not as out-of-range geometry downstream kernels
+// would index with.
+func FuzzKernelPlanner(f *testing.F) {
+	f.Add(int64(1), 64, 4096, 256e-6, 1500.0, -2.0, 150.0, 0)
+	f.Add(int64(7), 1, 0, 64e-6, 1350.0, 4.0, 0.0, 1)
+	f.Add(int64(42), 4096, 1<<20, 1e-9, 0.001, -1e-6, 1e12, 7)
+	f.Add(int64(-9), 3, 17, math.Inf(1), 1500.0, 2.0, math.NaN(), -1)
+	f.Fuzz(func(t *testing.T, seed int64, nchans, nsamples int, tsamp, fch1, foff, dmHi float64, nsub int) {
+		// Time-tile planner: for any non-negative sample count the tile is a
+		// power of two in [64, 4096] and the ranges partition [0, n) exactly.
+		n := nsamples
+		if n < 0 {
+			n = -n
+		}
+		n %= 1 << 22
+		tile := planTileSamples(n)
+		if tile < 64 || tile > 1<<12 || tile&(tile-1) != 0 {
+			t.Fatalf("n=%d: tile %d outside power-of-two [64, 4096]", n, tile)
+		}
+		cover := 0
+		for _, tr := range tileRanges(n) {
+			if tr[0] != cover || tr[1] <= tr[0] || tr[1]-tr[0] > tile {
+				t.Fatalf("n=%d tile=%d: bad range %v after %d", n, tile, tr, cover)
+			}
+			cover = tr[1]
+		}
+		if cover != n {
+			t.Fatalf("n=%d: tiles cover [0, %d)", n, cover)
+		}
+
+		// BoxDIT closure: operands of every composite width are present,
+		// strictly narrower, sum to it, and precede it in evaluation order;
+		// the closure stays small (≤ 2·log₂(maxW) entries per request).
+		rng := rand.New(rand.NewSource(seed))
+		widths := make([]int, 1+rng.Intn(5))
+		for i := range widths {
+			widths[i] = 1 + rng.Intn(1<<12)
+		}
+		clean, err := validWidths(widths)
+		if err != nil {
+			t.Fatalf("generated widths %v rejected: %v", widths, err)
+		}
+		lad := newBoxLadder(clean)
+		for _, w := range clean {
+			if _, ok := lad.idx[w]; !ok {
+				t.Fatalf("requested width %d missing from closure", w)
+			}
+		}
+		for oi, w := range lad.order {
+			if oi > 0 && lad.order[oi-1] >= w {
+				t.Fatalf("closure order not strictly ascending at %d: %v", oi, lad.order)
+			}
+			if lad.idx[w] != oi {
+				t.Fatalf("idx[%d] = %d, want %d", w, lad.idx[w], oi)
+			}
+			if w == 1 {
+				continue
+			}
+			a, b := lad.splitA[oi], lad.splitB[oi]
+			if a+b != w || a < 1 || b < 1 || a >= w || b >= w {
+				t.Fatalf("width %d: split %d+%d", w, a, b)
+			}
+			if _, ok := lad.idx[a]; !ok {
+				t.Fatalf("width %d: left operand %d missing", w, a)
+			}
+			if _, ok := lad.idx[b]; !ok {
+				t.Fatalf("width %d: right operand %d missing", w, b)
+			}
+		}
+		if len(lad.order) > 2*13*len(clean)+1 {
+			t.Fatalf("closure of %d widths blew up to %d entries", len(clean), len(lad.order))
+		}
+
+		// Subband planner: adversarial headers and grids either error out or
+		// produce a plan whose geometry is indexable and whose worst-case
+		// smearing respects the half-sample ceiling.
+		h := Header{
+			NChans: nchans, NBits: 32, NIFs: 1, NSamples: n,
+			TsampSec: tsamp, Fch1MHz: fch1, FoffMHz: foff,
+		}
+		ntr := 2 + int(uint64(seed)%14)
+		dms := make([]float64, ntr)
+		for i := range dms {
+			dms[i] = dmHi * float64(i) / float64(ntr-1)
+		}
+		p, err := PlanSubbands(h, dms, nsub)
+		if err != nil {
+			return
+		}
+		if s := p.MaxSmearSamples(); !(s <= 0.5+1e-9) {
+			t.Fatalf("plan %s: smearing %g samples exceeds the half-sample ceiling", p.Describe(), s)
+		}
+		if p.NSub < 1 || p.NSub > h.NChans {
+			t.Fatalf("plan has %d subbands for %d channels", p.NSub, h.NChans)
+		}
+		chCover := 0
+		for s := 0; s < p.NSub; s++ {
+			lo, hi := p.subRange(s)
+			if lo != chCover || hi <= lo || hi > h.NChans {
+				t.Fatalf("subband %d: range [%d, %d) after %d of %d channels", s, lo, hi, chCover, h.NChans)
+			}
+			chCover = hi
+		}
+		if chCover != h.NChans {
+			t.Fatalf("subbands cover %d of %d channels", chCover, h.NChans)
+		}
+		if len(p.NominalDMs) < 1 || len(p.NominalDMs) > maxNominals+len(dms) {
+			t.Fatalf("nominal grid of %d entries for %d trials", len(p.NominalDMs), len(dms))
+		}
+		if len(p.assign) != len(dms) {
+			t.Fatalf("%d assignments for %d trials", len(p.assign), len(dms))
+		}
+		for i, k := range p.assign {
+			if k < 0 || k >= len(p.NominalDMs) {
+				t.Fatalf("trial %d assigned to nominal %d of %d", i, k, len(p.NominalDMs))
+			}
+		}
+	})
+}

@@ -3,6 +3,7 @@ package sps
 import (
 	"context"
 	"fmt"
+	"math"
 	"sync"
 	"time"
 
@@ -143,29 +144,37 @@ func (sc *stageClock) seconds() map[string]float64 {
 }
 
 // trialBuffers is the per-trial scratch a worker reuses: the dedispersed
-// series, the per-channel shift table, and (on the streaming path) the
-// normalised-sample segment. Pooling them makes steady-state search
-// allocation-free per trial, which is what lets the DM fan-out scale with
-// workers instead of with the allocator.
+// series, the per-channel shift table, the normalisation prefix sums, the
+// boxcar ladder, and (on the streaming path) the normalised-sample
+// segment. Pooling them makes steady-state search allocation-free per
+// trial, which is what lets the DM fan-out scale with workers instead of
+// with the allocator.
 type trialBuffers struct {
 	series []float64
 	shifts []int
 	z      []float64
+	nsum   []float64
+	nsq    []float64
+	lad    *boxLadder
 }
 
 var trialPool = sync.Pool{New: func() any { return &trialBuffers{} }}
 
 // subbandBuffers is the per-nominal scratch of the two-stage path: the
-// NSub stage-1 subband series, the stage-2 combined series, and the two
-// shift tables. One set serves a whole nominal group — stage 1 once,
-// then every assigned fine trial — so steady-state subband search is
-// allocation-free per nominal just as the brute path is per trial.
+// NSub stage-1 subband series, the stage-2 combined series, the two
+// shift tables, and the same downstream scratch trialBuffers carries. One
+// set serves a whole nominal group — stage 1 once, then every assigned
+// fine trial — so steady-state subband search is allocation-free per
+// nominal just as the brute path is per trial.
 type subbandBuffers struct {
 	sub       [][]float32
 	combined  []float64
 	shifts    []int
 	subShifts []int
 	z         []float64
+	nsum      []float64
+	nsq       []float64
+	lad       *boxLadder
 }
 
 var subbandPool = sync.Pool{New: func() any { return &subbandBuffers{} }}
@@ -254,8 +263,8 @@ func resolveSearch(hdr Header, cfg Config) (widths []int, threshold float64, sub
 		return nil, 0, nil, "", fmt.Errorf("sps: no trial DMs")
 	}
 	for i, dm := range cfg.DMs {
-		if dm < 0 {
-			return nil, 0, nil, "", fmt.Errorf("sps: trial DM %g must be >= 0", dm)
+		if math.IsNaN(dm) || math.IsInf(dm, 0) || dm < 0 {
+			return nil, 0, nil, "", fmt.Errorf("sps: trial DM %g must be finite and >= 0", dm)
 		}
 		if i > 0 && dm <= cfg.DMs[i-1] {
 			return nil, 0, nil, "", fmt.Errorf("sps: trial DMs must ascend (trial %d: %g after %g)", i, dm, cfg.DMs[i-1])
@@ -294,11 +303,24 @@ func trialRange(cfg Config) (lo, hi int) {
 }
 
 // searchBrute is the one-stage strategy: every trial DM in the configured
-// trial range dedisperses the full band independently (Dedisperse), fanned
-// out per trial on the pool.
+// trial range dedisperses the full band independently, fanned out per
+// trial on the pool. Under the blocked kernel (DESIGN.md §11) the
+// filterbank is staged channel-major once — amortised over the whole
+// trial grid — and grids narrower than the pool switch to a per-time-tile
+// fan-out so the workers stay busy even on a single trial.
 func searchBrute(ctx context.Context, fb *Filterbank, cfg Config, widths []int, threshold float64,
 	perTrial [][]spe.SPE, searched []int64, errs []error, sc *stageClock) error {
 	lo, hi := trialRange(cfg)
+	var cm *chanMajor
+	if cfg.Plan.Kernel != KernelScalar {
+		t0 := time.Now()
+		cm = &chanMajor{}
+		cm.stage(fb.Data, fb.NSamples, fb.NChans)
+		sc.add(StageDedisperse, time.Since(t0))
+		if hi-lo < cfg.Exec.NumWorkers() {
+			return searchBruteTiled(ctx, fb, cm, cfg, lo, hi, widths, threshold, perTrial, searched, sc)
+		}
+	}
 	return rdd.RunParallel(ctx, cfg.Exec, hi-lo, func(k int) {
 		i := lo + k
 		dm := cfg.DMs[i]
@@ -309,19 +331,78 @@ func searchBrute(ctx context.Context, fb *Filterbank, cfg Config, widths []int, 
 		defer trialPool.Put(bufs)
 		t0 := time.Now()
 		bufs.shifts = ChannelShifts(fb.Header, dm, bufs.shifts[:0])
-		series, err := Dedisperse(fb, bufs.shifts, bufs.series)
-		if err != nil {
-			errs[i] = err
-			return
+		var series []float64
+		if cm != nil {
+			n := fb.NSamples - maxShiftOf(bufs.shifts)
+			if n < 1 {
+				return
+			}
+			series = cm.dedisperse(bufs.shifts, 0, n, bufs.series)
+		} else {
+			var err error
+			series, err = Dedisperse(fb, bufs.shifts, bufs.series)
+			if err != nil {
+				errs[i] = err
+				return
+			}
 		}
 		bufs.series = series // keep the (possibly grown) buffer for reuse
 		t1 := time.Now()
-		Normalize(series, cfg.NormWindow)
+		bufs.nsum, bufs.nsq = normalizeInto(series, cfg.NormWindow, bufs.nsum, bufs.nsq)
 		t2 := time.Now()
+		bufs.lad = ladderFor(bufs.lad, widths)
 		searched[i] = int64(len(series))
-		perTrial[i] = trialEvents(dm, fb.TsampSec, BoxcarDetect(series, widths, threshold))
+		perTrial[i] = trialEvents(dm, fb.TsampSec, bufs.lad.detect(series, threshold))
 		sc.add3(StageDedisperse, t1.Sub(t0), StageNormalise, t2.Sub(t1), StageBoxcar, time.Since(t2))
 	})
+}
+
+// searchBruteTiled is the blocked brute path for trial grids narrower than
+// the worker pool: instead of idling workers on a per-trial fan-out, each
+// trial's accumulation fans out across its time tiles (tileRanges). Tiles
+// write disjoint output ranges and each output sample keeps the fixed
+// ascending-channel accumulation order, so the folded series — and every
+// downstream record — is bit-identical to the per-trial path for any
+// worker count.
+func searchBruteTiled(ctx context.Context, fb *Filterbank, cm *chanMajor, cfg Config, lo, hi int, widths []int, threshold float64,
+	perTrial [][]spe.SPE, searched []int64, sc *stageClock) error {
+	bufs := trialPool.Get().(*trialBuffers)
+	defer trialPool.Put(bufs)
+	for i := lo; i < hi; i++ {
+		dm := cfg.DMs[i]
+		if MaxShift(fb.Header, dm) >= fb.NSamples {
+			continue // sweep longer than the observation: unconstrainable trial
+		}
+		t0 := time.Now()
+		bufs.shifts = ChannelShifts(fb.Header, dm, bufs.shifts[:0])
+		n := fb.NSamples - maxShiftOf(bufs.shifts)
+		if n < 1 {
+			continue
+		}
+		if cap(bufs.series) < n {
+			bufs.series = make([]float64, n)
+		}
+		series := bufs.series[:n]
+		for t := range series {
+			series[t] = 0
+		}
+		shifts := bufs.shifts
+		tiles := tileRanges(n)
+		if err := rdd.RunParallel(ctx, cfg.Exec, len(tiles), func(j int) {
+			cm.accumulate(shifts, 0, cm.nchan, 0, tiles[j][0], tiles[j][1], series)
+		}); err != nil {
+			return err
+		}
+		bufs.series = series
+		t1 := time.Now()
+		bufs.nsum, bufs.nsq = normalizeInto(series, cfg.NormWindow, bufs.nsum, bufs.nsq)
+		t2 := time.Now()
+		bufs.lad = ladderFor(bufs.lad, widths)
+		searched[i] = int64(n)
+		perTrial[i] = trialEvents(dm, fb.TsampSec, bufs.lad.detect(series, threshold))
+		sc.add3(StageDedisperse, t1.Sub(t0), StageNormalise, t2.Sub(t1), StageBoxcar, time.Since(t2))
+	}
+	return nil
 }
 
 // searchSubband is the two-stage strategy (DESIGN.md §6): fine trials
@@ -336,6 +417,13 @@ func searchBrute(ctx context.Context, fb *Filterbank, cfg Config, widths []int, 
 func searchSubband(ctx context.Context, fb *Filterbank, cfg Config, plan *SubbandPlan, widths []int, threshold float64,
 	perTrial [][]spe.SPE, searched []int64, errs []error, sc *stageClock) error {
 	groups := plan.nominalGroups()
+	var cm *chanMajor
+	if cfg.Plan.Kernel != KernelScalar {
+		t0 := time.Now()
+		cm = &chanMajor{}
+		cm.stage(fb.Data, fb.NSamples, fb.NChans)
+		sc.add(StageDedisperse, time.Since(t0))
+	}
 	lo, hi := trialRange(cfg)
 	if lo != 0 || hi != len(cfg.DMs) {
 		// Restricted search: drop out-of-range fine trials from every
@@ -363,12 +451,13 @@ func searchSubband(ctx context.Context, fb *Filterbank, cfg Config, plan *Subban
 		// time is the group total minus the timed callback kernels.
 		var norm, box time.Duration
 		t0 := time.Now()
-		plan.dedisperseNominal(fb, k, groups[k], bufs, func(i int, series []float64) error {
+		plan.dedisperseNominal(fb, cm, k, groups[k], bufs, func(i int, series []float64) error {
 			ts := time.Now()
-			Normalize(series, cfg.NormWindow)
+			bufs.nsum, bufs.nsq = normalizeInto(series, cfg.NormWindow, bufs.nsum, bufs.nsq)
 			tn := time.Now()
+			bufs.lad = ladderFor(bufs.lad, widths)
 			searched[i] = int64(len(series))
-			perTrial[i] = trialEvents(cfg.DMs[i], fb.TsampSec, BoxcarDetect(series, widths, threshold))
+			perTrial[i] = trialEvents(cfg.DMs[i], fb.TsampSec, bufs.lad.detect(series, threshold))
 			norm += tn.Sub(ts)
 			box += time.Since(tn)
 			return nil

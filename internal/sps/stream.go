@@ -125,93 +125,127 @@ func (ns *normStream) finish(out []float64) []float64 {
 	return out
 }
 
-// widthScan is one boxcar width's scan state: the next undecided start
-// position and the SNR at the position before it.
-type widthScan struct {
-	w    int
-	norm float64
-	next int
-	prev float64
+// rawScan is one boxcar width's scan state: the next undecided start
+// position and the raw window sum at the position before it.
+type rawScan struct {
+	w         int
+	oi        int // the width's index in the ladder's closure order
+	rawThresh float64
+	norm      float64
+	next      int
+	prev      float64
 }
 
-// boxcarStream is BoxcarDetect as an incremental state machine. SNRs come
-// from a running prefix sum (batch accumulation order, so bit-identical);
-// each width decides start position t once the SNR at t+1 is computable;
-// and the cross-width overlap merge resolves lazily: candidates stay
-// pending until their whole overlap chain lies behind every width's scan
-// frontier, at which point chain-local merging equals the batch path's
-// global mergeDetections (windows never overlap across chains, and the
-// greedy best-first suppression never interacts across disjoint windows).
-type boxcarStream struct {
+// boxStream is BoxcarDetect as an incremental state machine over the same
+// BoxDIT ladder the batch detector runs (DESIGN.md §11). Each closure
+// width keeps a contiguous buffer of window sums extended by the pairwise
+// recurrence as z-samples arrive — identical arithmetic to
+// boxLadder.compute over the whole series, so decisions (made on the raw
+// sums against threshold·√w, exactly the batch basis) are bit-identical.
+// Each requested width decides start position t once the sum at t+1 is
+// computable; the cross-width overlap merge resolves lazily: candidates
+// stay pending until their whole overlap chain lies behind every width's
+// scan frontier, at which point chain-local merging equals the batch
+// path's global mergeDetections (windows never overlap across chains, and
+// the greedy best-first suppression never interacts across disjoint
+// windows). Buffers compact to the oldest sum still reachable — by a
+// future recurrence operand or an undecided scan — so per-trial state
+// stays O(maxW + gulp), never O(observation).
+type boxStream struct {
 	threshold float64
-	maxW      int
-	scans     []widthScan
-	n         int
-	sum       float64
-	ring      []float64 // prefix sums by absolute index mod maxW+2
+	maxW      int // widest closure width
+	lad       *boxLadder
+	scans     []rawScan
+	n         int         // absolute z-samples fed
+	off       int         // absolute index of every buffer's first entry
+	bufs      [][]float64 // per closure width: S_w from absolute index off (width 1: z itself)
 	pending   []Detection
 	out       []Detection
 }
 
-func newBoxcarStream(widths []int, threshold float64) *boxcarStream {
-	bs := &boxcarStream{threshold: threshold}
-	for _, w := range widths {
-		if w > bs.maxW {
-			bs.maxW = w
-		}
-		bs.scans = append(bs.scans, widthScan{w: w, norm: 1 / math.Sqrt(float64(w))})
+func newBoxStream(widths []int, threshold float64) *boxStream {
+	lad := newBoxLadder(widths)
+	bs := &boxStream{
+		threshold: threshold,
+		maxW:      lad.order[len(lad.order)-1],
+		lad:       lad,
+		bufs:      make([][]float64, len(lad.order)),
 	}
-	bs.ring = make([]float64, bs.maxW+2)
+	for _, w := range widths {
+		bs.scans = append(bs.scans, rawScan{
+			w: w, oi: lad.idx[w],
+			rawThresh: threshold * math.Sqrt(float64(w)),
+			norm:      1 / math.Sqrt(float64(w)),
+		})
+	}
 	return bs
 }
 
-func (bs *boxcarStream) snr(s *widthScan, t int) float64 {
-	m := len(bs.ring)
-	return (bs.ring[(t+s.w)%m] - bs.ring[t%m]) * s.norm
+// sum reads S_w (closure index oi) at absolute start position t.
+func (bs *boxStream) sum(oi, t int) float64 { return bs.bufs[oi][t-bs.off] }
+
+// grow appends a z segment and extends every closure width's sums to the
+// new frontier via the ladder recurrence. Evaluation walks the closure
+// ascending, so both operands of S_w[t] = S_a[t] + S_b[t+a] exist by the
+// time they are read: S_a reaches n−a ≥ n−w and S_b[t+a] needs
+// t ≤ n−w exactly.
+func (bs *boxStream) grow(z []float64) {
+	bs.n += len(z)
+	for oi, w := range bs.lad.order {
+		if w == 1 {
+			bs.bufs[oi] = append(bs.bufs[oi], z...)
+			continue
+		}
+		a := bs.lad.splitA[oi]
+		sa := bs.bufs[bs.lad.idx[a]]
+		sb := bs.bufs[bs.lad.idx[bs.lad.splitB[oi]]]
+		buf := bs.bufs[oi]
+		for t := bs.off + len(buf); t <= bs.n-w; t++ {
+			buf = append(buf, sa[t-bs.off]+sb[t+a-bs.off])
+		}
+		bs.bufs[oi] = buf
+	}
 }
 
 // decide advances scan s by one start position, applying BoxcarDetect's
-// local-maximum rule (or its end-of-series plateau rule when last).
-func (bs *boxcarStream) decide(s *widthScan, last bool) {
+// local-maximum rule (or its end-of-series plateau rule when last) on the
+// raw window sums.
+func (bs *boxStream) decide(s *rawScan, last bool) {
 	t := s.next
-	cur := bs.snr(s, t)
+	cur := bs.sum(s.oi, t)
 	prev := s.prev
 	if t == 0 {
 		prev = cur
 	}
 	if last {
-		if cur >= bs.threshold && cur >= prev {
-			bs.pending = append(bs.pending, Detection{Start: t, Width: s.w, SNR: cur})
+		if cur >= s.rawThresh && cur >= prev {
+			bs.pending = append(bs.pending, Detection{Start: t, Width: s.w, SNR: cur * s.norm})
 		}
-	} else if nxt := bs.snr(s, t+1); cur >= bs.threshold && cur >= prev && cur > nxt {
-		bs.pending = append(bs.pending, Detection{Start: t, Width: s.w, SNR: cur})
+	} else if nxt := bs.sum(s.oi, t+1); cur >= s.rawThresh && cur >= prev && cur > nxt {
+		bs.pending = append(bs.pending, Detection{Start: t, Width: s.w, SNR: cur * s.norm})
 	}
 	s.prev = cur
 	s.next++
 }
 
-// feed appends normalised samples and advances every width's scan as far
-// as the data allows, then finalises the overlap chains that fell behind
-// the frontier.
-func (bs *boxcarStream) feed(z []float64) {
-	m := len(bs.ring)
-	for _, v := range z {
-		bs.sum += v
-		bs.n++
-		bs.ring[bs.n%m] = bs.sum
-		for i := range bs.scans {
-			s := &bs.scans[i]
-			for s.next+s.w+1 <= bs.n {
-				bs.decide(s, false)
-			}
+// feed appends normalised samples, advances every width's scan as far as
+// the data allows, finalises the overlap chains that fell behind the
+// frontier, and compacts the sum buffers.
+func (bs *boxStream) feed(z []float64) {
+	bs.grow(z)
+	for i := range bs.scans {
+		s := &bs.scans[i]
+		for s.next+s.w+1 <= bs.n {
+			bs.decide(s, false)
 		}
 	}
 	bs.finalize(bs.frontier())
+	bs.compact()
 }
 
 // finish decides the remaining positions of every width — including the
 // end-of-series rule at the last one — and finalises everything.
-func (bs *boxcarStream) finish() {
+func (bs *boxStream) finish() {
 	for i := range bs.scans {
 		s := &bs.scans[i]
 		last := bs.n - s.w
@@ -225,9 +259,30 @@ func (bs *boxcarStream) finish() {
 	bs.finalize(math.MaxInt)
 }
 
+// compact drops every sum no longer reachable: the recurrence only reads
+// operand positions ≥ n−maxW+1 from here on, and scans only positions ≥
+// their frontier (each scan caches its own prev).
+func (bs *boxStream) compact() {
+	keep := bs.n - bs.maxW + 1
+	if f := bs.frontier(); f < keep {
+		keep = f
+	}
+	if keep <= bs.off {
+		return
+	}
+	d := keep - bs.off
+	for oi, buf := range bs.bufs {
+		// Every buffer reaches at least n−w+1 ≥ keep entries past off, so
+		// d never exceeds a buffer's length.
+		copy(buf, buf[d:])
+		bs.bufs[oi] = buf[:len(buf)-d]
+	}
+	bs.off = keep
+}
+
 // frontier is the earliest start position any width has yet to decide —
 // the lower bound on every future candidate's window start.
-func (bs *boxcarStream) frontier() int {
+func (bs *boxStream) frontier() int {
 	f := math.MaxInt
 	for i := range bs.scans {
 		if bs.scans[i].next < f {
@@ -240,7 +295,7 @@ func (bs *boxcarStream) frontier() int {
 // horizon is the lower bound on the start of any candidate not yet
 // finalised — pending or future — which is what bounds this trial's next
 // possible event centre.
-func (bs *boxcarStream) horizon() int {
+func (bs *boxStream) horizon() int {
 	h := bs.frontier()
 	for i := range bs.pending {
 		if bs.pending[i].Start < h {
@@ -254,7 +309,7 @@ func (bs *boxcarStream) horizon() int {
 // windows that ends before frontier. Chains are disjoint intervals in
 // ascending order, so their chain-end positions ascend and the finalizable
 // ones form a prefix.
-func (bs *boxcarStream) finalize(frontier int) {
+func (bs *boxStream) finalize(frontier int) {
 	if len(bs.pending) == 0 {
 		return
 	}
@@ -282,7 +337,7 @@ func (bs *boxcarStream) finalize(frontier int) {
 
 // take returns the finalised detections accumulated since the last call;
 // the returned slice is only valid until the next feed.
-func (bs *boxcarStream) take() []Detection {
+func (bs *boxStream) take() []Detection {
 	d := bs.out
 	bs.out = bs.out[:0]
 	return d
@@ -295,7 +350,7 @@ type streamState struct {
 	dm     float64
 	sweep  int // trailing samples this trial's output loses to its dispersion sweep
 	norm   *normStream
-	box    *boxcarStream
+	box    *boxStream
 	clock  *stageClock // shared per-search stage accumulator (nil-safe)
 	fed    int64
 	events []spe.SPE // finalised, centre-ascending, not yet emitted
@@ -615,7 +670,7 @@ func searchBlockStream(ctx context.Context, hdr Header, open func(overlap int) (
 	sc := newStageClock()
 	trials := make([]*streamState, len(cfg.DMs))
 	for i, dm := range cfg.DMs {
-		trials[i] = &streamState{dm: dm, sweep: shifts.sweeps[i], norm: newNormStream(window), box: newBoxcarStream(widths, threshold), clock: sc}
+		trials[i] = &streamState{dm: dm, sweep: shifts.sweeps[i], norm: newNormStream(window), box: newBoxStream(widths, threshold), clock: sc}
 	}
 	src, err := open(overlap)
 	if err != nil {
@@ -626,6 +681,13 @@ func searchBlockStream(ctx context.Context, hdr Header, open func(overlap int) (
 		groups = sub.nominalGroups()
 	}
 	var zd zeroDMState
+	// Under the blocked kernel each gulp is staged channel-major once and
+	// shared read-only by every trial's (or nominal's) task — the staging
+	// cost amortises over the whole trial grid exactly as on the batch path.
+	var cm *chanMajor
+	if cfg.Plan.Kernel != KernelScalar {
+		cm = &chanMajor{}
+	}
 	nchan := hdr.NChans
 	tsamp := hdr.TsampSec
 	for {
@@ -644,6 +706,11 @@ func searchBlockStream(ctx context.Context, hdr Header, open func(overlap int) (
 			data = zd.apply(blk, nchan)
 			sc.add(StageZeroDM, time.Since(tz))
 		}
+		if cm != nil {
+			ts := time.Now()
+			cm.stage(data, blk.Rows, nchan)
+			sc.add(StageDedisperse, time.Since(ts))
+		}
 		if sub != nil {
 			err = rdd.RunParallel(ctx, cfg.Exec, len(groups), func(k int) {
 				if len(groups[k]) == 0 {
@@ -652,7 +719,7 @@ func searchBlockStream(ctx context.Context, hdr Header, open func(overlap int) (
 				bufs := subbandPool.Get().(*subbandBuffers)
 				defer subbandPool.Put(bufs)
 				td := time.Now()
-				bufs.sub = sub.stage1Block(data, blk.Rows, shifts.nomCh[k], shifts.nomIntra[k], bufs.sub)
+				bufs.sub = sub.stage1Block(data, cm, blk.Rows, shifts.nomCh[k], shifts.nomIntra[k], bufs.sub)
 				var dd time.Duration = time.Since(td)
 				for _, i := range groups[k] {
 					st := trials[i]
@@ -677,7 +744,11 @@ func searchBlockStream(ctx context.Context, hdr Header, open func(overlap int) (
 				bufs := trialPool.Get().(*trialBuffers)
 				defer trialPool.Put(bufs)
 				td := time.Now()
-				bufs.series = dedisperseBlock(data, nchan, shifts.trialCh[i], blk.Start, outLo, outHi, bufs.series)
+				if cm != nil {
+					bufs.series = cm.dedisperse(shifts.trialCh[i], outLo-blk.Start, outHi-outLo, bufs.series)
+				} else {
+					bufs.series = dedisperseBlock(data, nchan, shifts.trialCh[i], blk.Start, outLo, outHi, bufs.series)
+				}
 				sc.add(StageDedisperse, time.Since(td))
 				bufs.z = st.feed(tsamp, bufs.series, bufs.z)
 			})

@@ -47,6 +47,12 @@ type DedispersePlan struct {
 	// count minimising total arithmetic under the half-sample smearing
 	// ceiling (see PlanSubbands). Ignored by PlanBrute.
 	NSub int
+	// Kernel selects the dedispersion kernel implementation (DESIGN.md
+	// §11): KernelAuto/KernelBlocked run the cache-blocked kernel —
+	// channel-major staging plus tiled accumulation — and KernelScalar the
+	// original sample-major walk, kept as the bit-exact oracle. Both
+	// kernels apply to either plan Kind and produce identical output.
+	Kernel KernelKind
 }
 
 // SubbandPlan is one concrete two-stage subband dedispersion plan
@@ -123,6 +129,14 @@ func PlanSubbands(h Header, dms []float64, nsub int) (*SubbandPlan, error) {
 	if len(dms) == 0 {
 		return nil, fmt.Errorf("sps: no trial DMs to plan")
 	}
+	for i, dm := range dms {
+		if math.IsNaN(dm) || math.IsInf(dm, 0) || dm < 0 {
+			return nil, fmt.Errorf("sps: trial DM %g must be finite and >= 0", dm)
+		}
+		if i > 0 && dm < dms[i-1] {
+			return nil, fmt.Errorf("sps: trial DMs must ascend (trial %d: %g after %g)", i, dm, dms[i-1])
+		}
+	}
 	if nsub < 0 || nsub > h.NChans {
 		return nil, fmt.Errorf("sps: subband count %d outside [0,%d] (0 auto-chooses)", nsub, h.NChans)
 	}
@@ -186,9 +200,12 @@ func buildSubbandPlan(h Header, dms []float64, nsub int) *SubbandPlan {
 	default:
 		// Half-sample ceiling: (step/2) × span ≤ tsamp/2 ⇒ step ≤ tsamp/span.
 		step := h.TsampSec / spanSec
-		if minGap := minSpacing(dms); step < minGap {
-			// The required nominal grid would be denser than the fine grid
-			// itself: degenerate to nominal == fine (exact, zero smearing).
+		if minGap := minSpacing(dms); step < minGap || (dmHi-dmLo)/step >= float64(maxNominals) {
+			// Either the required nominal grid would be denser than the fine
+			// grid itself, or an extreme DM range against a tiny step would
+			// ask for an unrepresentable nominal count (the float quotient
+			// guards the int conversion below against overflow). Degenerate
+			// to nominal == fine (exact, zero smearing).
 			p.NominalDMs = append([]float64(nil), dms...)
 			p.assign = make([]int, len(dms))
 			for i := range p.assign {
@@ -220,6 +237,12 @@ func buildSubbandPlan(h Header, dms []float64, nsub int) *SubbandPlan {
 	return p
 }
 
+// maxNominals bounds the nominal grid a plan may allocate; a ceiling-
+// compliant grid needing more nominals than this degenerates to the fine
+// grid instead (always valid — zero smearing — and bounded by the caller's
+// trial count).
+const maxNominals = 1 << 20
+
 // minSpacing returns the smallest gap of the ascending grid (0 for a
 // single trial).
 func minSpacing(dms []float64) float64 {
@@ -239,6 +262,9 @@ func minSpacing(dms []float64) float64 {
 // search: a non-nil *SubbandPlan for the two-stage path, nil for brute
 // force, plus the human-readable description Stats carries.
 func resolveDedisperse(h Header, dms []float64, cfg DedispersePlan) (*SubbandPlan, string, error) {
+	if err := validKernel(cfg.Kernel); err != nil {
+		return nil, "", err
+	}
 	switch cfg.Kind {
 	case PlanBrute:
 		return nil, string(PlanBrute), nil
@@ -260,10 +286,13 @@ func resolveDedisperse(h Header, dms []float64, cfg DedispersePlan) (*SubbandPla
 // (subRef[s]) and sum into dst[s], a float32 series of NSamples −
 // maxIntraShift(s) samples (the tail a subband channel would read past
 // the end is dropped, exactly as Dedisperse drops the full-band tail).
-// shifts is reused scratch of NChans ints. The rare observation shorter
-// than a nominal's own intra-subband sweep returns ok == false — every
-// fine trial of that nominal is unconstrainable.
-func (p *SubbandPlan) stage1(fb *Filterbank, k int, dst [][]float32, shifts []int) ([][]float32, bool) {
+// shifts is reused scratch of NChans ints. A non-nil cm (the search's
+// channel-major staging of fb.Data) switches the accumulation to the
+// blocked kernel — same per-sample channel order, so the float32 sums are
+// bit-identical. The rare observation shorter than a nominal's own
+// intra-subband sweep returns ok == false — every fine trial of that
+// nominal is unconstrainable.
+func (p *SubbandPlan) stage1(fb *Filterbank, cm *chanMajor, k int, dst [][]float32, shifts []int) ([][]float32, bool) {
 	nu := p.NominalDMs[k]
 	nchan := fb.NChans
 	if cap(dst) < p.NSub {
@@ -283,6 +312,10 @@ func (p *SubbandPlan) stage1(fb *Filterbank, k int, dst [][]float32, shifts []in
 		n := fb.NSamples - maxIntra
 		if n < 1 {
 			return dst, false
+		}
+		if cm != nil {
+			dst[s] = cm.dedisperseF32(shifts, lo, hi, 0, n, dst[s])
+			continue
 		}
 		series := dst[s]
 		if cap(series) < n {
@@ -312,10 +345,11 @@ func (p *SubbandPlan) stage1(fb *Filterbank, k int, dst [][]float32, shifts []in
 // output samples [blk.Start, blk.Start+blkRows−intra[s]). shifts and
 // intra are the nominal's precomputed channel-shift table and per-subband
 // maxima (streamShifts) — block-invariant, so they are derived once per
-// search, not per gulp. The channel accumulation order matches stage1
-// exactly, so for any block size the float32 sums are bit-identical to
-// the whole-observation pass.
-func (p *SubbandPlan) stage1Block(data []float32, blkRows int, shifts, intra []int, dst [][]float32) [][]float32 {
+// search, not per gulp. A non-nil cm (the gulp's channel-major staging)
+// switches to the blocked kernel. The channel accumulation order matches
+// stage1 exactly, so for any block size and either kernel the float32
+// sums are bit-identical to the whole-observation pass.
+func (p *SubbandPlan) stage1Block(data []float32, cm *chanMajor, blkRows int, shifts, intra []int, dst [][]float32) [][]float32 {
 	nchan := p.hdr.NChans
 	if cap(dst) < p.NSub {
 		dst = make([][]float32, p.NSub)
@@ -326,6 +360,10 @@ func (p *SubbandPlan) stage1Block(data []float32, blkRows int, shifts, intra []i
 		n := blkRows - intra[s]
 		if n < 0 {
 			n = 0
+		}
+		if cm != nil {
+			dst[s] = cm.dedisperseF32(shifts, lo, hi, 0, n, dst[s])
+			continue
 		}
 		series := dst[s]
 		if cap(series) < n {
@@ -388,14 +426,14 @@ func (p *SubbandPlan) nominalGroups() [][]int {
 // observation) are skipped, mirroring the brute path's skip; an error from
 // each is recorded in errs[i] (when errs is non-nil), giving the subband
 // path the same per-trial error reporting as the brute one.
-func (p *SubbandPlan) dedisperseNominal(fb *Filterbank, k int, trials []int, bufs *subbandBuffers, each func(i int, series []float64) error, errs []error) {
+func (p *SubbandPlan) dedisperseNominal(fb *Filterbank, cm *chanMajor, k int, trials []int, bufs *subbandBuffers, each func(i int, series []float64) error, errs []error) {
 	if cap(bufs.shifts) < fb.NChans {
 		bufs.shifts = make([]int, fb.NChans)
 	}
 	if cap(bufs.subShifts) < p.NSub {
 		bufs.subShifts = make([]int, p.NSub)
 	}
-	sub, ok := p.stage1(fb, k, bufs.sub, bufs.shifts[:fb.NChans])
+	sub, ok := p.stage1(fb, cm, k, bufs.sub, bufs.shifts[:fb.NChans])
 	bufs.sub = sub
 	if !ok {
 		return
