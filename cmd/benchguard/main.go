@@ -5,13 +5,16 @@
 //	benchguard -baseline BENCH_baseline.json -current /tmp/bench_ci.json
 //
 // The default tracked series are the repo's scaling contracts: the
-// dedispersion kernel throughput, the streaming search throughput, and
-// the streaming search's bounded-memory peak-alloc. Regenerate the
-// baseline with the same invocation CI uses (the bench-smoke step) after
-// an intentional perf change:
+// dedispersion kernel throughput, the streaming search throughput, the
+// streaming search's bounded-memory peak-alloc, and the fleet data
+// plane's bytes-on-wire and event-codec throughput. Regenerate the
+// baseline with the same invocations CI uses (the bench-smoke step)
+// after an intentional perf change:
 //
 //	BENCH_JSON=$PWD/BENCH_baseline.json go test -short -run xxx \
 //	    -bench 'Dedisperse|Boxcar|Search' -benchtime 1x ./internal/sps
+//	BENCH_JSON=$PWD/BENCH_baseline.json go test -short -run xxx \
+//	    -bench 'Fleet' -benchtime 1x ./internal/fleet
 //
 // (BENCH_JSON must be absolute: go test runs the package in its own
 // directory, and a relative path would land the artifact there.)
@@ -28,12 +31,15 @@ import (
 
 // defaultSeries are the tracked patterns (path.Match syntax, comma-joined
 // for the flag default): kernel throughput, end-to-end search throughput
-// in both modes, and the per-mode peak allocation.
+// in both modes, the per-mode peak allocation, and the fleet data plane
+// (bytes-on-wire per sharded job, event codec throughput).
 const defaultSeries = "BenchmarkDedisperse/workers=*," +
 	"BenchmarkDedisperse/kernel=*," +
 	"BenchmarkDedisperse/plan=*," +
 	"BenchmarkSearch/mode=*," +
-	"BenchmarkBoxcar/*"
+	"BenchmarkBoxcar/*," +
+	"BenchmarkFleetWire/proto=*," +
+	"BenchmarkFleetCodec/codec=*"
 
 func main() {
 	baseline := flag.String("baseline", "BENCH_baseline.json", "checked-in baseline artifact")

@@ -63,6 +63,7 @@ func main() {
 		partsCore  = flag.Int("partitions", 32, "default hash partitions per core")
 		modelPath  = flag.String("model", "", "drapid-model/v1 JSON to serve /v1/classify from (optional)")
 		workerMode = flag.Bool("worker", false, "run as a fleet worker: serve the shard protocol instead of the jobs API")
+		blobCache  = flag.Int("blob-cache", 0, "worker blob-cache bound in MiB for content-addressed observations (0 = 256)")
 		fleetURLs  = flag.String("fleet", "", "comma-separated worker base URLs to coordinate sharded detect jobs over")
 		fleetLocal = flag.Int("fleet-local", 0, "in-process fleet workers (single-host sharding; mixes with -fleet)")
 		journalDir = flag.String("journal", "", "directory to journal queued/running jobs in; replayed on restart")
@@ -83,7 +84,7 @@ func main() {
 	}
 
 	if *workerMode {
-		if err := runWorker(*addr, *debugAddr, *workers, *drainWait, logger); err != nil {
+		if err := runWorker(*addr, *debugAddr, *workers, *blobCache, *drainWait, logger); err != nil {
 			fatal("worker failed", "err", err)
 		}
 		return
@@ -218,18 +219,22 @@ func serveDebug(addr string, reg *obs.Registry, logger *slog.Logger) {
 	}
 }
 
-// runWorker serves the fleet shard protocol (GET /v1/shard/ping, POST
-// /v1/shard) plus /healthz and /metrics: the whole of a worker daemon.
-// Workers are stateless — every shard arrives self-contained — so they
-// need no journal and no drain: SIGTERM lets in-flight shard requests
-// finish within the drain bound and the coordinator resubmits anything
-// cut off.
-func runWorker(addr, debugAddr string, workers int, drainWait time.Duration, logger *slog.Logger) error {
+// runWorker serves the fleet shard protocol (GET /v1/shard/ping,
+// HEAD/PUT /v1/blob/{digest}, POST /v1/shard) plus /healthz and
+// /metrics: the whole of a worker daemon. Shard execution is stateless
+// — the blob cache is pure content-addressed data, re-uploadable by any
+// coordinator — so workers need no journal and no drain: SIGTERM lets
+// in-flight shard requests finish within the drain bound and the
+// coordinator resubmits anything cut off.
+func runWorker(addr, debugAddr string, workers, blobCacheMiB int, drainWait time.Duration, logger *slog.Logger) error {
 	exec := rdd.ExecConfig{Workers: workers}
 	exec.Limiter = rdd.NewLimiter(exec.NumWorkers())
+	cache := fleet.NewBlobCache(int64(blobCacheMiB)<<20, obs.Default)
+	handler := fleet.NewHandler(exec, cache)
 	mux := http.NewServeMux()
-	mux.Handle("/v1/shard", fleet.Handler(exec))
-	mux.Handle("/v1/shard/", fleet.Handler(exec))
+	mux.Handle("/v1/shard", handler)
+	mux.Handle("/v1/shard/", handler)
+	mux.Handle("/v1/blob/", handler)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		fmt.Fprintln(w, `{"ok":true}`)
@@ -260,11 +265,15 @@ func runWorker(addr, debugAddr string, workers int, drainWait time.Duration, log
 	return nil
 }
 
-// workerRoute normalises worker request paths into a bounded label set.
+// workerRoute normalises worker request paths into a bounded label set
+// (blob paths embed a digest, so they collapse to one label).
 func workerRoute(r *http.Request) string {
 	switch r.URL.Path {
 	case "/v1/shard", "/v1/shard/ping", "/healthz", "/metrics":
 		return r.URL.Path
+	}
+	if strings.HasPrefix(r.URL.Path, "/v1/blob/") {
+		return "/v1/blob/{digest}"
 	}
 	return "other"
 }

@@ -478,7 +478,10 @@ func newFleet(cfg config, exec rdd.ExecConfig) *fleet.Coordinator {
 		workers = append(workers, fleet.NewLocal(fmt.Sprintf("local-%d", i), exec))
 	}
 	for i, u := range cfg.fleetRemote {
-		workers = append(workers, fleet.NewRemote(fmt.Sprintf("remote-%d", i), u, nil))
+		// Remote wire counters land in the engine registry, so the
+		// coordinator's /metrics shows bytes on the wire per worker.
+		workers = append(workers, fleet.NewRemote(fmt.Sprintf("remote-%d", i), u, nil,
+			fleet.WithWireMetrics(cfg.fleetCfg.Metrics)))
 	}
 	if len(workers) == 0 {
 		return nil

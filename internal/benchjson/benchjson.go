@@ -44,6 +44,11 @@ type Entry struct {
 	// EventsPerS is the record-processing rate for benchmarks whose natural
 	// unit is events rather than bytes (the sift series).
 	EventsPerS float64 `json:"events_per_s,omitempty"`
+	// WireBytes is the bytes-on-the-wire cost of one operation, when the
+	// benchmark measures a protocol rather than a kernel — the fleet wire
+	// series, where the guard watches for the data plane quietly growing
+	// chatty (re-shipping observations, inflating encodings).
+	WireBytes int64 `json:"wire_bytes,omitempty"`
 	// StageMs is the per-pipeline-stage time of one operation in
 	// milliseconds, keyed like "stage_dedisperse_ms" (the search
 	// frontend's Stats.StageSeconds, scaled) — how the search benchmarks

@@ -50,6 +50,23 @@ func TestCompareWithinTolerancePasses(t *testing.T) {
 	}
 }
 
+func TestCompareWireBytesGrowth(t *testing.T) {
+	base := compDoc(Entry{Name: "BenchmarkFleetWire/proto=v2", WireBytes: 1000})
+	cur := compDoc(Entry{Name: "BenchmarkFleetWire/proto=v2", WireBytes: 1600}) // +60%: chattier wire
+	regs, err := Compare(base, cur, []string{"BenchmarkFleetWire/*"}, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 1 || regs[0].Metric != "wire_bytes" {
+		t.Fatalf("wire-bytes growth not flagged: %v", regs)
+	}
+	// Shrinking wire cost is an improvement, never a regression.
+	cur = compDoc(Entry{Name: "BenchmarkFleetWire/proto=v2", WireBytes: 100})
+	if regs, _ := Compare(base, cur, []string{"BenchmarkFleetWire/*"}, 15); len(regs) != 0 {
+		t.Fatalf("wire-bytes reduction flagged: %v", regs)
+	}
+}
+
 func TestCompareMissingTrackedSeries(t *testing.T) {
 	base := compDoc(Entry{Name: "BenchmarkSearch/mode=stream", MBPerS: 500})
 	regs, err := Compare(base, compDoc(), []string{"BenchmarkSearch/*"}, 15)

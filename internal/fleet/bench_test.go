@@ -3,11 +3,15 @@ package fleet
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"fmt"
+	"net/http/httptest"
 	"os"
 	"testing"
+	"time"
 
 	"drapid/internal/benchjson"
+	"drapid/internal/obs"
 	"drapid/internal/rdd"
 	"drapid/internal/spe"
 	"drapid/internal/sps"
@@ -84,7 +88,8 @@ func BenchmarkFleet(b *testing.B) {
 	} {
 		name := fmt.Sprintf("shards=%d/workers=%d", grid.shards, grid.workers)
 		b.Run(name, func(b *testing.B) {
-			coord := NewCoordinator(Config{}, benchWorkers(grid.workers)...)
+			reg := obs.NewRegistry()
+			coord := NewCoordinator(Config{Metrics: reg}, benchWorkers(grid.workers)...)
 			defer coord.Close()
 			shards := PlanDM("bench", raw, dms, search, grid.shards)
 			b.SetBytes(bytesPerOp)
@@ -117,7 +122,384 @@ func BenchmarkFleet(b *testing.B) {
 			if ns := s.NsPerOp(); ns > 0 {
 				e.EventsPerS = float64(events) / ns * 1e9
 			}
+			// Mean queue-to-dispatch latency over every shard attempt of the
+			// run, from the coordinator's per-worker histograms.
+			if mean := dispatchMeanSeconds(reg, grid.workers); mean > 0 {
+				e.StageMs = map[string]float64{"dispatch": mean * 1e3}
+			}
 			benchOut.Record(e)
 		})
+	}
+}
+
+// dispatchMeanSeconds folds the per-worker dispatch-latency histograms
+// (drapid_fleet_dispatch_seconds) into one mean.
+func dispatchMeanSeconds(reg *obs.Registry, workers int) float64 {
+	var count uint64
+	var sum float64
+	for i := 0; i < workers; i++ {
+		h := reg.Histogram("drapid_fleet_dispatch_seconds",
+			"Queue-to-dispatch latency of shard attempts: time from entering the todo queue to landing on a worker.",
+			dispatchBuckets, obs.L("worker", fmt.Sprintf("w%d", i)))
+		count += h.Count()
+		sum += h.Sum()
+	}
+	if count == 0 {
+		return 0
+	}
+	return sum / float64(count)
+}
+
+// wireFixtureShards plans the 4-shard DM job every wire measurement
+// uses; the satellite acceptance numbers are quoted against this shape.
+func wireFixtureShards(b *testing.B, raw []byte, dms []float64) []ShardSpec {
+	b.Helper()
+	search := SearchSpec{Threshold: 6, NormWindow: 1024, ZeroDM: true, Plan: "brute"}
+	shards := PlanDM("bench", raw, dms, search, 4)
+	if len(shards) != 4 {
+		b.Fatalf("planned %d shards, want 4", len(shards))
+	}
+	return shards
+}
+
+// dispatchAll round-robins the shards over the remotes sequentially, so
+// the bytes each worker sees are deterministic (with a coordinator the
+// shard→worker assignment races and the cold-path upload count would
+// depend on scheduling).
+func dispatchAll(tb testing.TB, shards []ShardSpec, remotes []*Remote) {
+	tb.Helper()
+	for i, s := range shards {
+		if _, err := remotes[i%len(remotes)].Run(context.Background(), s,
+			func([]spe.SPE) error { return nil }); err != nil {
+			tb.Fatal(err)
+		}
+	}
+}
+
+func remoteSent(remotes []*Remote) int64 {
+	var total float64
+	for _, r := range remotes {
+		total += r.sent.Value()
+	}
+	return int64(total)
+}
+
+// BenchmarkFleetWire measures coordinator→worker bytes for the 4-shard
+// DM job under the three protocol shapes — v1 JSON-inline, v2 cold
+// (blob upload + lean specs), v2 warm (cache hit, lean specs only) —
+// and records each as a wire_bytes series benchguard tracks. The
+// before/after ISSUE 10 comparison lives in these three entries.
+func BenchmarkFleetWire(b *testing.B) {
+	raw, dms, _ := benchFixture(b)
+	shards := wireFixtureShards(b, raw, dms)
+	const nWorkers = 2
+
+	// proto=json: the v1 data plane — every shard ships the observation
+	// inline, base64-inflated, to whichever worker runs it.
+	b.Run("proto=json", func(b *testing.B) {
+		servers := make([]*httptest.Server, nWorkers)
+		for i := range servers {
+			servers[i] = httptest.NewServer(legacyHandler(testExec()))
+			defer servers[i].Close()
+		}
+		s := &benchjson.Sample{}
+		var wire int64
+		op := func() {
+			reg := obs.NewRegistry()
+			remotes := make([]*Remote, nWorkers)
+			for i, ts := range servers {
+				remotes[i] = NewRemote(fmt.Sprintf("w%d", i), ts.URL, nil, WithWireMetrics(reg))
+			}
+			dispatchAll(b, shards, remotes)
+			wire = remoteSent(remotes)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			s.Time(op)
+		}
+		b.StopTimer()
+		s.EnsureN(3, op)
+		e := s.Entry("BenchmarkFleetWire/proto=json", 0, nWorkers)
+		e.WireBytes = wire
+		benchOut.Record(e)
+	})
+
+	// proto=v2: cold caches — each worker receives the blob once, raw,
+	// plus four lean specs. Fresh servers and remotes per iteration keep
+	// every measurement cold.
+	b.Run("proto=v2", func(b *testing.B) {
+		s := &benchjson.Sample{}
+		var wire int64
+		op := func() {
+			servers := make([]*httptest.Server, nWorkers)
+			remotes := make([]*Remote, nWorkers)
+			reg := obs.NewRegistry()
+			for i := range servers {
+				servers[i] = httptest.NewServer(NewHandler(testExec(), NewBlobCache(0, nil)))
+				remotes[i] = NewRemote(fmt.Sprintf("w%d", i), servers[i].URL, nil, WithWireMetrics(reg))
+			}
+			dispatchAll(b, shards, remotes)
+			wire = remoteSent(remotes)
+			for _, ts := range servers {
+				ts.Close()
+			}
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			s.Time(op)
+		}
+		b.StopTimer()
+		s.EnsureN(3, op)
+		e := s.Entry("BenchmarkFleetWire/proto=v2", 0, nWorkers)
+		e.WireBytes = wire
+		benchOut.Record(e)
+	})
+
+	// proto=v2-cached: repeat submission over a warm cache — the second
+	// job of the CI smoke, resubmission after worker loss, every job
+	// after the first on a long-lived fleet.
+	b.Run("proto=v2-cached", func(b *testing.B) {
+		reg := obs.NewRegistry()
+		servers := make([]*httptest.Server, nWorkers)
+		remotes := make([]*Remote, nWorkers)
+		for i := range servers {
+			servers[i] = httptest.NewServer(NewHandler(testExec(), NewBlobCache(0, nil)))
+			defer servers[i].Close()
+			remotes[i] = NewRemote(fmt.Sprintf("w%d", i), servers[i].URL, nil, WithWireMetrics(reg))
+		}
+		dispatchAll(b, shards, remotes) // warm the caches, untimed
+		s := &benchjson.Sample{}
+		var wire int64
+		op := func() {
+			before := remoteSent(remotes)
+			dispatchAll(b, shards, remotes)
+			wire = remoteSent(remotes) - before
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			s.Time(op)
+		}
+		b.StopTimer()
+		s.EnsureN(3, op)
+		e := s.Entry("BenchmarkFleetWire/proto=v2-cached", 0, nWorkers)
+		e.WireBytes = wire
+		benchOut.Record(e)
+	})
+}
+
+// codecFixture builds a deterministic event batch whose natural wire
+// volume is n × 36 record-bytes. Both codec benchmarks report MB/s over
+// that same volume, so their ratio is a pure encode+decode time ratio.
+func codecFixture(n int) []spe.SPE {
+	events := make([]spe.SPE, n)
+	for i := range events {
+		events[i] = spe.SPE{
+			DM:       float64(i%300) * 0.5,
+			SNR:      6 + float64(i%97)/7.0,
+			Time:     float64(i) * 256e-6,
+			Sample:   int64(i),
+			Downfact: 1 + i%150,
+		}
+	}
+	return events
+}
+
+// BenchmarkFleetCodec measures the event return path's encode+decode
+// rate for the binary frame codec against the NDJSON lines it replaced,
+// over identical batches and a common per-op volume (n × 36 bytes).
+// The ISSUE 10 acceptance bar is binary ≥ 3× JSON in MB/s.
+func BenchmarkFleetCodec(b *testing.B) {
+	n := 200_000
+	if testing.Short() {
+		n = 50_000
+	}
+	events := codecFixture(n)
+	stats := sps.Stats{Trials: 96, Samples: 1 << 14, Events: n, Plan: "brute"}
+	vol := int64(n) * eventWireSize
+
+	b.Run("codec=binary", func(b *testing.B) {
+		var buf bytes.Buffer
+		op := func() {
+			buf.Reset()
+			fw := &frameWriter{w: &buf}
+			if err := fw.writeEvents(events); err != nil {
+				b.Fatal(err)
+			}
+			if err := fw.writeStats(stats); err != nil {
+				b.Fatal(err)
+			}
+			fr := &frameReader{r: bytes.NewReader(buf.Bytes())}
+			total := 0
+			for {
+				typ, payload, err := fr.next()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if typ == frameStats {
+					break
+				}
+				total += len(fr.events(payload))
+			}
+			if total != n {
+				b.Fatalf("decoded %d events, want %d", total, n)
+			}
+		}
+		b.SetBytes(vol)
+		s := &benchjson.Sample{}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			s.Time(op)
+		}
+		b.StopTimer()
+		s.EnsureN(3, op)
+		benchOut.Record(s.Entry("BenchmarkFleetCodec/codec=binary", vol, 0))
+	})
+
+	b.Run("codec=json", func(b *testing.B) {
+		var buf bytes.Buffer
+		op := func() {
+			buf.Reset()
+			enc := json.NewEncoder(&buf)
+			if err := enc.Encode(shardLine{Events: toWire(events)}); err != nil {
+				b.Fatal(err)
+			}
+			if err := enc.Encode(shardLine{Done: true, Stats: &wireStats{
+				Trials: stats.Trials, Samples: stats.Samples, Events: stats.Events, Plan: stats.Plan,
+			}}); err != nil {
+				b.Fatal(err)
+			}
+			dec := json.NewDecoder(bytes.NewReader(buf.Bytes()))
+			total := 0
+			for {
+				var l shardLine
+				if err := dec.Decode(&l); err != nil {
+					b.Fatal(err)
+				}
+				if l.Done {
+					break
+				}
+				total += len(fromWire(l.Events))
+			}
+			if total != n {
+				b.Fatalf("decoded %d events, want %d", total, n)
+			}
+		}
+		b.SetBytes(vol)
+		s := &benchjson.Sample{}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			s.Time(op)
+		}
+		b.StopTimer()
+		s.EnsureN(3, op)
+		benchOut.Record(s.Entry("BenchmarkFleetCodec/codec=json", vol, 0))
+	})
+}
+
+// TestWireBytesReduction asserts the tentpole's acceptance numbers
+// directly, independent of the benchmark artifact: for the 4-shard DM
+// job, v2 cold cuts coordinator→worker bytes ≥60% against JSON-inline,
+// and a warm repeat submission cuts ≥95%.
+func TestWireBytesReduction(t *testing.T) {
+	_, raw := testObservation(t)
+	dms := testGrid()
+	search := SearchSpec{Threshold: 6, Plan: "brute", NormWindow: 1024}
+	shards := PlanDM("bench", raw, dms, search, 4)
+	if len(shards) != 4 {
+		t.Fatalf("planned %d shards, want 4", len(shards))
+	}
+
+	v1 := httptest.NewServer(legacyHandler(testExec()))
+	defer v1.Close()
+	regJSON := obs.NewRegistry()
+	rJSON := NewRemote("w0", v1.URL, nil, WithWireMetrics(regJSON))
+	dispatchAll(t, shards, []*Remote{rJSON})
+	sentJSON := remoteSent([]*Remote{rJSON})
+
+	v2 := httptest.NewServer(NewHandler(testExec(), NewBlobCache(0, nil)))
+	defer v2.Close()
+	regV2 := obs.NewRegistry()
+	rV2 := NewRemote("w0", v2.URL, nil, WithWireMetrics(regV2))
+	dispatchAll(t, shards, []*Remote{rV2})
+	sentCold := remoteSent([]*Remote{rV2})
+	dispatchAll(t, shards, []*Remote{rV2})
+	sentCached := remoteSent([]*Remote{rV2}) - sentCold
+
+	t.Logf("wire bytes, 4-shard DM job over %d-byte observation: json=%d cold=%d cached=%d",
+		len(raw), sentJSON, sentCold, sentCached)
+	if sentCold > sentJSON*2/5 {
+		t.Errorf("v2 cold = %d bytes, want >= 60%% below json's %d", sentCold, sentJSON)
+	}
+	if sentCached > sentJSON/20 {
+		t.Errorf("v2 cached = %d bytes, want >= 95%% below json's %d", sentCached, sentJSON)
+	}
+}
+
+// TestCodecSpeedup asserts the binary codec's acceptance bar without
+// waiting for a bench run: encode+decode of the same batch must beat
+// JSON by ≥3× (in practice it is an order of magnitude).
+func TestCodecSpeedup(t *testing.T) {
+	n := 150_000
+	if testing.Short() {
+		n = 30_000
+	}
+	events := codecFixture(n)
+	stats := sps.Stats{Trials: 96, Samples: 1 << 14, Events: n, Plan: "brute"}
+
+	timeOp := func(op func()) time.Duration {
+		op() // warm caches and grow buffers untimed
+		best := time.Duration(1 << 62)
+		for i := 0; i < 3; i++ {
+			t0 := time.Now()
+			op()
+			if d := time.Since(t0); d < best {
+				best = d
+			}
+		}
+		return best
+	}
+
+	var bbuf bytes.Buffer
+	binary := timeOp(func() {
+		bbuf.Reset()
+		fw := &frameWriter{w: &bbuf}
+		fw.writeEvents(events)
+		fw.writeStats(stats)
+		fr := &frameReader{r: bytes.NewReader(bbuf.Bytes())}
+		for {
+			typ, payload, err := fr.next()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if typ == frameStats {
+				break
+			}
+			fr.events(payload)
+		}
+	})
+
+	var jbuf bytes.Buffer
+	jsonDur := timeOp(func() {
+		jbuf.Reset()
+		enc := json.NewEncoder(&jbuf)
+		enc.Encode(shardLine{Events: toWire(events)})
+		enc.Encode(shardLine{Done: true})
+		dec := json.NewDecoder(bytes.NewReader(jbuf.Bytes()))
+		for {
+			var l shardLine
+			if err := dec.Decode(&l); err != nil {
+				t.Fatal(err)
+			}
+			if l.Done {
+				break
+			}
+			fromWire(l.Events)
+		}
+	})
+
+	ratio := float64(jsonDur) / float64(binary)
+	t.Logf("codec round-trip over %d events: binary %v, json %v (%.1fx)", n, binary, jsonDur, ratio)
+	if ratio < 3 {
+		t.Errorf("binary codec only %.1fx JSON, acceptance bar is 3x", ratio)
 	}
 }

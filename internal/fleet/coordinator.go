@@ -312,6 +312,13 @@ func (c *Coordinator) release(ws *workerState) {
 	c.mu.Unlock()
 }
 
+// dispatchBuckets ladder the dispatch-latency histogram: queue waits run
+// from sub-millisecond (idle fleet) to many seconds (every worker busy,
+// or a requeued shard waiting out a heartbeat interval).
+var dispatchBuckets = []float64{
+	.0005, .001, .0025, .005, .01, .025, .05, .1, .25, .5, 1, 2.5, 5, 10, 30,
+}
+
 // runJob is the per-job merge and bookkeeping state.
 type runJob struct {
 	mu        sync.Mutex
@@ -320,6 +327,7 @@ type runJob struct {
 	stats     []sps.Stats
 	done      []bool
 	attempts  []int
+	queuedAt  []time.Time // when the shard last entered the todo queue
 	doneCount int
 	running   int
 	resub     int
@@ -359,9 +367,12 @@ func (c *Coordinator) Run(ctx context.Context, shards []ShardSpec, emit func([]s
 		stats:    make([]sps.Stats, len(shards)),
 		done:     make([]bool, len(shards)),
 		attempts: make([]int, len(shards)),
+		queuedAt: make([]time.Time, len(shards)),
 	}
 	todo := make(chan int, len(shards)*c.cfg.MaxAttempts)
+	now := time.Now()
 	for i := range shards {
+		j.queuedAt[i] = now
 		todo <- i
 	}
 	c.addQueued(len(shards))
@@ -469,10 +480,14 @@ func (c *Coordinator) runShard(runCtx context.Context, cancelRun context.CancelC
 	j.running++
 	spec := j.shards[i]
 	spec.Attempt = j.attempts[i]
+	queuedAt := j.queuedAt[i]
 	j.mu.Unlock()
 	c.addRunning(1)
 	c.metrics.Counter("drapid_fleet_shard_attempts_total", "Shard dispatches, first attempts and resubmissions alike.",
 		obs.L("worker", ws.w.Name())).Inc()
+	c.metrics.Histogram("drapid_fleet_dispatch_seconds",
+		"Queue-to-dispatch latency of shard attempts: time from entering the todo queue to landing on a worker.",
+		dispatchBuckets, obs.L("worker", ws.w.Name())).Observe(time.Since(queuedAt).Seconds())
 	c.progress(j, opts)
 
 	var buf []spe.SPE
@@ -538,6 +553,9 @@ func (c *Coordinator) runShard(runCtx context.Context, cancelRun context.CancelC
 		if fail {
 			cancelRun(j.failed)
 		} else {
+			j.mu.Lock()
+			j.queuedAt[i] = time.Now()
+			j.mu.Unlock()
 			c.addQueued(1)
 			todo <- i
 		}

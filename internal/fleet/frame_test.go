@@ -1,0 +1,297 @@
+package fleet
+
+import (
+	"bytes"
+	"io"
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+
+	"drapid/internal/spe"
+	"drapid/internal/sps"
+)
+
+// TestFrameRoundTrip encodes a stream of event batches plus a stats
+// trailer and decodes it back bit-exactly, including the float edge
+// cases JSON cannot carry losslessly-and-cheaply.
+func TestFrameRoundTrip(t *testing.T) {
+	batches := [][]spe.SPE{
+		{
+			{DM: 12.5, SNR: 9.25, Time: 0.125, Sample: 1024, Downfact: 3},
+			{DM: math.Pi, SNR: math.Nextafter(6, 7), Time: 1e-9, Sample: 1 << 40, Downfact: 150},
+		},
+		{
+			{DM: 0, SNR: math.Inf(1), Time: -0.5, Sample: -1, Downfact: -2},
+		},
+	}
+	stats := sps.Stats{Trials: 51, Samples: 8192, Events: 3, Plan: "subband",
+		StageSeconds: map[string]float64{"dedisperse": 1.25, "boxcar": 0.5}}
+
+	var buf bytes.Buffer
+	fw := &frameWriter{w: &buf}
+	for _, b := range batches {
+		if err := fw.writeEvents(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := fw.writeStats(stats); err != nil {
+		t.Fatal(err)
+	}
+
+	fr := &frameReader{r: bytes.NewReader(buf.Bytes())}
+	var got []spe.SPE
+	for {
+		typ, payload, err := fr.next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if typ == frameStats {
+			dec, err := decodeStats(payload)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(dec, stats) {
+				t.Fatalf("stats round-trip: got %+v, want %+v", dec, stats)
+			}
+			break
+		}
+		got = append(got, append([]spe.SPE(nil), fr.events(payload)...)...)
+	}
+	var want []spe.SPE
+	for _, b := range batches {
+		want = append(want, b...)
+	}
+	if !eventsEqual(want, got) {
+		t.Fatalf("events round-trip: got %d events, want %d", len(got), len(want))
+	}
+	// The terminator must be the last frame.
+	if _, _, err := fr.next(); err != io.EOF {
+		t.Fatalf("after the stats frame: err = %v, want io.EOF", err)
+	}
+}
+
+// TestFrameErrorRoundTrip covers the failure terminator.
+func TestFrameErrorRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	fw := &frameWriter{w: &buf}
+	if err := fw.writeError("shard exploded"); err != nil {
+		t.Fatal(err)
+	}
+	fr := &frameReader{r: &buf}
+	typ, payload, err := fr.next()
+	if err != nil || typ != frameError || string(payload) != "shard exploded" {
+		t.Fatalf("error frame: typ %q payload %q err %v", typ, payload, err)
+	}
+}
+
+// TestFrameWriterSplitsBatches pins that an oversized batch is split
+// across frames rather than emitting one over the payload bound.
+func TestFrameWriterSplitsBatches(t *testing.T) {
+	const maxPerFrame = maxFramePayload / eventWireSize
+	events := make([]spe.SPE, maxPerFrame+3)
+	for i := range events {
+		events[i].Sample = int64(i)
+	}
+	var buf bytes.Buffer
+	if err := (&frameWriter{w: &buf}).writeEvents(events); err != nil {
+		t.Fatal(err)
+	}
+	fr := &frameReader{r: &buf}
+	var total int
+	for frames := 0; ; frames++ {
+		_, payload, err := fr.next()
+		if err == io.EOF {
+			if frames != 2 {
+				t.Fatalf("batch split into %d frames, want 2", frames)
+			}
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += len(payload) / eventWireSize
+	}
+	if total != len(events) {
+		t.Fatalf("decoded %d events, want %d", total, len(events))
+	}
+}
+
+// TestFrameReaderRejects pins the decoder's bounds: declared sizes past
+// the payload cap, non-record-multiple event payloads, unknown types and
+// truncation all fail without allocating the declared size.
+func TestFrameReaderRejects(t *testing.T) {
+	frame := func(typ byte, declared uint32, payload []byte) []byte {
+		b := []byte{typ, byte(declared), byte(declared >> 8), byte(declared >> 16), byte(declared >> 24)}
+		return append(b, payload...)
+	}
+	cases := map[string]struct {
+		in   []byte
+		want string
+	}{
+		"oversized events":  {frame(frameEvents, maxFramePayload+eventWireSize, nil), "bound"},
+		"ragged events":     {frame(frameEvents, 35, make([]byte, 35)), "multiple"},
+		"oversized error":   {frame(frameError, maxErrorPayload+1, nil), "bound"},
+		"unknown type":      {frame('Z', 0, nil), "unknown frame type"},
+		"truncated header":  {[]byte{frameEvents, 1}, "header truncated"},
+		"truncated payload": {frame(frameEvents, 72, make([]byte, 36)), "payload truncated"},
+	}
+	for name, tc := range cases {
+		fr := &frameReader{r: bytes.NewReader(tc.in)}
+		if _, _, err := fr.next(); err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want %q", name, err, tc.want)
+		}
+	}
+}
+
+// TestBlobCacheLRU pins the eviction policy: byte-bounded, least
+// recently used first, recency bumped by Get.
+func TestBlobCacheLRU(t *testing.T) {
+	blob := func(fill byte) (string, []byte) {
+		b := bytes.Repeat([]byte{fill}, 100)
+		return Digest(b), b
+	}
+	c := NewBlobCache(250, nil)
+	d1, b1 := blob(1)
+	d2, b2 := blob(2)
+	d3, b3 := blob(3)
+	for _, put := range []struct {
+		d string
+		b []byte
+	}{{d1, b1}, {d2, b2}} {
+		if err := c.Put(put.d, put.b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, ok := c.Get(d1); !ok { // bump d1: d2 becomes LRU
+		t.Fatal("d1 missing")
+	}
+	if err := c.Put(d3, b3); err != nil {
+		t.Fatal(err)
+	}
+	if c.Contains(d2) {
+		t.Fatal("d2 survived eviction despite being LRU")
+	}
+	if !c.Contains(d1) || !c.Contains(d3) {
+		t.Fatal("recently used blobs evicted")
+	}
+	if c.Bytes() != 200 || c.Len() != 2 {
+		t.Fatalf("cache holds %d bytes in %d blobs, want 200 in 2", c.Bytes(), c.Len())
+	}
+}
+
+// TestBlobCachePutRejects pins the integrity checks: content must hash
+// to the claimed digest, and a blob past the whole bound is refused.
+func TestBlobCachePutRejects(t *testing.T) {
+	c := NewBlobCache(100, nil)
+	data := []byte("observation")
+	if err := c.Put(Digest([]byte("other")), data); err == nil {
+		t.Fatal("mismatched content accepted")
+	}
+	if err := c.Put("zz", data); err == nil {
+		t.Fatal("malformed digest accepted")
+	}
+	big := make([]byte, 101)
+	if err := c.Put(Digest(big), big); err == nil {
+		t.Fatal("blob past the cache bound accepted")
+	}
+	if c.Len() != 0 {
+		t.Fatalf("rejected puts left %d blobs resident", c.Len())
+	}
+}
+
+// FuzzBlobDigest: every input digests to a valid content address that
+// round-trips through the cache, and mutated content is refused under
+// the original digest.
+func FuzzBlobDigest(f *testing.F) {
+	f.Add([]byte(nil))
+	f.Add([]byte("observation"))
+	f.Add(bytes.Repeat([]byte{0xFF}, 64))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d := Digest(data)
+		if err := ValidDigest(d); err != nil {
+			t.Fatalf("Digest produced an invalid address: %v", err)
+		}
+		c := NewBlobCache(int64(len(data))+1024, nil)
+		if err := c.Put(d, data); err != nil {
+			t.Fatalf("Put of honest content: %v", err)
+		}
+		got, ok := c.Get(d)
+		if !ok || !bytes.Equal(got, data) {
+			t.Fatal("cached blob does not round-trip")
+		}
+		if len(data) > 0 {
+			mut := append([]byte(nil), data...)
+			mut[0] ^= 1
+			if err := c.Put(d, mut); err == nil {
+				t.Fatal("mutated content accepted under the original digest")
+			}
+		}
+	})
+}
+
+// FuzzEventFrame: the frame decoder never panics on arbitrary bytes,
+// bounds every allocation, and everything it accepts re-encodes to a
+// stream that decodes to the same values (bit-exact for events).
+func FuzzEventFrame(f *testing.F) {
+	seed := appendEvents(nil, []spe.SPE{
+		{DM: 12.5, SNR: 9.25, Time: 0.125, Sample: 1024, Downfact: 3},
+		{DM: math.Pi, SNR: 6.5, Time: 2.5, Sample: 99, Downfact: 30},
+	})
+	seed = appendStats(seed, sps.Stats{Trials: 4, Samples: 100, Events: 2, Plan: "brute",
+		StageSeconds: map[string]float64{"boxcar": 0.25}})
+	f.Add(seed)
+	f.Add(appendError(nil, "worker lost"))
+	f.Add([]byte{frameEvents, 36, 0, 0, 0}) // truncated payload
+	f.Add([]byte{frameEvents, 0, 0, 0, 0x7F})
+	f.Add([]byte{'Z', 1, 2, 3, 4, 5})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fr := &frameReader{r: bytes.NewReader(data)}
+		for {
+			typ, payload, err := fr.next()
+			if err != nil {
+				return // rejected or exhausted: both fine, as long as no panic
+			}
+			switch typ {
+			case frameEvents:
+				evs := fr.events(payload)
+				re := appendEvents(nil, evs)
+				if !bytes.Equal(re[5:], payload) {
+					t.Fatal("events payload does not re-encode bit-exactly")
+				}
+			case frameStats:
+				stats, err := decodeStats(payload)
+				if err != nil {
+					continue
+				}
+				// Map iteration reorders stage entries, so compare decoded
+				// values, not bytes.
+				fr2 := &frameReader{r: bytes.NewReader(appendStats(nil, stats))}
+				if _, p2, err := fr2.next(); err != nil {
+					t.Fatalf("re-encoded stats frame rejected: %v", err)
+				} else if stats2, err := decodeStats(p2); err != nil || !statsEqual(stats, stats2) {
+					t.Fatalf("stats round-trip: %+v vs %+v (err %v)", stats, stats2, err)
+				}
+			}
+		}
+	})
+}
+
+// statsEqual compares stats with NaN-tolerant stage values (fuzzed
+// float bits can be NaN, which breaks ==).
+func statsEqual(a, b sps.Stats) bool {
+	if a.Trials != b.Trials || a.Samples != b.Samples || a.Events != b.Events || a.Plan != b.Plan ||
+		len(a.StageSeconds) != len(b.StageSeconds) {
+		return false
+	}
+	for k, av := range a.StageSeconds {
+		bv, ok := b.StageSeconds[k]
+		if !ok {
+			return false
+		}
+		if math.Float64bits(av) != math.Float64bits(bv) {
+			return false
+		}
+	}
+	return true
+}

@@ -2,12 +2,17 @@ package fleet
 
 import (
 	"bufio"
+	"bytes"
+	"compress/gzip"
 	"context"
 	"encoding/json"
 	"fmt"
 	"io"
+	"mime"
 	"net/http"
+	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"drapid/internal/obs"
@@ -16,21 +21,39 @@ import (
 	"drapid/internal/sps"
 )
 
-// The shard protocol is two endpoints of NDJSON over HTTP:
+// The shard protocol is v2 of the fleet data plane (DESIGN.md §12),
+// wire-compatible in both directions with the v1 NDJSON protocol:
 //
-//	GET  /v1/shard/ping  → 200 {"ok":true}
-//	POST /v1/shard       ← JSON ShardSpec
-//	                     → NDJSON: zero or more {"events":[...]} batches,
-//	                       then exactly one {"done":true,"stats":{...}}
-//	                       or {"error":"..."}
+//	GET  /v1/shard/ping         → 200 {"ok":true,"proto":2}
+//	HEAD /v1/blob/{digest}      → 204 cached | 404 not cached
+//	PUT  /v1/blob/{digest}      ← raw observation bytes (optional gzip)
+//	                            → 201 stored (content verified against digest)
+//	POST /v1/shard              ← JSON ShardSpec, inline bytes or digest-only
+//	                            → event stream + exactly one terminator
 //
-// The terminal line doubles as the completion signal: a response that ends
-// without one (connection cut, worker killed) is a failed attempt, which
-// the coordinator resubmits. Events stream as they are found, but the
-// coordinator only folds them into the merge when the done line arrives —
-// so a half-streamed response never contaminates merged output.
+// Dispatch is split from data: the coordinator uploads each distinct
+// observation blob once per worker cache lifetime and then ships only
+// its SHA-256 in every shard spec. A digest the worker no longer holds
+// fails the POST with 412, which the client answers by re-uploading.
+// Every v2 blob response carries the Drapid-Proto header, which is how
+// a client tells "v2 worker, blob absent" (404 with the header) from
+// "v1 worker, no blob routes at all" (404 without it) and falls back to
+// inline specs.
+//
+// The return stream is negotiated per request: a client that sends
+// Accept: application/x-drapid-frames receives length-prefixed binary
+// frames (frame.go); anyone else receives the v1 NDJSON lines. Both
+// encodings share the completion contract: a response that ends without
+// its terminal stats/done record (connection cut, worker killed) is a
+// failed attempt, which the coordinator resubmits — and events are only
+// folded into the merge when the terminator arrives, so a half-streamed
+// response never contaminates merged output.
 
-// shardLine is one NDJSON response line.
+// protoHeader marks every v2 blob-route response; its absence on a 404
+// is how a v1 worker is recognised.
+const protoHeader = "Drapid-Proto"
+
+// shardLine is one NDJSON response line (the v1 fallback encoding).
 type shardLine struct {
 	Events []wireEvent `json:"events,omitempty"`
 	Done   bool        `json:"done,omitempty"`
@@ -76,16 +99,85 @@ func fromWire(events []wireEvent) []spe.SPE {
 	return out
 }
 
-// Handler serves the worker side of the shard protocol over the given
-// executor: what `drapidd -worker` mounts. The handler is stateless —
-// every shard arrives self-contained — so a worker process can be killed
-// and replaced at will (the coordinator treats the cut connection as a
-// failed attempt and resubmits).
-func Handler(exec rdd.ExecConfig) http.Handler {
+// Handler serves the worker side of the shard protocol with a
+// default-bounded blob cache: what tests and single-host fleets mount.
+func Handler(exec rdd.ExecConfig) http.Handler { return NewHandler(exec, nil) }
+
+// NewHandler serves the worker side of the shard protocol over the given
+// executor and blob cache (nil: a DefaultBlobCacheBytes cache counting
+// into obs.Default) — what `drapidd -worker` mounts. Shard execution is
+// stateless; the blob cache is pure content-addressed state, so a worker
+// process can still be killed and replaced at will (the coordinator
+// treats the cut connection as a failed attempt, resubmits, and
+// re-uploads whatever blobs the replacement is missing).
+func NewHandler(exec rdd.ExecConfig, cache *BlobCache) http.Handler {
+	if cache == nil {
+		cache = NewBlobCache(0, obs.Default)
+	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /v1/shard/ping", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
-		fmt.Fprintln(w, `{"ok":true}`)
+		fmt.Fprintln(w, `{"ok":true,"proto":2}`)
+	})
+	mux.HandleFunc("GET /v1/blob/{digest}", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set(protoHeader, "2")
+		digest := r.PathValue("digest")
+		if err := ValidDigest(digest); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		if r.Method == http.MethodHead {
+			// Residency probe: no body, and no hit/miss accounting — only
+			// dispatch-path lookups measure cache effectiveness.
+			if cache.Contains(digest) {
+				w.WriteHeader(http.StatusNoContent)
+			} else {
+				w.WriteHeader(http.StatusNotFound)
+			}
+			return
+		}
+		data, ok := cache.Get(digest)
+		if !ok {
+			http.Error(w, "blob not cached", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Header().Set("Content-Length", strconv.Itoa(len(data)))
+		w.Write(data)
+	})
+	mux.HandleFunc("PUT /v1/blob/{digest}", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set(protoHeader, "2")
+		digest := r.PathValue("digest")
+		if err := ValidDigest(digest); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		var src io.Reader = http.MaxBytesReader(w, r.Body, cache.Max())
+		if r.Header.Get("Content-Encoding") == "gzip" {
+			zr, err := gzip.NewReader(src)
+			if err != nil {
+				http.Error(w, "bad gzip body: "+err.Error(), http.StatusBadRequest)
+				return
+			}
+			defer zr.Close()
+			// Bound the decompressed size too: a gzip bomb must not balloon
+			// past the cache's own refusal threshold.
+			src = io.LimitReader(zr, cache.Max()+1)
+		}
+		data, err := io.ReadAll(src)
+		if err != nil {
+			http.Error(w, "reading blob: "+err.Error(), http.StatusRequestEntityTooLarge)
+			return
+		}
+		if err := cache.Put(digest, data); err != nil {
+			status := http.StatusBadRequest
+			if int64(len(data)) > cache.Max() {
+				status = http.StatusRequestEntityTooLarge
+			}
+			http.Error(w, err.Error(), status)
+			return
+		}
+		w.WriteHeader(http.StatusCreated)
 	})
 	mux.HandleFunc("POST /v1/shard", func(w http.ResponseWriter, r *http.Request) {
 		var spec ShardSpec
@@ -93,13 +185,43 @@ func Handler(exec rdd.ExecConfig) http.Handler {
 			http.Error(w, fmt.Sprintf(`{"error":%q}`, "bad shard spec: "+err.Error()), http.StatusBadRequest)
 			return
 		}
-		w.Header().Set("Content-Type", "application/x-ndjson")
-		w.WriteHeader(http.StatusOK)
-		enc := json.NewEncoder(w)
+		switch {
+		case len(spec.Filterbank) == 0 && spec.FilterbankDigest != "":
+			// Digest-only dispatch: resolve the observation from the cache,
+			// or tell the coordinator to upload it (412) — the one protocol
+			// answer cache eviction ever needs.
+			data, ok := cache.Get(spec.FilterbankDigest)
+			if !ok {
+				w.Header().Set(protoHeader, "2")
+				w.Header().Set("Content-Type", "application/json")
+				w.WriteHeader(http.StatusPreconditionFailed)
+				fmt.Fprintf(w, `{"error":"blob %s not cached"}`+"\n", spec.FilterbankDigest)
+				return
+			}
+			spec.Filterbank = data
+		case len(spec.Filterbank) > 0 && spec.FilterbankDigest != "":
+			// Inline spec that names its content: seed the cache so a later
+			// digest-only dispatch (or repeat job) hits. Refusals (size,
+			// digest mismatch) only cost the seeding, never the shard.
+			_ = cache.Put(spec.FilterbankDigest, spec.Filterbank)
+		}
+		binary := acceptsFrames(r.Header.Values("Accept"))
 		rc := http.NewResponseController(w)
+		if binary {
+			w.Header().Set("Content-Type", MediaFrames)
+		} else {
+			w.Header().Set("Content-Type", MediaNDJSON)
+		}
+		w.WriteHeader(http.StatusOK)
+		fw := &frameWriter{w: w}
+		enc := json.NewEncoder(w)
 		served := time.Now()
 		stats, err := RunShard(r.Context(), spec, exec, func(events []spe.SPE) error {
-			if err := enc.Encode(shardLine{Events: toWire(events)}); err != nil {
+			if binary {
+				if err := fw.writeEvents(events); err != nil {
+					return err
+				}
+			} else if err := enc.Encode(shardLine{Events: toWire(events)}); err != nil {
 				return err
 			}
 			return rc.Flush()
@@ -111,35 +233,95 @@ func Handler(exec rdd.ExecConfig) http.Handler {
 		obs.Default.Histogram("drapid_fleet_shard_service_seconds",
 			"Worker-side shard service time (RunShard wall), by outcome.",
 			nil, obs.L("outcome", outcome)).Observe(time.Since(served).Seconds())
-		if err != nil {
+		switch {
+		case err != nil && binary:
+			fw.writeError(err.Error())
+		case err != nil:
 			enc.Encode(shardLine{Error: err.Error()})
-			return
+		case binary:
+			fw.writeStats(stats)
+		default:
+			enc.Encode(shardLine{Done: true, Stats: &wireStats{
+				Trials: stats.Trials, Samples: stats.Samples, Events: stats.Events, Plan: stats.Plan,
+				StageSeconds: stats.StageSeconds,
+			}})
 		}
-		enc.Encode(shardLine{Done: true, Stats: &wireStats{
-			Trials: stats.Trials, Samples: stats.Samples, Events: stats.Events, Plan: stats.Plan,
-			StageSeconds: stats.StageSeconds,
-		}})
 	})
 	return mux
 }
 
+// acceptsFrames reports whether any Accept value asks for the binary
+// frame encoding.
+func acceptsFrames(accept []string) bool {
+	for _, v := range accept {
+		if strings.Contains(v, MediaFrames) {
+			return true
+		}
+	}
+	return false
+}
+
+// Remote protocol generations, learned per worker from its responses.
+const (
+	protoUnknown = 0 // not probed yet: try v2 first
+	protoLegacy  = 1 // v1: inline specs, NDJSON responses
+	protoBlob    = 2 // v2: blob dispatch, binary frames negotiated
+)
+
 // Remote is a worker behind the HTTP shard protocol: the coordinator's
-// client for one `drapidd -worker` process.
+// client for one `drapidd -worker` process. It learns the worker's
+// protocol generation from its responses and remembers which blobs it
+// has uploaded, so each distinct observation crosses the wire at most
+// once per worker cache lifetime.
 type Remote struct {
-	name   string
-	base   string
-	client *http.Client
+	name    string
+	base    string
+	client  *http.Client
+	gzip    bool
+	metrics *obs.Registry
+	sent    *obs.Counter
+	recv    *obs.Counter
+
+	mu    sync.Mutex
+	proto int
+	blobs map[string]bool // digests believed resident on the worker
+}
+
+// RemoteOption configures a Remote at construction.
+type RemoteOption func(*Remote)
+
+// WithWireMetrics records the worker's wire counters
+// (drapid_fleet_bytes_sent_total / _received_total, labelled by worker)
+// in the given registry.
+func WithWireMetrics(reg *obs.Registry) RemoteOption {
+	return func(r *Remote) { r.metrics = reg }
+}
+
+// WithGzipBlobs compresses blob uploads (Content-Encoding: gzip).
+// Worth it on slow links; raw float noise compresses poorly, so the
+// default stays uncompressed.
+func WithGzipBlobs() RemoteOption {
+	return func(r *Remote) { r.gzip = true }
 }
 
 // NewRemote builds a worker client for the given base URL (e.g.
 // "http://host:8417"). A nil client uses a dedicated streaming-friendly
 // default (no response timeout; shard lifetime is bounded by the run
 // context, not the transport).
-func NewRemote(name, baseURL string, client *http.Client) *Remote {
+func NewRemote(name, baseURL string, client *http.Client, opts ...RemoteOption) *Remote {
 	if client == nil {
 		client = &http.Client{}
 	}
-	return &Remote{name: name, base: strings.TrimRight(baseURL, "/"), client: client}
+	r := &Remote{name: name, base: strings.TrimRight(baseURL, "/"), client: client, blobs: make(map[string]bool)}
+	for _, o := range opts {
+		o(r)
+	}
+	// Counters resolve to nil-safe no-ops when no registry was attached.
+	r.sent = r.metrics.Counter("drapid_fleet_bytes_sent_total",
+		"Bytes shipped to the worker: shard spec and blob upload bodies.", obs.L("worker", name))
+	r.recv = r.metrics.Counter("drapid_fleet_bytes_received_total",
+		"Bytes received from the worker: shard response stream bodies.", obs.L("worker", name))
+	return r
 }
 
 // Name implements Worker.
@@ -163,42 +345,259 @@ func (r *Remote) Ping(ctx context.Context) error {
 	return nil
 }
 
-// Run implements Worker: POST the spec, stream back event batches, and
-// require the terminal done line — a response that ends without one is a
-// failed attempt.
+func (r *Remote) legacy() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.proto == protoLegacy
+}
+
+func (r *Remote) setProto(p int) {
+	r.mu.Lock()
+	r.proto = p
+	r.mu.Unlock()
+}
+
+func (r *Remote) rememberBlob(digest string) {
+	r.mu.Lock()
+	r.blobs[digest] = true
+	r.mu.Unlock()
+}
+
+func (r *Remote) forgetBlob(digest string) {
+	r.mu.Lock()
+	delete(r.blobs, digest)
+	r.mu.Unlock()
+}
+
+func (r *Remote) knowsBlob(digest string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.blobs[digest]
+}
+
+// Run implements Worker: ship the observation as a content-addressed
+// blob when the worker speaks v2 (once per cache lifetime), POST the
+// spec, stream back event batches in whichever encoding the worker
+// granted, and require the terminal record — a response that ends
+// without one is a failed attempt.
 func (r *Remote) Run(ctx context.Context, spec ShardSpec, emit func([]spe.SPE) error) (sps.Stats, error) {
-	body, err := json.Marshal(spec)
-	if err != nil {
-		return sps.Stats{}, err
+	if spec.FilterbankDigest != "" && len(spec.Filterbank) > 0 && !r.legacy() {
+		// Two rounds cover the eviction race: the blob can disappear
+		// between ensure and dispatch, in which case 412 sends us around
+		// once more. A second 412 (cache thrashing) falls back to inline.
+		for attempt := 0; attempt < 2; attempt++ {
+			ok, err := r.ensureBlob(ctx, spec.FilterbankDigest, spec.Filterbank)
+			if err != nil {
+				return sps.Stats{}, err
+			}
+			if !ok {
+				break // v1 worker, or blob refused: ship inline
+			}
+			lean := spec
+			lean.Filterbank = nil
+			stats, missing, err := r.post(ctx, lean, emit)
+			if !missing {
+				return stats, err
+			}
+			r.forgetBlob(spec.FilterbankDigest)
+		}
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, r.base+"/v1/shard", strings.NewReader(string(body)))
-	if err != nil {
-		return sps.Stats{}, err
+	stats, missing, err := r.post(ctx, spec, emit)
+	if missing {
+		// An inline spec can never be answered with 412; a worker that
+		// does is broken.
+		return stats, fmt.Errorf("fleet: worker %s shard %s/%d: rejected inline spec with 412",
+			r.name, spec.Job, spec.Index)
 	}
-	req.Header.Set("Content-Type", "application/json")
+	return stats, err
+}
+
+// ensureBlob makes the observation resident on the worker, uploading it
+// if the HEAD probe misses. Returns false (no error) when the worker
+// turns out to be v1, or refuses the blob — the caller ships inline.
+func (r *Remote) ensureBlob(ctx context.Context, digest string, data []byte) (bool, error) {
+	if r.knowsBlob(digest) {
+		return true, nil
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodHead, r.base+"/v1/blob/"+digest, nil)
+	if err != nil {
+		return false, err
+	}
 	resp, err := r.client.Do(req)
 	if err != nil {
-		return sps.Stats{}, err
+		return false, err
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	switch {
+	case resp.StatusCode == http.StatusNoContent || resp.StatusCode == http.StatusOK:
+		r.setProto(protoBlob)
+		r.rememberBlob(digest)
+		return true, nil
+	case resp.StatusCode == http.StatusNotFound && resp.Header.Get(protoHeader) != "":
+		r.setProto(protoBlob) // v2 worker, blob absent: upload below
+	default:
+		// No blob routes — a v1 worker (or something equally unwilling).
+		// Remember and ship inline from now on; the heartbeat keeps using
+		// ping, so a later worker upgrade is picked up after reconnect.
+		r.setProto(protoLegacy)
+		return false, nil
+	}
+	return r.putBlob(ctx, digest, data)
+}
+
+// putBlob uploads one blob: a streaming body with Content-Length (no
+// full-body JSON copy), optionally gzip-compressed. Refusals (413 and
+// kin) report false so the shard ships inline; only transport errors
+// propagate.
+func (r *Remote) putBlob(ctx context.Context, digest string, data []byte) (bool, error) {
+	var body *bytes.Reader
+	encoding := ""
+	if r.gzip {
+		var buf bytes.Buffer
+		zw := gzip.NewWriter(&buf)
+		if _, err := zw.Write(data); err != nil {
+			return false, err
+		}
+		if err := zw.Close(); err != nil {
+			return false, err
+		}
+		body = bytes.NewReader(buf.Bytes())
+		encoding = "gzip"
+	} else {
+		body = bytes.NewReader(data)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPut, r.base+"/v1/blob/"+digest, body)
+	if err != nil {
+		return false, err
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	if encoding != "" {
+		req.Header.Set("Content-Encoding", encoding)
+	}
+	resp, err := r.client.Do(req)
+	if err != nil {
+		return false, err
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated && resp.StatusCode != http.StatusOK {
+		return false, nil
+	}
+	r.sent.Add(float64(body.Size()))
+	r.rememberBlob(digest)
+	return true, nil
+}
+
+// countReader counts bytes read through it.
+type countReader struct {
+	r io.Reader
+	n int64
+}
+
+func (c *countReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// post executes one shard RPC. missing reports a 412 blob-not-cached
+// answer (the caller re-uploads and retries); every other non-200 is an
+// error. The response encoding follows the worker's Content-Type, so a
+// v1 worker that ignores Accept is decoded as NDJSON transparently.
+func (r *Remote) post(ctx context.Context, spec ShardSpec, emit func([]spe.SPE) error) (stats sps.Stats, missing bool, err error) {
+	body, err := json.Marshal(spec)
+	if err != nil {
+		return sps.Stats{}, false, err
+	}
+	// bytes.Reader bodies carry Content-Length, so the upload is not
+	// chunked and proxies can apply sane buffering.
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, r.base+"/v1/shard", bytes.NewReader(body))
+	if err != nil {
+		return sps.Stats{}, false, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("Accept", MediaFrames+", "+MediaNDJSON)
+	resp, err := r.client.Do(req)
+	if err != nil {
+		return sps.Stats{}, false, err
 	}
 	defer func() {
 		io.Copy(io.Discard, resp.Body)
 		resp.Body.Close()
 	}()
+	r.sent.Add(float64(len(body)))
+	if resp.StatusCode == http.StatusPreconditionFailed {
+		return sps.Stats{}, true, nil
+	}
 	if resp.StatusCode != http.StatusOK {
 		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 1024))
-		return sps.Stats{}, fmt.Errorf("fleet: worker %s shard %s/%d: %s: %s",
+		return sps.Stats{}, false, fmt.Errorf("fleet: worker %s shard %s/%d: %s: %s",
 			r.name, spec.Job, spec.Index, resp.Status, strings.TrimSpace(string(msg)))
 	}
-	sc := bufio.NewScanner(resp.Body)
-	sc.Buffer(make([]byte, 0, 64*1024), 64*1024*1024)
-	for sc.Scan() {
-		line := sc.Bytes()
-		if len(line) == 0 {
-			continue
+	cr := &countReader{r: resp.Body}
+	defer func() { r.recv.Add(float64(cr.n)) }()
+	ct := resp.Header.Get("Content-Type")
+	if mt, _, mtErr := mime.ParseMediaType(ct); mtErr == nil {
+		ct = mt
+	}
+	if ct == MediaFrames {
+		stats, err = r.decodeFrames(cr, spec, emit)
+		return stats, false, err
+	}
+	stats, err = r.decodeNDJSON(cr, spec, emit)
+	return stats, false, err
+}
+
+// decodeFrames drains a binary frame stream (frame.go): event batches
+// through emit, then the terminal stats or error frame.
+func (r *Remote) decodeFrames(body io.Reader, spec ShardSpec, emit func([]spe.SPE) error) (sps.Stats, error) {
+	fr := &frameReader{r: bufio.NewReaderSize(body, 64<<10)}
+	for {
+		typ, payload, err := fr.next()
+		if err == io.EOF {
+			return sps.Stats{}, fmt.Errorf("fleet: worker %s shard %s/%d: stream ended without completion",
+				r.name, spec.Job, spec.Index)
 		}
+		if err != nil {
+			return sps.Stats{}, fmt.Errorf("fleet: worker %s shard %s/%d: stream cut: %w",
+				r.name, spec.Job, spec.Index, err)
+		}
+		switch typ {
+		case frameEvents:
+			if emit != nil && len(payload) > 0 {
+				if err := emit(fr.events(payload)); err != nil {
+					return sps.Stats{}, err
+				}
+			}
+		case frameStats:
+			stats, err := decodeStats(payload)
+			if err != nil {
+				return sps.Stats{}, fmt.Errorf("fleet: worker %s shard %s/%d: %w", r.name, spec.Job, spec.Index, err)
+			}
+			return stats, nil
+		case frameError:
+			return sps.Stats{}, fmt.Errorf("fleet: worker %s shard %s/%d: %s",
+				r.name, spec.Job, spec.Index, string(payload))
+		}
+	}
+}
+
+// decodeNDJSON drains a v1 NDJSON stream. json.Decoder reads values, not
+// lines, so an event-dense batch far past any line-scanner buffer cap
+// decodes fine — the 64 MiB bufio.Scanner ceiling this path once had
+// silently failed exactly the shards that needed the stream most.
+func (r *Remote) decodeNDJSON(body io.Reader, spec ShardSpec, emit func([]spe.SPE) error) (sps.Stats, error) {
+	dec := json.NewDecoder(body)
+	for {
 		var l shardLine
-		if err := json.Unmarshal(line, &l); err != nil {
-			return sps.Stats{}, fmt.Errorf("fleet: worker %s: bad response line: %w", r.name, err)
+		if err := dec.Decode(&l); err != nil {
+			if err == io.EOF {
+				return sps.Stats{}, fmt.Errorf("fleet: worker %s shard %s/%d: stream ended without completion",
+					r.name, spec.Job, spec.Index)
+			}
+			return sps.Stats{}, fmt.Errorf("fleet: worker %s shard %s/%d: stream cut: %w",
+				r.name, spec.Job, spec.Index, err)
 		}
 		switch {
 		case l.Error != "":
@@ -220,10 +619,6 @@ func (r *Remote) Run(ctx context.Context, spec ShardSpec, emit func([]spe.SPE) e
 			}
 		}
 	}
-	if err := sc.Err(); err != nil {
-		return sps.Stats{}, fmt.Errorf("fleet: worker %s shard %s/%d: stream cut: %w", r.name, spec.Job, spec.Index, err)
-	}
-	return sps.Stats{}, fmt.Errorf("fleet: worker %s shard %s/%d: stream ended without completion", r.name, spec.Job, spec.Index)
 }
 
 // WaitReady polls a worker until it answers a ping or the deadline

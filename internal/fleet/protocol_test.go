@@ -1,0 +1,323 @@
+package fleet
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"drapid/internal/obs"
+	"drapid/internal/rdd"
+	"drapid/internal/spe"
+)
+
+// legacyHandler replicates the v1 worker wire behaviour exactly: POST
+// /v1/shard answering NDJSON regardless of Accept, inline observations
+// only, and no /v1/blob routes at all (so blob probes get a bare 404
+// with no Drapid-Proto header). The negotiation tests run against it to
+// prove a v2 coordinator degrades to the old protocol transparently.
+func legacyHandler(exec rdd.ExecConfig) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/shard/ping", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintln(w, `{"ok":true}`)
+	})
+	mux.HandleFunc("POST /v1/shard", func(w http.ResponseWriter, r *http.Request) {
+		var spec ShardSpec
+		if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		w.Header().Set("Content-Type", MediaNDJSON)
+		w.WriteHeader(http.StatusOK)
+		enc := json.NewEncoder(w)
+		rc := http.NewResponseController(w)
+		stats, err := RunShard(r.Context(), spec, exec, func(events []spe.SPE) error {
+			if err := enc.Encode(shardLine{Events: toWire(events)}); err != nil {
+				return err
+			}
+			return rc.Flush()
+		})
+		if err != nil {
+			enc.Encode(shardLine{Error: err.Error()})
+			return
+		}
+		enc.Encode(shardLine{Done: true, Stats: &wireStats{
+			Trials: stats.Trials, Samples: stats.Samples, Events: stats.Events, Plan: stats.Plan,
+			StageSeconds: stats.StageSeconds,
+		}})
+	})
+	return mux
+}
+
+// TestProtocolNegotiationMixedFleet runs one DM-sharded job over a fleet
+// of one v1 (JSON-only, inline-only) worker and one v2 worker and checks
+// the merged output is record-for-record identical to the unsharded
+// reference — the bit-exact merge contract holds across protocol
+// generations, so fleets can upgrade one worker at a time.
+func TestProtocolNegotiationMixedFleet(t *testing.T) {
+	fb, raw := testObservation(t)
+	dms := testGrid()
+	search := SearchSpec{Threshold: 6, Plan: "brute", NormWindow: 1024}
+	want := unshardedEvents(t, fb, search, dms)
+	if len(want) == 0 {
+		t.Fatal("reference search found no events")
+	}
+
+	v1 := httptest.NewServer(legacyHandler(testExec()))
+	defer v1.Close()
+	v2 := httptest.NewServer(NewHandler(testExec(), NewBlobCache(0, nil)))
+	defer v2.Close()
+	r1 := NewRemote("v1", v1.URL, nil)
+	r2 := NewRemote("v2", v2.URL, nil)
+
+	c := NewCoordinator(Config{Heartbeat: time.Hour}, r1, r2)
+	defer c.Close()
+	shards := PlanDM("job", raw, dms, search, 4)
+	var got []spe.SPE
+	if _, _, err := c.Run(context.Background(), shards, func(evs []spe.SPE) error {
+		got = append(got, evs...)
+		return nil
+	}, RunOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if !eventsEqual(want, got) {
+		t.Fatalf("mixed v1/v2 merge differs from unsharded (%d vs %d events)", len(got), len(want))
+	}
+	// The negotiation must actually have split: the v1 remote learned to
+	// ship inline, the v2 remote learned blob dispatch.
+	if r1.proto != protoLegacy {
+		t.Fatalf("v1 remote learned proto %d, want %d (legacy)", r1.proto, protoLegacy)
+	}
+	if r2.proto != protoBlob {
+		t.Fatalf("v2 remote learned proto %d, want %d (blob)", r2.proto, protoBlob)
+	}
+}
+
+// TestBlobDispatchUploadsOnce pins the tentpole economics: a v2 worker
+// receives the observation body exactly once per cache lifetime — every
+// DM shard of the first job and the whole of a second job over the same
+// observation ship digest-only specs.
+func TestBlobDispatchUploadsOnce(t *testing.T) {
+	_, raw := testObservation(t)
+	dms := testGrid()
+	search := SearchSpec{Threshold: 6, Plan: "brute", NormWindow: 1024}
+
+	cache := NewBlobCache(0, obs.NewRegistry())
+	var blobPuts, shardBytes atomic.Int64
+	inner := NewHandler(testExec(), cache)
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method == http.MethodPut {
+			blobPuts.Add(1)
+		}
+		if r.Method == http.MethodPost {
+			shardBytes.Add(r.ContentLength)
+		}
+		inner.ServeHTTP(w, r)
+	}))
+	defer ts.Close()
+
+	reg := obs.NewRegistry()
+	remote := NewRemote("w0", ts.URL, nil, WithWireMetrics(reg))
+	run := func(job string) {
+		t.Helper()
+		for _, s := range PlanDM(job, raw, dms, search, 4) {
+			if _, err := remote.Run(context.Background(), s, func([]spe.SPE) error { return nil }); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	run("job-a")
+	run("job-b")
+	if n := blobPuts.Load(); n != 1 {
+		t.Fatalf("observation uploaded %d times over 8 shards of 2 jobs, want exactly 1", n)
+	}
+	// Every POST body must be a lean spec: orders of magnitude under the
+	// base64-inflated inline encoding.
+	if lean := shardBytes.Load() / 8; lean > int64(len(raw))/10 {
+		t.Fatalf("mean shard POST of %d bytes is not lean against a %d-byte observation", lean, len(raw))
+	}
+	if hits := cache.hits; hits == nil || hits.Value() < 8 {
+		t.Fatalf("blob cache hits = %v, want >= 8 (one per dispatched shard)", hits.Value())
+	}
+}
+
+// TestBlobEvictionReupload pins the 412 path: when the worker evicts a
+// blob the coordinator still believes resident, the next dispatch gets
+// 412, re-uploads, and succeeds — no failed attempt, no inline fallback.
+func TestBlobEvictionReupload(t *testing.T) {
+	_, raw := testObservation(t)
+	dms := testGrid()
+	search := SearchSpec{Threshold: 6, Plan: "brute", NormWindow: 1024}
+	shards := PlanDM("job", raw, dms, search, 2)
+
+	// Bound the cache to just over one observation, so a filler Put
+	// evicts the real blob between dispatches.
+	cache := NewBlobCache(int64(len(raw))+1024, nil)
+	ts := httptest.NewServer(NewHandler(testExec(), cache))
+	defer ts.Close()
+	remote := NewRemote("w0", ts.URL, nil)
+
+	if _, err := remote.Run(context.Background(), shards[0], func([]spe.SPE) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	filler := bytes.Repeat([]byte{0xA5}, len(raw))
+	if err := cache.Put(Digest(filler), filler); err != nil {
+		t.Fatal(err)
+	}
+	if cache.Contains(shards[1].FilterbankDigest) {
+		t.Fatal("filler did not evict the observation blob")
+	}
+	if _, err := remote.Run(context.Background(), shards[1], func([]spe.SPE) error { return nil }); err != nil {
+		t.Fatalf("dispatch after worker-side eviction: %v", err)
+	}
+	if !cache.Contains(shards[1].FilterbankDigest) {
+		t.Fatal("blob was not re-uploaded after the 412")
+	}
+}
+
+// TestGzipBlobUpload exercises the optional compressed upload path end
+// to end: the worker decompresses, verifies the digest, and serves the
+// shard normally.
+func TestGzipBlobUpload(t *testing.T) {
+	_, raw := testObservation(t)
+	dms := testGrid()
+	search := SearchSpec{Threshold: 6, Plan: "brute", NormWindow: 1024}
+	shards := PlanDM("job", raw, dms, search, 1)
+
+	cache := NewBlobCache(0, nil)
+	ts := httptest.NewServer(NewHandler(testExec(), cache))
+	defer ts.Close()
+	remote := NewRemote("w0", ts.URL, nil, WithGzipBlobs())
+	want, _, err := collectShard(shards[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []spe.SPE
+	if _, err := remote.Run(context.Background(), shards[0], func(evs []spe.SPE) error {
+		got = append(got, evs...)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !eventsEqual(want, got) {
+		t.Fatalf("gzip-uploaded shard events differ from local (%d vs %d)", len(got), len(want))
+	}
+	if !cache.Contains(shards[0].FilterbankDigest) {
+		t.Fatal("gzip upload did not land in the cache")
+	}
+}
+
+// TestRemoteHugeEventLine is the regression test for the 64 MiB
+// bufio.Scanner cap Remote.Run's NDJSON path used to carry: one events
+// line far past that bound must decode completely. json.Decoder reads
+// values, not lines, so no buffer ceiling applies.
+func TestRemoteHugeEventLine(t *testing.T) {
+	if testing.Short() {
+		t.Skip("streams >64 MiB of JSON")
+	}
+	const n = 1_400_000 // ≈ 78 MB of events on one NDJSON line
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", MediaNDJSON)
+		w.WriteHeader(http.StatusOK)
+		bw := bufio.NewWriterSize(w, 1<<20)
+		bw.WriteString(`{"events":[`)
+		for i := 0; i < n; i++ {
+			if i > 0 {
+				bw.WriteByte(',')
+			}
+			fmt.Fprintf(bw, `{"dm":1.5,"snr":9.25,"time":%d.5,"sample":%d,"downfact":3}`, i, i)
+		}
+		bw.WriteString("]}\n")
+		bw.WriteString(`{"done":true,"stats":{"trials":1,"samples":1,"events":` + strconv.Itoa(n) + `}}` + "\n")
+		bw.Flush()
+	}))
+	defer ts.Close()
+
+	remote := NewRemote("huge", ts.URL, nil)
+	total := 0
+	var last spe.SPE
+	stats, err := remote.Run(context.Background(), ShardSpec{Job: "j", Shards: 1}, func(evs []spe.SPE) error {
+		total += len(evs)
+		last = evs[len(evs)-1]
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != n {
+		t.Fatalf("decoded %d events, want %d", total, n)
+	}
+	if last.Sample != n-1 || last.Downfact != 3 {
+		t.Fatalf("last event %+v, want sample %d", last, n-1)
+	}
+	if stats.Events != n {
+		t.Fatalf("stats.Events = %d, want %d", stats.Events, n)
+	}
+}
+
+// TestFramedRoundTripMatchesNDJSON drives the same real shard through
+// both response encodings and checks byte-identical results: the binary
+// frames are an encoding change, not a semantic one.
+func TestFramedRoundTripMatchesNDJSON(t *testing.T) {
+	_, raw := testObservation(t)
+	dms := testGrid()
+	search := SearchSpec{Threshold: 6, Plan: "brute", NormWindow: 1024}
+	shards := PlanDM("job", raw, dms, search, 2)
+
+	v1 := httptest.NewServer(legacyHandler(testExec()))
+	defer v1.Close()
+	v2 := httptest.NewServer(NewHandler(testExec(), NewBlobCache(0, nil)))
+	defer v2.Close()
+
+	for _, s := range shards {
+		var ndjson, framed []spe.SPE
+		sJSON, err := NewRemote("v1", v1.URL, nil).Run(context.Background(), s, func(evs []spe.SPE) error {
+			ndjson = append(ndjson, evs...)
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sBin, err := NewRemote("v2", v2.URL, nil).Run(context.Background(), s, func(evs []spe.SPE) error {
+			framed = append(framed, evs...)
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !eventsEqual(ndjson, framed) {
+			t.Fatalf("shard %d: framed events differ from NDJSON (%d vs %d)", s.Index, len(framed), len(ndjson))
+		}
+		if sJSON.Trials != sBin.Trials || sJSON.Samples != sBin.Samples || sJSON.Events != sBin.Events || sJSON.Plan != sBin.Plan {
+			t.Fatalf("shard %d: stats differ across encodings: %+v vs %+v", s.Index, sJSON, sBin)
+		}
+	}
+}
+
+// TestFramedStreamCut pins the completion contract on the binary path:
+// a frame stream cut before its terminator fails the attempt.
+func TestFramedStreamCut(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", MediaFrames)
+		w.WriteHeader(http.StatusOK)
+		fw := &frameWriter{w: w}
+		fw.writeEvents([]spe.SPE{{DM: 1, SNR: 9, Time: 0.5, Sample: 10, Downfact: 1}})
+		http.NewResponseController(w).Flush()
+		panic(http.ErrAbortHandler) // cut before the stats trailer
+	}))
+	defer ts.Close()
+	remote := NewRemote("cut", ts.URL, nil)
+	_, err := remote.Run(context.Background(), ShardSpec{Job: "j", Shards: 1}, func([]spe.SPE) error { return nil })
+	if err == nil || !strings.Contains(err.Error(), "stream") {
+		t.Fatalf("cut frame stream: err = %v, want stream failure", err)
+	}
+}

@@ -36,8 +36,14 @@ type ShardSpec struct {
 	Attempt int `json:"attempt,omitempty"`
 	// Filterbank is the raw SIGPROC observation this shard searches: the
 	// whole observation for DM shards, the owned slice plus overlap for
-	// time shards.
-	Filterbank []byte `json:"filterbank"`
+	// time shards. On the v2 wire it is omitted in favour of
+	// FilterbankDigest — the worker resolves the bytes from its blob
+	// cache (DESIGN.md §12).
+	Filterbank []byte `json:"filterbank,omitempty"`
+	// FilterbankDigest is the content address (lowercase hex SHA-256) of
+	// Filterbank. Planning always sets it; a spec shipped by digest alone
+	// is only executable on a worker whose blob cache holds the bytes.
+	FilterbankDigest string `json:"filterbank_digest,omitempty"`
 	// DMs is the job's FULL ascending trial grid — never a subset, so
 	// dedispersion-plan resolution is identical on every worker (see the
 	// package comment).
@@ -58,10 +64,17 @@ type ShardSpec struct {
 	OwnHi     int64 `json:"own_hi,omitempty"`
 }
 
-// Validate checks the shard is executable.
+// Validate checks the shard is executable: it must carry the
+// observation inline, or name it by digest (resolvable against a blob
+// cache before execution).
 func (s ShardSpec) Validate() error {
-	if len(s.Filterbank) == 0 {
+	if len(s.Filterbank) == 0 && s.FilterbankDigest == "" {
 		return fmt.Errorf("fleet: shard %s/%d has no filterbank", s.Job, s.Index)
+	}
+	if s.FilterbankDigest != "" {
+		if err := ValidDigest(s.FilterbankDigest); err != nil {
+			return fmt.Errorf("fleet: shard %s/%d: %w", s.Job, s.Index, err)
+		}
 	}
 	if len(s.DMs) == 0 {
 		return fmt.Errorf("fleet: shard %s/%d has no trial grid", s.Job, s.Index)
@@ -86,6 +99,12 @@ func (s ShardSpec) Validate() error {
 func RunShard(ctx context.Context, spec ShardSpec, exec rdd.ExecConfig, emit func([]spe.SPE) error) (sps.Stats, error) {
 	if err := spec.Validate(); err != nil {
 		return sps.Stats{}, err
+	}
+	if len(spec.Filterbank) == 0 {
+		// A digest-only spec reaches execution only through a handler that
+		// failed to resolve it against the blob cache first.
+		return sps.Stats{}, fmt.Errorf("fleet: shard %s/%d: blob %s not resolved to bytes",
+			spec.Job, spec.Index, spec.FilterbankDigest)
 	}
 	fb, err := sps.Read(bytes.NewReader(spec.Filterbank))
 	if err != nil {
@@ -142,6 +161,10 @@ func PlanDM(job string, raw []byte, dms []float64, search SearchSpec, n int) []S
 	if n < 1 {
 		n = 1
 	}
+	// One observation, one digest: every DM shard addresses the same
+	// blob, so a v2 worker receives the bytes at most once per job — and
+	// at most once across jobs while the blob stays cached.
+	digest := Digest(raw)
 	shards := make([]ShardSpec, 0, n)
 	for i := 0; i < n; i++ {
 		lo := i * len(dms) / n
@@ -151,7 +174,7 @@ func PlanDM(job string, raw []byte, dms []float64, search SearchSpec, n int) []S
 		}
 		shards = append(shards, ShardSpec{
 			Job: job, Index: len(shards),
-			Filterbank: raw, DMs: dms, Search: search,
+			Filterbank: raw, FilterbankDigest: digest, DMs: dms, Search: search,
 			TrialLo: lo, TrialHi: hi,
 		})
 	}
@@ -209,7 +232,8 @@ func PlanTime(job string, fb *sps.Filterbank, dms []float64, search SearchSpec, 
 		}
 		shards = append(shards, ShardSpec{
 			Job: job, Index: len(shards),
-			Filterbank: buf.Bytes(), DMs: dms, Search: search,
+			// Time shards carry distinct slices, so each hashes its own.
+			Filterbank: buf.Bytes(), FilterbankDigest: Digest(buf.Bytes()), DMs: dms, Search: search,
 			SampleOff: int64(sliceLo), OwnLo: int64(ownLo), OwnHi: int64(ownHi),
 		})
 	}
